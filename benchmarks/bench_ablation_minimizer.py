@@ -1,0 +1,69 @@
+"""Ablation — minimizer design choices (paper §4.2).
+
+The paper empirically selected *halve the currently largest table* over
+smallest/random policies, and motivates the sampling pre-pass as the cheap
+first stage.  This benchmark regenerates that comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.bench.harness import measure_hidden_query, render_series
+from repro.core import ExtractionConfig
+from repro.workloads import tpch_queries
+
+POLICIES = ["largest", "smallest", "random", "round_robin"]
+_ROWS = []
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_halving_policy(benchmark, tpch_bench_db, policy):
+    query = tpch_queries.QUERIES["Q3"]
+    config = ExtractionConfig(halving_policy=policy, run_checker=False)
+    measurement = run_once(
+        benchmark,
+        lambda: measure_hidden_query(tpch_bench_db, query.sql, f"Q3/{policy}", config),
+    )
+    _ROWS.append(
+        (
+            f"policy={policy}",
+            round(measurement.sampler_seconds + measurement.minimizer_seconds, 3),
+            measurement.invocations,
+            round(measurement.total_seconds, 3),
+        )
+    )
+
+
+@pytest.mark.parametrize("sampling", [True, False])
+def test_sampling_prepass(benchmark, tpch_bench_db, sampling):
+    query = tpch_queries.QUERIES["Q3"]
+    config = ExtractionConfig(minimizer_sampling=sampling, run_checker=False)
+    measurement = run_once(
+        benchmark,
+        lambda: measure_hidden_query(
+            tpch_bench_db, query.sql, f"Q3/sampling={sampling}", config
+        ),
+    )
+    _ROWS.append(
+        (
+            f"sampling={'on' if sampling else 'off'}",
+            round(measurement.sampler_seconds + measurement.minimizer_seconds, 3),
+            measurement.invocations,
+            round(measurement.total_seconds, 3),
+        )
+    )
+
+
+def test_ablation_report(benchmark):
+    def render():
+        return render_series(
+            "Minimizer ablation on Q3 — halving policy and sampling pre-pass",
+            ["variant", "minimize(s)", "invocations", "total(s)"],
+            _ROWS,
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("ablation_minimizer", table)
+    assert len(_ROWS) == len(POLICIES) + 2

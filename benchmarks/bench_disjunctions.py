@@ -1,0 +1,69 @@
+"""§9 future-work extension — witnessed disjunction extraction.
+
+Not a paper table; this quantifies the extension's probe overhead relative to
+the conjunctive pipeline (the paper's concluding discussion motivates it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.bench.harness import measure_hidden_query, render_series
+from repro.core import ExtractionConfig
+from repro.datagen import tpch
+
+DISJUNCTIVE_QUERIES = {
+    "DJ1_in_list": (
+        "select c_mktsegment, count(*) as n from customer "
+        "where c_mktsegment in ('BUILDING', 'MACHINERY') group by c_mktsegment"
+    ),
+    "DJ2_ranges": (
+        "select count(*) as n, sum(l_quantity) as q from lineitem "
+        "where l_quantity between 1 and 10 or l_quantity between 40 and 50"
+    ),
+    "DJ3_hole": (
+        "select count(*) as n, sum(o_totalprice) as s from orders "
+        "where o_totalprice <= 100000 or o_totalprice >= 400000"
+    ),
+}
+
+_ROWS = {}
+
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch.build_database(scale=0.002, seed=7)
+
+
+@pytest.mark.parametrize("name", list(DISJUNCTIVE_QUERIES))
+def test_disjunction_extraction(benchmark, db, name):
+    sql = DISJUNCTIVE_QUERIES[name]
+    measurement = run_once(
+        benchmark,
+        lambda: measure_hidden_query(
+            db, sql, name, ExtractionConfig(extract_disjunctions=True)
+        ),
+    )
+    filters = " and ".join(f.to_sql() for f in measurement.outcome.query.filters)
+    _ROWS[name] = (
+        name,
+        filters[:70],
+        round(measurement.breakdown.get("disjunctions", 0.0), 3),
+        round(measurement.total_seconds, 2),
+    )
+
+
+def test_disjunction_report(benchmark):
+    def render():
+        rows = [_ROWS[n] for n in DISJUNCTIVE_QUERIES if n in _ROWS]
+        return render_series(
+            "Disjunction extraction (§9 extension): witnessed IN-lists and "
+            "interval unions",
+            ["query", "extracted filters", "disjunct(s)", "total(s)"],
+            rows,
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("disjunctions", table)
+    assert len(_ROWS) == len(DISJUNCTIVE_QUERIES)

@@ -1,0 +1,54 @@
+"""Figure 12 / §6.3 — Enki imperative-to-SQL conversion.
+
+Paper shape: 14 of 17 blogging commands are in scope and every one converts
+to its SQL equivalent within a few seconds, including the flagship
+``find_recent`` ("get latest posts by tag") command of Figure 12.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.apps import enki
+from repro.bench.harness import measure_extraction, render_series
+from repro.core import ExtractionConfig
+
+_ROWS = {}
+_NAMES = [command.name for command in enki.registry.in_scope()]
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_enki_command_extraction(benchmark, enki_bench_db, name):
+    command = enki.registry.get(name)
+    measurement = run_once(
+        benchmark,
+        lambda: measure_extraction(
+            enki_bench_db,
+            command.executable(),
+            name,
+            ExtractionConfig(run_checker=False),
+        ),
+    )
+    _ROWS[name] = (
+        name,
+        ", ".join(command.clauses),
+        round(measurement.total_seconds, 2),
+    )
+
+
+def test_enki_report(benchmark):
+    def render():
+        rows = [_ROWS[n] for n in _NAMES if n in _ROWS]
+        return render_series(
+            "Enki imperative-to-SQL conversion "
+            f"({len(_NAMES)} of {len(enki.registry.commands)} commands in scope; "
+            "paper: 14 of 17, each in a few seconds)",
+            ["command", "extracted SQL complexity", "time(s)"],
+            rows,
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("enki_figure12", table)
+    assert "find_recent_by_tag" in _ROWS  # the Figure 12 command converts
+    assert all(row[2] < 30 for row in _ROWS.values())

@@ -1,0 +1,70 @@
+"""Figure 9 — TPC-H hidden-query extraction time with module breakdown.
+
+Paper shape: all extractions finish in bounded time; the minimizer (sampling
++ iterative halving) takes the lion's share, all other modules finish in a
+small remainder; queries touching lineitem (the dominant table) cost most;
+extraction time stays within a small factor of native query time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.bench.harness import measure_hidden_query, render_breakdown_table
+from repro.core import ExtractionConfig
+from repro.workloads import tpch_queries
+
+_MEASUREMENTS = {}
+
+
+@pytest.mark.parametrize("name", tpch_queries.names())
+def test_figure09_extraction(benchmark, tpch_bench_db, name):
+    query = tpch_queries.QUERIES[name]
+
+    measurement = run_once(
+        benchmark,
+        lambda: measure_hidden_query(
+            tpch_bench_db, query.sql, name, ExtractionConfig(run_checker=False)
+        ),
+    )
+    _MEASUREMENTS[name] = measurement
+    benchmark.extra_info["invocations"] = measurement.invocations
+    benchmark.extra_info["minimizer_share"] = round(
+        (measurement.sampler_seconds + measurement.minimizer_seconds)
+        / measurement.total_seconds,
+        3,
+    )
+
+
+def test_figure09_report(benchmark):
+    def render():
+        ordered = [_MEASUREMENTS[n] for n in tpch_queries.names() if n in _MEASUREMENTS]
+        return render_breakdown_table(
+            "Figure 9 — TPC-H hidden query extraction time (module breakdown)",
+            ordered,
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("figure09_tpch", table)
+
+    # Paper-shape assertions:
+    ordered = [_MEASUREMENTS[n] for n in tpch_queries.names() if n in _MEASUREMENTS]
+    lineitem_avg = _mean(
+        m.total_seconds
+        for m in ordered
+        if "lineitem" in tpch_queries.QUERIES[m.name].tables
+    )
+    other_avg = _mean(
+        m.total_seconds
+        for m in ordered
+        if "lineitem" not in tpch_queries.QUERIES[m.name].tables
+    )
+    assert lineitem_avg > other_avg  # the lineitem effect
+    # invocation counts stay "a few hundred"
+    assert all(m.invocations < 1500 for m in ordered)
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values)

@@ -1,0 +1,45 @@
+"""§7 — HAVING-clause extraction through the restructured pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.apps import SQLExecutable
+from repro.bench.harness import measure_extraction, render_series
+from repro.core import ExtractionConfig
+from repro.workloads import having_queries
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name", having_queries.names())
+def test_having_extraction(benchmark, tpch_bench_db, name):
+    query = having_queries.QUERIES[name]
+    app = SQLExecutable(query.sql, name=name)
+    measurement = run_once(
+        benchmark,
+        lambda: measure_extraction(
+            tpch_bench_db,
+            app,
+            name,
+            ExtractionConfig(extract_having=True, run_checker=False),
+        ),
+    )
+    extracted = measurement.outcome.query
+    having_sql = " and ".join(h.to_sql() for h in extracted.having) or "(converted to filters)"
+    _ROWS[name] = (name, having_sql, round(measurement.total_seconds, 2))
+
+
+def test_having_report(benchmark):
+    def render():
+        rows = [_ROWS[n] for n in having_queries.names() if n in _ROWS]
+        return render_series(
+            "HAVING-clause extraction (restructured §7 pipeline)",
+            ["query", "extracted HAVING", "time(s)"],
+            rows,
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("having", table)
+    assert len(_ROWS) == len(having_queries.names())

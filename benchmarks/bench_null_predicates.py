@@ -1,0 +1,58 @@
+"""NULL-predicate extension (TR reconstruction) — probe-cost benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.bench.harness import measure_hidden_query, render_series
+from repro.core import ExtractionConfig
+from repro.workloads import random_queries
+
+NULL_QUERIES = {
+    "NQ1_is_null": (
+        "select f_units, f_amount from fact where f_note is null"
+    ),
+    "NQ2_not_null": (
+        "select f_note, count(*) as n from fact "
+        "where f_note is not null group by f_note"
+    ),
+    "NQ3_mixed": (
+        "select f_note, sum(f_amount) as s from fact "
+        "where f_note is not null and f_units <= 25 group by f_note"
+    ),
+}
+
+_ROWS = {}
+
+
+@pytest.fixture(scope="module")
+def db():
+    return random_queries.build_database(facts=600, seed=6)
+
+
+@pytest.mark.parametrize("name", list(NULL_QUERIES))
+def test_null_predicate_extraction(benchmark, db, name):
+    sql = NULL_QUERIES[name]
+    measurement = run_once(
+        benchmark,
+        lambda: measure_hidden_query(
+            db, sql, name, ExtractionConfig(extract_null_predicates=True)
+        ),
+    )
+    filters = " and ".join(f.to_sql() for f in measurement.outcome.query.filters)
+    _ROWS[name] = (name, filters[:60], round(measurement.total_seconds, 2))
+
+
+def test_null_predicate_report(benchmark):
+    def render():
+        rows = [_ROWS[n] for n in NULL_QUERIES if n in _ROWS]
+        return render_series(
+            "NULL-predicate extraction (TR reconstruction, opt-in)",
+            ["query", "extracted filters", "total(s)"],
+            rows,
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("null_predicates", table)
+    assert len(_ROWS) == len(NULL_QUERIES)

@@ -1,0 +1,46 @@
+"""§6.3 RUBiS — auction-site imperative conversion (detailed in the paper's TR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.apps import rubis
+from repro.bench.harness import measure_extraction, render_series
+from repro.core import ExtractionConfig
+
+_ROWS = {}
+_NAMES = [command.name for command in rubis.registry.in_scope()]
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_rubis_command(benchmark, rubis_bench_db, name):
+    command = rubis.registry.get(name)
+    measurement = run_once(
+        benchmark,
+        lambda: measure_extraction(
+            rubis_bench_db,
+            command.executable(),
+            name,
+            ExtractionConfig(run_checker=False),
+        ),
+    )
+    _ROWS[name] = (
+        name,
+        ", ".join(command.clauses),
+        round(measurement.total_seconds, 2),
+    )
+
+
+def test_rubis_report(benchmark):
+    def render():
+        rows = [_ROWS[n] for n in _NAMES if n in _ROWS]
+        return render_series(
+            "RUBiS imperative-to-SQL conversion",
+            ["command", "extracted SQL complexity", "time(s)"],
+            rows,
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("rubis", table)
+    assert len(_ROWS) == len(_NAMES)

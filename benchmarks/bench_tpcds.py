@@ -1,0 +1,42 @@
+"""TPC-DS extraction (reported in the paper's technical report).
+
+Paper shape: the seven snowflake-topology queries extract as reliably as the
+TPC-H suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once, write_result_table
+from repro.bench.harness import measure_hidden_query, render_breakdown_table
+from repro.core import ExtractionConfig
+from repro.workloads import tpcds_queries
+
+_MEASUREMENTS = {}
+
+
+@pytest.mark.parametrize("name", tpcds_queries.names())
+def test_tpcds_extraction(benchmark, tpcds_bench_db, name):
+    query = tpcds_queries.QUERIES[name]
+    measurement = run_once(
+        benchmark,
+        lambda: measure_hidden_query(
+            tpcds_bench_db, query.sql, name, ExtractionConfig(run_checker=False)
+        ),
+    )
+    _MEASUREMENTS[name] = measurement
+
+
+def test_tpcds_report(benchmark):
+    def render():
+        ordered = [
+            _MEASUREMENTS[n] for n in tpcds_queries.names() if n in _MEASUREMENTS
+        ]
+        return render_breakdown_table(
+            "TPC-DS hidden query extraction time (TR workload)", ordered
+        )
+
+    table = run_once(benchmark, render)
+    write_result_table("tpcds", table)
+    assert len(_MEASUREMENTS) == len(tpcds_queries.names())

@@ -1,0 +1,77 @@
+"""Shared benchmark fixtures and result-table plumbing.
+
+Scales are environment-tunable so the same harness covers quick CI runs and
+larger laptop-scale sweeps:
+
+    REPRO_BENCH_SCALE   TPC-H scale factor (default 0.005)
+    REPRO_BENCH_MOVIES  IMDB movie count (default 400)
+    REPRO_BENCH_SALES   TPC-DS store_sales rows (default 6000)
+    REPRO_REGAL_BUDGET  REGAL wall-clock budget per query, seconds (default 20)
+    REPRO_EXTRA_TABLES  schema-scaling extra table count (default 1000)
+
+Each benchmark writes its paper-style table to ``benchmarks/results/`` and
+registers one pytest-benchmark measurement so ``--benchmark-only`` output
+carries the per-query timings.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.datagen import appdata, imdb, tpcds, tpch
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+BENCH_MOVIES = int(os.environ.get("REPRO_BENCH_MOVIES", "400"))
+BENCH_SALES = int(os.environ.get("REPRO_BENCH_SALES", "6000"))
+REGAL_BUDGET = float(os.environ.get("REPRO_REGAL_BUDGET", "20"))
+EXTRA_TABLES = int(os.environ.get("REPRO_EXTRA_TABLES", "1000"))
+BENCH_SEED = 7
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tpch_bench_db():
+    return tpch.build_database(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def imdb_bench_db():
+    return imdb.build_database(movies=BENCH_MOVIES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def tpcds_bench_db():
+    return tpcds.build_database(sales=BENCH_SALES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def enki_bench_db():
+    return appdata.build_enki_database(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def wilos_bench_db():
+    return appdata.build_wilos_database(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def rubis_bench_db():
+    return appdata.build_rubis_database(seed=BENCH_SEED)
+
+
+def write_result_table(name: str, content: str) -> pathlib.Path:
+    """Persist a paper-style table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Register a single-shot measurement with pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,49 @@
+"""Imperative-to-SQL conversion — the paper's Figure 12 Enki example (§2.2).
+
+A Rails-style blogging app computes "latest posts by tag" with loops and hash
+maps; UNMASQUE observes only its results and emits the equivalent declarative
+query, which the database can then optimize with indexes.
+
+    python examples/imperative_conversion.py
+"""
+
+import inspect
+
+from repro import UnmasqueExtractor
+from repro.apps import enki
+from repro.datagen import appdata
+
+
+def main() -> None:
+    db = appdata.build_enki_database(seed=7)
+    command = enki.registry.get("find_recent_by_tag")
+
+    print("The imperative code (a snippet, as in the paper's Figure 12a):")
+    source = inspect.getsource(command.fn)
+    for line in source.splitlines()[:16]:
+        print(f"  {line}")
+    print("  ...")
+
+    app = command.executable()
+    print("\nIts result on the blog database:")
+    for row in app.run(db).rows:
+        print(f"  {row}")
+
+    print("\nConverting to SQL (Figure 12b)...")
+    outcome = UnmasqueExtractor(db, app).extract()
+    print(f"\n  {outcome.sql}")
+    print(f"\nConverted in {outcome.stats.total_seconds:.2f}s — the paper reports "
+          "3 seconds for this command.")
+
+    in_scope = enki.registry.in_scope()
+    out_of_scope = enki.registry.out_of_scope()
+    print(
+        f"\n{len(in_scope)} of {len(in_scope) + len(out_of_scope)} Enki commands "
+        "are in UNMASQUE's scope (paper: 14 of 17). Out of scope:"
+    )
+    for command in out_of_scope:
+        print(f"  - {command.name}: {command.note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Database-security auditing: expose a HEX-obfuscated query (§2.1).
+
+SQL-injection tooling hides intent behind encodings ("select * from
+passwords" as a HEX string).  Rather than platform-specific log forensics, a
+DBA can run the suspicious module against a test silo and unmask what it
+actually asks the database.
+
+    python examples/security_audit.py
+"""
+
+from repro import Database, SQLExecutable, UnmasqueExtractor
+from repro.apps.obfuscation import hex_decode_sql, hex_encode_sql
+from repro.engine import Column, ForeignKey, IntegerType, TableSchema, VarcharType
+
+
+def build_app_database() -> Database:
+    db = Database(
+        [
+            TableSchema(
+                name="app_users",
+                columns=(
+                    Column("uid", IntegerType()),
+                    Column("login", VarcharType(30)),
+                    Column("role", VarcharType(20)),
+                ),
+                primary_key=("uid",),
+            ),
+            TableSchema(
+                name="credentials",
+                columns=(
+                    Column("cred_id", IntegerType()),
+                    Column("owner_uid", IntegerType()),
+                    Column("secret_hash", VarcharType(64)),
+                    Column("strength", IntegerType(lo=0, hi=10)),
+                ),
+                primary_key=("cred_id",),
+                # The declared FK matters: UNMASQUE's join extraction only
+                # considers linkages present in the schema graph (EQC (ii)).
+                foreign_keys=(ForeignKey(("owner_uid",), "app_users", ("uid",)),),
+            ),
+        ]
+    )
+    db.insert(
+        "app_users",
+        [(i, f"user{i}", "admin" if i % 7 == 0 else "member") for i in range(1, 60)],
+    )
+    db.insert(
+        "credentials",
+        [(i, (i % 59) + 1, f"hash{i:04d}", i % 11) for i in range(1, 120)],
+    )
+    return db
+
+
+#: what the "malicious module" carries — no SQL text in sight
+PAYLOAD = hex_encode_sql(
+    "select login, secret_hash from app_users, credentials "
+    "where uid = owner_uid and role = 'admin' and strength <= 3"
+)
+
+
+def main() -> None:
+    db = build_app_database()
+    print(f"Suspicious module payload (HEX): {PAYLOAD[:60]}...")
+
+    # The auditor treats the module as a black box on a test silo.
+    app = SQLExecutable(hex_decode_sql(PAYLOAD), obfuscate_text=True, name="suspect")
+    outcome = UnmasqueExtractor(db, app).extract()
+
+    print("\nUnmasked intent:")
+    print(f"  {outcome.sql}")
+    print(
+        "\nVerdict: the module exfiltrates weak admin credential hashes — "
+        "flag it.  (Extraction used "
+        f"{outcome.stats.total_invocations} sandboxed invocations.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

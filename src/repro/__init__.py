@@ -1,0 +1,63 @@
+"""repro — a reproduction of UNMASQUE (SIGMOD 2021).
+
+Hidden-query extraction: unmask the SQL query concealed inside an opaque
+database application by actively probing it with mutated and synthetically
+generated database instances.
+
+Quickstart::
+
+    from repro import Database, SQLExecutable, UnmasqueExtractor
+    from repro.datagen import tpch
+    from repro.workloads import tpch_queries
+
+    db = tpch.build_database(scale=0.01, seed=7)
+    app = SQLExecutable(tpch_queries.QUERIES["Q3"].sql, obfuscate=True)
+    extracted = UnmasqueExtractor(db, app).extract()
+    print(extracted.sql)
+"""
+
+from repro.engine import Database, Result
+from repro.errors import (
+    DatabaseError,
+    ExtractionError,
+    ReproError,
+    UndefinedTableError,
+    UnsupportedQueryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DatabaseError",
+    "ExtractionConfig",
+    "ExtractionError",
+    "ExtractionOutcome",
+    "ImperativeExecutable",
+    "Result",
+    "ReproError",
+    "SQLExecutable",
+    "UndefinedTableError",
+    "UnmasqueExtractor",
+    "UnsupportedQueryError",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "SQLExecutable": ("repro.apps.executable", "SQLExecutable"),
+    "ImperativeExecutable": ("repro.apps.imperative", "ImperativeExecutable"),
+    "UnmasqueExtractor": ("repro.core.pipeline", "UnmasqueExtractor"),
+    "ExtractionOutcome": ("repro.core.pipeline", "ExtractionOutcome"),
+    "ExtractionConfig": ("repro.core.config", "ExtractionConfig"),
+}
+
+
+def __getattr__(name):
+    # Lazy re-exports to keep `import repro` light and cycle-free.
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    return getattr(module, target[1])

@@ -1,0 +1,11 @@
+"""Black-box application layer: hidden SQL and imperative executables."""
+
+from repro.apps.executable import CallableExecutable, Executable, SQLExecutable
+from repro.apps.imperative import ImperativeExecutable
+
+__all__ = [
+    "CallableExecutable",
+    "Executable",
+    "ImperativeExecutable",
+    "SQLExecutable",
+]

@@ -1,0 +1,287 @@
+"""Enki — imperative re-implementation of the Rails blogging app (§6.3).
+
+Seventeen commands mirroring Enki's controller actions, written the way a
+Rails developer would if the ORM were taken away: row loops, hash-map joins,
+manual sorts.  Fourteen are expressible as single EQC queries (the paper's
+in-scope count); the other three demonstrate the out-of-scope boundary
+(a key-column filter, a NULL predicate, a UNION).
+
+The flagship command is :func:`find_recent_by_tag` — the paper's Figure 12
+example ("get latest posts by tag").
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.apps.imperative import index_rows
+from repro.apps.registry import CommandRegistry
+from repro.engine.database import Database
+from repro.engine.result import Result
+
+registry = CommandRegistry("enki")
+
+_CUTOFF = datetime.date(2021, 1, 1)
+
+
+@registry.add(
+    "find_recent_by_tag",
+    tables=("posts", "taggings", "tags"),
+    clauses=("Filter", "Project", "Join", "Order By", "Limit"),
+    note="paper Figure 12: 'get latest posts by tag'",
+)
+def find_recent_by_tag(db: Database) -> Result:
+    """Latest five published posts tagged 'ruby'."""
+    ruby_tags = index_rows(
+        (tag for tag in db.scan("tags") if tag["name"] == "ruby"), "id"
+    )
+    posts_by_id = index_rows(db.scan("posts"), "id")
+    matches = []
+    for tagging in db.scan("taggings"):
+        for _tag in ruby_tags.get(tagging["tag_id"], ()):
+            for post in posts_by_id.get(tagging["post_id"], ()):
+                if post["published_at"] > _CUTOFF:
+                    continue
+                matches.append(post)
+    matches.sort(key=lambda p: p["published_at"], reverse=True)
+    rows = [(p["title"], p["published_at"]) for p in matches[:5]]
+    return Result(["title", "published_at"], rows)
+
+
+@registry.add(
+    "recent_posts",
+    tables=("posts",),
+    clauses=("Filter", "Project", "Order By", "Limit"),
+)
+def recent_posts(db: Database) -> Result:
+    published = []
+    for post in db.scan("posts"):
+        if post["published_at"] <= _CUTOFF:
+            published.append(post)
+    published.sort(key=lambda p: p["published_at"], reverse=True)
+    rows = [(p["title"], p["slug"], p["published_at"]) for p in published[:5]]
+    return Result(["title", "slug", "published_at"], rows)
+
+
+@registry.add(
+    "post_by_slug",
+    tables=("posts",),
+    clauses=("Filter", "Project"),
+)
+def post_by_slug(db: Database) -> Result:
+    rows = []
+    for post in db.scan("posts"):
+        if post["slug"] == "post-number-7":
+            rows.append((post["title"], post["body"], post["published_at"]))
+    return Result(["title", "body", "published_at"], rows)
+
+
+@registry.add(
+    "comments_by_author",
+    tables=("comments",),
+    clauses=("Filter", "Project", "Order By"),
+)
+def comments_by_author(db: Database) -> Result:
+    found = []
+    for comment in db.scan("comments"):
+        if comment["author"] == "ada":
+            found.append(comment)
+    found.sort(key=lambda c: c["created_at"])
+    rows = [(c["body"], c["created_at"]) for c in found]
+    return Result(["body", "created_at"], rows)
+
+
+@registry.add(
+    "recent_comments",
+    tables=("comments",),
+    clauses=("Project", "Order By", "Limit"),
+)
+def recent_comments(db: Database) -> Result:
+    comments = list(db.scan("comments"))
+    comments.sort(key=lambda c: c["created_at"], reverse=True)
+    rows = [(c["author"], c["body"], c["created_at"]) for c in comments[:10]]
+    return Result(["author", "body", "created_at"], rows)
+
+
+@registry.add(
+    "comment_counts_per_post",
+    tables=("posts", "comments"),
+    clauses=("Project", "Join", "Group By", "Order By"),
+)
+def comment_counts_per_post(db: Database) -> Result:
+    posts_by_id = index_rows(db.scan("posts"), "id")
+    counts: dict[int, int] = {}
+    for comment in db.scan("comments"):
+        for _post in posts_by_id.get(comment["post_id"], ()):
+            counts[comment["post_id"]] = counts.get(comment["post_id"], 0) + 1
+    rows = [(post_id, n) for post_id, n in counts.items()]
+    rows.sort(key=lambda r: r[0])
+    return Result(["post_id", "comments"], rows)
+
+
+@registry.add(
+    "tag_cloud",
+    tables=("tags", "taggings"),
+    clauses=("Project", "Join", "Group By", "Order By", "Limit"),
+)
+def tag_cloud(db: Database) -> Result:
+    tags_by_id = index_rows(db.scan("tags"), "id")
+    counts: dict[str, int] = {}
+    for tagging in db.scan("taggings"):
+        for tag in tags_by_id.get(tagging["tag_id"], ()):
+            counts[tag["name"]] = counts.get(tag["name"], 0) + 1
+    rows = list(counts.items())
+    rows.sort(key=lambda r: r[0])
+    rows.sort(key=lambda r: r[1], reverse=True)
+    return Result(["name", "uses"], rows[:6])
+
+
+@registry.add(
+    "pages_index",
+    tables=("pages",),
+    clauses=("Project", "Order By"),
+)
+def pages_index(db: Database) -> Result:
+    pages = list(db.scan("pages"))
+    pages.sort(key=lambda p: p["created_at"], reverse=True)
+    rows = [(p["title"], p["slug"], p["created_at"]) for p in pages]
+    return Result(["title", "slug", "created_at"], rows)
+
+
+@registry.add(
+    "popular_posts",
+    tables=("posts",),
+    clauses=("Filter", "Project", "Order By", "Limit"),
+)
+def popular_posts(db: Database) -> Result:
+    popular = []
+    for post in db.scan("posts"):
+        if post["approved_comments_count"] >= 5:
+            popular.append(post)
+    popular.sort(key=lambda p: p["approved_comments_count"], reverse=True)
+    rows = [(p["title"], p["approved_comments_count"]) for p in popular[:10]]
+    return Result(["title", "approved_comments_count"], rows)
+
+
+@registry.add(
+    "archive_posts",
+    tables=("posts",),
+    clauses=("Filter", "Project", "Order By"),
+)
+def archive_posts(db: Database) -> Result:
+    window = []
+    for post in db.scan("posts"):
+        if datetime.date(2019, 6, 1) <= post["published_at"] <= datetime.date(2020, 6, 1):
+            window.append(post)
+    window.sort(key=lambda p: p["published_at"])
+    rows = [(p["title"], p["published_at"]) for p in window]
+    return Result(["title", "published_at"], rows)
+
+
+@registry.add(
+    "tagged_post_titles",
+    tables=("posts", "taggings", "tags"),
+    clauses=("Filter", "Project", "Join"),
+)
+def tagged_post_titles(db: Database) -> Result:
+    matching_tags = index_rows(
+        (tag for tag in db.scan("tags") if tag["name"].startswith("ru")), "id"
+    )  # like 'ru%'
+    posts_by_id = index_rows(db.scan("posts"), "id")
+    rows = []
+    for tagging in db.scan("taggings"):
+        for _tag in matching_tags.get(tagging["tag_id"], ()):
+            for post in posts_by_id.get(tagging["post_id"], ()):
+                rows.append((post["title"],))
+    return Result(["title"], rows)
+
+
+@registry.add(
+    "search_posts",
+    tables=("posts",),
+    clauses=("Filter", "Project"),
+)
+def search_posts(db: Database) -> Result:
+    rows = []
+    for post in db.scan("posts"):
+        if "lorem" in post["body"]:  # like '%lorem%'
+            rows.append((post["title"], post["slug"]))
+    return Result(["title", "slug"], rows)
+
+
+@registry.add(
+    "comment_stats",
+    tables=("comments",),
+    clauses=("Project", "Aggregation"),
+)
+def comment_stats(db: Database) -> Result:
+    count = 0
+    earliest = latest = None
+    for comment in db.scan("comments"):
+        count += 1
+        when = comment["created_at"]
+        if earliest is None or when < earliest:
+            earliest = when
+        if latest is None or when > latest:
+            latest = when
+    return Result(["total", "first_comment", "last_comment"], [(count, earliest, latest)])
+
+
+@registry.add(
+    "daily_post_counts",
+    tables=("posts",),
+    clauses=("Project", "Group By", "Order By"),
+)
+def daily_post_counts(db: Database) -> Result:
+    counts: dict[datetime.date, int] = {}
+    for post in db.scan("posts"):
+        day = post["published_at"]
+        counts[day] = counts.get(day, 0) + 1
+    rows = sorted(counts.items())
+    return Result(["published_at", "posts"], rows)
+
+
+# --- out-of-scope commands (the 3 of 17 the paper could not extract) ----------
+
+
+@registry.add(
+    "comments_for_post",
+    tables=("comments",),
+    clauses=("Filter", "Project"),
+    in_scope=False,
+    note="filters on a key column (post_id), which EQC excludes",
+)
+def comments_for_post(db: Database) -> Result:
+    rows = []
+    for comment in db.scan("comments"):
+        if comment["post_id"] == 3:
+            rows.append((comment["author"], comment["body"]))
+    return Result(["author", "body"], rows)
+
+
+@registry.add(
+    "draft_posts",
+    tables=("posts",),
+    clauses=("Filter", "Project"),
+    in_scope=False,
+    note="NULL predicate (published_at IS NULL) is outside EQC¯H",
+)
+def draft_posts(db: Database) -> Result:
+    rows = []
+    for post in db.scan("posts"):
+        if post["published_at"] is None:
+            rows.append((post["title"],))
+    return Result(["title"], rows)
+
+
+@registry.add(
+    "posts_and_pages",
+    tables=("posts", "pages"),
+    clauses=("Project", "Union"),
+    in_scope=False,
+    note="UNION of two tables cannot be a single-block EQC query",
+)
+def posts_and_pages(db: Database) -> Result:
+    rows = [(p["title"],) for p in db.scan("posts")]
+    rows.extend((p["title"],) for p in db.scan("pages"))
+    return Result(["title"], rows)

@@ -1,0 +1,113 @@
+"""Black-box application executables.
+
+An :class:`Executable` is the ``E`` of the paper: something that can be *run*
+against a database and yields a result (or an error, or a timeout).  The
+extraction pipeline never looks inside — it only invokes :meth:`run` and
+inspects the returned :class:`~repro.engine.result.Result`.
+
+Two concrete flavours are provided here:
+
+* :class:`SQLExecutable` — a hidden SQL query, optionally stored obfuscated
+  (the "encrypted stored procedure" scenario);
+* :class:`repro.apps.imperative.ImperativeExecutable` — opaque imperative
+  code (the Enki/Wilos/RUBiS scenario).
+
+Both honour an execution *timeout budget*: the From-clause extractor runs the
+application against a mutated schema and terminates the execution after a
+short period if no error surfaces (paper §4.1).  Our in-process stand-in for
+wall-clock termination is a deterministic work-unit budget — the engine either
+raises :class:`UndefinedTableError` immediately (table referenced) or the run
+completes/times out (table not referenced), which is the exact observable
+dichotomy the algorithm needs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.apps.obfuscation import deobfuscate, obfuscate
+from repro.engine.database import Database
+from repro.engine.result import Result
+from repro.errors import ExecutableTimeoutError
+
+
+class Executable:
+    """Base class for opaque applications."""
+
+    #: human-readable label for reports
+    name: str = "app"
+
+    def __init__(self):
+        self.invocation_count = 0
+        self.total_runtime = 0.0
+
+    def run(self, db: Database, timeout: Optional[float] = None) -> Result:
+        """Execute the hidden logic against ``db`` and return its result."""
+        self.invocation_count += 1
+        started = time.perf_counter()
+        try:
+            return self._execute(db, timeout)
+        finally:
+            self.total_runtime += time.perf_counter() - started
+
+    def _execute(self, db: Database, timeout: Optional[float]) -> Result:
+        raise NotImplementedError
+
+    def reset_counters(self) -> None:
+        self.invocation_count = 0
+        self.total_runtime = 0.0
+
+
+class SQLExecutable(Executable):
+    """An application concealing a single SQL query.
+
+    With ``obfuscate=True`` the query text is stored only as an opaque blob
+    (see :mod:`repro.apps.obfuscation`); the plaintext is reconstructed
+    transiently inside :meth:`run`, mirroring encrypted stored procedures
+    whose plans and logs are blocked from inspection.
+    """
+
+    def __init__(self, sql: str, obfuscate_text: bool = True, name: str = "hidden-sql"):
+        super().__init__()
+        self.name = name
+        self._obfuscated = obfuscate_text
+        if obfuscate_text:
+            self._blob = obfuscate(sql)
+        else:
+            self._blob = sql
+
+    def _execute(self, db: Database, timeout: Optional[float]) -> Result:
+        sql = deobfuscate(self._blob) if self._obfuscated else self._blob
+        return db.execute(sql)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SQLExecutable {self.name} (obfuscated={self._obfuscated})>"
+
+
+class CallableExecutable(Executable):
+    """Wraps an arbitrary ``fn(db) -> Result`` callable as an executable."""
+
+    def __init__(self, fn: Callable[[Database], Result], name: str = "callable-app"):
+        super().__init__()
+        self._fn = fn
+        self.name = name
+
+    def _execute(self, db: Database, timeout: Optional[float]) -> Result:
+        return self._fn(db)
+
+
+def run_with_deadline(executable: Executable, db: Database, timeout: float) -> Result:
+    """Run and enforce a wall-clock deadline after the fact.
+
+    In-process execution cannot be preempted portably; instead callers treat
+    an over-deadline completion as a timeout, which is indistinguishable from
+    the paper's "terminate after a short timeout period" for our purposes.
+    """
+    started = time.perf_counter()
+    result = executable.run(db, timeout=timeout)
+    if time.perf_counter() - started > timeout:
+        raise ExecutableTimeoutError(
+            f"application {executable.name!r} exceeded {timeout:.3f}s deadline"
+        )
+    return result

@@ -1,0 +1,109 @@
+"""Imperative black-box applications (implicit opacity, §2.2).
+
+An :class:`ImperativeExecutable` wraps a Python function that computes its
+answer the hard way — row loops, manual joins, dict-based grouping, explicit
+sorting — touching the database exclusively through the cursor-style
+:meth:`Database.scan` API.  The extractor treats it exactly like a SQL
+application: run, observe the result.
+
+The module also provides small building blocks (:func:`hash_join_rows`,
+:func:`group_rows`, :func:`sorted_rows`) so the Enki/Wilos/RUBiS
+re-implementations read like typical hand-rolled application code rather than
+a query engine in disguise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.apps.executable import Executable
+from repro.engine.database import Database
+from repro.engine.result import Result
+
+
+class ImperativeExecutable(Executable):
+    """Opaque imperative logic: ``fn(db) -> Result``.
+
+    ``fn`` must produce a deterministic result for a given database state, and
+    must be expressible as a single EQC query for extraction to succeed — the
+    same in-scope requirement the paper imposes (14/17 Enki commands,
+    22/33 Wilos functions).
+    """
+
+    def __init__(self, fn: Callable[[Database], Result], name: str = "imperative-app"):
+        super().__init__()
+        self._fn = fn
+        self.name = name
+
+    def _execute(self, db: Database, timeout: Optional[float]) -> Result:
+        return self._fn(db)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ImperativeExecutable {self.name}>"
+
+
+# --- helpers used by the application re-implementations ---------------------
+
+
+def index_rows(rows: Iterable[dict], key: str) -> dict:
+    """Hash-index dict-rows by a field, keeping ALL rows per key.
+
+    Imperative application code must use multi-valued indexes (not plain
+    ``{key: row}`` dicts) to stay equivalent to a SQL equi-join: a unique-key
+    dict silently collapses duplicate keys, which diverges from the join on
+    constraint-free databases — exactly the databases an extractor probes
+    with.
+    """
+    index: dict = {}
+    for row in rows:
+        value = row.get(key)
+        if value is None:
+            continue
+        index.setdefault(value, []).append(row)
+    return index
+
+
+def hash_join_rows(
+    left: Iterable[dict],
+    right: Iterable[dict],
+    left_key: str,
+    right_key: str,
+) -> list[dict]:
+    """Join two dict-row streams on equality of the named fields.
+
+    Matches only non-NULL keys, like SQL equi-joins.  Field-name collisions
+    are resolved in favour of the left row (callers pick disjoint names).
+    """
+    index: dict = {}
+    for row in right:
+        key = row.get(right_key)
+        if key is None:
+            continue
+        index.setdefault(key, []).append(row)
+    joined = []
+    for row in left:
+        key = row.get(left_key)
+        if key is None:
+            continue
+        for match in index.get(key, ()):
+            merged = dict(match)
+            merged.update(row)
+            joined.append(merged)
+    return joined
+
+
+def group_rows(rows: Iterable[dict], keys: Sequence[str]) -> dict[tuple, list[dict]]:
+    """Group dict-rows by a tuple of field values, preserving encounter order."""
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        group_key = tuple(row[k] for k in keys)
+        groups.setdefault(group_key, []).append(row)
+    return groups
+
+
+def sorted_rows(rows: list[tuple], spec: Sequence[tuple[int, bool]]) -> list[tuple]:
+    """Sort result tuples by (column index, descending) specs, stably."""
+    ordered = list(rows)
+    for index, descending in reversed(list(spec)):
+        ordered.sort(key=lambda row: row[index], reverse=descending)
+    return ordered

@@ -1,0 +1,49 @@
+"""Query-text obfuscation.
+
+Mirrors the "explicit opacity" scenarios of §2.1: the application carries its
+SQL only in an encrypted/encoded form, so no string-extraction tool (nor a
+grep over this repository's object state) can reveal it.  A keyed XOR stream
+with hex encoding is deliberately simple — the point is opacity of the stored
+artifact, not cryptographic strength; UNMASQUE never decodes it, it only ever
+observes results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+_DEFAULT_KEY = b"unmasque-repro"
+
+
+def _keystream(key: bytes):
+    """An infinite byte stream derived from repeated hashing of the key."""
+    block = key
+    while True:
+        block = hashlib.sha256(block).digest()
+        yield from block
+
+
+def obfuscate(text: str, key: bytes = _DEFAULT_KEY) -> str:
+    """Encode ``text`` into an opaque hex blob."""
+    data = text.encode("utf-8")
+    stream = _keystream(key)
+    masked = bytes(b ^ k for b, k in zip(data, stream))
+    return masked.hex()
+
+
+def deobfuscate(blob: str, key: bytes = _DEFAULT_KEY) -> str:
+    """Decode a blob produced by :func:`obfuscate`."""
+    masked = bytes.fromhex(blob)
+    stream = _keystream(key)
+    data = bytes(b ^ k for b, k in zip(masked, stream))
+    return data.decode("utf-8")
+
+
+def hex_encode_sql(text: str) -> str:
+    """Plain HEX encoding, as used by SQL-injection payloads (§2.1)."""
+    return text.encode("utf-8").hex()
+
+
+def hex_decode_sql(blob: str) -> str:
+    return bytes.fromhex(blob).decode("utf-8")

@@ -1,0 +1,67 @@
+"""Registry model for imperative application commands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.imperative import ImperativeExecutable
+from repro.engine.database import Database
+from repro.engine.result import Result
+
+
+@dataclass(frozen=True)
+class AppCommand:
+    """One application command: opaque imperative logic plus test metadata.
+
+    ``tables`` and ``clauses`` are ground truth used only by tests and
+    benchmark reports — the extractor never sees them.
+    """
+
+    name: str
+    fn: Callable[[Database], Result]
+    tables: tuple[str, ...]
+    clauses: tuple[str, ...]
+    in_scope: bool = True
+    note: str = ""
+
+    def executable(self) -> ImperativeExecutable:
+        return ImperativeExecutable(self.fn, name=self.name)
+
+
+class CommandRegistry:
+    """Collects an application's commands and their scope partition."""
+
+    def __init__(self, app_name: str):
+        self.app_name = app_name
+        self.commands: dict[str, AppCommand] = {}
+
+    def add(
+        self,
+        name: str,
+        tables: tuple[str, ...],
+        clauses: tuple[str, ...],
+        in_scope: bool = True,
+        note: str = "",
+    ):
+        def decorator(fn):
+            self.commands[name] = AppCommand(
+                name=name,
+                fn=fn,
+                tables=tables,
+                clauses=clauses,
+                in_scope=in_scope,
+                note=note,
+            )
+            return fn
+
+        return decorator
+
+    def in_scope(self) -> list[AppCommand]:
+        return [c for c in self.commands.values() if c.in_scope]
+
+    def out_of_scope(self) -> list[AppCommand]:
+        return [c for c in self.commands.values() if not c.in_scope]
+
+    def get(self, name: str) -> AppCommand:
+        return self.commands[name]

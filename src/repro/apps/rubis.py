@@ -1,0 +1,150 @@
+"""RUBiS — imperative re-implementation of the auction-site benchmark (§6.3).
+
+Eight browse/report interactions in DAO style (full details of the paper's
+RUBiS experiment live in its technical report; these commands cover the same
+interaction classes: category browsing, bid leaderboards, regional user
+statistics, and item activity windows).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.apps.imperative import index_rows
+from repro.apps.registry import CommandRegistry
+from repro.engine.database import Database
+from repro.engine.result import Result
+
+registry = CommandRegistry("rubis")
+
+
+@registry.add(
+    "items_in_category",
+    tables=("items", "categories"),
+    clauses=("Filter", "Project", "Join", "Order By", "Limit"),
+)
+def items_in_category(db: Database) -> Result:
+    book_categories = index_rows(
+        (c for c in db.scan("categories") if c["name"] == "Books"), "id"
+    )
+    found = []
+    for item in db.scan("items"):
+        for _category in book_categories.get(item["category_id"], ()):
+            found.append(item)
+    found.sort(key=lambda i: i["initial_price"], reverse=True)
+    rows = [(i["name"], i["initial_price"]) for i in found[:10]]
+    return Result(["name", "initial_price"], rows)
+
+
+@registry.add(
+    "top_bids_per_item",
+    tables=("bids", "items"),
+    clauses=("Project", "Join", "Group By", "Order By", "Limit"),
+)
+def top_bids_per_item(db: Database) -> Result:
+    items_by_id = index_rows(db.scan("items"), "id")
+    best: dict[str, float] = {}
+    for bid in db.scan("bids"):
+        for item in items_by_id.get(bid["item_id"], ()):
+            name = item["name"]
+            if name not in best or bid["bid"] > best[name]:
+                best[name] = bid["bid"]
+    rows = list(best.items())
+    rows.sort(key=lambda r: r[0])
+    rows.sort(key=lambda r: r[1], reverse=True)
+    return Result(["name", "max_bid"], rows[:10])
+
+
+@registry.add(
+    "users_by_region",
+    tables=("users", "regions"),
+    clauses=("Filter", "Project", "Join", "Order By", "Limit"),
+)
+def users_by_region(db: Database) -> Result:
+    east = index_rows(
+        (r for r in db.scan("regions") if r["name"] == "East"), "id"
+    )
+    found = [
+        u
+        for u in db.scan("users")
+        for _region in east.get(u["region_id"], ())
+    ]
+    found.sort(key=lambda u: u["rating"], reverse=True)
+    rows = [(u["nickname"], u["rating"]) for u in found[:10]]
+    return Result(["nickname", "rating"], rows)
+
+
+@registry.add(
+    "active_items",
+    tables=("items",),
+    clauses=("Filter", "Project", "Order By"),
+)
+def active_items(db: Database) -> Result:
+    cutoff = datetime.date(2020, 7, 1)
+    active = [i for i in db.scan("items") if i["end_date"] >= cutoff]
+    active.sort(key=lambda i: i["end_date"])
+    rows = [(i["name"], i["end_date"]) for i in active]
+    return Result(["name", "end_date"], rows)
+
+
+@registry.add(
+    "bid_statistics",
+    tables=("bids",),
+    clauses=("Filter", "Project", "Aggregation"),
+)
+def bid_statistics(db: Database) -> Result:
+    count = 0
+    total = 0.0
+    biggest = None
+    for bid in db.scan("bids"):
+        if bid["qty"] > 3:
+            continue
+        count += 1
+        total += bid["bid"]
+        if biggest is None or bid["bid"] > biggest:
+            biggest = bid["bid"]
+    average = total / count if count else None
+    return Result(["bids", "avg_bid", "max_bid"], [(count, average, biggest)])
+
+
+@registry.add(
+    "seller_item_counts",
+    tables=("items", "users"),
+    clauses=("Project", "Join", "Group By", "Order By", "Limit"),
+)
+def seller_item_counts(db: Database) -> Result:
+    users_by_id = index_rows(db.scan("users"), "id")
+    counts: dict[str, int] = {}
+    for item in db.scan("items"):
+        for user in users_by_id.get(item["seller_id"], ()):
+            counts[user["nickname"]] = counts.get(user["nickname"], 0) + 1
+    rows = list(counts.items())
+    rows.sort(key=lambda r: r[0])
+    rows.sort(key=lambda r: r[1], reverse=True)
+    return Result(["nickname", "items_for_sale"], rows[:10])
+
+
+@registry.add(
+    "region_user_counts",
+    tables=("users", "regions"),
+    clauses=("Project", "Join", "Group By"),
+)
+def region_user_counts(db: Database) -> Result:
+    regions_by_id = index_rows(db.scan("regions"), "id")
+    counts: dict[str, int] = {}
+    for user in db.scan("users"):
+        for region in regions_by_id.get(user["region_id"], ()):
+            counts[region["name"]] = counts.get(region["name"], 0) + 1
+    return Result(["name", "users"], list(counts.items()))
+
+
+@registry.add(
+    "high_value_bids",
+    tables=("bids",),
+    clauses=("Filter", "Project", "Order By"),
+)
+def high_value_bids(db: Database) -> Result:
+    big = [b for b in db.scan("bids") if b["bid"] >= 500.0]
+    big.sort(key=lambda b: b["bid"], reverse=True)
+    rows = [(b["bid"], b["qty"], b["bid_date"]) for b in big]
+    return Result(["bid", "qty", "bid_date"], rows)

@@ -1,0 +1,1 @@
+"""Benchmark harness: timing, module breakdowns, paper-style reporting."""

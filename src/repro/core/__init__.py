@@ -1,0 +1,7 @@
+"""UNMASQUE: the hidden-query extraction pipeline."""
+
+from repro.core.config import ExtractionConfig
+from repro.core.model import ExtractedQuery
+from repro.core.pipeline import UnmasqueExtractor
+
+__all__ = ["ExtractedQuery", "ExtractionConfig", "UnmasqueExtractor"]

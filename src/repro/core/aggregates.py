@@ -1,0 +1,407 @@
+"""Aggregation identification (paper §5.2).
+
+For each output column ``O = agg(f_o(A_1..A_n))`` a database is generated so
+that the SPJ core's invisible intermediate result holds ``k+1`` rows with
+``f_o = o_1`` in ``k`` of them and ``f_o = o_2`` in one, all inside a single
+group.  ``k`` is chosen so the five candidate aggregates give pairwise
+distinct values:
+
+    min = min(o1,o2)   max = max(o1,o2)   sum = k*o1 + o2
+    avg = sum/(k+1)    count = k+1
+
+(the paper derives a closed-form forbidden set — Equation 2 — for the same
+property; we select the smallest ``k`` by direct distinctness checking, which
+is equivalent and also covers the float-precision corner cases).
+
+Special cases:
+
+* dependencies all inside ``G_E`` — the function is constant per group, so
+  min/max/avg and a plain projection coincide; identity projections of group
+  columns stay native (Figure 1(b)'s canonical form) and other group-only
+  functions canonicalise to ``min()``, while sum/count remain detectable;
+* unmapped outputs (no dependencies) — a duplicate-row probe separates
+  ``count(*)`` from a constant projection.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.dgen import DgenBuilder
+from repro.core.model import OutputColumn, ScalarFunction
+from repro.core.session import ExtractionSession
+from repro.core.svalues import SValueError, SValueSource
+from repro.errors import ExtractionError, UnsupportedQueryError
+from repro.sgraph.schema_graph import ColumnNode
+
+_MAX_K = 24
+
+
+def _close(a, b) -> bool:
+    """Value equality tolerant of float accumulation error."""
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+def _distinct(values) -> bool:
+    """True when the candidate aggregate outcomes are pairwise separable."""
+    items = list(values)
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            if _close(a, b):
+                return False
+            # Require a safety margin so engine-side float rounding cannot
+            # blur two expectations into each other.
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                if abs(a - b) < 1e-6:
+                    return False
+    return True
+
+
+def extract_aggregations(session: ExtractionSession, svalues: SValueSource) -> list[OutputColumn]:
+    """Refine ``P̃_E`` into native projections ``P_E`` plus aggregates ``A_E``."""
+    with session.module("aggregations"):
+        builder = DgenBuilder(session, svalues)
+        refined: list[OutputColumn] = []
+        for output in session.query.outputs:
+            refined.append(_refine_output(session, svalues, builder, output))
+        session.query.outputs = refined
+        return refined
+
+
+def _group_members(session: ExtractionSession) -> set[ColumnNode]:
+    """Columns equivalent to some grouping column (clique closure)."""
+    members: set[ColumnNode] = set()
+    for column in session.query.group_by:
+        members.add(column)
+        clique = session.query.clique_of(column)
+        if clique is not None:
+            members.update(clique.columns)
+    return members
+
+
+def _refine_output(
+    session: ExtractionSession,
+    svalues: SValueSource,
+    builder: DgenBuilder,
+    output: OutputColumn,
+) -> OutputColumn:
+    if output.function is None:
+        return _resolve_unmapped(session, builder, output)
+
+    if not session.query.is_aggregated:
+        return output  # pure SPJ: all outputs are native projections
+
+    group_members = _group_members(session)
+    deps = output.function.deps
+    free_deps = [d for d in deps if d not in group_members]
+
+    if not free_deps:
+        return _refine_group_only(session, svalues, builder, output)
+
+    return _refine_with_free_dep(session, svalues, builder, output, free_deps[0])
+
+
+# --- unmapped outputs: count(*) vs constant ---------------------------------
+
+
+def _resolve_unmapped(
+    session: ExtractionSession, builder: DgenBuilder, output: OutputColumn
+) -> OutputColumn:
+    """Duplicate one table's D^1 row; count(*) tracks cardinality, constants don't."""
+    baseline_value = session.baseline_result.first_row()[output.position]
+    table = session.query.tables[0]
+    rows = {name: [row] for name, row in session.d1.items()}
+    rows[table] = [session.d1[table]] * 3
+    result = session.run_on(rows)
+
+    if result.row_count > 1:
+        # No aggregation consolidated the duplicates: a constant projection.
+        return OutputColumn(
+            name=output.name,
+            position=output.position,
+            function=ScalarFunction.constant(baseline_value),
+        )
+    value = result.first_row()[output.position]
+    if value == baseline_value:
+        return OutputColumn(
+            name=output.name,
+            position=output.position,
+            function=ScalarFunction.constant(baseline_value),
+        )
+    if _close(value, 3 * baseline_value) and baseline_value == session.probe_multiplier:
+        return OutputColumn(
+            name=output.name,
+            position=output.position,
+            function=None,
+            aggregate="count",
+            count_star=True,
+        )
+    if _close(value, 3 * baseline_value):
+        # sum over an equality-pinned column: canonicalise as value * count(*)
+        # is out of scope; report precisely instead of mis-extracting.
+        raise UnsupportedQueryError(
+            f"output {output.name!r} scales with cardinality but is not count(*)"
+        )
+    raise UnsupportedQueryError(
+        f"cannot resolve unmapped output {output.name!r} (value {baseline_value!r})"
+    )
+
+
+# --- group-only functions ----------------------------------------------------
+
+
+def _refine_group_only(
+    session: ExtractionSession,
+    svalues: SValueSource,
+    builder: DgenBuilder,
+    output: OutputColumn,
+) -> OutputColumn:
+    """Dependencies all in G_E: distinguish {plain,min,max,avg} / sum / count.
+
+    Within one group the function is constant (``o1 = o2 = c``), so only
+    {plain ≡ min ≡ max ≡ avg}, sum = (k+1)·c and count = k+1 are separable —
+    the paper's degenerate forbidden set ``k ∉ {0, c-1}``.  The probe chooses
+    its own group value ``c`` (not D^1's, which may be a degenerate 0 or 1)
+    by overriding the dependency columns with alternative s-values.
+    """
+    baseline_value = session.baseline_result.first_row()[output.position]
+    if not isinstance(baseline_value, (int, float)):
+        return output  # textual/temporal: group-only aggregates coincide; native
+
+    choice = _group_only_probe_values(session, svalues, output)
+    if choice is None:
+        raise ExtractionError(
+            f"could not choose a disambiguating (k, c) for group-only output "
+            f"{output.name!r}"
+        )
+    k, c, assignment = choice
+
+    table = output.function.deps[0].table if output.function.deps else session.query.tables[0]
+    row_counts = {table: k + 1}
+    overrides: dict[ColumnNode, list] = {}
+    for column, value in assignment.items():
+        count = row_counts.get(column.table, 1)
+        overrides[column] = [value] * count
+    result = session.run_on(builder.build(row_counts, overrides))
+    if result.row_count != 1:
+        raise ExtractionError(
+            f"group-only probe for {output.name!r} produced {result.row_count} rows"
+        )
+    value = result.first_row()[output.position]
+    if _close(value, c):
+        if output.function.is_identity:
+            return output  # native projection of a grouping column
+        return OutputColumn(
+            name=output.name,
+            position=output.position,
+            function=output.function,
+            aggregate="min",  # canonical among min/max/avg (paper §5.2)
+        )
+    if _close(value, (k + 1) * c):
+        return OutputColumn(
+            name=output.name,
+            position=output.position,
+            function=output.function,
+            aggregate="sum",
+        )
+    if _close(value, (k + 1) * session.probe_multiplier):
+        return OutputColumn(
+            name=output.name,
+            position=output.position,
+            function=None,
+            aggregate="count",
+            count_star=True,
+        )
+    raise UnsupportedQueryError(
+        f"output {output.name!r}: unrecognised group-only aggregate "
+        f"(probe value {value!r})"
+    )
+
+
+def _group_only_probe_values(
+    session: ExtractionSession, svalues: SValueSource, output: OutputColumn
+):
+    """Pick dependency values and k so {c, (k+1)c, k+1} are pairwise distinct.
+
+    The dependency columns are group columns (or their clique-mates); the
+    clique members must share the chosen value, which the caller arranges by
+    assigning every dependency column explicitly.
+    """
+    deps = output.function.deps
+    pools = []
+    for dep in deps:
+        try:
+            pools.append(svalues.distinct(dep, min(6, svalues.capacity(dep))))
+        except SValueError:
+            pools.append([svalues.value(dep)])
+
+    def assignments():
+        if not deps:
+            yield {}
+            return
+        # march value combinations diagonally to vary c quickly
+        max_len = max(len(pool) for pool in pools)
+        for i in range(max_len):
+            yield {
+                dep: pool[min(i, len(pool) - 1)] for dep, pool in zip(deps, pools)
+            }
+
+    for assignment in assignments():
+        full_assignment = dict(assignment)
+        # clique-mates of each dep must mirror its value
+        for dep, value in assignment.items():
+            clique = session.query.clique_of(dep)
+            if clique is not None:
+                for member in clique.columns:
+                    full_assignment[member] = value
+        c = output.function.evaluate(assignment) if deps else output.function.evaluate({})
+        if not isinstance(c, (int, float)):
+            continue
+        for k in range(1, _MAX_K):
+            if _distinct((c, (k + 1) * c, k + 1)):
+                return k, c, full_assignment
+    return None
+
+
+# --- general case --------------------------------------------------------------
+
+
+def _refine_with_free_dep(
+    session: ExtractionSession,
+    svalues: SValueSource,
+    builder: DgenBuilder,
+    output: OutputColumn,
+    free_dep: ColumnNode,
+) -> OutputColumn:
+    function = output.function
+    values = _argument_values(session, svalues, function, free_dep)
+    if values is None:
+        raise UnsupportedQueryError(
+            f"could not find argument pairs with distinct outputs for "
+            f"{output.name!r}"
+        )
+    si, si_prime, fixed = values
+    o1 = function.evaluate({**fixed, free_dep: si})
+    o2 = function.evaluate({**fixed, free_dep: si_prime})
+
+    numeric = isinstance(o1, (int, float)) and isinstance(o2, (int, float))
+    k = _choose_k(o1, o2) if numeric else 1
+    rows = _aggregate_dgen(session, builder, free_dep, si, si_prime, fixed, k)
+    result = session.run_on(rows)
+    if result.row_count != 1:
+        raise ExtractionError(
+            f"aggregation probe for {output.name!r} produced {result.row_count} rows"
+        )
+    value = result.first_row()[output.position]
+
+    if numeric:
+        expectations = {
+            "min": min(o1, o2),
+            "max": max(o1, o2),
+            "sum": k * o1 + o2,
+            "avg": (k * o1 + o2) / (k + 1),
+            "count": (k + 1) * session.probe_multiplier,
+        }
+    else:
+        # Textual/temporal arguments admit only order-based aggregates (and
+        # count, whose output would have been unmapped anyway).
+        expectations = {
+            "min": min(o1, o2),
+            "max": max(o1, o2),
+            "count": (k + 1) * session.probe_multiplier,
+        }
+    for name, expected in expectations.items():
+        if _close(value, expected):
+            if name == "count":
+                return OutputColumn(
+                    name=output.name,
+                    position=output.position,
+                    function=None,
+                    aggregate="count",
+                    count_star=True,
+                )
+            return OutputColumn(
+                name=output.name,
+                position=output.position,
+                function=function,
+                aggregate=name,
+            )
+    raise UnsupportedQueryError(
+        f"output {output.name!r}: probe value {value!r} matches no basic aggregate "
+        f"(expected one of {expectations})"
+    )
+
+
+def _argument_values(
+    session: ExtractionSession,
+    svalues: SValueSource,
+    function: ScalarFunction,
+    free_dep: ColumnNode,
+):
+    """Pick (s_i, s_i', fixed others) with o1 != o2 and o1 != 0."""
+    fixed: dict[ColumnNode, object] = {}
+    for dep in function.deps:
+        if dep == free_dep:
+            continue
+        fixed[dep] = svalues.value(dep)
+    try:
+        candidates = svalues.distinct(free_dep, min(8, svalues.capacity(free_dep)))
+    except SValueError:
+        return None
+    for i, si in enumerate(candidates):
+        o1 = function.evaluate({**fixed, free_dep: si})
+        if _close(o1, 0):
+            continue
+        for si_prime in candidates[i + 1 :]:
+            o2 = function.evaluate({**fixed, free_dep: si_prime})
+            if not _close(o1, o2):
+                return si, si_prime, fixed
+    return None
+
+
+def _choose_k(o1, o2) -> int:
+    """Smallest k making the five candidate aggregate values pairwise distinct."""
+    for k in range(1, _MAX_K):
+        values = (
+            min(o1, o2),
+            max(o1, o2),
+            k * o1 + o2,
+            (k * o1 + o2) / (k + 1),
+            k + 1,
+        )
+        if _distinct(values):
+            return k
+    raise ExtractionError(f"no disambiguating k for o1={o1!r}, o2={o2!r}")
+
+
+def _aggregate_dgen(
+    session: ExtractionSession,
+    builder: DgenBuilder,
+    free_dep: ColumnNode,
+    si,
+    si_prime,
+    fixed: dict[ColumnNode, object],
+    k: int,
+) -> dict[str, list[tuple]]:
+    """k+1 intermediate rows: f_o = o1 in k rows, o2 in the last (§5.2)."""
+    table = free_dep.table
+    row_counts = {table: k + 1}
+    overrides: dict[ColumnNode, list] = {free_dep: [si] * k + [si_prime]}
+
+    clique = session.query.clique_of(free_dep)
+    if clique is not None:
+        # Case 2 analogue: clique-mates mirror (s_i, s_i') across their tables.
+        for other_table, member in builder.connected_tables(free_dep).items():
+            row_counts[other_table] = 2
+            overrides[member] = [si, si_prime]
+        for member in clique.sorted_columns():
+            if member != free_dep and member.table == table:
+                overrides[member] = [si] * k + [si_prime]
+
+    for dep, value in fixed.items():
+        count = row_counts.get(dep.table, 1)
+        overrides[dep] = [value] * count
+
+    return builder.build(row_counts, overrides)

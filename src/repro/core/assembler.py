@@ -1,0 +1,42 @@
+"""Assembler: render an :class:`ExtractedQuery` as canonical SQL (paper §3.2).
+
+The output parses and executes on the engine, so the checker can run the
+extracted query side-by-side with the hidden application.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import ExtractedQuery
+
+
+def assemble_sql(query: ExtractedQuery) -> str:
+    """Render the canonical SQL text of the extraction."""
+    select_list = ", ".join(
+        output.select_sql() for output in sorted(query.outputs, key=lambda o: o.position)
+    )
+    parts = [f"select {select_list}"]
+    parts.append("from " + ", ".join(sorted(query.tables)))
+
+    where_terms: list[str] = []
+    for clique in query.join_cliques:
+        where_terms.extend(clique.predicates())
+    for predicate in query.filters:
+        where_terms.append(predicate.to_sql())
+    if where_terms:
+        parts.append("where " + " and ".join(where_terms))
+
+    if query.group_by:
+        parts.append(
+            "group by " + ", ".join(f"{c.table}.{c.column}" for c in query.group_by)
+        )
+
+    if query.having:
+        parts.append("having " + " and ".join(h.to_sql() for h in query.having))
+
+    if query.order_by:
+        parts.append("order by " + ", ".join(o.to_sql() for o in query.order_by))
+
+    if query.limit is not None:
+        parts.append(f"limit {query.limit}")
+
+    return " ".join(parts)

@@ -1,0 +1,90 @@
+"""Synthetic database construction (the ``D_gen`` of the Generation Pipeline).
+
+All generation-pipeline modules (group by, aggregation, order by, limit) share
+this builder: it materializes per-table row sets where
+
+* join-clique columns default to the constant ``1`` in every row (keeping the
+  SPJ core's joins satisfied — keys carry no filters in EQC);
+* filtered columns default to a fixed s-value;
+* everything else defaults to a fixed s-value;
+* callers override any column with an explicit per-row value list, which is
+  how the calibrated "invisible intermediate results" of §5 are arranged.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import ExtractionSession
+from repro.core.svalues import SValueSource
+from repro.sgraph.schema_graph import ColumnNode
+
+
+class DgenBuilder:
+    """Builds transient database states for generation-pipeline probes."""
+
+    def __init__(self, session: ExtractionSession, svalues: SValueSource):
+        self._session = session
+        self._svalues = svalues
+
+    def clique_columns(self) -> set[ColumnNode]:
+        columns: set[ColumnNode] = set()
+        for clique in self._session.query.join_cliques:
+            columns.update(clique.columns)
+        return columns
+
+    def default_value(self, column: ColumnNode):
+        if column in self.clique_columns():
+            return 1
+        return self._svalues.value(column)
+
+    def build(
+        self,
+        row_counts: dict[str, int],
+        overrides: dict[ColumnNode, list] | None = None,
+    ) -> dict[str, list[tuple]]:
+        """Materialize rows for every query table.
+
+        ``row_counts`` maps table name → row count (tables omitted default to
+        one row).  ``overrides`` maps a column to its explicit per-row values;
+        the list length must equal the table's row count.
+        """
+        overrides = overrides or {}
+        rows_by_table: dict[str, list[tuple]] = {}
+        for table in self._session.query.tables:
+            count = row_counts.get(table, 1)
+            schema = self._session.silo.schema(table)
+            columns = [ColumnNode(table, col.name.lower()) for col in schema.columns]
+            per_column: list[list] = []
+            for column in columns:
+                if column in overrides:
+                    values = list(overrides[column])
+                    if len(values) != count:
+                        raise ValueError(
+                            f"override for {column} has {len(values)} values, "
+                            f"table {table} has {count} rows"
+                        )
+                else:
+                    values = [self.default_value(column)] * count
+                per_column.append(values)
+            rows_by_table[table] = [
+                tuple(per_column[c][r] for c in range(len(columns)))
+                for r in range(count)
+            ]
+        return rows_by_table
+
+    def connected_tables(self, column: ColumnNode) -> dict[str, ColumnNode]:
+        """Tables holding a clique-mate of ``column`` (Case 2 of §5.1).
+
+        Returns ``{table: clique column in that table}`` for every *other*
+        table reachable from ``column`` through its join clique.
+        """
+        clique = self._session.query.clique_of(column)
+        if clique is None:
+            return {}
+        connected: dict[str, ColumnNode] = {}
+        for member in clique.sorted_columns():
+            if member.table != column.table and member.table not in connected:
+                connected[member.table] = member
+        return connected
+
+    def run(self, rows_by_table: dict[str, list[tuple]]):
+        return self._session.run_on(rows_by_table)

@@ -1,0 +1,389 @@
+"""Filter predicate extraction (paper §4.4).
+
+Every non-key column of the query tables is probed on the single-row database
+``D^1``:
+
+* **Numeric / date columns** — mutate the column to its domain extremes; the
+  populated/empty pattern of the two results selects one of the four cases of
+  Table 2, and binary searches recover the precise bounds.  Dates are probed
+  on the day axis; fixed-precision decimals on an integer axis scaled by
+  ``10^scale`` (equivalent to the paper's two-phase integral+fractional
+  search, folded into one).
+* **Textual columns** — an empty-string and a single-character probe decide
+  existence; the Minimal Qualifying String is recovered by per-character
+  replacement; wildcard gaps (runs of non-intrinsic characters, including the
+  string boundaries) are sized by deletion/insertion probes that distinguish
+  ``_`` (exact length) from ``%`` (variable length) — the reconstruction of
+  the technical-report algorithm documented in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.model import Filter, NumericFilter, TextFilter
+from repro.core.session import ExtractionSession
+from repro.engine.types import (
+    DateType,
+    NumericType,
+    VarcharType,
+)
+from repro.errors import ExtractionError, UnsupportedQueryError
+from repro.sgraph.schema_graph import ColumnNode
+
+_FILLER_ALPHABET = "zqjxkw"
+
+
+def extract_filters(session: ExtractionSession) -> list[Filter]:
+    """Identify ``F_E`` and record it on the session's query."""
+    with session.module("filters"):
+        filters: list[Filter] = []
+        for table in session.query.tables:
+            for column in session.nonkey_columns(table):
+                predicate = _check_column(session, column)
+                if predicate is not None:
+                    filters.append(predicate)
+        session.query.filters = filters
+        return filters
+
+
+def _check_column(session: ExtractionSession, column: ColumnNode) -> Filter | None:
+    col_type = session.column_type(column)
+    if session.config.extract_null_predicates:
+        return _check_with_null_probes(session, column, col_type)
+    return _check_valued(session, column, col_type)
+
+
+def _check_valued(session: ExtractionSession, column: ColumnNode, col_type) -> Filter | None:
+    if col_type.is_numeric or col_type.is_temporal:
+        return _check_numeric(session, column)
+    if col_type.is_textual:
+        return _check_textual(session, column)
+    raise ExtractionError(f"unsupported column type for {column}: {col_type.name}")
+
+
+def _check_with_null_probes(
+    session: ExtractionSession, column: ColumnNode, col_type
+) -> Filter | None:
+    """NULL-aware filter detection (technical-report reconstruction).
+
+    A NULL probe (set the ``D^1`` value to NULL) is combined with the
+    standard valued probes:
+
+    * anchor value is NULL → only ``IS NULL`` or no predicate are possible;
+      a valued probe separates them;
+    * NULL probe fails + valued extraction finds nothing → ``IS NOT NULL``;
+    * NULL probe passes + a valued predicate exists → ``pred OR IS NULL``,
+      a disjunction outside the supported class (reported as such).
+
+    Ambiguity limit: when the column feeds *every* output, a NULL anchor
+    nullifies the whole result row and the probe misreads it as emptiness —
+    hence this path is opt-in (see DESIGN.md §5).
+    """
+    from repro.core.model import NullFilter
+
+    null_populated = not session.run_on_d1_mutation(
+        column.table, {column.column: None}
+    ).is_effectively_empty
+
+    if session.d1_value(column) is None:
+        probe_value = _representative_value(session, column, col_type)
+        value_populated = not session.run_on_d1_mutation(
+            column.table, {column.column: probe_value}
+        ).is_effectively_empty
+        if value_populated:
+            return None  # nullable column without a predicate
+        return NullFilter(column=column, negated=False)
+
+    valued = _check_valued(session, column, col_type)
+    if valued is not None and null_populated:
+        raise UnsupportedQueryError(
+            f"column {column} combines a value predicate with NULL "
+            "acceptance (pred OR IS NULL): outside the supported class"
+        )
+    if valued is None and not null_populated:
+        return NullFilter(column=column, negated=True)
+    return valued
+
+
+def _representative_value(session: ExtractionSession, column: ColumnNode, col_type):
+    if col_type.is_textual:
+        return "a"
+    axis = _Axis(session, column)
+    return axis.from_axis(axis.lo)
+
+
+# --- numeric / date -------------------------------------------------------
+
+
+class _Axis:
+    """Maps a column's values onto an integer probe axis and back."""
+
+    def __init__(self, session: ExtractionSession, column: ColumnNode):
+        self.col_type = session.column_type(column)
+        domain = session.column_domain(column)
+        if isinstance(self.col_type, DateType):
+            self.lo = domain.lo.toordinal()
+            self.hi = domain.hi.toordinal()
+        elif isinstance(self.col_type, NumericType):
+            self.scale = 10**self.col_type.scale
+            self.lo = round(domain.lo * self.scale)
+            self.hi = round(domain.hi * self.scale)
+        else:
+            self.lo = domain.lo
+            self.hi = domain.hi
+
+    def to_axis(self, value) -> int:
+        if isinstance(self.col_type, DateType):
+            return value.toordinal()
+        if isinstance(self.col_type, NumericType):
+            return round(value * self.scale)
+        return value
+
+    def from_axis(self, axis: int):
+        if isinstance(self.col_type, DateType):
+            return datetime.date.fromordinal(axis)
+        if isinstance(self.col_type, NumericType):
+            return axis / self.scale
+        return axis
+
+
+def _check_numeric(session: ExtractionSession, column: ColumnNode) -> NumericFilter | None:
+    axis = _Axis(session, column)
+    populated_min = _numeric_probe(session, column, axis, axis.lo)
+    populated_max = _numeric_probe(session, column, axis, axis.hi)
+    if populated_min and populated_max:
+        return None  # Table 2, Case 1
+
+    anchor = axis.to_axis(session.d1_value(column))
+    lo_axis, hi_axis = axis.lo, axis.hi
+    if not populated_min:  # Cases 2 and 4: find l over (i_min, a]
+        lo_axis = _search_lower_bound(session, column, axis, anchor)
+    if not populated_max:  # Cases 3 and 4: find r over [a, i_max)
+        hi_axis = _search_upper_bound(session, column, axis, anchor)
+    return NumericFilter(
+        column=column,
+        lo=axis.from_axis(lo_axis),
+        hi=axis.from_axis(hi_axis),
+        domain_lo=axis.from_axis(axis.lo),
+        domain_hi=axis.from_axis(axis.hi),
+    )
+
+
+def _numeric_probe(
+    session: ExtractionSession, column: ColumnNode, axis: _Axis, axis_value: int
+) -> bool:
+    result = session.run_on_d1_mutation(
+        column.table, {column.column: axis.from_axis(axis_value)}
+    )
+    return not result.is_effectively_empty
+
+
+def _search_lower_bound(
+    session: ExtractionSession, column: ColumnNode, axis: _Axis, anchor: int
+) -> int:
+    """Smallest axis value whose probe is populated; probe(anchor) is True."""
+    lo, hi = axis.lo + 1, anchor
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _numeric_probe(session, column, axis, mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _search_upper_bound(
+    session: ExtractionSession, column: ColumnNode, axis: _Axis, anchor: int
+) -> int:
+    """Largest axis value whose probe is populated; probe(anchor) is True."""
+    lo, hi = anchor, axis.hi - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if _numeric_probe(session, column, axis, mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+# --- textual ---------------------------------------------------------------
+
+
+def _check_textual(session: ExtractionSession, column: ColumnNode) -> TextFilter | None:
+    if _text_probe(session, column, "") and _text_probe(session, column, "a"):
+        # Populated in both extremes occurs only for the vacuous `like '%'`.
+        return None
+
+    rep = session.d1_value(column)
+    if not isinstance(rep, str):
+        raise ExtractionError(f"expected string value in D^1 for {column}")
+
+    # A representative string can satisfy the pattern redundantly (e.g. two
+    # occurrences of the MQS under a '%...%' filter), in which case no single
+    # character is intrinsic.  Minimize the representative first so the MQS
+    # appears exactly once.
+    rep = _minimize_representative(session, column, rep)
+
+    intrinsic = _intrinsic_mask(session, column, rep)
+    pattern = _build_pattern(session, column, rep, intrinsic)
+    return TextFilter(column=column, pattern=pattern)
+
+
+def _minimize_representative(
+    session: ExtractionSession, column: ColumnNode, rep: str
+) -> str:
+    """Shortest substring-deleted variant of ``rep`` that still qualifies.
+
+    ddmin-style character-chunk deletion: each removal is kept only if the
+    application's result stays populated, converging to a 1-minimal
+    qualifying string (every remaining character is load-bearing for some
+    wildcard gap or MQS position).
+    """
+    current = rep
+    granularity = 2
+    while len(current) > 1:
+        chunk = max(1, (len(current) + granularity - 1) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk :]
+            if _text_probe(session, column, candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(current), granularity * 2)
+    if current != rep:
+        session.update_d1(column.table, {column.column: current})
+    return current
+
+
+def _text_probe(session: ExtractionSession, column: ColumnNode, value: str) -> bool:
+    max_length = _max_length(session, column)
+    if len(value) > max_length:
+        return False  # unrepresentable strings trivially fail the filter
+    result = session.run_on_d1_mutation(column.table, {column.column: value})
+    return not result.is_effectively_empty
+
+
+def _max_length(session: ExtractionSession, column: ColumnNode) -> int:
+    col_type = session.column_type(column)
+    if isinstance(col_type, VarcharType):
+        return col_type.max_length
+    return 10**6
+
+
+def _intrinsic_mask(
+    session: ExtractionSession, column: ColumnNode, rep: str
+) -> list[bool]:
+    """True at positions whose character belongs to the MQS."""
+    mask = []
+    for i, ch in enumerate(rep):
+        substitute = _different_char(ch)
+        candidate = rep[:i] + substitute + rep[i + 1 :]
+        mask.append(not _text_probe(session, column, candidate))
+    return mask
+
+
+def _different_char(ch: str) -> str:
+    for option in _FILLER_ALPHABET:
+        if option != ch:
+            return option
+    return "a"
+
+
+def _build_pattern(
+    session: ExtractionSession, column: ColumnNode, rep: str, intrinsic: list[bool]
+) -> str:
+    """Reassemble the LIKE pattern from the MQS and per-gap length probes.
+
+    The representative string decomposes into intrinsic characters separated
+    by *gaps* of wildcard-matched characters (gaps also exist at the string
+    boundaries, possibly empty).  For each gap we probe which filler lengths
+    keep the result populated: an exact single length ``m`` means ``_ * m``;
+    a range means ``_ * m`` followed by ``%``.
+    """
+    mqs_chars = [ch for ch, keep in zip(rep, intrinsic) if keep]
+    filler = _gap_filler(mqs_chars)
+
+    # Split rep into alternating gap/literal segments.
+    gap_lengths: list[int] = []
+    literals: list[str] = []
+    current_gap = 0
+    current_literal: list[str] = []
+    for ch, keep in zip(rep, intrinsic):
+        if keep:
+            if current_literal:
+                current_literal.append(ch)
+            else:
+                gap_lengths.append(current_gap)
+                current_gap = 0
+                current_literal = [ch]
+        else:
+            if current_literal:
+                literals.append("".join(current_literal))
+                current_literal = []
+            current_gap += 1
+    if current_literal:
+        literals.append("".join(current_literal))
+    gap_lengths.append(current_gap)
+    # Now: len(gap_lengths) == len(literals) + 1, alternating gap, lit, gap, ...
+
+    pattern_parts: list[str] = []
+    for index, gap in enumerate(gap_lengths):
+        min_len, has_percent = _probe_gap(
+            session, column, literals, gap_lengths, index, filler
+        )
+        pattern_parts.append("_" * min_len + ("%" if has_percent else ""))
+        if index < len(literals):
+            pattern_parts.append(literals[index])
+    return "".join(pattern_parts)
+
+
+def _gap_filler(mqs_chars: list[str]) -> str:
+    used = set(mqs_chars)
+    for option in _FILLER_ALPHABET:
+        if option not in used:
+            return option
+    raise ExtractionError("could not choose a filler character for LIKE probing")
+
+
+def _assemble_candidate(
+    literals: list[str], gap_lengths: list[int], index: int, length: int, filler: str
+) -> str:
+    parts: list[str] = []
+    for i, gap in enumerate(gap_lengths):
+        size = length if i == index else gap
+        parts.append(filler * size)
+        if i < len(literals):
+            parts.append(literals[i])
+    return "".join(parts)
+
+
+def _probe_gap(
+    session: ExtractionSession,
+    column: ColumnNode,
+    literals: list[str],
+    gap_lengths: list[int],
+    index: int,
+    filler: str,
+) -> tuple[int, bool]:
+    """Determine (min length, %-present) for one wildcard gap."""
+    gap = gap_lengths[index]
+    populated_lengths: list[int] = []
+    for length in range(0, gap + 2):
+        candidate = _assemble_candidate(literals, gap_lengths, index, length, filler)
+        if _text_probe(session, column, candidate):
+            populated_lengths.append(length)
+    if not populated_lengths:
+        raise ExtractionError(
+            f"LIKE gap probing failed for {column}: no filler length qualifies"
+        )
+    min_len = populated_lengths[0]
+    has_percent = len(populated_lengths) > 1
+    return min_len, has_percent

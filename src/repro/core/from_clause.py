@@ -1,0 +1,67 @@
+"""From-clause identification (paper §4.1).
+
+For each base table ``t`` of the database: temporarily rename it, run the
+application, and watch for an immediate "relation does not exist" error — if
+one surfaces, ``t`` is referenced by the hidden query.  Executions that do not
+error are cut short by a small timeout so irrelevant tables cost almost
+nothing, which is what keeps the schema-scaling experiment (§6.2, +1000
+tables) below ten seconds.
+
+For imperative applications, whose host language may swallow errors, an
+alternative *trace* strategy observes the DB-side access log instead (the
+engine-side analogue of the technical report's instrumentation approach).
+"""
+
+from __future__ import annotations
+
+from repro.core.session import ExtractionSession
+from repro.errors import (
+    ExecutableTimeoutError,
+    ExtractionError,
+    UndefinedTableError,
+)
+
+_PROBE_NAME = "unmasque_probe_temp"
+
+
+def extract_tables(session: ExtractionSession) -> list[str]:
+    """Identify ``T_E`` and record it on the session's query."""
+    with session.module("from_clause"):
+        strategy = session.config.from_clause_strategy
+        if strategy == "rename":
+            tables = _extract_by_rename(session)
+        elif strategy == "trace":
+            tables = _extract_by_trace(session)
+        else:
+            raise ExtractionError(f"unknown from-clause strategy {strategy!r}")
+        if not tables:
+            raise ExtractionError("no tables identified — application may not query this database")
+        session.query.tables = tables
+        return tables
+
+
+def _extract_by_rename(session: ExtractionSession) -> list[str]:
+    tables: list[str] = []
+    timeout = session.config.from_clause_timeout
+    for name in list(session.silo.table_names):
+        lowered = name.lower()
+        session.silo.rename_table(lowered, _PROBE_NAME)
+        try:
+            session.run(timeout=timeout)
+        except UndefinedTableError:
+            tables.append(lowered)
+        except ExecutableTimeoutError:
+            pass  # ran past the deadline without erroring: table not referenced
+        finally:
+            session.silo.rename_table(_PROBE_NAME, lowered)
+    return sorted(tables)
+
+
+def _extract_by_trace(session: ExtractionSession) -> list[str]:
+    session.silo.access_log.clear()
+    session.silo.trace_access = True
+    try:
+        session.run()
+    finally:
+        session.silo.trace_access = False
+    return sorted(set(session.silo.access_log))

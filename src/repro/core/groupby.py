@@ -1,0 +1,116 @@
+"""Group-by extraction (paper §5.1).
+
+For each candidate attribute a tiny synthetic database is generated whose
+(invisible) intermediate SPJ result holds exactly three rows that agree on
+every column except the attribute under test, which carries two distinct
+values split 2/1.  A final result of two rows then proves the attribute is a
+grouping column.
+
+* Case 1 — attribute outside the join graph: its table gets three rows with
+  values ``(p, p, q)``; every other table one row.
+* Case 2 — attribute inside a join clique: its table gets three rows with key
+  values ``(1, 1, 2)``; each table holding a clique-mate gets two rows keyed
+  ``(1, 2)``; the rest one row.
+
+Columns pinned by equality filters are skipped (grouping on them is
+superfluous), and one clique member stands for the whole clique (its members
+are interchangeable under the equi-join).  If no grouping column surfaces, a
+two-row all-distinct database distinguishes an ungrouped aggregation (one
+result row) from a plain SPJ query (two rows).
+"""
+
+from __future__ import annotations
+
+from repro.core.dgen import DgenBuilder
+from repro.core.session import ExtractionSession
+from repro.core.svalues import SValueError, SValueSource
+from repro.sgraph.schema_graph import ColumnNode
+
+
+def extract_group_by(session: ExtractionSession, svalues: SValueSource) -> list[ColumnNode]:
+    """Identify ``G_E`` and the ungrouped-aggregation flag."""
+    with session.module("group_by"):
+        builder = DgenBuilder(session, svalues)
+        group_by: list[ColumnNode] = []
+        tested_cliques: set = set()
+
+        for table in session.query.tables:
+            for column in session.table_columns(table):
+                clique = session.query.clique_of(column)
+                if clique is not None:
+                    if clique in tested_cliques:
+                        continue
+                    tested_cliques.add(clique)
+                    member = _test_clique_member(session, builder, clique)
+                    if member is not None:
+                        group_by.append(member)
+                    continue
+                if svalues.is_equality_constrained(column):
+                    continue  # superfluous in G_E
+                if _in_group_by_case1(session, svalues, builder, column):
+                    group_by.append(column)
+
+        session.query.group_by = sorted(group_by)
+        if not group_by:
+            session.query.ungrouped_aggregation = _is_ungrouped_aggregation(
+                session, svalues, builder
+            )
+        return session.query.group_by
+
+
+def _in_group_by_case1(
+    session: ExtractionSession,
+    svalues: SValueSource,
+    builder: DgenBuilder,
+    column: ColumnNode,
+) -> bool:
+    try:
+        p, q = svalues.pair(column)
+    except SValueError:
+        return False  # effectively equality-pinned: superfluous in G_E
+    rows = builder.build(
+        row_counts={column.table: 3},
+        overrides={column: [p, p, q]},
+    )
+    result = builder.run(rows)
+    return result.row_count == 2
+
+
+def _test_clique_member(
+    session: ExtractionSession, builder: DgenBuilder, clique
+) -> ColumnNode | None:
+    """Case 2 probe; returns the clique representative if it's grouped on."""
+    column = clique.representative()
+    overrides: dict[ColumnNode, list] = {column: [1, 1, 2]}
+    row_counts: dict[str, int] = {column.table: 3}
+    for table, member in builder.connected_tables(column).items():
+        row_counts[table] = 2
+        overrides[member] = [1, 2]
+    # Clique-mates sharing the probe table (if any) must mirror the values.
+    for member in clique.sorted_columns():
+        if member != column and member.table == column.table:
+            overrides[member] = [1, 1, 2]
+    result = builder.run(builder.build(row_counts, overrides))
+    return column if result.row_count == 2 else None
+
+
+def _is_ungrouped_aggregation(
+    session: ExtractionSession, svalues: SValueSource, builder: DgenBuilder
+) -> bool:
+    """Two-row probe: one result row ⇒ aggregation without grouping."""
+    overrides: dict[ColumnNode, list] = {}
+    row_counts = {table: 2 for table in session.query.tables}
+    for clique in session.query.join_cliques:
+        for member in clique.sorted_columns():
+            overrides[member] = [1, 2]
+    for table in session.query.tables:
+        for column in session.table_columns(table):
+            if column in overrides:
+                continue
+            try:
+                p, q = svalues.pair(column)
+                overrides[column] = [p, q]
+            except SValueError:
+                overrides[column] = [svalues.value(column)] * 2
+    result = builder.run(builder.build(row_counts, overrides))
+    return result.row_count == 1

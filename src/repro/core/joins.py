@@ -1,0 +1,98 @@
+"""Equi-join predicate extraction (paper §4.3, Algorithm 1).
+
+Starting from the candidate join graph ``CJG_E`` — the transitive-closure
+cliques of the schema graph induced on the query tables, each reduced to an
+elementary cycle — every cycle's presence is tested by the Cut/Negate probe:
+
+* *Cut* removes a pair of edges, splitting the cycle into two arcs;
+* *Negate* flips the sign of one arc's column values in ``D^1``;
+* an **empty** result implies at least one removed edge is a real query join
+  (so the pair is restored); a **populated** result proves both removed edges
+  absent, and the two arcs re-enter the candidate pool as smaller cycles.
+
+A cycle that survives every pair is wholly present and becomes a join clique
+of ``J_E``.  Termination: each iteration either removes a cycle or replaces it
+with strictly smaller ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import JoinClique
+from repro.core.session import ExtractionSession
+from repro.errors import ExtractionError
+from repro.sgraph.schema_graph import ColumnNode, Cycle
+
+
+def extract_joins(session: ExtractionSession) -> list[JoinClique]:
+    """Identify ``J_E`` as a list of join cliques and record it."""
+    with session.module("joins"):
+        candidates = session.schema_graph.candidate_cycles(set(session.query.tables))
+        _guard_nonzero_keys(session, candidates)
+        cliques: list[JoinClique] = []
+        while candidates:
+            cycle = candidates.pop(0)
+            if cycle.is_single_edge:
+                v1, _ = cycle.nodes
+                if _negated_run(session, {v1}).is_effectively_empty:
+                    cliques.append(JoinClique(frozenset(cycle.nodes)))
+                continue
+            split = _try_split(session, cycle)
+            if split is None:
+                cliques.append(JoinClique(frozenset(cycle.nodes)))
+            else:
+                candidates.extend(split)
+        session.query.join_cliques = sorted(
+            cliques, key=lambda c: c.representative()
+        )
+        return session.query.join_cliques
+
+
+def _try_split(session: ExtractionSession, cycle: Cycle) -> list[Cycle] | None:
+    """Find a cuttable edge pair; None means the cycle is wholly present."""
+    for e1, e2 in cycle.edge_pairs():
+        arc1, arc2 = cycle.cut(e1, e2)
+        if _negated_run(session, set(arc1)).is_effectively_empty:
+            continue  # some removed edge is a real join: restore and try on
+        fresh = [c for c in (Cycle.from_arc(arc1), Cycle.from_arc(arc2)) if c]
+        return fresh
+    return None
+
+
+def _negated_run(session: ExtractionSession, columns: set[ColumnNode]):
+    """Run the application with the given columns sign-flipped.
+
+    Negation applies to every row of the silo's current minimal database —
+    a single row per table on ``D^1``, possibly several under the HAVING
+    pipeline's multi-row ``D_min``; either way, flipping a whole column
+    preserves intra-group joins and breaks cross-group ones.
+    """
+    by_table: dict[str, set[str]] = {}
+    for column in columns:
+        by_table.setdefault(column.table, set()).add(column.column)
+    rows: dict[str, list[tuple]] = {}
+    for table, negated in by_table.items():
+        schema = session.silo.schema(table)
+        indexes = [schema.column_index(name) for name in negated]
+        mutated = []
+        for row in session.silo.rows(table):
+            new_row = list(row)
+            for index in indexes:
+                new_row[index] = -new_row[index]
+            mutated.append(tuple(new_row))
+        rows[table] = mutated
+    return session.run_on(rows)
+
+
+def _guard_nonzero_keys(session: ExtractionSession, candidates: list[Cycle]) -> None:
+    """Negation is a no-op on zero — reject degenerate key values early."""
+    for cycle in candidates:
+        for node in cycle.nodes:
+            schema = session.silo.schema(node.table)
+            index = schema.column_index(node.column)
+            for row in session.silo.rows(node.table):
+                if row[index] == 0:
+                    raise ExtractionError(
+                        f"key column {node} holds 0 in the minimal database; the "
+                        "Negate probe requires non-zero (the paper assumes "
+                        "positive integer keys)"
+                    )

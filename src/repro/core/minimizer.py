@@ -1,0 +1,193 @@
+"""Database minimization (paper §4.2).
+
+Reduces the initial instance ``D_I`` to the single-row database ``D^1``
+guaranteed by Lemma 1 for ``EQC¯H``:
+
+1. *Sampling pre-pass* — iteratively replace large tables with small random
+   samples (escalating the fraction on failure), so the expensive halving
+   phase starts from a few hundred rows rather than millions;
+2. *Iterative halving* — repeatedly split one multi-row table into two halves
+   and keep a half on which the application still produces a populated result.
+   A result row draws exactly one row from each joined table, so at least one
+   half always succeeds; the paper found halving the *currently largest*
+   table to converge fastest, which is the default policy here.
+
+Both phases are timed separately — they are the maroon/pink bars of Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.session import ExtractionSession
+from repro.errors import ExtractionError
+
+
+def minimize(session: ExtractionSession) -> dict[str, tuple]:
+    """Reduce the silo to ``D^1`` and install it on the session."""
+    with session.module("sampler"):
+        if session.config.minimizer_sampling:
+            _sampling_prepass(session)
+    with session.module("minimizer"):
+        d1 = _halve_to_single_rows(session)
+    session.set_d1(d1)
+    return d1
+
+
+def _sampling_prepass(session: ExtractionSession) -> None:
+    """Shrink big tables by sampling while the result stays populated."""
+    config = session.config
+    tables = sorted(
+        session.query.tables, key=session.silo.row_count, reverse=True
+    )
+    for table in tables:
+        size = session.silo.row_count(table)
+        if size <= config.sampling_threshold:
+            continue
+        original_rows = session.silo.rows(table)
+        for fraction in config.sampling_fractions:
+            count = max(1, math.ceil(size * fraction))
+            if count >= size:
+                break
+            sample = session.silo.sample_rows(
+                table, count, seed=session.rng.randrange(2**31)
+            )
+            session.silo.replace_rows(table, sample)
+            if not session.run().is_effectively_empty:
+                break
+            session.silo.replace_rows(table, original_rows)
+
+
+def _halve_to_single_rows(session: ExtractionSession) -> dict[str, tuple]:
+    """Iteratively halve tables until each holds exactly one row."""
+    silo = session.silo
+    while True:
+        table = _pick_table(session)
+        if table is None:
+            break
+        data = silo.table(table)
+        first, second = data.halves()
+        silo.replace_rows(table, first)
+        if session.run().is_effectively_empty:
+            # Lemma 1: the second half must contain a result-generating row,
+            # so it is retained without a confirming run (matching the
+            # paper's single execution per halving step).
+            silo.replace_rows(table, second)
+    d1 = {}
+    for table in session.query.tables:
+        rows = silo.rows(table)
+        if len(rows) != 1:
+            raise ExtractionError(f"table {table!r} not reduced to one row")
+        d1[table] = rows[0]
+    if session.run().is_effectively_empty:
+        raise ExtractionError(
+            "minimization produced an empty-result D^1 — the hidden query "
+            "appears to fall outside EQC¯H (e.g. it may carry a HAVING clause)"
+        )
+    return d1
+
+
+def minimize_multirow(session: ExtractionSession) -> dict[str, list[tuple]]:
+    """Row-minimal reduction when Lemma 1 does not hold (HAVING pipeline, §7).
+
+    Halving proceeds as usual, but a table where *neither* half keeps the
+    result populated (e.g. a group must retain enough rows for a count/sum
+    bound) is restored whole and set aside; a final per-row elimination pass
+    then removes whatever individual rows are still redundant.  The result is
+    a row-minimal ``D_min`` that may hold several rows per table.
+    """
+    with session.module("sampler"):
+        if session.config.minimizer_sampling:
+            _sampling_prepass(session)
+    with session.module("minimizer"):
+        silo = session.silo
+        stuck: set[str] = set()
+        while True:
+            candidates = [
+                t
+                for t in session.query.tables
+                if silo.row_count(t) > 1 and t not in stuck
+            ]
+            if not candidates:
+                break
+            table = max(candidates, key=silo.row_count)
+            first, second = silo.table(table).halves()
+            silo.replace_rows(table, first)
+            if not session.run().is_effectively_empty:
+                stuck.clear()
+                continue
+            silo.replace_rows(table, second)
+            if not session.run().is_effectively_empty:
+                stuck.clear()
+                continue
+            silo.replace_rows(table, first + second)
+            stuck.add(table)
+
+        for table in session.query.tables:
+            _eliminate_rows(session, table)
+
+        if session.run().is_effectively_empty:
+            raise ExtractionError("multi-row minimization lost the populated result")
+        return {table: silo.rows(table) for table in session.query.tables}
+
+
+_ELIMINATION_CAP = 1024
+
+
+def _eliminate_rows(session: ExtractionSession, table: str) -> None:
+    """ddmin-style chunk elimination (for tables halving could not shrink).
+
+    Plain halving fails when the surviving rows of a group are scattered
+    across both halves (e.g. a ``sum``/``count`` HAVING bound needs several
+    co-grouped rows); delta-debugging-style complement testing at increasing
+    granularity still converges to a row-minimal subset.
+    """
+    silo = session.silo
+    rows = silo.rows(table)
+    if len(rows) > _ELIMINATION_CAP:
+        raise ExtractionError(
+            f"table {table!r} still holds {len(rows)} rows after halving; "
+            "row elimination is capped (query may be outside the supported "
+            "HAVING class)"
+        )
+    granularity = 2
+    while len(rows) > 1:
+        chunk = max(1, (len(rows) + granularity - 1) // granularity)
+        reduced = False
+        start = 0
+        while start < len(rows):
+            candidate = rows[:start] + rows[start + chunk :]
+            if not candidate:
+                start += chunk
+                continue
+            silo.replace_rows(table, candidate)
+            if not session.run().is_effectively_empty:
+                rows = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(rows), granularity * 2)
+    silo.replace_rows(table, rows)
+
+
+def _pick_table(session: ExtractionSession) -> str | None:
+    """Choose the next table to halve, per the configured policy."""
+    candidates = [
+        t for t in session.query.tables if session.silo.row_count(t) > 1
+    ]
+    if not candidates:
+        return None
+    policy = session.config.halving_policy
+    if policy == "largest":
+        return max(candidates, key=session.silo.row_count)
+    if policy == "smallest":
+        return min(candidates, key=session.silo.row_count)
+    if policy == "random":
+        return session.rng.choice(candidates)
+    if policy == "round_robin":
+        return candidates[0]
+    raise ExtractionError(f"unknown halving policy {policy!r}")

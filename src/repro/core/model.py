@@ -1,0 +1,427 @@
+"""Intermediate representation of an extracted query.
+
+Every pipeline module contributes one field of :class:`ExtractedQuery`
+(following the paper's template ``Select (P_E, A_E) From T_E Where J_E ∧ F_E
+Group By G_E Order By O_E Limit l_E``); the assembler renders the complete
+canonical SQL text.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.engine.types import format_sql_literal
+from repro.sgraph.schema_graph import ColumnNode
+
+_COEFF_TOLERANCE = 1e-6
+
+
+def _clean_number(value: float):
+    """Snap solver output to exact ints / short decimals for rendering."""
+    if isinstance(value, int):
+        return value
+    rounded = round(value)
+    if abs(value - rounded) < _COEFF_TOLERANCE:
+        return int(rounded)
+    short = round(value, 6)
+    return short
+
+
+@dataclass(frozen=True)
+class NumericFilter:
+    """A range filter ``lo <= column <= hi`` over a numeric or date column.
+
+    ``lo``/``hi`` equal to the column's domain limits denote an open side;
+    the canonical operator (=, <=, >=, between) is derived on rendering.
+    """
+
+    column: ColumnNode
+    lo: object
+    hi: object
+    domain_lo: object
+    domain_hi: object
+
+    @property
+    def is_equality(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def bounded_below(self) -> bool:
+        return self.lo > self.domain_lo
+
+    @property
+    def bounded_above(self) -> bool:
+        return self.hi < self.domain_hi
+
+    def operator(self) -> str:
+        if self.is_equality:
+            return "="
+        if self.bounded_below and self.bounded_above:
+            return "between"
+        if self.bounded_below:
+            return ">="
+        return "<="
+
+    def contains(self, value) -> bool:
+        return self.lo <= value <= self.hi
+
+    def to_sql(self) -> str:
+        op = self.operator()
+        name = f"{self.column.table}.{self.column.column}"
+        if op == "=":
+            return f"{name} = {format_sql_literal(self.lo)}"
+        if op == "between":
+            return (
+                f"{name} between {format_sql_literal(self.lo)} "
+                f"and {format_sql_literal(self.hi)}"
+            )
+        if op == ">=":
+            return f"{name} >= {format_sql_literal(self.lo)}"
+        return f"{name} <= {format_sql_literal(self.hi)}"
+
+
+@dataclass(frozen=True)
+class TextFilter:
+    """An equality or LIKE filter on a textual column."""
+
+    column: ColumnNode
+    pattern: str  # may contain % / _ wildcards
+
+    @property
+    def is_equality(self) -> bool:
+        return "%" not in self.pattern and "_" not in self.pattern
+
+    def to_sql(self) -> str:
+        op = "=" if self.is_equality else "like"
+        return (
+            f"{self.column.table}.{self.column.column} {op} "
+            f"{format_sql_literal(self.pattern)}"
+        )
+
+
+@dataclass(frozen=True)
+class InListFilter:
+    """A disjunction of equality constants: ``column in (v1, v2, ...)``.
+
+    Produced by the optional disjunction-extraction extension (paper §9
+    future work); the constants are those *witnessed* by the initial
+    instance — see :mod:`repro.core.disjunctions` for the restrictions.
+    """
+
+    column: ColumnNode
+    values: tuple
+
+    def __post_init__(self):
+        if len(self.values) < 2:
+            raise ValueError("an IN-list filter needs at least two constants")
+
+    @property
+    def is_equality(self) -> bool:
+        return False
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(format_sql_literal(v) for v in sorted(self.values))
+        return f"{self.column.table}.{self.column.column} in ({rendered})"
+
+
+@dataclass(frozen=True)
+class MultiRangeFilter:
+    """A disjunction of ranges: ``(a1 <= col <= b1) or (a2 <= col <= b2) ...``
+
+    Intervals are closed, pairwise disjoint and sorted; sides touching the
+    column domain render as one-sided comparisons.  Produced by the optional
+    disjunction-extraction extension (paper §9 future work).
+    """
+
+    column: ColumnNode
+    intervals: tuple[tuple, ...]  # ((lo, hi), ...)
+    domain_lo: object
+    domain_hi: object
+
+    def __post_init__(self):
+        if len(self.intervals) < 2:
+            raise ValueError("a multi-range filter needs at least two intervals")
+
+    @property
+    def is_equality(self) -> bool:
+        return False
+
+    def contains(self, value) -> bool:
+        return any(lo <= value <= hi for lo, hi in self.intervals)
+
+    def _side_sql(self, lo, hi) -> str:
+        single = NumericFilter(
+            column=self.column,
+            lo=lo,
+            hi=hi,
+            domain_lo=self.domain_lo,
+            domain_hi=self.domain_hi,
+        )
+        return single.to_sql()
+
+    def to_sql(self) -> str:
+        parts = [self._side_sql(lo, hi) for lo, hi in self.intervals]
+        return "(" + " or ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class NullFilter:
+    """``column is null`` / ``column is not null``.
+
+    Produced by the opt-in NULL-predicate extension (the paper defers NULL
+    handling to its technical report; see DESIGN.md §5 for the probe design
+    and its ambiguity limits).
+    """
+
+    column: ColumnNode
+    negated: bool = False  # False = IS NULL, True = IS NOT NULL
+
+    @property
+    def is_equality(self) -> bool:
+        return not self.negated  # IS NULL pins the column to a single "value"
+
+    def to_sql(self) -> str:
+        suffix = "is not null" if self.negated else "is null"
+        return f"{self.column.table}.{self.column.column} {suffix}"
+
+
+Filter = NumericFilter | TextFilter | InListFilter | MultiRangeFilter | NullFilter
+
+
+@dataclass(frozen=True)
+class JoinClique:
+    """A set of key columns pairwise equated by the query's equi-joins."""
+
+    columns: frozenset[ColumnNode]
+
+    def __post_init__(self):
+        if len(self.columns) < 2:
+            raise ValueError("a join clique needs at least two columns")
+
+    def sorted_columns(self) -> list[ColumnNode]:
+        return sorted(self.columns)
+
+    def __contains__(self, column: ColumnNode) -> bool:
+        return column in self.columns
+
+    def representative(self) -> ColumnNode:
+        """Canonical member used to stand for the whole clique."""
+        return self.sorted_columns()[0]
+
+    def tables(self) -> set[str]:
+        return {c.table for c in self.columns}
+
+    def predicates(self) -> list[str]:
+        """Chained pairwise equalities covering the clique."""
+        ordered = self.sorted_columns()
+        return [
+            f"{a.table}.{a.column} = {b.table}.{b.column}"
+            for a, b in zip(ordered, ordered[1:])
+        ]
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    """A multilinear scalar function of database columns (paper §4.5).
+
+    ``coefficients`` maps index subsets of ``deps`` (as sorted tuples) to
+    their coefficients: ``f = Σ_S coeff[S] * Π_{i∈S} deps[i]``.  The empty
+    subset holds the constant term.  ``deps`` is empty for constants.
+    """
+
+    deps: tuple[ColumnNode, ...]
+    coefficients: tuple[tuple[tuple[int, ...], float], ...]
+
+    @staticmethod
+    def identity(column: ColumnNode) -> "ScalarFunction":
+        return ScalarFunction(deps=(column,), coefficients=(((0,), 1.0),))
+
+    @staticmethod
+    def constant(value) -> "ScalarFunction":
+        return ScalarFunction(deps=(), coefficients=(((), value),))
+
+    @staticmethod
+    def from_solution(
+        deps: Sequence[ColumnNode], coeffs_by_subset: dict[tuple[int, ...], float]
+    ) -> "ScalarFunction":
+        items = []
+        for subset in sorted(coeffs_by_subset, key=lambda s: (len(s), s)):
+            coeff = coeffs_by_subset[subset]
+            if isinstance(coeff, float) and abs(coeff) < _COEFF_TOLERANCE:
+                continue
+            items.append((tuple(subset), _clean_number(coeff)))
+        return ScalarFunction(deps=tuple(deps), coefficients=tuple(items))
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            len(self.deps) == 1
+            and len(self.coefficients) == 1
+            and self.coefficients[0][0] == (0,)
+            and self.coefficients[0][1] == 1
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.deps
+
+    def constant_value(self):
+        for subset, coeff in self.coefficients:
+            if subset == ():
+                return coeff
+        return 0
+
+    def evaluate(self, values: dict[ColumnNode, object]):
+        """Evaluate the function given values for its dependency columns."""
+        if self.is_constant:
+            return self.constant_value()  # may be non-numeric (e.g. a string)
+        if self.is_identity:
+            # Identity works for every type (dates, strings); the multilinear
+            # arithmetic below only applies to numeric functions.
+            return values[self.deps[0]]
+        total = 0
+        for subset, coeff in self.coefficients:
+            if not subset:
+                total += coeff
+                continue
+            term = 1
+            for index in subset:
+                term = term * values[self.deps[index]]
+            total += coeff * term
+        return total
+
+    def to_sql(self) -> str:
+        if self.is_constant:
+            return format_sql_literal(self.constant_value())
+        if self.is_identity:
+            return f"{self.deps[0].table}.{self.deps[0].column}"
+        parts: list[str] = []
+        for subset, coeff in self.coefficients:
+            product = " * ".join(
+                f"{self.deps[i].table}.{self.deps[i].column}" for i in subset
+            )
+            if not subset:
+                term = format_sql_literal(coeff)
+            elif coeff == 1:
+                term = product
+            elif coeff == -1:
+                term = f"-{product}"
+            else:
+                term = f"{format_sql_literal(coeff)} * {product}"
+            parts.append(term)
+        rendered = " + ".join(parts)
+        return rendered.replace("+ -", "- ")
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One column of the query's result, in output position order."""
+
+    name: str
+    position: int
+    #: scalar function of base columns (None only for count(*))
+    function: Optional[ScalarFunction]
+    #: aggregate applied on top of the function; None = native projection
+    aggregate: Optional[str] = None
+    count_star: bool = False
+
+    def select_sql(self) -> str:
+        if self.count_star:
+            body = "count(*)"
+        elif self.aggregate:
+            body = f"{self.aggregate}({self.function.to_sql()})"
+        else:
+            body = self.function.to_sql()
+        if self.name and self.name != body:
+            return f"{body} as {self.name}"
+        return body
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    output_name: str
+    descending: bool
+
+    def to_sql(self) -> str:
+        return f"{self.output_name} {'desc' if self.descending else 'asc'}"
+
+
+@dataclass(frozen=True)
+class HavingPredicate:
+    """``lo <= agg(column) <= hi`` — open sides use domain limits."""
+
+    aggregate: str  # 'min' | 'max' | 'sum' | 'avg' | 'count'
+    column: Optional[ColumnNode]  # None for count(*)
+    lo: object
+    hi: object
+    domain_lo: object
+    domain_hi: object
+
+    def to_sql(self) -> str:
+        if self.column is None:
+            target = "count(*)"
+        else:
+            target = f"{self.aggregate}({self.column.table}.{self.column.column})"
+        clauses = []
+        if self.lo is not None and self.lo > self.domain_lo:
+            clauses.append(f"{target} >= {format_sql_literal(self.lo)}")
+        if self.hi is not None and self.hi < self.domain_hi:
+            clauses.append(f"{target} <= {format_sql_literal(self.hi)}")
+        return " and ".join(clauses) if clauses else "true"
+
+
+@dataclass
+class ExtractedQuery:
+    """The complete extraction output (the paper's ``Q_E``)."""
+
+    tables: list[str] = field(default_factory=list)
+    join_cliques: list[JoinClique] = field(default_factory=list)
+    filters: list[Filter] = field(default_factory=list)
+    outputs: list[OutputColumn] = field(default_factory=list)
+    group_by: list[ColumnNode] = field(default_factory=list)
+    order_by: list[OrderSpec] = field(default_factory=list)
+    limit: Optional[int] = None
+    having: list[HavingPredicate] = field(default_factory=list)
+    #: true when an aggregation exists without any grouping column
+    ungrouped_aggregation: bool = False
+
+    @property
+    def projections(self) -> list[OutputColumn]:
+        """P_E — native (unaggregated) output columns."""
+        return [o for o in self.outputs if o.aggregate is None and not o.count_star]
+
+    @property
+    def aggregations(self) -> list[OutputColumn]:
+        """A_E — aggregated output columns."""
+        return [o for o in self.outputs if o.aggregate is not None or o.count_star]
+
+    @property
+    def is_aggregated(self) -> bool:
+        return bool(self.group_by) or self.ungrouped_aggregation or bool(self.aggregations)
+
+    @property
+    def sql(self) -> str:
+        from repro.core.assembler import assemble_sql
+
+        return assemble_sql(self)
+
+    def filter_on(self, column: ColumnNode) -> Optional[Filter]:
+        for predicate in self.filters:
+            if predicate.column == column:
+                return predicate
+        return None
+
+    def clique_of(self, column: ColumnNode) -> Optional[JoinClique]:
+        for clique in self.join_cliques:
+            if column in clique:
+                return clique
+        return None
+
+    def output_named(self, name: str) -> OutputColumn:
+        for output in self.outputs:
+            if output.name == name:
+                return output
+        raise KeyError(f"no output column named {name!r}")

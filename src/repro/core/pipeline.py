@@ -1,0 +1,225 @@
+"""The UNMASQUE pipeline orchestrator (paper Figure 3).
+
+``UnmasqueExtractor`` wires the modules in the paper's order:
+
+    From clause → Database minimization → Equi-join predicates →
+    Filter predicates → Projections → Group By → Aggregations →
+    Order By → Limit → Assembler + Checker
+
+With ``config.extract_having`` set, the restructured §7 pipeline runs instead
+(Group By moves ahead of the unified filter/having bound extraction).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Optional
+
+logger = logging.getLogger("repro.core.pipeline")
+
+from repro.apps.executable import Executable
+from repro.core import (
+    aggregates,
+    checker,
+    filters,
+    from_clause,
+    groupby,
+    joins,
+    limit as limit_module,
+    minimizer,
+    orderby,
+    projections,
+)
+from repro.core.config import ExtractionConfig
+from repro.core.model import ExtractedQuery
+from repro.core.session import ExtractionSession, ExtractionStats
+from repro.core.svalues import SValueSource
+from repro.engine.database import Database
+from repro.errors import ExtractionError
+
+
+@dataclass
+class ExtractionOutcome:
+    """Everything an extraction run produces."""
+
+    query: ExtractedQuery
+    sql: str
+    stats: ExtractionStats
+    checker_report: Optional[checker.CheckReport]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.sql
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (for tooling and result archival)."""
+        query = self.query
+        return {
+            "sql": self.sql,
+            "tables": list(query.tables),
+            "joins": [p for c in query.join_cliques for p in c.predicates()],
+            "filters": [f.to_sql() for f in query.filters],
+            "projections": [o.select_sql() for o in query.projections],
+            "aggregations": [o.select_sql() for o in query.aggregations],
+            "group_by": [f"{c.table}.{c.column}" for c in query.group_by],
+            "having": [h.to_sql() for h in query.having],
+            "order_by": [o.to_sql() for o in query.order_by],
+            "limit": query.limit,
+            "ungrouped_aggregation": query.ungrouped_aggregation,
+            "stats": {
+                "invocations": self.stats.total_invocations,
+                "seconds": round(self.stats.total_seconds, 6),
+                "breakdown": {
+                    name: round(seconds, 6)
+                    for name, seconds in self.stats.breakdown().items()
+                },
+            },
+            "checker": (
+                None
+                if self.checker_report is None
+                else {
+                    "passed": self.checker_report.passed,
+                    "databases_checked": self.checker_report.databases_checked,
+                    "mismatches": list(self.checker_report.mismatches),
+                }
+            ),
+        }
+
+    def describe(self) -> str:
+        """A clause-by-clause human-readable extraction report."""
+        query = self.query
+        lines = ["extraction report", "=================="]
+        lines.append(f"tables (T_E)      : {', '.join(query.tables)}")
+        join_predicates = [p for c in query.join_cliques for p in c.predicates()]
+        lines.append(
+            "joins (J_E)       : " + ("; ".join(join_predicates) or "(none)")
+        )
+        lines.append(
+            "filters (F_E)     : "
+            + ("; ".join(f.to_sql() for f in query.filters) or "(none)")
+        )
+        lines.append(
+            "projections (P_E) : "
+            + (", ".join(o.select_sql() for o in query.projections) or "(none)")
+        )
+        lines.append(
+            "aggregates (A_E)  : "
+            + (", ".join(o.select_sql() for o in query.aggregations) or "(none)")
+        )
+        group = ", ".join(f"{c.table}.{c.column}" for c in query.group_by)
+        if not group and query.ungrouped_aggregation:
+            group = "(ungrouped aggregation)"
+        lines.append(f"group by (G_E)    : {group or '(none)'}")
+        lines.append(
+            "having (H_E)      : "
+            + ("; ".join(h.to_sql() for h in query.having) or "(none)")
+        )
+        lines.append(
+            "order by (O_E)    : "
+            + (", ".join(o.to_sql() for o in query.order_by) or "(none)")
+        )
+        lines.append(f"limit (l_E)       : {query.limit if query.limit is not None else '(none)'}")
+        lines.append("")
+        lines.append(f"invocations       : {self.stats.total_invocations}")
+        lines.append(f"wall-clock        : {self.stats.total_seconds:.3f}s")
+        if self.checker_report is not None:
+            verdict = "passed" if self.checker_report.passed else "FAILED"
+            lines.append(
+                f"checker           : {verdict} on "
+                f"{self.checker_report.databases_checked} databases"
+            )
+        return "\n".join(lines)
+
+
+class UnmasqueExtractor:
+    """Extract the hidden query of a black-box application.
+
+    Usage::
+
+        extractor = UnmasqueExtractor(db, app)
+        outcome = extractor.extract()
+        print(outcome.sql)
+
+    ``db`` is the initial instance ``D_I`` on which the application produces a
+    populated result; it is cloned into a silo and never mutated.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        executable: Executable,
+        config: Optional[ExtractionConfig] = None,
+    ):
+        self.config = config or ExtractionConfig()
+        self.session = ExtractionSession(db, executable, self.config)
+
+    def extract(self) -> ExtractionOutcome:
+        session = self.session
+
+        if self.config.extract_having:
+            return self._extract_with_having()
+
+        limit_module.capture_initial_result(session)
+        if session.initial_result.is_effectively_empty:
+            raise ExtractionError(
+                "the application's result on D_I is empty; extraction requires "
+                "a populated initial result (paper §3)"
+            )
+
+        tables = from_clause.extract_tables(session)
+        logger.info("from clause: T_E = %s", tables)
+        minimizer.minimize(session)
+        logger.info(
+            "minimized to D^1 (%d invocations so far)",
+            session.stats.total_invocations,
+        )
+        cliques = joins.extract_joins(session)
+        logger.info("join cliques: %s", [c.predicates() for c in cliques])
+        predicates = filters.extract_filters(session)
+        logger.info("filters: %s", [p.to_sql() for p in predicates])
+        if self.config.extract_disjunctions:
+            from repro.core import disjunctions
+
+            disjunctions.refine_disjunctions(session)
+            logger.info(
+                "disjunction refinement: %s",
+                [p.to_sql() for p in session.query.filters],
+            )
+
+        svalues = SValueSource(session)
+        projections.extract_projections(session, svalues)
+        groupby.extract_group_by(session, svalues)
+        logger.info(
+            "group by: %s (ungrouped_aggregation=%s)",
+            session.query.group_by,
+            session.query.ungrouped_aggregation,
+        )
+        aggregates.extract_aggregations(session, svalues)
+        orderby.extract_order_by(session, svalues)
+        limit_module.extract_limit(session, svalues)
+        logger.info(
+            "order by: %s, limit: %s",
+            [o.to_sql() for o in session.query.order_by],
+            session.query.limit,
+        )
+
+        report = None
+        if self.config.run_checker:
+            report = checker.verify_extraction(session, svalues)
+            logger.info(
+                "checker: %s on %d databases",
+                "passed" if report.passed else "FAILED",
+                report.databases_checked,
+            )
+
+        return ExtractionOutcome(
+            query=session.query,
+            sql=session.query.sql,
+            stats=session.stats,
+            checker_report=report,
+        )
+
+    def _extract_with_having(self) -> ExtractionOutcome:
+        from repro.core import having as having_module
+
+        return having_module.extract_with_having(self.session)

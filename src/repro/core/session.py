@@ -1,0 +1,222 @@
+"""Extraction session: silo management, instrumented runs, shared state.
+
+The session owns the *silo* — a clone of the user-supplied database instance
+in which all mutations happen (the original is never touched, per §3.2) — and
+funnels every black-box invocation through :meth:`run` / :meth:`run_on`, so
+invocation counts and per-module wall-clock are recorded for the Figure 9
+style breakdowns.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.executable import Executable
+from repro.core.config import ExtractionConfig
+from repro.core.model import ExtractedQuery
+from repro.engine.database import Database
+from repro.engine.result import Result
+from repro.engine.types import NumericDomain, date_to_ordinal
+from repro.sgraph.schema_graph import ColumnNode, SchemaGraph
+
+
+@dataclass
+class ModuleStats:
+    """Wall-clock and invocation accounting for one pipeline module."""
+
+    seconds: float = 0.0
+    invocations: int = 0
+
+
+@dataclass
+class ExtractionStats:
+    """Aggregated run statistics, keyed by pipeline module name."""
+
+    modules: dict[str, ModuleStats] = field(default_factory=dict)
+
+    def module(self, name: str) -> ModuleStats:
+        return self.modules.setdefault(name, ModuleStats())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(m.seconds for m in self.modules.values())
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(m.invocations for m in self.modules.values())
+
+    def breakdown(self) -> dict[str, float]:
+        return {name: stats.seconds for name, stats in self.modules.items()}
+
+
+class ExtractionSession:
+    """Shared context threaded through all pipeline modules."""
+
+    def __init__(self, db: Database, executable: Executable, config: ExtractionConfig):
+        self.config = config
+        self.executable = executable
+        self.rng = random.Random(config.seed)
+        self.stats = ExtractionStats()
+        self._current_module = "setup"
+
+        # Capture key metadata from the ORIGINAL catalog before the silo has
+        # its constraints dropped.
+        self.schema_graph = SchemaGraph(db.catalog)
+        self.key_columns: dict[str, set[str]] = {
+            schema.name.lower(): schema.key_columns() for schema in db.catalog
+        }
+
+        # The silo: all extraction work happens on this clone.
+        self.silo = db.clone()
+        self.silo.drop_constraints()
+
+        # Per-column value samples from the ORIGINAL instance, captured before
+        # minimization shreds the silo.  The checker seeds its randomized
+        # verification databases with these, so value regions the extraction
+        # never probed (e.g. a dropped disjunct's constant) still get
+        # exercised.
+        self.di_samples: dict[ColumnNode, list] = {}
+        for schema in db.catalog:
+            rows = db.rows(schema.name)[:256]
+            for index, column in enumerate(schema.columns):
+                node = ColumnNode(schema.name.lower(), column.name.lower())
+                values = []
+                seen = set()
+                for row in rows:
+                    value = row[index]
+                    if value is None or value in seen:
+                        continue
+                    seen.add(value)
+                    values.append(value)
+                    if len(values) >= 16:
+                        break
+                self.di_samples[node] = values
+
+        # Populated as the pipeline advances:
+        self.query = ExtractedQuery()
+        self.initial_result: Optional[Result] = None
+        #: the single-row minimal database D^1: table -> row tuple
+        self.d1: dict[str, tuple] = {}
+        self.baseline_result: Optional[Result] = None
+        #: count(*)-HAVING support (§7): every probe database physically
+        #: replicates the designated table's rows this many times, so all
+        #: probe groups meet the discovered count lower bound while the rest
+        #: of the pipeline keeps reasoning about single logical rows.
+        self.probe_multiplier: int = 1
+        self.multiplier_table: Optional[str] = None
+        #: extra value-range guards consulted by SValueSource (HAVING
+        #: pipeline): probe values for these columns stay inside the given
+        #: (lo, hi) so every synthetic group satisfies the discovered HAVING
+        #: bounds by construction.
+        self.svalue_guards: dict[ColumnNode, tuple] = {}
+
+    # -- module timing -----------------------------------------------------
+
+    @contextmanager
+    def module(self, name: str):
+        """Attribute wall-clock and invocations to a pipeline module."""
+        previous = self._current_module
+        self._current_module = name
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats.module(name).seconds += time.perf_counter() - started
+            self._current_module = previous
+
+    # -- black-box invocation ------------------------------------------------
+
+    def run(self, timeout: Optional[float] = None) -> Result:
+        """Invoke the application on the silo's current contents."""
+        self.stats.module(self._current_module).invocations += 1
+        if timeout is not None:
+            self.silo.deadline = time.perf_counter() + timeout
+            try:
+                return self.executable.run(self.silo, timeout=timeout)
+            finally:
+                self.silo.deadline = None
+        return self.executable.run(self.silo)
+
+    def run_on(self, rows_by_table: dict[str, list[tuple]]) -> Result:
+        """Invoke the application on a transient database state.
+
+        ``rows_by_table`` replaces the named tables' contents for the duration
+        of the run; everything is restored afterwards, so the silo's resident
+        state (usually ``D^1``) is preserved.
+        """
+        saved = {name: self.silo.rows(name) for name in rows_by_table}
+        try:
+            for name, rows in rows_by_table.items():
+                self.silo.replace_rows(name, self._with_multiplier(name, rows))
+            return self.run()
+        finally:
+            for name, rows in saved.items():
+                self.silo.replace_rows(name, rows)
+
+    def _with_multiplier(self, table: str, rows: list[tuple]) -> list[tuple]:
+        if self.probe_multiplier > 1 and table.lower() == self.multiplier_table:
+            return list(rows) * self.probe_multiplier
+        return rows
+
+    def run_on_d1_mutation(
+        self, table: str, mutations: dict[str, object]
+    ) -> Result:
+        """Run against ``D^1`` with some columns of one table's row replaced."""
+        schema = self.silo.schema(table)
+        row = list(self.d1[table.lower()])
+        for column, value in mutations.items():
+            row[schema.column_index(column)] = value
+        return self.run_on({table.lower(): [tuple(row)]})
+
+    # -- D^1 helpers ---------------------------------------------------------
+
+    def set_d1(self, rows_by_table: dict[str, tuple]) -> None:
+        """Install the single-row minimal database into the silo."""
+        self.d1 = {name.lower(): row for name, row in rows_by_table.items()}
+        for name, row in self.d1.items():
+            self.silo.replace_rows(name, self._with_multiplier(name, [row]))
+
+    def d1_value(self, column: ColumnNode):
+        schema = self.silo.schema(column.table)
+        return self.d1[column.table][schema.column_index(column.column)]
+
+    def update_d1(self, table: str, mutations: dict[str, object]) -> None:
+        """Persistently mutate ``D^1`` (used when refreshing s-values)."""
+        schema = self.silo.schema(table)
+        row = list(self.d1[table.lower()])
+        for column, value in mutations.items():
+            row[schema.column_index(column)] = value
+        self.d1[table.lower()] = tuple(row)
+        self.silo.replace_rows(table, self._with_multiplier(table, [tuple(row)]))
+
+    # -- metadata helpers ---------------------------------------------------
+
+    def is_key_column(self, column: ColumnNode) -> bool:
+        return column.column in self.key_columns.get(column.table, set())
+
+    def table_columns(self, table: str) -> list[ColumnNode]:
+        schema = self.silo.schema(table)
+        return [ColumnNode(table.lower(), col.name.lower()) for col in schema.columns]
+
+    def nonkey_columns(self, table: str) -> list[ColumnNode]:
+        return [c for c in self.table_columns(table) if not self.is_key_column(c)]
+
+    def column_type(self, column: ColumnNode):
+        return self.silo.schema(column.table).column(column.column).type
+
+    def column_domain(self, column: ColumnNode) -> NumericDomain:
+        col_type = self.column_type(column)
+        domain = getattr(col_type, "domain", None)
+        if domain is None:
+            raise ValueError(f"column {column} has no numeric domain")
+        return domain
+
+    def all_query_columns(self) -> list[ColumnNode]:
+        columns: list[ColumnNode] = []
+        for table in self.query.tables:
+            columns.extend(self.table_columns(table))
+        return columns

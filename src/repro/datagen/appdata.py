@@ -1,0 +1,461 @@
+"""Synthetic databases for the imperative applications (paper §6.3).
+
+None of Enki, Wilos or RUBiS ship public datasets, so — exactly as the paper
+did — small synthetic instances are generated that give populated results for
+every in-scope command.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.engine import (
+    Column,
+    Database,
+    DateType,
+    ForeignKey,
+    IntegerType,
+    NumericType,
+    TableSchema,
+    VarcharType,
+)
+
+# --- Enki (Rails blogging application) --------------------------------------
+
+ENKI_TAGS = ["ruby", "rails", "sql", "testing", "deployment", "css"]
+
+
+def enki_schema() -> list[TableSchema]:
+    return [
+        TableSchema(
+            name="posts",
+            columns=(
+                Column("id", IntegerType()),
+                Column("title", VarcharType(80)),
+                Column("slug", VarcharType(80)),
+                Column("body", VarcharType(200)),
+                Column("published_at", DateType()),
+                Column("created_at", DateType()),
+                Column("approved_comments_count", IntegerType(lo=0, hi=10**6)),
+            ),
+            primary_key=("id",),
+        ),
+        TableSchema(
+            name="tags",
+            columns=(
+                Column("id", IntegerType()),
+                Column("name", VarcharType(30)),
+            ),
+            primary_key=("id",),
+        ),
+        TableSchema(
+            name="taggings",
+            columns=(
+                Column("id", IntegerType()),
+                Column("post_id", IntegerType()),
+                Column("tag_id", IntegerType()),
+            ),
+            primary_key=("id",),
+            foreign_keys=(
+                ForeignKey(("post_id",), "posts", ("id",)),
+                ForeignKey(("tag_id",), "tags", ("id",)),
+            ),
+        ),
+        TableSchema(
+            name="comments",
+            columns=(
+                Column("id", IntegerType()),
+                Column("post_id", IntegerType()),
+                Column("author", VarcharType(40)),
+                Column("body", VarcharType(200)),
+                Column("created_at", DateType()),
+            ),
+            primary_key=("id",),
+            foreign_keys=(ForeignKey(("post_id",), "posts", ("id",)),),
+        ),
+        TableSchema(
+            name="pages",
+            columns=(
+                Column("id", IntegerType()),
+                Column("title", VarcharType(80)),
+                Column("slug", VarcharType(80)),
+                Column("body", VarcharType(200)),
+                Column("created_at", DateType()),
+            ),
+            primary_key=("id",),
+        ),
+    ]
+
+
+def build_enki_database(posts: int = 120, seed: int = 42) -> Database:
+    rng = random.Random(seed)
+    db = Database(enki_schema())
+    db.insert("tags", [(i + 1, name) for i, name in enumerate(ENKI_TAGS)])
+
+    post_rows = []
+    tagging_rows = []
+    comment_rows = []
+    tagging_id = comment_id = 1
+    start = datetime.date(2019, 1, 1)
+    for post_id in range(1, posts + 1):
+        created = start + datetime.timedelta(days=rng.randint(0, 700))
+        published = created + datetime.timedelta(days=rng.randint(0, 14))
+        post_rows.append(
+            (
+                post_id,
+                f"Post number {post_id}",
+                f"post-number-{post_id}",
+                "lorem ipsum " * rng.randint(1, 5),
+                published,
+                created,
+                rng.randint(0, 12),
+            )
+        )
+        for tag_id in rng.sample(range(1, len(ENKI_TAGS) + 1), rng.randint(1, 3)):
+            tagging_rows.append((tagging_id, post_id, tag_id))
+            tagging_id += 1
+        for _ in range(rng.randint(0, 4)):
+            comment_rows.append(
+                (
+                    comment_id,
+                    post_id,
+                    rng.choice(["ada", "ben", "cleo", "dev"]),
+                    "nice post " * rng.randint(1, 3),
+                    published + datetime.timedelta(days=rng.randint(0, 60)),
+                )
+            )
+            comment_id += 1
+    db.insert("posts", post_rows)
+    db.insert("taggings", tagging_rows)
+    db.insert("comments", comment_rows)
+    db.insert(
+        "pages",
+        [
+            (
+                i,
+                f"Page {i}",
+                f"page-{i}",
+                "about " * 3,
+                start + datetime.timedelta(days=i),
+            )
+            for i in range(1, 9)
+        ],
+    )
+    return db
+
+
+# --- Wilos (process orchestration, Hibernate) ---------------------------------
+
+WILOS_STATES = ["created", "started", "suspended", "finished"]
+
+
+def wilos_schema() -> list[TableSchema]:
+    def simple(name, extra_columns, fks=()):
+        return TableSchema(
+            name=name,
+            columns=(Column("id", IntegerType()),) + tuple(extra_columns),
+            primary_key=("id",),
+            foreign_keys=tuple(fks),
+        )
+
+    return [
+        simple("project", [Column("name", VarcharType(40)), Column("state", VarcharType(20))]),
+        simple(
+            "activity",
+            [
+                Column("name", VarcharType(40)),
+                Column("prefix", VarcharType(10)),
+                Column("project_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("project_id",), "project", ("id",))],
+        ),
+        simple(
+            "concreteactivity",
+            [
+                Column("name", VarcharType(40)),
+                Column("state", VarcharType(20)),
+                Column("activity_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("activity_id",), "activity", ("id",))],
+        ),
+        simple(
+            "roledescriptor",
+            [
+                Column("name", VarcharType(40)),
+                Column("activity_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("activity_id",), "activity", ("id",))],
+        ),
+        simple(
+            "concreterole",
+            [
+                Column("state", VarcharType(20)),
+                Column("roledescriptor_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("roledescriptor_id",), "roledescriptor", ("id",))],
+        ),
+        simple(
+            "iteration",
+            [
+                Column("name", VarcharType(40)),
+                Column("project_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("project_id",), "project", ("id",))],
+        ),
+        simple(
+            "concreteiteration",
+            [
+                Column("state", VarcharType(20)),
+                Column("iteration_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("iteration_id",), "iteration", ("id",))],
+        ),
+        simple(
+            "phase",
+            [
+                Column("name", VarcharType(40)),
+                Column("project_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("project_id",), "project", ("id",))],
+        ),
+        simple(
+            "concretephase",
+            [
+                Column("state", VarcharType(20)),
+                Column("phase_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("phase_id",), "phase", ("id",))],
+        ),
+        simple(
+            "participant",
+            [
+                Column("name", VarcharType(40)),
+                Column("project_id", IntegerType()),
+                Column("role_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("project_id",), "project", ("id",))],
+        ),
+        simple(
+            "guidance",
+            [
+                Column("name", VarcharType(40)),
+                Column("gtype", VarcharType(20)),
+                Column("activity_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("activity_id",), "activity", ("id",))],
+        ),
+        simple(
+            "workproduct",
+            [
+                Column("name", VarcharType(40)),
+                Column("state", VarcharType(20)),
+                Column("activity_id", IntegerType()),
+            ],
+            fks=[ForeignKey(("activity_id",), "activity", ("id",))],
+        ),
+    ]
+
+
+def build_wilos_database(projects: int = 12, seed: int = 42) -> Database:
+    rng = random.Random(seed)
+    db = Database(wilos_schema())
+    counters = {name: 1 for name in (
+        "activity", "concreteactivity", "roledescriptor", "concreterole",
+        "iteration", "concreteiteration", "phase", "concretephase",
+        "participant", "guidance", "workproduct",
+    )}
+    rows = {name: [] for name in counters}
+    db.insert(
+        "project",
+        [
+            (i, f"Project {i}", rng.choice(WILOS_STATES))
+            for i in range(1, projects + 1)
+        ],
+    )
+    for project_id in range(1, projects + 1):
+        for _ in range(rng.randint(2, 5)):
+            activity_id = counters["activity"]
+            counters["activity"] += 1
+            rows["activity"].append(
+                (activity_id, f"Activity {activity_id}", f"A{activity_id}", project_id)
+            )
+            for _ in range(rng.randint(1, 4)):
+                ca_id = counters["concreteactivity"]
+                counters["concreteactivity"] += 1
+                rows["concreteactivity"].append(
+                    (ca_id, f"CA {ca_id}", rng.choice(WILOS_STATES), activity_id)
+                )
+            for _ in range(rng.randint(1, 3)):
+                rd_id = counters["roledescriptor"]
+                counters["roledescriptor"] += 1
+                rows["roledescriptor"].append((rd_id, f"Role {rd_id}", activity_id))
+                for _ in range(rng.randint(1, 2)):
+                    cr_id = counters["concreterole"]
+                    counters["concreterole"] += 1
+                    rows["concreterole"].append(
+                        (cr_id, rng.choice(WILOS_STATES), rd_id)
+                    )
+            for _ in range(rng.randint(0, 2)):
+                g_id = counters["guidance"]
+                counters["guidance"] += 1
+                rows["guidance"].append(
+                    (g_id, f"Guidance {g_id}", rng.choice(["checklist", "template", "example"]), activity_id)
+                )
+            for _ in range(rng.randint(0, 2)):
+                wp_id = counters["workproduct"]
+                counters["workproduct"] += 1
+                rows["workproduct"].append(
+                    (wp_id, f"WP {wp_id}", rng.choice(WILOS_STATES), activity_id)
+                )
+        for _ in range(rng.randint(1, 3)):
+            it_id = counters["iteration"]
+            counters["iteration"] += 1
+            rows["iteration"].append((it_id, f"Iteration {it_id}", project_id))
+            for _ in range(rng.randint(1, 3)):
+                ci_id = counters["concreteiteration"]
+                counters["concreteiteration"] += 1
+                rows["concreteiteration"].append(
+                    (ci_id, rng.choice(WILOS_STATES), it_id)
+                )
+        for _ in range(rng.randint(1, 3)):
+            ph_id = counters["phase"]
+            counters["phase"] += 1
+            rows["phase"].append((ph_id, f"Phase {ph_id}", project_id))
+            for _ in range(rng.randint(1, 3)):
+                cp_id = counters["concretephase"]
+                counters["concretephase"] += 1
+                rows["concretephase"].append((cp_id, rng.choice(WILOS_STATES), ph_id))
+        for _ in range(rng.randint(2, 6)):
+            p_id = counters["participant"]
+            counters["participant"] += 1
+            rows["participant"].append(
+                (p_id, f"Participant {p_id}", project_id, rng.randint(1, 5))
+            )
+    for name, table_rows in rows.items():
+        db.insert(name, table_rows)
+    return db
+
+
+# --- RUBiS (auction site benchmark) --------------------------------------------
+
+RUBIS_REGIONS = ["East", "West", "North", "South", "Central"]
+RUBIS_CATEGORIES = ["Antiques", "Books", "Computers", "Jewelry", "Music", "Toys"]
+
+
+def rubis_schema() -> list[TableSchema]:
+    return [
+        TableSchema(
+            name="regions",
+            columns=(
+                Column("id", IntegerType()),
+                Column("name", VarcharType(25)),
+            ),
+            primary_key=("id",),
+        ),
+        TableSchema(
+            name="categories",
+            columns=(
+                Column("id", IntegerType()),
+                Column("name", VarcharType(25)),
+            ),
+            primary_key=("id",),
+        ),
+        TableSchema(
+            name="users",
+            columns=(
+                Column("id", IntegerType()),
+                Column("nickname", VarcharType(25)),
+                Column("rating", IntegerType(lo=-100, hi=1000)),
+                Column("region_id", IntegerType()),
+            ),
+            primary_key=("id",),
+            foreign_keys=(ForeignKey(("region_id",), "regions", ("id",)),),
+        ),
+        TableSchema(
+            name="items",
+            columns=(
+                Column("id", IntegerType()),
+                Column("name", VarcharType(60)),
+                Column("seller_id", IntegerType()),
+                Column("category_id", IntegerType()),
+                Column("initial_price", NumericType(2, lo=0.0, hi=10000.0)),
+                Column("quantity", IntegerType(lo=1, hi=100)),
+                Column("end_date", DateType()),
+            ),
+            primary_key=("id",),
+            foreign_keys=(
+                ForeignKey(("seller_id",), "users", ("id",)),
+                ForeignKey(("category_id",), "categories", ("id",)),
+            ),
+        ),
+        TableSchema(
+            name="bids",
+            columns=(
+                Column("id", IntegerType()),
+                Column("user_id", IntegerType()),
+                Column("item_id", IntegerType()),
+                Column("bid", NumericType(2, lo=0.0, hi=100000.0)),
+                Column("qty", IntegerType(lo=1, hi=50)),
+                Column("bid_date", DateType()),
+            ),
+            primary_key=("id",),
+            foreign_keys=(
+                ForeignKey(("user_id",), "users", ("id",)),
+                ForeignKey(("item_id",), "items", ("id",)),
+            ),
+        ),
+    ]
+
+
+def build_rubis_database(items: int = 150, seed: int = 42) -> Database:
+    rng = random.Random(seed)
+    db = Database(rubis_schema())
+    db.insert("regions", [(i + 1, name) for i, name in enumerate(RUBIS_REGIONS)])
+    db.insert(
+        "categories", [(i + 1, name) for i, name in enumerate(RUBIS_CATEGORIES)]
+    )
+    n_users = max(20, items // 2)
+    db.insert(
+        "users",
+        [
+            (
+                i,
+                f"user{i}",
+                rng.randint(-10, 500),
+                rng.randint(1, len(RUBIS_REGIONS)),
+            )
+            for i in range(1, n_users + 1)
+        ],
+    )
+    start = datetime.date(2020, 6, 1)
+    item_rows = []
+    bid_rows = []
+    bid_id = 1
+    for item_id in range(1, items + 1):
+        item_rows.append(
+            (
+                item_id,
+                f"Item {item_id}",
+                rng.randint(1, n_users),
+                rng.randint(1, len(RUBIS_CATEGORIES)),
+                round(rng.uniform(1.0, 500.0), 2),
+                rng.randint(1, 10),
+                start + datetime.timedelta(days=rng.randint(1, 60)),
+            )
+        )
+        for _ in range(rng.randint(0, 6)):
+            bid_rows.append(
+                (
+                    bid_id,
+                    rng.randint(1, n_users),
+                    item_id,
+                    round(rng.uniform(1.0, 800.0), 2),
+                    rng.randint(1, 5),
+                    start + datetime.timedelta(days=rng.randint(0, 30)),
+                )
+            )
+            bid_id += 1
+    db.insert("items", item_rows)
+    db.insert("bids", bid_rows)
+    return db

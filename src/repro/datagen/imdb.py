@@ -1,0 +1,255 @@
+"""IMDB schema (Join Order Benchmark subset) and synthetic movie data.
+
+The real IMDB dump is not available offline; what the JOB experiment
+(paper Figure 10) actually stresses is the *join-graph richness* — up to a
+dozen joins fanning out of the ``title``/``movie_id`` hub — so this module
+reproduces the exact JOB table topology (13 tables, all FK edges) and
+populates it with synthetic movie data whose value distributions keep the
+workload queries populated.
+
+The schema deliberately keeps IMDB's hostile naming (every table has an
+``id``; five tables have a ``movie_id``), which exercises the extractor's
+qualified rendering and the transitive movie-clique machinery.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import (
+    Column,
+    Database,
+    ForeignKey,
+    IntegerType,
+    TableSchema,
+    VarcharType,
+)
+
+KINDS = ["movie", "tv series", "video game", "episode"]
+ROLES = ["actor", "actress", "producer", "writer", "director"]
+COMPANY_KINDS = [
+    "production companies", "distributors", "special effects companies",
+]
+INFO_KINDS = ["genres", "rating", "budget", "languages", "countries", "runtimes"]
+COUNTRY_CODES = ["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]"]
+GENRES = ["Action", "Comedy", "Drama", "Horror", "Sci-Fi", "Thriller", "Romance"]
+KEYWORDS = [
+    "sequel", "superhero", "based-on-novel", "murder", "love", "revenge",
+    "space", "dystopia", "time-travel", "heist",
+]
+
+
+def schema() -> list[TableSchema]:
+    def table(name, columns, pk=("id",), fks=()):
+        return TableSchema(
+            name=name,
+            columns=tuple(columns),
+            primary_key=pk,
+            foreign_keys=tuple(fks),
+        )
+
+    return [
+        table("kind_type", [Column("id", IntegerType()), Column("kind", VarcharType(15))]),
+        table(
+            "title",
+            [
+                Column("id", IntegerType()),
+                Column("title", VarcharType(100)),
+                Column("kind_id", IntegerType()),
+                Column("production_year", IntegerType(lo=1880, hi=2030)),
+            ],
+            fks=[ForeignKey(("kind_id",), "kind_type", ("id",))],
+        ),
+        table(
+            "company_name",
+            [
+                Column("id", IntegerType()),
+                Column("name", VarcharType(60)),
+                Column("country_code", VarcharType(6)),
+            ],
+        ),
+        table("company_type", [Column("id", IntegerType()), Column("kind", VarcharType(32))]),
+        table(
+            "movie_companies",
+            [
+                Column("id", IntegerType()),
+                Column("movie_id", IntegerType()),
+                Column("company_id", IntegerType()),
+                Column("company_type_id", IntegerType()),
+                Column("note", VarcharType(60)),
+            ],
+            fks=[
+                ForeignKey(("movie_id",), "title", ("id",)),
+                ForeignKey(("company_id",), "company_name", ("id",)),
+                ForeignKey(("company_type_id",), "company_type", ("id",)),
+            ],
+        ),
+        table("info_type", [Column("id", IntegerType()), Column("info", VarcharType(32))]),
+        table(
+            "movie_info",
+            [
+                Column("id", IntegerType()),
+                Column("movie_id", IntegerType()),
+                Column("info_type_id", IntegerType()),
+                Column("info", VarcharType(32)),
+            ],
+            fks=[
+                ForeignKey(("movie_id",), "title", ("id",)),
+                ForeignKey(("info_type_id",), "info_type", ("id",)),
+            ],
+        ),
+        table("keyword", [Column("id", IntegerType()), Column("keyword", VarcharType(32))]),
+        table(
+            "movie_keyword",
+            [
+                Column("id", IntegerType()),
+                Column("movie_id", IntegerType()),
+                Column("keyword_id", IntegerType()),
+            ],
+            fks=[
+                ForeignKey(("movie_id",), "title", ("id",)),
+                ForeignKey(("keyword_id",), "keyword", ("id",)),
+            ],
+        ),
+        table(
+            "name",
+            [
+                Column("id", IntegerType()),
+                Column("name", VarcharType(60)),
+                Column("gender", VarcharType(1)),
+            ],
+        ),
+        table("role_type", [Column("id", IntegerType()), Column("role", VarcharType(32))]),
+        table("char_name", [Column("id", IntegerType()), Column("name", VarcharType(60))]),
+        table(
+            "cast_info",
+            [
+                Column("id", IntegerType()),
+                Column("movie_id", IntegerType()),
+                Column("person_id", IntegerType()),
+                Column("person_role_id", IntegerType()),
+                Column("role_id", IntegerType()),
+                Column("nr_order", IntegerType(lo=0, hi=1000)),
+            ],
+            fks=[
+                ForeignKey(("movie_id",), "title", ("id",)),
+                ForeignKey(("person_id",), "name", ("id",)),
+                ForeignKey(("person_role_id",), "char_name", ("id",)),
+                ForeignKey(("role_id",), "role_type", ("id",)),
+            ],
+        ),
+    ]
+
+
+def build_database(movies: int = 300, seed: int = 42) -> Database:
+    """Generate a referentially consistent synthetic IMDB instance."""
+    rng = random.Random(seed)
+    db = Database(schema())
+
+    db.insert("kind_type", [(i + 1, kind) for i, kind in enumerate(KINDS)])
+    db.insert("role_type", [(i + 1, role) for i, role in enumerate(ROLES)])
+    db.insert("company_type", [(i + 1, kind) for i, kind in enumerate(COMPANY_KINDS)])
+    db.insert("info_type", [(i + 1, info) for i, info in enumerate(INFO_KINDS)])
+    db.insert("keyword", [(i + 1, kw) for i, kw in enumerate(KEYWORDS)])
+
+    n_companies = max(10, movies // 4)
+    db.insert(
+        "company_name",
+        [
+            (
+                i,
+                f"{_company_word(rng)} {_company_word(rng)} Pictures",
+                rng.choice(COUNTRY_CODES),
+            )
+            for i in range(1, n_companies + 1)
+        ],
+    )
+
+    n_people = movies * 3
+    db.insert(
+        "name",
+        [
+            (i, f"{_person_name(rng)}", rng.choice("mf"))
+            for i in range(1, n_people + 1)
+        ],
+    )
+    n_characters = movies * 2
+    db.insert(
+        "char_name",
+        [(i, f"{_person_name(rng)} ({_company_word(rng)})") for i in range(1, n_characters + 1)],
+    )
+
+    titles = []
+    companies = []
+    infos = []
+    keywords = []
+    casts = []
+    mc_id = mi_id = mk_id = ci_id = 1
+    for movie_id in range(1, movies + 1):
+        titles.append(
+            (
+                movie_id,
+                _movie_title(rng),
+                rng.randint(1, len(KINDS)),
+                rng.randint(1950, 2020),
+            )
+        )
+        for _ in range(rng.randint(1, 3)):
+            companies.append(
+                (
+                    mc_id,
+                    movie_id,
+                    rng.randint(1, n_companies),
+                    rng.randint(1, len(COMPANY_KINDS)),
+                    rng.choice(["(presents)", "(co-production)", "(as metro)", ""]),
+                )
+            )
+            mc_id += 1
+        # one genre row plus a couple of other info rows
+        infos.append((mi_id, movie_id, 1, rng.choice(GENRES)))
+        mi_id += 1
+        for _ in range(rng.randint(1, 2)):
+            infos.append(
+                (mi_id, movie_id, rng.randint(2, len(INFO_KINDS)), str(rng.randint(1, 9)))
+            )
+            mi_id += 1
+        for keyword_id in rng.sample(range(1, len(KEYWORDS) + 1), rng.randint(1, 3)):
+            keywords.append((mk_id, movie_id, keyword_id))
+            mk_id += 1
+        for _ in range(rng.randint(2, 5)):
+            casts.append(
+                (
+                    ci_id,
+                    movie_id,
+                    rng.randint(1, n_people),
+                    rng.randint(1, n_characters),
+                    rng.randint(1, len(ROLES)),
+                    rng.randint(1, 20),
+                )
+            )
+            ci_id += 1
+
+    db.insert("title", titles)
+    db.insert("movie_companies", companies)
+    db.insert("movie_info", infos)
+    db.insert("movie_keyword", keywords)
+    db.insert("cast_info", casts)
+    return db
+
+
+_SYLLABLES = ["dark", "red", "last", "lost", "iron", "silent", "broken", "golden"]
+_NOUNS = ["empire", "river", "knight", "garden", "signal", "harbor", "crown", "echo"]
+
+
+def _movie_title(rng: random.Random) -> str:
+    return f"The {rng.choice(_SYLLABLES).title()} {rng.choice(_NOUNS).title()}"
+
+
+def _company_word(rng: random.Random) -> str:
+    return rng.choice(_NOUNS).title()
+
+
+def _person_name(rng: random.Random) -> str:
+    first = rng.choice(["Ada", "Ben", "Cleo", "Dev", "Elif", "Finn", "Gus", "Hana"])
+    last = rng.choice(["Moss", "Ray", "Kim", "Vale", "Okafor", "Silva", "Novak", "Dune"])
+    return f"{first} {last}"

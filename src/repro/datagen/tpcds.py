@@ -1,0 +1,242 @@
+"""TPC-DS subset schema and generator (store-sales snowflake).
+
+Reproduces the part of TPC-DS the paper's seven extracted queries need: the
+``store_sales`` fact table (composite primary key) surrounded by the
+date/item/customer/address/demographics/store/promotion dimensions.  The
+snowflake topology — a composite-keyed fact with six FK spokes plus the
+customer→address second hop — is the structural variety this workload adds
+over TPC-H.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.engine import (
+    CharType,
+    Column,
+    Database,
+    DateType,
+    ForeignKey,
+    IntegerType,
+    NumericType,
+    TableSchema,
+    VarcharType,
+)
+
+CATEGORIES = ["Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports"]
+CLASSES = ["classic", "modern", "premium", "economy", "youth"]
+BRAND_COUNT = 20
+STATES = ["CA", "GA", "IL", "NY", "TN", "TX", "WA"]
+CITIES = ["Fairview", "Midway", "Oakland", "Salem", "Springdale"]
+GENDERS = ["M", "F"]
+MARITAL = ["S", "M", "D", "W"]
+EDUCATION = ["Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree"]
+
+
+def schema() -> list[TableSchema]:
+    return [
+        TableSchema(
+            name="date_dim",
+            columns=(
+                Column("d_date_sk", IntegerType()),
+                Column("d_date", DateType()),
+                Column("d_year", IntegerType(lo=1900, hi=2100)),
+                Column("d_moy", IntegerType(lo=1, hi=12)),
+                Column("d_dom", IntegerType(lo=1, hi=31)),
+            ),
+            primary_key=("d_date_sk",),
+        ),
+        TableSchema(
+            name="item",
+            columns=(
+                Column("i_item_sk", IntegerType()),
+                Column("i_item_id", CharType(16)),
+                Column("i_category", VarcharType(20)),
+                Column("i_class", VarcharType(20)),
+                Column("i_brand", VarcharType(20)),
+                Column("i_current_price", NumericType(2, lo=0.0, hi=1000.0)),
+            ),
+            primary_key=("i_item_sk",),
+        ),
+        TableSchema(
+            name="customer_address",
+            columns=(
+                Column("ca_address_sk", IntegerType()),
+                Column("ca_city", VarcharType(30)),
+                Column("ca_state", CharType(2)),
+                Column("ca_country", VarcharType(20)),
+            ),
+            primary_key=("ca_address_sk",),
+        ),
+        TableSchema(
+            name="customer_demographics",
+            columns=(
+                Column("cd_demo_sk", IntegerType()),
+                Column("cd_gender", CharType(1)),
+                Column("cd_marital_status", CharType(1)),
+                Column("cd_education_status", VarcharType(20)),
+            ),
+            primary_key=("cd_demo_sk",),
+        ),
+        TableSchema(
+            name="customer",
+            columns=(
+                Column("c_customer_sk", IntegerType()),
+                Column("c_first_name", VarcharType(20)),
+                Column("c_last_name", VarcharType(30)),
+                Column("c_birth_year", IntegerType(lo=1900, hi=2010)),
+                Column("c_current_addr_sk", IntegerType()),
+            ),
+            primary_key=("c_customer_sk",),
+            foreign_keys=(
+                ForeignKey(("c_current_addr_sk",), "customer_address", ("ca_address_sk",)),
+            ),
+        ),
+        TableSchema(
+            name="store",
+            columns=(
+                Column("s_store_sk", IntegerType()),
+                Column("s_store_name", VarcharType(20)),
+                Column("s_state", CharType(2)),
+                Column("s_market_id", IntegerType(lo=1, hi=10)),
+            ),
+            primary_key=("s_store_sk",),
+        ),
+        TableSchema(
+            name="promotion",
+            columns=(
+                Column("p_promo_sk", IntegerType()),
+                Column("p_channel_email", CharType(1)),
+                Column("p_channel_tv", CharType(1)),
+            ),
+            primary_key=("p_promo_sk",),
+        ),
+        TableSchema(
+            name="store_sales",
+            columns=(
+                Column("ss_sold_date_sk", IntegerType()),
+                Column("ss_item_sk", IntegerType()),
+                Column("ss_customer_sk", IntegerType()),
+                Column("ss_cdemo_sk", IntegerType()),
+                Column("ss_store_sk", IntegerType()),
+                Column("ss_promo_sk", IntegerType()),
+                Column("ss_ticket_number", IntegerType()),
+                Column("ss_quantity", IntegerType(lo=0, hi=200)),
+                Column("ss_sales_price", NumericType(2, lo=0.0, hi=500.0)),
+                Column("ss_ext_sales_price", NumericType(2, lo=0.0, hi=50000.0)),
+                Column("ss_net_profit", NumericType(2, lo=-10000.0, hi=20000.0)),
+            ),
+            primary_key=("ss_item_sk", "ss_ticket_number"),
+            foreign_keys=(
+                ForeignKey(("ss_sold_date_sk",), "date_dim", ("d_date_sk",)),
+                ForeignKey(("ss_item_sk",), "item", ("i_item_sk",)),
+                ForeignKey(("ss_customer_sk",), "customer", ("c_customer_sk",)),
+                ForeignKey(("ss_cdemo_sk",), "customer_demographics", ("cd_demo_sk",)),
+                ForeignKey(("ss_store_sk",), "store", ("s_store_sk",)),
+                ForeignKey(("ss_promo_sk",), "promotion", ("p_promo_sk",)),
+            ),
+        ),
+    ]
+
+
+def build_database(sales: int = 4000, seed: int = 42) -> Database:
+    rng = random.Random(seed)
+    db = Database(schema())
+
+    # three years of days
+    start = datetime.date(1999, 1, 1)
+    dates = []
+    for offset in range(3 * 365):
+        day = start + datetime.timedelta(days=offset)
+        dates.append((offset + 1, day, day.year, day.month, day.day))
+    db.insert("date_dim", dates)
+    n_dates = len(dates)
+
+    n_items = max(40, sales // 40)
+    db.insert(
+        "item",
+        [
+            (
+                i,
+                f"ITEM{i:012d}",
+                rng.choice(CATEGORIES),
+                rng.choice(CLASSES),
+                f"brand#{rng.randint(1, BRAND_COUNT)}",
+                round(rng.uniform(1.0, 500.0), 2),
+            )
+            for i in range(1, n_items + 1)
+        ],
+    )
+
+    n_addresses = max(20, sales // 80)
+    db.insert(
+        "customer_address",
+        [
+            (i, rng.choice(CITIES), rng.choice(STATES), "United States")
+            for i in range(1, n_addresses + 1)
+        ],
+    )
+
+    demographics = []
+    demo_id = 1
+    for gender in GENDERS:
+        for marital in MARITAL:
+            for education in EDUCATION:
+                demographics.append((demo_id, gender, marital, education))
+                demo_id += 1
+    db.insert("customer_demographics", demographics)
+    n_demo = len(demographics)
+
+    n_customers = max(30, sales // 20)
+    db.insert(
+        "customer",
+        [
+            (
+                i,
+                f"First{i}",
+                f"Last{i}",
+                rng.randint(1930, 2000),
+                rng.randint(1, n_addresses),
+            )
+            for i in range(1, n_customers + 1)
+        ],
+    )
+
+    n_stores = 12
+    db.insert(
+        "store",
+        [
+            (i, f"Store {i}", STATES[(i - 1) % len(STATES)], rng.randint(1, 10))
+            for i in range(1, n_stores + 1)
+        ],
+    )
+
+    n_promos = 10
+    db.insert(
+        "promotion",
+        [(i, rng.choice("YN"), rng.choice("YN")) for i in range(1, n_promos + 1)],
+    )
+
+    rows = []
+    for ticket in range(1, sales + 1):
+        quantity = rng.randint(1, 100)
+        price = round(rng.uniform(1.0, 300.0), 2)
+        rows.append(
+            (
+                rng.randint(1, n_dates),
+                rng.randint(1, n_items),
+                rng.randint(1, n_customers),
+                rng.randint(1, n_demo),
+                rng.randint(1, n_stores),
+                rng.randint(1, n_promos),
+                ticket,
+                quantity,
+                price,
+                round(quantity * price, 2),
+                round(rng.uniform(-500.0, 2000.0), 2),
+            )
+        )
+    db.insert("store_sales", rows)
+    return db

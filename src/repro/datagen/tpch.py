@@ -1,0 +1,389 @@
+"""TPC-H schema and scale-parameterised synthetic data generator.
+
+Stands in for ``dbgen``: the full 8-table schema with its PK/FK graph and a
+seeded generator whose value domains follow the TPC-H specification closely
+enough that the paper's hidden queries (date windows, market segments, brand
+and container filters, discount ranges, ...) produce populated results at
+laptop scales.
+
+All surrogate keys are positive integers — the simplifying assumption the
+paper adopts (§3.1), which makes the join extractor's Negate mutation
+(sign flip) unambiguous.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.engine import (
+    CharType,
+    Column,
+    Database,
+    DateType,
+    ForeignKey,
+    IntegerType,
+    NumericType,
+    TableSchema,
+    VarcharType,
+)
+
+#: Base row counts at scale factor 1.0 (per the TPC-H specification).
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,  # approximate; actually ~4 per order
+}
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 1), ("ARGENTINA", 2), ("BRAZIL", 2), ("CANADA", 2),
+    ("EGYPT", 5), ("ETHIOPIA", 1), ("FRANCE", 4), ("GERMANY", 4),
+    ("INDIA", 3), ("INDONESIA", 3), ("IRAN", 5), ("IRAQ", 5),
+    ("JAPAN", 3), ("JORDAN", 5), ("KENYA", 1), ("MOROCCO", 1),
+    ("MOZAMBIQUE", 1), ("PERU", 2), ("CHINA", 3), ("ROMANIA", 4),
+    ("SAUDI ARABIA", 5), ("VIETNAM", 3), ("RUSSIA", 4),
+    ("UNITED KINGDOM", 4), ("UNITED STATES", 2),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+CONTAINERS = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX",
+    "MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+]
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+ORDER_DATE_MIN = datetime.date(1992, 1, 1)
+ORDER_DATE_MAX = datetime.date(1998, 8, 2)
+
+
+def schema() -> list[TableSchema]:
+    """The eight TPC-H table schemas with full PK/FK declarations."""
+    return [
+        TableSchema(
+            name="region",
+            columns=(
+                Column("r_regionkey", IntegerType()),
+                Column("r_name", CharType(25)),
+                Column("r_comment", VarcharType(152)),
+            ),
+            primary_key=("r_regionkey",),
+        ),
+        TableSchema(
+            name="nation",
+            columns=(
+                Column("n_nationkey", IntegerType()),
+                Column("n_name", CharType(25)),
+                Column("n_regionkey", IntegerType()),
+                Column("n_comment", VarcharType(152)),
+            ),
+            primary_key=("n_nationkey",),
+            foreign_keys=(ForeignKey(("n_regionkey",), "region", ("r_regionkey",)),),
+        ),
+        TableSchema(
+            name="supplier",
+            columns=(
+                Column("s_suppkey", IntegerType()),
+                Column("s_name", CharType(25)),
+                Column("s_address", VarcharType(40)),
+                Column("s_nationkey", IntegerType()),
+                Column("s_phone", CharType(15)),
+                Column("s_acctbal", NumericType(2, lo=-999.99, hi=9999.99)),
+                Column("s_comment", VarcharType(101)),
+            ),
+            primary_key=("s_suppkey",),
+            foreign_keys=(ForeignKey(("s_nationkey",), "nation", ("n_nationkey",)),),
+        ),
+        TableSchema(
+            name="customer",
+            columns=(
+                Column("c_custkey", IntegerType()),
+                Column("c_name", VarcharType(25)),
+                Column("c_address", VarcharType(40)),
+                Column("c_nationkey", IntegerType()),
+                Column("c_phone", CharType(15)),
+                Column("c_acctbal", NumericType(2, lo=-999.99, hi=9999.99)),
+                Column("c_mktsegment", CharType(10)),
+                Column("c_comment", VarcharType(117)),
+            ),
+            primary_key=("c_custkey",),
+            foreign_keys=(ForeignKey(("c_nationkey",), "nation", ("n_nationkey",)),),
+        ),
+        TableSchema(
+            name="part",
+            columns=(
+                Column("p_partkey", IntegerType()),
+                Column("p_name", VarcharType(55)),
+                Column("p_mfgr", CharType(25)),
+                Column("p_brand", CharType(10)),
+                Column("p_type", VarcharType(25)),
+                Column("p_size", IntegerType(lo=0, hi=100)),
+                Column("p_container", CharType(10)),
+                Column("p_retailprice", NumericType(2, lo=0.0, hi=99999.99)),
+                Column("p_comment", VarcharType(23)),
+            ),
+            primary_key=("p_partkey",),
+        ),
+        TableSchema(
+            name="partsupp",
+            columns=(
+                Column("ps_partkey", IntegerType()),
+                Column("ps_suppkey", IntegerType()),
+                Column("ps_availqty", IntegerType(lo=0, hi=99999)),
+                Column("ps_supplycost", NumericType(2, lo=0.0, hi=9999.99)),
+                Column("ps_comment", VarcharType(199)),
+            ),
+            primary_key=("ps_partkey", "ps_suppkey"),
+            foreign_keys=(
+                ForeignKey(("ps_partkey",), "part", ("p_partkey",)),
+                ForeignKey(("ps_suppkey",), "supplier", ("s_suppkey",)),
+            ),
+        ),
+        TableSchema(
+            name="orders",
+            columns=(
+                Column("o_orderkey", IntegerType()),
+                Column("o_custkey", IntegerType()),
+                Column("o_orderstatus", CharType(1)),
+                Column("o_totalprice", NumericType(2, lo=0.0, hi=999999.99)),
+                Column("o_orderdate", DateType()),
+                Column("o_orderpriority", CharType(15)),
+                Column("o_clerk", CharType(15)),
+                Column("o_shippriority", IntegerType(lo=0, hi=10)),
+                Column("o_comment", VarcharType(79)),
+            ),
+            primary_key=("o_orderkey",),
+            foreign_keys=(ForeignKey(("o_custkey",), "customer", ("c_custkey",)),),
+        ),
+        TableSchema(
+            name="lineitem",
+            columns=(
+                Column("l_orderkey", IntegerType()),
+                Column("l_partkey", IntegerType()),
+                Column("l_suppkey", IntegerType()),
+                Column("l_linenumber", IntegerType(lo=1, hi=7)),
+                Column("l_quantity", NumericType(2, lo=0.0, hi=100.0)),
+                Column("l_extendedprice", NumericType(2, lo=0.0, hi=999999.99)),
+                Column("l_discount", NumericType(2, lo=0.0, hi=1.0)),
+                Column("l_tax", NumericType(2, lo=0.0, hi=1.0)),
+                Column("l_returnflag", CharType(1)),
+                Column("l_linestatus", CharType(1)),
+                Column("l_shipdate", DateType()),
+                Column("l_commitdate", DateType()),
+                Column("l_receiptdate", DateType()),
+                Column("l_shipinstruct", CharType(25)),
+                Column("l_shipmode", CharType(10)),
+                Column("l_comment", VarcharType(44)),
+            ),
+            primary_key=("l_orderkey", "l_linenumber"),
+            foreign_keys=(
+                ForeignKey(("l_orderkey",), "orders", ("o_orderkey",)),
+                ForeignKey(("l_partkey",), "part", ("p_partkey",)),
+                ForeignKey(("l_suppkey",), "supplier", ("s_suppkey",)),
+                ForeignKey(
+                    ("l_partkey", "l_suppkey"), "partsupp", ("ps_partkey", "ps_suppkey")
+                ),
+            ),
+        ),
+    ]
+
+
+def row_counts(scale: float) -> dict[str, int]:
+    """Target row counts at a given scale factor (minimum viable floors)."""
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": max(30, int(BASE_ROWS["supplier"] * scale)),
+        "customer": max(30, int(BASE_ROWS["customer"] * scale)),
+        "part": max(40, int(BASE_ROWS["part"] * scale)),
+        "orders": max(100, int(BASE_ROWS["orders"] * scale)),
+        # partsupp/lineitem counts are derived during generation
+    }
+
+
+def build_database(scale: float = 0.001, seed: int = 42) -> Database:
+    """Generate a complete, referentially consistent TPC-H instance."""
+    rng = random.Random(seed)
+    db = Database(schema())
+    counts = row_counts(scale)
+
+    db.insert(
+        "region",
+        [(i + 1, name, _text(rng, 30)) for i, name in enumerate(REGIONS)],
+    )
+    db.insert(
+        "nation",
+        [
+            (i + 1, name, region, _text(rng, 40))
+            for i, (name, region) in enumerate(NATIONS)
+        ],
+    )
+
+    n_suppliers = counts["supplier"]
+    db.insert(
+        "supplier",
+        [
+            (
+                i,
+                f"Supplier#{i:09d}",
+                _text(rng, 20),
+                # Round-robin nations so every nation has suppliers even at
+                # tiny scales (keeps nation-filtered workloads populated).
+                (i - 1) % len(NATIONS) + 1,
+                _phone(rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                _text(rng, 40),
+            )
+            for i in range(1, n_suppliers + 1)
+        ],
+    )
+
+    n_customers = counts["customer"]
+    db.insert(
+        "customer",
+        [
+            (
+                i,
+                f"Customer#{i:09d}",
+                _text(rng, 20),
+                rng.randint(1, len(NATIONS)),
+                _phone(rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(SEGMENTS),
+                _text(rng, 40),
+            )
+            for i in range(1, n_customers + 1)
+        ],
+    )
+
+    n_parts = counts["part"]
+    db.insert(
+        "part",
+        [
+            (
+                i,
+                _part_name(rng),
+                f"Manufacturer#{rng.randint(1, 5)}",
+                f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+                _part_type(rng),
+                rng.randint(1, 50),
+                rng.choice(CONTAINERS),
+                round(900 + (i % 1000) + rng.uniform(0, 100), 2),
+                _text(rng, 15),
+            )
+            for i in range(1, n_parts + 1)
+        ],
+    )
+
+    partsupp_rows = []
+    suppliers_of_part: dict[int, list[int]] = {}
+    for part_key in range(1, n_parts + 1):
+        chosen = rng.sample(range(1, n_suppliers + 1), min(4, n_suppliers))
+        suppliers_of_part[part_key] = chosen
+        for supp_key in chosen:
+            partsupp_rows.append(
+                (
+                    part_key,
+                    supp_key,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    _text(rng, 30),
+                )
+            )
+    db.insert("partsupp", partsupp_rows)
+
+    n_orders = counts["orders"]
+    order_rows = []
+    lineitem_rows = []
+    date_span = (ORDER_DATE_MAX - ORDER_DATE_MIN).days
+    for order_key in range(1, n_orders + 1):
+        order_date = ORDER_DATE_MIN + datetime.timedelta(days=rng.randint(0, date_span - 151))
+        status = rng.choice("OFP")
+        line_count = rng.randint(1, 7)
+        total_price = 0.0
+        for line_number in range(1, line_count + 1):
+            quantity = rng.randint(1, 50)
+            part_key = rng.randint(1, n_parts)
+            extended = round(quantity * rng.uniform(900.0, 2100.0), 2)
+            total_price += extended
+            ship_date = order_date + datetime.timedelta(days=rng.randint(1, 121))
+            commit_date = order_date + datetime.timedelta(days=rng.randint(30, 90))
+            receipt_date = ship_date + datetime.timedelta(days=rng.randint(1, 30))
+            lineitem_rows.append(
+                (
+                    order_key,
+                    part_key,
+                    # pick the supplier from partsupp so the composite FK
+                    # (l_partkey, l_suppkey) -> partsupp resolves
+                    rng.choice(suppliers_of_part[part_key]),
+                    line_number,
+                    float(quantity),
+                    extended,
+                    round(rng.uniform(0.0, 0.10), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    rng.choice("RAN"),
+                    rng.choice("OF"),
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    rng.choice(SHIP_INSTRUCT),
+                    rng.choice(SHIP_MODES),
+                    _text(rng, 20),
+                )
+            )
+        order_rows.append(
+            (
+                order_key,
+                rng.randint(1, n_customers),
+                status,
+                round(total_price, 2),
+                order_date,
+                rng.choice(PRIORITIES),
+                f"Clerk#{rng.randint(1, 1000):09d}",
+                0 if rng.random() < 0.8 else rng.randint(1, 5),
+                _text(rng, 30),
+            )
+        )
+    db.insert("orders", order_rows)
+    db.insert("lineitem", lineitem_rows)
+    return db
+
+
+_WORDS = (
+    "alongside blithely bold brave carefully quick quiet silent slow special "
+    "furious final express regular pending ironic even unusual packages deposits "
+    "accounts requests instructions theodolites platelets foxes pearls"
+).split()
+
+
+def _text(rng: random.Random, max_chars: int) -> str:
+    words = " ".join(rng.choice(_WORDS) for _ in range(rng.randint(2, 4)))
+    return words[:max_chars]
+
+
+def _phone(rng: random.Random) -> str:
+    return (
+        f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )
+
+
+def _part_name(rng: random.Random) -> str:
+    colors = ["almond", "azure", "blue", "chocolate", "green", "ivory", "red", "steel"]
+    return " ".join(rng.sample(colors, 3))
+
+
+def _part_type(rng: random.Random) -> str:
+    return (
+        f"{rng.choice(TYPE_SYLLABLE_1)} {rng.choice(TYPE_SYLLABLE_2)} "
+        f"{rng.choice(TYPE_SYLLABLE_3)}"
+    )

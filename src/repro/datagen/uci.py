@@ -1,0 +1,68 @@
+"""UCI-archive-style single-table dataset (the paper's TALOS comparison).
+
+A synthetic analogue of the classic *adult* census table: one wide table of
+mixed categorical/numeric attributes, the natural shape for decision-tree QRE
+tools.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import (
+    CharType,
+    Column,
+    Database,
+    IntegerType,
+    NumericType,
+    TableSchema,
+    VarcharType,
+)
+
+WORKCLASSES = ["Private", "Self-emp", "Federal-gov", "State-gov", "Local-gov"]
+EDUCATION = ["HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate"]
+OCCUPATIONS = ["Tech", "Sales", "Craft", "Exec", "Service", "Farming"]
+MARITAL = ["Married", "Never-married", "Divorced", "Widowed"]
+
+
+def schema() -> TableSchema:
+    return TableSchema(
+        name="census",
+        columns=(
+            Column("record_id", IntegerType()),
+            Column("age", IntegerType(lo=0, hi=120)),
+            Column("workclass", VarcharType(20)),
+            Column("education", VarcharType(20)),
+            Column("education_num", IntegerType(lo=1, hi=16)),
+            Column("marital_status", VarcharType(20)),
+            Column("occupation", VarcharType(20)),
+            Column("hours_per_week", IntegerType(lo=1, hi=99)),
+            Column("capital_gain", NumericType(2, lo=0.0, hi=100000.0)),
+            Column("sex", CharType(1)),
+        ),
+        primary_key=("record_id",),
+    )
+
+
+def build_database(records: int = 2000, seed: int = 42) -> Database:
+    rng = random.Random(seed)
+    db = Database([schema()])
+    rows = []
+    for record_id in range(1, records + 1):
+        education = rng.choice(EDUCATION)
+        rows.append(
+            (
+                record_id,
+                rng.randint(17, 90),
+                rng.choice(WORKCLASSES),
+                education,
+                EDUCATION.index(education) + 9,
+                rng.choice(MARITAL),
+                rng.choice(OCCUPATIONS),
+                rng.randint(10, 80),
+                round(max(0.0, rng.gauss(800.0, 2500.0)), 2),
+                rng.choice("MF"),
+            )
+        )
+    db.insert("census", rows)
+    return db

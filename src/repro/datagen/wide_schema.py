@@ -1,0 +1,46 @@
+"""Schema-scaling substrate (paper §6.2, the +1000-table experiment).
+
+Enterprise warehouses carry hundreds of tables; the concern is that the
+From-clause probe — one rename + one (timeout-bounded) execution per table —
+becomes impractically slow.  This module widens any database with ``extra``
+dummy tables so the experiment can measure exactly that overhead.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import (
+    Column,
+    Database,
+    IntegerType,
+    TableSchema,
+    VarcharType,
+)
+
+
+def widen_database(db: Database, extra: int = 1000, rows_per_table: int = 5,
+                   seed: int = 42) -> Database:
+    """Return a clone of ``db`` with ``extra`` additional unrelated tables."""
+    rng = random.Random(seed)
+    wide = db.clone()
+    for index in range(1, extra + 1):
+        name = f"aux_table_{index:04d}"
+        schema = TableSchema(
+            name=name,
+            columns=(
+                Column("id", IntegerType()),
+                Column("payload", VarcharType(32)),
+                Column("amount", IntegerType(lo=0, hi=10**6)),
+            ),
+            primary_key=("id",),
+        )
+        wide.create_table(schema)
+        wide.insert(
+            name,
+            [
+                (i, f"row-{i}", rng.randint(0, 10**6))
+                for i in range(1, rows_per_table + 1)
+            ],
+        )
+    return wide

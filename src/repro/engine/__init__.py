@@ -1,0 +1,41 @@
+"""In-memory SQL engine substrate.
+
+This package stands in for the PostgreSQL platform of the paper: a relational
+engine with a parser/executor for the EQC dialect, DDL mutation (rename —
+the From-clause probe), sampling, and PK/FK catalog metadata.
+"""
+
+from repro.engine.catalog import Catalog, Column, ForeignKey, TableSchema
+from repro.engine.database import Database
+from repro.engine.parser import parse_expression, parse_select, parse_statement
+from repro.engine.result import Result
+from repro.engine.types import (
+    BigIntType,
+    CharType,
+    DateType,
+    IntegerType,
+    NumericType,
+    SQLType,
+    TextType,
+    VarcharType,
+)
+
+__all__ = [
+    "BigIntType",
+    "Catalog",
+    "CharType",
+    "Column",
+    "Database",
+    "DateType",
+    "ForeignKey",
+    "IntegerType",
+    "NumericType",
+    "Result",
+    "SQLType",
+    "TableSchema",
+    "TextType",
+    "VarcharType",
+    "parse_expression",
+    "parse_select",
+    "parse_statement",
+]

@@ -1,0 +1,131 @@
+"""Aggregate accumulators for the executor.
+
+The five basic SQL aggregates of the paper's EQC — min, max, count, sum, avg —
+plus ``count(*)`` and DISTINCT variants.  NULL inputs are ignored, matching
+standard SQL semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class Accumulator:
+    """Base class: feed values with :meth:`add`, read with :meth:`result`."""
+
+    def add(self, value) -> None:
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class MinAccumulator(Accumulator):
+    def __init__(self):
+        self._value = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        if self._value is None or value < self._value:
+            self._value = value
+
+    def result(self):
+        return self._value
+
+
+class MaxAccumulator(Accumulator):
+    def __init__(self):
+        self._value = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        if self._value is None or value > self._value:
+            self._value = value
+
+    def result(self):
+        return self._value
+
+
+class SumAccumulator(Accumulator):
+    def __init__(self):
+        self._total = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        self._total = value if self._total is None else self._total + value
+
+    def result(self):
+        return self._total
+
+
+class AvgAccumulator(Accumulator):
+    def __init__(self):
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        self._total += value
+        self._count += 1
+
+    def result(self):
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class CountAccumulator(Accumulator):
+    """count(expr): counts non-NULL inputs; count(*) feeds a sentinel."""
+
+    def __init__(self):
+        self._count = 0
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        self._count += 1
+
+    def result(self):
+        return self._count
+
+
+class DistinctAccumulator(Accumulator):
+    """Wraps another accumulator, forwarding each distinct value once."""
+
+    def __init__(self, inner: Accumulator):
+        self._inner = inner
+        self._seen: set = set()
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        if value in self._seen:
+            return
+        self._seen.add(value)
+        self._inner.add(value)
+
+    def result(self):
+        return self._inner.result()
+
+
+_FACTORIES = {
+    "min": MinAccumulator,
+    "max": MaxAccumulator,
+    "sum": SumAccumulator,
+    "avg": AvgAccumulator,
+    "count": CountAccumulator,
+}
+
+
+def make_accumulator(name: str, distinct: bool = False) -> Accumulator:
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ExecutionError(f"unsupported aggregate function {name!r}")
+    accumulator = factory()
+    if distinct:
+        return DistinctAccumulator(accumulator)
+    return accumulator

@@ -1,0 +1,317 @@
+"""The public database facade.
+
+A :class:`Database` bundles a catalog with row storage and exposes:
+
+* a SQL interface (:meth:`execute`) covering the EQC dialect plus DDL/DML —
+  this is what hidden applications use;
+* a direct Python API for the same operations (create/rename/drop/insert/
+  sample/clone) — this is what the extraction pipeline uses, mirroring the
+  paper's assumption that the DB is "freely accessible via its API";
+* a table-access trace, the DB-side instrumentation that supports From-clause
+  identification for imperative applications.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.engine.catalog import Catalog, Column, ForeignKey, TableSchema
+from repro.engine.executor import execute_plan
+from repro.engine.expressions import evaluate, predicate_holds
+from repro.engine.parser import parse_statement
+from repro.engine.planner import _Scope, BoundTable, _resolve, plan_select
+from repro.engine.result import Result
+from repro.engine.sqlast import (
+    ColumnDef,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Literal,
+    RenameTable,
+    SelectStatement,
+    Update,
+)
+from repro.engine.storage import TableData
+from repro.engine.types import (
+    BigIntType,
+    CharType,
+    DateType,
+    IntegerType,
+    NumericType,
+    SQLType,
+    TextType,
+    VarcharType,
+)
+from repro.errors import (
+    DatabaseError,
+    ExecutableTimeoutError,
+    ExecutionError,
+    UndefinedTableError,
+)
+
+
+def type_from_def(definition: ColumnDef) -> SQLType:
+    """Instantiate an engine type from a parsed DDL column definition."""
+    name = definition.type_name
+    args = definition.type_args
+    if name in ("int", "integer"):
+        return IntegerType()
+    if name == "bigint":
+        return BigIntType()
+    if name in ("numeric", "decimal", "float"):
+        scale = args[1] if len(args) > 1 else 2
+        return NumericType(scale=scale)
+    if name == "date":
+        return DateType()
+    if name == "varchar":
+        return VarcharType(args[0] if args else 255)
+    if name == "char":
+        return CharType(args[0] if args else 1)
+    if name == "text":
+        return TextType()
+    raise DatabaseError(f"unsupported column type {name!r}")
+
+
+class Database:
+    """An in-memory relational database instance."""
+
+    def __init__(self, schemas: Iterable[TableSchema] = ()):
+        self.catalog = Catalog()
+        self._tables: dict[str, TableData] = {}
+        self.access_log: list[str] = []
+        self.trace_access = False
+        #: absolute ``time.perf_counter()`` deadline for cooperative timeouts;
+        #: the executor and the scan cursor poll it (see :meth:`check_deadline`).
+        self.deadline: Optional[float] = None
+        for schema in schemas:
+            self.create_table(schema)
+
+    def check_deadline(self) -> None:
+        """Raise if the cooperative execution deadline has passed.
+
+        This models the paper's "terminate the ongoing execution after a short
+        timeout period" (§4.1): the From-clause extractor sets a deadline so
+        that probe runs against a mutated schema either fail fast (table
+        renamed away) or are cut short.
+        """
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise ExecutableTimeoutError("database execution deadline exceeded")
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.add(schema)
+        self._tables[schema.name.lower()] = TableData(schema)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop(name)
+        del self._tables[name.lower()]
+
+    def rename_table(self, old: str, new: str) -> None:
+        self.catalog.rename(old, new)
+        self._tables[new.lower()] = self._tables.pop(old.lower())
+        # keep the stored schema consistent with the catalog
+        self._tables[new.lower()].schema = self.catalog.get(new)
+
+    def drop_constraints(self) -> None:
+        """Remove all PK/FK declarations (silo preparation, paper §3.2).
+
+        The *schema graph* needed by join extraction must be captured from the
+        original database before calling this.
+        """
+        for schema in list(self.catalog):
+            bare = TableSchema(
+                name=schema.name,
+                columns=schema.columns,
+                primary_key=(),
+                foreign_keys=(),
+            )
+            self.catalog.replace(bare)
+            self._tables[schema.name.lower()].schema = bare
+
+    # -- data access -----------------------------------------------------------
+
+    @property
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names
+
+    def table(self, name: str) -> TableData:
+        data = self._tables.get(name.lower())
+        if data is None:
+            raise UndefinedTableError(name)
+        if self.trace_access:
+            self.access_log.append(name.lower())
+        return data
+
+    def schema(self, name: str) -> TableSchema:
+        return self.catalog.get(name)
+
+    def row_count(self, name: str) -> int:
+        return len(self.table(name))
+
+    def rows(self, name: str) -> list[tuple]:
+        return list(self.table(name).rows)
+
+    def insert(self, name: str, rows: Iterable[Sequence]) -> None:
+        self.table(name).extend(rows)
+
+    def replace_rows(self, name: str, rows: Iterable[Sequence]) -> None:
+        self.table(name).replace_all(rows)
+
+    def clear_table(self, name: str) -> None:
+        self.table(name).clear()
+
+    def clear_all(self) -> None:
+        for data in self._tables.values():
+            data.clear()
+
+    def sample_rows(self, name: str, count: int, seed: Optional[int] = None) -> list[tuple]:
+        """A uniform random row sample (the engine's TABLESAMPLE stand-in)."""
+        rng = random.Random(seed)
+        return self.table(name).sample(count, rng)
+
+    def scan(self, name: str):
+        """Cursor-style row iteration used by imperative applications.
+
+        Yields dict-like row views so imperative code reads columns by name,
+        mirroring an ORM/resultset API.
+        """
+        data = self.table(name)
+        names = [col.name for col in data.schema.columns]
+        for i, row in enumerate(data.rows):
+            if i % 256 == 0:
+                self.check_deadline()
+            yield dict(zip(names, row))
+
+    def total_rows(self) -> int:
+        return sum(len(data) for data in self._tables.values())
+
+    # -- SQL interface -----------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Execute one SQL statement; non-SELECT statements return empty results."""
+        statement = parse_statement(sql)
+        if isinstance(statement, SelectStatement):
+            return self.execute_select(statement)
+        if isinstance(statement, CreateTable):
+            columns = tuple(
+                Column(col.name, type_from_def(col)) for col in statement.columns
+            )
+            foreign_keys = tuple(
+                ForeignKey(local, ref_table, ref_cols)
+                for local, ref_table, ref_cols in statement.foreign_keys
+            )
+            self.create_table(
+                TableSchema(
+                    name=statement.name,
+                    columns=columns,
+                    primary_key=statement.primary_key,
+                    foreign_keys=foreign_keys,
+                )
+            )
+            return Result.empty()
+        if isinstance(statement, DropTable):
+            self.drop_table(statement.name)
+            return Result.empty()
+        if isinstance(statement, RenameTable):
+            self.rename_table(statement.old_name, statement.new_name)
+            return Result.empty()
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, Update):
+            return self._execute_update(statement)
+        if isinstance(statement, Delete):
+            return self._execute_delete(statement)
+        raise DatabaseError(f"unsupported statement type {type(statement).__name__}")
+
+    def execute_select(self, statement: SelectStatement) -> Result:
+        plan = plan_select(statement, self.catalog)
+        rows_by_binding = {
+            bound.binding: self.table(bound.schema.name).rows for bound in plan.tables
+        }
+        return execute_plan(plan, rows_by_binding, tick=self.check_deadline)
+
+    def _execute_insert(self, statement: Insert) -> Result:
+        data = self.table(statement.table)
+        schema = data.schema
+        column_order = statement.columns or schema.column_names
+        indices = [schema.column_index(col) for col in column_order]
+        for value_row in statement.rows:
+            values = [evaluate(expr, ()) for expr in value_row]
+            full = [None] * len(schema.columns)
+            for idx, value in zip(indices, values):
+                full[idx] = value
+            data.insert(full)
+        return Result.empty()
+
+    def _single_table_predicate(self, table: str, where) -> Callable[[tuple], bool]:
+        schema = self.catalog.get(table)
+        bound = BoundTable(binding=table.lower(), schema=schema, slot_offset=0)
+        scope = _Scope([bound])
+        resolved = _resolve(where, scope)
+        return lambda row: predicate_holds(resolved, row)
+
+    def _execute_update(self, statement: Update) -> Result:
+        data = self.table(statement.table)
+        schema = data.schema
+        predicate = (
+            self._single_table_predicate(statement.table, statement.where)
+            if statement.where is not None
+            else (lambda row: True)
+        )
+        bound = BoundTable(binding=statement.table.lower(), schema=schema, slot_offset=0)
+        scope = _Scope([bound])
+        assignments = [
+            (schema.column_index(column), _resolve(expr, scope))
+            for column, expr in statement.assignments
+        ]
+
+        def updater(row: tuple) -> tuple:
+            new_row = list(row)
+            for index, expr in assignments:
+                new_row[index] = evaluate(expr, row)
+            return tuple(new_row)
+
+        count = data.update_where(predicate, updater)
+        return Result(["updated"], [(count,)])
+
+    def _execute_delete(self, statement: Delete) -> Result:
+        data = self.table(statement.table)
+        predicate = (
+            self._single_table_predicate(statement.table, statement.where)
+            if statement.where is not None
+            else (lambda row: True)
+        )
+        count = data.delete_where(predicate)
+        return Result(["deleted"], [(count,)])
+
+    def explain(self, sql: str) -> str:
+        """Describe how the engine would execute a SELECT (no execution)."""
+        from repro.engine.explain import explain_sql
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, SelectStatement):
+            raise DatabaseError("EXPLAIN supports SELECT statements only")
+        return explain_sql(statement, self.catalog)
+
+    # -- cloning / silos -----------------------------------------------------------
+
+    def clone(self, with_data: bool = True) -> "Database":
+        """An independent copy (the extraction silo of paper §3.2)."""
+        clone = Database()
+        clone.catalog = self.catalog.copy()
+        for name, data in self._tables.items():
+            clone._tables[name] = data.copy() if with_data else TableData(data.schema)
+        return clone
+
+    def snapshot(self) -> dict[str, list[tuple]]:
+        """Capture all rows (cheap: tuples are immutable)."""
+        return {name: list(data.rows) for name, data in self._tables.items()}
+
+    def restore(self, snapshot: dict[str, list[tuple]]) -> None:
+        for name, rows in snapshot.items():
+            if name in self._tables:
+                self._tables[name]._rows = list(rows)

@@ -1,0 +1,230 @@
+"""Query execution over the in-memory row store.
+
+Execution order: per-table filter pushdown → hash equi-joins (BFS over the
+join graph, cross product across disconnected components) → residual
+predicates → grouping/aggregation → having → projection → distinct →
+order by → limit.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable
+
+from repro.engine.aggregates import make_accumulator
+from repro.engine.expressions import evaluate, predicate_holds
+from repro.engine.planner import BoundTable, JoinEdge, SelectPlan
+from repro.engine.result import Result
+
+
+def _no_tick() -> None:
+    return None
+
+
+def execute_plan(
+    plan: SelectPlan,
+    rows_by_binding: dict[str, list[tuple]],
+    tick=_no_tick,
+) -> Result:
+    """Run a planned SELECT against per-binding base rows.
+
+    ``rows_by_binding`` maps each table binding to its stored rows (the
+    :class:`~repro.engine.database.Database` supplies these).  ``tick`` is a
+    cooperative-cancellation hook, polled between pipeline stages and
+    periodically inside row loops, so long executions can honour a deadline.
+    """
+    tick()
+    filtered = _apply_table_filters(plan, rows_by_binding, tick)
+    tick()
+    joined = _join(plan, filtered, tick)
+    tick()
+    if plan.residual_predicates:
+        joined = [
+            row
+            for row in joined
+            if all(predicate_holds(pred, row) for pred in plan.residual_predicates)
+        ]
+
+    if plan.is_grouped:
+        output_rows = _grouped_output(plan, joined)
+    else:
+        output_rows = [
+            tuple(evaluate(expr, row) for expr in plan.output_exprs) for row in joined
+        ]
+
+    if plan.distinct:
+        output_rows = _distinct(output_rows)
+    if plan.order_on_output:
+        output_rows = _sort(output_rows, plan.order_on_output)
+    if plan.limit is not None:
+        output_rows = output_rows[: plan.limit]
+    return Result(plan.output_names, output_rows)
+
+
+def _apply_table_filters(
+    plan: SelectPlan, rows_by_binding: dict[str, list[tuple]], tick=_no_tick
+) -> dict[str, list[tuple]]:
+    filtered: dict[str, list[tuple]] = {}
+    for table in plan.tables:
+        tick()
+        rows = rows_by_binding[table.binding]
+        predicates = plan.table_filters.get(table.binding, [])
+        if predicates:
+            # Single-table predicates were resolved over the global slot
+            # layout; evaluate them against a padded pseudo-row.
+            offset = table.slot_offset
+
+            def local_row(row, offset=offset, width=plan.total_slots, table=table):
+                padded = [None] * width
+                padded[offset : offset + table.width] = row
+                return tuple(padded)
+
+            kept = []
+            for i, row in enumerate(rows):
+                if i % 2048 == 0:
+                    tick()
+                if all(predicate_holds(pred, local_row(row)) for pred in predicates):
+                    kept.append(row)
+            rows = kept
+        filtered[table.binding] = rows
+    return filtered
+
+
+def _join(plan: SelectPlan, filtered: dict[str, list[tuple]], tick=_no_tick) -> list[tuple]:
+    """Hash-join all tables into full-width rows."""
+    total = plan.total_slots
+    placed: list[BoundTable] = []
+    partials: list[list] = [[None] * total]
+    remaining = list(plan.tables)
+
+    while remaining:
+        next_table = _pick_next(placed, remaining, plan.join_edges)
+        remaining.remove(next_table)
+        edges = _edges_between(placed, next_table, plan.join_edges)
+        rows = filtered[next_table.binding]
+        offset = next_table.slot_offset
+
+        tick()
+        if not edges:
+            # Cross product (first table of a component).
+            new_partials = []
+            for partial in partials:
+                for row in rows:
+                    combined = list(partial)
+                    combined[offset : offset + next_table.width] = row
+                    new_partials.append(combined)
+            partials = new_partials
+        else:
+            local_slots = [edge_new - offset for _, edge_new in edges]
+            placed_slots = [edge_placed for edge_placed, _ in edges]
+            index: dict[tuple, list[tuple]] = {}
+            for i, row in enumerate(rows):
+                if i % 4096 == 0:
+                    tick()
+                key = tuple(row[slot] for slot in local_slots)
+                if any(part is None for part in key):
+                    continue  # NULL never equi-joins
+                index.setdefault(key, []).append(row)
+            new_partials = []
+            for i, partial in enumerate(partials):
+                if i % 4096 == 0:
+                    tick()
+                key = tuple(partial[slot] for slot in placed_slots)
+                for row in index.get(key, ()):
+                    combined = list(partial)
+                    combined[offset : offset + next_table.width] = row
+                    new_partials.append(combined)
+            partials = new_partials
+
+        placed.append(next_table)
+        if not partials:
+            return []
+    return [tuple(row) for row in partials]
+
+
+def _pick_next(
+    placed: list[BoundTable], remaining: list[BoundTable], edges: list[JoinEdge]
+) -> BoundTable:
+    if not placed:
+        return remaining[0]
+    placed_bindings = {t.binding for t in placed}
+    for table in remaining:
+        for edge in edges:
+            if edge.left_binding == table.binding and edge.right_binding in placed_bindings:
+                return table
+            if edge.right_binding == table.binding and edge.left_binding in placed_bindings:
+                return table
+    return remaining[0]
+
+
+def _edges_between(
+    placed: list[BoundTable], new_table: BoundTable, edges: list[JoinEdge]
+) -> list[tuple[int, int]]:
+    """(placed_slot, new_table_slot) pairs for edges touching the new table."""
+    placed_bindings = {t.binding for t in placed}
+    pairs: list[tuple[int, int]] = []
+    for edge in edges:
+        if edge.left_binding == new_table.binding and edge.right_binding in placed_bindings:
+            pairs.append((edge.right_slot, edge.left_slot))
+        elif edge.right_binding == new_table.binding and edge.left_binding in placed_bindings:
+            pairs.append((edge.left_slot, edge.right_slot))
+    return pairs
+
+
+def _grouped_output(plan: SelectPlan, joined: list[tuple]) -> list[tuple]:
+    groups: dict[tuple, list] = {}
+    for row in joined:
+        key = tuple(evaluate(expr, row) for expr in plan.group_exprs)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [
+                make_accumulator(call.name, call.distinct) for call in plan.aggregate_calls
+            ]
+            groups[key] = accumulators
+        for call, accumulator in zip(plan.aggregate_calls, accumulators):
+            if call.argument is None:  # count(*)
+                accumulator.add(1)
+            else:
+                accumulator.add(evaluate(call.argument, row))
+
+    # An ungrouped aggregation over zero rows still yields one row.
+    if not groups and not plan.group_exprs:
+        accumulators = [
+            make_accumulator(call.name, call.distinct) for call in plan.aggregate_calls
+        ]
+        groups[()] = accumulators
+
+    output_rows: list[tuple] = []
+    for key, accumulators in groups.items():
+        group_row = key + tuple(acc.result() for acc in accumulators)
+        if plan.having is not None and not predicate_holds(plan.having, group_row):
+            continue
+        output_rows.append(tuple(evaluate(expr, group_row) for expr in plan.output_exprs))
+    return output_rows
+
+
+def _distinct(rows: Iterable[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    unique: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique
+
+
+def _sort(rows: list[tuple], order: list[tuple[int, bool]]) -> list[tuple]:
+    def compare(a: tuple, b: tuple) -> int:
+        for index, descending in order:
+            left, right = a[index], b[index]
+            if left == right:
+                continue
+            if left is None:
+                return 1  # NULLs last, either direction
+            if right is None:
+                return -1
+            outcome = -1 if left < right else 1
+            return -outcome if descending else outcome
+        return 0
+
+    return sorted(rows, key=functools.cmp_to_key(compare))

@@ -1,0 +1,89 @@
+"""EXPLAIN: render the engine's execution strategy for a SELECT.
+
+A deterministic, indentation-structured plan description mirroring the
+executor's actual stages (pushdown → joins in pick order → residual →
+group/aggregate → having → distinct → sort → limit).  Used for debugging the
+substrate and in tests that pin the executor's join-order behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import _edges_between, _pick_next
+from repro.engine.planner import SelectPlan, plan_select
+from repro.engine.sqlast import SelectStatement
+
+
+def explain_plan(plan: SelectPlan) -> str:
+    """Render a SelectPlan as an indented operator tree (top = last stage)."""
+    lines: list[str] = []
+
+    def emit(depth: int, text: str) -> None:
+        lines.append("  " * depth + text)
+
+    depth = 0
+    if plan.limit is not None:
+        emit(depth, f"Limit: {plan.limit}")
+        depth += 1
+    if plan.order_on_output:
+        keys = ", ".join(
+            f"#{index} {'desc' if descending else 'asc'}"
+            for index, descending in plan.order_on_output
+        )
+        emit(depth, f"Sort: {keys}")
+        depth += 1
+    if plan.distinct:
+        emit(depth, "Distinct")
+        depth += 1
+    emit(depth, f"Project: {', '.join(plan.output_names)}")
+    depth += 1
+    if plan.is_grouped:
+        group_keys = ", ".join(expr.to_sql() for expr in plan.group_exprs) or "()"
+        aggregate_list = (
+            ", ".join(
+                f"{call.name}({call.argument.to_sql() if call.argument else '*'})"
+                for call in plan.aggregate_calls
+            )
+            or "(none)"
+        )
+        emit(depth, f"GroupAggregate: keys=[{group_keys}] aggs=[{aggregate_list}]")
+        depth += 1
+    if plan.residual_predicates:
+        emit(
+            depth,
+            "Residual Filter: "
+            + " and ".join(p.to_sql() for p in plan.residual_predicates),
+        )
+        depth += 1
+
+    # Reconstruct the executor's join order deterministically.
+    placed = []
+    remaining = list(plan.tables)
+    join_lines: list[str] = []
+    while remaining:
+        next_table = _pick_next(placed, remaining, plan.join_edges)
+        remaining.remove(next_table)
+        edges = _edges_between(placed, next_table, plan.join_edges)
+        scan = _scan_line(plan, next_table)
+        if not placed:
+            join_lines.append(scan)
+        elif edges:
+            join_lines.append(f"HashJoin ({len(edges)} key(s)) -> {scan}")
+        else:
+            join_lines.append(f"CrossProduct -> {scan}")
+        placed.append(next_table)
+    for i, line in enumerate(join_lines):
+        emit(depth + i, line)
+    return "\n".join(lines)
+
+
+def _scan_line(plan: SelectPlan, table) -> str:
+    predicates = plan.table_filters.get(table.binding, [])
+    if predicates:
+        rendered = " and ".join(p.to_sql() for p in predicates)
+        return f"Scan {table.schema.name} [{rendered}]"
+    return f"Scan {table.schema.name}"
+
+
+def explain_sql(statement: SelectStatement, catalog: Catalog) -> str:
+    return explain_plan(plan_select(statement, catalog))

@@ -1,0 +1,241 @@
+"""Expression compilation and evaluation.
+
+The planner resolves :class:`~repro.engine.sqlast.ColumnRef` nodes into
+:class:`SlotRef` nodes carrying an index into the joined-row tuple; this module
+then evaluates the resolved tree against concrete rows.  SQL three-valued
+logic is honoured to the extent the EQC dialect needs: any comparison with
+NULL yields NULL, and predicate contexts treat non-TRUE as rejection.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.engine.sqlast import (
+    Between,
+    BinaryOp,
+    Expression,
+    FuncCall,
+    InList,
+    IntervalLiteral,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.errors import ExecutionError, TypeMismatchError
+
+
+@dataclass(frozen=True)
+class SlotRef(Expression):
+    """A column reference resolved to a position in the joined-row tuple."""
+
+    slot: int
+    name: str
+    table: str
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}"
+
+
+@lru_cache(maxsize=4096)
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern ('%' any run, '_' any single char) to regex."""
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("".join(parts), re.DOTALL)
+
+
+def like_matches(value: str, pattern: str) -> bool:
+    return like_to_regex(pattern).fullmatch(value) is not None
+
+
+def add_interval(date: datetime.date, amount: int, unit: str) -> datetime.date:
+    """Date arithmetic for ``date +/- interval`` expressions."""
+    if unit == "day":
+        return date + datetime.timedelta(days=amount)
+    if unit == "month":
+        total = date.month - 1 + amount
+        year = date.year + total // 12
+        month = total % 12 + 1
+        day = min(date.day, _days_in_month(year, month))
+        return datetime.date(year, month, day)
+    if unit == "year":
+        try:
+            return date.replace(year=date.year + amount)
+        except ValueError:  # Feb 29 on a non-leap target year
+            return date.replace(year=date.year + amount, day=28)
+    raise ExecutionError(f"unsupported interval unit {unit!r}")
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        nxt = datetime.date(year + 1, 1, 1)
+    else:
+        nxt = datetime.date(year, month + 1, 1)
+    return (nxt - datetime.timedelta(days=1)).day
+
+
+def evaluate(expr: Expression, row: tuple):
+    """Evaluate a resolved expression tree against a joined row."""
+    if isinstance(expr, SlotRef):
+        return row[expr.slot]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, row)
+    if isinstance(expr, UnaryOp):
+        return _eval_unary(expr, row)
+    if isinstance(expr, Between):
+        operand = evaluate(expr.operand, row)
+        low = evaluate(expr.low, row)
+        high = evaluate(expr.high, row)
+        if operand is None or low is None or high is None:
+            return None
+        return low <= operand <= high
+    if isinstance(expr, Like):
+        value = evaluate(expr.operand, row)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise TypeMismatchError("LIKE requires a textual operand")
+        matched = like_matches(value, expr.pattern)
+        return not matched if expr.negated else matched
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.operand, row)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, InList):
+        value = evaluate(expr.operand, row)
+        if value is None:
+            return None
+        membership = any(evaluate(item, row) == value for item in expr.items)
+        return not membership if expr.negated else membership
+    if isinstance(expr, FuncCall):
+        return _eval_scalar_function(expr, row)
+    if isinstance(expr, IntervalLiteral):
+        raise ExecutionError("interval literal outside date arithmetic context")
+    raise ExecutionError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def _eval_binary(expr: BinaryOp, row: tuple):
+    op = expr.op
+    if op == "and":
+        left = evaluate(expr.left, row)
+        if left is False:
+            return False
+        right = evaluate(expr.right, row)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "or":
+        left = evaluate(expr.left, row)
+        if left is True:
+            return True
+        right = evaluate(expr.right, row)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    left = evaluate(expr.left, row)
+    if isinstance(expr.right, IntervalLiteral):
+        if left is None:
+            return None
+        if not isinstance(left, datetime.date):
+            raise TypeMismatchError("interval arithmetic requires a date operand")
+        interval = expr.right
+        amount = interval.amount if op == "+" else -interval.amount
+        return add_interval(left, amount, interval.unit)
+    right = evaluate(expr.right, row)
+    if op in ("=", "<>", "<", ">", "<=", ">="):
+        if left is None or right is None:
+            return None
+        return _compare(op, left, right)
+
+    # arithmetic
+    if left is None or right is None:
+        return None
+    if isinstance(left, datetime.date) or isinstance(right, datetime.date):
+        return _date_arithmetic(op, left, right)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    raise ExecutionError(f"unsupported binary operator {op!r}")
+
+
+def _date_arithmetic(op: str, left, right):
+    if op == "-" and isinstance(left, datetime.date) and isinstance(right, datetime.date):
+        return (left - right).days
+    if op == "+" and isinstance(left, datetime.date) and isinstance(right, int):
+        return left + datetime.timedelta(days=right)
+    if op == "-" and isinstance(left, datetime.date) and isinstance(right, int):
+        return left - datetime.timedelta(days=right)
+    if op == "+" and isinstance(right, datetime.date) and isinstance(left, int):
+        return right + datetime.timedelta(days=left)
+    raise TypeMismatchError(f"unsupported date arithmetic: {type(left)} {op} {type(right)}")
+
+
+def _compare(op: str, left, right) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        return left >= right
+    except TypeError as exc:
+        raise TypeMismatchError(f"cannot compare {left!r} with {right!r}") from exc
+
+
+def _eval_unary(expr: UnaryOp, row: tuple):
+    value = evaluate(expr.operand, row)
+    if expr.op == "not":
+        if value is None:
+            return None
+        return not value
+    if expr.op == "-":
+        if value is None:
+            return None
+        return -value
+    raise ExecutionError(f"unsupported unary operator {expr.op!r}")
+
+
+def _eval_scalar_function(expr: FuncCall, row: tuple):
+    if expr.name.startswith("extract_"):
+        value = evaluate(expr.args[0], row)
+        if value is None:
+            return None
+        if not isinstance(value, datetime.date):
+            raise TypeMismatchError("extract requires a date operand")
+        field = expr.name.removeprefix("extract_")
+        return getattr(value, field)
+    raise ExecutionError(f"unsupported scalar function {expr.name!r}")
+
+
+def predicate_holds(expr: Expression, row: tuple) -> bool:
+    """Predicate-context evaluation: NULL/unknown rejects the row."""
+    return evaluate(expr, row) is True

@@ -1,0 +1,527 @@
+"""Recursive-descent parser for the engine's SQL dialect.
+
+Covers the full EQC surface (single-block SELECT with conjunctive predicates,
+between/like/in/is-null, arithmetic expressions, aggregates, group by, having,
+order by, limit, `t1 inner join t2 on ...` and comma joins) plus the DDL/DML
+the extraction pipeline issues (create/drop/rename table, insert, update,
+delete).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional
+
+from repro.engine.sqlast import (
+    Between,
+    BinaryOp,
+    ColumnDef,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expression,
+    FuncCall,
+    InList,
+    Insert,
+    IntervalLiteral,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    RenameTable,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from repro.engine.tokenizer import Token, tokenize
+from repro.errors import ParseError
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse a single SQL statement (a trailing semicolon is permitted)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.statement()
+    parser.accept_symbol(";")
+    parser.expect_eof()
+    return statement
+
+
+def parse_select(sql: str) -> SelectStatement:
+    statement = parse_statement(sql)
+    if not isinstance(statement, SelectStatement):
+        raise ParseError("expected a SELECT statement")
+    return statement
+
+
+def parse_expression(sql: str) -> Expression:
+    """Parse a standalone scalar/boolean expression (used in tests/tools)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[str]:
+        if self._current.kind == "keyword" and self._current.value in words:
+            return self._advance().value
+        return None
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise ParseError(f"expected {word.upper()!r}, found {self._current.value!r}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self._current.matches("symbol", symbol):
+            self._advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise ParseError(f"expected {symbol!r}, found {self._current.value!r}")
+
+    def expect_identifier(self) -> str:
+        token = self._current
+        # Contextual keywords (e.g. 'date', 'year') may appear as identifiers
+        # in column positions; allow any keyword that is not structural here.
+        if token.kind in ("identifier",):
+            self._advance()
+            return token.value
+        if token.kind == "keyword" and token.value in ("date", "year", "month", "day", "key"):
+            self._advance()
+            return token.value
+        raise ParseError(f"expected identifier, found {token.value!r}")
+
+    def expect_number(self) -> str:
+        token = self._current
+        if token.kind != "number":
+            raise ParseError(f"expected number, found {token.value!r}")
+        self._advance()
+        return token.value
+
+    def expect_string(self) -> str:
+        token = self._current
+        if token.kind != "string":
+            raise ParseError(f"expected string literal, found {token.value!r}")
+        self._advance()
+        return token.value
+
+    def expect_eof(self) -> None:
+        if self._current.kind != "eof":
+            raise ParseError(f"unexpected trailing input: {self._current.value!r}")
+
+    # -- statements ----------------------------------------------------------
+
+    def statement(self) -> Statement:
+        token = self._current
+        if token.kind != "keyword":
+            raise ParseError(f"expected statement keyword, found {token.value!r}")
+        if token.value == "select":
+            return self.select_statement()
+        if token.value == "create":
+            return self.create_table()
+        if token.value == "drop":
+            return self.drop_table()
+        if token.value == "alter":
+            return self.alter_table()
+        if token.value == "insert":
+            return self.insert()
+        if token.value == "update":
+            return self.update()
+        if token.value == "delete":
+            return self.delete()
+        raise ParseError(f"unsupported statement: {token.value!r}")
+
+    def select_statement(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = bool(self.accept_keyword("distinct"))
+        items = [self.select_item()]
+        while self.accept_symbol(","):
+            items.append(self.select_item())
+
+        self.expect_keyword("from")
+        tables, join_conditions = self.from_clause()
+
+        where = None
+        if self.accept_keyword("where"):
+            where = self.expression()
+        for condition in join_conditions:
+            where = condition if where is None else BinaryOp("and", where, condition)
+
+        group_by: list[Expression] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.additive())
+            while self.accept_symbol(","):
+                group_by.append(self.additive())
+
+        having = None
+        if self.accept_keyword("having"):
+            having = self.expression()
+
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.order_item())
+            while self.accept_symbol(","):
+                order_by.append(self.order_item())
+
+        limit = None
+        if self.accept_keyword("limit"):
+            limit = int(self.expect_number())
+
+        return SelectStatement(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def select_item(self) -> SelectItem:
+        expr = self.additive()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier()
+        elif self._current.kind == "identifier":
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def from_clause(self) -> tuple[list[TableRef], list[Expression]]:
+        tables = [self.table_ref()]
+        join_conditions: list[Expression] = []
+        while True:
+            if self.accept_symbol(","):
+                tables.append(self.table_ref())
+                continue
+            if self._current.matches("keyword", "inner") or self._current.matches(
+                "keyword", "join"
+            ):
+                self.accept_keyword("inner")
+                self.expect_keyword("join")
+                tables.append(self.table_ref())
+                self.expect_keyword("on")
+                join_conditions.append(self.expression())
+                continue
+            break
+        return tables, join_conditions
+
+    def table_ref(self) -> TableRef:
+        name = self.expect_identifier()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier()
+        elif self._current.kind == "identifier":
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def order_item(self) -> OrderItem:
+        expr = self.additive()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr=expr, descending=descending)
+
+    # -- expressions ---------------------------------------------------------
+
+    def expression(self) -> Expression:
+        return self.disjunction()
+
+    def disjunction(self) -> Expression:
+        left = self.conjunction()
+        while self.accept_keyword("or"):
+            left = BinaryOp("or", left, self.conjunction())
+        return left
+
+    def conjunction(self) -> Expression:
+        left = self.negation()
+        while self.accept_keyword("and"):
+            left = BinaryOp("and", left, self.negation())
+        return left
+
+    def negation(self) -> Expression:
+        if self.accept_keyword("not"):
+            return UnaryOp("not", self.negation())
+        return self.predicate()
+
+    def predicate(self) -> Expression:
+        left = self.additive()
+        token = self._current
+        if token.kind == "symbol" and token.value in _COMPARISON_OPS:
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            return BinaryOp(op, left, self.additive())
+        negated = False
+        if token.matches("keyword", "not"):
+            # look ahead for 'not between/like/in'
+            nxt = self._tokens[self._pos + 1]
+            if nxt.kind == "keyword" and nxt.value in ("between", "like", "in"):
+                self._advance()
+                negated = True
+                token = self._current
+        if token.matches("keyword", "between"):
+            self._advance()
+            low = self.additive()
+            self.expect_keyword("and")
+            high = self.additive()
+            expr: Expression = Between(left, low, high)
+            return UnaryOp("not", expr) if negated else expr
+        if token.matches("keyword", "like"):
+            self._advance()
+            pattern = self.expect_string()
+            return Like(left, pattern, negated=negated)
+        if token.matches("keyword", "in"):
+            self._advance()
+            self.expect_symbol("(")
+            items = [self.additive()]
+            while self.accept_symbol(","):
+                items.append(self.additive())
+            self.expect_symbol(")")
+            return InList(left, tuple(items), negated=negated)
+        if token.matches("keyword", "is"):
+            self._advance()
+            is_negated = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            return IsNull(left, negated=is_negated)
+        return left
+
+    def additive(self) -> Expression:
+        left = self.multiplicative()
+        while True:
+            if self.accept_symbol("+"):
+                left = BinaryOp("+", left, self.multiplicative())
+            elif self.accept_symbol("-"):
+                left = BinaryOp("-", left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> Expression:
+        left = self.unary()
+        while True:
+            if self.accept_symbol("*"):
+                left = BinaryOp("*", left, self.unary())
+            elif self.accept_symbol("/"):
+                left = BinaryOp("/", left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> Expression:
+        if self.accept_symbol("-"):
+            operand = self.unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        if self.accept_symbol("+"):
+            return self.unary()
+        return self.primary()
+
+    def primary(self) -> Expression:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.matches("keyword", "null"):
+            self._advance()
+            return Literal(None)
+        if token.matches("keyword", "true"):
+            self._advance()
+            return Literal(True)
+        if token.matches("keyword", "false"):
+            self._advance()
+            return Literal(False)
+        if token.matches("keyword", "date"):
+            # `date '1995-03-15'` literal; bare `date` may also be a column name.
+            nxt = self._tokens[self._pos + 1]
+            if nxt.kind == "string":
+                self._advance()
+                text = self.expect_string()
+                try:
+                    return Literal(datetime.date.fromisoformat(text))
+                except ValueError as exc:
+                    raise ParseError(f"invalid date literal {text!r}") from exc
+            return self._column_or_call()
+        if token.matches("keyword", "interval"):
+            self._advance()
+            amount = int(self.expect_string())
+            unit_token = self._advance()
+            unit = unit_token.value.rstrip("s")
+            if unit not in ("day", "month", "year"):
+                raise ParseError(f"unsupported interval unit {unit_token.value!r}")
+            return IntervalLiteral(amount, unit)
+        if token.matches("keyword", "extract"):
+            self._advance()
+            self.expect_symbol("(")
+            field_token = self._advance()
+            if field_token.value not in ("year", "month", "day"):
+                raise ParseError(f"unsupported extract field {field_token.value!r}")
+            self.expect_keyword("from")
+            operand = self.additive()
+            self.expect_symbol(")")
+            return FuncCall(f"extract_{field_token.value}", (operand,))
+        if self.accept_symbol("("):
+            expr = self.expression()
+            self.expect_symbol(")")
+            return expr
+        if token.kind in ("identifier", "keyword"):
+            return self._column_or_call()
+        raise ParseError(f"unexpected token {token.value!r} in expression")
+
+    def _column_or_call(self) -> Expression:
+        name = self.expect_identifier()
+        if self.accept_symbol("("):
+            if self.accept_symbol("*"):
+                self.expect_symbol(")")
+                return FuncCall(name, (), star=True)
+            distinct = bool(self.accept_keyword("distinct"))
+            args = [self.additive()]
+            while self.accept_symbol(","):
+                args.append(self.additive())
+            self.expect_symbol(")")
+            return FuncCall(name, tuple(args), distinct=distinct)
+        if self.accept_symbol("."):
+            column = self.expect_identifier()
+            return ColumnRef(name=column, table=name)
+        return ColumnRef(name=name)
+
+    # -- DDL / DML -------------------------------------------------------------
+
+    def create_table(self) -> CreateTable:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        name = self.expect_identifier()
+        self.expect_symbol("(")
+        columns: list[ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        foreign_keys: list[tuple[tuple[str, ...], str, tuple[str, ...]]] = []
+        while True:
+            if self.accept_keyword("primary"):
+                self.expect_keyword("key")
+                primary_key = self._identifier_list()
+            elif self.accept_keyword("foreign"):
+                self.expect_keyword("key")
+                local = self._identifier_list()
+                self.expect_keyword("references")
+                ref_table = self.expect_identifier()
+                ref_cols = self._identifier_list()
+                foreign_keys.append((local, ref_table, ref_cols))
+            else:
+                columns.append(self._column_def())
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        return CreateTable(
+            name=name,
+            columns=tuple(columns),
+            primary_key=primary_key,
+            foreign_keys=tuple(foreign_keys),
+        )
+
+    def _column_def(self) -> ColumnDef:
+        name = self.expect_identifier()
+        type_token = self._advance()
+        type_name = type_token.value
+        args: list[int] = []
+        if self.accept_symbol("("):
+            args.append(int(self.expect_number()))
+            while self.accept_symbol(","):
+                args.append(int(self.expect_number()))
+            self.expect_symbol(")")
+        return ColumnDef(name=name, type_name=type_name, type_args=tuple(args))
+
+    def _identifier_list(self) -> tuple[str, ...]:
+        self.expect_symbol("(")
+        names = [self.expect_identifier()]
+        while self.accept_symbol(","):
+            names.append(self.expect_identifier())
+        self.expect_symbol(")")
+        return tuple(names)
+
+    def drop_table(self) -> DropTable:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        return DropTable(self.expect_identifier())
+
+    def alter_table(self) -> RenameTable:
+        self.expect_keyword("alter")
+        self.expect_keyword("table")
+        old = self.expect_identifier()
+        self.expect_keyword("rename")
+        self.expect_keyword("to")
+        new = self.expect_identifier()
+        return RenameTable(old, new)
+
+    def insert(self) -> Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_identifier()
+        columns: tuple[str, ...] = ()
+        if self._current.matches("symbol", "("):
+            columns = self._identifier_list()
+        self.expect_keyword("values")
+        rows = [self._value_row()]
+        while self.accept_symbol(","):
+            rows.append(self._value_row())
+        return Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def _value_row(self) -> tuple[Expression, ...]:
+        self.expect_symbol("(")
+        values = [self.additive()]
+        while self.accept_symbol(","):
+            values.append(self.additive())
+        self.expect_symbol(")")
+        return tuple(values)
+
+    def update(self) -> Update:
+        self.expect_keyword("update")
+        table = self.expect_identifier()
+        self.expect_keyword("set")
+        assignments = [self._assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self._assignment())
+        where = self.expression() if self.accept_keyword("where") else None
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _assignment(self) -> tuple[str, Expression]:
+        column = self.expect_identifier()
+        self.expect_symbol("=")
+        return column, self.additive()
+
+    def delete(self) -> Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_identifier()
+        where = self.expression() if self.accept_keyword("where") else None
+        return Delete(table=table, where=where)

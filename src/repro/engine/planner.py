@@ -1,0 +1,357 @@
+"""Logical planning: name resolution and predicate classification.
+
+The planner turns a parsed :class:`SelectStatement` into a :class:`SelectPlan`:
+
+* every table reference is validated against the catalog (an unknown table
+  raises :class:`UndefinedTableError` *before any data is touched*, which is
+  exactly the signal the From-clause extractor relies on);
+* column references become :class:`SlotRef` positions in the joined-row layout;
+* WHERE conjuncts are classified into equi-join edges, single-table filters
+  (pushed down to their table), and residual predicates;
+* aggregate calls are collected and post-aggregation expressions are rewritten
+  over the group-row layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.catalog import Catalog, TableSchema
+from repro.engine.expressions import SlotRef
+from repro.engine.sqlast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InList,
+    IntervalLiteral,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    SelectStatement,
+    UnaryOp,
+    conjuncts,
+)
+from repro.errors import (
+    AmbiguousColumnError,
+    ExecutionError,
+    UndefinedColumnError,
+)
+
+
+@dataclass(frozen=True)
+class BoundTable:
+    """A FROM-clause table bound to its schema and slot range."""
+
+    binding: str  # alias or table name, lowercase
+    schema: TableSchema
+    slot_offset: int
+
+    @property
+    def width(self) -> int:
+        return len(self.schema.columns)
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join predicate between two slots of different tables."""
+
+    left_binding: str
+    left_slot: int
+    right_binding: str
+    right_slot: int
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One distinct aggregate invocation, evaluated per group."""
+
+    name: str
+    argument: Optional[Expression]  # resolved over base slots; None for count(*)
+    distinct: bool
+
+
+@dataclass
+class SelectPlan:
+    tables: list[BoundTable]
+    total_slots: int
+    table_filters: dict[str, list[Expression]]
+    join_edges: list[JoinEdge]
+    residual_predicates: list[Expression]
+    is_grouped: bool
+    group_exprs: list[Expression]  # resolved over base slots
+    aggregate_calls: list[AggregateCall]
+    output_names: list[str]
+    # When grouped: expressions over the group-row layout
+    # (group values ++ aggregate values); when not: over base slots.
+    output_exprs: list[Expression]
+    having: Optional[Expression]  # over group-row layout
+    order_by: list[tuple[Expression, bool]]  # (expr over output layout?, desc)
+    order_on_output: list[tuple[int, bool]]  # resolved to output column indices
+    limit: Optional[int]
+    distinct: bool
+
+
+class _Scope:
+    """Column resolution scope over the FROM-clause tables."""
+
+    def __init__(self, tables: list[BoundTable]):
+        self.tables = tables
+        self.by_binding = {t.binding: t for t in tables}
+
+    def resolve(self, ref: ColumnRef) -> SlotRef:
+        if ref.table is not None:
+            bound = self.by_binding.get(ref.table.lower())
+            if bound is None or not bound.schema.has_column(ref.name):
+                raise UndefinedColumnError(f"{ref.table}.{ref.name}")
+            slot = bound.slot_offset + bound.schema.column_index(ref.name)
+            return SlotRef(slot=slot, name=ref.name.lower(), table=bound.binding)
+        matches = [t for t in self.tables if t.schema.has_column(ref.name)]
+        if not matches:
+            raise UndefinedColumnError(ref.name)
+        if len(matches) > 1:
+            raise AmbiguousColumnError(ref.name)
+        bound = matches[0]
+        slot = bound.slot_offset + bound.schema.column_index(ref.name)
+        return SlotRef(slot=slot, name=ref.name.lower(), table=bound.binding)
+
+
+def _resolve(expr: Expression, scope: _Scope) -> Expression:
+    """Rewrite ColumnRefs into SlotRefs throughout the tree."""
+    if isinstance(expr, ColumnRef):
+        return scope.resolve(expr)
+    if isinstance(expr, (Literal, IntervalLiteral, SlotRef)):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, _resolve(expr.left, scope), _resolve(expr.right, scope))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _resolve(expr.operand, scope))
+    if isinstance(expr, Between):
+        return Between(
+            _resolve(expr.operand, scope),
+            _resolve(expr.low, scope),
+            _resolve(expr.high, scope),
+        )
+    if isinstance(expr, Like):
+        return Like(_resolve(expr.operand, scope), expr.pattern, expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(_resolve(expr.operand, scope), expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            _resolve(expr.operand, scope),
+            tuple(_resolve(item, scope) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(_resolve(arg, scope) for arg in expr.args),
+            star=expr.star,
+            distinct=expr.distinct,
+        )
+    raise ExecutionError(f"cannot resolve expression node {type(expr).__name__}")
+
+
+def _referenced_bindings(expr: Expression) -> set[str]:
+    return {node.table for node in expr.walk() if isinstance(node, SlotRef)}
+
+
+def _contains_aggregate(expr: Expression) -> bool:
+    return any(isinstance(node, FuncCall) and node.is_aggregate for node in expr.walk())
+
+
+class _GroupRewriter:
+    """Rewrites post-aggregation expressions over the group-row layout.
+
+    The group row is ``tuple(group values) + tuple(aggregate values)``.
+    Occurrences of a group expression are replaced by its group slot;
+    aggregate calls are replaced by their aggregate slot.
+    """
+
+    def __init__(self, group_exprs: list[Expression]):
+        self.group_exprs = group_exprs
+        self.aggregate_calls: list[AggregateCall] = []
+        self._agg_index: dict[tuple, int] = {}
+
+    def _aggregate_slot(self, call: FuncCall) -> int:
+        key = (call.name, call.args, call.star, call.distinct)
+        if key not in self._agg_index:
+            self._agg_index[key] = len(self.aggregate_calls)
+            argument = None if call.star else call.args[0]
+            self.aggregate_calls.append(
+                AggregateCall(name=call.name, argument=argument, distinct=call.distinct)
+            )
+        return len(self.group_exprs) + self._agg_index[key]
+
+    def rewrite(self, expr: Expression) -> Expression:
+        for i, group_expr in enumerate(self.group_exprs):
+            if expr == group_expr:
+                source = expr if isinstance(expr, SlotRef) else None
+                return SlotRef(
+                    slot=i,
+                    name=source.name if source else f"group_{i}",
+                    table=source.table if source else "",
+                )
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            slot = self._aggregate_slot(expr)
+            return SlotRef(slot=slot, name=expr.name, table="")
+        if isinstance(expr, (Literal, IntervalLiteral)):
+            return expr
+        if isinstance(expr, SlotRef):
+            raise ExecutionError(
+                f'column "{expr.table}.{expr.name}" must appear in the GROUP BY '
+                "clause or be used in an aggregate function"
+            )
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, self.rewrite(expr.left), self.rewrite(expr.right))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.rewrite(expr.operand))
+        if isinstance(expr, Between):
+            return Between(
+                self.rewrite(expr.operand), self.rewrite(expr.low), self.rewrite(expr.high)
+            )
+        if isinstance(expr, Like):
+            return Like(self.rewrite(expr.operand), expr.pattern, expr.negated)
+        if isinstance(expr, IsNull):
+            return IsNull(self.rewrite(expr.operand), expr.negated)
+        if isinstance(expr, InList):
+            return InList(
+                self.rewrite(expr.operand),
+                tuple(self.rewrite(item) for item in expr.items),
+                expr.negated,
+            )
+        raise ExecutionError(f"cannot rewrite node {type(expr).__name__} over groups")
+
+
+def plan_select(statement: SelectStatement, catalog: Catalog) -> SelectPlan:
+    # 1. Bind tables (raises UndefinedTableError for unknown relations).
+    bound_tables: list[BoundTable] = []
+    offset = 0
+    seen_bindings: set[str] = set()
+    for ref in statement.tables:
+        schema = catalog.get(ref.name)
+        binding = (ref.alias or ref.name).lower()
+        if binding in seen_bindings:
+            raise ExecutionError(f"duplicate table binding {binding!r}")
+        seen_bindings.add(binding)
+        bound_tables.append(BoundTable(binding=binding, schema=schema, slot_offset=offset))
+        offset += len(schema.columns)
+    scope = _Scope(bound_tables)
+
+    # 2. Classify WHERE conjuncts.
+    table_filters: dict[str, list[Expression]] = {t.binding: [] for t in bound_tables}
+    join_edges: list[JoinEdge] = []
+    residual: list[Expression] = []
+    for conjunct in conjuncts(statement.where):
+        resolved = _resolve(conjunct, scope)
+        edge = _as_join_edge(resolved)
+        if edge is not None:
+            join_edges.append(edge)
+            continue
+        bindings = _referenced_bindings(resolved)
+        if len(bindings) == 1:
+            table_filters[next(iter(bindings))].append(resolved)
+        else:
+            residual.append(resolved)
+
+    # 3. Resolve select list / grouping / having / order by.
+    resolved_items = [(_resolve(item.expr, scope), item.output_name()) for item in statement.items]
+    group_exprs = [_resolve(g, scope) for g in statement.group_by]
+    having_resolved = _resolve(statement.having, scope) if statement.having else None
+
+    has_aggregates = (
+        bool(group_exprs)
+        or any(_contains_aggregate(expr) for expr, _ in resolved_items)
+        or (having_resolved is not None and _contains_aggregate(having_resolved))
+    )
+
+    output_names = [name for _, name in resolved_items]
+    if has_aggregates:
+        rewriter = _GroupRewriter(group_exprs)
+        output_exprs = [rewriter.rewrite(expr) for expr, _ in resolved_items]
+        having = rewriter.rewrite(having_resolved) if having_resolved is not None else None
+        aggregate_calls = rewriter.aggregate_calls
+    else:
+        output_exprs = [expr for expr, _ in resolved_items]
+        having = None
+        aggregate_calls = []
+
+    # 4. Order-by resolution: prefer an output alias / identical output
+    #    expression; otherwise resolve against base columns and re-map.
+    order_on_output: list[tuple[int, bool]] = []
+    for item in statement.order_by:
+        index = _order_output_index(item, statement, resolved_items, scope, has_aggregates)
+        order_on_output.append((index, item.descending))
+
+    return SelectPlan(
+        tables=bound_tables,
+        total_slots=offset,
+        table_filters=table_filters,
+        join_edges=join_edges,
+        residual_predicates=residual,
+        is_grouped=has_aggregates,
+        group_exprs=group_exprs,
+        aggregate_calls=aggregate_calls,
+        output_names=output_names,
+        output_exprs=output_exprs,
+        having=having,
+        order_by=[],
+        order_on_output=order_on_output,
+        limit=statement.limit,
+        distinct=statement.distinct,
+    )
+
+
+def _as_join_edge(resolved: Expression) -> Optional[JoinEdge]:
+    if (
+        isinstance(resolved, BinaryOp)
+        and resolved.op == "="
+        and isinstance(resolved.left, SlotRef)
+        and isinstance(resolved.right, SlotRef)
+        and resolved.left.table != resolved.right.table
+    ):
+        return JoinEdge(
+            left_binding=resolved.left.table,
+            left_slot=resolved.left.slot,
+            right_binding=resolved.right.table,
+            right_slot=resolved.right.slot,
+        )
+    return None
+
+
+def _order_output_index(
+    item: OrderItem,
+    statement: SelectStatement,
+    resolved_items: list[tuple[Expression, str]],
+    scope: _Scope,
+    has_aggregates: bool,
+) -> int:
+    """Map an ORDER BY item to the index of an output column.
+
+    EQC requires all ordering columns to appear in the projections, so every
+    order expression must match either an output alias or an output expression.
+    """
+    expr = item.expr
+    if isinstance(expr, ColumnRef) and expr.table is None:
+        for i, sel_item in enumerate(statement.items):
+            if sel_item.output_name().lower() == expr.name.lower():
+                return i
+    # structural match against the raw select expressions
+    for i, sel_item in enumerate(statement.items):
+        if sel_item.expr == expr:
+            return i
+    # structural match after resolution (e.g. alias-qualified references)
+    try:
+        resolved = _resolve(expr, scope)
+    except (UndefinedColumnError, AmbiguousColumnError):
+        resolved = None
+    if resolved is not None and not has_aggregates:
+        for i, (out_expr, _) in enumerate(resolved_items):
+            if out_expr == resolved:
+                return i
+    raise ExecutionError(
+        f"ORDER BY expression {expr.to_sql()!r} does not match any output column"
+    )

@@ -1,0 +1,129 @@
+"""Query results.
+
+A :class:`Result` is the *only* thing the extraction pipeline observes about a
+hidden application run, so it carries the helpers the algorithms need: row
+cardinality, per-column access, multiset comparison, and a position-dependent
+checksum for physical-ordering verification (paper §5.5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import Iterator, Sequence
+
+
+class Result:
+    """An ordered bag of rows with named columns."""
+
+    def __init__(self, columns: Sequence[str], rows: Sequence[tuple]):
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Result {len(self.rows)} rows, columns={self.columns}>"
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the result carries no rows (strict emptiness)."""
+        return not self.rows
+
+    @property
+    def is_effectively_empty(self) -> bool:
+        """The paper's "empty or null result" notion (§4.2).
+
+        An ungrouped aggregation over zero input rows still emits one row —
+        NULL for min/max/sum/avg, 0 for count — so every mutation-based
+        membership probe must treat that degenerate row as emptiness, else
+        the minimizer (and the join/filter probes) would consider *any*
+        database "populated" for such queries.
+        """
+        if not self.rows:
+            return True
+        if len(self.rows) == 1:
+            row = self.rows[0]
+            # min/max/sum/avg over empty input are NULL; count is 0.  Requiring
+            # at least one NULL avoids misreading a legitimate zero-valued
+            # aggregate (e.g. sum of zero products) as emptiness.  Queries
+            # whose only output is an ungrouped count() are outside this
+            # test's reach — a known limitation shared with the paper's
+            # cardinality-based probes.
+            return any(v is None for v in row) and all(
+                v is None or v == 0 for v in row
+            )
+        return False
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def column_count(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no result column named {name!r}") from None
+
+    def column_values(self, index_or_name) -> list:
+        """All values of one output column, in result order."""
+        if isinstance(index_or_name, str):
+            index = self.column_index(index_or_name)
+        else:
+            index = index_or_name
+        return [row[index] for row in self.rows]
+
+    def first_row(self) -> tuple:
+        if not self.rows:
+            raise IndexError("result is empty")
+        return self.rows[0]
+
+    def as_multiset(self, float_precision: int | None = None) -> Counter:
+        if float_precision is None:
+            return Counter(self.rows)
+        return Counter(
+            tuple(
+                round(v, float_precision) if isinstance(v, float) else v
+                for v in row
+            )
+            for row in self.rows
+        )
+
+    def same_multiset(self, other: "Result", float_precision: int | None = None) -> bool:
+        """Bag equality, ignoring row order (logical result equivalence).
+
+        ``float_precision`` rounds float values before comparing — needed when
+        two algebraically equal expressions (e.g. ``a*(1-b)`` vs ``a - a*b``)
+        accumulate different floating-point error over large sums.
+        """
+        return self.as_multiset(float_precision) == other.as_multiset(float_precision)
+
+    def ordered_checksum(self) -> str:
+        """Position-dependent checksum used to verify physical ordering."""
+        digest = hashlib.sha256()
+        for position, row in enumerate(self.rows):
+            digest.update(str(position).encode())
+            digest.update(repr(row).encode())
+        return digest.hexdigest()
+
+    def same_ordered(self, other: "Result") -> bool:
+        return self.ordered_checksum() == other.ordered_checksum()
+
+    @classmethod
+    def empty(cls, columns: Sequence[str] = ()) -> "Result":
+        return cls(columns, [])
+
+
+def values_sorted(values: list, descending: bool = False) -> bool:
+    """Whether ``values`` are sorted (non-strictly) in the given direction."""
+    if descending:
+        return all(a >= b for a, b in zip(values, values[1:]))
+    return all(a <= b for a, b in zip(values, values[1:]))

@@ -1,0 +1,325 @@
+"""AST node definitions for the engine's SQL dialect.
+
+Expression nodes render back to SQL via :meth:`to_sql`, which the assembler and
+the workload definitions reuse, guaranteeing a single canonical syntax.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.engine.types import format_sql_literal
+
+AGGREGATE_FUNCTIONS = {"min", "max", "sum", "avg", "count"}
+
+
+class Expression:
+    """Base class for scalar/boolean expression nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def walk(self):
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: object
+
+    def to_sql(self) -> str:
+        return format_sql_literal(self.value)
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expression):
+    """``interval 'n' unit`` — only additive use with dates is supported."""
+
+    amount: int
+    unit: str  # 'day' | 'month' | 'year'
+
+    def to_sql(self) -> str:
+        return f"interval '{self.amount}' {self.unit}"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # '-' | 'not'
+    operand: Expression
+
+    def to_sql(self) -> str:
+        if self.op == "not":
+            return f"not ({self.operand.to_sql()})"
+        return f"{self.op}{_wrap(self.operand)}"
+
+    def walk(self):
+        yield self
+        yield from self.operand.walk()
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str  # '+', '-', '*', '/', '=', '<>', '<', '>', '<=', '>=', 'and', 'or'
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        if self.op in ("and", "or"):
+            return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+        return f"{_wrap(self.left)} {self.op} {_wrap(self.right)}"
+
+    def walk(self):
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+
+    def to_sql(self) -> str:
+        return f"{_wrap(self.operand)} between {_wrap(self.low)} and {_wrap(self.high)}"
+
+    def walk(self):
+        yield self
+        yield from self.operand.walk()
+        yield from self.low.walk()
+        yield from self.high.walk()
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "not like" if self.negated else "like"
+        return f"{_wrap(self.operand)} {op} {format_sql_literal(self.pattern)}"
+
+    def walk(self):
+        yield self
+        yield from self.operand.walk()
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        suffix = "is not null" if self.negated else "is null"
+        return f"{_wrap(self.operand)} {suffix}"
+
+    def walk(self):
+        yield self
+        yield from self.operand.walk()
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "not in" if self.negated else "in"
+        inner = ", ".join(item.to_sql() for item in self.items)
+        return f"{_wrap(self.operand)} {op} ({inner})"
+
+    def walk(self):
+        yield self
+        yield from self.operand.walk()
+        for item in self.items:
+            yield from item.walk()
+
+
+@dataclass(frozen=True)
+class FuncCall(Expression):
+    name: str  # lowercase
+    args: tuple[Expression, ...]
+    star: bool = False  # count(*)
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+    def to_sql(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        prefix = "distinct " if self.distinct else ""
+        inner = ", ".join(arg.to_sql() for arg in self.args)
+        return f"{self.name}({prefix}{inner})"
+
+    def walk(self):
+        yield self
+        for arg in self.args:
+            yield from arg.walk()
+
+
+def _wrap(expr: Expression) -> str:
+    """Parenthesize compound sub-expressions for unambiguous rendering."""
+    if isinstance(expr, (BinaryOp, Between, UnaryOp)):
+        return f"({expr.to_sql()})"
+    return expr.to_sql()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expression
+    alias: Optional[str] = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        if isinstance(self.expr, FuncCall):
+            return self.expr.name
+        return "?column?"
+
+    def to_sql(self) -> str:
+        rendered = self.expr.to_sql()
+        if self.alias:
+            return f"{rendered} as {self.alias}"
+        return rendered
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in the query."""
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expression
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'desc' if self.descending else 'asc'}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["select"]
+        if self.distinct:
+            parts.append("distinct")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        parts.append("from " + ", ".join(t.to_sql() for t in self.tables))
+        if self.where is not None:
+            parts.append("where " + self.where.to_sql())
+        if self.group_by:
+            parts.append("group by " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.having is not None:
+            parts.append("having " + self.having.to_sql())
+        if self.order_by:
+            parts.append("order by " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts)
+
+
+# --- DDL / DML statements -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    type_args: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[tuple[tuple[str, ...], str, tuple[str, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class RenameTable:
+    old_name: str
+    new_name: str
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expression] = None
+
+
+Statement = (
+    SelectStatement | CreateTable | DropTable | RenameTable | Insert | Update | Delete
+)
+
+
+def conjuncts(expr: Optional[Expression]) -> list[Expression]:
+    """Flatten a conjunction into its AND-ed components."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(parts: Sequence[Expression]) -> Optional[Expression]:
+    """Rebuild a conjunction from components (inverse of :func:`conjuncts`)."""
+    result: Optional[Expression] = None
+    for part in parts:
+        result = part if result is None else BinaryOp("and", result, part)
+    return result

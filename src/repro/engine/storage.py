@@ -1,0 +1,112 @@
+"""Row storage for the in-memory engine.
+
+A table is a list of value tuples in schema column order.  The store favours
+simplicity and predictable semantics over raw speed — the extraction pipeline
+operates almost exclusively on single-digit-row databases after minimization,
+and the minimizer itself only needs cheap slicing/sampling of row lists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.engine.catalog import TableSchema
+from repro.errors import TypeMismatchError
+
+
+class TableData:
+    """Rows of a single table, validated against its schema."""
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Sequence] = ()):
+        self.schema = schema
+        self._rows: list[tuple] = []
+        self.extend(rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The stored rows (direct reference; callers must not mutate)."""
+        return self._rows
+
+    def coerce_row(self, row: Sequence) -> tuple:
+        if len(row) != len(self.schema.columns):
+            raise TypeMismatchError(
+                f"table {self.schema.name!r} expects {len(self.schema.columns)} values, "
+                f"got {len(row)}"
+            )
+        return tuple(
+            col.type.coerce(value) for col, value in zip(self.schema.columns, row)
+        )
+
+    def insert(self, row: Sequence) -> None:
+        self._rows.append(self.coerce_row(row))
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def clear(self) -> None:
+        self._rows = []
+
+    def replace_all(self, rows: Iterable[Sequence]) -> None:
+        new_rows = [self.coerce_row(row) for row in rows]
+        self._rows = new_rows
+
+    def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
+        kept = [row for row in self._rows if not predicate(row)]
+        deleted = len(self._rows) - len(kept)
+        self._rows = kept
+        return deleted
+
+    def update_where(
+        self,
+        predicate: Callable[[tuple], bool],
+        updater: Callable[[tuple], Sequence],
+    ) -> int:
+        updated = 0
+        new_rows = []
+        for row in self._rows:
+            if predicate(row):
+                new_rows.append(self.coerce_row(updater(row)))
+                updated += 1
+            else:
+                new_rows.append(row)
+        self._rows = new_rows
+        return updated
+
+    def set_column(self, column: str, value) -> None:
+        """Assign ``value`` to ``column`` in every row (bulk mutation helper)."""
+        idx = self.schema.column_index(column)
+        coerced = self.schema.column(column).type.coerce(value)
+        self._rows = [row[:idx] + (coerced,) + row[idx + 1 :] for row in self._rows]
+
+    def map_column(self, column: str, fn: Callable) -> None:
+        """Apply ``fn`` to ``column`` in every row (e.g. the Negate mutation)."""
+        idx = self.schema.column_index(column)
+        col_type = self.schema.column(column).type
+        self._rows = [
+            row[:idx] + (col_type.coerce(fn(row[idx])),) + row[idx + 1 :]
+            for row in self._rows
+        ]
+
+    def halves(self) -> tuple[list[tuple], list[tuple]]:
+        """Split the rows roughly into two halves (minimizer primitive)."""
+        mid = (len(self._rows) + 1) // 2
+        return self._rows[:mid], self._rows[mid:]
+
+    def sample(self, count: int, rng: random.Random) -> list[tuple]:
+        """A uniform random sample of ``count`` rows (without replacement)."""
+        if count >= len(self._rows):
+            return list(self._rows)
+        return rng.sample(self._rows, count)
+
+    def copy(self) -> "TableData":
+        clone = TableData(self.schema)
+        clone._rows = list(self._rows)
+        return clone

@@ -1,0 +1,117 @@
+"""SQL tokenizer for the engine's EQC dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "and", "or", "not", "between", "like", "in", "is", "null", "as",
+    "asc", "desc", "distinct", "inner", "join", "on", "date", "interval",
+    "create", "table", "drop", "alter", "rename", "to", "insert", "into",
+    "values", "update", "set", "delete", "primary", "foreign", "key",
+    "references", "constraint", "true", "false", "case", "when", "then",
+    "else", "end", "extract", "year", "month", "day", "cast",
+}
+
+SYMBOLS = (
+    "<=", ">=", "<>", "!=", "||",
+    "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'identifier' | 'number' | 'string' | 'symbol' | 'eof'
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into a token list terminated by an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token("string", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token("number", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, start))
+            else:
+                tokens.append(Token("identifier", lowered, start))
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end < 0:
+                raise ParseError(f"unterminated quoted identifier at offset {i}")
+            tokens.append(Token("identifier", sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        for symbol in SYMBOLS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal with '' escaping."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise ParseError(f"unterminated string literal at offset {start}")
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            # A trailing '.' followed by a non-digit belongs to the next token.
+            if i + 1 >= n or not sql[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    return sql[start:i], i

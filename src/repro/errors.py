@@ -1,0 +1,79 @@
+"""Exception hierarchy shared across the repro package.
+
+The engine raises :class:`DatabaseError` subclasses; the extraction pipeline
+relies on a few of them as *signals* (most importantly
+:class:`UndefinedTableError`, which drives From-clause identification), so they
+live in a dependency-free module importable from anywhere.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the SQL engine."""
+
+
+class ParseError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class CatalogError(DatabaseError):
+    """A DDL operation conflicts with the current catalog state."""
+
+
+class UndefinedTableError(CatalogError):
+    """A statement referenced a table that does not exist.
+
+    This is the error the From-clause extractor provokes by renaming tables:
+    if the hidden query references the renamed table, the engine raises this
+    immediately, exposing the table's membership in the query.
+    """
+
+    def __init__(self, table_name: str):
+        super().__init__(f'relation "{table_name}" does not exist')
+        self.table_name = table_name
+
+
+class UndefinedColumnError(DatabaseError):
+    """A statement referenced a column that does not exist."""
+
+    def __init__(self, column_name: str, context: str = ""):
+        suffix = f" in {context}" if context else ""
+        super().__init__(f'column "{column_name}" does not exist{suffix}')
+        self.column_name = column_name
+
+
+class AmbiguousColumnError(DatabaseError):
+    """An unqualified column reference matched more than one table."""
+
+    def __init__(self, column_name: str):
+        super().__init__(f'column reference "{column_name}" is ambiguous')
+        self.column_name = column_name
+
+
+class TypeMismatchError(DatabaseError):
+    """A value or expression is incompatible with the expected SQL type."""
+
+
+class IntegrityError(DatabaseError):
+    """A DML operation violated an active integrity constraint."""
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a query (e.g. division by zero)."""
+
+
+class ExecutableTimeoutError(ReproError):
+    """The black-box application exceeded its execution timeout."""
+
+
+class ExtractionError(ReproError):
+    """The extraction pipeline could not complete or verify an extraction."""
+
+
+class UnsupportedQueryError(ExtractionError):
+    """The hidden query fell outside the Extractable Query Class (EQC)."""

@@ -1,0 +1,1 @@
+"""Classical query-reverse-engineering baselines (REGAL/TALOS style)."""

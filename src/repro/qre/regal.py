@@ -1,0 +1,442 @@
+"""REGAL-like query reverse-engineering baseline (paper §6.1, Figure 8).
+
+REGAL's source is not public; this baseline reproduces its *approach* as the
+paper describes it (§8): speculative, instance-driven candidate enumeration —
+
+1. value-based discovery of candidate (table, column) pairs per result
+   column (native columns by value containment, aggregates by type);
+2. enumeration of connected table sets and their join trees over the schema
+   graph;
+3. a grouping lattice over the native output columns, with aggregation
+   candidates for the remaining columns;
+4. validation of every candidate by executing it against (D_I, R_I) and
+   pruning on mismatch, with a backward data-driven filter-inference step
+   when the candidate over-produces.
+
+Because every candidate validation joins over the *full* initial database,
+the baseline's cost grows with |D_I| × #candidates — the asymptotic gap to
+UNMASQUE's directed probing that Figure 8 quantifies.  A wall-clock budget
+and a candidate cap yield the paper's DNC outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+
+from repro.engine.database import Database
+from repro.engine.result import Result
+from repro.errors import ReproError
+from repro.sgraph.schema_graph import ColumnNode, SchemaGraph
+
+AGGREGATES = ("sum", "avg", "count", "min", "max")
+
+
+@dataclass
+class QREOutcome:
+    """Result of a reverse-engineering attempt."""
+
+    status: str  # 'ok' | 'dnc_timeout' | 'dnc_candidates' | 'failed'
+    sql: Optional[str] = None
+    candidates_validated: int = 0
+    seconds: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Candidate:
+    tables: tuple[str, ...]
+    join_edges: tuple[tuple[ColumnNode, ColumnNode], ...]
+    group_columns: tuple[ColumnNode, ...]  # per native output position
+    agg_columns: dict[int, tuple[str, Optional[ColumnNode]]]  # position -> (fn, col)
+    filters: list[str] = field(default_factory=list)
+
+    def to_sql(self, output_arity: int) -> str:
+        select_items = []
+        native = {i: col for i, col in zip(self._native_positions(output_arity), self.group_columns)}
+        for position in range(output_arity):
+            if position in self.agg_columns:
+                fn, col = self.agg_columns[position]
+                if col is None:
+                    select_items.append("count(*)")
+                else:
+                    select_items.append(f"{fn}({col.table}.{col.column})")
+            else:
+                col = native[position]
+                select_items.append(f"{col.table}.{col.column}")
+        parts = [f"select {', '.join(select_items)}"]
+        parts.append("from " + ", ".join(sorted(self.tables)))
+        predicates = [
+            f"{a.table}.{a.column} = {b.table}.{b.column}" for a, b in self.join_edges
+        ]
+        predicates.extend(self.filters)
+        if predicates:
+            parts.append("where " + " and ".join(predicates))
+        if self.agg_columns and self.group_columns:
+            parts.append(
+                "group by " + ", ".join(f"{c.table}.{c.column}" for c in self.group_columns)
+            )
+        return " ".join(parts)
+
+    def _native_positions(self, output_arity: int) -> list[int]:
+        return [i for i in range(output_arity) if i not in self.agg_columns]
+
+
+class RegalBaseline:
+    """Speculative SPJA reverse engineering from a (D_I, R_I) instance."""
+
+    def __init__(
+        self,
+        db: Database,
+        result: Result,
+        time_budget: float = 120.0,
+        candidate_cap: int = 20_000,
+        max_tables: int = 4,
+    ):
+        self.db = db
+        self.result = result
+        self.time_budget = time_budget
+        self.candidate_cap = candidate_cap
+        self.max_tables = max_tables
+        self.schema_graph = SchemaGraph(db.catalog)
+        self._started = 0.0
+        self._validated = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def reverse_engineer(self) -> QREOutcome:
+        self._started = time.perf_counter()
+        self._validated = 0
+        try:
+            sql = self._search()
+        except _BudgetExceeded as exc:
+            return QREOutcome(
+                status=exc.status,
+                candidates_validated=self._validated,
+                seconds=time.perf_counter() - self._started,
+            )
+        status = "ok" if sql is not None else "failed"
+        return QREOutcome(
+            status=status,
+            sql=sql,
+            candidates_validated=self._validated,
+            seconds=time.perf_counter() - self._started,
+        )
+
+    # -- candidate generation --------------------------------------------------
+
+    def _tick(self) -> None:
+        if time.perf_counter() - self._started > self.time_budget:
+            raise _BudgetExceeded("dnc_timeout")
+        if self._validated > self.candidate_cap:
+            raise _BudgetExceeded("dnc_candidates")
+
+    def _search(self) -> Optional[str]:
+        native_candidates, forced_aggregates = self._column_candidates()
+        for table_set in self._table_sets(native_candidates):
+            for join_edges in self._join_trees(table_set):
+                for group_positions in self._grouping_lattice(
+                    native_candidates, forced_aggregates, table_set
+                ):
+                    aggregate_positions = [
+                        p
+                        for p in range(self.result.column_count)
+                        if p not in group_positions
+                    ]
+                    for assignment in self._assignments(
+                        native_candidates, group_positions, table_set
+                    ):
+                        for agg_assignment in self._aggregate_assignments(
+                            aggregate_positions, table_set
+                        ):
+                            self._tick()
+                            candidate = _Candidate(
+                                tables=table_set,
+                                join_edges=join_edges,
+                                group_columns=tuple(assignment),
+                                agg_columns=agg_assignment,
+                            )
+                            sql = self._validate(candidate)
+                            if sql is not None:
+                                return sql
+        return None
+
+    def _grouping_lattice(
+        self,
+        native_candidates,
+        forced_aggregates: list[int],
+        table_set: tuple[str, ...],
+    ):
+        """Subsets of output positions treated as grouping columns.
+
+        A position with a value-contained native candidate may still be an
+        aggregate (min/max outputs always exist in the base data), so REGAL
+        descends a lattice from "all candidates native" toward "everything
+        aggregated".
+        """
+        eligible = [
+            p
+            for p, matches in sorted(native_candidates.items())
+            if any(c.table in table_set for c in matches)
+        ]
+        seen = set()
+        for size in range(len(eligible), -1, -1):
+            for combo in itertools.combinations(eligible, size):
+                if combo not in seen:
+                    seen.add(combo)
+                    yield combo
+
+    def _column_candidates(self):
+        """Value-containment discovery of native column candidates."""
+        native: dict[int, list[ColumnNode]] = {}
+        aggregate_positions: list[int] = []
+        for position in range(self.result.column_count):
+            values = set(self.result.column_values(position))
+            matches = []
+            for table in self.db.table_names:
+                schema = self.db.schema(table)
+                rows = self.db.rows(table)
+                for index, column in enumerate(schema.columns):
+                    column_values = {row[index] for row in rows}
+                    if values <= column_values:
+                        matches.append(ColumnNode(table.lower(), column.name.lower()))
+            if matches:
+                native[position] = matches
+            else:
+                aggregate_positions.append(position)
+        return native, aggregate_positions
+
+    def _table_sets(self, native_candidates) -> list[tuple[str, ...]]:
+        """Connected table sets, candidate-covering sets first.
+
+        REGAL must consider tables beyond the value-matched ones (an
+        aggregate's argument may live in a table none of whose columns
+        contain a result value), so all connected combinations are
+        enumerated, ordered by size and by how many candidate tables they
+        include.
+        """
+        candidate_tables = set()
+        for matches in native_candidates.values():
+            candidate_tables.update(c.table for c in matches)
+        all_tables = sorted(t.lower() for t in self.db.table_names)
+        sets: list[tuple[str, ...]] = []
+        for size in range(1, self.max_tables + 1):
+            sized = [
+                combo
+                for combo in itertools.combinations(all_tables, size)
+                if self._is_connected(combo)
+            ]
+            sized.sort(key=lambda combo: -len(candidate_tables & set(combo)))
+            sets.extend(sized)
+        return sets
+
+    def _is_connected(self, tables: tuple[str, ...]) -> bool:
+        if len(tables) == 1:
+            return True
+        graph = nx.Graph()
+        graph.add_nodes_from(tables)
+        for a, b in self.schema_graph.graph.edges:
+            if a.table in tables and b.table in tables:
+                graph.add_edge(a.table, b.table)
+        return nx.is_connected(graph)
+
+    def _join_trees(self, tables: tuple[str, ...]):
+        """Spanning join-edge sets over the schema-graph edges."""
+        if len(tables) == 1:
+            yield ()
+            return
+        edges = [
+            (a, b)
+            for a, b in self.schema_graph.graph.edges
+            if a.table in tables and b.table in tables and a.table != b.table
+        ]
+        n_needed = len(tables) - 1
+        for combo in itertools.combinations(edges, n_needed):
+            graph = nx.Graph()
+            graph.add_nodes_from(tables)
+            for a, b in combo:
+                graph.add_edge(a.table, b.table)
+            if nx.is_connected(graph):
+                yield tuple(combo)
+
+    def _assignments(
+        self, native_candidates, group_positions, tables: tuple[str, ...]
+    ):
+        """Per-group-position choices of native columns within the table set."""
+        pools = []
+        for position in group_positions:
+            pool = [c for c in native_candidates[position] if c.table in tables]
+            if not pool:
+                return
+            pools.append(pool)
+        for combo in itertools.product(*pools):
+            yield list(combo)
+
+    def _aggregate_assignments(self, positions: list[int], tables: tuple[str, ...]):
+        """Aggregation function/column choices for non-native positions."""
+        if not positions:
+            yield {}
+            return
+        numeric_columns: list[Optional[ColumnNode]] = [None]  # count(*)
+        for table in tables:
+            schema = self.db.schema(table)
+            for column in schema.columns:
+                if column.type.is_numeric:
+                    numeric_columns.append(ColumnNode(table, column.name.lower()))
+        options = []
+        for column in numeric_columns:
+            if column is None:
+                options.append(("count", None))
+            else:
+                options.extend((fn, column) for fn in AGGREGATES)
+        for combo in itertools.product(options, repeat=len(positions)):
+            yield dict(zip(positions, combo))
+
+    # -- validation ------------------------------------------------------------
+
+    def _validate(self, candidate: _Candidate) -> Optional[str]:
+        self._validated += 1
+        sql = candidate.to_sql(self.result.column_count)
+        try:
+            produced = self.db.execute(sql)
+        except ReproError:
+            return None
+        target = self.result.as_multiset(float_precision=4)
+        got = produced.as_multiset(float_precision=4)
+        if got == target:
+            return sql
+        if target and set(target) <= set(got):
+            # Over-production: backward filter inference on the native columns.
+            refined = self._infer_filters(candidate, produced)
+            if refined is not None:
+                try:
+                    refined_result = self.db.execute(refined)
+                except ReproError:
+                    refined_result = None
+                if (
+                    refined_result is not None
+                    and refined_result.as_multiset(float_precision=4) == target
+                ):
+                    return refined
+        if candidate.agg_columns:
+            return self._aggregate_filter_search(candidate, produced, target)
+        return None
+
+    def _aggregate_filter_search(
+        self, candidate: _Candidate, produced: Result, target: Counter
+    ) -> Optional[str]:
+        """Hypothesize single range filters when aggregate values mismatch.
+
+        A WHERE predicate removed from an aggregation query changes every
+        aggregate value, so the only recourse for an instance-driven tool is
+        to *guess* cut points over the base data and re-validate — the
+        brute-force inner loop that dominates REGAL's runtime on filtered
+        queries.
+        """
+        native_positions = candidate._native_positions(self.result.column_count)
+        target_keys = {tuple(row[i] for i in native_positions) for row in target}
+        produced_keys = {tuple(row[i] for i in native_positions) for row in produced.rows}
+        if not target_keys <= produced_keys:
+            return None
+
+        from repro.engine.types import format_sql_literal
+
+        for table in candidate.tables:
+            schema = self.db.schema(table)
+            key_columns = schema.key_columns()
+            for index, column in enumerate(schema.columns):
+                if column.name.lower() in key_columns:
+                    continue
+                if not (column.type.is_numeric or column.type.is_temporal):
+                    continue
+                distinct = sorted({row[index] for row in self.db.rows(table)})
+                if len(distinct) < 2:
+                    continue
+                step = max(1, len(distinct) // 24)
+                cutpoints = distinct[::step]
+                for op in ("<=", ">="):
+                    for cut in cutpoints:
+                        self._tick()
+                        predicate = (
+                            f"{table}.{column.name.lower()} {op} "
+                            f"{format_sql_literal(cut)}"
+                        )
+                        refined = _Candidate(
+                            tables=candidate.tables,
+                            join_edges=candidate.join_edges,
+                            group_columns=candidate.group_columns,
+                            agg_columns=candidate.agg_columns,
+                            filters=[predicate],
+                        )
+                        sql = refined.to_sql(self.result.column_count)
+                        self._validated += 1
+                        try:
+                            result = self.db.execute(sql)
+                        except ReproError:
+                            continue
+                        if result.as_multiset(float_precision=4) == target:
+                            return sql
+        return None
+
+    def _infer_filters(self, candidate: _Candidate, produced: Result) -> Optional[str]:
+        """Bound each native column by the min/max over contributing rows.
+
+        This mirrors REGAL's matrix-projection step: find the tightest ranges
+        on the candidate dimensions that retain every target row — and, like
+        the original, it can settle on imprecise ranges when the instance
+        underdetermines the true predicate.
+        """
+        target_rows = set(self.result.as_multiset())
+        native_positions = [
+            i for i in range(self.result.column_count) if i not in candidate.agg_columns
+        ]
+        if not native_positions:
+            return None
+        contributing = [row for row in produced.rows if row in target_rows]
+        if not contributing:
+            return None
+        filters = []
+        for position, column in zip(native_positions, candidate.group_columns):
+            values = [row[position] for row in contributing]
+            col_type = self.db.schema(column.table).column(column.column).type
+            if col_type.is_numeric or col_type.is_temporal:
+                lo, hi = min(values), max(values)
+                from repro.engine.types import format_sql_literal
+
+                filters.append(
+                    f"{column.table}.{column.column} between "
+                    f"{format_sql_literal(lo)} and {format_sql_literal(hi)}"
+                )
+            else:
+                distinct = sorted(set(values))
+                if len(distinct) == 1:
+                    from repro.engine.types import format_sql_literal
+
+                    filters.append(
+                        f"{column.table}.{column.column} = "
+                        f"{format_sql_literal(distinct[0])}"
+                    )
+        if not filters:
+            return None
+        refined = _Candidate(
+            tables=candidate.tables,
+            join_edges=candidate.join_edges,
+            group_columns=candidate.group_columns,
+            agg_columns=candidate.agg_columns,
+            filters=filters,
+        )
+        return refined.to_sql(self.result.column_count)
+
+
+class _BudgetExceeded(Exception):
+    def __init__(self, status: str):
+        super().__init__(status)
+        self.status = status

@@ -1,0 +1,229 @@
+"""TALOS-lite: decision-tree query reverse engineering (paper §6.1, TR set).
+
+TALOS frames QRE as *instance-equivalent classification*: label each tuple of
+the source table by membership in the result, learn a decision tree over the
+attributes, and read selection predicates off the root-to-accepting-leaf
+paths.  This compact re-implementation covers TALOS's core single-table
+select-project case, which is what the paper's UCI-archive comparison runs.
+
+Like the original, the output is only *instance-equivalent*: predicates are
+induced from one (D_I, R_I) pair and routinely drift from the hidden query's
+true constants — the qualitative gap to UNMASQUE's exact extraction.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.database import Database
+from repro.engine.result import Result
+from repro.engine.types import format_sql_literal
+
+
+@dataclass
+class TalosOutcome:
+    status: str  # 'ok' | 'failed'
+    sql: Optional[str] = None
+    seconds: float = 0.0
+    tree_nodes: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Node:
+    # internal split
+    column: Optional[str] = None
+    threshold: object = None
+    is_categorical: bool = False
+    left: Optional["_Node"] = None  # <= threshold / == category
+    right: Optional["_Node"] = None
+    # leaf
+    label: Optional[bool] = None
+
+    def count(self) -> int:
+        if self.label is not None:
+            return 1
+        return 1 + self.left.count() + self.right.count()
+
+
+class TalosBaseline:
+    """Single-table select-project reverse engineering via decision trees."""
+
+    def __init__(self, db: Database, table: str, result: Result, max_depth: int = 8):
+        self.db = db
+        self.table = table
+        self.result = result
+        self.max_depth = max_depth
+
+    def reverse_engineer(self) -> TalosOutcome:
+        started = time.perf_counter()
+        schema = self.db.schema(self.table)
+        rows = self.db.rows(self.table)
+
+        labeling = self._match_projection_with_labels(schema, rows)
+        if labeling is None:
+            return TalosOutcome(status="failed", seconds=time.perf_counter() - started)
+        projection, labels = labeling
+
+        feature_columns = [
+            (i, col)
+            for i, col in enumerate(schema.columns)
+            if i not in projection or len(rows) < 10_000
+        ]
+        tree = self._grow(rows, labels, feature_columns, depth=0)
+        predicates = self._paths_to_predicates(tree)
+        select_list = ", ".join(
+            f"{self.table}.{schema.columns[i].name.lower()}" for i in projection
+        )
+        sql = f"select {select_list} from {self.table}"
+        if predicates:
+            sql += " where " + " or ".join(f"({p})" for p in predicates)
+        elif tree.label is False:
+            return TalosOutcome(status="failed", seconds=time.perf_counter() - started)
+        return TalosOutcome(
+            status="ok",
+            sql=sql,
+            seconds=time.perf_counter() - started,
+            tree_nodes=tree.count(),
+        )
+
+    # -- projection discovery --------------------------------------------------
+
+    def _match_projection_with_labels(self, schema, rows):
+        """Find a projection mapping whose labeling covers the result exactly.
+
+        Value containment alone is ambiguous (a surrogate key contains most
+        small integers), so candidate combinations are tried until one labels
+        every target tuple — TALOS's candidate-enumeration step.
+        """
+        import itertools
+
+        per_position: list[list[int]] = []
+        for position in range(self.result.column_count):
+            values = set(self.result.column_values(position))
+            matches = [
+                index
+                for index in range(len(schema.columns))
+                if values <= {row[index] for row in rows}
+            ]
+            if not matches:
+                return None
+            per_position.append(matches)
+
+        target = self.result.as_multiset()
+        for attempt, projection in enumerate(itertools.product(*per_position)):
+            if attempt >= 200:
+                break
+            if len(set(projection)) != len(projection):
+                continue
+            remaining = dict(target)
+            labels = []
+            for row in rows:
+                projected = tuple(row[i] for i in projection)
+                if remaining.get(projected, 0) > 0:
+                    remaining[projected] -= 1
+                    labels.append(True)
+                else:
+                    labels.append(False)
+            if all(count == 0 for count in remaining.values()):
+                return list(projection), labels
+        return None
+
+    # -- tree induction -----------------------------------------------------------
+
+    def _grow(self, rows, labels, feature_columns, depth) -> _Node:
+        positives = sum(labels)
+        if positives == 0:
+            return _Node(label=False)
+        if positives == len(labels):
+            return _Node(label=True)
+        if depth >= self.max_depth:
+            return _Node(label=positives * 2 >= len(labels))
+
+        best = None
+        base_entropy = _entropy(positives, len(labels) - positives)
+        for index, column in feature_columns:
+            values = sorted({row[index] for row in rows if row[index] is not None})
+            if len(values) < 2:
+                continue
+            categorical = column.type.is_textual
+            candidates = values if categorical else values[:-1]
+            step = max(1, len(candidates) // 16)
+            for threshold in candidates[::step]:
+                left_idx, right_idx = [], []
+                for i, row in enumerate(rows):
+                    into_left = (
+                        row[index] == threshold
+                        if categorical
+                        else (row[index] is not None and row[index] <= threshold)
+                    )
+                    (left_idx if into_left else right_idx).append(i)
+                if not left_idx or not right_idx:
+                    continue
+                gain = base_entropy - _split_entropy(labels, left_idx, right_idx)
+                if best is None or gain > best[0]:
+                    best = (gain, index, column, threshold, left_idx, right_idx, categorical)
+        if best is None or best[0] <= 1e-9:
+            return _Node(label=positives * 2 >= len(labels))
+        _, index, column, threshold, left_idx, right_idx, categorical = best
+        left = self._grow(
+            [rows[i] for i in left_idx], [labels[i] for i in left_idx],
+            feature_columns, depth + 1,
+        )
+        right = self._grow(
+            [rows[i] for i in right_idx], [labels[i] for i in right_idx],
+            feature_columns, depth + 1,
+        )
+        return _Node(
+            column=column.name.lower(),
+            threshold=threshold,
+            is_categorical=categorical,
+            left=left,
+            right=right,
+        )
+
+    def _paths_to_predicates(self, tree: _Node) -> list[str]:
+        predicates: list[str] = []
+
+        def walk(node: _Node, conditions: list[str]):
+            if node.label is True:
+                predicates.append(" and ".join(conditions) if conditions else "true")
+                return
+            if node.label is False:
+                return
+            literal = format_sql_literal(node.threshold)
+            name = f"{self.table}.{node.column}"
+            if node.is_categorical:
+                walk(node.left, conditions + [f"{name} = {literal}"])
+                walk(node.right, conditions + [f"not {name} = {literal}"])
+            else:
+                walk(node.left, conditions + [f"{name} <= {literal}"])
+                walk(node.right, conditions + [f"{name} > {literal}"])
+
+        walk(tree, [])
+        return predicates
+
+
+def _entropy(a: int, b: int) -> float:
+    total = a + b
+    if a == 0 or b == 0:
+        return 0.0
+    pa, pb = a / total, b / total
+    return -(pa * math.log2(pa) + pb * math.log2(pb))
+
+
+def _split_entropy(labels, left_idx, right_idx) -> float:
+    def side(indexes):
+        positives = sum(1 for i in indexes if labels[i])
+        return _entropy(positives, len(indexes) - positives), len(indexes)
+
+    left_entropy, left_n = side(left_idx)
+    right_entropy, right_n = side(right_idx)
+    total = left_n + right_n
+    return left_entropy * left_n / total + right_entropy * right_n / total

@@ -1,0 +1,5 @@
+"""Schema-graph utilities backing equi-join extraction."""
+
+from repro.sgraph.schema_graph import ColumnNode, Cycle, SchemaGraph
+
+__all__ = ["ColumnNode", "Cycle", "SchemaGraph"]

@@ -1,0 +1,145 @@
+"""Column-granularity schema graph (paper §4.3).
+
+Vertices are *key columns* (``table.column``); edges are semantically valid
+join linkages — every PK–FK declaration contributes an edge per key element,
+and FK–FK linkages arise transitively (two foreign keys referencing the same
+primary-key column are joinable with each other).
+
+From this graph the join extractor derives the *candidate join graph*
+``CJG_E``: the subgraph induced on the key columns of the query tables ``T_E``
+is closed transitively into cliques, and each clique is reduced to an
+elementary cycle (a clique of two nodes counts as a trivial cycle).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.engine.catalog import Catalog
+
+
+@dataclass(frozen=True, order=True)
+class ColumnNode:
+    """A vertex of the schema graph: one key column of one table."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.table}.{self.column}"
+
+
+class SchemaGraph:
+    """The schema graph ``SG`` of a database instance."""
+
+    def __init__(self, catalog: Catalog):
+        self.graph = nx.Graph()
+        for table, column, ref_table, ref_column in catalog.foreign_key_edges():
+            a = ColumnNode(table.lower(), column.lower())
+            b = ColumnNode(ref_table.lower(), ref_column.lower())
+            self.graph.add_edge(a, b)
+
+    @property
+    def nodes(self) -> set[ColumnNode]:
+        return set(self.graph.nodes)
+
+    def induced_on_tables(self, tables: set[str]) -> nx.Graph:
+        """Subgraph induced on the key columns of the given tables."""
+        lowered = {t.lower() for t in tables}
+        keep = [node for node in self.graph.nodes if node.table in lowered]
+        return self.graph.subgraph(keep).copy()
+
+    def candidate_cycles(self, tables: set[str]) -> list["Cycle"]:
+        """Build ``CJG_E``: transitive-closure cliques reduced to cycles.
+
+        Components are computed on the FULL schema graph before restricting
+        to the query tables: the paper's schema graph contains FK–FK edges,
+        so two foreign keys referencing the same primary key are directly
+        joinable even when the referenced table is absent from the query
+        (e.g. ``s1.hub_id = s2.hub_id`` without ``hub``).
+        """
+        lowered = {t.lower() for t in tables}
+        cycles = []
+        for component in nx.connected_components(self.graph):
+            nodes = sorted(node for node in component if node.table in lowered)
+            if len(nodes) < 2:
+                continue
+            cycles.append(Cycle(tuple(nodes)))
+        return cycles
+
+
+class Cycle:
+    """An elementary cycle over a set of equi-joinable key columns.
+
+    The node sequence defines the cycle edges ``(n_i, n_{i+1})`` plus the
+    closing edge; a two-node cycle degenerates to a single edge.  Cycles are
+    the unit the membership-check algorithm (Algorithm 1) cuts and negates.
+    """
+
+    def __init__(self, nodes: tuple[ColumnNode, ...]):
+        if len(nodes) < 2:
+            raise ValueError("a cycle needs at least two nodes")
+        self.nodes = tuple(nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Cycle(" + " - ".join(map(str, self.nodes)) + ")"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Cycle) and set(self.nodes) == set(other.nodes)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.nodes))
+
+    @property
+    def is_single_edge(self) -> bool:
+        return len(self.nodes) == 2
+
+    def edges(self) -> list[tuple[ColumnNode, ColumnNode]]:
+        if self.is_single_edge:
+            return [(self.nodes[0], self.nodes[1])]
+        pairs = list(zip(self.nodes, self.nodes[1:]))
+        pairs.append((self.nodes[-1], self.nodes[0]))
+        return pairs
+
+    def edge_pairs(self) -> list[tuple[tuple[ColumnNode, ColumnNode], tuple[ColumnNode, ColumnNode]]]:
+        """All unordered pairs of distinct edges (candidates for Cut)."""
+        return list(itertools.combinations(self.edges(), 2))
+
+    def cut(
+        self,
+        e1: tuple[ColumnNode, ColumnNode],
+        e2: tuple[ColumnNode, ColumnNode],
+    ) -> tuple[list[ColumnNode], list[ColumnNode]]:
+        """Remove two edges, returning the two resulting node arcs.
+
+        Removing two edges from a cycle always splits it into exactly two
+        connected arcs (one may be a single node).  The arcs, re-closed into
+        smaller cycles by the caller, become fresh candidates.
+        """
+        edges = self.edges()
+        i1, i2 = edges.index(e1), edges.index(e2)
+        if i1 == i2:
+            raise ValueError("cut requires two distinct edges")
+        lo, hi = sorted((i1, i2))
+        # Edge k connects nodes[k] -> nodes[(k+1) % n]; cutting edges lo and hi
+        # yields arcs nodes[lo+1..hi] and nodes[hi+1..] ++ nodes[..lo].
+        n = len(self.nodes)
+        arc1 = [self.nodes[k] for k in range(lo + 1, hi + 1)]
+        arc2 = [self.nodes[k % n] for k in range(hi + 1, hi + 1 + (n - (hi - lo)))]
+        return arc1, arc2
+
+    @staticmethod
+    def from_arc(arc: list[ColumnNode]) -> "Cycle | None":
+        """Re-close an arc into a cycle; arcs shorter than 2 nodes vanish."""
+        if len(arc) < 2:
+            return None
+        return Cycle(tuple(arc))
+
+    def tables(self) -> set[str]:
+        return {node.table for node in self.nodes}

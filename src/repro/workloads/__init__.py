@@ -1,0 +1,5 @@
+"""Hidden-query workloads used in the paper's evaluation."""
+
+from repro.workloads.model import HiddenQuery
+
+__all__ = ["HiddenQuery"]

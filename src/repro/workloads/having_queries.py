@@ -1,0 +1,138 @@
+"""HAVING-clause workload (paper §7 / experiment E11).
+
+Covers every bound family the restructured pipeline extracts: min/max (and
+their conversion interplay with plain filters), avg (single- and double-
+sided), sum lower/upper bounds, count(*) lower bounds, and combinations with
+WHERE filters and joins.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import HiddenQuery
+
+QUERIES: dict[str, HiddenQuery] = {}
+
+
+def _add(name: str, sql: str, description: str, tables: tuple[str, ...]) -> None:
+    QUERIES[name] = HiddenQuery(name=name, sql=sql, description=description, tables=tables)
+
+
+_add(
+    "H1_count",
+    """
+    select o_custkey
+    from orders
+    group by o_custkey
+    having count(*) >= 3
+    """,
+    "count(*) lower bound — the classic HAVING shape",
+    ("orders",),
+)
+
+_add(
+    "H2_sum_lower",
+    """
+    select o_custkey, count(*) as cnt
+    from orders
+    group by o_custkey
+    having sum(o_totalprice) > 500000
+    """,
+    "sum lower bound with a count projection",
+    ("orders",),
+)
+
+_add(
+    "H3_min",
+    """
+    select o_custkey, max(o_totalprice) as biggest
+    from orders
+    group by o_custkey
+    having min(o_totalprice) >= 50000
+    """,
+    "min lower bound (distinguished from a plain filter by group-kill probes)",
+    ("orders",),
+)
+
+_add(
+    "H4_max",
+    """
+    select l_orderkey, count(*) as n
+    from lineitem
+    group by l_orderkey
+    having max(l_quantity) <= 45
+    """,
+    "max upper bound (per-order groups keep the predicate satisfiable)",
+    ("lineitem",),
+)
+
+_add(
+    "H5_avg_upper",
+    """
+    select l_suppkey, count(*) as n
+    from lineitem
+    group by l_suppkey
+    having avg(l_quantity) <= 26
+    """,
+    "avg upper bound",
+    ("lineitem",),
+)
+
+_add(
+    "H6_avg_band",
+    """
+    select o_custkey, count(*) as n
+    from orders
+    group by o_custkey
+    having avg(o_totalprice) between 50000 and 400000
+    """,
+    "double-sided avg bound",
+    ("orders",),
+)
+
+_add(
+    "H7_filter_count",
+    """
+    select o_orderpriority, count(*) as n
+    from orders
+    where o_orderdate >= date '1995-01-01'
+    group by o_orderpriority
+    having count(*) >= 5
+    """,
+    "WHERE filter and count HAVING together (disjoint attribute sets)",
+    ("orders",),
+)
+
+_add(
+    "H8_join_count",
+    """
+    select c_mktsegment, count(*) as n
+    from customer, orders
+    where c_custkey = o_custkey
+    group by c_mktsegment
+    having count(*) >= 4
+    """,
+    "two-table join with a count bound",
+    ("customer", "orders"),
+)
+
+_add(
+    "H9_join_min",
+    """
+    select c_nationkey, count(*) as n
+    from customer, orders
+    where c_custkey = o_custkey
+      and o_orderdate >= date '1994-01-01'
+    group by c_nationkey
+    having min(o_totalprice) >= 5000
+    """,
+    "join + date filter + min bound",
+    ("customer", "orders"),
+)
+
+
+def query(name: str) -> HiddenQuery:
+    return QUERIES[name]
+
+
+def names() -> list[str]:
+    return list(QUERIES)

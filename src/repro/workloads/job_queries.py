@@ -1,0 +1,294 @@
+"""Eleven JOB-style hidden queries over the IMDB schema (paper Figure 10).
+
+Each query carries at least 7 equi-joins (JQ11 has 12, mirroring the paper's
+Q24b remark); filters follow the JOB idiom (production-year windows, country
+codes, keyword/genre constants, LIKE'd company notes) and projections use the
+classic JOB ``min(...)`` shape, adapted to EQC (single occurrence per table —
+JOB's aliased self-joins fall outside the extractable class).
+
+Join counts are measured as the number of pairwise equalities in the WHERE
+clause.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import HiddenQuery
+
+QUERIES: dict[str, HiddenQuery] = {}
+
+
+def _add(name: str, sql: str, description: str, tables: tuple[str, ...]) -> None:
+    QUERIES[name] = HiddenQuery(name=name, sql=sql, description=description, tables=tables)
+
+
+_add(
+    "JQ1",
+    """
+    select min(title.title) as movie_title, min(company_name.name) as company
+    from title, movie_companies, company_name, company_type,
+         movie_keyword, keyword, kind_type
+    where title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and movie_companies.company_type_id = company_type.id
+      and title.id = movie_keyword.movie_id
+      and movie_keyword.keyword_id = keyword.id
+      and title.kind_id = kind_type.id
+      and company_name.country_code = '[us]'
+      and keyword.keyword = 'sequel'
+      and title.production_year >= 1990
+    """,
+    "US sequel productions (7 joins, ungrouped min aggregates)",
+    (
+        "title", "movie_companies", "company_name", "company_type",
+        "movie_keyword", "keyword", "kind_type",
+    ),
+)
+
+_add(
+    "JQ2",
+    """
+    select min(title.title) as movie_title
+    from title, movie_companies, company_name, company_type,
+         movie_info, info_type, kind_type
+    where title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and movie_companies.company_type_id = company_type.id
+      and title.id = movie_info.movie_id
+      and movie_info.info_type_id = info_type.id
+      and title.kind_id = kind_type.id
+      and movie_info.info = 'Drama'
+      and title.production_year between 1980 and 2010
+    """,
+    "Dramas by production window (7 joins)",
+    (
+        "title", "movie_companies", "company_name", "company_type",
+        "movie_info", "info_type", "kind_type",
+    ),
+)
+
+_add(
+    "JQ3",
+    """
+    select company_name.country_code, count(*) as movies
+    from title, movie_companies, company_name, movie_keyword, keyword,
+         movie_info, info_type, kind_type
+    where title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and title.id = movie_keyword.movie_id
+      and movie_keyword.keyword_id = keyword.id
+      and title.id = movie_info.movie_id
+      and movie_info.info_type_id = info_type.id
+      and title.kind_id = kind_type.id
+      and title.production_year >= 2000
+    group by company_name.country_code
+    order by movies desc, company_name.country_code
+    limit 10
+    """,
+    "Movie counts per production country (8 joins, grouped, count ordering)",
+    (
+        "title", "movie_companies", "company_name", "movie_keyword",
+        "keyword", "movie_info", "info_type", "kind_type",
+    ),
+)
+
+_add(
+    "JQ4",
+    """
+    select min(name.name) as actor, min(title.title) as movie_title
+    from title, cast_info, name, role_type, char_name,
+         movie_keyword, keyword
+    where title.id = cast_info.movie_id
+      and cast_info.person_id = name.id
+      and cast_info.role_id = role_type.id
+      and cast_info.person_role_id = char_name.id
+      and title.id = movie_keyword.movie_id
+      and movie_keyword.keyword_id = keyword.id
+      and role_type.role = 'actor'
+      and keyword.keyword = 'superhero'
+      and cast_info.nr_order <= 5
+    """,
+    "Lead actors in superhero movies (7 joins through the cast fan-out)",
+    (
+        "title", "cast_info", "name", "role_type", "char_name",
+        "movie_keyword", "keyword",
+    ),
+)
+
+_add(
+    "JQ5",
+    """
+    select min(title.title) as movie_title, min(title.production_year) as first_year
+    from title, movie_companies, company_name, company_type,
+         cast_info, name, role_type
+    where title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and movie_companies.company_type_id = company_type.id
+      and title.id = cast_info.movie_id
+      and cast_info.person_id = name.id
+      and cast_info.role_id = role_type.id
+      and company_type.kind = 'production companies'
+      and name.gender = 'f'
+    """,
+    "Productions with female cast (7 joins across two fan-outs)",
+    (
+        "title", "movie_companies", "company_name", "company_type",
+        "cast_info", "name", "role_type",
+    ),
+)
+
+_add(
+    "JQ6",
+    """
+    select kind_type.kind, count(*) as titles
+    from title, kind_type, movie_info, info_type, movie_keyword, keyword,
+         movie_companies, company_name
+    where title.kind_id = kind_type.id
+      and title.id = movie_info.movie_id
+      and movie_info.info_type_id = info_type.id
+      and title.id = movie_keyword.movie_id
+      and movie_keyword.keyword_id = keyword.id
+      and title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and company_name.country_code = '[gb]'
+    group by kind_type.kind
+    order by titles desc, kind_type.kind
+    """,
+    "British titles per kind (8 joins, grouped)",
+    (
+        "title", "kind_type", "movie_info", "info_type", "movie_keyword",
+        "keyword", "movie_companies", "company_name",
+    ),
+)
+
+_add(
+    "JQ7",
+    """
+    select min(char_name.name) as character, min(name.name) as actor
+    from char_name, cast_info, name, role_type, title, kind_type,
+         movie_info, info_type
+    where cast_info.person_role_id = char_name.id
+      and cast_info.person_id = name.id
+      and cast_info.role_id = role_type.id
+      and cast_info.movie_id = title.id
+      and title.kind_id = kind_type.id
+      and title.id = movie_info.movie_id
+      and movie_info.info_type_id = info_type.id
+      and kind_type.kind = 'movie'
+      and movie_info.info = 'Horror'
+      and title.production_year >= 1995
+    """,
+    "Horror characters (8 joins)",
+    (
+        "char_name", "cast_info", "name", "role_type", "title",
+        "kind_type", "movie_info", "info_type",
+    ),
+)
+
+_add(
+    "JQ8",
+    """
+    select name.gender, count(*) as appearances
+    from name, cast_info, role_type, title, movie_companies,
+         company_name, company_type
+    where cast_info.person_id = name.id
+      and cast_info.role_id = role_type.id
+      and cast_info.movie_id = title.id
+      and title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and movie_companies.company_type_id = company_type.id
+      and title.production_year >= 1990
+      and company_name.country_code = '[us]'
+    group by name.gender
+    order by appearances desc, name.gender
+    """,
+    "Cast appearances by gender in recent US titles (7 joins)",
+    (
+        "name", "cast_info", "role_type", "title", "movie_companies",
+        "company_name", "company_type",
+    ),
+)
+
+_add(
+    "JQ9",
+    """
+    select min(title.title) as movie_title, min(keyword.keyword) as kw
+    from title, movie_keyword, keyword, movie_info, info_type,
+         movie_companies, company_name, company_type
+    where title.id = movie_keyword.movie_id
+      and movie_keyword.keyword_id = keyword.id
+      and title.id = movie_info.movie_id
+      and movie_info.info_type_id = info_type.id
+      and title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and movie_companies.company_type_id = company_type.id
+      and movie_companies.note like '%presents%'
+      and title.production_year between 1985 and 2015
+    """,
+    "Presenter-credited keyword titles (8 joins, LIKE filter)",
+    (
+        "title", "movie_keyword", "keyword", "movie_info", "info_type",
+        "movie_companies", "company_name", "company_type",
+    ),
+)
+
+_add(
+    "JQ10",
+    """
+    select title.production_year, count(*) as cast_rows
+    from title, kind_type, cast_info, name, role_type, char_name,
+         movie_keyword, keyword
+    where title.kind_id = kind_type.id
+      and title.id = cast_info.movie_id
+      and cast_info.person_id = name.id
+      and cast_info.role_id = role_type.id
+      and cast_info.person_role_id = char_name.id
+      and title.id = movie_keyword.movie_id
+      and movie_keyword.keyword_id = keyword.id
+      and title.production_year >= 2005
+    group by title.production_year
+    order by title.production_year
+    """,
+    "Cast volume per recent year (8 joins, grouped on a filtered column)",
+    (
+        "title", "kind_type", "cast_info", "name", "role_type",
+        "char_name", "movie_keyword", "keyword",
+    ),
+)
+
+_add(
+    "JQ11",
+    """
+    select min(title.title) as movie_title, min(name.name) as person,
+           min(company_name.name) as company
+    from title, kind_type, movie_companies, company_name, company_type,
+         movie_info, info_type, movie_keyword, keyword,
+         cast_info, name, role_type, char_name
+    where title.kind_id = kind_type.id
+      and title.id = movie_companies.movie_id
+      and movie_companies.company_id = company_name.id
+      and movie_companies.company_type_id = company_type.id
+      and title.id = movie_info.movie_id
+      and movie_info.info_type_id = info_type.id
+      and title.id = movie_keyword.movie_id
+      and movie_keyword.keyword_id = keyword.id
+      and title.id = cast_info.movie_id
+      and cast_info.person_id = name.id
+      and cast_info.role_id = role_type.id
+      and cast_info.person_role_id = char_name.id
+      and title.production_year >= 1990
+    """,
+    "The 12-join colossus (all 13 tables — the paper's Q24b analogue)",
+    (
+        "title", "kind_type", "movie_companies", "company_name",
+        "company_type", "movie_info", "info_type", "movie_keyword",
+        "keyword", "cast_info", "name", "role_type", "char_name",
+    ),
+)
+
+
+def query(name: str) -> HiddenQuery:
+    return QUERIES[name]
+
+
+def names() -> list[str]:
+    return list(QUERIES)

@@ -1,0 +1,19 @@
+"""Workload model: a named hidden query with provenance metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HiddenQuery:
+    """A benchmark query destined to be hidden inside an executable."""
+
+    name: str
+    sql: str
+    description: str = ""
+    #: tables the query touches (ground truth, used only by tests/benches)
+    tables: tuple[str, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}: {self.sql}"

@@ -1,0 +1,211 @@
+"""Random EQC query generation — the extraction round-trip property.
+
+Generates random hidden queries inside the extractable class over a compact
+three-table star schema, together with a data generator guaranteed to give
+them populated results.  Tests draw a query, hide it in an executable,
+extract, and let the checker assert semantic equivalence — a randomized
+end-to-end correctness property for the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from repro.engine import (
+    Column,
+    Database,
+    DateType,
+    ForeignKey,
+    IntegerType,
+    NumericType,
+    TableSchema,
+    VarcharType,
+)
+
+SEGMENTS = ["alpha", "beta", "gamma", "delta"]
+COLORS = ["red", "green", "blue", "amber"]
+
+
+def schema() -> list[TableSchema]:
+    return [
+        TableSchema(
+            name="dim_one",
+            columns=(
+                Column("d1_key", IntegerType()),
+                Column("d1_segment", VarcharType(10)),
+                Column("d1_score", IntegerType(lo=0, hi=100)),
+            ),
+            primary_key=("d1_key",),
+        ),
+        TableSchema(
+            name="dim_two",
+            columns=(
+                Column("d2_key", IntegerType()),
+                Column("d2_color", VarcharType(10)),
+                Column("d2_weight", NumericType(2, lo=0.0, hi=100.0)),
+            ),
+            primary_key=("d2_key",),
+        ),
+        TableSchema(
+            name="fact",
+            columns=(
+                Column("f_d1", IntegerType()),
+                Column("f_d2", IntegerType()),
+                Column("f_amount", NumericType(2, lo=0.0, hi=1000.0)),
+                Column("f_rate", NumericType(2, lo=0.0, hi=1.0)),
+                Column("f_units", IntegerType(lo=0, hi=50)),
+                Column("f_day", DateType()),
+                # nullable note column: exercises the NULL-predicate extension
+                Column("f_note", VarcharType(12)),
+            ),
+            foreign_keys=(
+                ForeignKey(("f_d1",), "dim_one", ("d1_key",)),
+                ForeignKey(("f_d2",), "dim_two", ("d2_key",)),
+            ),
+        ),
+    ]
+
+
+def build_database(facts: int = 600, seed: int = 42) -> Database:
+    rng = random.Random(seed)
+    db = Database(schema())
+    n_dim = max(8, facts // 20)
+    db.insert(
+        "dim_one",
+        [
+            (i, SEGMENTS[(i - 1) % len(SEGMENTS)], rng.randint(0, 100))
+            for i in range(1, n_dim + 1)
+        ],
+    )
+    db.insert(
+        "dim_two",
+        [
+            (i, COLORS[(i - 1) % len(COLORS)], round(rng.uniform(0, 100), 2))
+            for i in range(1, n_dim + 1)
+        ],
+    )
+    start = datetime.date(2020, 1, 1)
+    notes = ["expedite", "fragile", "gift", "bulk"]
+    db.insert(
+        "fact",
+        [
+            (
+                rng.randint(1, n_dim),
+                rng.randint(1, n_dim),
+                round(rng.uniform(1, 1000), 2),
+                round(rng.uniform(0, 1), 2),
+                rng.randint(1, 50),
+                start + datetime.timedelta(days=rng.randint(0, 364)),
+                rng.choice(notes) if rng.random() < 0.7 else None,
+            )
+            for _ in range(facts)
+        ],
+    )
+    return db
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    sql: str
+    tables: tuple[str, ...]
+    seed: int
+
+
+def generate_query(seed: int) -> GeneratedQuery:
+    """One random EQC¯H query; population-friendly predicate constants."""
+    rng = random.Random(seed)
+    shape = rng.choice(["fact_only", "fact_dim1", "star"])
+    tables = {
+        "fact_only": ("fact",),
+        "fact_dim1": ("dim_one", "fact"),
+        "star": ("dim_one", "dim_two", "fact"),
+    }[shape]
+
+    joins = []
+    if "dim_one" in tables:
+        joins.append("fact.f_d1 = dim_one.d1_key")
+    if "dim_two" in tables:
+        joins.append("fact.f_d2 = dim_two.d2_key")
+
+    filters = []
+    if rng.random() < 0.7:
+        day = datetime.date(2020, 1, 1) + datetime.timedelta(days=rng.randint(30, 250))
+        op = rng.choice(["<=", ">="])
+        filters.append(f"fact.f_day {op} date '{day.isoformat()}'")
+    if rng.random() < 0.5:
+        units = rng.randint(15, 40)
+        filters.append(f"fact.f_units <= {units}")
+    if "dim_one" in tables and rng.random() < 0.5:
+        filters.append(f"dim_one.d1_segment = '{rng.choice(SEGMENTS)}'")
+    if "dim_two" in tables and rng.random() < 0.4:
+        filters.append(f"dim_two.d2_color = '{rng.choice(COLORS)}'")
+
+    group_candidates = []
+    if "dim_one" in tables and "d1_segment" not in " ".join(filters):
+        group_candidates.append("dim_one.d1_segment")
+    if "dim_two" in tables and "d2_color" not in " ".join(filters):
+        group_candidates.append("dim_two.d2_color")
+    group_candidates.append("fact.f_units")
+
+    grouped = rng.random() < 0.7
+    aggregates = {
+        "sum_amount": "sum(fact.f_amount)",
+        "avg_rate": "avg(fact.f_rate)",
+        "max_amount": "max(fact.f_amount)",
+        "min_units": "min(fact.f_units)",
+        "n": "count(*)",
+        "revenue": "sum(fact.f_amount * (1 - fact.f_rate))",
+    }
+
+    select_items = []
+    order_items = []
+    agg_deps = {
+        "sum_amount": {"f_amount"},
+        "avg_rate": {"f_rate"},
+        "max_amount": {"f_amount"},
+        "min_units": {"f_units"},
+        "n": set(),
+        "revenue": {"f_amount", "f_rate"},
+    }
+    if grouped:
+        group_by = rng.sample(group_candidates, rng.randint(1, min(2, len(group_candidates))))
+        select_items.extend(group_by)
+        pool = list(aggregates)
+        if "fact.f_units" in group_by:
+            pool.remove("min_units")  # would duplicate the grouping column
+        agg_names = rng.sample(pool, rng.randint(1, 2))
+        ordered = rng.random() < 0.8
+        if ordered and len(agg_names) == 2 and (
+            agg_deps[agg_names[0]] & agg_deps[agg_names[1]]
+        ):
+            # Ordering columns must have exclusive dependency lists (the
+            # paper's §5.3 presentation assumption); drop the overlap.
+            agg_names = agg_names[:1]
+        select_items.extend(f"{aggregates[a]} as {a}" for a in agg_names)
+        if ordered:
+            order_items.append(f"{agg_names[0]} {rng.choice(['asc', 'desc'])}")
+            order_items.extend(group_by)
+    else:
+        projections = rng.sample(
+            ["fact.f_amount", "fact.f_units", "fact.f_day", "fact.f_rate"],
+            rng.randint(2, 3),
+        )
+        select_items.extend(projections)
+        if rng.random() < 0.6:
+            order_items.append(f"{projections[0].split('.')[1]} {rng.choice(['asc', 'desc'])}")
+        group_by = []
+
+    sql_parts = [f"select {', '.join(select_items)}"]
+    sql_parts.append("from " + ", ".join(tables))
+    where = joins + filters
+    if where:
+        sql_parts.append("where " + " and ".join(where))
+    if grouped:
+        sql_parts.append("group by " + ", ".join(group_by))
+    if order_items:
+        sql_parts.append("order by " + ", ".join(order_items))
+    if rng.random() < 0.4:
+        sql_parts.append(f"limit {rng.randint(3, 12)}")
+    return GeneratedQuery(sql=" ".join(sql_parts), tables=tables, seed=seed)

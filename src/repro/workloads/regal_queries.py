@@ -1,0 +1,99 @@
+"""RQ1–RQ11: REGAL-template-compliant SPJA queries (paper Figure 8).
+
+The Figure 8 comparison restricts itself to queries both tools can attempt:
+single-block SPJA with key equi-joins, grouping, and one aggregate — no
+order by / limit / like (REGAL's templates do not cover them).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import HiddenQuery
+
+QUERIES: dict[str, HiddenQuery] = {}
+
+
+def _add(name: str, sql: str, description: str, tables: tuple[str, ...]) -> None:
+    QUERIES[name] = HiddenQuery(name=name, sql=sql, description=description, tables=tables)
+
+
+_add(
+    "RQ1",
+    "select c_mktsegment, count(*) as customers from customer group by c_mktsegment",
+    "customers per market segment",
+    ("customer",),
+)
+_add(
+    "RQ2",
+    "select c_nationkey, avg(c_acctbal) as avg_bal from customer group by c_nationkey",
+    "average balance per nation key",
+    ("customer",),
+)
+_add(
+    "RQ3",
+    "select n_name, count(*) as customers from nation, customer "
+    "where n_nationkey = c_nationkey group by n_name",
+    "customers per nation (one join)",
+    ("nation", "customer"),
+)
+_add(
+    "RQ4",
+    "select o_orderpriority, max(o_totalprice) as biggest from orders "
+    "group by o_orderpriority",
+    "largest order per priority",
+    ("orders",),
+)
+_add(
+    "RQ5",
+    "select c_mktsegment, sum(o_totalprice) as volume from customer, orders "
+    "where c_custkey = o_custkey group by c_mktsegment",
+    "order volume per segment (one join)",
+    ("customer", "orders"),
+)
+_add(
+    "RQ6",
+    "select l_returnflag, l_linestatus, sum(l_quantity) as qty from lineitem "
+    "group by l_returnflag, l_linestatus",
+    "quantity per flag/status pair",
+    ("lineitem",),
+)
+_add(
+    "RQ7",
+    "select s_nationkey, count(*) as suppliers from supplier group by s_nationkey",
+    "suppliers per nation key",
+    ("supplier",),
+)
+_add(
+    "RQ8",
+    "select p_brand, avg(p_retailprice) as avg_price from part group by p_brand",
+    "average retail price per brand",
+    ("part",),
+)
+_add(
+    "RQ9",
+    "select c_nationkey, c_mktsegment, count(*) as customers from customer "
+    "group by c_nationkey, c_mktsegment",
+    "two grouping columns",
+    ("customer",),
+)
+_add(
+    "RQ10",
+    "select o_orderstatus, avg(o_totalprice) as avg_price from orders "
+    "where o_totalprice <= 250000 group by o_orderstatus",
+    "filtered aggregation",
+    ("orders",),
+)
+_add(
+    "RQ11",
+    "select n_name, min(s_acctbal) as worst_balance from nation, supplier "
+    "where n_nationkey = s_nationkey group by n_name",
+    "minimum supplier balance per nation (one join)",
+    ("nation", "supplier"),
+)
+
+
+def query(name: str) -> HiddenQuery:
+    return QUERIES[name]
+
+
+def names() -> list[str]:
+    return list(QUERIES)

@@ -1,0 +1,143 @@
+"""Seven EQC-compliant hidden queries derived from TPC-DS (paper's TR set).
+
+The snowflake topology adds what TPC-H lacks: a composite-keyed fact table,
+six dimension spokes, and a two-hop customer→address path.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import HiddenQuery
+
+QUERIES: dict[str, HiddenQuery] = {}
+
+
+def _add(name: str, sql: str, description: str, tables: tuple[str, ...]) -> None:
+    QUERIES[name] = HiddenQuery(name=name, sql=sql, description=description, tables=tables)
+
+
+_add(
+    "DS3",
+    """
+    select d_year, i_brand, sum(ss_ext_sales_price) as sum_agg
+    from date_dim, store_sales, item
+    where d_date_sk = ss_sold_date_sk
+      and ss_item_sk = i_item_sk
+      and i_category = 'Books'
+      and d_moy = 12
+    group by d_year, i_brand
+    order by d_year, sum_agg desc
+    limit 100
+    """,
+    "Brand revenue in December (TPC-DS Q3 shape)",
+    ("date_dim", "store_sales", "item"),
+)
+
+_add(
+    "DS7",
+    """
+    select i_item_id, avg(ss_quantity) as agg1, avg(ss_sales_price) as agg2
+    from store_sales, customer_demographics, item
+    where ss_cdemo_sk = cd_demo_sk
+      and ss_item_sk = i_item_sk
+      and cd_gender = 'M'
+      and cd_marital_status = 'S'
+    group by i_item_id
+    order by i_item_id
+    limit 100
+    """,
+    "Demographic item averages (TPC-DS Q7 shape, two avg aggregates)",
+    ("store_sales", "customer_demographics", "item"),
+)
+
+_add(
+    "DS19",
+    """
+    select i_brand, sum(ss_ext_sales_price) as ext_price
+    from date_dim, store_sales, item, customer, customer_address
+    where d_date_sk = ss_sold_date_sk
+      and ss_item_sk = i_item_sk
+      and ss_customer_sk = c_customer_sk
+      and c_current_addr_sk = ca_address_sk
+      and ca_state = 'CA'
+      and d_year = 2000
+    group by i_brand
+    order by ext_price desc, i_brand
+    limit 100
+    """,
+    "Brand revenue for Californian customers (two-hop customer path)",
+    ("date_dim", "store_sales", "item", "customer", "customer_address"),
+)
+
+_add(
+    "DS42",
+    """
+    select d_year, i_category, sum(ss_ext_sales_price) as total
+    from date_dim, store_sales, item
+    where d_date_sk = ss_sold_date_sk
+      and ss_item_sk = i_item_sk
+      and d_moy = 11
+    group by d_year, i_category
+    order by total desc, d_year, i_category
+    limit 100
+    """,
+    "Category revenue in November (TPC-DS Q42 shape)",
+    ("date_dim", "store_sales", "item"),
+)
+
+_add(
+    "DS55",
+    """
+    select i_brand, sum(ss_ext_sales_price) as ext_price
+    from date_dim, store_sales, item
+    where d_date_sk = ss_sold_date_sk
+      and ss_item_sk = i_item_sk
+      and d_moy = 11
+      and d_year = 1999
+    group by i_brand
+    order by ext_price desc, i_brand
+    limit 100
+    """,
+    "Brand revenue for one month (TPC-DS Q55 shape)",
+    ("date_dim", "store_sales", "item"),
+)
+
+_add(
+    "DS96",
+    """
+    select count(*) as cnt, avg(ss_sales_price) as avg_price
+    from store_sales, store, customer_demographics
+    where ss_store_sk = s_store_sk
+      and ss_cdemo_sk = cd_demo_sk
+      and s_state = 'TN'
+      and cd_education_status = 'College'
+      and ss_quantity between 20 and 80
+    """,
+    "Ungrouped count under store/demographic filters (Q96 shape; an avg "
+    "column is added because a bare ungrouped count(*) defeats every "
+    "cardinality-based emptiness probe — see Result.is_effectively_empty)",
+    ("store_sales", "store", "customer_demographics"),
+)
+
+_add(
+    "DS98",
+    """
+    select i_class, sum(ss_ext_sales_price) as itemrevenue
+    from store_sales, item, date_dim
+    where ss_item_sk = i_item_sk
+      and ss_sold_date_sk = d_date_sk
+      and i_category = 'Music'
+      and d_date between date '1999-02-22' and date '1999-03-24'
+    group by i_class
+    order by i_class
+    """,
+    "Class revenue over a date window (TPC-DS Q98 shape)",
+    ("store_sales", "item", "date_dim"),
+)
+
+
+def query(name: str) -> HiddenQuery:
+    return QUERIES[name]
+
+
+def names() -> list[str]:
+    return list(QUERIES)

@@ -1,0 +1,256 @@
+"""Twelve EQC-compliant hidden queries derived from TPC-H.
+
+These mirror the paper's primary workload (§6.2): queries "similar in
+complexity to the Q3 running example".  Each is a single-block SPJGAOL query —
+where the original TPC-H query uses constructs outside the extractable class
+(subqueries, disjunctions, IN lists, CASE, HAVING), it is adapted to its
+nearest EQC-compliant form, as the paper's authors did for their basal suite.
+
+Query names keep their TPC-H ancestry (Q1, Q3, ...), so the benchmark output
+lines up with Figure 9.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import HiddenQuery
+
+QUERIES: dict[str, HiddenQuery] = {}
+
+
+def _add(name: str, sql: str, description: str, tables: tuple[str, ...]) -> None:
+    QUERIES[name] = HiddenQuery(name=name, sql=sql, description=description, tables=tables)
+
+
+_add(
+    "Q1",
+    """
+    select l_returnflag, l_linestatus,
+           sum(l_quantity) as sum_qty,
+           sum(l_extendedprice) as sum_base_price,
+           sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+           avg(l_quantity) as avg_qty,
+           avg(l_discount) as avg_disc,
+           count(*) as count_order
+    from lineitem
+    where l_shipdate <= date '1998-09-01'
+    group by l_returnflag, l_linestatus
+    order by l_returnflag, l_linestatus
+    """,
+    "Pricing summary report (EQC form: sum_charge dropped to keep "
+    "dependency lists within the documented 2-column presentation; the "
+    "3-column variant is exercised separately in tests)",
+    ("lineitem",),
+)
+
+_add(
+    "Q3",
+    """
+    select l_orderkey,
+           sum(l_extendedprice * (1 - l_discount)) as revenue,
+           o_orderdate, o_shippriority
+    from customer, orders, lineitem
+    where c_mktsegment = 'BUILDING'
+      and c_custkey = o_custkey
+      and l_orderkey = o_orderkey
+      and o_orderdate < date '1995-03-15'
+      and l_shipdate > date '1995-03-15'
+    group by l_orderkey, o_orderdate, o_shippriority
+    order by revenue desc, o_orderdate
+    limit 10
+    """,
+    "Shipping priority — the paper's running example (Figure 1)",
+    ("customer", "orders", "lineitem"),
+)
+
+_add(
+    "Q4",
+    """
+    select o_orderpriority, count(*) as order_count
+    from orders
+    where o_orderdate >= date '1993-07-01'
+      and o_orderdate < date '1993-10-01'
+    group by o_orderpriority
+    order by o_orderpriority
+    """,
+    "Order priority checking (EQC form: EXISTS subquery dropped)",
+    ("orders",),
+)
+
+_add(
+    "Q5",
+    """
+    select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+    from customer, orders, lineitem, supplier, nation, region
+    where c_custkey = o_custkey
+      and l_orderkey = o_orderkey
+      and l_suppkey = s_suppkey
+      and c_nationkey = s_nationkey
+      and s_nationkey = n_nationkey
+      and n_regionkey = r_regionkey
+      and r_name = 'ASIA'
+      and o_orderdate >= date '1994-01-01'
+      and o_orderdate < date '1995-01-01'
+    group by n_name
+    order by revenue desc
+    """,
+    "Local supplier volume — six-table join including an FK–FK edge "
+    "(c_nationkey = s_nationkey); the paper's hardest TPC-H extraction",
+    ("customer", "orders", "lineitem", "supplier", "nation", "region"),
+)
+
+_add(
+    "Q6",
+    """
+    select sum(l_extendedprice * l_discount) as revenue
+    from lineitem
+    where l_shipdate >= date '1994-01-01'
+      and l_shipdate < date '1995-01-01'
+      and l_discount between 0.05 and 0.07
+      and l_quantity < 24
+    """,
+    "Forecasting revenue change — ungrouped aggregation, numeric between",
+    ("lineitem",),
+)
+
+_add(
+    "Q10",
+    """
+    select c_custkey, c_name,
+           sum(l_extendedprice * (1 - l_discount)) as revenue,
+           c_acctbal, n_name, c_address, c_phone
+    from customer, orders, lineitem, nation
+    where c_custkey = o_custkey
+      and l_orderkey = o_orderkey
+      and o_orderdate >= date '1993-10-01'
+      and o_orderdate < date '1994-01-01'
+      and l_returnflag = 'R'
+      and c_nationkey = n_nationkey
+    group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+    order by revenue desc
+    limit 20
+    """,
+    "Returned item reporting",
+    ("customer", "orders", "lineitem", "nation"),
+)
+
+_add(
+    "Q11",
+    """
+    select ps_partkey, sum(ps_supplycost * ps_availqty) as value
+    from partsupp, supplier, nation
+    where ps_suppkey = s_suppkey
+      and s_nationkey = n_nationkey
+      and n_name = 'GERMANY'
+    group by ps_partkey
+    order by value desc
+    limit 10
+    """,
+    "Important stock identification (EQC form: HAVING-over-subquery dropped)",
+    ("partsupp", "supplier", "nation"),
+)
+
+_add(
+    "Q12",
+    """
+    select o_orderpriority, count(*) as line_count
+    from orders, lineitem
+    where o_orderkey = l_orderkey
+      and l_shipmode = 'SHIP'
+      and l_receiptdate >= date '1994-01-01'
+      and l_receiptdate < date '1995-01-01'
+    group by o_orderpriority
+    order by o_orderpriority
+    """,
+    "Shipping modes and order priority (EQC form: IN-list narrowed to one "
+    "mode, CASE projections to a plain count)",
+    ("orders", "lineitem"),
+)
+
+_add(
+    "Q14",
+    """
+    select sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+    from lineitem, part
+    where l_partkey = p_partkey
+      and p_type like 'PROMO%'
+      and l_shipdate >= date '1995-09-01'
+      and l_shipdate < date '1995-10-01'
+    """,
+    "Promotion effect (EQC form: CASE numerator folded into a LIKE filter)",
+    ("lineitem", "part"),
+)
+
+_add(
+    "Q16",
+    """
+    select p_type, p_size, count(ps_suppkey) as supplier_cnt
+    from partsupp, part
+    where p_partkey = ps_partkey
+      and p_brand = 'Brand#33'
+      and p_size between 1 and 15
+    group by p_type, p_size
+    order by supplier_cnt desc, p_type, p_size
+    """,
+    "Parts/supplier relationship (EQC form: <> and NOT IN folded to "
+    "equality/between; the only sub-minute extraction in Figure 9 because "
+    "lineitem is absent)",
+    ("partsupp", "part"),
+)
+
+_add(
+    "Q18",
+    """
+    select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+           sum(l_quantity) as total_qty
+    from customer, orders, lineitem
+    where c_custkey = o_custkey
+      and o_orderkey = l_orderkey
+      and o_totalprice >= 100000
+    group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+    order by o_totalprice desc, o_orderdate
+    limit 100
+    """,
+    "Large volume customer (EQC form: quantity HAVING moved to a price filter)",
+    ("customer", "orders", "lineitem"),
+)
+
+_add(
+    "Q19",
+    """
+    select sum(l_extendedprice * (1 - l_discount)) as revenue
+    from lineitem, part
+    where p_partkey = l_partkey
+      and p_brand = 'Brand#12'
+      and l_quantity between 1 and 30
+      and l_shipmode = 'AIR'
+    """,
+    "Discounted revenue (EQC form: one disjunct of the original three)",
+    ("lineitem", "part"),
+)
+
+_add(
+    "Q21",
+    """
+    select s_name, count(*) as numwait
+    from supplier, lineitem, orders, nation
+    where s_suppkey = l_suppkey
+      and o_orderkey = l_orderkey
+      and o_orderstatus = 'F'
+      and s_nationkey = n_nationkey
+      and n_name = 'SAUDI ARABIA'
+    group by s_name
+    order by numwait desc, s_name
+    limit 100
+    """,
+    "Suppliers who kept orders waiting (EQC form: correlated subqueries and "
+    "the receipt/commit comparison dropped)",
+    ("supplier", "lineitem", "orders", "nation"),
+)
+
+
+def query(name: str) -> HiddenQuery:
+    return QUERIES[name]
+
+
+def names() -> list[str]:
+    return list(QUERIES)

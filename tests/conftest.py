@@ -1,0 +1,27 @@
+"""Shared fixtures: small TPC-H instances reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import tpch
+
+#: scale used across tests — small enough for speed, large enough that every
+#: workload query has a populated result (asserted in test_workloads.py).
+TEST_SCALE = 0.002
+TEST_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A session-wide TPC-H instance; tests must NOT mutate it directly.
+
+    Extractions clone it into silos, so sharing is safe.
+    """
+    return tpch.build_database(scale=TEST_SCALE, seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch_db():
+    """An even smaller instance for probe-heavy unit tests."""
+    return tpch.build_database(scale=0.0005, seed=11)

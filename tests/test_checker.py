@@ -1,0 +1,112 @@
+"""Unit tests for the extraction checker — it must catch planted mutants."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.core.checker import CheckFailedError, verify_extraction
+from repro.core.model import NumericFilter, OrderSpec
+from repro.core.svalues import SValueSource
+from repro.workloads import random_queries
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return random_queries.build_database(facts=400, seed=2)
+
+
+SQL = (
+    "select d1_segment, sum(f_amount) as total, count(*) as n "
+    "from dim_one, fact where d1_key = f_d1 and f_units between 10 and 30 "
+    "group by d1_segment order by total desc, d1_segment limit 3"
+)
+
+
+@pytest.fixture()
+def extracted_session(star_db):
+    extractor = UnmasqueExtractor(
+        star_db, SQLExecutable(SQL), ExtractionConfig(run_checker=False)
+    )
+    extractor.extract()
+    return extractor.session
+
+
+def run_checker(session):
+    return verify_extraction(session, SValueSource(session))
+
+
+class TestCheckerPassesCorrectExtraction:
+    def test_clean_pass(self, extracted_session):
+        report = run_checker(extracted_session)
+        assert report.passed
+        assert report.databases_checked >= 5
+
+
+class TestCheckerKillsMutants:
+    def test_wrong_filter_bound_detected(self, extracted_session):
+        session = extracted_session
+        for i, predicate in enumerate(session.query.filters):
+            if isinstance(predicate, NumericFilter) and predicate.column.column == "f_units":
+                session.query.filters[i] = dataclasses.replace(predicate, hi=31)
+        with pytest.raises(CheckFailedError):
+            run_checker(session)
+
+    def test_dropped_filter_detected(self, extracted_session):
+        session = extracted_session
+        session.query.filters = [
+            f for f in session.query.filters if f.column.column != "f_units"
+        ]
+        with pytest.raises(CheckFailedError):
+            run_checker(session)
+
+    def test_dropped_join_detected(self, extracted_session):
+        session = extracted_session
+        session.query.join_cliques = []
+        with pytest.raises(CheckFailedError):
+            run_checker(session)
+
+    def test_wrong_aggregate_detected(self, extracted_session):
+        session = extracted_session
+        total = session.query.output_named("total")
+        mutated = dataclasses.replace(total, aggregate="avg")
+        session.query.outputs = [
+            mutated if o.name == "total" else o for o in session.query.outputs
+        ]
+        with pytest.raises(CheckFailedError):
+            run_checker(session)
+
+    def test_flipped_order_direction_detected(self, extracted_session):
+        session = extracted_session
+        session.query.order_by = [
+            OrderSpec("total", descending=False),
+            OrderSpec("d1_segment", descending=False),
+        ]
+        with pytest.raises(CheckFailedError):
+            run_checker(session)
+
+    def test_wrong_limit_detected(self, extracted_session):
+        session = extracted_session
+        session.query.limit = 2
+        with pytest.raises(CheckFailedError):
+            run_checker(session)
+
+    def test_dropped_group_column_detected(self, extracted_session):
+        session = extracted_session
+        session.query.group_by = []
+        session.query.ungrouped_aggregation = True
+        with pytest.raises(CheckFailedError):
+            run_checker(session)
+
+
+class TestCheckerLenientMode:
+    def test_non_strict_reports_without_raising(self, extracted_session):
+        session = extracted_session
+        session.query.limit = 2
+        session.config.checker_strict = False
+        report = run_checker(session)
+        assert not report.passed
+        assert report.mismatches

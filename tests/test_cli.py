@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_workloads(self):
+        code, output = run_cli(["workloads"])
+        assert code == 0
+        for workload in ("tpch:", "tpcds:", "job:", "regal:", "having:"):
+            assert workload in output
+        assert "Q3" in output
+        assert "JQ11" in output
+
+
+class TestExtractCommand:
+    def test_extracts_bundled_query(self):
+        code, output = run_cli(
+            ["extract", "--workload", "tpch", "--query", "Q4", "--scale", "0.001"]
+        )
+        assert code == 0
+        assert "group by orders.o_orderpriority" in output
+        assert "checker     : passed" in output
+
+    def test_unknown_query_rejected(self):
+        code, output = run_cli(["extract", "--query", "Q999"])
+        assert code == 2
+        assert "unknown query" in output
+
+    def test_having_flag(self):
+        code, output = run_cli(
+            [
+                "extract",
+                "--workload",
+                "having",
+                "--query",
+                "H1_count",
+                "--having",
+                "--scale",
+                "0.002",
+            ]
+        )
+        assert code == 0
+        assert "having count(*) >= 3" in output
+
+    def test_no_checker_flag(self):
+        code, output = run_cli(
+            [
+                "extract",
+                "--workload",
+                "tpch",
+                "--query",
+                "Q4",
+                "--scale",
+                "0.001",
+                "--no-checker",
+            ]
+        )
+        assert code == 0
+        assert "checker" not in output
+
+
+class TestSqlCommand:
+    def test_ad_hoc_extraction(self):
+        code, output = run_cli(
+            [
+                "sql",
+                "--scale",
+                "0.001",
+                "select n_name, count(*) as suppliers from nation, supplier "
+                "where n_nationkey = s_nationkey group by n_name",
+            ]
+        )
+        assert code == 0
+        assert "nation.n_nationkey = supplier.s_nationkey" in output
+
+    def test_empty_result_reports_cleanly(self):
+        code, output = run_cli(
+            [
+                "sql",
+                "--scale",
+                "0.001",
+                "select count(*) as n, max(o_totalprice) as m from orders "
+                "where o_totalprice >= 999999",
+            ]
+        )
+        assert code == 3
+        assert "empty result" in output
+
+
+class TestReportFlag:
+    def test_report_prints_clause_breakdown(self):
+        code, output = run_cli(
+            [
+                "extract",
+                "--workload",
+                "tpch",
+                "--query",
+                "Q4",
+                "--scale",
+                "0.001",
+                "--report",
+                "--no-checker",
+            ]
+        )
+        assert code == 0
+        assert "extraction report" in output
+        assert "tables (T_E)" in output

@@ -1,0 +1,136 @@
+"""Tests for the §9 future-work extension: witnessed disjunction extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.core.model import InListFilter, MultiRangeFilter
+from repro.workloads import random_queries
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return random_queries.build_database(facts=500, seed=4)
+
+
+def extract(db, sql, **config_kwargs):
+    config = ExtractionConfig(extract_disjunctions=True, **config_kwargs)
+    return UnmasqueExtractor(db, SQLExecutable(sql), config).extract()
+
+
+def filter_on(outcome, column_name):
+    matches = [f for f in outcome.query.filters if f.column.column == column_name]
+    assert matches, f"no filter extracted on {column_name}"
+    return matches[0]
+
+
+class TestInListExtraction:
+    def test_two_constant_in_list(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 and d1_segment in ('alpha', 'gamma') "
+            "group by d1_segment",
+        )
+        predicate = filter_on(outcome, "d1_segment")
+        assert isinstance(predicate, InListFilter)
+        assert set(predicate.values) == {"alpha", "gamma"}
+        assert outcome.checker_report.passed
+
+    def test_or_of_equalities(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d2_color, count(*) as n from dim_two, fact "
+            "where d2_key = f_d2 and (d2_color = 'red' or d2_color = 'blue') "
+            "group by d2_color",
+        )
+        predicate = filter_on(outcome, "d2_color")
+        assert isinstance(predicate, InListFilter)
+        assert set(predicate.values) == {"blue", "red"}
+
+    def test_plain_equality_stays_plain(self, star_db):
+        outcome = extract(
+            star_db,
+            "select count(*) as n, sum(f_amount) as s from dim_one, fact "
+            "where d1_key = f_d1 and d1_segment = 'beta'",
+        )
+        predicate = filter_on(outcome, "d1_segment")
+        assert not isinstance(predicate, InListFilter)
+        assert predicate.pattern == "beta"
+
+
+class TestMultiRangeExtraction:
+    def test_two_interval_union(self, star_db):
+        outcome = extract(
+            star_db,
+            "select count(*) as n, sum(f_amount) as s from fact "
+            "where f_units between 5 and 10 or f_units between 30 and 40",
+        )
+        predicate = filter_on(outcome, "f_units")
+        assert isinstance(predicate, MultiRangeFilter)
+        assert predicate.intervals == ((5, 10), (30, 40))
+        assert outcome.checker_report.passed
+
+    def test_hole_predicate(self, star_db):
+        """`x <= a or x >= b` reads as Case 1 without the extension."""
+        outcome = extract(
+            star_db,
+            "select count(*) as n, sum(f_amount) as s from fact "
+            "where f_units <= 10 or f_units >= 35",
+        )
+        predicate = filter_on(outcome, "f_units")
+        assert isinstance(predicate, MultiRangeFilter)
+        assert predicate.intervals[0] == (0, 10)
+        assert predicate.intervals[1][0] == 35
+        assert outcome.checker_report.passed
+
+    def test_hole_missed_without_extension(self, star_db):
+        """Baseline behaviour: the standard pipeline cannot see the hole —
+        and its own checker flags the unsound extraction."""
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            UnmasqueExtractor(
+                star_db,
+                SQLExecutable(
+                    "select count(*) as n, sum(f_amount) as s from fact "
+                    "where f_units <= 10 or f_units >= 35"
+                ),
+                ExtractionConfig(),
+            ).extract()
+
+    def test_conjunctive_range_stays_single(self, star_db):
+        outcome = extract(
+            star_db,
+            "select count(*) as n, sum(f_amount) as s from fact "
+            "where f_units between 10 and 30",
+        )
+        predicate = filter_on(outcome, "f_units")
+        assert not isinstance(predicate, MultiRangeFilter)
+        assert (predicate.lo, predicate.hi) == (10, 30)
+
+
+class TestDownstreamInteraction:
+    def test_group_by_on_in_list_column(self, star_db):
+        """s-values for the grouped column come from the IN-list constants."""
+        outcome = extract(
+            star_db,
+            "select d1_segment, sum(f_amount) as s from dim_one, fact "
+            "where d1_key = f_d1 and d1_segment in ('alpha', 'beta', 'delta') "
+            "group by d1_segment order by s desc",
+        )
+        assert [c.column for c in outcome.query.group_by] == ["d1_segment"]
+        assert outcome.query.order_by[0].output_name == "s"
+        assert outcome.checker_report.passed
+
+    def test_limit_with_multirange_group(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_units, count(*) as n from fact "
+            "where f_units between 1 and 4 or f_units between 20 and 24 "
+            "group by f_units order by f_units limit 6",
+        )
+        assert outcome.query.limit == 6
+        assert outcome.checker_report.passed

@@ -1,0 +1,200 @@
+"""Unit tests for catalog, storage and result primitives."""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    Catalog,
+    Column,
+    ForeignKey,
+    IntegerType,
+    Result,
+    TableSchema,
+    VarcharType,
+)
+from repro.engine.storage import TableData
+from repro.errors import CatalogError, UndefinedColumnError, UndefinedTableError
+
+
+def make_schema(name="t", pk=("a",), fks=()):
+    return TableSchema(
+        name=name,
+        columns=(Column("a", IntegerType()), Column("b", VarcharType(10))),
+        primary_key=pk,
+        foreign_keys=fks,
+    )
+
+
+class TestTableSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(
+                name="t",
+                columns=(Column("a", IntegerType()), Column("A", IntegerType())),
+            )
+
+    def test_missing_pk_column_rejected(self):
+        with pytest.raises(CatalogError):
+            make_schema(pk=("zzz",))
+
+    def test_missing_fk_column_rejected(self):
+        with pytest.raises(CatalogError):
+            make_schema(fks=(ForeignKey(("zzz",), "u", ("x",)),))
+
+    def test_fk_length_mismatch_rejected(self):
+        with pytest.raises(CatalogError):
+            ForeignKey(("a", "b"), "u", ("x",))
+
+    def test_column_lookup_case_insensitive(self):
+        schema = make_schema()
+        assert schema.column("A").name == "a"
+        assert schema.column_index("B") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(UndefinedColumnError):
+            make_schema().column("zzz")
+
+    def test_key_columns_include_fk(self):
+        schema = make_schema(fks=(ForeignKey(("b",), "u", ("x",)),))
+        assert schema.key_columns() == {"a", "b"}
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = Catalog([make_schema()])
+        assert "t" in catalog
+        assert catalog.get("T").name == "t"
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog([make_schema()])
+        with pytest.raises(CatalogError):
+            catalog.add(make_schema())
+
+    def test_drop(self):
+        catalog = Catalog([make_schema()])
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_drop_unknown(self):
+        with pytest.raises(UndefinedTableError):
+            Catalog().drop("nope")
+
+    def test_rename(self):
+        catalog = Catalog([make_schema()])
+        catalog.rename("t", "t2")
+        assert "t2" in catalog
+        assert "t" not in catalog
+        assert catalog.get("t2").name == "t2"
+
+    def test_rename_collision(self):
+        catalog = Catalog([make_schema("t"), make_schema("u")])
+        with pytest.raises(CatalogError):
+            catalog.rename("t", "u")
+
+    def test_fk_edges_per_key_element(self):
+        composite = TableSchema(
+            name="child",
+            columns=(
+                Column("x", IntegerType()),
+                Column("y", IntegerType()),
+            ),
+            foreign_keys=(ForeignKey(("x", "y"), "parent", ("p", "q")),),
+        )
+        parent = TableSchema(
+            name="parent",
+            columns=(Column("p", IntegerType()), Column("q", IntegerType())),
+            primary_key=("p", "q"),
+        )
+        catalog = Catalog([composite, parent])
+        edges = catalog.foreign_key_edges()
+        assert ("child", "x", "parent", "p") in edges
+        assert ("child", "y", "parent", "q") in edges
+
+    def test_fk_edge_to_missing_table_skipped(self):
+        catalog = Catalog([make_schema(fks=(ForeignKey(("b",), "ghost", ("x",)),))])
+        assert catalog.foreign_key_edges() == []
+
+    def test_copy_independent(self):
+        catalog = Catalog([make_schema()])
+        clone = catalog.copy()
+        clone.drop("t")
+        assert "t" in catalog
+
+
+class TestTableData:
+    def test_insert_coerces(self):
+        data = TableData(make_schema())
+        data.insert((1.0, "x"))
+        assert data.rows == [(1, "x")]
+
+    def test_arity_mismatch(self):
+        data = TableData(make_schema())
+        with pytest.raises(Exception):
+            data.insert((1,))
+
+    def test_set_column(self):
+        data = TableData(make_schema(), [(1, "x"), (2, "y")])
+        data.set_column("b", "z")
+        assert [row[1] for row in data.rows] == ["z", "z"]
+
+    def test_map_column(self):
+        data = TableData(make_schema(), [(1, "x"), (2, "y")])
+        data.map_column("a", lambda v: -v)
+        assert [row[0] for row in data.rows] == [-1, -2]
+
+    def test_halves(self):
+        data = TableData(make_schema(), [(i, "x") for i in range(5)])
+        first, second = data.halves()
+        assert len(first) == 3 and len(second) == 2
+        assert first + second == data.rows
+
+    def test_sample_bounded(self):
+        data = TableData(make_schema(), [(i, "x") for i in range(10)])
+        sample = data.sample(3, random.Random(1))
+        assert len(sample) == 3
+        assert all(row in data.rows for row in sample)
+
+    def test_sample_whole_table(self):
+        data = TableData(make_schema(), [(i, "x") for i in range(3)])
+        assert len(data.sample(99, random.Random(1))) == 3
+
+    def test_delete_and_update_where(self):
+        data = TableData(make_schema(), [(1, "x"), (2, "y"), (3, "x")])
+        assert data.delete_where(lambda row: row[1] == "x") == 2
+        assert data.update_where(lambda row: True, lambda row: (row[0] + 10, row[1])) == 1
+        assert data.rows == [(12, "y")]
+
+
+class TestResultEmptiness:
+    def test_no_rows_is_empty(self):
+        assert Result([], []).is_effectively_empty
+
+    def test_all_null_row_is_effectively_empty(self):
+        assert Result(["a", "b"], [(None, None)]).is_effectively_empty
+
+    def test_null_plus_zero_is_effectively_empty(self):
+        # ungrouped `count(*), sum(x)` over an empty SPJ core
+        assert Result(["n", "s"], [(0, None)]).is_effectively_empty
+
+    def test_zero_without_null_is_populated(self):
+        # a genuine zero-valued sum must not read as emptiness
+        assert not Result(["s"], [(0.0,)]).is_effectively_empty
+
+    def test_value_row_is_populated(self):
+        assert not Result(["a"], [(1,)]).is_effectively_empty
+
+    def test_multi_row_never_effectively_empty(self):
+        assert not Result(["a"], [(None,), (None,)]).is_effectively_empty
+
+    def test_multiset_float_precision(self):
+        a = Result(["x"], [(0.1 + 0.2,)])
+        b = Result(["x"], [(0.3,)])
+        assert not a.same_multiset(b)
+        assert a.same_multiset(b, float_precision=6)
+
+    def test_ordered_checksum_position_sensitive(self):
+        a = Result(["x"], [(1,), (2,)])
+        b = Result(["x"], [(2,), (1,)])
+        assert a.same_multiset(b)
+        assert not a.same_ordered(b)

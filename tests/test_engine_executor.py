@@ -1,0 +1,339 @@
+"""Integration tests for planning + execution on the in-memory engine."""
+
+import datetime
+
+import pytest
+
+from repro.engine import (
+    Column,
+    Database,
+    DateType,
+    ForeignKey,
+    IntegerType,
+    NumericType,
+    TableSchema,
+    VarcharType,
+)
+from repro.errors import (
+    AmbiguousColumnError,
+    ExecutionError,
+    UndefinedColumnError,
+    UndefinedTableError,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            name="customer",
+            columns=(
+                Column("c_custkey", IntegerType()),
+                Column("c_name", VarcharType(25)),
+                Column("c_mktsegment", VarcharType(10)),
+            ),
+            primary_key=("c_custkey",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            name="orders",
+            columns=(
+                Column("o_orderkey", IntegerType()),
+                Column("o_custkey", IntegerType()),
+                Column("o_orderdate", DateType()),
+                Column("o_totalprice", NumericType(2)),
+            ),
+            primary_key=("o_orderkey",),
+            foreign_keys=(ForeignKey(("o_custkey",), "customer", ("c_custkey",)),),
+        )
+    )
+    database.insert(
+        "customer",
+        [
+            (1, "Alice", "BUILDING"),
+            (2, "Bob", "MACHINERY"),
+            (3, "Cara", "BUILDING"),
+        ],
+    )
+    database.insert(
+        "orders",
+        [
+            (100, 1, datetime.date(1995, 1, 10), 1000.0),
+            (101, 1, datetime.date(1995, 2, 20), 500.0),
+            (102, 2, datetime.date(1995, 3, 5), 750.0),
+            (103, 3, datetime.date(1996, 1, 1), 250.0),
+        ],
+    )
+    return database
+
+
+class TestScansAndFilters:
+    def test_full_scan(self, db):
+        result = db.execute("select c_custkey from customer")
+        assert sorted(result.column_values(0)) == [1, 2, 3]
+
+    def test_equality_filter(self, db):
+        result = db.execute("select c_name from customer where c_mktsegment = 'BUILDING'")
+        assert sorted(result.column_values(0)) == ["Alice", "Cara"]
+
+    def test_range_filter_on_date(self, db):
+        result = db.execute(
+            "select o_orderkey from orders where o_orderdate >= date '1995-02-01'"
+        )
+        assert sorted(result.column_values(0)) == [101, 102, 103]
+
+    def test_between(self, db):
+        result = db.execute(
+            "select o_orderkey from orders where o_totalprice between 400 and 800"
+        )
+        assert sorted(result.column_values(0)) == [101, 102]
+
+    def test_like(self, db):
+        result = db.execute("select c_name from customer where c_name like '%ar%'")
+        assert sorted(result.column_values(0)) == ["Cara"]
+
+    def test_like_underscore(self, db):
+        result = db.execute("select c_name from customer where c_name like 'B_b'")
+        assert result.column_values(0) == ["Bob"]
+
+    def test_in_list(self, db):
+        result = db.execute("select c_name from customer where c_custkey in (1, 3)")
+        assert sorted(result.column_values(0)) == ["Alice", "Cara"]
+
+    def test_or_predicate(self, db):
+        result = db.execute(
+            "select c_name from customer where c_custkey = 1 or c_custkey = 2"
+        )
+        assert sorted(result.column_values(0)) == ["Alice", "Bob"]
+
+    def test_not_predicate(self, db):
+        result = db.execute(
+            "select c_name from customer where not c_mktsegment = 'BUILDING'"
+        )
+        assert result.column_values(0) == ["Bob"]
+
+
+class TestJoins:
+    def test_equi_join(self, db):
+        result = db.execute(
+            "select c_name, o_orderkey from customer, orders where c_custkey = o_custkey"
+        )
+        assert result.row_count == 4
+
+    def test_join_with_filter(self, db):
+        result = db.execute(
+            "select o_orderkey from customer, orders "
+            "where c_custkey = o_custkey and c_mktsegment = 'BUILDING'"
+        )
+        assert sorted(result.column_values(0)) == [100, 101, 103]
+
+    def test_join_empty_when_no_match(self, db):
+        db.replace_rows("customer", [(99, "Zoe", "BUILDING")])
+        result = db.execute(
+            "select o_orderkey from customer, orders where c_custkey = o_custkey"
+        )
+        assert result.is_empty
+
+    def test_cross_product_without_join(self, db):
+        result = db.execute("select c_custkey, o_orderkey from customer, orders")
+        assert result.row_count == 12
+
+    def test_inner_join_syntax(self, db):
+        result = db.execute(
+            "select c_name from customer inner join orders on c_custkey = o_custkey "
+            "where o_totalprice > 900"
+        )
+        assert result.column_values(0) == ["Alice"]
+
+    def test_null_keys_do_not_join(self, db):
+        db.insert("orders", [(104, None, datetime.date(1995, 1, 1), 10.0)])
+        result = db.execute(
+            "select o_orderkey from customer, orders where c_custkey = o_custkey"
+        )
+        assert 104 not in result.column_values(0)
+
+
+class TestAggregation:
+    def test_ungrouped_aggregates(self, db):
+        result = db.execute(
+            "select count(*), sum(o_totalprice), min(o_totalprice), "
+            "max(o_totalprice), avg(o_totalprice) from orders"
+        )
+        assert result.first_row() == (4, 2500.0, 250.0, 1000.0, 625.0)
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "select o_custkey, sum(o_totalprice) from orders group by o_custkey"
+        )
+        as_dict = dict(result.rows)
+        assert as_dict == {1: 1500.0, 2: 750.0, 3: 250.0}
+
+    def test_group_by_expression_projection(self, db):
+        result = db.execute(
+            "select o_custkey, count(*) c from orders group by o_custkey "
+            "order by c desc, o_custkey asc"
+        )
+        assert result.rows[0] == (1, 2)
+
+    def test_having(self, db):
+        result = db.execute(
+            "select o_custkey from orders group by o_custkey having sum(o_totalprice) > 700"
+        )
+        assert sorted(result.column_values(0)) == [1, 2]
+
+    def test_count_star_vs_count_column(self, db):
+        db.insert("orders", [(105, None, datetime.date(1995, 5, 5), 60.0)])
+        result = db.execute("select count(*), count(o_custkey) from orders")
+        assert result.first_row() == (5, 4)
+
+    def test_ungrouped_aggregate_on_empty_input_returns_one_row(self, db):
+        result = db.execute("select count(*) from orders where o_totalprice > 99999")
+        assert result.first_row() == (0,)
+
+    def test_grouped_on_empty_input_returns_no_rows(self, db):
+        result = db.execute(
+            "select o_custkey, count(*) from orders where o_totalprice > 99999 "
+            "group by o_custkey"
+        )
+        assert result.is_empty
+
+    def test_aggregate_of_scalar_function(self, db):
+        result = db.execute("select sum(o_totalprice * 2) from orders")
+        assert result.first_row() == (5000.0,)
+
+    def test_bare_column_outside_group_by_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("select o_orderkey, sum(o_totalprice) from orders group by o_custkey")
+
+
+class TestOrderLimit:
+    def test_order_by_asc(self, db):
+        result = db.execute(
+            "select o_orderkey from orders order by o_orderkey asc"
+        )
+        assert result.column_values(0) == [100, 101, 102, 103]
+
+    def test_order_by_desc(self, db):
+        result = db.execute("select o_totalprice from orders order by o_totalprice desc")
+        assert result.column_values(0) == [1000.0, 750.0, 500.0, 250.0]
+
+    def test_order_by_alias(self, db):
+        result = db.execute(
+            "select o_custkey, sum(o_totalprice) as total from orders "
+            "group by o_custkey order by total desc"
+        )
+        assert result.column_values("total") == [1500.0, 750.0, 250.0]
+
+    def test_multi_key_order(self, db):
+        db.insert("orders", [(104, 1, datetime.date(1995, 1, 1), 500.0)])
+        result = db.execute(
+            "select o_totalprice, o_orderkey from orders "
+            "order by o_totalprice asc, o_orderkey desc"
+        )
+        prices = result.column_values(0)
+        assert prices == sorted(prices)
+        # ties broken by orderkey descending
+        tied = [row[1] for row in result.rows if row[0] == 500.0]
+        assert tied == sorted(tied, reverse=True)
+
+    def test_limit(self, db):
+        result = db.execute("select o_orderkey from orders order by o_orderkey limit 2")
+        assert result.column_values(0) == [100, 101]
+
+    def test_limit_larger_than_result(self, db):
+        result = db.execute("select o_orderkey from orders limit 100")
+        assert result.row_count == 4
+
+    def test_order_by_unprojected_column_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("select o_orderkey from orders order by o_totalprice")
+
+
+class TestDistinct:
+    def test_select_distinct(self, db):
+        result = db.execute("select distinct c_mktsegment from customer")
+        assert sorted(result.column_values(0)) == ["BUILDING", "MACHINERY"]
+
+
+class TestExpressions:
+    def test_computed_projection(self, db):
+        result = db.execute(
+            "select o_totalprice * (1 - 0.1) from orders where o_orderkey = 100"
+        )
+        assert result.first_row()[0] == pytest.approx(900.0)
+
+    def test_date_plus_interval(self, db):
+        result = db.execute(
+            "select o_orderkey from orders "
+            "where o_orderdate < date '1995-01-01' + interval '2' month"
+        )
+        assert sorted(result.column_values(0)) == [100, 101]
+
+    def test_extract_year(self, db):
+        result = db.execute(
+            "select o_orderkey from orders where extract(year from o_orderdate) = 1996"
+        )
+        assert result.column_values(0) == [103]
+
+    def test_division_by_zero_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("select o_totalprice / 0 from orders")
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(UndefinedTableError):
+            db.execute("select x from nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(UndefinedColumnError):
+            db.execute("select nope from customer")
+
+    def test_ambiguous_column(self, db):
+        db.execute("create table customer2 (c_custkey integer)")
+        with pytest.raises(AmbiguousColumnError):
+            db.execute("select c_custkey from customer, customer2")
+
+    def test_rename_probe_raises_before_touching_data(self, db):
+        db.rename_table("orders", "temp_orders")
+        with pytest.raises(UndefinedTableError):
+            db.execute("select o_orderkey from orders")
+        db.rename_table("temp_orders", "orders")
+        assert db.execute("select count(*) from orders").first_row() == (4,)
+
+
+class TestDml:
+    def test_update(self, db):
+        db.execute("update customer set c_mktsegment = 'AUTOMOBILE' where c_custkey = 1")
+        result = db.execute("select c_mktsegment from customer where c_custkey = 1")
+        assert result.first_row() == ("AUTOMOBILE",)
+
+    def test_delete(self, db):
+        db.execute("delete from orders where o_totalprice < 600")
+        assert db.row_count("orders") == 2
+
+    def test_insert_with_column_list(self, db):
+        db.execute("insert into customer (c_custkey, c_name) values (9, 'Nia')")
+        result = db.execute("select c_mktsegment from customer where c_custkey = 9")
+        assert result.first_row() == (None,)
+
+
+class TestCloneAndSnapshot:
+    def test_clone_is_independent(self, db):
+        silo = db.clone()
+        silo.execute("delete from orders")
+        assert db.row_count("orders") == 4
+        assert silo.row_count("orders") == 0
+
+    def test_snapshot_restore(self, db):
+        snap = db.snapshot()
+        db.execute("delete from orders")
+        db.restore(snap)
+        assert db.row_count("orders") == 4
+
+    def test_drop_constraints_keeps_data(self, db):
+        db.drop_constraints()
+        assert db.schema("orders").foreign_keys == ()
+        assert db.row_count("orders") == 4

@@ -1,0 +1,54 @@
+"""Tests for the engine's EXPLAIN plan rendering."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.workloads import tpch_queries
+
+
+class TestExplain:
+    def test_q3_plan_structure(self, tiny_tpch_db):
+        plan = tiny_tpch_db.explain(tpch_queries.QUERIES["Q3"].sql)
+        lines = plan.splitlines()
+        assert lines[0].startswith("Limit: 10")
+        assert "Sort:" in plan
+        assert "GroupAggregate:" in plan
+        assert plan.count("HashJoin") == 2
+        assert "Scan customer" in plan
+
+    def test_filter_pushdown_shown_on_scan(self, tiny_tpch_db):
+        plan = tiny_tpch_db.explain(
+            "select c_name from customer where c_mktsegment = 'BUILDING'"
+        )
+        assert "Scan customer [" in plan
+        assert "BUILDING" in plan
+
+    def test_cross_product_labelled(self, tiny_tpch_db):
+        plan = tiny_tpch_db.explain("select r_name, n_name from region, nation")
+        assert "CrossProduct" in plan
+
+    def test_join_order_starts_with_first_from_table(self, tiny_tpch_db):
+        plan = tiny_tpch_db.explain(
+            "select n_name, count(*) as c from nation, supplier "
+            "where n_nationkey = s_nationkey group by n_name"
+        )
+        scans = [line.strip() for line in plan.splitlines() if "Scan" in line]
+        assert scans[0].startswith("Scan nation")
+        assert "HashJoin" in scans[1]
+
+    def test_ungrouped_aggregate_plan(self, tiny_tpch_db):
+        plan = tiny_tpch_db.explain("select count(*), sum(s_acctbal) from supplier")
+        assert "GroupAggregate: keys=[()]" in plan
+
+    def test_distinct_stage(self, tiny_tpch_db):
+        plan = tiny_tpch_db.explain("select distinct c_mktsegment from customer")
+        assert "Distinct" in plan
+
+    def test_non_select_rejected(self, tiny_tpch_db):
+        with pytest.raises(DatabaseError):
+            tiny_tpch_db.explain("delete from region")
+
+    def test_explain_does_not_execute(self, tiny_tpch_db):
+        before = tiny_tpch_db.snapshot()
+        tiny_tpch_db.explain("select count(*) from lineitem")
+        assert tiny_tpch_db.snapshot() == before

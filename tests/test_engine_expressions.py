@@ -1,0 +1,147 @@
+"""Unit tests for expression evaluation, aggregates, and deadlines."""
+
+import datetime
+import time
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.aggregates import make_accumulator
+from repro.engine.expressions import add_interval, like_matches
+from repro.errors import ExecutableTimeoutError, ExecutionError
+
+
+class TestLikeMatching:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("BUILDING", "BUILDING", True),
+            ("BUILDING", "BUILD%", True),
+            ("BUILDING", "%ING", True),
+            ("BUILDING", "%UILD%", True),
+            ("BUILDING", "B_ILDING", True),
+            ("BUILDING", "b%", False),  # case sensitive
+            ("", "%", True),
+            ("", "_", False),
+            ("a", "_", True),
+            ("ab", "_", False),
+            ("a%b", "a\\%b", False),  # no escape support: \\ is a literal char
+            ("anything", "%%", True),
+        ],
+    )
+    def test_cases(self, value, pattern, expected):
+        assert like_matches(value, pattern) is expected
+
+
+class TestIntervalArithmetic:
+    def test_add_days(self):
+        assert add_interval(datetime.date(2020, 1, 30), 3, "day") == datetime.date(2020, 2, 2)
+
+    def test_add_months_clamps_day(self):
+        assert add_interval(datetime.date(2020, 1, 31), 1, "month") == datetime.date(2020, 2, 29)
+
+    def test_add_months_across_year(self):
+        assert add_interval(datetime.date(2020, 11, 15), 3, "month") == datetime.date(2021, 2, 15)
+
+    def test_subtract_months(self):
+        assert add_interval(datetime.date(2020, 3, 31), -1, "month") == datetime.date(2020, 2, 29)
+
+    def test_add_years_leap_day(self):
+        assert add_interval(datetime.date(2020, 2, 29), 1, "year") == datetime.date(2021, 2, 28)
+
+    def test_unknown_unit(self):
+        with pytest.raises(ExecutionError):
+            add_interval(datetime.date(2020, 1, 1), 1, "fortnight")
+
+
+class TestAccumulators:
+    def test_min_max_ignore_nulls(self):
+        mn, mx = make_accumulator("min"), make_accumulator("max")
+        for value in (None, 3, 1, None, 2):
+            mn.add(value)
+            mx.add(value)
+        assert mn.result() == 1
+        assert mx.result() == 3
+
+    def test_sum_of_nothing_is_null(self):
+        acc = make_accumulator("sum")
+        acc.add(None)
+        assert acc.result() is None
+
+    def test_avg(self):
+        acc = make_accumulator("avg")
+        for value in (1, 2, None, 3):
+            acc.add(value)
+        assert acc.result() == 2.0
+
+    def test_avg_empty_is_null(self):
+        assert make_accumulator("avg").result() is None
+
+    def test_count_ignores_nulls(self):
+        acc = make_accumulator("count")
+        for value in (1, None, "x"):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_distinct_sum(self):
+        acc = make_accumulator("sum", distinct=True)
+        for value in (2, 2, 3, 3, 3):
+            acc.add(value)
+        assert acc.result() == 5
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            make_accumulator("median")
+
+
+class TestDeadlines:
+    def make_db(self, rows=50_000):
+        db = Database()
+        db.execute("create table big (a integer, b integer)")
+        db.replace_rows("big", [(i, i % 97) for i in range(rows)])
+        return db
+
+    def test_expired_deadline_aborts_query(self):
+        db = self.make_db()
+        db.deadline = time.perf_counter() - 1.0  # already past
+        with pytest.raises(ExecutableTimeoutError):
+            db.execute("select b, count(*) from big where a >= 10 group by b")
+        db.deadline = None
+
+    def test_future_deadline_allows_completion(self):
+        db = self.make_db(rows=500)
+        db.deadline = time.perf_counter() + 30.0
+        result = db.execute("select count(*) from big")
+        assert result.first_row() == (500,)
+        db.deadline = None
+
+    def test_scan_cursor_honours_deadline(self):
+        db = self.make_db()
+        db.deadline = time.perf_counter() - 1.0
+        with pytest.raises(ExecutableTimeoutError):
+            for _ in db.scan("big"):
+                pass
+        db.deadline = None
+
+
+class TestDateExpressions:
+    @pytest.fixture()
+    def db(self):
+        db = Database()
+        db.execute("create table d (day date, n integer)")
+        db.execute("insert into d values ('2020-01-15', 1), ('2020-03-15', 2)")
+        return db
+
+    def test_date_minus_date_is_days(self, db):
+        result = db.execute("select day - date '2020-01-01' from d where n = 1")
+        assert result.first_row() == (14,)
+
+    def test_date_plus_integer_days(self, db):
+        result = db.execute("select day + 10 from d where n = 1")
+        assert result.first_row() == (datetime.date(2020, 1, 25),)
+
+    def test_interval_year(self, db):
+        result = db.execute(
+            "select count(*) from d where day < date '2019-03-15' + interval '1' year"
+        )
+        assert result.first_row() == (1,)

@@ -1,0 +1,210 @@
+"""Unit tests for the SQL parser."""
+
+import datetime
+
+import pytest
+
+from repro.engine.parser import parse_expression, parse_select, parse_statement
+from repro.engine.sqlast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    FuncCall,
+    Insert,
+    IntervalLiteral,
+    Like,
+    Literal,
+    RenameTable,
+    SelectStatement,
+    Update,
+    conjoin,
+    conjuncts,
+)
+from repro.errors import ParseError
+
+
+class TestSelectParsing:
+    def test_minimal_select(self):
+        stmt = parse_select("select a from t")
+        assert stmt.items[0].expr == ColumnRef("a")
+        assert stmt.tables[0].name == "t"
+        assert stmt.where is None
+
+    def test_select_with_alias(self):
+        stmt = parse_select("select a as x, b y from t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_qualified_columns(self):
+        stmt = parse_select("select t.a from t")
+        assert stmt.items[0].expr == ColumnRef("a", table="t")
+
+    def test_table_alias(self):
+        stmt = parse_select("select x.a from t as x")
+        assert stmt.tables[0].alias == "x"
+        assert stmt.tables[0].binding == "x"
+
+    def test_comma_join(self):
+        stmt = parse_select("select a from t1, t2 where t1.k = t2.k")
+        assert [t.name for t in stmt.tables] == ["t1", "t2"]
+
+    def test_inner_join_on_folds_into_where(self):
+        stmt = parse_select("select a from t1 inner join t2 on t1.k = t2.k where t1.a > 3")
+        parts = conjuncts(stmt.where)
+        assert len(parts) == 2
+
+    def test_group_by_having_order_limit(self):
+        stmt = parse_select(
+            "select a, sum(b) s from t group by a having sum(b) > 10 "
+            "order by s desc, a asc limit 5"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_select("select distinct a from t").distinct
+
+    def test_count_star(self):
+        stmt = parse_select("select count(*) from t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, FuncCall)
+        assert expr.star
+
+    def test_count_distinct(self):
+        stmt = parse_select("select count(distinct a) from t")
+        expr = stmt.items[0].expr
+        assert expr.distinct
+
+    def test_date_literal(self):
+        stmt = parse_select("select a from t where d <= date '1995-03-15'")
+        pred = stmt.where
+        assert isinstance(pred, BinaryOp)
+        assert pred.right == Literal(datetime.date(1995, 3, 15))
+
+    def test_interval_literal(self):
+        expr = parse_expression("d < date '1995-01-01' + interval '3' month")
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.right == IntervalLiteral(3, "month")
+
+    def test_between(self):
+        expr = parse_expression("a between 1 and 10")
+        assert isinstance(expr, Between)
+
+    def test_not_between(self):
+        expr = parse_expression("a not between 1 and 10")
+        # rendered as not(...)
+        assert "not" in expr.to_sql()
+
+    def test_like(self):
+        expr = parse_expression("s like '%UP_%'")
+        assert isinstance(expr, Like)
+        assert expr.pattern == "%UP_%"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus_literal_folds(self):
+        assert parse_expression("-5") == Literal(-5)
+
+    def test_in_list(self):
+        expr = parse_expression("a in (1, 2, 3)")
+        assert len(expr.items) == 3
+
+    def test_is_null(self):
+        expr = parse_expression("a is not null")
+        assert expr.negated
+
+    def test_trailing_semicolon_ok(self):
+        parse_select("select a from t;")
+
+    def test_revenue_expression_roundtrip(self):
+        sql = "select sum(l_extendedprice * (1 - l_discount)) as revenue from lineitem"
+        stmt = parse_select(sql)
+        rendered = stmt.to_sql()
+        assert parse_select(rendered) == stmt
+
+
+class TestStatementRoundTrip:
+    def test_to_sql_reparses_identically(self):
+        sql = (
+            "select c_name, o_orderdate, sum(l_extendedprice) as total "
+            "from customer, orders, lineitem "
+            "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+            "and c_mktsegment = 'BUILDING' and l_quantity between 5 and 10 "
+            "group by c_name, o_orderdate order by total desc limit 10"
+        )
+        stmt = parse_select(sql)
+        assert parse_select(stmt.to_sql()) == stmt
+
+
+class TestDdlDmlParsing:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "create table t (a integer, b varchar(10), c numeric(12,2), d date, "
+            "primary key (a), foreign key (b) references u (x))"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.primary_key == ("a",)
+        assert stmt.foreign_keys == ((("b",), "u", ("x",)),)
+
+    def test_alter_rename(self):
+        stmt = parse_statement("alter table t rename to temp_t")
+        assert stmt == RenameTable("t", "temp_t")
+
+    def test_insert_multiple_rows(self):
+        stmt = parse_statement("insert into t (a, b) values (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, Insert)
+        assert len(stmt.rows) == 2
+
+    def test_update(self):
+        stmt = parse_statement("update t set a = 5 where b = 'x'")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments[0][0] == "a"
+
+    def test_delete(self):
+        stmt = parse_statement("delete from t where a > 3")
+        assert isinstance(stmt, Delete)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select",
+            "select from t",
+            "select a from",
+            "select a from t where",
+            "select a from t limit",
+            "frobnicate t",
+            "select a from t extra garbage",
+        ],
+    )
+    def test_rejected(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_flatten(self):
+        expr = parse_expression("a = 1 and b = 2 and c = 3")
+        assert len(conjuncts(expr)) == 3
+
+    def test_conjoin_inverse(self):
+        expr = parse_expression("a = 1 and b = 2")
+        assert conjoin(conjuncts(expr)) == expr
+
+    def test_conjoin_empty_is_none(self):
+        assert conjoin([]) is None

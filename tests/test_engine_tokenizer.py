@@ -1,0 +1,89 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.engine.tokenizer import Token, tokenize
+from repro.errors import ParseError
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenKinds:
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("SELECT sElEcT select") == [("keyword", "select")] * 3
+
+    def test_identifier_vs_keyword(self):
+        assert kinds("foo from") == [("identifier", "foo"), ("keyword", "from")]
+
+    def test_identifiers_lowercased(self):
+        assert kinds("L_OrderKey") == [("identifier", "l_orderkey")]
+
+    def test_quoted_identifier_preserves_content(self):
+        assert kinds('"MiXeD"') == [("identifier", "MiXeD")]
+
+    def test_integer_and_float_numbers(self):
+        assert kinds("42 3.14 .5") == [
+            ("number", "42"),
+            ("number", "3.14"),
+            ("number", ".5"),
+        ]
+
+    def test_number_followed_by_dot_token(self):
+        # "1." followed by an identifier must not swallow the dot.
+        assert kinds("t1.col") == [
+            ("identifier", "t1"),
+            ("symbol", "."),
+            ("identifier", "col"),
+        ]
+
+    def test_string_literal(self):
+        assert kinds("'BUILDING'") == [("string", "BUILDING")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_empty_string_literal(self):
+        assert kinds("''") == [("string", "")]
+
+    def test_multichar_symbols(self):
+        assert kinds("<= >= <> !=") == [
+            ("symbol", "<="),
+            ("symbol", ">="),
+            ("symbol", "<>"),
+            ("symbol", "!="),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("select -- comment\n 1") == [
+            ("keyword", "select"),
+            ("number", "1"),
+        ]
+
+    def test_eof_token_appended(self):
+        tokens = tokenize("select")
+        assert tokens[-1].kind == "eof"
+
+
+class TestTokenizerErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select @")
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = Token("keyword", "select", 0)
+        assert token.matches("keyword")
+        assert token.matches("keyword", "select")
+        assert not token.matches("keyword", "from")
+        assert not token.matches("identifier")

@@ -1,0 +1,133 @@
+"""Unit tests for the engine type system."""
+
+import datetime
+
+import pytest
+
+from repro.engine.types import (
+    BigIntType,
+    CharType,
+    DateType,
+    IntegerType,
+    NumericDomain,
+    NumericType,
+    TextType,
+    VarcharType,
+    format_sql_literal,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestIntegerType:
+    def test_coerce_int(self):
+        assert IntegerType().coerce(5) == 5
+
+    def test_coerce_integral_float(self):
+        assert IntegerType().coerce(5.0) == 5
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().coerce(5.5)
+
+    def test_rejects_boolean(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().coerce(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().coerce("5")
+
+    def test_none_passes_through(self):
+        assert IntegerType().coerce(None) is None
+
+    def test_custom_domain(self):
+        t = IntegerType(lo=0, hi=100)
+        assert t.domain.lo == 0
+        assert t.domain.hi == 100
+
+    def test_bigint_domain_wider(self):
+        assert BigIntType().domain.hi > IntegerType().domain.hi
+
+
+class TestNumericType:
+    def test_rounds_to_scale(self):
+        assert NumericType(scale=2).coerce(1.005) == pytest.approx(1.0, abs=0.01)
+        assert NumericType(scale=2).coerce(1.239) == 1.24
+
+    def test_accepts_int(self):
+        assert NumericType(scale=2).coerce(3) == 3.0
+
+    def test_scale_zero(self):
+        assert NumericType(scale=0).coerce(3.4) == 3.0
+
+
+class TestDateType:
+    def test_coerce_date(self):
+        d = datetime.date(1995, 3, 15)
+        assert DateType().coerce(d) == d
+
+    def test_coerce_iso_string(self):
+        assert DateType().coerce("1995-03-15") == datetime.date(1995, 3, 15)
+
+    def test_coerce_datetime_truncates(self):
+        dt = datetime.datetime(1995, 3, 15, 12, 30)
+        assert DateType().coerce(dt) == datetime.date(1995, 3, 15)
+
+    def test_rejects_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            DateType().coerce("not-a-date")
+
+
+class TestTextTypes:
+    def test_varchar_length_enforced(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType(3).coerce("abcd")
+
+    def test_varchar_accepts_fitting(self):
+        assert VarcharType(3).coerce("abc") == "abc"
+
+    def test_char_is_textual(self):
+        assert CharType(1).is_textual
+
+    def test_text_effectively_unbounded(self):
+        assert TextType().coerce("x" * 100_000) == "x" * 100_000
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType(10).coerce(5)
+
+
+class TestNumericDomain:
+    def test_clamp(self):
+        domain = NumericDomain(0, 10)
+        assert domain.clamp(-5) == 0
+        assert domain.clamp(15) == 10
+        assert domain.clamp(5) == 5
+
+    def test_contains(self):
+        domain = NumericDomain(0, 10)
+        assert domain.contains(0)
+        assert domain.contains(10)
+        assert not domain.contains(11)
+
+
+class TestSqlLiterals:
+    def test_null(self):
+        assert format_sql_literal(None) == "NULL"
+
+    def test_date(self):
+        assert format_sql_literal(datetime.date(1995, 3, 15)) == "date '1995-03-15'"
+
+    def test_string_escapes_quotes(self):
+        assert format_sql_literal("it's") == "'it''s'"
+
+    def test_int(self):
+        assert format_sql_literal(42) == "42"
+
+    def test_float(self):
+        assert format_sql_literal(0.05) == "0.05"
+
+    def test_type_equality_and_hash(self):
+        assert IntegerType() == IntegerType()
+        assert IntegerType() != IntegerType(lo=0, hi=5)
+        assert hash(VarcharType(10)) == hash(VarcharType(10))

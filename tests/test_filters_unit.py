@@ -1,0 +1,193 @@
+"""Focused unit tests for filter extraction, especially textual wildcards.
+
+A purpose-built single-table database gives precise control over the hidden
+predicates (the TPC-H pipeline tests cover the composite behaviour).
+"""
+
+import datetime
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core.config import ExtractionConfig
+from repro.core.filters import extract_filters
+from repro.core.from_clause import extract_tables
+from repro.core.minimizer import minimize
+from repro.core.model import NumericFilter, TextFilter
+from repro.core.session import ExtractionSession
+from repro.engine import (
+    Column,
+    Database,
+    DateType,
+    IntegerType,
+    NumericType,
+    TableSchema,
+    VarcharType,
+)
+
+
+def make_db(strings=None):
+    db = Database(
+        [
+            TableSchema(
+                name="t",
+                columns=(
+                    Column("pk", IntegerType()),
+                    Column("qty", IntegerType(lo=0, hi=1000)),
+                    Column("price", NumericType(2, lo=0.0, hi=100.0)),
+                    Column("day", DateType()),
+                    Column("tag", VarcharType(12)),
+                ),
+                primary_key=("pk",),
+            )
+        ]
+    )
+    strings = strings or ["alpha", "beta", "gamma", "delta", "alphabet"]
+    rows = []
+    for i in range(1, 241):
+        rows.append(
+            (
+                i,
+                i % 100,
+                round((i % 90) + 0.5, 2),
+                datetime.date(2020, 1, 1) + datetime.timedelta(days=i % 300),
+                strings[i % len(strings)],
+            )
+        )
+    db.insert("t", rows)
+    return db
+
+
+def extract_from(db, sql):
+    session = ExtractionSession(db, SQLExecutable(sql), ExtractionConfig())
+    extract_tables(session)
+    minimize(session)
+    from repro.core.joins import extract_joins
+
+    extract_joins(session)
+    return session, extract_filters(session)
+
+
+def filters_by_column(filters):
+    return {f.column.column: f for f in filters}
+
+
+class TestNumericFilters:
+    def test_no_filter_detected_when_absent(self):
+        _, filters = extract_from(make_db(), "select qty from t where qty >= 0")
+        by_col = filters_by_column(filters)
+        assert "qty" not in by_col  # qty >= 0 == domain bound: no predicate
+
+    def test_integer_lower_bound(self):
+        _, filters = extract_from(make_db(), "select qty from t where qty >= 37")
+        predicate = filters_by_column(filters)["qty"]
+        assert predicate.lo == 37
+        assert predicate.operator() == ">="
+
+    def test_integer_strict_comparison_closed(self):
+        _, filters = extract_from(make_db(), "select qty from t where qty < 42")
+        predicate = filters_by_column(filters)["qty"]
+        assert predicate.hi == 41
+        assert predicate.operator() == "<="
+
+    def test_integer_between(self):
+        _, filters = extract_from(
+            make_db(), "select qty from t where qty between 10 and 20"
+        )
+        predicate = filters_by_column(filters)["qty"]
+        assert (predicate.lo, predicate.hi) == (10, 20)
+        assert predicate.operator() == "between"
+
+    def test_integer_equality(self):
+        _, filters = extract_from(make_db(), "select pk, qty from t where qty = 55")
+        predicate = filters_by_column(filters)["qty"]
+        assert predicate.is_equality
+        assert predicate.lo == 55
+
+    def test_decimal_bounds_to_scale(self):
+        _, filters = extract_from(
+            make_db(), "select price from t where price between 10.25 and 20.75"
+        )
+        predicate = filters_by_column(filters)["price"]
+        assert predicate.lo == pytest.approx(10.25)
+        assert predicate.hi == pytest.approx(20.75)
+
+    def test_date_window(self):
+        _, filters = extract_from(
+            make_db(),
+            "select day from t where day >= date '2020-03-01' and day < date '2020-06-01'",
+        )
+        predicate = filters_by_column(filters)["day"]
+        assert predicate.lo == datetime.date(2020, 3, 1)
+        assert predicate.hi == datetime.date(2020, 5, 31)
+
+
+class TestTextFilters:
+    def test_equality(self):
+        _, filters = extract_from(make_db(), "select tag from t where tag = 'beta'")
+        predicate = filters_by_column(filters)["tag"]
+        assert isinstance(predicate, TextFilter)
+        assert predicate.is_equality
+        assert predicate.pattern == "beta"
+
+    def test_prefix_like(self):
+        _, filters = extract_from(make_db(), "select tag from t where tag like 'alpha%'")
+        assert filters_by_column(filters)["tag"].pattern == "alpha%"
+
+    def test_suffix_like(self):
+        _, filters = extract_from(make_db(), "select tag from t where tag like '%eta'")
+        assert filters_by_column(filters)["tag"].pattern == "%eta"
+
+    def test_infix_like(self):
+        _, filters = extract_from(make_db(), "select tag from t where tag like '%amm%'")
+        assert filters_by_column(filters)["tag"].pattern == "%amm%"
+
+    def test_underscore_exact_length(self):
+        _, filters = extract_from(make_db(), "select tag from t where tag like 'bet_'")
+        assert filters_by_column(filters)["tag"].pattern == "bet_"
+
+    def test_underscore_then_percent(self):
+        db = make_db(strings=["ax", "axe", "axle", "by", "byte"])
+        _, filters = extract_from(db, "select tag from t where tag like 'a_%'")
+        assert filters_by_column(filters)["tag"].pattern == "a_%"
+
+    def test_repeated_occurrence_minimized(self):
+        # the representative string satisfies '%lo%' twice; rep-minimization
+        # must still recover the exact pattern
+        db = make_db(strings=["lolo", "hello", "low", "xxx", "yyy"])
+        _, filters = extract_from(db, "select tag from t where tag like '%lo%'")
+        assert filters_by_column(filters)["tag"].pattern == "%lo%"
+
+    def test_no_filter_on_unconstrained_text(self):
+        _, filters = extract_from(make_db(), "select tag, qty from t where qty <= 90")
+        assert "tag" not in filters_by_column(filters)
+
+
+class TestKeyColumnsSkipped:
+    def test_primary_key_not_probed(self):
+        session, filters = extract_from(make_db(), "select qty from t where qty <= 50")
+        assert all(f.column.column != "pk" for f in filters)
+
+
+class TestFilterRendering:
+    def test_between_sql(self):
+        from repro.sgraph import ColumnNode
+
+        predicate = NumericFilter(
+            column=ColumnNode("t", "qty"), lo=5, hi=9, domain_lo=0, domain_hi=100
+        )
+        assert predicate.to_sql() == "t.qty between 5 and 9"
+
+    def test_equality_sql(self):
+        from repro.sgraph import ColumnNode
+
+        predicate = NumericFilter(
+            column=ColumnNode("t", "qty"), lo=5, hi=5, domain_lo=0, domain_hi=100
+        )
+        assert predicate.to_sql() == "t.qty = 5"
+
+    def test_like_sql(self):
+        from repro.sgraph import ColumnNode
+
+        predicate = TextFilter(column=ColumnNode("t", "tag"), pattern="a%b_")
+        assert predicate.to_sql() == "t.tag like 'a%b_'"

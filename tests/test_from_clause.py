@@ -1,0 +1,105 @@
+"""Unit tests for From-clause identification (paper §4.1 + schema scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.apps.imperative import ImperativeExecutable
+from repro.core.config import ExtractionConfig
+from repro.core.from_clause import extract_tables
+from repro.core.session import ExtractionSession
+from repro.datagen import wide_schema
+from repro.engine import Result
+from repro.errors import ExtractionError
+from repro.workloads import tpch_queries
+
+
+def session_for(db, executable, **config_kwargs):
+    return ExtractionSession(db, executable, ExtractionConfig(**config_kwargs))
+
+
+class TestRenameStrategy:
+    def test_identifies_exact_tables(self, tiny_tpch_db):
+        app = SQLExecutable(tpch_queries.QUERIES["Q3"].sql)
+        session = session_for(tiny_tpch_db, app)
+        assert extract_tables(session) == ["customer", "lineitem", "orders"]
+
+    def test_single_table_query(self, tiny_tpch_db):
+        app = SQLExecutable("select count(*) as n, max(r_name) as m from region")
+        session = session_for(tiny_tpch_db, app)
+        assert extract_tables(session) == ["region"]
+
+    def test_silo_restored_after_probing(self, tiny_tpch_db):
+        app = SQLExecutable(tpch_queries.QUERIES["Q3"].sql)
+        session = session_for(tiny_tpch_db, app)
+        extract_tables(session)
+        assert sorted(session.silo.table_names) == sorted(tiny_tpch_db.table_names)
+
+    def test_ignores_unreferenced_tables(self, tiny_tpch_db):
+        wide = wide_schema.widen_database(tiny_tpch_db, extra=10)
+        app = SQLExecutable("select count(*) as n, max(n_name) as m from nation")
+        session = session_for(wide, app)
+        assert extract_tables(session) == ["nation"]
+
+    def test_application_that_queries_nothing_rejected(self, tiny_tpch_db):
+        app = ImperativeExecutable(lambda db: Result(["x"], [(1,)]))
+        session = session_for(tiny_tpch_db, app)
+        with pytest.raises(ExtractionError):
+            extract_tables(session)
+
+
+class TestTraceStrategy:
+    def test_trace_identifies_imperative_tables(self, tiny_tpch_db):
+        def logic(db):
+            nations = {row["n_nationkey"]: row["n_name"] for row in db.scan("nation")}
+            count = sum(1 for row in db.scan("supplier") if row["s_nationkey"] in nations)
+            return Result(["n"], [(count,)])
+
+        app = ImperativeExecutable(logic)
+        session = session_for(tiny_tpch_db, app, from_clause_strategy="trace")
+        assert extract_tables(session) == ["nation", "supplier"]
+
+    def test_trace_disabled_after_run(self, tiny_tpch_db):
+        app = SQLExecutable("select count(*) from region")
+        session = session_for(tiny_tpch_db, app, from_clause_strategy="trace")
+        extract_tables(session)
+        assert session.silo.trace_access is False
+
+    def test_unknown_strategy_rejected(self, tiny_tpch_db):
+        app = SQLExecutable("select count(*) from region")
+        session = session_for(tiny_tpch_db, app, from_clause_strategy="magic")
+        with pytest.raises(ExtractionError):
+            extract_tables(session)
+
+
+class TestSessionBookkeeping:
+    def test_invocations_attributed_to_module(self, tiny_tpch_db):
+        app = SQLExecutable(tpch_queries.QUERIES["Q4"].sql)
+        session = session_for(tiny_tpch_db, app)
+        extract_tables(session)
+        assert session.stats.module("from_clause").invocations >= 1
+        assert session.stats.module("from_clause").seconds > 0
+
+    def test_run_on_restores_rows(self, tiny_tpch_db):
+        app = SQLExecutable("select count(*) from region")
+        session = session_for(tiny_tpch_db, app)
+        before = session.silo.rows("region")
+        session.run_on({"region": [before[0]]})
+        assert session.silo.rows("region") == before
+
+    def test_original_database_is_never_mutated(self, tiny_tpch_db):
+        app = SQLExecutable(tpch_queries.QUERIES["Q4"].sql)
+        snapshot = tiny_tpch_db.snapshot()
+        session = session_for(tiny_tpch_db, app)
+        extract_tables(session)
+        session.silo.clear_table("orders")
+        assert tiny_tpch_db.snapshot() == snapshot
+
+    def test_di_samples_capture_original_values(self, tiny_tpch_db):
+        from repro.sgraph import ColumnNode
+
+        app = SQLExecutable("select count(*) from region")
+        session = session_for(tiny_tpch_db, app)
+        segments = session.di_samples[ColumnNode("customer", "c_mktsegment")]
+        assert "BUILDING" in segments

@@ -1,0 +1,240 @@
+"""Unit tests for the generation-pipeline modules on controlled queries.
+
+Each test pins one behaviour of group-by (§5.1), aggregation (§5.2),
+order-by (§5.3) or limit (§5.4) extraction; the shared helper runs the
+pipeline up to (and including) the stage under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.workloads import random_queries
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return random_queries.build_database(facts=500, seed=4)
+
+
+def extract(db, sql, **config_kwargs):
+    config = ExtractionConfig(**config_kwargs)
+    return UnmasqueExtractor(db, SQLExecutable(sql), config).extract()
+
+
+class TestGroupByExtraction:
+    def test_non_key_group_column(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment",
+            run_checker=False,
+        )
+        assert [c.column for c in outcome.query.group_by] == ["d1_segment"]
+
+    def test_key_clique_group_column(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_d1, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 group by f_d1",
+            run_checker=False,
+        )
+        # one clique member stands for the group (representative choice)
+        group = outcome.query.group_by
+        assert len(group) == 1
+        assert group[0].column in ("d1_key", "f_d1")
+
+    def test_equality_pinned_column_superfluous(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 and d1_segment = 'alpha' group by d1_segment",
+        )
+        # grouping on the pinned column is unobservable and dropped; the
+        # checker confirms the ungrouped-aggregation rendering is equivalent
+        assert outcome.query.group_by == []
+        assert outcome.query.ungrouped_aggregation
+        assert outcome.checker_report.passed
+
+    def test_multi_column_grouping(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, f_units, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment, f_units",
+            run_checker=False,
+        )
+        assert {c.column for c in outcome.query.group_by} == {"d1_segment", "f_units"}
+
+    def test_pure_spj_not_grouped(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_amount, f_units from fact where f_units <= 20",
+            run_checker=False,
+        )
+        assert outcome.query.group_by == []
+        assert not outcome.query.ungrouped_aggregation
+
+
+class TestAggregationExtraction:
+    @pytest.mark.parametrize(
+        "agg,column",
+        [("sum", "f_amount"), ("avg", "f_rate"), ("min", "f_amount"), ("max", "f_amount")],
+    )
+    def test_each_basic_aggregate(self, star_db, agg, column):
+        outcome = extract(
+            star_db,
+            f"select d1_segment, {agg}({column}) as x from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment",
+            run_checker=False,
+        )
+        output = outcome.query.output_named("x")
+        assert output.aggregate == agg
+        assert output.function.deps[0].column == column
+
+    def test_count_star(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment",
+            run_checker=False,
+        )
+        assert outcome.query.output_named("n").count_star
+
+    def test_composite_function_under_sum(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, sum(f_amount * (1 - f_rate)) as rev from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment",
+            run_checker=False,
+        )
+        output = outcome.query.output_named("rev")
+        assert output.aggregate == "sum"
+        deps = {d.column for d in output.function.deps}
+        assert deps == {"f_amount", "f_rate"}
+
+    def test_constant_projection(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_units, 7 as lucky from fact where f_units <= 30",
+            run_checker=False,
+        )
+        lucky = outcome.query.output_named("lucky")
+        assert lucky.function.is_constant
+        assert lucky.function.constant_value() == 7
+
+    def test_group_only_min_canonicalisation(self, star_db):
+        """min over a grouping column collapses to the native projection."""
+        outcome = extract(
+            star_db,
+            "select f_units, min(f_units) as m, count(*) as n from fact group by f_units",
+            run_checker=False,
+        )
+        m = outcome.query.output_named("m")
+        assert m.aggregate is None  # plain projection: semantically identical
+        assert m.function.deps[0].column == "f_units"
+
+
+class TestOrderByExtraction:
+    def test_aggregate_then_group_column(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, sum(f_amount) as total from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment "
+            "order by total desc, d1_segment asc",
+            run_checker=False,
+        )
+        assert [(o.output_name, o.descending) for o in outcome.query.order_by] == [
+            ("total", True),
+            ("d1_segment", False),
+        ]
+
+    def test_count_star_ordering(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment order by n desc, d1_segment",
+            run_checker=False,
+        )
+        assert outcome.query.order_by[0].output_name == "n"
+        assert outcome.query.order_by[0].descending
+
+    def test_no_order_means_empty(self, star_db):
+        outcome = extract(
+            star_db,
+            "select d1_segment, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 group by d1_segment",
+            run_checker=False,
+        )
+        assert outcome.query.order_by == []
+
+    def test_spj_projection_ordering(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_amount, f_units from fact where f_units <= 30 "
+            "order by f_amount desc",
+            run_checker=False,
+        )
+        assert [(o.output_name, o.descending) for o in outcome.query.order_by] == [
+            ("f_amount", True)
+        ]
+
+    def test_key_identity_ordering(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_d1, count(*) as n from dim_one, fact "
+            "where d1_key = f_d1 group by f_d1 order by f_d1",
+            run_checker=False,
+        )
+        assert outcome.query.order_by[0].descending is False
+
+
+class TestLimitExtraction:
+    def test_limit_recovered_exactly(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_units, count(*) as n from fact group by f_units "
+            "order by n desc, f_units limit 7",
+            run_checker=False,
+        )
+        assert outcome.query.limit == 7
+
+    def test_no_limit_reported_as_none(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_units, count(*) as n from fact group by f_units order by f_units",
+            run_checker=False,
+        )
+        assert outcome.query.limit is None
+
+    def test_spj_limit(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_amount, f_units from fact order by f_amount desc limit 5",
+            run_checker=False,
+        )
+        assert outcome.query.limit == 5
+
+    def test_limit_beyond_lmax_is_vacuous(self, star_db):
+        """The filter bounds f_units to 3 values, so l_max = 3: a limit of 50
+        can never trip on any valid database and is correctly omitted."""
+        outcome = extract(
+            star_db,
+            "select f_units, count(*) as n from fact "
+            "where f_units between 10 and 12 group by f_units limit 50",
+        )
+        assert outcome.query.limit is None
+        assert outcome.checker_report.passed
+
+    def test_limit_observable_beyond_data_values(self, star_db):
+        """An unfiltered text group column's *domain* is unbounded even though
+        the data holds only 4 distinct values — limit 50 is still observable
+        (and recovered) through synthetic generation."""
+        outcome = extract(
+            star_db,
+            "select d2_color, count(*) as n from dim_two, fact "
+            "where d2_key = f_d2 group by d2_color limit 50",
+            run_checker=False,
+        )
+        assert outcome.query.limit == 50

@@ -1,0 +1,113 @@
+"""HAVING-clause extraction tests (paper §7, experiment E11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.workloads import having_queries
+
+
+def extract(db, name, **config_kwargs):
+    query = having_queries.QUERIES[name]
+    app = SQLExecutable(query.sql)
+    config = ExtractionConfig(extract_having=True, **config_kwargs)
+    return UnmasqueExtractor(db, app, config).extract()
+
+
+@pytest.mark.parametrize("name", having_queries.names())
+def test_having_extraction_passes_checker(tpch_db, name):
+    outcome = extract(tpch_db, name)
+    assert outcome.checker_report is not None
+    assert outcome.checker_report.passed
+
+
+def _having_by_aggregate(query):
+    return {h.aggregate: h for h in query.having}
+
+
+def test_count_bound_value(tpch_db):
+    outcome = extract(tpch_db, "H1_count", run_checker=False)
+    having = _having_by_aggregate(outcome.query)
+    assert having["count"].lo == 3
+    assert having["count"].column is None
+
+
+def test_sum_bound_value(tpch_db):
+    outcome = extract(tpch_db, "H2_sum_lower", run_checker=False)
+    having = _having_by_aggregate(outcome.query)
+    # `> 500000` on a 2-decimal axis is `>= 500000.01`
+    assert having["sum"].lo == pytest.approx(500000.01)
+    assert having["sum"].column.column == "o_totalprice"
+
+
+def test_min_bound_not_rendered_as_filter(tpch_db):
+    outcome = extract(tpch_db, "H3_min", run_checker=False)
+    having = _having_by_aggregate(outcome.query)
+    assert having["min"].lo == pytest.approx(50000.0)
+    filter_columns = {f.column.column for f in outcome.query.filters}
+    assert "o_totalprice" not in filter_columns
+
+
+def test_max_bound(tpch_db):
+    outcome = extract(tpch_db, "H4_max", run_checker=False)
+    having = _having_by_aggregate(outcome.query)
+    assert having["max"].hi == pytest.approx(45.0)
+
+
+def test_avg_band_bounds(tpch_db):
+    outcome = extract(tpch_db, "H6_avg_band", run_checker=False)
+    having = _having_by_aggregate(outcome.query)
+    assert having["avg"].lo == pytest.approx(50000.0)
+    assert having["avg"].hi == pytest.approx(400000.0)
+
+
+def test_filter_and_count_disjoint(tpch_db):
+    outcome = extract(tpch_db, "H7_filter_count", run_checker=False)
+    filters = {f.column.column for f in outcome.query.filters}
+    assert "o_orderdate" in filters
+    having = _having_by_aggregate(outcome.query)
+    assert having["count"].lo == 5
+
+
+def test_join_survives_having_pipeline(tpch_db):
+    outcome = extract(tpch_db, "H8_join_count", run_checker=False)
+    assert outcome.query.tables == ["customer", "orders"]
+    assert len(outcome.query.join_cliques) == 1
+
+
+def test_having_sql_runs_and_matches(tpch_db):
+    for name in ("H1_count", "H3_min", "H5_avg_upper"):
+        query = having_queries.QUERIES[name]
+        app = SQLExecutable(query.sql)
+        outcome = extract(tpch_db, name, run_checker=False)
+        expected = app.run(tpch_db)
+        actual = tpch_db.execute(outcome.sql)
+        assert expected.same_multiset(actual), name
+
+
+def test_min_having_differs_from_filter_semantics(tpch_db):
+    """Regression guard: `having min(A) >= a` must NOT extract as `A >= a`.
+
+    On a mixed group the two differ (the filter trims rows, the having kills
+    the group); the extracted SQL must reproduce the group-kill behaviour.
+    """
+    outcome = extract(tpch_db, "H3_min", run_checker=False)
+    db = tpch_db.clone()
+    db.clear_table("orders")
+    import datetime
+
+    db.insert(
+        "orders",
+        [
+            # customer 1: mixed group (one row below the bound)
+            (1, 1, "O", 10000.0, datetime.date(1995, 1, 1), "1-URGENT", "c", 0, ""),
+            (2, 1, "O", 90000.0, datetime.date(1995, 1, 2), "1-URGENT", "c", 0, ""),
+            # customer 2: all rows qualify
+            (3, 2, "O", 60000.0, datetime.date(1995, 1, 3), "1-URGENT", "c", 0, ""),
+        ],
+    )
+    result = db.execute(outcome.sql)
+    custkeys = result.column_values("o_custkey")
+    assert custkeys == [2]  # a filter rendering would also return customer 1

@@ -1,0 +1,160 @@
+"""Unit tests for equi-join extraction (Algorithm 1) on controlled schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core.config import ExtractionConfig
+from repro.core.from_clause import extract_tables
+from repro.core.joins import extract_joins
+from repro.core.minimizer import minimize
+from repro.core.session import ExtractionSession
+from repro.engine import (
+    Column,
+    Database,
+    ForeignKey,
+    IntegerType,
+    TableSchema,
+    VarcharType,
+)
+from repro.errors import ExtractionError
+
+
+def star_db():
+    """hub(h) referenced by three spokes; spokes also interlinked via hub."""
+    db = Database(
+        [
+            TableSchema(
+                name="hub",
+                columns=(Column("hk", IntegerType()), Column("hname", VarcharType(10))),
+                primary_key=("hk",),
+            ),
+            TableSchema(
+                name="s1",
+                columns=(
+                    Column("s1k", IntegerType()),
+                    Column("s1_hub", IntegerType()),
+                    Column("v1", IntegerType(lo=0, hi=100)),
+                ),
+                primary_key=("s1k",),
+                foreign_keys=(ForeignKey(("s1_hub",), "hub", ("hk",)),),
+            ),
+            TableSchema(
+                name="s2",
+                columns=(
+                    Column("s2k", IntegerType()),
+                    Column("s2_hub", IntegerType()),
+                    Column("v2", IntegerType(lo=0, hi=100)),
+                ),
+                primary_key=("s2k",),
+                foreign_keys=(ForeignKey(("s2_hub",), "hub", ("hk",)),),
+            ),
+            TableSchema(
+                name="s3",
+                columns=(
+                    Column("s3k", IntegerType()),
+                    Column("s3_hub", IntegerType()),
+                    Column("v3", IntegerType(lo=0, hi=100)),
+                ),
+                primary_key=("s3k",),
+                foreign_keys=(ForeignKey(("s3_hub",), "hub", ("hk",)),),
+            ),
+        ]
+    )
+    db.insert("hub", [(i, f"h{i}") for i in range(1, 21)])
+    for spoke in ("s1", "s2", "s3"):
+        db.insert(
+            spoke,
+            [(i, (i % 20) + 1, i % 50) for i in range(1, 61)],
+        )
+    return db
+
+
+def extract_join_cliques(db, sql):
+    session = ExtractionSession(db, SQLExecutable(sql), ExtractionConfig())
+    extract_tables(session)
+    minimize(session)
+    return session, extract_joins(session)
+
+
+def clique_column_sets(cliques):
+    return [
+        {f"{c.table}.{c.column}" for c in clique.columns} for clique in cliques
+    ]
+
+
+class TestFullClique:
+    def test_all_spokes_joined_through_hub(self):
+        sql = (
+            "select hname, count(*) as n from hub, s1, s2, s3 "
+            "where hk = s1_hub and hk = s2_hub and hk = s3_hub group by hname"
+        )
+        _, cliques = extract_join_cliques(star_db(), sql)
+        assert clique_column_sets(cliques) == [
+            {"hub.hk", "s1.s1_hub", "s2.s2_hub", "s3.s3_hub"}
+        ]
+
+    def test_transitive_spoke_joins_equal_full_clique(self):
+        # joins expressed spoke-to-spoke still close into the same clique
+        sql = (
+            "select hname, count(*) as n from hub, s1, s2, s3 "
+            "where hk = s1_hub and s1_hub = s2_hub and s2_hub = s3_hub group by hname"
+        )
+        _, cliques = extract_join_cliques(star_db(), sql)
+        assert clique_column_sets(cliques) == [
+            {"hub.hk", "s1.s1_hub", "s2.s2_hub", "s3.s3_hub"}
+        ]
+
+
+class TestPartialClique:
+    def test_sub_clique_detected(self):
+        """Only two of four potential members joined: the cycle must split."""
+        sql = (
+            "select v1, v2, count(*) as n from s1, s2 "
+            "where s1_hub = s2_hub group by v1, v2"
+        )
+        _, cliques = extract_join_cliques(star_db(), sql)
+        assert clique_column_sets(cliques) == [{"s1.s1_hub", "s2.s2_hub"}]
+
+    def test_two_separate_pairs(self):
+        """hub-s1 and s2-s3 joined separately within one schema component."""
+        sql = (
+            "select hname, count(*) as n from hub, s1, s2, s3 "
+            "where hk = s1_hub and s2_hub = s3_hub group by hname"
+        )
+        _, cliques = extract_join_cliques(star_db(), sql)
+        sets = clique_column_sets(cliques)
+        assert {"hub.hk", "s1.s1_hub"} in sets
+        assert {"s2.s2_hub", "s3.s3_hub"} in sets
+        assert len(sets) == 2
+
+    def test_cross_product_yields_no_cliques(self):
+        sql = "select v1, v2, count(*) as n from s1, s2 group by v1, v2"
+        _, cliques = extract_join_cliques(star_db(), sql)
+        assert cliques == []
+
+
+class TestNegateSafety:
+    def test_zero_key_rejected(self):
+        db = star_db()
+        db.insert("hub", [(0, "zero")])  # a zero key breaks sign-flips
+        sql = "select hname, count(*) as n from hub, s1 where hk = s1_hub group by hname"
+        session = ExtractionSession(db, SQLExecutable(sql), ExtractionConfig())
+        extract_tables(session)
+        # force the degenerate row into D^1
+        session.silo.replace_rows("hub", [(0, "zero")])
+        session.silo.replace_rows("s1", [(1, 0, 5)])
+        session.silo.replace_rows("s2", [(1, 1, 5)])
+        session.silo.replace_rows("s3", [(1, 1, 5)])
+        with pytest.raises(ExtractionError):
+            extract_joins(session)
+
+    def test_negation_restores_silo(self):
+        sql = "select v1, v2, count(*) as n from s1, s2 where s1_hub = s2_hub group by v1, v2"
+        session, _ = extract_join_cliques(star_db(), sql)
+        # D^1 should be intact (positive keys back in place)
+        for table in ("s1", "s2"):
+            rows = session.silo.rows(table)
+            assert len(rows) == 1
+            assert all(v is None or not (isinstance(v, int) and v < 0) for v in rows[0])

@@ -1,0 +1,115 @@
+"""Unit tests for database minimization (§4.2) and its ablation knobs."""
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core.config import ExtractionConfig
+from repro.core.from_clause import extract_tables
+from repro.core.minimizer import minimize, minimize_multirow
+from repro.core.session import ExtractionSession
+from repro.workloads import tpch_queries
+
+
+def make_session(db, sql, **config_kwargs):
+    config = ExtractionConfig(**config_kwargs)
+    session = ExtractionSession(db, SQLExecutable(sql), config)
+    extract_tables(session)
+    return session
+
+
+class TestMinimizeToD1:
+    def test_single_row_per_table(self, tpch_db):
+        session = make_session(tpch_db, tpch_queries.QUERIES["Q3"].sql)
+        d1 = minimize(session)
+        assert set(d1) == {"customer", "orders", "lineitem"}
+        for table in d1:
+            assert session.silo.row_count(table) == 1
+
+    def test_d1_result_is_populated(self, tpch_db):
+        session = make_session(tpch_db, tpch_queries.QUERIES["Q3"].sql)
+        minimize(session)
+        assert not session.run().is_effectively_empty
+
+    def test_d1_row_satisfies_filters(self, tpch_db):
+        session = make_session(tpch_db, tpch_queries.QUERIES["Q3"].sql)
+        d1 = minimize(session)
+        schema = session.silo.schema("customer")
+        segment = d1["customer"][schema.column_index("c_mktsegment")]
+        assert segment == "BUILDING"
+
+    def test_d1_rows_join(self, tpch_db):
+        session = make_session(tpch_db, tpch_queries.QUERIES["Q3"].sql)
+        d1 = minimize(session)
+        orders_schema = session.silo.schema("orders")
+        lineitem_schema = session.silo.schema("lineitem")
+        o_orderkey = d1["orders"][orders_schema.column_index("o_orderkey")]
+        l_orderkey = d1["lineitem"][lineitem_schema.column_index("l_orderkey")]
+        assert o_orderkey == l_orderkey
+
+    @pytest.mark.parametrize("policy", ["largest", "smallest", "random", "round_robin"])
+    def test_all_halving_policies_converge(self, tpch_db, policy):
+        session = make_session(
+            tpch_db, tpch_queries.QUERIES["Q4"].sql, halving_policy=policy
+        )
+        d1 = minimize(session)
+        assert set(d1) == {"orders"}
+
+    def test_sampling_can_be_disabled(self, tpch_db):
+        session = make_session(
+            tpch_db, tpch_queries.QUERIES["Q4"].sql, minimizer_sampling=False
+        )
+        minimize(session)
+        assert session.stats.module("sampler").invocations == 0
+
+    def test_sampling_reduces_halving_invocations(self, tpch_db):
+        with_sampling = make_session(tpch_db, tpch_queries.QUERIES["Q3"].sql)
+        minimize(with_sampling)
+        without_sampling = make_session(
+            tpch_db, tpch_queries.QUERIES["Q3"].sql, minimizer_sampling=False
+        )
+        minimize(without_sampling)
+        assert (
+            with_sampling.stats.module("minimizer").invocations
+            < without_sampling.stats.module("minimizer").invocations
+        )
+
+    def test_unknown_policy_rejected(self, tpch_db):
+        session = make_session(
+            tpch_db, tpch_queries.QUERIES["Q4"].sql, halving_policy="bogus"
+        )
+        with pytest.raises(Exception):
+            minimize(session)
+
+
+class TestMinimizeMultirow:
+    def test_count_bound_keeps_group_rows(self, tpch_db):
+        sql = "select o_custkey from orders group by o_custkey having count(*) >= 3"
+        session = make_session(tpch_db, sql)
+        dmin = minimize_multirow(session)
+        assert len(dmin["orders"]) == 3  # row-minimal: exactly the bound
+
+    def test_multirow_result_stays_populated(self, tpch_db):
+        # a single order never exceeds 800000, so the bound needs >= 2 rows
+        sql = (
+            "select o_custkey, count(*) as c from orders group by o_custkey "
+            "having sum(o_totalprice) > 800000"
+        )
+        session = make_session(tpch_db, sql)
+        dmin = minimize_multirow(session)
+        assert not session.run().is_effectively_empty
+        assert len(dmin["orders"]) >= 2
+
+    def test_multirow_is_row_minimal(self, tpch_db):
+        sql = "select o_custkey from orders group by o_custkey having count(*) >= 3"
+        session = make_session(tpch_db, sql)
+        dmin = minimize_multirow(session)
+        rows = dmin["orders"]
+        for index in range(len(rows)):
+            session.silo.replace_rows("orders", rows[:index] + rows[index + 1 :])
+            assert session.run().is_effectively_empty
+        session.silo.replace_rows("orders", rows)
+
+    def test_plain_query_still_reaches_single_row(self, tpch_db):
+        session = make_session(tpch_db, tpch_queries.QUERIES["Q4"].sql)
+        dmin = minimize_multirow(session)
+        assert len(dmin["orders"]) == 1

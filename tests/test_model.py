@@ -1,0 +1,165 @@
+"""Unit tests for the extracted-query IR and the assembler."""
+
+import pytest
+
+from repro.core.model import (
+    ExtractedQuery,
+    HavingPredicate,
+    JoinClique,
+    NumericFilter,
+    OrderSpec,
+    OutputColumn,
+    ScalarFunction,
+    TextFilter,
+)
+from repro.sgraph import ColumnNode
+
+A = ColumnNode("t", "a")
+B = ColumnNode("t", "b")
+C = ColumnNode("u", "c")
+
+
+class TestScalarFunction:
+    def test_identity(self):
+        fn = ScalarFunction.identity(A)
+        assert fn.is_identity
+        assert fn.to_sql() == "t.a"
+        assert fn.evaluate({A: 7}) == 7
+
+    def test_constant(self):
+        fn = ScalarFunction.constant(42)
+        assert fn.is_constant
+        assert fn.evaluate({}) == 42
+        assert fn.to_sql() == "42"
+
+    def test_string_constant(self):
+        fn = ScalarFunction.constant("hello")
+        assert fn.evaluate({}) == "hello"
+
+    def test_revenue_function(self):
+        # a * (1 - b)  ==  a - a*b
+        fn = ScalarFunction.from_solution([A, B], {(): 0.0, (0,): 1.0, (1,): 0.0, (0, 1): -1.0})
+        assert fn.evaluate({A: 10, B: 0.1}) == pytest.approx(9.0)
+        assert fn.to_sql() == "t.a - t.a * t.b"
+
+    def test_near_zero_coefficients_dropped(self):
+        fn = ScalarFunction.from_solution([A], {(): 1e-12, (0,): 1.0})
+        assert fn.is_identity
+
+    def test_coefficient_snapping(self):
+        fn = ScalarFunction.from_solution([A], {(): 0.0, (0,): 2.0000000001})
+        assert fn.coefficients[0][1] == 2
+
+    def test_affine_rendering(self):
+        fn = ScalarFunction.from_solution([A], {(): 5.0, (0,): 3.0})
+        assert fn.to_sql() == "5 + 3 * t.a"
+
+    def test_trilinear_evaluation(self):
+        # a * b * c
+        fn = ScalarFunction.from_solution([A, B, C], {(0, 1, 2): 1.0})
+        assert fn.evaluate({A: 2, B: 3, C: 4}) == 24
+
+    def test_date_identity_evaluation(self):
+        import datetime
+
+        fn = ScalarFunction.identity(A)
+        day = datetime.date(2020, 5, 17)
+        assert fn.evaluate({A: day}) == day
+
+
+class TestJoinClique:
+    def test_predicates_chain(self):
+        clique = JoinClique(frozenset({A, C, ColumnNode("v", "d")}))
+        predicates = clique.predicates()
+        assert len(predicates) == 2
+
+    def test_representative_is_minimum(self):
+        clique = JoinClique(frozenset({C, A}))
+        assert clique.representative() == A
+
+    def test_requires_two_columns(self):
+        with pytest.raises(ValueError):
+            JoinClique(frozenset({A}))
+
+
+class TestHavingPredicate:
+    def test_count_star(self):
+        predicate = HavingPredicate(
+            aggregate="count", column=None, lo=3, hi=None, domain_lo=0, domain_hi=10**9
+        )
+        assert predicate.to_sql() == "count(*) >= 3"
+
+    def test_two_sided_avg(self):
+        predicate = HavingPredicate(
+            aggregate="avg", column=A, lo=5, hi=9, domain_lo=0, domain_hi=100
+        )
+        assert predicate.to_sql() == "avg(t.a) >= 5 and avg(t.a) <= 9"
+
+
+class TestAssembler:
+    def _query(self):
+        query = ExtractedQuery()
+        query.tables = ["t", "u"]
+        query.join_cliques = [JoinClique(frozenset({A, C}))]
+        query.filters = [
+            NumericFilter(column=B, lo=5, hi=10, domain_lo=0, domain_hi=100),
+            TextFilter(column=ColumnNode("u", "name"), pattern="x%"),
+        ]
+        query.outputs = [
+            OutputColumn(name="b", position=0, function=ScalarFunction.identity(B)),
+            OutputColumn(
+                name="total",
+                position=1,
+                function=ScalarFunction.identity(ColumnNode("u", "v")),
+                aggregate="sum",
+            ),
+            OutputColumn(name="n", position=2, function=None, aggregate="count", count_star=True),
+        ]
+        query.group_by = [B]
+        query.order_by = [OrderSpec("total", descending=True), OrderSpec("b", descending=False)]
+        query.limit = 10
+        return query
+
+    def test_full_rendering(self):
+        sql = self._query().sql
+        assert sql == (
+            "select t.b as b, sum(u.v) as total, count(*) as n "
+            "from t, u "
+            "where t.a = u.c and t.b between 5 and 10 and u.name like 'x%' "
+            "group by t.b "
+            "order by total desc, b asc "
+            "limit 10"
+        )
+
+    def test_rendered_sql_parses(self):
+        from repro.engine.parser import parse_select
+
+        parse_select(self._query().sql)
+
+    def test_projection_aggregation_partition(self):
+        query = self._query()
+        assert [o.name for o in query.projections] == ["b"]
+        assert [o.name for o in query.aggregations] == ["total", "n"]
+
+    def test_output_named(self):
+        query = self._query()
+        assert query.output_named("total").aggregate == "sum"
+        with pytest.raises(KeyError):
+            query.output_named("ghost")
+
+    def test_having_rendering(self):
+        query = self._query()
+        query.having = [
+            HavingPredicate(
+                aggregate="sum", column=B, lo=100, hi=None, domain_lo=0, domain_hi=10**6
+            )
+        ]
+        assert "having sum(t.b) >= 100" in query.sql
+
+    def test_minimal_query(self):
+        query = ExtractedQuery()
+        query.tables = ["t"]
+        query.outputs = [
+            OutputColumn(name="a", position=0, function=ScalarFunction.identity(A))
+        ]
+        assert query.sql == "select t.a as a from t"

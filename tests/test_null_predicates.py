@@ -1,0 +1,113 @@
+"""Tests for the opt-in NULL-predicate extension (TR reconstruction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.core.model import NullFilter
+from repro.errors import UnsupportedQueryError
+from repro.workloads import random_queries
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return random_queries.build_database(facts=500, seed=6)
+
+
+def extract(db, sql, **config_kwargs):
+    config = ExtractionConfig(extract_null_predicates=True, **config_kwargs)
+    return UnmasqueExtractor(db, SQLExecutable(sql), config).extract()
+
+
+def filter_on(outcome, column_name):
+    matches = [f for f in outcome.query.filters if f.column.column == column_name]
+    assert matches, f"no filter extracted on {column_name}"
+    return matches[0]
+
+
+class TestIsNull:
+    def test_is_null_extracted(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_units, f_amount from fact where f_note is null",
+        )
+        predicate = filter_on(outcome, "f_note")
+        assert isinstance(predicate, NullFilter)
+        assert not predicate.negated
+        assert "fact.f_note is null" in outcome.sql
+        assert outcome.checker_report.passed
+
+    def test_is_null_with_grouping(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_units, count(*) as n from fact "
+            "where f_note is null group by f_units",
+        )
+        assert isinstance(filter_on(outcome, "f_note"), NullFilter)
+        assert outcome.checker_report.passed
+
+
+class TestIsNotNull:
+    def test_is_not_null_extracted(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_note, count(*) as n from fact "
+            "where f_note is not null group by f_note",
+        )
+        predicate = filter_on(outcome, "f_note")
+        assert isinstance(predicate, NullFilter)
+        assert predicate.negated
+        assert outcome.checker_report.passed
+
+    def test_combined_with_value_filter_on_other_column(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_note, sum(f_amount) as s from fact "
+            "where f_note is not null and f_units <= 25 group by f_note",
+        )
+        assert isinstance(filter_on(outcome, "f_note"), NullFilter)
+        units = filter_on(outcome, "f_units")
+        assert units.hi == 25
+        assert outcome.checker_report.passed
+
+
+class TestBoundaryBehaviour:
+    def test_no_predicate_on_nullable_column(self, star_db):
+        """No filter: NULLs pass through and no NullFilter may be invented."""
+        outcome = extract(
+            star_db,
+            "select f_note, f_units from fact where f_units <= 10",
+        )
+        assert all(f.column.column != "f_note" for f in outcome.query.filters)
+        assert outcome.checker_report.passed
+
+    def test_value_predicate_still_extracted_with_probes_on(self, star_db):
+        outcome = extract(
+            star_db,
+            "select f_note, f_units from fact where f_note = 'gift'",
+        )
+        predicate = filter_on(outcome, "f_note")
+        assert not isinstance(predicate, NullFilter)
+        assert predicate.pattern == "gift"
+        assert outcome.checker_report.passed
+
+    def test_null_disjunction_reported_unsupported(self, star_db):
+        with pytest.raises(UnsupportedQueryError):
+            extract(
+                star_db,
+                "select f_units, f_amount from fact "
+                "where f_note = 'gift' or f_note is null",
+            )
+
+    def test_default_pipeline_rejects_null_query(self, star_db):
+        """Without the extension, the checker flags the mis-extraction."""
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            UnmasqueExtractor(
+                star_db,
+                SQLExecutable("select f_units, f_amount from fact where f_note is null"),
+                ExtractionConfig(),
+            ).extract()

@@ -1,0 +1,67 @@
+"""Tests for the extraction report and pipeline logging."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.workloads import tpch_queries
+
+
+@pytest.fixture(scope="module")
+def q3_outcome(tpch_db):
+    app = SQLExecutable(tpch_queries.QUERIES["Q3"].sql)
+    return UnmasqueExtractor(tpch_db, app, ExtractionConfig()).extract()
+
+
+class TestDescribe:
+    def test_report_names_every_clause(self, q3_outcome):
+        report = q3_outcome.describe()
+        for marker in ("T_E", "J_E", "F_E", "P_E", "A_E", "G_E", "O_E", "l_E"):
+            assert marker in report
+
+    def test_report_contents(self, q3_outcome):
+        report = q3_outcome.describe()
+        assert "customer, lineitem, orders" in report
+        assert "c_mktsegment = 'BUILDING'" in report
+        assert "revenue desc" in report
+        assert "limit (l_E)       : 10" in report
+        assert "checker           : passed" in report
+
+    def test_empty_clause_placeholders(self, tpch_db):
+        app = SQLExecutable(tpch_queries.QUERIES["Q6"].sql)
+        outcome = UnmasqueExtractor(
+            tpch_db, app, ExtractionConfig(run_checker=False)
+        ).extract()
+        report = outcome.describe()
+        assert "joins (J_E)       : (none)" in report
+        assert "(ungrouped aggregation)" in report
+
+
+class TestLogging:
+    def test_pipeline_emits_milestones(self, tpch_db, caplog):
+        app = SQLExecutable(tpch_queries.QUERIES["Q4"].sql)
+        with caplog.at_level(logging.INFO, logger="repro.core.pipeline"):
+            UnmasqueExtractor(tpch_db, app, ExtractionConfig()).extract()
+        text = caplog.text
+        assert "from clause" in text
+        assert "minimized to D^1" in text
+        assert "filters" in text
+        assert "checker: passed" in text
+
+
+class TestToDict:
+    def test_json_round_trip(self, q3_outcome):
+        import json
+
+        payload = q3_outcome.to_dict()
+        encoded = json.dumps(payload)  # must be JSON-serialisable
+        decoded = json.loads(encoded)
+        assert decoded["limit"] == 10
+        assert decoded["tables"] == ["customer", "lineitem", "orders"]
+        assert decoded["checker"]["passed"] is True
+        assert decoded["stats"]["invocations"] > 0
+        assert any("revenue" in a for a in decoded["aggregations"])

@@ -1,0 +1,89 @@
+"""End-to-end extraction of the JOB (IMDB) workload (paper Figure 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.datagen import imdb
+from repro.workloads import job_queries
+
+
+@pytest.fixture(scope="module")
+def imdb_db():
+    return imdb.build_database(movies=250, seed=5)
+
+
+def extract(db, name, **config_kwargs):
+    query = job_queries.QUERIES[name]
+    app = SQLExecutable(query.sql, name=name)
+    return UnmasqueExtractor(db, app, ExtractionConfig(**config_kwargs)).extract()
+
+
+@pytest.mark.parametrize("name", job_queries.names())
+def test_job_extraction_passes_checker(imdb_db, name):
+    outcome = extract(imdb_db, name)
+    assert outcome.checker_report.passed
+    assert sorted(outcome.query.tables) == sorted(job_queries.QUERIES[name].tables)
+
+
+def test_twelve_join_query_join_count(imdb_db):
+    """JQ11 spans all 13 tables with 12 pairwise join predicates."""
+    outcome = extract(imdb_db, "JQ11", run_checker=False)
+    rendered_joins = sum(
+        len(clique.predicates()) for clique in outcome.query.join_cliques
+    )
+    assert rendered_joins == 12
+    assert len(outcome.query.tables) == 13
+
+
+def test_movie_hub_clique(imdb_db):
+    """The movie_id fan-out collapses into one transitive clique."""
+    outcome = extract(imdb_db, "JQ11", run_checker=False)
+    movie_clique = [
+        clique
+        for clique in outcome.query.join_cliques
+        if any(m.table == "title" and m.column == "id" for m in clique.columns)
+    ]
+    assert len(movie_clique) == 1
+    members = {f"{m.table}.{m.column}" for m in movie_clique[0].columns}
+    assert members == {
+        "title.id",
+        "movie_companies.movie_id",
+        "movie_info.movie_id",
+        "movie_keyword.movie_id",
+        "cast_info.movie_id",
+    }
+
+
+def test_min_aggregate_over_text(imdb_db):
+    outcome = extract(imdb_db, "JQ1", run_checker=False)
+    title_output = outcome.query.output_named("movie_title")
+    assert title_output.aggregate == "min"
+    assert title_output.function.deps[0].column == "title"
+
+
+def test_ambiguous_column_names_qualified(imdb_db):
+    """Every IMDB table has an `id`; extracted SQL must stay unambiguous."""
+    outcome = extract(imdb_db, "JQ1", run_checker=False)
+    imdb_db.execute(outcome.sql)  # raises AmbiguousColumnError if unqualified
+
+
+def test_partial_clique_detection(imdb_db):
+    """A query using only part of the movie clique must not gain extra joins."""
+    sql = """
+        select min(title.title) as t
+        from title, movie_keyword, keyword, movie_info, info_type,
+             movie_companies, company_name
+        where title.id = movie_keyword.movie_id
+          and movie_keyword.keyword_id = keyword.id
+          and title.id = movie_info.movie_id
+          and movie_info.info_type_id = info_type.id
+          and title.id = movie_companies.movie_id
+          and movie_companies.company_id = company_name.id
+          and keyword.keyword = 'sequel'
+    """
+    app = SQLExecutable(sql)
+    outcome = UnmasqueExtractor(imdb_db, app, ExtractionConfig()).extract()
+    assert outcome.checker_report.passed

@@ -1,0 +1,62 @@
+"""End-to-end extraction of the TPC-DS workload (reported in the paper's TR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.datagen import tpcds
+from repro.workloads import tpcds_queries
+
+
+@pytest.fixture(scope="module")
+def tpcds_db():
+    return tpcds.build_database(sales=3000, seed=3)
+
+
+def extract(db, name, **config_kwargs):
+    query = tpcds_queries.QUERIES[name]
+    app = SQLExecutable(query.sql, name=name)
+    return UnmasqueExtractor(db, app, ExtractionConfig(**config_kwargs)).extract()
+
+
+@pytest.mark.parametrize("name", tpcds_queries.names())
+def test_tpcds_extraction_passes_checker(tpcds_db, name):
+    outcome = extract(tpcds_db, name)
+    assert outcome.checker_report.passed
+    assert sorted(outcome.query.tables) == sorted(tpcds_queries.QUERIES[name].tables)
+
+
+def test_snowflake_two_hop_path(tpcds_db):
+    """DS19 walks store_sales → customer → customer_address."""
+    outcome = extract(tpcds_db, "DS19", run_checker=False)
+    clique_columns = {
+        f"{m.table}.{m.column}"
+        for clique in outcome.query.join_cliques
+        for m in clique.columns
+    }
+    assert "customer.c_current_addr_sk" in clique_columns
+    assert "customer_address.ca_address_sk" in clique_columns
+
+
+def test_two_average_aggregates(tpcds_db):
+    outcome = extract(tpcds_db, "DS7", run_checker=False)
+    assert outcome.query.output_named("agg1").aggregate == "avg"
+    assert outcome.query.output_named("agg2").aggregate == "avg"
+
+
+def test_date_between_window(tpcds_db):
+    outcome = extract(tpcds_db, "DS98", run_checker=False)
+    date_filter = [
+        f for f in outcome.query.filters if f.column.column == "d_date"
+    ][0]
+    assert date_filter.lo.isoformat() == "1999-02-22"
+    assert date_filter.hi.isoformat() == "1999-03-24"
+
+
+def test_ungrouped_count_and_avg(tpcds_db):
+    outcome = extract(tpcds_db, "DS96", run_checker=False)
+    assert outcome.query.ungrouped_aggregation
+    assert outcome.query.output_named("cnt").count_star
+    assert outcome.query.output_named("avg_price").aggregate == "avg"

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ScalarFunction
+from repro.engine import Database, parse_expression, parse_select
+from repro.engine.expressions import like_matches
+from repro.engine.tokenizer import tokenize
+from repro.sgraph import ColumnNode
+
+# --- LIKE semantics ----------------------------------------------------------
+
+pattern_chars = st.sampled_from(list("ab%_"))
+plain_chars = st.sampled_from(list("abc"))
+
+
+def _reference_like(value: str, pattern: str) -> bool:
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+    )
+    return re.fullmatch(regex, value, re.DOTALL) is not None
+
+
+@given(
+    st.text(alphabet=plain_chars, max_size=8),
+    st.text(alphabet=pattern_chars, max_size=8),
+)
+def test_like_matches_reference_semantics(value, pattern):
+    assert like_matches(value, pattern) == _reference_like(value, pattern)
+
+
+@given(st.text(alphabet=plain_chars, min_size=1, max_size=8))
+def test_like_reflexive_on_literals(value):
+    assert like_matches(value, value)
+
+
+@given(st.text(alphabet=plain_chars, max_size=8))
+def test_percent_matches_everything(value):
+    assert like_matches(value, "%")
+
+
+# --- tokenizer / parser -------------------------------------------------------
+
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in tokenize.__globals__["KEYWORDS"]
+)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_integer_literals_round_trip(n):
+    expr = parse_expression(str(n))
+    assert expr.to_sql() == str(n)
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="\x00", codec="utf-8"), max_size=20))
+def test_string_literals_round_trip(text):
+    from repro.engine.types import format_sql_literal
+
+    expr = parse_expression(format_sql_literal(text))
+    assert expr.value == text
+
+
+@given(identifier, identifier)
+def test_select_round_trip(col, table):
+    sql = f"select {col} from {table}"
+    stmt = parse_select(sql)
+    assert parse_select(stmt.to_sql()) == stmt
+
+
+@given(
+    st.lists(
+        st.tuples(identifier, st.sampled_from(["asc", "desc"])),
+        min_size=1,
+        max_size=3,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_order_by_round_trip(order_items):
+    items = ", ".join(f"{c} {d}" for c, d in order_items)
+    columns = ", ".join(c for c, _ in order_items)
+    stmt = parse_select(f"select {columns} from t order by {items}")
+    assert [(o.expr.to_sql(), o.descending) for o in stmt.order_by] == [
+        (c, d == "desc") for c, d in order_items
+    ]
+
+
+# --- multilinear functions ------------------------------------------------------
+
+coefficients = st.integers(min_value=-9, max_value=9)
+
+
+@given(coefficients, coefficients, coefficients, coefficients,
+       st.integers(-10, 10), st.integers(-10, 10))
+def test_bilinear_solution_round_trip(a, b, c, d, x, y):
+    """from_solution/evaluate agrees with direct computation (paper Eq. 1)."""
+    col_a, col_b = ColumnNode("t", "x"), ColumnNode("t", "y")
+    fn = ScalarFunction.from_solution(
+        [col_a, col_b],
+        {(): float(d), (0,): float(a), (1,): float(b), (0, 1): float(c)},
+    )
+    expected = a * x + b * y + c * x * y + d
+    assert fn.evaluate({col_a: x, col_b: y}) == pytest.approx(expected)
+
+
+@given(coefficients, st.integers(-10, 10))
+def test_rendered_function_executes_identically(a, x):
+    assume(a != 0)
+    col = ColumnNode("t", "v")
+    fn = ScalarFunction.from_solution([col], {(): 1.0, (0,): float(a)})
+    db = Database()
+    db.execute("create table t (v integer)")
+    db.execute(f"insert into t values ({x})")
+    result = db.execute(f"select {fn.to_sql()} as out from t")
+    assert result.first_row()[0] == pytest.approx(fn.evaluate({col: x}))
+
+
+# --- engine execution invariants -------------------------------------------------
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(1, 5), st.integers(-50, 50)), min_size=0, max_size=30
+)
+
+
+def _make_db(rows):
+    db = Database()
+    db.execute("create table t (g integer, v integer)")
+    for g, v in rows:
+        db.execute(f"insert into t values ({g}, {v})")
+    return db
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_group_by_partitions_sum(rows):
+    db = _make_db(rows)
+    grouped = db.execute("select g, sum(v), count(*) from t group by g")
+    total = sum(v for _, v in rows)
+    assert sum(row[1] or 0 for row in grouped.rows) == total
+    assert sum(row[2] for row in grouped.rows) == len(rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_order_by_produces_sorted_output(rows):
+    db = _make_db(rows)
+    result = db.execute("select v from t order by v desc")
+    values = result.column_values(0)
+    assert values == sorted(values, reverse=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy, st.integers(min_value=3, max_value=10))
+def test_limit_truncates(rows, limit):
+    db = _make_db(rows)
+    result = db.execute(f"select g, v from t limit {limit}")
+    assert result.row_count == min(limit, len(rows))
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_where_partition_is_exact(rows):
+    db = _make_db(rows)
+    low = db.execute("select count(*) from t where v <= 0").first_row()[0]
+    high = db.execute("select count(*) from t where v > 0").first_row()[0]
+    assert low + high == len(rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy)
+def test_join_count_equals_key_product(rows):
+    db = _make_db(rows)
+    db.execute("create table s (g integer, w integer)")
+    for g, _ in rows[:10]:
+        db.execute(f"insert into s values ({g}, 1)")
+    joined = db.execute("select t.v from t, s where t.g = s.g")
+    from collections import Counter
+
+    t_counts = Counter(g for g, _ in rows)
+    s_counts = Counter(g for g, _ in rows[:10])
+    expected = sum(t_counts[g] * s_counts[g] for g in t_counts)
+    assert joined.row_count == expected

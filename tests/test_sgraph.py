@@ -1,0 +1,105 @@
+"""Unit tests for the column-level schema graph and cycle machinery."""
+
+import pytest
+
+from repro.datagen import tpch
+from repro.engine import Catalog
+from repro.sgraph import ColumnNode, Cycle, SchemaGraph
+
+
+@pytest.fixture(scope="module")
+def tpch_graph():
+    catalog = Catalog(tpch.schema())
+    return SchemaGraph(catalog)
+
+
+class TestSchemaGraph:
+    def test_nodes_are_key_columns(self, tpch_graph):
+        assert ColumnNode("lineitem", "l_orderkey") in tpch_graph.nodes
+        assert ColumnNode("orders", "o_orderkey") in tpch_graph.nodes
+        assert ColumnNode("lineitem", "l_comment") not in tpch_graph.nodes
+
+    def test_fk_edge_present(self, tpch_graph):
+        assert tpch_graph.graph.has_edge(
+            ColumnNode("lineitem", "l_orderkey"), ColumnNode("orders", "o_orderkey")
+        )
+
+    def test_induced_on_tables(self, tpch_graph):
+        induced = tpch_graph.induced_on_tables({"lineitem", "orders"})
+        tables = {node.table for node in induced.nodes}
+        assert tables <= {"lineitem", "orders"}
+
+    def test_candidate_cycles_q3(self, tpch_graph):
+        cycles = tpch_graph.candidate_cycles({"customer", "orders", "lineitem"})
+        node_sets = [set(c.nodes) for c in cycles]
+        assert {
+            ColumnNode("customer", "c_custkey"),
+            ColumnNode("orders", "o_custkey"),
+        } in node_sets
+        assert {
+            ColumnNode("lineitem", "l_orderkey"),
+            ColumnNode("orders", "o_orderkey"),
+        } in node_sets
+
+    def test_nationkey_component_is_three_clique(self, tpch_graph):
+        cycles = tpch_graph.candidate_cycles(
+            {"customer", "supplier", "nation"}
+        )
+        sizes = sorted(len(c) for c in cycles)
+        assert 3 in sizes  # c_nationkey, s_nationkey, n_nationkey
+
+    def test_isolated_keys_yield_no_cycles(self, tpch_graph):
+        assert tpch_graph.candidate_cycles({"part"}) == []
+
+
+class TestCycle:
+    def _nodes(self, n):
+        return tuple(ColumnNode("t", f"c{i}") for i in range(n))
+
+    def test_single_edge(self):
+        cycle = Cycle(self._nodes(2))
+        assert cycle.is_single_edge
+        assert len(cycle.edges()) == 1
+
+    def test_three_cycle_edges(self):
+        cycle = Cycle(self._nodes(3))
+        assert len(cycle.edges()) == 3
+
+    def test_edge_pairs_count(self):
+        cycle = Cycle(self._nodes(4))
+        assert len(cycle.edge_pairs()) == 6  # C(4,2)
+
+    def test_cut_splits_into_two_arcs(self):
+        nodes = self._nodes(4)
+        cycle = Cycle(nodes)
+        edges = cycle.edges()
+        arc1, arc2 = cycle.cut(edges[0], edges[2])
+        assert sorted(arc1 + arc2) == sorted(nodes)
+        assert len(arc1) == 2 and len(arc2) == 2
+
+    def test_cut_adjacent_edges_gives_singleton_arc(self):
+        cycle = Cycle(self._nodes(3))
+        edges = cycle.edges()
+        arc1, arc2 = cycle.cut(edges[0], edges[1])
+        assert {len(arc1), len(arc2)} == {1, 2}
+
+    def test_from_arc_singleton_vanishes(self):
+        assert Cycle.from_arc([ColumnNode("t", "c")]) is None
+
+    def test_from_arc_pair_is_cycle(self):
+        arc = list(self._nodes(2))
+        assert Cycle.from_arc(arc) == Cycle(tuple(arc))
+
+    def test_equality_ignores_rotation(self):
+        a, b, c = self._nodes(3)
+        assert Cycle((a, b, c)) == Cycle((b, c, a))
+
+    def test_cut_same_edge_rejected(self):
+        cycle = Cycle(self._nodes(3))
+        edge = cycle.edges()[0]
+        with pytest.raises(ValueError):
+            cycle.cut(edge, edge)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Cycle((ColumnNode("t", "c"),))

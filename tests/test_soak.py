@@ -1,0 +1,41 @@
+"""Soak/fuzz harness for the extraction round-trip property.
+
+Disabled by default (the CI range lives in test_random_roundtrip.py); enable
+with::
+
+    REPRO_SOAK_SEEDS=500 pytest tests/test_soak.py -q
+
+Every generated EQC query must either extract with a passing checker or be
+skipped for an empty initial result — any other outcome is a bug.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.workloads import random_queries
+
+SOAK_SEEDS = int(os.environ.get("REPRO_SOAK_SEEDS", "0"))
+
+pytestmark = pytest.mark.skipif(
+    SOAK_SEEDS <= 0, reason="set REPRO_SOAK_SEEDS=<n> to run the soak harness"
+)
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return random_queries.build_database(facts=500, seed=99)
+
+
+@pytest.mark.parametrize("seed", range(1000, 1000 + SOAK_SEEDS))
+def test_soak_round_trip(star_db, seed):
+    generated = random_queries.generate_query(seed)
+    app = SQLExecutable(generated.sql)
+    if app.run(star_db).is_effectively_empty:
+        pytest.skip("empty initial result")
+    outcome = UnmasqueExtractor(star_db, app, ExtractionConfig()).extract()
+    assert outcome.checker_report.passed, generated.sql
