@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import run_once, write_result_table
-from repro.bench.harness import measure_hidden_query, render_series
+from repro.bench.harness import measure_hidden_query, render_series, series_payload
 from repro.core import ExtractionConfig
 from repro.workloads import tpch_queries
 
@@ -57,13 +57,17 @@ def test_sampling_prepass(benchmark, tpch_bench_db, sampling):
 
 
 def test_ablation_report(benchmark):
+    header = ["variant", "minimize(s)", "invocations", "total(s)"]
+
     def render():
         return render_series(
             "Minimizer ablation on Q3 — halving policy and sampling pre-pass",
-            ["variant", "minimize(s)", "invocations", "total(s)"],
+            header,
             _ROWS,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("ablation_minimizer", table)
+    write_result_table(
+        "ablation_minimizer", table, data=series_payload(header, _ROWS)
+    )
     assert len(_ROWS) == len(POLICIES) + 2

@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import run_once, write_result_table
-from repro.bench.harness import measure_hidden_query, render_series
+from repro.bench.harness import measure_hidden_query, render_series, series_payload
 from repro.core import ExtractionConfig
 from repro.datagen import tpch
 
@@ -55,15 +55,18 @@ def test_disjunction_extraction(benchmark, db, name):
 
 
 def test_disjunction_report(benchmark):
+    header = ["query", "extracted filters", "disjunct(s)", "total(s)"]
+
     def render():
         rows = [_ROWS[n] for n in DISJUNCTIVE_QUERIES if n in _ROWS]
         return render_series(
             "Disjunction extraction (§9 extension): witnessed IN-lists and "
             "interval unions",
-            ["query", "extracted filters", "disjunct(s)", "total(s)"],
+            header,
             rows,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("disjunctions", table)
+    rows = [_ROWS[n] for n in DISJUNCTIVE_QUERIES if n in _ROWS]
+    write_result_table("disjunctions", table, data=series_payload(header, rows))
     assert len(_ROWS) == len(DISJUNCTIVE_QUERIES)

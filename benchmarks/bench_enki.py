@@ -11,7 +11,7 @@ import pytest
 
 from conftest import run_once, write_result_table
 from repro.apps import enki
-from repro.bench.harness import measure_extraction, render_series
+from repro.bench.harness import measure_extraction, render_series, series_payload
 from repro.core import ExtractionConfig
 
 _ROWS = {}
@@ -38,17 +38,20 @@ def test_enki_command_extraction(benchmark, enki_bench_db, name):
 
 
 def test_enki_report(benchmark):
+    header = ["command", "extracted SQL complexity", "time(s)"]
+
     def render():
         rows = [_ROWS[n] for n in _NAMES if n in _ROWS]
         return render_series(
             "Enki imperative-to-SQL conversion "
             f"({len(_NAMES)} of {len(enki.registry.commands)} commands in scope; "
             "paper: 14 of 17, each in a few seconds)",
-            ["command", "extracted SQL complexity", "time(s)"],
+            header,
             rows,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("enki_figure12", table)
+    rows = [_ROWS[n] for n in _NAMES if n in _ROWS]
+    write_result_table("enki_figure12", table, data=series_payload(header, rows))
     assert "find_recent_by_tag" in _ROWS  # the Figure 12 command converts
     assert all(row[2] < 30 for row in _ROWS.values())

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import BENCH_SCALE, run_once, write_result_table
-from repro.bench.harness import measure_hidden_query, render_series
+from repro.bench.harness import measure_hidden_query, render_series, series_payload
 from repro.core import ExtractionConfig
 from repro.datagen import tpch
 from repro.workloads import tpch_queries
@@ -47,15 +47,17 @@ def test_figure11_scale_point(benchmark, scale):
 
 
 def test_figure11_report(benchmark):
+    header = ["scale", "lineitem_rows", "extract(s)", "native(s)", "ratio"]
+
     def render():
         return render_series(
             "Figure 11 — Q5 extraction scaling profile (TPC-H scale sweep)",
-            ["scale", "lineitem_rows", "extract(s)", "native(s)", "ratio"],
+            header,
             _ROWS,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("figure11_scaling", table)
+    write_result_table("figure11_scaling", table, data=series_payload(header, _ROWS))
 
     # Paper shape: the extraction/native ratio shrinks as the database grows
     # (native slope steeper than extraction slope).

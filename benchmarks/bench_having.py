@@ -6,7 +6,7 @@ import pytest
 
 from conftest import run_once, write_result_table
 from repro.apps import SQLExecutable
-from repro.bench.harness import measure_extraction, render_series
+from repro.bench.harness import measure_extraction, render_series, series_payload
 from repro.core import ExtractionConfig
 from repro.workloads import having_queries
 
@@ -32,14 +32,17 @@ def test_having_extraction(benchmark, tpch_bench_db, name):
 
 
 def test_having_report(benchmark):
+    header = ["query", "extracted HAVING", "time(s)"]
+
     def render():
         rows = [_ROWS[n] for n in having_queries.names() if n in _ROWS]
         return render_series(
             "HAVING-clause extraction (restructured §7 pipeline)",
-            ["query", "extracted HAVING", "time(s)"],
+            header,
             rows,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("having", table)
+    rows = [_ROWS[n] for n in having_queries.names() if n in _ROWS]
+    write_result_table("having", table, data=series_payload(header, rows))
     assert len(_ROWS) == len(having_queries.names())

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import run_once, write_result_table
-from repro.bench.harness import measure_hidden_query, render_series
+from repro.bench.harness import measure_hidden_query, render_series, series_payload
 from repro.core import ExtractionConfig
 from repro.workloads import random_queries
 
@@ -45,14 +45,17 @@ def test_null_predicate_extraction(benchmark, db, name):
 
 
 def test_null_predicate_report(benchmark):
+    header = ["query", "extracted filters", "total(s)"]
+
     def render():
         rows = [_ROWS[n] for n in NULL_QUERIES if n in _ROWS]
         return render_series(
             "NULL-predicate extraction (TR reconstruction, opt-in)",
-            ["query", "extracted filters", "total(s)"],
+            header,
             rows,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("null_predicates", table)
+    rows = [_ROWS[n] for n in NULL_QUERIES if n in _ROWS]
+    write_result_table("null_predicates", table, data=series_payload(header, rows))
     assert len(_ROWS) == len(NULL_QUERIES)

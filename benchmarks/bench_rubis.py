@@ -6,7 +6,7 @@ import pytest
 
 from conftest import run_once, write_result_table
 from repro.apps import rubis
-from repro.bench.harness import measure_extraction, render_series
+from repro.bench.harness import measure_extraction, render_series, series_payload
 from repro.core import ExtractionConfig
 
 _ROWS = {}
@@ -33,14 +33,17 @@ def test_rubis_command(benchmark, rubis_bench_db, name):
 
 
 def test_rubis_report(benchmark):
+    header = ["command", "extracted SQL complexity", "time(s)"]
+
     def render():
         rows = [_ROWS[n] for n in _NAMES if n in _ROWS]
         return render_series(
             "RUBiS imperative-to-SQL conversion",
-            ["command", "extracted SQL complexity", "time(s)"],
+            header,
             rows,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("rubis", table)
+    rows = [_ROWS[n] for n in _NAMES if n in _ROWS]
+    write_result_table("rubis", table, data=series_payload(header, rows))
     assert len(_ROWS) == len(_NAMES)

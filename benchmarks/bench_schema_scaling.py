@@ -13,7 +13,7 @@ import pytest
 
 from conftest import EXTRA_TABLES, run_once, write_result_table
 from repro.apps import SQLExecutable
-from repro.bench.harness import render_series
+from repro.bench.harness import render_series, series_payload
 from repro.core import ExtractionConfig
 from repro.core.from_clause import extract_tables
 from repro.core.session import ExtractionSession
@@ -51,16 +51,18 @@ def test_schema_scaling_from_clause(benchmark, tpch_bench_db, extra):
 
 
 def test_schema_scaling_report(benchmark):
+    header = ["total_tables", "from_clause(s)"]
+
     def render():
         return render_series(
             "Schema scaling — From-clause identification vs table count "
             "(paper: +1000 tables under 10 s)",
-            ["total_tables", "from_clause(s)"],
+            header,
             _ROWS,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("schema_scaling", table)
+    write_result_table("schema_scaling", table, data=series_payload(header, _ROWS))
     # Paper shape: +1000 tables completes in about ten seconds — per-table
     # cost is bounded by the probe timeout (plus a small parse/plan floor).
     assert all(seconds < 15.0 for _, seconds in _ROWS)

@@ -10,7 +10,7 @@ import pytest
 
 from conftest import run_once, write_result_table
 from repro.apps import wilos
-from repro.bench.harness import measure_extraction, render_series
+from repro.bench.harness import measure_extraction, render_series, series_payload
 from repro.core import ExtractionConfig
 
 TABLE3_FUNCTIONS = [
@@ -66,17 +66,20 @@ def _clause_signature(query) -> set[str]:
 
 
 def test_table3_report(benchmark):
+    header = ["function", "extracted SQL complexity", "time(s)"]
+
     def render():
         rows = [_ROWS[n] for n in TABLE3_FUNCTIONS if n in _ROWS]
         return render_series(
             "Table 3 — Wilos imperative-to-SQL conversion "
             f"(9 most complex of {len(wilos.registry.in_scope())} in-scope functions)",
-            ["function", "extracted SQL complexity", "time(s)"],
+            header,
             rows,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("table3_wilos", table)
+    rows = [_ROWS[n] for n in TABLE3_FUNCTIONS if n in _ROWS]
+    write_result_table("table3_wilos", table, data=series_payload(header, rows))
     assert len(_ROWS) == len(TABLE3_FUNCTIONS)
     assert all(row[2] < 30 for row in _ROWS.values())
 

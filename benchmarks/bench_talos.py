@@ -11,7 +11,7 @@ import pytest
 
 from conftest import run_once, write_result_table
 from repro.apps import SQLExecutable
-from repro.bench.harness import measure_hidden_query, render_series
+from repro.bench.harness import measure_hidden_query, render_series, series_payload
 from repro.core import ExtractionConfig
 from repro.datagen import uci
 from repro.qre.talos import TalosBaseline
@@ -68,13 +68,16 @@ def test_talos_vs_unmasque(benchmark, census_db, name):
 
 
 def test_talos_report(benchmark):
+    header = ["query", "unmasque(s)", "talos(s)", "status", "inst-equiv", "tree_nodes"]
+
     def render():
         rows = [_ROWS[n] for n in SELECTION_QUERIES if n in _ROWS]
         return render_series(
             "TALOS-lite comparison on UCI-style census data",
-            ["query", "unmasque(s)", "talos(s)", "status", "inst-equiv", "tree_nodes"],
+            header,
             rows,
         )
 
     table = run_once(benchmark, render)
-    write_result_table("talos_uci", table)
+    rows = [_ROWS[n] for n in SELECTION_QUERIES if n in _ROWS]
+    write_result_table("talos_uci", table, data=series_payload(header, rows))

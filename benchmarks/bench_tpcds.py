@@ -9,7 +9,11 @@ from __future__ import annotations
 import pytest
 
 from conftest import run_once, write_result_table
-from repro.bench.harness import measure_hidden_query, render_breakdown_table
+from repro.bench.harness import (
+    measure_hidden_query,
+    measurements_payload,
+    render_breakdown_table,
+)
 from repro.core import ExtractionConfig
 from repro.workloads import tpcds_queries
 
@@ -38,5 +42,6 @@ def test_tpcds_report(benchmark):
         )
 
     table = run_once(benchmark, render)
-    write_result_table("tpcds", table)
+    ordered = [_MEASUREMENTS[n] for n in tpcds_queries.names() if n in _MEASUREMENTS]
+    write_result_table("tpcds", table, data=measurements_payload(ordered))
     assert len(_MEASUREMENTS) == len(tpcds_queries.names())

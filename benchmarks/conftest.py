@@ -16,6 +16,7 @@ carries the per-query timings.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -63,11 +64,24 @@ def rubis_bench_db():
     return appdata.build_rubis_database(seed=BENCH_SEED)
 
 
-def write_result_table(name: str, content: str) -> pathlib.Path:
-    """Persist a paper-style table under benchmarks/results/ and echo it."""
+def write_result_table(name: str, content: str, data=None) -> pathlib.Path:
+    """Persist a paper-style table under benchmarks/results/ and echo it.
+
+    When ``data`` is given (a JSON-serialisable payload, typically built via
+    :func:`repro.bench.harness.measurements_payload` or
+    :func:`~repro.bench.harness.series_payload`), a machine-readable
+    ``results/<name>.json`` is written alongside the ``.txt`` table so
+    trajectory tooling can diff runs without scraping text.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(content + "\n")
+    if data is not None:
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(
+            json.dumps({"benchmark": name, "data": data}, indent=2, default=str)
+            + "\n"
+        )
     print(f"\n{content}\n[written to {path}]")
     return path
 

@@ -30,6 +30,7 @@ from repro.apps.obfuscation import deobfuscate, obfuscate
 from repro.engine.database import Database
 from repro.engine.result import Result
 from repro.errors import ExecutableTimeoutError
+from repro.obs.trace import NULL_TRACER
 
 
 class Executable:
@@ -43,13 +44,33 @@ class Executable:
         self.total_runtime = 0.0
 
     def run(self, db: Database, timeout: Optional[float] = None) -> Result:
-        """Execute the hidden logic against ``db`` and return its result."""
+        """Execute the hidden logic against ``db`` and return its result.
+
+        When ``db`` carries an enabled tracer the invocation opens an
+        ``invocation`` span (engine queries issued by the hidden logic nest
+        beneath it); with the default null tracer this is the bare fast path.
+        """
         self.invocation_count += 1
+        tracer = getattr(db, "tracer", NULL_TRACER)
         started = time.perf_counter()
-        try:
-            return self._execute(db, timeout)
-        finally:
-            self.total_runtime += time.perf_counter() - started
+        if not tracer.enabled:
+            try:
+                return self._execute(db, timeout)
+            finally:
+                self.total_runtime += time.perf_counter() - started
+        with tracer.span(self.name, kind="invocation") as span:
+            span.set_tags(executable=self.name, db_rows=db.total_rows())
+            if tracer.metrics is not None:
+                tracer.metrics.counter("invocations_total").inc()
+            try:
+                return self._execute(db, timeout)
+            finally:
+                elapsed = time.perf_counter() - started
+                self.total_runtime += elapsed
+                if tracer.metrics is not None:
+                    tracer.metrics.histogram(
+                        "invocation_latency_seconds"
+                    ).observe(elapsed)
 
     def _execute(self, db: Database, timeout: Optional[float]) -> Result:
         raise NotImplementedError

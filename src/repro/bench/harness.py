@@ -17,6 +17,8 @@ from repro.apps.executable import Executable, SQLExecutable
 from repro.core.config import ExtractionConfig
 from repro.core.pipeline import ExtractionOutcome, UnmasqueExtractor
 from repro.engine.database import Database
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -29,6 +31,9 @@ class ExtractionMeasurement:
     invocations: int
     native_seconds: float
     outcome: ExtractionOutcome
+    #: metrics snapshot from the extraction's registry (queries_total,
+    #: rows_scanned_total, latency histograms, …)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def sampler_seconds(self) -> float:
@@ -42,6 +47,21 @@ class ExtractionMeasurement:
     def rest_seconds(self) -> float:
         return self.total_seconds - self.sampler_seconds - self.minimizer_seconds
 
+    def to_dict(self) -> dict:
+        """Machine-readable row for ``benchmarks/results/*.json``."""
+        return {
+            "name": self.name,
+            "total_seconds": round(self.total_seconds, 6),
+            "native_seconds": round(self.native_seconds, 6),
+            "invocations": self.invocations,
+            "breakdown": {
+                module: round(seconds, 6)
+                for module, seconds in self.breakdown.items()
+            },
+            "sql": self.outcome.sql,
+            "metrics": self.metrics,
+        }
+
 
 def measure_extraction(
     db: Database,
@@ -49,7 +69,12 @@ def measure_extraction(
     name: str,
     config: Optional[ExtractionConfig] = None,
 ) -> ExtractionMeasurement:
-    """Run one extraction end-to-end and record its timing profile."""
+    """Run one extraction end-to-end and record its timing profile.
+
+    Extractions run under a span-free tracer (``keep_spans=False``) so every
+    measurement carries a metrics snapshot — engine-query counts, rows
+    scanned, latency histograms — without accumulating per-span memory.
+    """
     config = config or ExtractionConfig()
     executable.reset_counters()
 
@@ -57,8 +82,10 @@ def measure_extraction(
     executable.run(db)
     native_seconds = time.perf_counter() - native_started
 
+    registry = MetricsRegistry()
+    tracer = Tracer(metrics=registry, keep_spans=False)
     started = time.perf_counter()
-    outcome = UnmasqueExtractor(db, executable, config).extract()
+    outcome = UnmasqueExtractor(db, executable, config, tracer=tracer).extract()
     total_seconds = time.perf_counter() - started
     return ExtractionMeasurement(
         name=name,
@@ -67,6 +94,7 @@ def measure_extraction(
         invocations=outcome.stats.total_invocations,
         native_seconds=native_seconds,
         outcome=outcome,
+        metrics=registry.snapshot(),
     )
 
 
@@ -77,6 +105,22 @@ def measure_hidden_query(
     config: Optional[ExtractionConfig] = None,
 ) -> ExtractionMeasurement:
     return measure_extraction(db, SQLExecutable(sql, name=name), name, config)
+
+
+# --- machine-readable payloads ------------------------------------------------
+
+
+def measurements_payload(measurements: list[ExtractionMeasurement]) -> list[dict]:
+    """JSON rows for a breakdown-style benchmark result."""
+    return [m.to_dict() for m in measurements]
+
+
+def series_payload(header: list[str], rows: list[tuple]) -> dict:
+    """JSON form of a figure-series table: named columns per row."""
+    return {
+        "header": list(header),
+        "rows": [dict(zip(header, row)) for row in rows],
+    }
 
 
 # --- report rendering ---------------------------------------------------------

@@ -7,7 +7,14 @@ Commands:
   obfuscated executable, run UNMASQUE, and print the extracted SQL with the
   per-module timing profile;
 * ``sql``       — extract an ad-hoc hidden query supplied on the command line
-  (against a chosen synthetic instance).
+  (against a chosen synthetic instance);
+* ``trace-report`` — render a ``--trace-out`` JSONL trace as a flame-style
+  span tree plus a top-N slowest-queries table.
+
+Extraction commands accept ``--trace-out FILE`` (hierarchical span trace,
+JSONL) and ``--metrics-out FILE`` (counters/histograms snapshot, JSON);
+without these flags no tracer is attached and extraction runs exactly as
+before.
 """
 
 from __future__ import annotations
@@ -68,6 +75,13 @@ def _make_parser() -> argparse.ArgumentParser:
                        help="which synthetic instance to run against")
     adhoc.add_argument("query_sql", help="the SQL text to hide and re-extract")
     _common_extraction_args(adhoc)
+
+    report = sub.add_parser("trace-report", help="render a --trace-out JSONL trace")
+    report.add_argument("trace_file", help="JSONL trace written by --trace-out")
+    report.add_argument("--top", type=int, default=10,
+                        help="slowest engine queries to list (default 10)")
+    report.add_argument("--max-children", type=int, default=8,
+                        help="children shown per span before eliding (default 8)")
     return parser
 
 
@@ -83,6 +97,10 @@ def _common_extraction_args(parser: argparse.ArgumentParser) -> None:
                         help="skip the extraction checker")
     parser.add_argument("--report", action="store_true",
                         help="print the clause-by-clause extraction report")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a hierarchical span trace (JSONL) here")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write a metrics snapshot (JSON) here")
 
 
 def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
@@ -97,16 +115,48 @@ def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
 
     if args.command == "extract":
         module = _load_workloads()[args.workload]
-        if args.query not in module.QUERIES:
+        query = _lookup_query(module, args.query)
+        if query is None:
             out.write(f"unknown query {args.query!r}; try `repro workloads`\n")
             return 2
-        sql = module.QUERIES[args.query].sql
-        return _run_extraction(args, sql, out)
+        return _run_extraction(args, query.sql, out)
 
     if args.command == "sql":
         return _run_extraction(args, args.query_sql, out)
 
+    if args.command == "trace-report":
+        return _run_trace_report(args, out)
+
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _lookup_query(module, name: str):
+    """Exact, then case-insensitive, lookup in a workload's query registry."""
+    query = module.QUERIES.get(name)
+    if query is not None:
+        return query
+    lowered = name.lower()
+    for key, candidate in module.QUERIES.items():
+        if key.lower() == lowered:
+            return candidate
+    return None
+
+
+def _run_trace_report(args, out) -> int:
+    from repro.obs import read_jsonl, render_trace_report
+
+    try:
+        spans = read_jsonl(args.trace_file)
+    except (OSError, ValueError) as error:
+        out.write(f"cannot read trace file: {error}\n")
+        return 2
+    out.write(
+        render_trace_report(
+            spans, top_queries=args.top, max_children=args.max_children
+        )
+        + "\n"
+    )
+    return 0
 
 
 def _run_extraction(args, sql: str, out) -> int:
@@ -123,7 +173,30 @@ def _run_extraction(args, sql: str, out) -> int:
         extract_disjunctions=args.disjunctions,
         run_checker=not args.no_checker,
     )
-    outcome = UnmasqueExtractor(db, app, config).extract()
+    tracer = None
+    metrics = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import MetricsRegistry, Tracer
+
+        # Fail on unwritable output paths now, not after a long extraction.
+        for path in (args.trace_out, args.metrics_out):
+            if path is None:
+                continue
+            try:
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as error:
+                out.write(f"cannot write {path}: {error}\n")
+                return 2
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics=metrics, keep_spans=args.trace_out is not None)
+    outcome = UnmasqueExtractor(db, app, config, tracer=tracer).extract()
+    if args.trace_out:
+        tracer.write_jsonl(args.trace_out)
+        out.write(f"trace       : {len(tracer.spans)} spans -> {args.trace_out}\n")
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        out.write(f"metrics     : -> {args.metrics_out}\n")
     out.write(f"{outcome.sql}\n\n")
     if args.report:
         out.write(outcome.describe() + "\n\n")

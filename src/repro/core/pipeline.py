@@ -149,15 +149,41 @@ class UnmasqueExtractor:
         db: Database,
         executable: Executable,
         config: Optional[ExtractionConfig] = None,
+        tracer=None,
     ):
         self.config = config or ExtractionConfig()
-        self.session = ExtractionSession(db, executable, self.config)
+        self.session = ExtractionSession(db, executable, self.config, tracer=tracer)
 
     def extract(self) -> ExtractionOutcome:
+        """Run the pipeline under a root ``pipeline`` span covering it all."""
         session = self.session
+        tracer = session.tracer
+        tags = None
+        if tracer.enabled:
+            tags = {
+                "executable": session.executable.name,
+                "db_tables": len(session.silo.table_names),
+                "db_rows": session.silo.total_rows(),
+                "having_pipeline": self.config.extract_having,
+            }
+        with tracer.span("extraction", kind="pipeline", tags=tags) as root:
+            outcome = (
+                self._extract_with_having()
+                if self.config.extract_having
+                else self._extract()
+            )
+            if tracer.enabled:
+                root.set_tags(
+                    tables=list(outcome.query.tables),
+                    invocations=outcome.stats.total_invocations,
+                    modules=sorted(outcome.stats.modules),
+                )
+                if tracer.metrics is not None:
+                    tracer.metrics.counter("extractions_total").inc()
+            return outcome
 
-        if self.config.extract_having:
-            return self._extract_with_having()
+    def _extract(self) -> ExtractionOutcome:
+        session = self.session
 
         limit_module.capture_initial_result(session)
         if session.initial_result.is_effectively_empty:

@@ -21,12 +21,19 @@ from repro.core.model import ExtractedQuery
 from repro.engine.database import Database
 from repro.engine.result import Result
 from repro.engine.types import NumericDomain, date_to_ordinal
+from repro.obs.trace import NULL_TRACER
 from repro.sgraph.schema_graph import ColumnNode, SchemaGraph
 
 
 @dataclass
 class ModuleStats:
-    """Wall-clock and invocation accounting for one pipeline module."""
+    """Wall-clock and invocation accounting for one pipeline module.
+
+    ``seconds`` is *self* time: when modules nest (e.g. the §7 HAVING
+    pipeline re-entering ``filters``), the inner module's wall-clock is
+    subtracted from the outer one, so no second is ever attributed to two
+    modules and :attr:`ExtractionStats.total_seconds` never double-counts.
+    """
 
     seconds: float = 0.0
     invocations: int = 0
@@ -56,12 +63,22 @@ class ExtractionStats:
 class ExtractionSession:
     """Shared context threaded through all pipeline modules."""
 
-    def __init__(self, db: Database, executable: Executable, config: ExtractionConfig):
+    def __init__(
+        self,
+        db: Database,
+        executable: Executable,
+        config: ExtractionConfig,
+        tracer=None,
+    ):
         self.config = config
         self.executable = executable
         self.rng = random.Random(config.seed)
         self.stats = ExtractionStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._current_module = "setup"
+        #: per-open-module accumulators of nested-module wall-clock, used to
+        #: attribute self time only (see :class:`ModuleStats`)
+        self._module_frames: list[float] = []
 
         # Capture key metadata from the ORIGINAL catalog before the silo has
         # its constraints dropped.
@@ -70,8 +87,11 @@ class ExtractionSession:
             schema.name.lower(): schema.key_columns() for schema in db.catalog
         }
 
-        # The silo: all extraction work happens on this clone.
+        # The silo: all extraction work happens on this clone.  It carries
+        # the session tracer so engine queries and application invocations
+        # nest under the active module span.
         self.silo = db.clone()
+        self.silo.tracer = self.tracer
         self.silo.drop_constraints()
 
         # Per-column value samples from the ORIGINAL instance, captured before
@@ -118,14 +138,25 @@ class ExtractionSession:
 
     @contextmanager
     def module(self, name: str):
-        """Attribute wall-clock and invocations to a pipeline module."""
+        """Attribute wall-clock and invocations to a pipeline module.
+
+        Opens a ``module`` span on the session tracer and records *self*
+        wall-clock: if another module runs nested inside this one, its
+        elapsed time is charged to itself only, never to both.
+        """
         previous = self._current_module
         self._current_module = name
+        self._module_frames.append(0.0)
         started = time.perf_counter()
         try:
-            yield
+            with self.tracer.span(name, kind="module", tags={"module": name}):
+                yield
         finally:
-            self.stats.module(name).seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            nested = self._module_frames.pop()
+            self.stats.module(name).seconds += max(0.0, elapsed - nested)
+            if self._module_frames:
+                self._module_frames[-1] += elapsed
             self._current_module = previous
 
     # -- black-box invocation ------------------------------------------------

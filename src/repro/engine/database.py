@@ -35,6 +35,7 @@ from repro.engine.sqlast import (
     Update,
 )
 from repro.engine.storage import TableData
+from repro.obs.trace import NULL_TRACER
 from repro.engine.types import (
     BigIntType,
     CharType,
@@ -75,6 +76,18 @@ def type_from_def(definition: ColumnDef) -> SQLType:
     raise DatabaseError(f"unsupported column type {name!r}")
 
 
+#: statement class → the ``statement`` tag value on its query span
+_STATEMENT_KINDS = {
+    SelectStatement: "select",
+    CreateTable: "create_table",
+    DropTable: "drop_table",
+    RenameTable: "rename_table",
+    Insert: "insert",
+    Update: "update",
+    Delete: "delete",
+}
+
+
 class Database:
     """An in-memory relational database instance."""
 
@@ -83,6 +96,10 @@ class Database:
         self._tables: dict[str, TableData] = {}
         self.access_log: list[str] = []
         self.trace_access = False
+        #: observability hook: engine statements open ``query`` spans on this
+        #: tracer (parse/plan/execute timing, row counts).  The default
+        #: :data:`~repro.obs.trace.NULL_TRACER` keeps the untraced fast path.
+        self.tracer = NULL_TRACER
         #: absolute ``time.perf_counter()`` deadline for cooperative timeouts;
         #: the executor and the scan cursor poll it (see :meth:`check_deadline`).
         self.deadline: Optional[float] = None
@@ -193,7 +210,86 @@ class Database:
 
     def execute(self, sql: str) -> Result:
         """Execute one SQL statement; non-SELECT statements return empty results."""
+        if self.tracer.enabled:
+            return self._execute_traced(sql)
+        return self._dispatch(parse_statement(sql))
+
+    def _execute_traced(self, sql: str) -> Result:
+        """The profiled twin of :meth:`execute`: one ``query`` span per
+        statement with parse/plan/execute phase timing and row counts."""
+        tracer = self.tracer
+        metrics = tracer.metrics
+        with tracer.span("statement", kind="query") as span:
+            started = time.perf_counter()
+            try:
+                return self._execute_traced_inner(sql, span, started)
+            except Exception:
+                # Failed probes (e.g. From-clause rename runs) still count:
+                # the paper's invocation budgets include them.
+                if metrics is not None:
+                    metrics.counter("queries_total").inc()
+                    metrics.counter("query_errors_total").inc()
+                    metrics.histogram("query_latency_seconds").observe(
+                        time.perf_counter() - started
+                    )
+                raise
+
+    def _execute_traced_inner(self, sql: str, span, started: float) -> Result:
+        metrics = self.tracer.metrics
         statement = parse_statement(sql)
+        parse_seconds = time.perf_counter() - started
+        kind = _STATEMENT_KINDS.get(type(statement), "other")
+        span.name = kind
+        span.set_tags(statement=kind, parse_seconds=round(parse_seconds, 9))
+
+        if isinstance(statement, SelectStatement):
+            plan_started = time.perf_counter()
+            plan = plan_select(statement, self.catalog)
+            span.set_tag(
+                "plan_seconds", round(time.perf_counter() - plan_started, 9)
+            )
+            span.set_tag("tables", [bound.schema.name for bound in plan.tables])
+            rows_by_binding = {
+                bound.binding: self.table(bound.schema.name).rows
+                for bound in plan.tables
+            }
+            profile: dict = {}
+            exec_started = time.perf_counter()
+            result = execute_plan(
+                plan, rows_by_binding, tick=self.check_deadline, profile=profile
+            )
+            span.set_tag(
+                "execute_seconds", round(time.perf_counter() - exec_started, 9)
+            )
+            span.set_tags(**profile)
+            if metrics is not None:
+                metrics.counter("queries_total").inc()
+                metrics.counter("rows_scanned_total").inc(profile["rows_scanned"])
+                metrics.counter("rows_emitted_total").inc(profile["rows_emitted"])
+                metrics.histogram("query_latency_seconds").observe(
+                    time.perf_counter() - started
+                )
+            return result
+
+        result = self._dispatch(statement)
+        if kind in ("insert", "update", "delete"):
+            affected = (
+                len(statement.rows)
+                if isinstance(statement, Insert)
+                else (result.rows[0][0] if result.rows else 0)
+            )
+            span.set_tag("rows_affected", affected)
+            if metrics is not None:
+                metrics.counter("dml_statements_total").inc()
+                metrics.counter("dml_rows_affected_total").inc(affected)
+        if metrics is not None:
+            metrics.counter("queries_total").inc()
+            metrics.histogram("query_latency_seconds").observe(
+                time.perf_counter() - started
+            )
+        return result
+
+    def _dispatch(self, statement) -> Result:
         if isinstance(statement, SelectStatement):
             return self.execute_select(statement)
         if isinstance(statement, CreateTable):
@@ -303,6 +399,7 @@ class Database:
         """An independent copy (the extraction silo of paper §3.2)."""
         clone = Database()
         clone.catalog = self.catalog.copy()
+        clone.tracer = self.tracer
         for name, data in self._tables.items():
             clone._tables[name] = data.copy() if with_data else TableData(data.schema)
         return clone

@@ -25,6 +25,7 @@ def execute_plan(
     plan: SelectPlan,
     rows_by_binding: dict[str, list[tuple]],
     tick=_no_tick,
+    profile: dict = None,
 ) -> Result:
     """Run a planned SELECT against per-binding base rows.
 
@@ -32,10 +33,19 @@ def execute_plan(
     :class:`~repro.engine.database.Database` supplies these).  ``tick`` is a
     cooperative-cancellation hook, polled between pipeline stages and
     periodically inside row loops, so long executions can honour a deadline.
+
+    ``profile``, when supplied, is filled with per-stage row counts
+    (``rows_scanned`` base rows read, ``rows_after_filter``, ``rows_joined``
+    post-join/residual, ``rows_emitted``) for the observability layer; the
+    default ``None`` skips all accounting.
     """
     tick()
+    if profile is not None:
+        profile["rows_scanned"] = sum(len(rows) for rows in rows_by_binding.values())
     filtered = _apply_table_filters(plan, rows_by_binding, tick)
     tick()
+    if profile is not None:
+        profile["rows_after_filter"] = sum(len(rows) for rows in filtered.values())
     joined = _join(plan, filtered, tick)
     tick()
     if plan.residual_predicates:
@@ -44,6 +54,8 @@ def execute_plan(
             for row in joined
             if all(predicate_holds(pred, row) for pred in plan.residual_predicates)
         ]
+    if profile is not None:
+        profile["rows_joined"] = len(joined)
 
     if plan.is_grouped:
         output_rows = _grouped_output(plan, joined)
@@ -58,6 +70,8 @@ def execute_plan(
         output_rows = _sort(output_rows, plan.order_on_output)
     if plan.limit is not None:
         output_rows = output_rows[: plan.limit]
+    if profile is not None:
+        profile["rows_emitted"] = len(output_rows)
     return Result(plan.output_names, output_rows)
 
 

@@ -1,0 +1,50 @@
+"""Observability: span tracing, metrics, and trace reporting.
+
+The extraction pipeline is a tower of nested loops — pipeline modules invoke
+the black-box application, which executes engine queries — and the paper's
+whole evaluation (Figures 8–11) is about where that time and those
+invocations go.  This package provides the three layers needed to see it:
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer.  A
+  :class:`~repro.obs.trace.Span` covers one unit of work (pipeline run,
+  pipeline module, application invocation, engine query) with wall-clock
+  timing and free-form tags; finished spans export to JSONL.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms (``invocations_total``, ``rows_scanned_total``,
+  ``query_latency_seconds``, …) with a JSON snapshot API.
+* :mod:`repro.obs.report` — renders a stored trace as a flame-style
+  indented tree plus a top-N slowest-queries table.
+
+Tracing is **opt-in and zero-cost when off**: every instrumented call site
+goes through :data:`~repro.obs.trace.NULL_TRACER` by default, whose
+``span()`` returns one shared no-op context manager (no allocation, no
+timing, no branching beyond a single ``enabled`` check on hot paths).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import render_trace_report
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "read_jsonl",
+    "render_trace_report",
+]

@@ -1,0 +1,179 @@
+"""Counters, gauges, and fixed-bucket histograms with a snapshot API.
+
+Prometheus-flavoured semantics, in-process scale: a
+:class:`MetricsRegistry` hands out named instruments on first use
+(``registry.counter("invocations_total")``), and :meth:`MetricsRegistry.snapshot`
+returns one JSON-serialisable dict of everything observed so far.
+
+Histogram buckets are *cumulative upper bounds* (``value <= bound`` lands in
+that bucket and every later one), matching the ``le`` convention, plus an
+implicit ``+Inf`` bucket — so bucket counts are monotonically non-decreasing
+and the last equals the observation count.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+#: Default latency buckets (seconds): sub-millisecond engine queries up to
+#: multi-second whole-pipeline runs.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current silo row count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` bucket semantics."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.bounds = bounds
+        #: non-cumulative per-bucket counts; index len(bounds) is +Inf
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        # Linear scan: bucket lists are short and observation is on a path
+        # where a bisect call's overhead is comparable.
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` pairs, ending with ``inf``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "mean": round(self.mean, 9),
+            "buckets": [
+                {"le": "inf" if bound == float("inf") else bound, "count": n}
+                for bound, n in self.cumulative_buckets()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot on demand."""
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, kind, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if buckets is None:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-serialisable dict, sorted by name."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")

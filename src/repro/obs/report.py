@@ -1,0 +1,143 @@
+"""Render a stored trace as a human-readable report.
+
+Two views of the same JSONL trace:
+
+* a **flame-style tree** — each span indented under its parent with its
+  duration, share of the root's wall-clock, and interesting tags.  Wide
+  fan-outs (a module issuing hundreds of invocations) are elided after
+  ``max_children`` entries with a one-line rollup so the report stays
+  readable at any trace size;
+* a **top-N slowest queries** table — engine-query spans ranked by
+  duration, with their rows-scanned / rows-emitted counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.trace import Span
+
+#: tags rendered inline next to a span line, in this order (``module`` and
+#: ``statement`` are omitted — the span label already carries them)
+_INLINE_TAGS = (
+    "tables",
+    "rows_scanned",
+    "rows_emitted",
+    "rows_affected",
+    "invocations",
+    "error",
+)
+
+
+def _build_tree(spans: Iterable[Span]):
+    """(roots, children-by-parent-id), children ordered by start time."""
+    spans = list(spans)
+    children: dict[Optional[int], list[Span]] = {}
+    ids = {span.span_id for span in spans}
+    roots: list[Span] = []
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in ids:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s.start)
+    roots.sort(key=lambda s: s.start)
+    return roots, children
+
+
+def _format_tags(span: Span) -> str:
+    parts = []
+    for key in _INLINE_TAGS:
+        if key in span.tags:
+            value = span.tags[key]
+            if isinstance(value, (list, tuple)):
+                value = ",".join(str(v) for v in value)
+            parts.append(f"{key}={value}")
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def _render_span(
+    span: Span,
+    depth: int,
+    total: float,
+    children: dict,
+    max_children: int,
+    lines: list[str],
+) -> None:
+    share = f"{100.0 * span.duration / total:5.1f}%" if total > 0 else "    -"
+    label = f"{'  ' * depth}{span.kind}:{span.name}"
+    pad = max(1, 48 - len(label))
+    lines.append(f"{label} {'.' * pad} {span.duration:9.4f}s {share}{_format_tags(span)}")
+
+    kids = children.get(span.span_id, [])
+    shown = kids[:max_children]
+    for child in shown:
+        _render_span(child, depth + 1, total, children, max_children, lines)
+    hidden = kids[max_children:]
+    if hidden:
+        hidden_seconds = sum(c.duration for c in hidden)
+        lines.append(
+            f"{'  ' * (depth + 1)}… {len(hidden)} more child spans "
+            f"({hidden_seconds:.4f}s total)"
+        )
+
+
+def _slowest_queries(spans: list[Span], top: int) -> list[str]:
+    queries = sorted(
+        (s for s in spans if s.kind == "query"),
+        key=lambda s: s.duration,
+        reverse=True,
+    )[:top]
+    if not queries:
+        return []
+    lines = [f"top {len(queries)} slowest engine queries", "-" * 34]
+    header = f"{'#':>3} {'seconds':>10} {'scanned':>9} {'emitted':>9}  statement"
+    lines.append(header)
+    for rank, span in enumerate(queries, 1):
+        scanned = span.tags.get("rows_scanned", "-")
+        emitted = span.tags.get("rows_emitted", span.tags.get("rows_affected", "-"))
+        statement = span.tags.get("statement", span.name)
+        tables = span.tags.get("tables")
+        if tables:
+            if isinstance(tables, (list, tuple)):
+                tables = ",".join(str(t) for t in tables)
+            statement = f"{statement}({tables})"
+        lines.append(
+            f"{rank:>3} {span.duration:>10.4f} {scanned!s:>9} {emitted!s:>9}  {statement}"
+        )
+    return lines
+
+
+def render_trace_report(
+    spans: Iterable[Span],
+    top_queries: int = 10,
+    max_children: int = 8,
+) -> str:
+    """The full report: summary header, span tree, slowest-query table."""
+    spans = list(spans)
+    if not spans:
+        return "trace report: no spans recorded"
+
+    roots, children = _build_tree(spans)
+    total = sum(root.duration for root in roots)
+    by_kind: dict[str, int] = {}
+    for span in spans:
+        by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
+
+    lines = [
+        "trace report",
+        "============",
+        f"spans: {len(spans)} "
+        f"({', '.join(f'{kind}={n}' for kind, n in sorted(by_kind.items()))})",
+        f"wall-clock: {total:.4f}s across {len(roots)} root span(s)",
+        "",
+    ]
+    for root in roots:
+        _render_span(root, 0, total, children, max_children, lines)
+
+    slow = _slowest_queries(spans, top_queries)
+    if slow:
+        lines.append("")
+        lines.extend(slow)
+    return "\n".join(lines)
