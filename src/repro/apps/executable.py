@@ -124,10 +124,25 @@ def run_with_deadline(executable: Executable, db: Database, timeout: float) -> R
     In-process execution cannot be preempted portably; instead callers treat
     an over-deadline completion as a timeout, which is indistinguishable from
     the paper's "terminate after a short timeout period" for our purposes.
+
+    A run cut short this way counts toward ``invocation_timeouts_total`` and
+    its invocation span is tagged ``timed_out`` — the completion already
+    happened, so without the tag the trace would show a successful run that
+    the caller in fact discarded.
     """
+    tracer = getattr(db, "tracer", NULL_TRACER)
     started = time.perf_counter()
     result = executable.run(db, timeout=timeout)
     if time.perf_counter() - started > timeout:
+        if tracer.metrics is not None:
+            tracer.metrics.counter("invocation_timeouts_total").inc()
+        if tracer.enabled:
+            # The invocation span has already closed; find it (children close
+            # before parents, so scan from the most recent span backwards).
+            for span in reversed(tracer.spans):
+                if span.kind == "invocation":
+                    span.set_tags(timed_out=True, error="ExecutableTimeoutError")
+                    break
         raise ExecutableTimeoutError(
             f"application {executable.name!r} exceeded {timeout:.3f}s deadline"
         )

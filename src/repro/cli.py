@@ -9,12 +9,20 @@ Commands:
 * ``sql``       — extract an ad-hoc hidden query supplied on the command line
   (against a chosen synthetic instance);
 * ``trace-report`` — render a ``--trace-out`` JSONL trace as a flame-style
-  span tree plus a top-N slowest-queries table.
+  span tree plus a top-N slowest-queries table;
+* ``chaos``     — run one extraction under a named fault-injection profile
+  (deterministic, seeded) and report whether it survived: identical SQL to
+  the fault-free run, retries, timeouts, and degradations.
 
 Extraction commands accept ``--trace-out FILE`` (hierarchical span trace,
 JSONL) and ``--metrics-out FILE`` (counters/histograms snapshot, JSON);
 without these flags no tracer is attached and extraction runs exactly as
-before.
+before.  ``--checkpoint-dir DIR`` enables per-module checkpoint/resume;
+``--best-effort`` downgrades non-essential module failures (order by, limit,
+disjunctions, checker) to recorded degradations instead of aborting.
+
+Any :class:`~repro.errors.ReproError` escaping a command is reported as a
+one-line ``error: ...`` message with exit status 1, never a traceback.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Optional
 from repro.apps.executable import SQLExecutable
 from repro.core.config import ExtractionConfig
 from repro.core.pipeline import UnmasqueExtractor
+from repro.errors import ReproError
 
 
 def _load_workloads():
@@ -82,6 +91,26 @@ def _make_parser() -> argparse.ArgumentParser:
                         help="slowest engine queries to list (default 10)")
     report.add_argument("--max-children", type=int, default=8,
                         help="children shown per span before eliding (default 8)")
+
+    from repro.resilience.faults import FAULT_PROFILES
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="extract one hidden query under fault injection and report survival",
+    )
+    chaos.add_argument("--workload", default="tpch", choices=list(_load_workloads()))
+    chaos.add_argument("--query", required=True, help="query name, e.g. Q3")
+    chaos.add_argument("--profile", default="transient",
+                       choices=sorted(FAULT_PROFILES),
+                       help="named fault profile (default: transient)")
+    chaos.add_argument("--chaos-seed", type=int, default=1337,
+                       help="seed for the fault injector (default 1337)")
+    chaos.add_argument("--max-attempts", type=int, default=6,
+                       help="retry attempts per invocation (default 6)")
+    chaos.add_argument("--crash-at", type=int, default=None, metavar="N",
+                       help="also inject a hard crash at invocation N, then "
+                            "auto-resume from the checkpoint")
+    _common_extraction_args(chaos)
     return parser
 
 
@@ -101,11 +130,26 @@ def _common_extraction_args(parser: argparse.ArgumentParser) -> None:
                         help="write a hierarchical span trace (JSONL) here")
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write a metrics snapshot (JSON) here")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="save per-module progress here and resume from "
+                             "an existing checkpoint")
+    parser.add_argument("--best-effort", action="store_true",
+                        help="degrade failed non-essential modules (order by, "
+                             "limit, disjunctions, checker) instead of aborting")
 
 
 def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
     args = _make_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except ReproError as error:
+        # One line, no traceback: extraction failures are expected outcomes
+        # (outside-EQC queries, checkpoint mismatches, exhausted retries).
+        out.write(f"error: {error}\n")
+        return 1
 
+
+def _dispatch(args, out) -> int:
     if args.command == "workloads":
         for name, module in _load_workloads().items():
             out.write(f"{name}:\n")
@@ -126,6 +170,14 @@ def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
 
     if args.command == "trace-report":
         return _run_trace_report(args, out)
+
+    if args.command == "chaos":
+        module = _load_workloads()[args.workload]
+        query = _lookup_query(module, args.query)
+        if query is None:
+            out.write(f"unknown query {args.query!r}; try `repro workloads`\n")
+            return 2
+        return _run_chaos(args, query.sql, out)
 
     return 2  # pragma: no cover - argparse enforces the choices
 
@@ -172,6 +224,7 @@ def _run_extraction(args, sql: str, out) -> int:
         extract_having=args.having,
         extract_disjunctions=args.disjunctions,
         run_checker=not args.no_checker,
+        fail_fast=not args.best_effort,
     )
     tracer = None
     metrics = None
@@ -190,7 +243,9 @@ def _run_extraction(args, sql: str, out) -> int:
                 return 2
         metrics = MetricsRegistry()
         tracer = Tracer(metrics=metrics, keep_spans=args.trace_out is not None)
-    outcome = UnmasqueExtractor(db, app, config, tracer=tracer).extract()
+    outcome = UnmasqueExtractor(
+        db, app, config, tracer=tracer, checkpoint_dir=args.checkpoint_dir
+    ).extract()
     if args.trace_out:
         tracer.write_jsonl(args.trace_out)
         out.write(f"trace       : {len(tracer.spans)} spans -> {args.trace_out}\n")
@@ -204,6 +259,14 @@ def _run_extraction(args, sql: str, out) -> int:
     out.write(f"wall-clock  : {outcome.stats.total_seconds:.2f}s\n")
     for module_name, seconds in outcome.stats.breakdown().items():
         out.write(f"  {module_name:<14} {seconds:.3f}s\n")
+    if outcome.stats.retries:
+        out.write(f"retries     : {outcome.stats.retries}\n")
+    if outcome.resumed_modules:
+        out.write(
+            "resumed     : skipped " + ", ".join(outcome.resumed_modules) + "\n"
+        )
+    for degradation in outcome.degradations:
+        out.write(f"degraded    : {degradation}\n")
     if outcome.checker_report is not None:
         verdict = "passed" if outcome.checker_report.passed else "FAILED"
         out.write(
@@ -211,6 +274,110 @@ def _run_extraction(args, sql: str, out) -> int:
             f"({outcome.checker_report.databases_checked} databases)\n"
         )
     return 0
+
+
+def _run_chaos(args, sql: str, out) -> int:
+    """Extract under fault injection; exit 0 iff the run *survives*.
+
+    Survival means the faulted extraction completes and produces SQL
+    identical to a fault-free run on the same instance.  With ``--crash-at``
+    the run is additionally killed mid-pipeline and auto-resumed from the
+    checkpoint, proving per-module resume end to end.
+    """
+    import dataclasses
+
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.resilience.faults import (
+        FAULT_PROFILES,
+        FaultyExecutable,
+        InjectedCrashError,
+    )
+
+    if args.crash_at is not None and args.checkpoint_dir is None:
+        out.write("--crash-at needs --checkpoint-dir to resume from\n")
+        return 2
+
+    db = _build_database(args.workload, args.scale, args.seed)
+    plan = FAULT_PROFILES[args.profile].with_seed(args.chaos_seed)
+
+    baseline_app = SQLExecutable(sql, obfuscate_text=True, name="chaos-baseline")
+    if baseline_app.run(db).is_effectively_empty:
+        out.write(
+            "the hidden query has an empty result on this instance; "
+            "increase --scale or change --seed\n"
+        )
+        return 3
+    config = ExtractionConfig(
+        extract_having=args.having,
+        extract_disjunctions=args.disjunctions,
+        run_checker=not args.no_checker,
+    )
+    baseline = UnmasqueExtractor(db, baseline_app, config).extract()
+
+    chaos_config = dataclasses.replace(
+        config,
+        retry_max_attempts=args.max_attempts,
+        retry_base_delay=0.0,  # chaos runs should not actually sleep
+        retry_timeouts=plan.injects_timeouts,
+        fail_fast=not args.best_effort,
+    )
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics=metrics, keep_spans=False)
+    faulty = FaultyExecutable(
+        SQLExecutable(sql, obfuscate_text=True, name="chaos-app"),
+        dataclasses.replace(plan, crash_at=args.crash_at),
+    )
+
+    out.write(f"profile        : {plan.name} (chaos seed {plan.seed})\n")
+    crashed_at = None
+    try:
+        outcome = UnmasqueExtractor(
+            db, faulty, chaos_config, tracer=tracer,
+            checkpoint_dir=args.checkpoint_dir,
+        ).extract()
+    except InjectedCrashError:
+        crashed_at = faulty.invocation_count
+        out.write(
+            f"crashed        : invocation {crashed_at} (injected); "
+            "resuming from checkpoint\n"
+        )
+        faulty = FaultyExecutable(
+            SQLExecutable(sql, obfuscate_text=True, name="chaos-app"), plan
+        )
+        outcome = UnmasqueExtractor(
+            db, faulty, chaos_config, tracer=tracer,
+            checkpoint_dir=args.checkpoint_dir,
+        ).extract()
+    except ReproError as error:
+        out.write(f"died           : {type(error).__name__}: {error}\n")
+        out.write("survived       : no\n")
+        return 1
+
+    injected = ", ".join(f"{k}={v}" for k, v in faulty.injected.items())
+    matches = outcome.sql == baseline.sql
+    survived = matches and (args.best_effort or not outcome.degradations)
+    out.write(f"faults injected: {injected}\n")
+    out.write(f"invocations    : {outcome.stats.total_invocations}\n")
+    out.write(f"retries        : {outcome.stats.retries}\n")
+    out.write(f"timeouts       : {outcome.stats.invocation_timeouts}\n")
+    if outcome.resumed_modules:
+        out.write(
+            "resumed        : skipped " + ", ".join(outcome.resumed_modules) + "\n"
+        )
+    if outcome.degradations:
+        for degradation in outcome.degradations:
+            out.write(f"degraded       : {degradation}\n")
+    else:
+        out.write("degradations   : (none)\n")
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        out.write(f"metrics        : -> {args.metrics_out}\n")
+    out.write(f"sql matches fault-free run : {'yes' if matches else 'no'}\n")
+    if not matches:
+        out.write(f"  fault-free : {baseline.sql}\n")
+        out.write(f"  faulted    : {outcome.sql}\n")
+    out.write(f"survived       : {'yes' if survived else 'no'}\n")
+    return 0 if survived else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

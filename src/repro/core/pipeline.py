@@ -8,13 +8,25 @@
 
 With ``config.extract_having`` set, the restructured §7 pipeline runs instead
 (Group By moves ahead of the unified filter/having bound extraction).
+
+The standard pipeline is *step-driven*: each module is a named step executed
+by one loop, which is where the fault-tolerance behaviours live —
+
+* **checkpoint/resume** — with a ``checkpoint_dir``, the session state is
+  serialised after every completed step; a rerun against the same directory
+  (and instance/config) skips the completed steps and re-executes only the
+  unfinished ones (see :mod:`repro.resilience.checkpoint`);
+* **best-effort degradation** — with ``config.fail_fast`` off, a
+  *non-essential* step (disjunctions, order by, limit, checker) that fails
+  is recorded as a structured :class:`Degradation` on the outcome instead of
+  aborting an extraction that already spent thousands of invocations.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, NamedTuple, Optional
 
 logger = logging.getLogger("repro.core.pipeline")
 
@@ -36,7 +48,27 @@ from repro.core.model import ExtractedQuery
 from repro.core.session import ExtractionSession, ExtractionStats
 from repro.core.svalues import SValueSource
 from repro.engine.database import Database
-from repro.errors import ExtractionError
+from repro.errors import ExtractionError, ReproError
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    restore_session,
+    snapshot_session,
+)
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One non-essential module that failed and was skipped (best-effort)."""
+
+    module: str
+    error: str  # exception class name
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"module": self.module, "error": self.error, "message": self.message}
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.module}: [{self.error}] {self.message}"
 
 
 @dataclass
@@ -47,9 +79,17 @@ class ExtractionOutcome:
     sql: str
     stats: ExtractionStats
     checker_report: Optional[checker.CheckReport]
+    #: non-essential modules that failed under best-effort mode
+    degradations: list[Degradation] = field(default_factory=list)
+    #: modules restored from a checkpoint instead of re-executed
+    resumed_modules: list[str] = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.sql
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degradations)
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary (for tooling and result archival)."""
@@ -69,11 +109,15 @@ class ExtractionOutcome:
             "stats": {
                 "invocations": self.stats.total_invocations,
                 "seconds": round(self.stats.total_seconds, 6),
+                "retries": self.stats.retries,
+                "invocation_timeouts": self.stats.invocation_timeouts,
                 "breakdown": {
                     name: round(seconds, 6)
                     for name, seconds in self.stats.breakdown().items()
                 },
             },
+            "degradations": [d.to_dict() for d in self.degradations],
+            "resumed_modules": list(self.resumed_modules),
             "checker": (
                 None
                 if self.checker_report is None
@@ -122,13 +166,144 @@ class ExtractionOutcome:
         lines.append("")
         lines.append(f"invocations       : {self.stats.total_invocations}")
         lines.append(f"wall-clock        : {self.stats.total_seconds:.3f}s")
+        if self.stats.retries:
+            lines.append(f"retries           : {self.stats.retries}")
+        if self.stats.invocation_timeouts:
+            lines.append(f"timeouts          : {self.stats.invocation_timeouts}")
+        if self.resumed_modules:
+            lines.append(
+                "resumed           : skipped "
+                + ", ".join(self.resumed_modules)
+                + " (from checkpoint)"
+            )
         if self.checker_report is not None:
             verdict = "passed" if self.checker_report.passed else "FAILED"
             lines.append(
                 f"checker           : {verdict} on "
                 f"{self.checker_report.databases_checked} databases"
             )
+        if self.degradations:
+            lines.append("")
+            lines.append("diagnostics (best-effort degradations)")
+            lines.append("--------------------------------------")
+            for degradation in self.degradations:
+                lines.append(
+                    f"  {degradation.module:<14} {degradation.error}: "
+                    f"{degradation.message}"
+                )
+            lines.append(
+                "  the SQL above omits the degraded clauses and may be a "
+                "superset of the hidden query's results"
+            )
         return "\n".join(lines)
+
+
+class _PipelineContext:
+    """Cross-step scratch state for one standard-pipeline run."""
+
+    __slots__ = ("svalues", "checker_report")
+
+    def __init__(self):
+        self.svalues: Optional[SValueSource] = None
+        self.checker_report: Optional[checker.CheckReport] = None
+
+    def require_svalues(self, session: ExtractionSession) -> SValueSource:
+        # Constructed lazily after the filter set is final (its caches assume
+        # that); a resumed run rebuilds it from the restored filters.
+        if self.svalues is None:
+            self.svalues = SValueSource(session)
+        return self.svalues
+
+
+class _Step(NamedTuple):
+    name: str
+    #: essential steps always raise on failure; non-essential ones degrade
+    #: when ``config.fail_fast`` is off
+    essential: bool
+    fn: Callable[[ExtractionSession, _PipelineContext], None]
+
+
+def _step_setup(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    limit_module.capture_initial_result(session)
+    if session.initial_result.is_effectively_empty:
+        raise ExtractionError(
+            "the application's result on D_I is empty; extraction requires "
+            "a populated initial result (paper §3)"
+        )
+
+
+def _step_from_clause(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    tables = from_clause.extract_tables(session)
+    logger.info("from clause: T_E = %s", tables)
+
+
+def _step_minimizer(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    minimizer.minimize(session)
+    logger.info(
+        "minimized to D^1 (%d invocations so far)",
+        session.stats.total_invocations,
+    )
+
+
+def _step_joins(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    cliques = joins.extract_joins(session)
+    logger.info("join cliques: %s", [c.predicates() for c in cliques])
+
+
+def _step_filters(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    predicates = filters.extract_filters(session)
+    logger.info("filters: %s", [p.to_sql() for p in predicates])
+
+
+def _step_disjunctions(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    from repro.core import disjunctions
+
+    disjunctions.refine_disjunctions(session)
+    logger.info(
+        "disjunction refinement: %s",
+        [p.to_sql() for p in session.query.filters],
+    )
+
+
+def _step_projections(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    projections.extract_projections(session, ctx.require_svalues(session))
+
+
+def _step_group_by(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    groupby.extract_group_by(session, ctx.require_svalues(session))
+    logger.info(
+        "group by: %s (ungrouped_aggregation=%s)",
+        session.query.group_by,
+        session.query.ungrouped_aggregation,
+    )
+
+
+def _step_aggregations(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    aggregates.extract_aggregations(session, ctx.require_svalues(session))
+
+
+def _step_order_by(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    orderby.extract_order_by(session, ctx.require_svalues(session))
+
+
+def _step_limit(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    limit_module.extract_limit(session, ctx.require_svalues(session))
+    logger.info(
+        "order by: %s, limit: %s",
+        [o.to_sql() for o in session.query.order_by],
+        session.query.limit,
+    )
+
+
+def _step_checker(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    ctx.checker_report = checker.verify_extraction(
+        session, ctx.require_svalues(session)
+    )
+    logger.info(
+        "checker: %s on %d databases",
+        "passed" if ctx.checker_report.passed else "FAILED",
+        ctx.checker_report.databases_checked,
+    )
 
 
 class UnmasqueExtractor:
@@ -142,6 +317,12 @@ class UnmasqueExtractor:
 
     ``db`` is the initial instance ``D_I`` on which the application produces a
     populated result; it is cloned into a silo and never mutated.
+
+    ``checkpoint_dir`` (a path or a ready
+    :class:`~repro.resilience.checkpoint.CheckpointStore`) enables
+    checkpoint/resume for the standard pipeline: progress is saved after
+    every module, an existing checkpoint is resumed from, and the file is
+    cleared on success.
     """
 
     def __init__(
@@ -150,9 +331,21 @@ class UnmasqueExtractor:
         executable: Executable,
         config: Optional[ExtractionConfig] = None,
         tracer=None,
+        checkpoint_dir=None,
     ):
         self.config = config or ExtractionConfig()
         self.session = ExtractionSession(db, executable, self.config, tracer=tracer)
+        if checkpoint_dir is None:
+            self.checkpoint: Optional[CheckpointStore] = None
+        elif isinstance(checkpoint_dir, CheckpointStore):
+            self.checkpoint = checkpoint_dir
+        else:
+            self.checkpoint = CheckpointStore(checkpoint_dir)
+        if self.checkpoint is not None and self.config.extract_having:
+            raise ExtractionError(
+                "checkpoint/resume is not supported with the §7 HAVING "
+                "pipeline (its module re-entry defeats per-module snapshots)"
+            )
 
     def extract(self) -> ExtractionOutcome:
         """Run the pipeline under a root ``pipeline`` span covering it all."""
@@ -178,71 +371,100 @@ class UnmasqueExtractor:
                     invocations=outcome.stats.total_invocations,
                     modules=sorted(outcome.stats.modules),
                 )
+                if outcome.degradations:
+                    root.set_tag(
+                        "degraded_modules",
+                        [d.module for d in outcome.degradations],
+                    )
                 if tracer.metrics is not None:
                     tracer.metrics.counter("extractions_total").inc()
             return outcome
 
+    # -- the standard (Figure 3) pipeline ----------------------------------
+
+    def _steps(self) -> list[_Step]:
+        steps = [
+            _Step("setup", True, _step_setup),
+            _Step("from_clause", True, _step_from_clause),
+            _Step("minimizer", True, _step_minimizer),
+            _Step("joins", True, _step_joins),
+            _Step("filters", True, _step_filters),
+        ]
+        if self.config.extract_disjunctions:
+            steps.append(_Step("disjunctions", False, _step_disjunctions))
+        steps += [
+            _Step("projections", True, _step_projections),
+            _Step("group_by", True, _step_group_by),
+            _Step("aggregations", True, _step_aggregations),
+            _Step("order_by", False, _step_order_by),
+            _Step("limit", False, _step_limit),
+        ]
+        if self.config.run_checker:
+            steps.append(_Step("checker", False, _step_checker))
+        return steps
+
     def _extract(self) -> ExtractionOutcome:
         session = self.session
+        store = self.checkpoint
+        completed: set[str] = set()
+        degradations: list[Degradation] = []
+        resumed_modules: list[str] = []
 
-        limit_module.capture_initial_result(session)
-        if session.initial_result.is_effectively_empty:
-            raise ExtractionError(
-                "the application's result on D_I is empty; extraction requires "
-                "a populated initial result (paper §3)"
-            )
+        if store is not None:
+            state = store.load()
+            if state is not None:
+                completed = restore_session(session, state)
+                degradations = [
+                    Degradation(**payload) for payload in state["degradations"]
+                ]
+                resumed_modules = sorted(completed)
+                logger.info(
+                    "resuming from checkpoint %s: skipping %s",
+                    store.path,
+                    resumed_modules,
+                )
 
-        tables = from_clause.extract_tables(session)
-        logger.info("from clause: T_E = %s", tables)
-        minimizer.minimize(session)
-        logger.info(
-            "minimized to D^1 (%d invocations so far)",
-            session.stats.total_invocations,
-        )
-        cliques = joins.extract_joins(session)
-        logger.info("join cliques: %s", [c.predicates() for c in cliques])
-        predicates = filters.extract_filters(session)
-        logger.info("filters: %s", [p.to_sql() for p in predicates])
-        if self.config.extract_disjunctions:
-            from repro.core import disjunctions
+        ctx = _PipelineContext()
+        for step in self._steps():
+            if step.name in completed:
+                continue
+            try:
+                step.fn(session, ctx)
+            except ReproError as error:
+                if step.essential or self.config.fail_fast:
+                    raise
+                degradations.append(
+                    Degradation(
+                        module=step.name,
+                        error=type(error).__name__,
+                        message=str(error),
+                    )
+                )
+                logger.warning(
+                    "module %s degraded (best-effort): %s", step.name, error
+                )
+                if session.tracer.metrics is not None:
+                    session.tracer.metrics.counter("degradations_total").inc()
+            completed.add(step.name)
+            if store is not None:
+                store.save(
+                    snapshot_session(
+                        session,
+                        sorted(completed),
+                        [d.to_dict() for d in degradations],
+                    )
+                )
 
-            disjunctions.refine_disjunctions(session)
-            logger.info(
-                "disjunction refinement: %s",
-                [p.to_sql() for p in session.query.filters],
-            )
-
-        svalues = SValueSource(session)
-        projections.extract_projections(session, svalues)
-        groupby.extract_group_by(session, svalues)
-        logger.info(
-            "group by: %s (ungrouped_aggregation=%s)",
-            session.query.group_by,
-            session.query.ungrouped_aggregation,
-        )
-        aggregates.extract_aggregations(session, svalues)
-        orderby.extract_order_by(session, svalues)
-        limit_module.extract_limit(session, svalues)
-        logger.info(
-            "order by: %s, limit: %s",
-            [o.to_sql() for o in session.query.order_by],
-            session.query.limit,
-        )
-
-        report = None
-        if self.config.run_checker:
-            report = checker.verify_extraction(session, svalues)
-            logger.info(
-                "checker: %s on %d databases",
-                "passed" if report.passed else "FAILED",
-                report.databases_checked,
-            )
+        if store is not None:
+            store.clear()
 
         return ExtractionOutcome(
             query=session.query,
             sql=session.query.sql,
             stats=session.stats,
-            checker_report=report,
+            checker_report=ctx.checker_report,
+            degradations=degradations,
+            resumed_modules=resumed_modules,
         )
 
     def _extract_with_having(self) -> ExtractionOutcome:

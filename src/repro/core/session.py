@@ -21,7 +21,9 @@ from repro.core.model import ExtractedQuery
 from repro.engine.database import Database
 from repro.engine.result import Result
 from repro.engine.types import NumericDomain, date_to_ordinal
+from repro.errors import DatabaseError, ExecutableTimeoutError, ExtractionError
 from repro.obs.trace import NULL_TRACER
+from repro.resilience.retry import RetryPolicy
 from repro.sgraph.schema_graph import ColumnNode, SchemaGraph
 
 
@@ -44,6 +46,10 @@ class ExtractionStats:
     """Aggregated run statistics, keyed by pipeline module name."""
 
     modules: dict[str, ModuleStats] = field(default_factory=dict)
+    #: invocations re-attempted after a retryable failure
+    retries: int = 0
+    #: invocations that ended in a timeout (before any retry succeeded)
+    invocation_timeouts: int = 0
 
     def module(self, name: str) -> ModuleStats:
         return self.modules.setdefault(name, ModuleStats())
@@ -75,6 +81,17 @@ class ExtractionSession:
         self.rng = random.Random(config.seed)
         self.stats = ExtractionStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: applied around every black-box invocation; its jitter RNG is
+        #: seeded independently of :attr:`rng` so retries never shift the
+        #: extraction's probe sequence.
+        self.retry = RetryPolicy(
+            max_attempts=config.retry_max_attempts,
+            base_delay=config.retry_base_delay,
+            max_delay=config.retry_max_delay,
+            jitter=config.retry_jitter,
+            retry_timeouts=config.retry_timeouts,
+            seed=config.seed ^ 0x5EED5EED,
+        )
         self._current_module = "setup"
         #: per-open-module accumulators of nested-module wall-clock, used to
         #: attribute self time only (see :class:`ModuleStats`)
@@ -85,6 +102,17 @@ class ExtractionSession:
         self.schema_graph = SchemaGraph(db.catalog)
         self.key_columns: dict[str, set[str]] = {
             schema.name.lower(): schema.key_columns() for schema in db.catalog
+        }
+
+        #: identifies the (instance, configuration) pair a checkpoint belongs
+        #: to; the executable is deliberately excluded so a crashed chaos run
+        #: can be resumed with a clean executable.
+        self.checkpoint_fingerprint = {
+            "tables": sorted(schema.name.lower() for schema in db.catalog),
+            "total_rows": db.total_rows(),
+            "seed": config.seed,
+            "extract_having": config.extract_having,
+            "extract_disjunctions": config.extract_disjunctions,
         }
 
         # The silo: all extraction work happens on this clone.  It carries
@@ -151,6 +179,15 @@ class ExtractionSession:
         try:
             with self.tracer.span(name, kind="module", tags={"module": name}):
                 yield
+        except DatabaseError as error:
+            # Engine errors the module did not consume as signals are bugs in
+            # the module's dialogue with the engine; surface them with the
+            # module name attached (nested modules wrap at the innermost
+            # boundary only — the re-raise is already an ExtractionError).
+            raise ExtractionError(
+                f"unexpected engine error in module {name!r}: {error}",
+                module=name,
+            ) from error
         finally:
             elapsed = time.perf_counter() - started
             nested = self._module_frames.pop()
@@ -162,8 +199,36 @@ class ExtractionSession:
     # -- black-box invocation ------------------------------------------------
 
     def run(self, timeout: Optional[float] = None) -> Result:
-        """Invoke the application on the silo's current contents."""
-        self.stats.module(self._current_module).invocations += 1
+        """Invoke the application on the silo's current contents.
+
+        The session's :class:`~repro.resilience.retry.RetryPolicy` is applied
+        here — the single funnel every pipeline probe passes through — so a
+        transient invocation failure (and, with ``retry_timeouts``, a
+        spurious hang) is re-attempted with exponential backoff before any
+        module ever sees it.  Fatal errors (engine signals like
+        ``UndefinedTableError``) propagate on the first attempt.
+        """
+        module_stats = self.stats.module(self._current_module)
+        policy = self.retry
+        attempt = 1
+        while True:
+            module_stats.invocations += 1
+            try:
+                return self._invoke(timeout)
+            except Exception as error:
+                timed_out = isinstance(error, ExecutableTimeoutError)
+                if timed_out:
+                    self._record_timeout()
+                if (
+                    policy.max_attempts <= attempt
+                    or not policy.is_retryable(error)
+                ):
+                    raise
+                self._record_retry(attempt, error)
+                policy.sleep(policy.backoff(attempt))
+                attempt += 1
+
+    def _invoke(self, timeout: Optional[float]) -> Result:
         if timeout is not None:
             self.silo.deadline = time.perf_counter() + timeout
             try:
@@ -171,6 +236,25 @@ class ExtractionSession:
             finally:
                 self.silo.deadline = None
         return self.executable.run(self.silo)
+
+    def _record_timeout(self) -> None:
+        self.stats.invocation_timeouts += 1
+        if self.tracer.metrics is not None:
+            self.tracer.metrics.counter("invocation_timeouts_total").inc()
+        if self.tracer.enabled:
+            span = self.tracer.current
+            if span is not None:
+                span.set_tag("timed_out", True)
+
+    def _record_retry(self, attempt: int, error: Exception) -> None:
+        self.stats.retries += 1
+        if self.tracer.metrics is not None:
+            self.tracer.metrics.counter("retries_total").inc()
+        if self.tracer.enabled:
+            span = self.tracer.current
+            if span is not None:
+                span.tags["retries"] = span.tags.get("retries", 0) + 1
+                span.set_tag("last_retried_error", type(error).__name__)
 
     def run_on(self, rows_by_table: dict[str, list[tuple]]) -> Result:
         """Invoke the application on a transient database state.

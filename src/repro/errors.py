@@ -71,8 +71,32 @@ class ExecutableTimeoutError(ReproError):
     """The black-box application exceeded its execution timeout."""
 
 
+class TransientExecutableError(ReproError):
+    """A transient infrastructure failure while invoking the application.
+
+    Connection resets, worker restarts, injected chaos faults — anything
+    where re-running the identical invocation is expected to succeed.  The
+    retry layer treats this class (and, optionally, timeouts) as retryable;
+    every :class:`DatabaseError` stays fatal because the pipeline reads those
+    as *signals* (e.g. :class:`UndefinedTableError` during From-clause
+    identification).
+    """
+
+
+class CheckpointError(ReproError):
+    """A pipeline checkpoint could not be read, or does not match this run."""
+
+
 class ExtractionError(ReproError):
-    """The extraction pipeline could not complete or verify an extraction."""
+    """The extraction pipeline could not complete or verify an extraction.
+
+    ``module`` names the pipeline module that failed, when known (attached by
+    the session when an unexpected engine error escapes a module boundary).
+    """
+
+    def __init__(self, message: str, module: str | None = None):
+        super().__init__(message)
+        self.module = module
 
 
 class UnsupportedQueryError(ExtractionError):

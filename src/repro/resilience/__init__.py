@@ -1,0 +1,45 @@
+"""Fault tolerance for long extractions.
+
+Extraction is active learning against a black box (paper §3): thousands of
+application invocations, any of which can fail transiently, hang, or return
+garbage in a production deployment.  This package makes the pipeline survive
+that reality:
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic chaos layer
+  (:class:`FaultPlan` profiles + :class:`FaultyExecutable` wrapper) used by
+  tests and the ``repro chaos`` CLI command to *prove* survival;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`: exponential backoff
+  with seeded jitter and retryable-vs-fatal classification over the
+  :mod:`repro.errors` hierarchy, applied at the
+  :class:`~repro.core.session.ExtractionSession` invocation boundary;
+* :mod:`repro.resilience.checkpoint` — per-module checkpoint/resume: the
+  pipeline serialises its partial :class:`~repro.core.model.ExtractedQuery`
+  plus session state after every module, so a killed run restarts from the
+  last completed module instead of from zero;
+* :mod:`repro.resilience.serde` — the JSON codec for extraction state
+  (filters, scalar functions, results, D^1 rows, RNG state).
+
+Best-effort degradation (recording a failed non-essential module instead of
+aborting) lives in :mod:`repro.core.pipeline`, gated by
+``ExtractionConfig.fail_fast``.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore, restore_session, snapshot_session
+from repro.resilience.faults import (
+    FAULT_PROFILES,
+    FaultPlan,
+    FaultyExecutable,
+    InjectedCrashError,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CheckpointStore",
+    "FAULT_PROFILES",
+    "FaultPlan",
+    "FaultyExecutable",
+    "InjectedCrashError",
+    "RetryPolicy",
+    "restore_session",
+    "snapshot_session",
+]

@@ -1,0 +1,147 @@
+"""Per-module checkpoint/resume for the extraction pipeline.
+
+After each pipeline module completes, the orchestrator serialises the
+session's partial state — the :class:`~repro.core.model.ExtractedQuery` built
+so far, the completed-module set, the minimal database ``D^1``, captured
+results, per-module statistics, and the RNG state — into
+``<checkpoint-dir>/checkpoint.json``.  A later run pointed at the same
+directory (and the same initial instance + configuration) restores that state
+and re-executes only the unfinished modules.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-save leaves
+the previous checkpoint intact.  A fingerprint of the initial instance and
+the extraction configuration is embedded and verified on load: resuming
+against a different database or config raises
+:class:`~repro.errors.CheckpointError` instead of silently mixing state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+# NOTE: this module must not import repro.core.session — the session imports
+# repro.resilience.retry, and an eager import here would close the cycle.
+# Sessions are duck-typed below.
+from repro.errors import CheckpointError
+from repro.resilience import serde
+
+#: bumped whenever the snapshot layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointStore:
+    """Owns one ``checkpoint.json`` inside a checkpoint directory."""
+
+    FILENAME = "checkpoint.json"
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.FILENAME
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> Optional[dict]:
+        """The stored snapshot, or None when no checkpoint exists."""
+        if not self.path.exists():
+            return None
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {error}"
+            ) from error
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has version {state.get('version')!r}; "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        return state
+
+    def save(self, state: dict) -> None:
+        """Atomically replace the checkpoint with ``state``."""
+        tmp = self.path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        """Remove the checkpoint (called after a successful extraction)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# -- session snapshot / restore -------------------------------------------------
+
+
+def snapshot_session(
+    session,
+    completed: list[str],
+    degradations: list[dict],
+) -> dict:
+    """Everything a resumed run needs, as one JSON-serialisable dict."""
+    stats = {
+        name: {"seconds": module.seconds, "invocations": module.invocations}
+        for name, module in session.stats.modules.items()
+    }
+    return {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": session.checkpoint_fingerprint,
+        "completed": sorted(completed),
+        "degradations": list(degradations),
+        "query": serde.encode_query(session.query),
+        "d1": serde.encode_rows_by_table(session.d1),
+        "initial_result": serde.encode_result(session.initial_result),
+        "baseline_result": serde.encode_result(session.baseline_result),
+        "probe_multiplier": session.probe_multiplier,
+        "multiplier_table": session.multiplier_table,
+        "rng_state": serde.encode_rng_state(session.rng.getstate()),
+        "stats": {
+            "modules": stats,
+            "retries": session.stats.retries,
+            "invocation_timeouts": session.stats.invocation_timeouts,
+        },
+    }
+
+
+def restore_session(session, state: dict) -> set[str]:
+    """Install a snapshot into a fresh session; returns the completed set.
+
+    The session must have been constructed from the same initial instance and
+    configuration that produced the checkpoint (verified via fingerprint).
+    """
+    fingerprint = state.get("fingerprint")
+    if fingerprint != session.checkpoint_fingerprint:
+        raise CheckpointError(
+            "checkpoint fingerprint mismatch — it was written for a different "
+            f"database or configuration (checkpoint: {fingerprint}, "
+            f"this run: {session.checkpoint_fingerprint})"
+        )
+    session.query = serde.decode_query(state["query"])
+    session.probe_multiplier = state["probe_multiplier"]
+    session.multiplier_table = state["multiplier_table"]
+    d1 = serde.decode_rows_by_table(state["d1"])
+    if d1:
+        session.set_d1(d1)
+    session.initial_result = serde.decode_result(state["initial_result"])
+    session.baseline_result = serde.decode_result(state["baseline_result"])
+    session.rng.setstate(serde.decode_rng_state(state["rng_state"]))
+    stats = state.get("stats", {})
+    for name, payload in stats.get("modules", {}).items():
+        module = session.stats.module(name)
+        module.seconds = payload["seconds"]
+        module.invocations = payload["invocations"]
+    session.stats.retries = stats.get("retries", 0)
+    session.stats.invocation_timeouts = stats.get("invocation_timeouts", 0)
+    return set(state["completed"])

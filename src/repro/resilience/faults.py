@@ -1,0 +1,178 @@
+"""Deterministic fault injection for black-box invocations.
+
+A :class:`FaultPlan` describes *how often* each fault kind fires; a
+:class:`FaultyExecutable` wraps any :class:`~repro.apps.executable.Executable`
+and rolls one seeded RNG draw per invocation, so a given ``(plan, seed)``
+pair injects the exact same fault sequence on every run — chaos tests are
+reproducible and CI can pin a seed.
+
+Fault kinds:
+
+* ``transient`` — raises :class:`~repro.errors.TransientExecutableError`
+  *before* the inner application runs (a connection reset / worker crash);
+* ``timeout``   — raises :class:`~repro.errors.ExecutableTimeoutError`
+  before the inner application runs (a hang cut short by the caller);
+* ``empty``     — runs the application but discards all result rows (a
+  byzantine half-failure; retries cannot detect this, the checker can);
+* ``latency``   — sleeps briefly before a normal run (a latency spike).
+
+``crash_at`` injects one hard, *non-retryable* crash
+(:class:`InjectedCrashError`, deliberately outside the ``ReproError``
+hierarchy) at an exact invocation number — the test harness's stand-in for
+``kill -9``, used to exercise checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.executable import Executable
+from repro.engine.database import Database
+from repro.engine.result import Result
+from repro.errors import ExecutableTimeoutError, TransientExecutableError
+
+
+class InjectedCrashError(Exception):
+    """A simulated hard crash (process kill) — intentionally not a ReproError,
+    so no layer of the pipeline retries or degrades it."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded chaos profile.
+
+    Rates are per-invocation probabilities; their sum must not exceed 1.
+    ``activate_after`` suppresses probabilistic faults for the first N
+    invocations (useful to target a specific pipeline phase);
+    ``crash_at`` fires exactly once, at that invocation number.
+    """
+
+    name: str = "custom"
+    transient_rate: float = 0.0
+    timeout_rate: float = 0.0
+    empty_result_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.001
+    seed: int = 1337
+    activate_after: int = 0
+    crash_at: Optional[int] = None
+
+    def __post_init__(self):
+        total = (
+            self.transient_rate
+            + self.timeout_rate
+            + self.empty_result_rate
+            + self.latency_rate
+        )
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(f"fault rates of plan {self.name!r} sum to {total}")
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return dataclasses.replace(self, seed=seed)
+
+    def draw(self, rng: random.Random) -> Optional[str]:
+        """One fault decision; exactly one RNG draw regardless of outcome."""
+        u = rng.random()
+        for kind, rate in (
+            ("transient", self.transient_rate),
+            ("timeout", self.timeout_rate),
+            ("empty", self.empty_result_rate),
+            ("latency", self.latency_rate),
+        ):
+            if u < rate:
+                return kind
+            u -= rate
+        return None
+
+    @property
+    def injects_timeouts(self) -> bool:
+        return self.timeout_rate > 0.0
+
+
+#: Named profiles for the ``repro chaos`` command and the chaos test suite.
+FAULT_PROFILES: dict[str, FaultPlan] = {
+    # No faults at all — a control run through the chaos harness.
+    "calm": FaultPlan(name="calm"),
+    # The acceptance profile: >=10% transient invocation failures.
+    "transient": FaultPlan(name="transient", transient_rate=0.10),
+    # Transient failures plus latency spikes.
+    "flaky": FaultPlan(
+        name="flaky", transient_rate=0.10, latency_rate=0.05, latency_seconds=0.001
+    ),
+    # Spurious hangs; survivable with ``retry_timeouts`` enabled.
+    "timeouts": FaultPlan(name="timeouts", timeout_rate=0.10),
+    # Heavy weather: everything at once.
+    "storm": FaultPlan(
+        name="storm",
+        transient_rate=0.20,
+        timeout_rate=0.05,
+        latency_rate=0.05,
+        latency_seconds=0.001,
+    ),
+    # Wrong-but-well-formed answers.  Retries cannot catch silently empty
+    # results — extraction may diverge; the checker is the backstop.
+    "byzantine": FaultPlan(name="byzantine", transient_rate=0.05, empty_result_rate=0.02),
+}
+
+
+class FaultyExecutable(Executable):
+    """Wraps an executable and injects faults per a :class:`FaultPlan`.
+
+    The wrapper is *outside* the inner executable's own tracing: an injected
+    transient/timeout fault aborts the invocation before the application
+    (and its ``invocation`` span) ever starts, exactly like an
+    infrastructure failure in front of a real deployment.
+    """
+
+    def __init__(self, inner: Executable, plan: FaultPlan):
+        super().__init__()
+        self.inner = inner
+        self.plan = plan
+        self.name = f"chaos({inner.name})"
+        self._rng = random.Random(plan.seed)
+        #: injected fault counts by kind, for survival reports
+        self.injected: dict[str, int] = {
+            "transient": 0,
+            "timeout": 0,
+            "empty": 0,
+            "latency": 0,
+        }
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def run(self, db: Database, timeout: Optional[float] = None) -> Result:
+        self.invocation_count += 1
+        if self.plan.crash_at is not None and self.invocation_count == self.plan.crash_at:
+            raise InjectedCrashError(
+                f"injected crash at invocation {self.invocation_count}"
+            )
+        kind = None
+        if self.invocation_count > self.plan.activate_after:
+            kind = self.plan.draw(self._rng)
+        if kind == "transient":
+            self.injected["transient"] += 1
+            raise TransientExecutableError(
+                f"injected transient fault (invocation {self.invocation_count})"
+            )
+        if kind == "timeout":
+            self.injected["timeout"] += 1
+            raise ExecutableTimeoutError(
+                f"injected timeout (invocation {self.invocation_count})"
+            )
+        if kind == "latency":
+            self.injected["latency"] += 1
+            time.sleep(self.plan.latency_seconds)
+        result = self.inner.run(db, timeout=timeout)
+        if kind == "empty":
+            self.injected["empty"] += 1
+            return Result(result.columns, [])
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultyExecutable plan={self.plan.name} seed={self.plan.seed}>"

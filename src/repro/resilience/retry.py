@@ -1,0 +1,111 @@
+"""Retry with exponential backoff and seeded jitter.
+
+A :class:`RetryPolicy` answers two questions for the invocation boundary:
+
+* **is this error worth retrying?** — classification over the
+  :mod:`repro.errors` hierarchy.  :class:`~repro.errors.TransientExecutableError`
+  always is; :class:`~repro.errors.ExecutableTimeoutError` only when
+  ``retry_timeouts`` is set (during From-clause identification a timeout is a
+  *signal* — "table not referenced" — so retrying merely re-confirms it, at
+  ``max_attempts``× probe cost); every :class:`~repro.errors.DatabaseError`
+  is fatal because the pipeline interprets engine errors semantically
+  (``UndefinedTableError`` drives table identification), and everything
+  outside ``ReproError`` is a genuine bug that must propagate.
+
+* **how long to wait?** — exponential backoff ``base · multiplier^(attempt-1)``
+  capped at ``max_delay``, with ±``jitter`` fractional noise drawn from the
+  policy's own seeded RNG (never the session RNG: retries must not perturb
+  the extraction's probe sequence, or a faulted run would diverge from the
+  fault-free one even after successful recovery).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import (
+    DatabaseError,
+    ExecutableTimeoutError,
+    ReproError,
+    TransientExecutableError,
+)
+
+RETRYABLE = "retryable"
+FATAL = "fatal"
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff schedule + error classification for one session."""
+
+    #: total attempts per invocation (1 disables retrying entirely)
+    max_attempts: int = 3
+    #: first backoff delay, seconds (0 disables sleeping)
+    base_delay: float = 0.01
+    #: geometric growth factor between attempts
+    multiplier: float = 2.0
+    #: ceiling on any single delay, seconds
+    max_delay: float = 1.0
+    #: ± fraction of the delay randomised away (0 disables jitter)
+    jitter: float = 0.5
+    #: treat invocation timeouts as retryable (see module docstring)
+    retry_timeouts: bool = False
+    #: seed for the jitter RNG (independent of the extraction RNG)
+    seed: int = 0
+    #: injectable sleeper, for tests and zero-wait chaos runs
+    sleeper: Callable[[float], None] = time.sleep
+    rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.rng = random.Random(self.seed)
+
+    # -- classification ------------------------------------------------------
+
+    def classify(self, error: BaseException) -> str:
+        if isinstance(error, TransientExecutableError):
+            return RETRYABLE
+        if isinstance(error, ExecutableTimeoutError):
+            return RETRYABLE if self.retry_timeouts else FATAL
+        if isinstance(error, (DatabaseError, ReproError)):
+            return FATAL  # engine errors are signals; pipeline errors final
+        return FATAL
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return self.classify(error) == RETRYABLE
+
+    # -- schedule ------------------------------------------------------------
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before attempt ``attempt + 1`` (first attempt is 1)."""
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if delay <= 0.0:
+            return 0.0
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def sleep(self, delay: float) -> None:
+        if delay > 0.0:
+            self.sleeper(delay)
+
+    # -- convenience ---------------------------------------------------------
+
+    def call(self, fn: Callable[[], object], on_retry: Optional[Callable] = None):
+        """Run ``fn`` under this policy; ``on_retry(attempt, error)`` is
+        invoked before each backoff sleep (for metrics hooks)."""
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except Exception as error:
+                if not self.is_retryable(error) or attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                self.sleep(self.backoff(attempt))
+                attempt += 1

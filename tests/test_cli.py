@@ -100,6 +100,73 @@ class TestSqlCommand:
         assert "empty result" in output
 
 
+class TestErrorHandling:
+    def test_repro_error_exits_one_with_single_line(self):
+        code, output = run_cli(
+            ["sql", "--scale", "0.001", "select r_name from nosuch"]
+        )
+        assert code == 1
+        assert output.startswith("error: ")
+        assert "Traceback" not in output
+
+    def test_parse_error_also_reported_cleanly(self):
+        code, output = run_cli(["sql", "--scale", "0.001", "select * from region"])
+        assert code == 1
+        assert output.startswith("error: ")
+
+
+class TestChaosCommand:
+    def test_transient_profile_survives(self):
+        code, output = run_cli(
+            [
+                "chaos",
+                "--workload",
+                "tpch",
+                "--query",
+                "Q4",
+                "--scale",
+                "0.001",
+                "--profile",
+                "transient",
+                "--no-checker",
+            ]
+        )
+        assert code == 0
+        assert "profile        : transient" in output
+        assert "sql matches fault-free run : yes" in output
+        assert "survived       : yes" in output
+
+    def test_crash_at_requires_checkpoint_dir(self):
+        code, output = run_cli(
+            ["chaos", "--query", "Q4", "--scale", "0.001", "--crash-at", "10"]
+        )
+        assert code == 2
+        assert "--checkpoint-dir" in output
+
+    def test_crash_and_resume(self, tmp_path):
+        code, output = run_cli(
+            [
+                "chaos",
+                "--query",
+                "Q4",
+                "--scale",
+                "0.001",
+                "--profile",
+                "calm",
+                "--crash-at",
+                "40",
+                "--checkpoint-dir",
+                str(tmp_path),
+                "--no-checker",
+            ]
+        )
+        assert code == 0
+        assert "crashed        : invocation 40 (injected)" in output
+        assert "resumed        : skipped" in output
+        assert "survived       : yes" in output
+        assert not (tmp_path / "checkpoint.json").exists()
+
+
 class TestReportFlag:
     def test_report_prints_clause_breakdown(self):
         code, output = run_cli(

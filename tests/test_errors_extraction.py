@@ -1,0 +1,85 @@
+"""Error-surface tests for the extraction pipeline (ISSUE PR-2 satellites).
+
+Engine errors are *signals* to some modules (the From-clause extractor reads
+``UndefinedTableError`` as "table referenced") but *faults* everywhere else —
+an unexpected :class:`~repro.errors.DatabaseError` escaping a module must
+surface as :class:`~repro.errors.ExtractionError` carrying the module name,
+with the engine error preserved as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import CallableExecutable, SQLExecutable
+from repro.core import ExtractionConfig, from_clause
+from repro.core.session import ExtractionSession
+from repro.errors import (
+    DatabaseError,
+    ExecutionError,
+    ExtractionError,
+    ReproError,
+    UndefinedTableError,
+)
+
+
+def make_session(db, app):
+    return ExtractionSession(db, app, ExtractionConfig())
+
+
+class TestFromClauseErrorDiscrimination:
+    def test_undefined_table_is_a_signal_not_a_failure(self, tiny_tpch_db):
+        """UndefinedTableError from a renamed-away table identifies T_E."""
+        app = SQLExecutable("select r_name from region", obfuscate_text=False)
+        session = make_session(tiny_tpch_db, app)
+        assert from_clause.extract_tables(session) == ["region"]
+
+    def test_other_database_errors_are_failures(self, tiny_tpch_db):
+        """A non-catalog engine error must not be misread as 'not referenced'."""
+
+        def broken(db):
+            raise ExecutionError("page checksum mismatch on heap read")
+
+        session = make_session(tiny_tpch_db, CallableExecutable(broken))
+        with pytest.raises(ExtractionError) as exc:
+            from_clause.extract_tables(session)
+        assert exc.value.module == "from_clause"
+        assert isinstance(exc.value.__cause__, ExecutionError)
+        assert "page checksum mismatch" in str(exc.value)
+
+    def test_error_hierarchy(self):
+        assert issubclass(UndefinedTableError, DatabaseError)
+        assert issubclass(ExecutionError, DatabaseError)
+        assert not issubclass(ExtractionError, DatabaseError)
+        assert issubclass(ExtractionError, ReproError)
+
+
+class TestModuleErrorContext:
+    def test_escaping_engine_error_gains_module_context(self, tiny_tpch_db):
+        app = SQLExecutable("select 1 as x from region", obfuscate_text=False)
+        session = make_session(tiny_tpch_db, app)
+        with pytest.raises(ExtractionError) as exc:
+            with session.module("filters"):
+                raise ExecutionError("boom")
+        assert exc.value.module == "filters"
+        assert isinstance(exc.value.__cause__, ExecutionError)
+        assert "filters" in str(exc.value)
+
+    def test_nested_modules_attribute_to_innermost(self, tiny_tpch_db):
+        app = SQLExecutable("select 1 as x from region", obfuscate_text=False)
+        session = make_session(tiny_tpch_db, app)
+        with pytest.raises(ExtractionError) as exc:
+            with session.module("outer"):
+                with session.module("inner"):
+                    raise ExecutionError("boom")
+        assert exc.value.module == "inner"
+
+    def test_extraction_errors_pass_through_unwrapped(self, tiny_tpch_db):
+        app = SQLExecutable("select 1 as x from region", obfuscate_text=False)
+        session = make_session(tiny_tpch_db, app)
+        original = ExtractionError("already contextualised", module="joins")
+        with pytest.raises(ExtractionError) as exc:
+            with session.module("filters"):
+                raise original
+        assert exc.value is original
+        assert exc.value.module == "joins"
