@@ -129,11 +129,24 @@ def run_with_deadline(executable: Executable, db: Database, timeout: float) -> R
     its invocation span is tagged ``timed_out`` — the completion already
     happened, so without the tag the trace would show a successful run that
     the caller in fact discarded.
+
+    The timeout path rolls the database back to its pre-run state: a run
+    discarded for overrunning (or cut short by the cooperative deadline
+    mid-statement) must not leave partially-applied DML behind, so a retry
+    starts from clean state.
     """
     tracer = getattr(db, "tracer", NULL_TRACER)
+    token = db.snapshot() if hasattr(db, "snapshot") else None
     started = time.perf_counter()
-    result = executable.run(db, timeout=timeout)
+    try:
+        result = executable.run(db, timeout=timeout)
+    except ExecutableTimeoutError:
+        if token is not None:
+            db.restore(token)
+        raise
     if time.perf_counter() - started > timeout:
+        if token is not None:
+            db.restore(token)
         if tracer.metrics is not None:
             tracer.metrics.counter("invocation_timeouts_total").inc()
         if tracer.enabled:

@@ -12,14 +12,20 @@ Commands:
   span tree plus a top-N slowest-queries table;
 * ``chaos``     — run one extraction under a named fault-injection profile
   (deterministic, seeded) and report whether it survived: identical SQL to
-  the fault-free run, retries, timeouts, and degradations.
+  the fault-free run, retries, timeouts, and degradations;
+* ``verify``    — answer "is this hidden query inside the extractable class?"
+  with a structured verdict and per-clause confidence (exit 4 when
+  out-of-class) instead of risking a plausible-but-wrong SQL string.
 
 Extraction commands accept ``--trace-out FILE`` (hierarchical span trace,
 JSONL) and ``--metrics-out FILE`` (counters/histograms snapshot, JSON);
 without these flags no tracer is attached and extraction runs exactly as
-before.  ``--checkpoint-dir DIR`` enables per-module checkpoint/resume;
+before.  ``--checkpoint-dir DIR`` enables per-module checkpoint/resume
+(``--fresh`` discards a stale checkpoint instead of resuming from it);
 ``--best-effort`` downgrades non-essential module failures (order by, limit,
-disjunctions, checker) to recorded degradations instead of aborting.
+disjunctions, checker) to recorded degradations instead of aborting; the
+``--budget-*`` flags arm the resource watchdog (invocations, rows scanned,
+cells materialized, wall-clock seconds).
 
 Any :class:`~repro.errors.ReproError` escaping a command is reported as a
 one-line ``error: ...`` message with exit status 1, never a traceback.
@@ -111,6 +117,17 @@ def _make_parser() -> argparse.ArgumentParser:
                        help="also inject a hard crash at invocation N, then "
                             "auto-resume from the checkpoint")
     _common_extraction_args(chaos)
+
+    verify = sub.add_parser(
+        "verify",
+        help="check whether a hidden query is inside the extractable class "
+             "(EQC) instead of extracting it",
+    )
+    verify.add_argument("--workload", default="tpch", choices=list(_load_workloads()))
+    verify.add_argument("--query", default=None, help="bundled query name, e.g. Q3")
+    verify.add_argument("--sql", default=None, metavar="SQL",
+                        help="ad-hoc SQL text to hide and verify")
+    _common_extraction_args(verify)
     return parser
 
 
@@ -133,9 +150,20 @@ def _common_extraction_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                         help="save per-module progress here and resume from "
                              "an existing checkpoint")
+    parser.add_argument("--fresh", action="store_true",
+                        help="discard any existing checkpoint in "
+                             "--checkpoint-dir and start from scratch")
     parser.add_argument("--best-effort", action="store_true",
                         help="degrade failed non-essential modules (order by, "
                              "limit, disjunctions, checker) instead of aborting")
+    parser.add_argument("--budget-invocations", type=int, default=None, metavar="N",
+                        help="abort/degrade after N application invocations")
+    parser.add_argument("--budget-rows-scanned", type=int, default=None, metavar="N",
+                        help="abort/degrade after N engine rows scanned")
+    parser.add_argument("--budget-cells", type=int, default=None, metavar="N",
+                        help="abort/degrade after N synthetic cells materialized")
+    parser.add_argument("--budget-seconds", type=float, default=None, metavar="S",
+                        help="wall-clock budget for the whole extraction")
 
 
 def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
@@ -179,6 +207,20 @@ def _dispatch(args, out) -> int:
             return 2
         return _run_chaos(args, query.sql, out)
 
+    if args.command == "verify":
+        if (args.query is None) == (args.sql is None):
+            out.write("verify needs exactly one of --query or --sql\n")
+            return 2
+        sql = args.sql
+        if args.query is not None:
+            module = _load_workloads()[args.workload]
+            query = _lookup_query(module, args.query)
+            if query is None:
+                out.write(f"unknown query {args.query!r}; try `repro workloads`\n")
+                return 2
+            sql = query.sql
+        return _run_verify(args, sql, out)
+
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -211,6 +253,25 @@ def _run_trace_report(args, out) -> int:
     return 0
 
 
+def _budget_kwargs(args) -> dict:
+    return {
+        "budget_invocations": args.budget_invocations,
+        "budget_rows_scanned": args.budget_rows_scanned,
+        "budget_cells": args.budget_cells,
+        "budget_seconds": args.budget_seconds,
+    }
+
+
+def _clear_checkpoint_if_fresh(args, out) -> None:
+    if getattr(args, "fresh", False) and args.checkpoint_dir is not None:
+        from repro.resilience.checkpoint import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir)
+        if store.exists():
+            out.write(f"fresh       : discarded checkpoint {store.path}\n")
+        store.clear()
+
+
 def _run_extraction(args, sql: str, out) -> int:
     db = _build_database(args.workload, args.scale, args.seed)
     app = SQLExecutable(sql, obfuscate_text=True, name="cli-app")
@@ -220,11 +281,13 @@ def _run_extraction(args, sql: str, out) -> int:
             "increase --scale or change --seed\n"
         )
         return 3
+    _clear_checkpoint_if_fresh(args, out)
     config = ExtractionConfig(
         extract_having=args.having,
         extract_disjunctions=args.disjunctions,
         run_checker=not args.no_checker,
         fail_fast=not args.best_effort,
+        **_budget_kwargs(args),
     )
     tracer = None
     metrics = None
@@ -273,6 +336,58 @@ def _run_extraction(args, sql: str, out) -> int:
             f"checker     : {verdict} "
             f"({outcome.checker_report.databases_checked} databases)\n"
         )
+    if outcome.budget is not None:
+        out.write(
+            f"budget      : {outcome.budget['invocations']} invocations, "
+            f"{outcome.budget['rows_scanned']} rows scanned, "
+            f"{outcome.budget['cells_materialized']} cells, "
+            f"{outcome.budget['wall_seconds']:.3f}s\n"
+        )
+    if outcome.verdict != "ok":
+        out.write(f"verdict     : {outcome.verdict}\n")
+    return 4 if outcome.verdict == "out_of_class" else 0
+
+
+def _run_verify(args, sql: str, out) -> int:
+    """Answer "is this hidden query extractable?" without emitting wrong SQL.
+
+    Exit status: 0 = in_class (extraction succeeded and cross-validated),
+    4 = out_of_class, 1 = the run itself failed, 3 = empty initial result.
+    """
+    db = _build_database(args.workload, args.scale, args.seed)
+    app = SQLExecutable(sql, obfuscate_text=True, name="verify-app")
+    if app.run(db).is_effectively_empty:
+        out.write(
+            "the hidden query has an empty result on this instance; "
+            "increase --scale or change --seed\n"
+        )
+        return 3
+    _clear_checkpoint_if_fresh(args, out)
+    config = ExtractionConfig(
+        extract_having=args.having,
+        extract_disjunctions=args.disjunctions,
+        run_checker=not args.no_checker,
+        fail_fast=not args.best_effort,
+        eqc_guard=True,
+        out_of_class_action="verdict",
+        # keep the checker's report flowing into the post-flight guard
+        # instead of aborting the run on the first mismatch
+        checker_strict=False,
+        **_budget_kwargs(args),
+    )
+    outcome = UnmasqueExtractor(
+        db, app, config, checkpoint_dir=args.checkpoint_dir
+    ).extract()
+    out.write(f"verdict     : {outcome.verdict}\n")
+    if outcome.eqc is not None:
+        out.write(outcome.eqc.describe() + "\n")
+    out.write(f"invocations : {outcome.stats.total_invocations}\n")
+    if outcome.verdict == "out_of_class":
+        out.write("no SQL emitted: the hidden query is outside EQC\n")
+        return 4
+    if args.report:
+        out.write("\n" + outcome.describe() + "\n")
+    out.write(f"{outcome.sql}\n")
     return 0
 
 
@@ -307,10 +422,12 @@ def _run_chaos(args, sql: str, out) -> int:
             "increase --scale or change --seed\n"
         )
         return 3
+    _clear_checkpoint_if_fresh(args, out)
     config = ExtractionConfig(
         extract_having=args.having,
         extract_disjunctions=args.disjunctions,
         run_checker=not args.no_checker,
+        **_budget_kwargs(args),
     )
     baseline = UnmasqueExtractor(db, baseline_app, config).extract()
 

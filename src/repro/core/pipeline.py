@@ -34,6 +34,7 @@ from repro.apps.executable import Executable
 from repro.core import (
     aggregates,
     checker,
+    eqc_guard,
     filters,
     from_clause,
     groupby,
@@ -48,7 +49,12 @@ from repro.core.model import ExtractedQuery
 from repro.core.session import ExtractionSession, ExtractionStats
 from repro.core.svalues import SValueSource
 from repro.engine.database import Database
-from repro.errors import ExtractionError, ReproError
+from repro.errors import (
+    BudgetExhausted,
+    ExtractionError,
+    ReproError,
+    UnsupportedQueryError,
+)
 from repro.resilience.checkpoint import (
     CheckpointStore,
     restore_session,
@@ -83,6 +89,13 @@ class ExtractionOutcome:
     degradations: list[Degradation] = field(default_factory=list)
     #: modules restored from a checkpoint instead of re-executed
     resumed_modules: list[str] = field(default_factory=list)
+    #: "ok", "out_of_class" (EQC guard refused to emit SQL), or
+    #: "budget_exhausted" (best-effort run stopped by the watchdog)
+    verdict: str = "ok"
+    #: out-of-class evidence, when the EQC guard ran
+    eqc: Optional[eqc_guard.EqcReport] = None
+    #: resource usage vs. limits, when a budget was configured
+    budget: Optional[dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.sql
@@ -95,6 +108,9 @@ class ExtractionOutcome:
         """JSON-serialisable summary (for tooling and result archival)."""
         query = self.query
         return {
+            "verdict": self.verdict,
+            "eqc": None if self.eqc is None else self.eqc.to_dict(),
+            "budget": self.budget,
             "sql": self.sql,
             "tables": list(query.tables),
             "joins": [p for c in query.join_cliques for p in c.predicates()],
@@ -133,6 +149,8 @@ class ExtractionOutcome:
         """A clause-by-clause human-readable extraction report."""
         query = self.query
         lines = ["extraction report", "=================="]
+        if self.verdict != "ok":
+            lines.append(f"verdict           : {self.verdict}")
         lines.append(f"tables (T_E)      : {', '.join(query.tables)}")
         join_predicates = [p for c in query.join_cliques for p in c.predicates()]
         lines.append(
@@ -182,6 +200,22 @@ class ExtractionOutcome:
                 f"checker           : {verdict} on "
                 f"{self.checker_report.databases_checked} databases"
             )
+        if self.budget is not None:
+            lines.append(
+                "budget            : "
+                f"{self.budget['invocations']} invocations, "
+                f"{self.budget['rows_scanned']} rows scanned, "
+                f"{self.budget['cells_materialized']} cells, "
+                f"{self.budget['wall_seconds']:.3f}s"
+                + (
+                    f" — EXHAUSTED ({self.budget['exhausted']})"
+                    if self.budget.get("exhausted")
+                    else ""
+                )
+            )
+        if self.eqc is not None and (self.eqc.signals or self.verdict != "ok"):
+            lines.append("")
+            lines.append(self.eqc.describe())
         if self.degradations:
             lines.append("")
             lines.append("diagnostics (best-effort degradations)")
@@ -201,11 +235,12 @@ class ExtractionOutcome:
 class _PipelineContext:
     """Cross-step scratch state for one standard-pipeline run."""
 
-    __slots__ = ("svalues", "checker_report")
+    __slots__ = ("svalues", "checker_report", "eqc_signals")
 
     def __init__(self):
         self.svalues: Optional[SValueSource] = None
         self.checker_report: Optional[checker.CheckReport] = None
+        self.eqc_signals: list[eqc_guard.EqcSignal] = []
 
     def require_svalues(self, session: ExtractionSession) -> SValueSource:
         # Constructed lazily after the filter set is final (its caches assume
@@ -229,6 +264,34 @@ def _step_setup(session: ExtractionSession, ctx: _PipelineContext) -> None:
         raise ExtractionError(
             "the application's result on D_I is empty; extraction requires "
             "a populated initial result (paper §3)"
+        )
+
+
+def _step_eqc_preflight(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    with session.module("eqc_preflight"):
+        signals = eqc_guard.preflight(session)
+    ctx.eqc_signals.extend(signals)
+    for signal in signals:
+        logger.warning("EQC preflight signal: %s", signal.detail)
+    if any(s.severity >= eqc_guard.OUT_OF_CLASS_THRESHOLD for s in signals):
+        raise UnsupportedQueryError(
+            "preflight sentinels flagged the hidden query as out-of-class: "
+            + "; ".join(s.detail for s in signals),
+            module="eqc_preflight",
+        )
+
+
+def _step_eqc_postflight(session: ExtractionSession, ctx: _PipelineContext) -> None:
+    with session.module("eqc_postflight"):
+        signals = eqc_guard.postflight(session, ctx.checker_report)
+    ctx.eqc_signals.extend(signals)
+    for signal in signals:
+        logger.warning("EQC postflight signal: %s", signal.detail)
+    if any(s.severity >= eqc_guard.OUT_OF_CLASS_THRESHOLD for s in signals):
+        raise UnsupportedQueryError(
+            "postflight cross-validation flagged the extraction as "
+            "out-of-class: " + "; ".join(s.detail for s in signals),
+            module="eqc_postflight",
         )
 
 
@@ -359,17 +422,35 @@ class UnmasqueExtractor:
                 "db_rows": session.silo.total_rows(),
                 "having_pipeline": self.config.extract_having,
             }
+        session.budget.start()
         with tracer.span("extraction", kind="pipeline", tags=tags) as root:
-            outcome = (
-                self._extract_with_having()
-                if self.config.extract_having
-                else self._extract()
-            )
+            try:
+                outcome = (
+                    self._extract_with_having()
+                    if self.config.extract_having
+                    else self._extract()
+                )
+            finally:
+                # Terminal guarantee: whatever happened — success, verdict,
+                # budget stop, or a crash unwinding through here — the silo
+                # leaves this method byte-identical to D_I.
+                session.restore_silo_to_di()
+                if tracer.enabled and session.budget.enabled:
+                    root.set_tags(
+                        **{
+                            f"budget_{key}": value
+                            for key, value in session.budget.snapshot().items()
+                            if key != "limits"
+                        }
+                    )
+            if session.budget.enabled and outcome.budget is None:
+                outcome.budget = session.budget.snapshot()
             if tracer.enabled:
                 root.set_tags(
                     tables=list(outcome.query.tables),
                     invocations=outcome.stats.total_invocations,
                     modules=sorted(outcome.stats.modules),
+                    verdict=outcome.verdict,
                 )
                 if outcome.degradations:
                     root.set_tag(
@@ -383,8 +464,10 @@ class UnmasqueExtractor:
     # -- the standard (Figure 3) pipeline ----------------------------------
 
     def _steps(self) -> list[_Step]:
-        steps = [
-            _Step("setup", True, _step_setup),
+        steps = [_Step("setup", True, _step_setup)]
+        if self.config.eqc_guard:
+            steps.append(_Step("eqc_preflight", False, _step_eqc_preflight))
+        steps += [
             _Step("from_clause", True, _step_from_clause),
             _Step("minimizer", True, _step_minimizer),
             _Step("joins", True, _step_joins),
@@ -401,6 +484,8 @@ class UnmasqueExtractor:
         ]
         if self.config.run_checker:
             steps.append(_Step("checker", False, _step_checker))
+        if self.config.eqc_guard:
+            steps.append(_Step("eqc_postflight", False, _step_eqc_postflight))
         return steps
 
     def _extract(self) -> ExtractionOutcome:
@@ -425,39 +510,94 @@ class UnmasqueExtractor:
                 )
 
         ctx = _PipelineContext()
-        for step in self._steps():
-            if step.name in completed:
-                continue
-            try:
-                step.fn(session, ctx)
-            except ReproError as error:
-                if step.essential or self.config.fail_fast:
-                    raise
-                degradations.append(
-                    Degradation(
+        verdict = "ok"
+        try:
+            for step in self._steps():
+                if step.name in completed:
+                    continue
+                # Re-materialize the resident probe state (D^1) from the
+                # recorded rows: every step starts from D_I + D^1, and every
+                # step exit below restores plain D_I — the sandbox invariant.
+                session.materialize_resident()
+                try:
+                    step.fn(session, ctx)
+                except BudgetExhausted as error:
+                    session.restore_silo_to_di()
+                    if self.config.fail_fast:
+                        raise
+                    # No budget left for *any* further step, essential or
+                    # not: record the degradation and stop the pipeline with
+                    # whatever has been extracted so far.
+                    degradations.append(
+                        Degradation(
+                            module=step.name,
+                            error=type(error).__name__,
+                            message=str(error),
+                        )
+                    )
+                    verdict = "budget_exhausted"
+                    logger.warning(
+                        "pipeline stopped by resource budget in %s: %s",
+                        step.name,
+                        error,
+                    )
+                    if session.tracer.metrics is not None:
+                        session.tracer.metrics.counter("degradations_total").inc()
+                    break
+                except ReproError as error:
+                    session.restore_silo_to_di()
+                    if (
+                        step.essential
+                        or self.config.fail_fast
+                        or isinstance(error, UnsupportedQueryError)
+                    ):
+                        raise
+                    degradations.append(
+                        Degradation(
+                            module=step.name,
+                            error=type(error).__name__,
+                            message=str(error),
+                        )
+                    )
+                    logger.warning(
+                        "module %s degraded (best-effort): %s", step.name, error
+                    )
+                    if session.tracer.metrics is not None:
+                        session.tracer.metrics.counter("degradations_total").inc()
+                else:
+                    session.restore_silo_to_di()
+                if self.config.sandbox_verify and not session.silo_matches_di():
+                    raise ExtractionError(
+                        f"sandbox invariant violated after step {step.name!r}: "
+                        "silo does not match D_I",
                         module=step.name,
-                        error=type(error).__name__,
-                        message=str(error),
                     )
-                )
-                logger.warning(
-                    "module %s degraded (best-effort): %s", step.name, error
-                )
-                if session.tracer.metrics is not None:
-                    session.tracer.metrics.counter("degradations_total").inc()
-            completed.add(step.name)
-            if store is not None:
-                store.save(
-                    snapshot_session(
-                        session,
-                        sorted(completed),
-                        [d.to_dict() for d in degradations],
+                completed.add(step.name)
+                if store is not None:
+                    # Saved while the silo provably equals D_I, so a resumed
+                    # run can verify the instance via the content fingerprint.
+                    store.save(
+                        snapshot_session(
+                            session,
+                            sorted(completed),
+                            [d.to_dict() for d in degradations],
+                        )
                     )
-                )
+        except ExtractionError as error:
+            # Covers the guard's UnsupportedQueryError, the checker's
+            # CheckFailedError, and any probe-inconsistency ExtractionError:
+            # inside EQC the pipeline's dialogue is contradiction-free, so a
+            # contradiction is out-of-class evidence, not just a failure.
+            if self.config.out_of_class_action != "verdict":
+                raise
+            return self._out_of_class_outcome(error, ctx, degradations, resumed_modules)
 
         if store is not None:
             store.clear()
 
+        report = (
+            eqc_guard.build_report(ctx.eqc_signals) if self.config.eqc_guard else None
+        )
         return ExtractionOutcome(
             query=session.query,
             sql=session.query.sql,
@@ -465,6 +605,45 @@ class UnmasqueExtractor:
             checker_report=ctx.checker_report,
             degradations=degradations,
             resumed_modules=resumed_modules,
+            verdict=verdict,
+            eqc=report,
+            budget=session.budget.snapshot() if session.budget.enabled else None,
+        )
+
+    def _out_of_class_outcome(
+        self,
+        error: ReproError,
+        ctx: _PipelineContext,
+        degradations: list[Degradation],
+        resumed_modules: list[str],
+    ) -> ExtractionOutcome:
+        """Refuse to emit SQL: package the evidence as a structured verdict."""
+        session = self.session
+        extra = None
+        if not any(
+            s.severity >= eqc_guard.OUT_OF_CLASS_THRESHOLD for s in ctx.eqc_signals
+        ):
+            extra = eqc_guard.EqcSignal(
+                probe=type(error).__name__,
+                severity=1.0,
+                clauses=eqc_guard.CLAUSES,
+                detail=str(error),
+            )
+        report = eqc_guard.build_report(ctx.eqc_signals, extra=extra)
+        report.verdict = "out_of_class"
+        logger.warning("extraction verdict: out_of_class (%s)", error)
+        if session.tracer.metrics is not None:
+            session.tracer.metrics.counter("out_of_class_total").inc()
+        return ExtractionOutcome(
+            query=session.query,
+            sql="",
+            stats=session.stats,
+            checker_report=ctx.checker_report,
+            degradations=degradations,
+            resumed_modules=resumed_modules,
+            verdict="out_of_class",
+            eqc=report,
+            budget=session.budget.snapshot() if session.budget.enabled else None,
         )
 
     def _extract_with_having(self) -> ExtractionOutcome:

@@ -23,6 +23,7 @@ from repro.engine.result import Result
 from repro.engine.types import NumericDomain, date_to_ordinal
 from repro.errors import DatabaseError, ExecutableTimeoutError, ExtractionError
 from repro.obs.trace import NULL_TRACER
+from repro.resilience.budgets import BudgetSpec, ResourceBudget
 from repro.resilience.retry import RetryPolicy
 from repro.sgraph.schema_graph import ColumnNode, SchemaGraph
 
@@ -122,6 +123,30 @@ class ExtractionSession:
         self.silo.tracer = self.tracer
         self.silo.drop_constraints()
 
+        #: resource watchdog (invocations / rows scanned / cells / wall-clock);
+        #: attached to the silo only when limits are set, keeping the
+        #: unbudgeted engine fast path untouched.
+        self.budget = ResourceBudget(
+            BudgetSpec(
+                max_invocations=config.budget_invocations,
+                max_module_invocations=config.budget_module_invocations,
+                max_rows_scanned=config.budget_rows_scanned,
+                max_cells=config.budget_cells,
+                max_seconds=config.budget_seconds,
+            ),
+            metrics=self.tracer.metrics,
+        )
+        if self.budget.enabled:
+            self.silo.budget = self.budget
+
+        #: the sandbox reference state: D_I as prepared for extraction
+        #: (constraints dropped).  Every module boundary — success, failure,
+        #: or crash-unwind — restores the silo to this token, making the
+        #: paper's §3.2 "D_I is restored" assumption a checked invariant.
+        self.di_snapshot = self.silo.snapshot()
+        self.di_fingerprint = self.di_snapshot.fingerprint()
+        self.checkpoint_fingerprint["di_fingerprint"] = self.di_fingerprint
+
         # Per-column value samples from the ORIGINAL instance, captured before
         # minimization shreds the silo.  The checker seeds its randomized
         # verification databases with these, so value regions the extraction
@@ -174,6 +199,7 @@ class ExtractionSession:
         """
         previous = self._current_module
         self._current_module = name
+        self.budget.set_module(name)
         self._module_frames.append(0.0)
         started = time.perf_counter()
         try:
@@ -195,6 +221,7 @@ class ExtractionSession:
             if self._module_frames:
                 self._module_frames[-1] += elapsed
             self._current_module = previous
+            self.budget.set_module(previous)
 
     # -- black-box invocation ------------------------------------------------
 
@@ -207,12 +234,19 @@ class ExtractionSession:
         spurious hang) is re-attempted with exponential backoff before any
         module ever sees it.  Fatal errors (engine signals like
         ``UndefinedTableError``) propagate on the first attempt.
+
+        Each attempt runs inside a silo sandbox: whatever DML the black box
+        issues — including partial writes cut off by a timeout — is rolled
+        back before the next attempt or before control returns, so probes
+        always observe exactly the state the module set up.
         """
         module_stats = self.stats.module(self._current_module)
         policy = self.retry
         attempt = 1
         while True:
             module_stats.invocations += 1
+            self.budget.charge_invocation()
+            token = self.silo.snapshot()
             try:
                 return self._invoke(timeout)
             except Exception as error:
@@ -227,6 +261,8 @@ class ExtractionSession:
                 self._record_retry(attempt, error)
                 policy.sleep(policy.backoff(attempt))
                 attempt += 1
+            finally:
+                self.silo.restore(token)
 
     def _invoke(self, timeout: Optional[float]) -> Result:
         if timeout is not None:
@@ -260,17 +296,22 @@ class ExtractionSession:
         """Invoke the application on a transient database state.
 
         ``rows_by_table`` replaces the named tables' contents for the duration
-        of the run; everything is restored afterwards, so the silo's resident
-        state (usually ``D^1``) is preserved.
+        of the run; the sandbox restores everything afterwards, so the silo's
+        resident state (usually ``D^1``) is preserved.
         """
-        saved = {name: self.silo.rows(name) for name in rows_by_table}
-        try:
+        with self.silo.sandbox():
             for name, rows in rows_by_table.items():
-                self.silo.replace_rows(name, self._with_multiplier(name, rows))
-            return self.run()
-        finally:
-            for name, rows in saved.items():
+                rows = self._with_multiplier(name, rows)
+                self._charge_cells(name, rows)
                 self.silo.replace_rows(name, rows)
+            return self.run()
+
+    def _charge_cells(self, table: str, rows: list[tuple]) -> None:
+        """Charge materialized synthetic cells (rows × columns) to the budget."""
+        if self.budget.enabled and rows:
+            self.budget.charge_cells(
+                len(rows) * len(self.silo.schema(table).columns)
+            )
 
     def _with_multiplier(self, table: str, rows: list[tuple]) -> list[tuple]:
         if self.probe_multiplier > 1 and table.lower() == self.multiplier_table:
@@ -293,7 +334,9 @@ class ExtractionSession:
         """Install the single-row minimal database into the silo."""
         self.d1 = {name.lower(): row for name, row in rows_by_table.items()}
         for name, row in self.d1.items():
-            self.silo.replace_rows(name, self._with_multiplier(name, [row]))
+            rows = self._with_multiplier(name, [row])
+            self._charge_cells(name, rows)
+            self.silo.replace_rows(name, rows)
 
     def d1_value(self, column: ColumnNode):
         schema = self.silo.schema(column.table)
@@ -306,7 +349,35 @@ class ExtractionSession:
         for column, value in mutations.items():
             row[schema.column_index(column)] = value
         self.d1[table.lower()] = tuple(row)
-        self.silo.replace_rows(table, self._with_multiplier(table, [tuple(row)]))
+        rows = self._with_multiplier(table, [tuple(row)])
+        self._charge_cells(table, rows)
+        self.silo.replace_rows(table, rows)
+
+    # -- sandbox invariant ---------------------------------------------------
+
+    def restore_silo_to_di(self) -> None:
+        """Restore the silo to D_I (undoes DML *and* DDL since session start).
+
+        The pipeline calls this at every step boundary and in its terminal
+        ``finally``, so the silo is provably back at D_I whether a module
+        succeeded, degraded, or crashed mid-flight.
+        """
+        self.silo.restore(self.di_snapshot)
+
+    def materialize_resident(self) -> None:
+        """Re-install the resident probe state (D^1) after a D_I restore.
+
+        The standard pipeline's persistent silo state is fully determined by
+        ``(D_I, d1, probe_multiplier)``; once minimization has produced D^1,
+        re-materializing it from the recorded rows reproduces exactly what
+        the next module expects.
+        """
+        if self.d1:
+            self.set_d1(dict(self.d1))
+
+    def silo_matches_di(self) -> bool:
+        """True when the live silo is byte-identical to D_I."""
+        return self.silo.fingerprint() == self.di_fingerprint
 
     # -- metadata helpers ---------------------------------------------------
 

@@ -13,8 +13,10 @@ A :class:`Database` bundles a catalog with row storage and exposes:
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
+from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.engine.catalog import Catalog, Column, ForeignKey, TableSchema
@@ -76,6 +78,69 @@ def type_from_def(definition: ColumnDef) -> SQLType:
     raise DatabaseError(f"unsupported column type {name!r}")
 
 
+class DatabaseSnapshot:
+    """An immutable point-in-time capture of a database (the sandbox token).
+
+    Row lists are *shared* with the live tables (copy-on-write, see
+    :meth:`~repro.engine.storage.TableData.share_rows`), so taking a snapshot
+    is O(tables), not O(rows) — cheap enough to wrap every invocation.  The
+    catalog is captured too: :meth:`Database.restore` undoes DDL (created,
+    dropped, and renamed tables) as well as DML.
+
+    Equality compares *content* (schemas and rows), so two independently
+    built databases with identical data produce equal snapshots.
+    """
+
+    __slots__ = ("schemas", "rows")
+
+    def __init__(self, schemas: dict[str, TableSchema], rows: dict[str, list[tuple]]):
+        self.schemas = schemas
+        self.rows = rows
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DatabaseSnapshot):
+            return NotImplemented
+        return self.schemas == other.schemas and self.rows == other.rows
+
+    def __hash__(self):  # snapshots are mutable-adjacent; keep them unhashable
+        raise TypeError("DatabaseSnapshot is not hashable")
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the captured state (hex digest)."""
+        return _content_fingerprint(self.schemas, self.rows)
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.rows.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DatabaseSnapshot {len(self.schemas)} tables, "
+            f"{self.total_rows()} rows>"
+        )
+
+
+def _content_fingerprint(
+    schemas: dict[str, TableSchema], rows: dict[str, list[tuple]]
+) -> str:
+    """sha256 over schema signatures and row contents, in table-name order.
+
+    Row *order* is included: the sandbox guarantee is byte-for-byte
+    restoration, and the engine's scans are order-sensitive.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(schemas):
+        schema = schemas[name]
+        digest.update(name.encode())
+        for column in schema.columns:
+            digest.update(f"|{column.name}:{column.type!r}".encode())
+        digest.update(b"#")
+        for row in rows[name]:
+            digest.update(repr(row).encode())
+            digest.update(b"\n")
+        digest.update(b"@")
+    return digest.hexdigest()
+
+
 #: statement class → the ``statement`` tag value on its query span
 _STATEMENT_KINDS = {
     SelectStatement: "select",
@@ -103,6 +168,10 @@ class Database:
         #: absolute ``time.perf_counter()`` deadline for cooperative timeouts;
         #: the executor and the scan cursor poll it (see :meth:`check_deadline`).
         self.deadline: Optional[float] = None
+        #: optional :class:`repro.resilience.budgets.ResourceBudget`; when
+        #: attached, SELECTs charge rows scanned against it and the deadline
+        #: poll doubles as the wall-clock watchdog tick.
+        self.budget = None
         for schema in schemas:
             self.create_table(schema)
 
@@ -116,6 +185,8 @@ class Database:
         """
         if self.deadline is not None and time.perf_counter() > self.deadline:
             raise ExecutableTimeoutError("database execution deadline exceeded")
+        if self.budget is not None:
+            self.budget.check_wall_clock()
 
     # -- DDL -----------------------------------------------------------------
 
@@ -258,6 +329,8 @@ class Database:
             result = execute_plan(
                 plan, rows_by_binding, tick=self.check_deadline, profile=profile
             )
+            if self.budget is not None:
+                self.budget.charge_rows_scanned(profile["rows_scanned"])
             span.set_tag(
                 "execute_seconds", round(time.perf_counter() - exec_started, 9)
             )
@@ -328,7 +401,14 @@ class Database:
         rows_by_binding = {
             bound.binding: self.table(bound.schema.name).rows for bound in plan.tables
         }
-        return execute_plan(plan, rows_by_binding, tick=self.check_deadline)
+        if self.budget is None:
+            return execute_plan(plan, rows_by_binding, tick=self.check_deadline)
+        profile: dict = {}
+        result = execute_plan(
+            plan, rows_by_binding, tick=self.check_deadline, profile=profile
+        )
+        self.budget.charge_rows_scanned(profile["rows_scanned"])
+        return result
 
     def _execute_insert(self, statement: Insert) -> Result:
         data = self.table(statement.table)
@@ -404,11 +484,51 @@ class Database:
             clone._tables[name] = data.copy() if with_data else TableData(data.schema)
         return clone
 
-    def snapshot(self) -> dict[str, list[tuple]]:
-        """Capture all rows (cheap: tuples are immutable)."""
-        return {name: list(data.rows) for name, data in self._tables.items()}
+    # -- transactional sandbox ----------------------------------------------
 
-    def restore(self, snapshot: dict[str, list[tuple]]) -> None:
-        for name, rows in snapshot.items():
-            if name in self._tables:
-                self._tables[name]._rows = list(rows)
+    def snapshot(self) -> DatabaseSnapshot:
+        """Capture catalog and rows as a restorable token (copy-on-write).
+
+        O(tables): row lists are shared with the live tables and only copied
+        if a later mutation touches them.
+        """
+        return DatabaseSnapshot(
+            schemas={name: data.schema for name, data in self._tables.items()},
+            rows={name: data.share_rows() for name, data in self._tables.items()},
+        )
+
+    def restore(self, token: DatabaseSnapshot) -> None:
+        """Restore the exact state captured by ``token``.
+
+        Undoes DML *and* DDL: tables created after the snapshot are dropped,
+        dropped tables reappear, renames are reversed.  The token stays
+        valid — it can be restored again later.
+        """
+        self.catalog = Catalog(token.schemas.values())
+        tables: dict[str, TableData] = {}
+        for name, schema in token.schemas.items():
+            data = TableData(schema)
+            data.adopt_rows(token.rows[name])
+            tables[name] = data
+        self._tables = tables
+
+    @contextmanager
+    def sandbox(self):
+        """Run a block against this database, then roll everything back.
+
+        ``with db.sandbox():`` guarantees the database is byte-identical to
+        its entry state on exit — on success, on any exception, and on a
+        mid-block crash that unwinds the stack.
+        """
+        token = self.snapshot()
+        try:
+            yield token
+        finally:
+            self.restore(token)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the live state (schemas + rows)."""
+        return _content_fingerprint(
+            {name: data.schema for name, data in self._tables.items()},
+            {name: data.rows for name, data in self._tables.items()},
+        )

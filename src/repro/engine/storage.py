@@ -4,6 +4,12 @@ A table is a list of value tuples in schema column order.  The store favours
 simplicity and predictable semantics over raw speed — the extraction pipeline
 operates almost exclusively on single-digit-row databases after minimization,
 and the minimizer itself only needs cheap slicing/sampling of row lists.
+
+Snapshot support is copy-on-write: :meth:`TableData.share_rows` hands out the
+internal row list and marks it *shared*; the next in-place mutation copies the
+list first, so the shared reference stays frozen.  Most mutators already
+rebind ``_rows`` to a freshly built list, which makes sharing nearly free —
+the extraction pipeline takes a snapshot around every invocation.
 """
 
 from __future__ import annotations
@@ -21,6 +27,9 @@ class TableData:
     def __init__(self, schema: TableSchema, rows: Iterable[Sequence] = ()):
         self.schema = schema
         self._rows: list[tuple] = []
+        #: True while ``_rows`` is also referenced by a snapshot and must not
+        #: be mutated in place (copy-on-write)
+        self._shared = False
         self.extend(rows)
 
     def __len__(self) -> int:
@@ -34,6 +43,38 @@ class TableData:
         """The stored rows (direct reference; callers must not mutate)."""
         return self._rows
 
+    # -- copy-on-write snapshot hooks -------------------------------------
+
+    def share_rows(self) -> list[tuple]:
+        """The internal row list, frozen for snapshot use.
+
+        The list is marked shared: the next in-place mutation copies it
+        first, so the returned reference keeps the snapshot-time contents.
+        """
+        self._shared = True
+        return self._rows
+
+    def adopt_rows(self, rows: list[tuple]) -> None:
+        """Install a snapshot's row list (restore path).
+
+        The list stays owned by the snapshot too, so it is adopted in shared
+        mode — the same snapshot token can be restored any number of times.
+        """
+        self._rows = rows
+        self._shared = True
+
+    def _mutable_rows(self) -> list[tuple]:
+        if self._shared:
+            self._rows = list(self._rows)
+            self._shared = False
+        return self._rows
+
+    def _rebind(self, rows: list[tuple]) -> None:
+        self._rows = rows
+        self._shared = False
+
+    # -- mutation ----------------------------------------------------------
+
     def coerce_row(self, row: Sequence) -> tuple:
         if len(row) != len(self.schema.columns):
             raise TypeMismatchError(
@@ -45,23 +86,22 @@ class TableData:
         )
 
     def insert(self, row: Sequence) -> None:
-        self._rows.append(self.coerce_row(row))
+        self._mutable_rows().append(self.coerce_row(row))
 
     def extend(self, rows: Iterable[Sequence]) -> None:
         for row in rows:
             self.insert(row)
 
     def clear(self) -> None:
-        self._rows = []
+        self._rebind([])
 
     def replace_all(self, rows: Iterable[Sequence]) -> None:
-        new_rows = [self.coerce_row(row) for row in rows]
-        self._rows = new_rows
+        self._rebind([self.coerce_row(row) for row in rows])
 
     def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
         kept = [row for row in self._rows if not predicate(row)]
         deleted = len(self._rows) - len(kept)
-        self._rows = kept
+        self._rebind(kept)
         return deleted
 
     def update_where(
@@ -77,23 +117,27 @@ class TableData:
                 updated += 1
             else:
                 new_rows.append(row)
-        self._rows = new_rows
+        self._rebind(new_rows)
         return updated
 
     def set_column(self, column: str, value) -> None:
         """Assign ``value`` to ``column`` in every row (bulk mutation helper)."""
         idx = self.schema.column_index(column)
         coerced = self.schema.column(column).type.coerce(value)
-        self._rows = [row[:idx] + (coerced,) + row[idx + 1 :] for row in self._rows]
+        self._rebind([row[:idx] + (coerced,) + row[idx + 1 :] for row in self._rows])
 
     def map_column(self, column: str, fn: Callable) -> None:
         """Apply ``fn`` to ``column`` in every row (e.g. the Negate mutation)."""
         idx = self.schema.column_index(column)
         col_type = self.schema.column(column).type
-        self._rows = [
-            row[:idx] + (col_type.coerce(fn(row[idx])),) + row[idx + 1 :]
-            for row in self._rows
-        ]
+        self._rebind(
+            [
+                row[:idx] + (col_type.coerce(fn(row[idx])),) + row[idx + 1 :]
+                for row in self._rows
+            ]
+        )
+
+    # -- read helpers --------------------------------------------------------
 
     def halves(self) -> tuple[list[tuple], list[tuple]]:
         """Split the rows roughly into two halves (minimizer primitive)."""

@@ -87,6 +87,28 @@ class CheckpointError(ReproError):
     """A pipeline checkpoint could not be read, or does not match this run."""
 
 
+class BudgetExhausted(ReproError):
+    """A resource budget was exhausted during extraction.
+
+    Raised by the :class:`repro.resilience.budgets.ResourceBudget` watchdog
+    when a per-module or per-run limit (invocations, rows scanned, cells
+    materialized, wall-clock) is hit.  As a :class:`ReproError` that is *not*
+    :class:`TransientExecutableError`, it is never retried; the pipeline
+    converts it into a best-effort degradation (or fails fast when
+    configured to).
+    """
+
+    def __init__(self, resource: str, limit, used, module: str | None = None):
+        scope = f" in module {module!r}" if module else ""
+        super().__init__(
+            f"budget exhausted{scope}: {resource} used {used} of limit {limit}"
+        )
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.module = module
+
+
 class ExtractionError(ReproError):
     """The extraction pipeline could not complete or verify an extraction.
 

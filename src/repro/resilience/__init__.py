@@ -17,13 +17,18 @@ that reality:
   plus session state after every module, so a killed run restarts from the
   last completed module instead of from zero;
 * :mod:`repro.resilience.serde` — the JSON codec for extraction state
-  (filters, scalar functions, results, D^1 rows, RNG state).
+  (filters, scalar functions, results, D^1 rows, RNG state);
+* :mod:`repro.resilience.budgets` — :class:`ResourceBudget` watchdog
+  enforcing per-module and per-run limits (invocations, rows scanned,
+  synthetic cells, wall-clock) with a structured
+  :class:`~repro.errors.BudgetExhausted` that flows into degradation.
 
 Best-effort degradation (recording a failed non-essential module instead of
 aborting) lives in :mod:`repro.core.pipeline`, gated by
 ``ExtractionConfig.fail_fast``.
 """
 
+from repro.resilience.budgets import BudgetSpec, ResourceBudget
 from repro.resilience.checkpoint import CheckpointStore, restore_session, snapshot_session
 from repro.resilience.faults import (
     FAULT_PROFILES,
@@ -34,11 +39,13 @@ from repro.resilience.faults import (
 from repro.resilience.retry import RetryPolicy
 
 __all__ = [
+    "BudgetSpec",
     "CheckpointStore",
     "FAULT_PROFILES",
     "FaultPlan",
     "FaultyExecutable",
     "InjectedCrashError",
+    "ResourceBudget",
     "RetryPolicy",
     "restore_session",
     "snapshot_session",

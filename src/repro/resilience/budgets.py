@@ -1,0 +1,184 @@
+"""Resource budgets and the extraction watchdog.
+
+UNMASQUE's probe loop is open-ended: a pathological hidden application (or a
+pathological synthetic database) can drive the pipeline into unbounded
+invocation counts, giant scans, or runaway data generation.  A
+:class:`ResourceBudget` caps four resources — application invocations, engine
+rows scanned, synthetic-DB cells materialized, and wall-clock time — and
+raises :class:`~repro.errors.BudgetExhausted` the moment any limit is hit.
+
+Charging is cooperative and cheap: the session charges invocations and cells
+at its own choke points, the engine charges rows scanned from the executor's
+scan profile, and the wall-clock check piggybacks on the engine's existing
+deadline poll (:meth:`~repro.engine.database.Database.check_deadline`), so
+even a module stuck inside one giant scan is cut off within a tick of the
+wall-clock limit.
+
+``BudgetExhausted`` is a non-transient :class:`~repro.errors.ReproError`:
+the retry layer never retries it, and the pipeline's best-effort path records
+it as a degradation (or fails fast), so budget exhaustion always terminates
+with a structured outcome rather than a hang.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import BudgetExhausted
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """Declarative limits; ``None`` means unlimited.
+
+    ``max_module_invocations`` caps invocations *within a single pipeline
+    module* (reset on module change); all other limits are per-run.
+    """
+
+    max_invocations: Optional[int] = None
+    max_module_invocations: Optional[int] = None
+    max_rows_scanned: Optional[int] = None
+    max_cells: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    @classmethod
+    def unlimited(cls) -> "BudgetSpec":
+        return cls()
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            limit is not None
+            for limit in (
+                self.max_invocations,
+                self.max_module_invocations,
+                self.max_rows_scanned,
+                self.max_cells,
+                self.max_seconds,
+            )
+        )
+
+
+class ResourceBudget:
+    """Mutable usage ledger enforcing a :class:`BudgetSpec`.
+
+    The clock is injectable for deterministic tests.  When a metrics registry
+    is attached, usage is mirrored into ``budget_*`` gauges and exhaustions
+    into the ``budget_exhaustions_total`` counter.
+    """
+
+    def __init__(
+        self,
+        spec: BudgetSpec,
+        clock: Callable[[], float] = time.perf_counter,
+        metrics=None,
+    ):
+        self.spec = spec
+        self.clock = clock
+        self.metrics = metrics
+        self.invocations = 0
+        self.rows_scanned = 0
+        self.cells = 0
+        self.started_at: Optional[float] = None
+        self.module: Optional[str] = None
+        self.module_invocations: dict[str, int] = {}
+        self.exhausted: Optional[BudgetExhausted] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.spec.enabled
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start (or restart) the wall clock; idempotent within a run."""
+        if self.started_at is None:
+            self.started_at = self.clock()
+
+    def set_module(self, module: Optional[str]) -> None:
+        self.module = module
+
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.clock() - self.started_at
+
+    # -- charging ----------------------------------------------------------
+
+    def charge_invocation(self) -> None:
+        if not self.enabled:
+            return
+        self.invocations += 1
+        module = self.module or "?"
+        used = self.module_invocations.get(module, 0) + 1
+        self.module_invocations[module] = used
+        self._gauge("budget_invocations_used", self.invocations)
+        limit = self.spec.max_invocations
+        if limit is not None and self.invocations > limit:
+            self._exhaust("invocations", limit, self.invocations)
+        module_limit = self.spec.max_module_invocations
+        if module_limit is not None and used > module_limit:
+            self._exhaust("module_invocations", module_limit, used)
+
+    def charge_rows_scanned(self, count: int) -> None:
+        if not self.enabled:
+            return
+        self.rows_scanned += count
+        self._gauge("budget_rows_scanned_used", self.rows_scanned)
+        limit = self.spec.max_rows_scanned
+        if limit is not None and self.rows_scanned > limit:
+            self._exhaust("rows_scanned", limit, self.rows_scanned)
+
+    def charge_cells(self, count: int) -> None:
+        if not self.enabled:
+            return
+        self.cells += count
+        self._gauge("budget_cells_materialized_used", self.cells)
+        limit = self.spec.max_cells
+        if limit is not None and self.cells > limit:
+            self._exhaust("cells", limit, self.cells)
+
+    def check_wall_clock(self) -> None:
+        limit = self.spec.max_seconds
+        if limit is None or self.started_at is None:
+            return
+        elapsed = self.elapsed()
+        if elapsed > limit:
+            self._gauge("budget_wall_seconds_used", elapsed)
+            self._exhaust("wall_clock_seconds", limit, round(elapsed, 3))
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Usage vs. limits, for span tags and outcome metadata."""
+        spec = self.spec
+        return {
+            "invocations": self.invocations,
+            "rows_scanned": self.rows_scanned,
+            "cells_materialized": self.cells,
+            "wall_seconds": round(self.elapsed(), 6),
+            "limits": {
+                "invocations": spec.max_invocations,
+                "module_invocations": spec.max_module_invocations,
+                "rows_scanned": spec.max_rows_scanned,
+                "cells": spec.max_cells,
+                "seconds": spec.max_seconds,
+            },
+            "exhausted": str(self.exhausted) if self.exhausted else None,
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _gauge(self, name: str, value) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
+
+    def _exhaust(self, resource: str, limit, used) -> None:
+        error = BudgetExhausted(resource, limit, used, module=self.module)
+        if self.exhausted is None:
+            self.exhausted = error
+        if self.metrics is not None:
+            self.metrics.counter("budget_exhaustions_total").inc()
+        raise error

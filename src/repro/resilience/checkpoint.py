@@ -126,7 +126,9 @@ def restore_session(session, state: dict) -> set[str]:
         raise CheckpointError(
             "checkpoint fingerprint mismatch — it was written for a different "
             f"database or configuration (checkpoint: {fingerprint}, "
-            f"this run: {session.checkpoint_fingerprint})"
+            f"this run: {session.checkpoint_fingerprint}); if the instance "
+            "was intentionally re-seeded, discard the stale checkpoint and "
+            "start over (repro: pass --fresh)"
         )
     session.query = serde.decode_query(state["query"])
     session.probe_multiplier = state["probe_multiplier"]

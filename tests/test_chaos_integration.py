@@ -140,7 +140,7 @@ class TestCrashResume:
 class TestBestEffortDegradation:
     def _late_outage_plan(self, clean_stats):
         """A plan whose outage begins right before the order-by module."""
-        tail = {"order_by", "limit", "checker"}
+        tail = {"order_by", "limit", "checker", "eqc_postflight"}
         pre = sum(
             module.invocations
             for name, module in clean_stats.modules.items()
@@ -162,7 +162,7 @@ class TestBestEffortDegradation:
         )
 
         degraded = [d.module for d in outcome.degradations]
-        assert degraded == ["order_by", "limit"]
+        assert degraded == ["order_by", "limit", "eqc_postflight"]
         assert outcome.is_degraded
         for degradation in outcome.degradations:
             assert degradation.error == "TransientExecutableError"
