@@ -42,38 +42,70 @@ class Executable:
     def __init__(self):
         self.invocation_count = 0
         self.total_runtime = 0.0
+        #: the ``invocation`` span of the most recent traced :meth:`run`
+        #: (``None`` untraced).  Callers that need to tag the invocation
+        #: after it completed — :func:`run_with_deadline` discarding an
+        #: overrun — use this instead of scanning the tracer's span list,
+        #: which can land on a *different* invocation when runs nest.
+        self.last_span = None
 
     def run(self, db: Database, timeout: Optional[float] = None) -> Result:
         """Execute the hidden logic against ``db`` and return its result.
+
+        When ``timeout`` is given and nobody has armed the engine's
+        cooperative deadline yet, this arms it — so a bare
+        ``executable.run(db, timeout=...)`` call honours the timeout for
+        *every* executable flavour, not just callers that pre-set
+        ``db.deadline`` themselves.  The invocation is counted even when the
+        application raises, keeping ``invocation_count`` consistent with the
+        ``invocations_total`` metric.
 
         When ``db`` carries an enabled tracer the invocation opens an
         ``invocation`` span (engine queries issued by the hidden logic nest
         beneath it); with the default null tracer this is the bare fast path.
         """
         self.invocation_count += 1
+        self.last_span = None
         tracer = getattr(db, "tracer", NULL_TRACER)
+        owns_deadline = (
+            timeout is not None and getattr(db, "deadline", None) is None
+        )
         started = time.perf_counter()
-        if not tracer.enabled:
-            try:
-                return self._execute(db, timeout)
-            finally:
-                self.total_runtime += time.perf_counter() - started
-        with tracer.span(self.name, kind="invocation") as span:
-            span.set_tags(executable=self.name, db_rows=db.total_rows())
-            if tracer.metrics is not None:
-                tracer.metrics.counter("invocations_total").inc()
-            try:
-                return self._execute(db, timeout)
-            finally:
-                elapsed = time.perf_counter() - started
-                self.total_runtime += elapsed
+        if owns_deadline:
+            db.deadline = started + timeout
+        try:
+            if not tracer.enabled:
+                try:
+                    return self._execute(db, timeout)
+                finally:
+                    self.total_runtime += time.perf_counter() - started
+            with tracer.span(self.name, kind="invocation") as span:
+                self.last_span = span
+                span.set_tags(executable=self.name, db_rows=db.total_rows())
                 if tracer.metrics is not None:
-                    tracer.metrics.histogram(
-                        "invocation_latency_seconds"
-                    ).observe(elapsed)
+                    tracer.metrics.counter("invocations_total").inc()
+                try:
+                    return self._execute(db, timeout)
+                finally:
+                    elapsed = time.perf_counter() - started
+                    self.total_runtime += elapsed
+                    if tracer.metrics is not None:
+                        tracer.metrics.histogram(
+                            "invocation_latency_seconds"
+                        ).observe(elapsed)
+        finally:
+            if owns_deadline:
+                db.deadline = None
 
     def _execute(self, db: Database, timeout: Optional[float]) -> Result:
         raise NotImplementedError
+
+    def __getstate__(self):
+        # Spans belong to the process that traced them; an executable shipped
+        # to an isolation worker must not drag its tracer state along.
+        state = self.__dict__.copy()
+        state["last_span"] = None
+        return state
 
     def reset_counters(self) -> None:
         self.invocation_count = 0
@@ -107,7 +139,13 @@ class SQLExecutable(Executable):
 
 
 class CallableExecutable(Executable):
-    """Wraps an arbitrary ``fn(db) -> Result`` callable as an executable."""
+    """Wraps an arbitrary ``fn(db) -> Result`` callable as an executable.
+
+    The ``timeout`` handed to :meth:`run` is honoured through the engine's
+    cooperative deadline (armed by the base class): a callable that scans or
+    queries through ``db`` is cut short mid-iteration exactly like a hidden
+    SQL query, instead of the timeout being silently dropped.
+    """
 
     def __init__(self, fn: Callable[[Database], Result], name: str = "callable-app"):
         super().__init__()
@@ -149,13 +187,13 @@ def run_with_deadline(executable: Executable, db: Database, timeout: float) -> R
             db.restore(token)
         if tracer.metrics is not None:
             tracer.metrics.counter("invocation_timeouts_total").inc()
-        if tracer.enabled:
-            # The invocation span has already closed; find it (children close
-            # before parents, so scan from the most recent span backwards).
-            for span in reversed(tracer.spans):
-                if span.kind == "invocation":
-                    span.set_tags(timed_out=True, error="ExecutableTimeoutError")
-                    break
+        # The invocation span has already closed; the executable exposes it
+        # directly, so exactly *this* run is tagged (scanning the tracer's
+        # span list can land on a different invocation when runs nest or
+        # interleave).
+        span = getattr(executable, "last_span", None)
+        if span is not None:
+            span.set_tags(timed_out=True, error="ExecutableTimeoutError")
         raise ExecutableTimeoutError(
             f"application {executable.name!r} exceeded {timeout:.3f}s deadline"
         )

@@ -25,10 +25,16 @@ before.  ``--checkpoint-dir DIR`` enables per-module checkpoint/resume
 ``--best-effort`` downgrades non-essential module failures (order by, limit,
 disjunctions, checker) to recorded degradations instead of aborting; the
 ``--budget-*`` flags arm the resource watchdog (invocations, rows scanned,
-cells materialized, wall-clock seconds).
+cells materialized, wall-clock seconds).  ``--isolate process`` routes every
+invocation through a supervised worker subprocess (hard SIGKILL deadlines,
+``--worker-memory-mb`` RSS caps, crash classification and quarantine — see
+``repro.isolation``); the hard-fault chaos profiles (``hang``, ``crash``)
+require it.
 
-Any :class:`~repro.errors.ReproError` escaping a command is reported as a
-one-line ``error: ...`` message with exit status 1, never a traceback.
+Exit status: 0 success; 1 extraction/engine error (one-line ``error: ...``,
+never a traceback); 2 usage error; 3 empty initial result; 4 ``verify``
+verdict ``out_of_class``; 130 interrupted by SIGINT/SIGTERM (after printing
+a ``--checkpoint-dir`` resume hint).
 """
 
 from __future__ import annotations
@@ -164,10 +170,38 @@ def _common_extraction_args(parser: argparse.ArgumentParser) -> None:
                         help="abort/degrade after N synthetic cells materialized")
     parser.add_argument("--budget-seconds", type=float, default=None, metavar="S",
                         help="wall-clock budget for the whole extraction")
+    parser.add_argument("--isolate", default="none", choices=["none", "process"],
+                        help="invocation isolation backend: 'process' runs "
+                             "every application invocation in a supervised "
+                             "worker subprocess with hard SIGKILL deadlines "
+                             "and crash quarantine (default: none)")
+    parser.add_argument("--worker-memory-mb", type=int, default=None, metavar="MB",
+                        help="address-space cap per isolation worker; an "
+                             "application allocating past it dies with a "
+                             "classified 'oom' crash")
+    parser.add_argument("--worker-timeout", type=float, default=None, metavar="S",
+                        help="hard deadline for isolated invocations that "
+                             "carry no cooperative timeout (default 30)")
+
+
+def _install_signal_handlers() -> None:
+    """Route SIGTERM through KeyboardInterrupt so both interrupts unwind
+    cleanly (checkpoints are flushed at every completed module, so the
+    pipeline's ``finally`` blocks leave a resumable state behind)."""
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
 
 
 def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
     args = _make_parser().parse_args(argv)
+    _install_signal_handlers()
     try:
         return _dispatch(args, out)
     except ReproError as error:
@@ -175,6 +209,20 @@ def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
         # (outside-EQC queries, checkpoint mismatches, exhausted retries).
         out.write(f"error: {error}\n")
         return 1
+    except KeyboardInterrupt:
+        # One line, no traceback, standard 128+SIGINT status.  The last
+        # completed module's checkpoint is already on disk.
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        if checkpoint_dir:
+            out.write(
+                f"interrupted: resumable with --checkpoint-dir {checkpoint_dir}\n"
+            )
+        else:
+            out.write(
+                "interrupted: re-run with --checkpoint-dir DIR to make "
+                "long extractions resumable\n"
+            )
+        return 130
 
 
 def _dispatch(args, out) -> int:
@@ -262,6 +310,16 @@ def _budget_kwargs(args) -> dict:
     }
 
 
+def _isolation_kwargs(args) -> dict:
+    kwargs = {
+        "isolate": args.isolate,
+        "worker_memory_limit_mb": args.worker_memory_mb,
+    }
+    if args.worker_timeout is not None:
+        kwargs["worker_default_timeout"] = args.worker_timeout
+    return kwargs
+
+
 def _clear_checkpoint_if_fresh(args, out) -> None:
     if getattr(args, "fresh", False) and args.checkpoint_dir is not None:
         from repro.resilience.checkpoint import CheckpointStore
@@ -288,6 +346,7 @@ def _run_extraction(args, sql: str, out) -> int:
         run_checker=not args.no_checker,
         fail_fast=not args.best_effort,
         **_budget_kwargs(args),
+        **_isolation_kwargs(args),
     )
     tracer = None
     metrics = None
@@ -374,6 +433,7 @@ def _run_verify(args, sql: str, out) -> int:
         # instead of aborting the run on the first mismatch
         checker_strict=False,
         **_budget_kwargs(args),
+        **_isolation_kwargs(args),
     )
     outcome = UnmasqueExtractor(
         db, app, config, checkpoint_dir=args.checkpoint_dir
@@ -404,12 +464,20 @@ def _run_chaos(args, sql: str, out) -> int:
     from repro.obs import MetricsRegistry, Tracer
     from repro.resilience.faults import (
         FAULT_PROFILES,
+        HARD_FAULT_PROFILES,
         FaultyExecutable,
         InjectedCrashError,
     )
 
     if args.crash_at is not None and args.checkpoint_dir is None:
         out.write("--crash-at needs --checkpoint-dir to resume from\n")
+        return 2
+    if args.profile in HARD_FAULT_PROFILES and args.isolate != "process":
+        out.write(
+            f"profile {args.profile!r} injects hard faults (process kills, "
+            "busy-loop hangs) that only the isolated backend survives; "
+            "re-run with --isolate process\n"
+        )
         return 2
 
     db = _build_database(args.workload, args.scale, args.seed)
@@ -437,6 +505,8 @@ def _run_chaos(args, sql: str, out) -> int:
         retry_base_delay=0.0,  # chaos runs should not actually sleep
         retry_timeouts=plan.injects_timeouts,
         fail_fast=not args.best_effort,
+        # the baseline stays in-process: isolation applies to the faulted run
+        **_isolation_kwargs(args),
     )
     metrics = MetricsRegistry()
     tracer = Tracer(metrics=metrics, keep_spans=False)
@@ -447,11 +517,12 @@ def _run_chaos(args, sql: str, out) -> int:
 
     out.write(f"profile        : {plan.name} (chaos seed {plan.seed})\n")
     crashed_at = None
+    extractor = UnmasqueExtractor(
+        db, faulty, chaos_config, tracer=tracer,
+        checkpoint_dir=args.checkpoint_dir,
+    )
     try:
-        outcome = UnmasqueExtractor(
-            db, faulty, chaos_config, tracer=tracer,
-            checkpoint_dir=args.checkpoint_dir,
-        ).extract()
+        outcome = extractor.extract()
     except InjectedCrashError:
         crashed_at = faulty.invocation_count
         out.write(
@@ -461,10 +532,11 @@ def _run_chaos(args, sql: str, out) -> int:
         faulty = FaultyExecutable(
             SQLExecutable(sql, obfuscate_text=True, name="chaos-app"), plan
         )
-        outcome = UnmasqueExtractor(
+        extractor = UnmasqueExtractor(
             db, faulty, chaos_config, tracer=tracer,
             checkpoint_dir=args.checkpoint_dir,
-        ).extract()
+        )
+        outcome = extractor.extract()
     except ReproError as error:
         out.write(f"died           : {type(error).__name__}: {error}\n")
         out.write("survived       : no\n")
@@ -474,6 +546,15 @@ def _run_chaos(args, sql: str, out) -> int:
     matches = outcome.sql == baseline.sql
     survived = matches and (args.best_effort or not outcome.degradations)
     out.write(f"faults injected: {injected}\n")
+    backend = extractor.session.backend
+    if backend is not None:
+        pool_stats = backend.pool.stats
+        out.write(
+            f"worker pool    : {pool_stats.invocations} invocations, "
+            f"{pool_stats.crashes} crashes, {pool_stats.kills} kills, "
+            f"{pool_stats.restarts} restarts, "
+            f"rss peak {pool_stats.rss_peak_bytes / (1024 * 1024):.0f}MiB\n"
+        )
     out.write(f"invocations    : {outcome.stats.total_invocations}\n")
     out.write(f"retries        : {outcome.stats.retries}\n")
     out.write(f"timeouts       : {outcome.stats.invocation_timeouts}\n")

@@ -54,6 +54,7 @@ from repro.errors import (
     ExtractionError,
     ReproError,
     UnsupportedQueryError,
+    WorkerQuarantined,
 )
 from repro.resilience.checkpoint import (
     CheckpointStore,
@@ -89,8 +90,10 @@ class ExtractionOutcome:
     degradations: list[Degradation] = field(default_factory=list)
     #: modules restored from a checkpoint instead of re-executed
     resumed_modules: list[str] = field(default_factory=list)
-    #: "ok", "out_of_class" (EQC guard refused to emit SQL), or
-    #: "budget_exhausted" (best-effort run stopped by the watchdog)
+    #: "ok", "out_of_class" (EQC guard refused to emit SQL),
+    #: "budget_exhausted" (best-effort run stopped by the watchdog), or
+    #: "quarantined" (the isolation supervisor refused to keep respawning
+    #: workers for an executable that crashes them)
     verdict: str = "ok"
     #: out-of-class evidence, when the EQC guard ran
     eqc: Optional[eqc_guard.EqcReport] = None
@@ -433,8 +436,10 @@ class UnmasqueExtractor:
             finally:
                 # Terminal guarantee: whatever happened — success, verdict,
                 # budget stop, or a crash unwinding through here — the silo
-                # leaves this method byte-identical to D_I.
+                # leaves this method byte-identical to D_I, and any isolation
+                # workers are shut down.
                 session.restore_silo_to_di()
+                session.close()
                 if tracer.enabled and session.budget.enabled:
                     root.set_tags(
                         **{
@@ -521,13 +526,14 @@ class UnmasqueExtractor:
                 session.materialize_resident()
                 try:
                     step.fn(session, ctx)
-                except BudgetExhausted as error:
+                except (BudgetExhausted, WorkerQuarantined) as error:
                     session.restore_silo_to_di()
                     if self.config.fail_fast:
                         raise
-                    # No budget left for *any* further step, essential or
-                    # not: record the degradation and stop the pipeline with
-                    # whatever has been extracted so far.
+                    # Nothing further can run — the budget is spent, or the
+                    # supervisor refuses to respawn workers for an executable
+                    # that keeps crashing them.  Record the degradation and
+                    # stop the pipeline with whatever has been extracted.
                     degradations.append(
                         Degradation(
                             module=step.name,
@@ -535,9 +541,13 @@ class UnmasqueExtractor:
                             message=str(error),
                         )
                     )
-                    verdict = "budget_exhausted"
+                    verdict = (
+                        "quarantined"
+                        if isinstance(error, WorkerQuarantined)
+                        else "budget_exhausted"
+                    )
                     logger.warning(
-                        "pipeline stopped by resource budget in %s: %s",
+                        "pipeline stopped in %s: %s",
                         step.name,
                         error,
                     )

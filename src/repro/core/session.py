@@ -169,6 +169,23 @@ class ExtractionSession:
                         break
                 self.di_samples[node] = values
 
+        #: invocation isolation backend; ``None`` keeps the in-process fast
+        #: path byte-identical.  Constructed eagerly so an unpicklable
+        #: executable fails at session creation with a named error, not as a
+        #: dead worker mid-extraction.
+        self.backend = None
+        if config.isolate == "process":
+            from repro.isolation.backend import ProcessIsolationBackend
+
+            self.backend = ProcessIsolationBackend(
+                executable, config, tracer=self.tracer, budget=self.budget
+            )
+        elif config.isolate != "none":
+            raise ExtractionError(
+                f"unknown isolation backend {config.isolate!r} "
+                "(expected 'none' or 'process')"
+            )
+
         # Populated as the pipeline advances:
         self.query = ExtractedQuery()
         self.initial_result: Optional[Result] = None
@@ -265,6 +282,11 @@ class ExtractionSession:
                 self.silo.restore(token)
 
     def _invoke(self, timeout: Optional[float]) -> Result:
+        if self.backend is not None:
+            # Out-of-process: the worker replica arms its own cooperative
+            # deadline and the supervisor enforces the hard one; the local
+            # silo is never executed against.
+            return self.backend.invoke(self.silo, timeout)
         if timeout is not None:
             self.silo.deadline = time.perf_counter() + timeout
             try:
@@ -272,6 +294,15 @@ class ExtractionSession:
             finally:
                 self.silo.deadline = None
         return self.executable.run(self.silo)
+
+    def close(self) -> None:
+        """Release external resources (worker processes); idempotent.
+
+        The backend object stays referenced after close so callers (the
+        chaos CLI's survival report) can still read its pool statistics.
+        """
+        if self.backend is not None:
+            self.backend.close()
 
     def _record_timeout(self) -> None:
         self.stats.invocation_timeouts += 1

@@ -237,6 +237,23 @@ class Database:
     def schema(self, name: str) -> TableSchema:
         return self.catalog.get(name)
 
+    def table_states(self) -> list[tuple[str, TableSchema, list[tuple]]]:
+        """``(name, schema, shared_rows)`` for every table, bypassing the
+        access trace.
+
+        This is the isolation supervisor's delta source: the returned row
+        lists are copy-on-write shares (see
+        :meth:`~repro.engine.storage.TableData.share_rows`), so holding one
+        and comparing it *by identity* on the next call is a sound
+        changed-since-last-time test.  Reading through :meth:`table` would
+        pollute ``access_log`` during From-clause trace runs, so this helper
+        goes straight to storage.
+        """
+        return [
+            (name, data.schema, data.share_rows())
+            for name, data in self._tables.items()
+        ]
+
     def row_count(self, name: str) -> int:
         return len(self.table(name))
 

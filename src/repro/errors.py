@@ -37,6 +37,13 @@ class UndefinedTableError(CatalogError):
         super().__init__(f'relation "{table_name}" does not exist')
         self.table_name = table_name
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` (the
+        # formatted message), which would corrupt ``table_name`` — and the
+        # pipeline reads these errors *semantically* when they cross the
+        # worker IPC boundary.
+        return (type(self), (self.table_name,))
+
 
 class UndefinedColumnError(DatabaseError):
     """A statement referenced a column that does not exist."""
@@ -45,6 +52,10 @@ class UndefinedColumnError(DatabaseError):
         suffix = f" in {context}" if context else ""
         super().__init__(f'column "{column_name}" does not exist{suffix}')
         self.column_name = column_name
+        self.context = context
+
+    def __reduce__(self):
+        return (type(self), (self.column_name, self.context))
 
 
 class AmbiguousColumnError(DatabaseError):
@@ -53,6 +64,9 @@ class AmbiguousColumnError(DatabaseError):
     def __init__(self, column_name: str):
         super().__init__(f'column reference "{column_name}" is ambiguous')
         self.column_name = column_name
+
+    def __reduce__(self):
+        return (type(self), (self.column_name,))
 
 
 class TypeMismatchError(DatabaseError):
@@ -83,6 +97,52 @@ class TransientExecutableError(ReproError):
     """
 
 
+class WorkerCrashedError(TransientExecutableError):
+    """An isolated worker process died abnormally during an invocation.
+
+    ``kind`` classifies the exit: ``"segfault"`` (SIGSEGV/SIGBUS),
+    ``"abort"`` (SIGABRT, e.g. ``os.abort()``), ``"oom"`` (the worker hit its
+    ``RLIMIT_AS`` memory cap, or the kernel OOM-killer SIGKILLed it),
+    ``"killed"`` (SIGKILL from outside), or ``"exit-N"`` (died with exit
+    status N before replying).  As a :class:`TransientExecutableError` it is
+    always retryable — the supervisor respawns the worker and the retry layer
+    re-runs the invocation on a clean process.
+    """
+
+    def __init__(self, kind: str, detail: str, ordinal: int | None = None):
+        where = f" (invocation {ordinal})" if ordinal is not None else ""
+        super().__init__(f"worker crashed [{kind}]{where}: {detail}")
+        self.kind = kind
+        self.detail = detail
+        self.ordinal = ordinal
+
+    def __reduce__(self):
+        return (type(self), (self.kind, self.detail, self.ordinal))
+
+
+class WorkerQuarantined(ReproError):
+    """The supervisor refuses to keep running an executable.
+
+    Raised after K consecutive abnormal worker exits (the executable crashes
+    the worker deterministically) or when the respawn budget is spent.  It is
+    deliberately *not* transient: retrying would respawn-crash in a loop.
+    The pipeline converts it into a structured ``quarantined`` verdict under
+    best-effort, mirroring :class:`BudgetExhausted`.
+    """
+
+    def __init__(self, reason: str, crashes: int, respawns: int):
+        super().__init__(
+            f"executable quarantined: {reason} "
+            f"({crashes} consecutive abnormal exits, {respawns} respawns)"
+        )
+        self.reason = reason
+        self.crashes = crashes
+        self.respawns = respawns
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self.crashes, self.respawns))
+
+
 class CheckpointError(ReproError):
     """A pipeline checkpoint could not be read, or does not match this run."""
 
@@ -108,6 +168,9 @@ class BudgetExhausted(ReproError):
         self.used = used
         self.module = module
 
+    def __reduce__(self):
+        return (type(self), (self.resource, self.limit, self.used, self.module))
+
 
 class ExtractionError(ReproError):
     """The extraction pipeline could not complete or verify an extraction.
@@ -119,6 +182,9 @@ class ExtractionError(ReproError):
     def __init__(self, message: str, module: str | None = None):
         super().__init__(message)
         self.module = module
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.module))
 
 
 class UnsupportedQueryError(ExtractionError):

@@ -1,0 +1,28 @@
+"""Process-level invocation isolation (supervised worker pool).
+
+The paper treats the application ``E`` as an untrusted black box that may
+hang ("terminate the execution after a short timeout period", §4.1), crash,
+or exhaust memory.  This package moves every black-box invocation into a
+supervised subprocess so none of those failure modes can take down the
+extraction or corrupt its checkpoints:
+
+* :mod:`repro.isolation.protocol` — length-prefixed pickle frames over the
+  worker's stdin/stdout pipes;
+* :mod:`repro.isolation.worker` — the worker process: resident database
+  replica, delta reconciliation, sandboxed runs, ``RLIMIT_AS`` memory cap;
+* :mod:`repro.isolation.supervisor` — spawn/restart/quarantine policy, hard
+  SIGKILL deadlines, crash classification, pool metrics;
+* :mod:`repro.isolation.backend` — the :class:`ProcessIsolationBackend` the
+  session delegates to under ``--isolate process``.
+"""
+
+from repro.isolation.backend import ProcessIsolationBackend, spec_from_config
+from repro.isolation.supervisor import PoolStats, WorkerPool, WorkerSpec
+
+__all__ = [
+    "PoolStats",
+    "ProcessIsolationBackend",
+    "WorkerPool",
+    "WorkerSpec",
+    "spec_from_config",
+]

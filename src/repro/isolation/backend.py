@@ -1,0 +1,141 @@
+"""The session-facing isolation backend.
+
+:class:`ProcessIsolationBackend` is what :meth:`ExtractionSession._invoke`
+delegates to under ``--isolate process``.  Its contract is *observability
+parity* with the in-process fast path: a probe that runs in a worker must be
+indistinguishable to every layer above the invocation boundary —
+
+* the local executable's ``invocation_count`` / ``total_runtime`` advance
+  exactly as they would in-process (the pipeline's per-module accounting and
+  the chaos CLI read them);
+* ``invocations_total`` and ``invocation_latency_seconds`` tick on the
+  session metrics registry, and each invocation opens a ``worker`` span
+  (instead of the in-process ``invocation`` span) carrying the worker's
+  duration, peak RSS, and crash classification;
+* engine rows scanned inside the worker are charged to the session's
+  :class:`~repro.resilience.budgets.ResourceBudget` after the fact, so
+  budget enforcement is supervisor-side and counted once;
+* the silo's ``access_log`` is mirrored from the worker when the From-clause
+  trace strategy asked for it, and chaos-injection counts are mirrored onto
+  the local :class:`~repro.resilience.faults.FaultyExecutable` so survival
+  reports read the same either way.
+
+Clean application errors (engine signals, injected soft faults) are
+re-raised exactly as the worker raised them — their types round-trip the
+pickle boundary (see the ``__reduce__`` definitions in :mod:`repro.errors`),
+so the retry classification and the pipeline's semantic reading of
+``UndefinedTableError`` are unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ExecutableTimeoutError, WorkerCrashedError
+from repro.isolation.supervisor import WorkerPool, WorkerSpec
+from repro.obs.trace import NULL_TRACER
+
+
+def spec_from_config(config) -> WorkerSpec:
+    return WorkerSpec(
+        memory_limit_bytes=(
+            config.worker_memory_limit_mb * 1024 * 1024
+            if config.worker_memory_limit_mb
+            else None
+        ),
+        default_timeout=config.worker_default_timeout,
+        kill_grace=config.worker_kill_grace,
+        quarantine_threshold=config.worker_quarantine_threshold,
+        max_respawns=config.worker_max_respawns,
+    )
+
+
+class ProcessIsolationBackend:
+    """Routes invocations through a :class:`WorkerPool`, with stat parity."""
+
+    def __init__(self, executable, config, tracer=None, budget=None):
+        self.executable = executable
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.budget = budget
+        self.pool = WorkerPool(
+            executable, spec_from_config(config), metrics=self.tracer.metrics
+        )
+
+    def invoke(self, db, timeout: Optional[float] = None):
+        """Run one invocation out of process against ``db``'s current state."""
+        executable = self.executable
+        tracer = self.tracer
+        executable.invocation_count += 1
+        started = time.perf_counter()
+        if not tracer.enabled:
+            try:
+                return self._invoke_inner(db, timeout, None)
+            finally:
+                executable.total_runtime += time.perf_counter() - started
+        with tracer.span(executable.name, kind="worker") as span:
+            span.set_tags(
+                executable=executable.name,
+                isolate="process",
+                ordinal=self.pool.ordinal + 1,
+                db_rows=db.total_rows(),
+            )
+            if tracer.metrics is not None:
+                tracer.metrics.counter("invocations_total").inc()
+            try:
+                return self._invoke_inner(db, timeout, span)
+            finally:
+                elapsed = time.perf_counter() - started
+                executable.total_runtime += elapsed
+                if tracer.metrics is not None:
+                    tracer.metrics.histogram(
+                        "invocation_latency_seconds"
+                    ).observe(elapsed)
+
+    def _invoke_inner(self, db, timeout: Optional[float], span):
+        trace_access = bool(getattr(db, "trace_access", False))
+        try:
+            reply = self.pool.invoke(db, timeout, trace_access=trace_access)
+        except ExecutableTimeoutError:
+            if span is not None:
+                span.set_tags(timed_out=True, hard_kill=True)
+            self._mirror_injected()
+            raise
+        except WorkerCrashedError as error:
+            if span is not None:
+                span.set_tags(crashed=True, crash_kind=error.kind)
+            self._mirror_injected()
+            raise
+        stats = reply.get("stats") or {}
+        if span is not None:
+            span.set_tags(
+                worker_seconds=round(stats.get("duration", 0.0), 9),
+                worker_maxrss_bytes=stats.get("maxrss_bytes", 0),
+                rows_scanned=stats.get("rows_scanned", 0),
+            )
+        # Failed probes report stats too: their scanned rows spend budget and
+        # their access trace is real, exactly as in-process.
+        if self.budget is not None and self.budget.enabled:
+            self.budget.charge_rows_scanned(int(stats.get("rows_scanned", 0)))
+        if trace_access and "access_log" in stats:
+            db.access_log.extend(stats["access_log"])
+        self._mirror_injected()
+        if not reply.get("ok"):
+            raise reply["error"]
+        return reply["result"]
+
+    def _mirror_injected(self) -> None:
+        """Copy worker-side chaos-injection counts onto the local executable.
+
+        The worker runs its *own* reconstruction of the executable, so fault
+        bookkeeping accumulates over there; survival reports read the local
+        wrapper's ``injected`` dict, which this keeps authoritative.
+        """
+        injected = getattr(self.executable, "injected", None)
+        if isinstance(injected, dict):
+            for kind, count in self.pool.injected_totals().items():
+                injected[kind] = count
+
+    def close(self) -> None:
+        self._mirror_injected()
+        self.pool.close()

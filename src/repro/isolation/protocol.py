@@ -1,0 +1,109 @@
+"""Wire protocol between the supervisor and its worker processes.
+
+Frames are length-prefixed pickles on the worker's stdin/stdout pipes: an
+8-byte big-endian payload length followed by the pickled message dict.  Pickle
+(not JSON) because the payloads are the extraction's own object graph —
+:class:`~repro.engine.catalog.TableSchema`, row tuples with ``datetime.date``
+values, :class:`~repro.engine.result.Result`, and the exception objects the
+pipeline interprets semantically (``UndefinedTableError.table_name`` drives
+From-clause identification, so error *identity* must survive the boundary —
+see the ``__reduce__`` definitions in :mod:`repro.errors`).
+
+Both endpoints are the same trusted codebase spawning each other; the threat
+model here is a *crashing or hanging* application, not a malicious peer, so
+pickle's code-execution surface is acceptable (the worker executes the
+application anyway — that is its entire job).
+
+Message shapes (plain dicts, ``cmd`` / reply keyed):
+
+``init``     ``{cmd, executable: bytes}`` — the pickled executable, nested as
+             bytes so an unpicklable/broken spec surfaces as a structured
+             ``init`` error instead of a dead worker.
+``run``      ``{cmd, ordinal, timeout, trace_access, deltas, dropped}`` —
+             ``deltas`` maps table name to ``{"schema": TableSchema,
+             "rows": [tuple, ...]}`` for every table whose contents changed
+             since the last ship; ``dropped`` lists names that no longer
+             exist (renames are a drop plus a delta).
+``shutdown`` ``{cmd}`` — polite exit; the supervisor escalates to SIGKILL.
+
+Replies: ``{ok: True, result: Result, stats: {...}}`` or ``{ok: False,
+error: BaseException, stats: {...}}``.  ``stats`` carries ``duration``,
+``maxrss_bytes``, ``rows_scanned``, ``invocation_count``, and optionally
+``injected`` (chaos bookkeeping) and ``access_log`` (From-clause trace
+strategy).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import BinaryIO
+
+#: frame header: unsigned 64-bit big-endian payload length
+_HEADER = struct.Struct(">Q")
+
+#: hard cap on a single frame (a corrupted header must not trigger a
+#: multi-gigabyte allocation in the supervisor)
+MAX_FRAME_BYTES = 1 << 31
+
+#: worker exit status after an uncatchable memory-cap hit (``MemoryError``
+#: leaves the interpreter in an untrustworthy state, so the worker dies
+#: loudly instead of attempting a reply)
+EXIT_MEMORY = 17
+
+#: worker exit status for a protocol-level failure (unreadable frame)
+EXIT_PROTOCOL = 18
+
+
+class ProtocolError(Exception):
+    """The byte stream does not parse as a frame (worker/supervisor bug)."""
+
+
+def write_frame(stream: BinaryIO, message: dict) -> None:
+    """Serialise and send one message; flushes so the peer can block-read."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_HEADER.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> dict:
+    """Read one message; raises EOFError on a cleanly closed stream."""
+    header = _read_exact(stream, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds protocol maximum")
+    payload = _read_exact(stream, length)
+    message = pickle.loads(payload)
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a message dict, got {type(message).__name__}")
+    return message
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise EOFError(f"stream closed with {remaining} bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def pack_executable(executable) -> bytes:
+    """Pickle the executable spec for the ``init`` message.
+
+    Raises :class:`ProtocolError` eagerly (at backend construction) when the
+    executable cannot cross the process boundary — e.g. a
+    ``CallableExecutable`` closing over a lambda — so the failure names the
+    actual problem instead of surfacing as a dead worker mid-extraction.
+    """
+    try:
+        return pickle.dumps(executable, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as error:
+        raise ProtocolError(
+            f"executable {getattr(executable, 'name', executable)!r} is not "
+            f"picklable and cannot run in an isolated worker: {error}"
+        ) from error

@@ -1,0 +1,408 @@
+"""Supervisor side of the worker pool: spawn, ship, deadline, kill, classify.
+
+The supervisor is the trusted half of the invocation boundary.  It owns
+
+* the **wall clock** — every request has a hard deadline; a worker that has
+  not replied by then is SIGKILLed, which is the only preemption that works
+  against a busy-looping application (cooperative engine deadlines never
+  fire inside ``while True: pass``);
+* the **ledger** — invocations, rows scanned, RSS peaks, crash/restart/kill
+  counts are all recorded here exactly once, whatever happened to the worker;
+* the **crash taxonomy** — abnormal exits are classified by wait status
+  (SIGSEGV/SIGBUS → ``segfault``, SIGABRT → ``abort``, the memory-cap exit
+  status or an OOM-killer SIGKILL → ``oom``, a supervisor-initiated SIGKILL →
+  hard timeout) and folded into the retryable-vs-fatal scheme of
+  :mod:`repro.resilience.retry`: crashes are transient (respawn + retry),
+  hard timeouts are :class:`~repro.errors.ExecutableTimeoutError` with the
+  exact semantics the From-clause extractor already relies on;
+* the **quarantine policy** — K consecutive abnormal exits, or a spent
+  respawn budget, flips the pool into a sticky
+  :class:`~repro.errors.WorkerQuarantined` state: an executable that kills
+  every process it touches gets a structured refusal, not an infinite
+  respawn loop.
+
+State shipping is incremental: each handle remembers the exact row-list
+object last shipped per table (copy-on-write row lists are rebound on every
+mutation, so object identity is a sound change detector — and the held
+reference pins the id against reuse).  A fresh worker starts with an empty
+ship-state and receives the full silo on its first run.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import (
+    ExecutableTimeoutError,
+    ExtractionError,
+    WorkerCrashedError,
+    WorkerQuarantined,
+)
+from repro.isolation.protocol import (
+    EXIT_MEMORY,
+    pack_executable,
+    read_frame,
+    write_frame,
+)
+
+#: exit-signal → crash kind (negated Popen returncodes)
+_SIGNAL_KINDS = {
+    signal.SIGSEGV: "segfault",
+    signal.SIGBUS: "segfault",
+    signal.SIGABRT: "abort",
+    signal.SIGKILL: "oom",  # not ours → almost always the kernel OOM killer
+}
+
+#: seconds allowed for a fresh worker to answer the init handshake
+_SPAWN_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Pool policy, lifted from :class:`~repro.core.config.ExtractionConfig`."""
+
+    #: RLIMIT_AS cap per worker, bytes (None = uncapped)
+    memory_limit_bytes: Optional[int] = None
+    #: hard deadline when the caller passed no cooperative timeout, seconds
+    default_timeout: float = 30.0
+    #: slack added to the cooperative timeout before SIGKILL, so clean
+    #: engine-side timeouts win the race and SIGKILL only fires on real hangs
+    kill_grace: float = 1.0
+    #: consecutive abnormal exits before the executable is quarantined
+    quarantine_threshold: int = 4
+    #: total respawns allowed over the pool's lifetime
+    max_respawns: int = 128
+    #: number of worker processes (round-robin; >1 is the substrate for
+    #: parallel fan-out, invocations are serial today)
+    pool_size: int = 1
+
+
+class _HardTimeout(Exception):
+    """Internal sentinel: the response deadline expired (worker still alive)."""
+
+
+class _WorkerDied(Exception):
+    """Internal sentinel: the pipe closed before a full reply arrived."""
+
+
+class WorkerHandle:
+    """One supervised worker process plus its incremental ship-state."""
+
+    def __init__(self, spec: WorkerSpec, executable_blob: bytes):
+        command = [sys.executable, "-m", "repro.isolation.worker"]
+        if spec.memory_limit_bytes:
+            command += ["--memory-limit-bytes", str(spec.memory_limit_bytes)]
+        env = dict(os.environ)
+        # The worker must import repro regardless of how the parent found it:
+        # prepend the directory *containing* the repro package.
+        import repro
+
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        self.proc = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # worker tracebacks stay visible on the user's stderr
+            env=env,
+        )
+        self._buffer = b""
+        #: table → (schema, shipped row-list reference); holding the list
+        #: object both detects changes (identity) and pins its id
+        self.shipped: dict[str, tuple] = {}
+        self.last_injected: dict[str, int] = {}
+        write_frame(self.proc.stdin, {"cmd": "init", "executable": executable_blob})
+        reply = self._read_reply(_SPAWN_TIMEOUT)
+        if not reply.get("ok"):
+            error = reply.get("error")
+            self.kill()
+            raise ExtractionError(f"isolated worker failed to initialise: {error}")
+        self.pid = reply.get("pid", self.proc.pid)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    # -- request/response ---------------------------------------------------
+
+    def request(self, message: dict, deadline_seconds: float) -> dict:
+        """Send one frame and read the reply under a hard deadline.
+
+        Raises :class:`_HardTimeout` when the deadline expires and
+        :class:`_WorkerDied` when the worker's pipe closes mid-reply; the
+        pool turns those into kills/classified crashes.
+        """
+        try:
+            write_frame(self.proc.stdin, message)
+        except (BrokenPipeError, OSError) as error:
+            raise _WorkerDied(str(error)) from error
+        return self._read_reply(deadline_seconds)
+
+    def _read_reply(self, deadline_seconds: float) -> dict:
+        import io
+        import pickle
+        import struct
+
+        deadline = time.perf_counter() + deadline_seconds
+        header_size = 8
+        fd = self.proc.stdout.fileno()
+        needed = header_size
+        length: Optional[int] = None
+        while True:
+            while len(self._buffer) >= needed:
+                if length is None:
+                    (length,) = struct.unpack(">Q", self._buffer[:header_size])
+                    needed = header_size + length
+                    continue
+                payload = self._buffer[header_size:needed]
+                self._buffer = self._buffer[needed:]
+                return pickle.loads(payload)
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise _HardTimeout()
+            readable, _, _ = select.select([fd], [], [], remaining)
+            if not readable:
+                raise _HardTimeout()
+            chunk = os.read(fd, 1 << 20)
+            if not chunk:
+                raise _WorkerDied("worker closed its pipe before replying")
+            self._buffer += chunk
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL and reap; idempotent."""
+        if self.proc.poll() is None:
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kernel refusal
+            pass
+        self._close_pipes()
+
+    def shutdown(self) -> None:
+        """Polite exit, escalating to SIGKILL."""
+        if self.proc.poll() is None:
+            try:
+                write_frame(self.proc.stdin, {"cmd": "shutdown"})
+                self.proc.stdin.close()
+                self.proc.wait(timeout=2)
+            except Exception:
+                pass
+        self.kill()
+
+    def _close_pipes(self) -> None:
+        for pipe in (self.proc.stdin, self.proc.stdout):
+            try:
+                if pipe is not None:
+                    pipe.close()
+            except OSError:
+                pass
+
+    def exit_kind(self) -> str:
+        """Classify a dead worker's wait status into the crash taxonomy."""
+        code = self.proc.returncode
+        if code is None:  # pragma: no cover - callers reap first
+            return "unknown"
+        if code < 0:
+            return _SIGNAL_KINDS.get(-code, f"signal-{-code}")
+        if code == EXIT_MEMORY:
+            return "oom"
+        return f"exit-{code}"
+
+
+@dataclass
+class PoolStats:
+    """Lifetime accounting, reported on the chaos CLI and in span tags."""
+
+    invocations: int = 0
+    crashes: int = 0
+    kills: int = 0
+    restarts: int = 0
+    rss_peak_bytes: int = 0
+
+
+class WorkerPool:
+    """Round-robin pool of supervised workers for one executable."""
+
+    def __init__(self, executable, spec: WorkerSpec, metrics=None):
+        self.spec = spec
+        self.metrics = metrics
+        self.executable_blob = pack_executable(executable)
+        self.stats = PoolStats()
+        self.ordinal = 0
+        self.consecutive_abnormal = 0
+        self.respawns = 0
+        self.quarantine_error: Optional[WorkerQuarantined] = None
+        #: accumulated chaos-injection counts from workers that already died
+        self.injected_base: dict[str, int] = {}
+        self._workers: list[Optional[WorkerHandle]] = [None] * max(1, spec.pool_size)
+        self._next = 0
+        self.closed = False
+
+    # -- public API ---------------------------------------------------------
+
+    def invoke(self, db, timeout: Optional[float], trace_access: bool = False) -> dict:
+        """Run one invocation out of process; returns the worker's reply dict.
+
+        Raises :class:`~repro.errors.ExecutableTimeoutError` on a hard-
+        deadline kill, :class:`~repro.errors.WorkerCrashedError` on an
+        abnormal exit, and :class:`~repro.errors.WorkerQuarantined` once the
+        executable is quarantined.  A *clean* application error is not raised
+        here: the reply comes back with ``ok=False`` so the backend can mirror
+        the run's stats before re-raising it.
+        """
+        if self.closed:
+            raise ExtractionError("worker pool is closed")
+        if self.quarantine_error is not None:
+            raise self.quarantine_error
+        slot = self._next
+        self._next = (self._next + 1) % len(self._workers)
+        worker = self._ensure_worker(slot)
+        self.ordinal += 1
+        self.stats.invocations += 1
+        effective = timeout if timeout is not None else self.spec.default_timeout
+        message = {
+            "cmd": "run",
+            "ordinal": self.ordinal,
+            "timeout": timeout,
+            "trace_access": trace_access,
+            "deltas": self._deltas(worker, db),
+            "dropped": self._dropped(worker, db),
+        }
+        try:
+            reply = worker.request(message, effective + self.spec.kill_grace)
+        except _HardTimeout:
+            worker.kill()
+            self._workers[slot] = None
+            self.stats.kills += 1
+            self._count("worker_kills_total")
+            self._note_abnormal(worker)
+            raise ExecutableTimeoutError(
+                f"isolated invocation {self.ordinal} exceeded its "
+                f"{effective:.3f}s hard deadline and was killed"
+            ) from None
+        except _WorkerDied:
+            worker.kill()  # reap; usually already dead
+            self._workers[slot] = None
+            kind = worker.exit_kind()
+            self.stats.crashes += 1
+            self._count("worker_crashes_total")
+            self._note_abnormal(worker)
+            raise WorkerCrashedError(
+                kind,
+                f"worker pid {worker.pid} died with status "
+                f"{worker.proc.returncode}",
+                ordinal=self.ordinal,
+            ) from None
+        # A reply — normal or a clean application error — means the process
+        # survived the invocation: the crash streak is over.
+        self.consecutive_abnormal = 0
+        self._record_reply_stats(worker, reply)
+        return reply
+
+    def injected_totals(self) -> dict[str, int]:
+        """Chaos-injection counts across all worker generations."""
+        totals = dict(self.injected_base)
+        for worker in self._workers:
+            if worker is not None:
+                for key, value in worker.last_injected.items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for slot, worker in enumerate(self._workers):
+            if worker is not None:
+                self._absorb_injected(worker)
+                worker.shutdown()
+                self._workers[slot] = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _ensure_worker(self, slot: int) -> WorkerHandle:
+        worker = self._workers[slot]
+        if worker is not None and worker.alive:
+            return worker
+        if worker is not None:
+            self._workers[slot] = None
+        is_restart = self.stats.invocations > 0
+        if is_restart:
+            if self.respawns >= self.spec.max_respawns:
+                self._quarantine("respawn budget spent")
+            self.respawns += 1
+            self.stats.restarts += 1
+            self._count("worker_restarts_total")
+        handle = WorkerHandle(self.spec, self.executable_blob)
+        self._workers[slot] = handle
+        return handle
+
+    def _note_abnormal(self, worker: WorkerHandle) -> None:
+        self._absorb_injected(worker)
+        self.consecutive_abnormal += 1
+        if self.consecutive_abnormal >= self.spec.quarantine_threshold:
+            self._quarantine(
+                f"{self.consecutive_abnormal} consecutive abnormal worker exits"
+            )
+
+    def _quarantine(self, reason: str):
+        self.quarantine_error = WorkerQuarantined(
+            reason, self.consecutive_abnormal, self.respawns
+        )
+        self._count("worker_quarantines_total")
+        raise self.quarantine_error
+
+    def _absorb_injected(self, worker: WorkerHandle) -> None:
+        for key, value in worker.last_injected.items():
+            self.injected_base[key] = self.injected_base.get(key, 0) + value
+        worker.last_injected = {}
+
+    def _record_reply_stats(self, worker: WorkerHandle, reply: dict) -> None:
+        stats = reply.get("stats") or {}
+        rss = int(stats.get("maxrss_bytes", 0))
+        if rss > self.stats.rss_peak_bytes:
+            self.stats.rss_peak_bytes = rss
+            if self.metrics is not None:
+                self.metrics.gauge("worker_rss_peak_bytes").set(rss)
+        if "injected" in stats:
+            worker.last_injected = dict(stats["injected"])
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    # -- incremental state shipping -----------------------------------------
+
+    def _deltas(self, worker: WorkerHandle, db) -> dict:
+        deltas = {}
+        for name, schema, rows in db.table_states():
+            prev = worker.shipped.get(name)
+            if prev is not None and prev[0] == schema and prev[1] is rows:
+                continue
+            worker.shipped[name] = (schema, rows)
+            deltas[name] = {"schema": schema, "rows": rows}
+        return deltas
+
+    def _dropped(self, worker: WorkerHandle, db) -> list:
+        live = {name for name, _, _ in db.table_states()}
+        dropped = [name for name in worker.shipped if name not in live]
+        for name in dropped:
+            del worker.shipped[name]
+        return dropped

@@ -1,0 +1,226 @@
+"""Worker process entry point: ``python -m repro.isolation.worker``.
+
+One worker owns one resident :class:`~repro.engine.database.Database` replica
+and one reconstructed executable.  The supervisor ships table *deltas* with
+each run request (only tables whose contents changed since the last ship),
+the worker reconciles its replica, runs the executable inside a
+``db.sandbox()`` (so application DML rolls back and the replica stays exactly
+"the shipped state"), and replies with the result or the raised exception.
+
+Hostile-application containment is split between the two processes:
+
+* the *worker* applies ``RLIMIT_AS`` before touching any request, so a
+  memory-hogging application hits ``MemoryError`` — at which point the
+  interpreter's own allocations can no longer be trusted, and the worker
+  exits immediately with :data:`~repro.isolation.protocol.EXIT_MEMORY`
+  rather than risking a half-written reply frame;
+* the *supervisor* owns the wall clock: a busy-looping application never
+  reaches this module's reply path, and is SIGKILLed from outside.
+
+Anything the application prints must not corrupt the frame stream, so the
+protocol runs on a private dup of stdout and fd 1 is pointed at stderr
+before the first request is read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional
+
+import repro.core.pipeline  # noqa: F401  (see comment below)
+from repro.engine.database import Database
+from repro.isolation.protocol import (
+    EXIT_MEMORY,
+    EXIT_PROTOCOL,
+    read_frame,
+    write_frame,
+)
+
+# The pipeline import above is deliberate: unpickling an executable can pull
+# in arbitrary repro modules (e.g. repro.resilience.faults for a chaos
+# wrapper), and importing repro.resilience as a *package* first would trip
+# its import cycle with repro.core.  Importing the pipeline stack up front
+# reproduces the supervisor's canonical import order.
+
+
+class _RowsTally:
+    """Budget-shaped accumulator for the engine's rows-scanned charges.
+
+    The worker's replica has no :class:`~repro.resilience.budgets.ResourceBudget`
+    — limits are enforced supervisor-side where usage is counted once — but
+    attaching this tally lets the engine's existing charge hook report how
+    many rows each invocation scanned, so the supervisor can charge its own
+    budget after the fact.
+    """
+
+    __slots__ = ("rows_scanned",)
+
+    def __init__(self):
+        self.rows_scanned = 0
+
+    def charge_rows_scanned(self, count: int) -> None:
+        self.rows_scanned += count
+
+    def check_wall_clock(self) -> None:  # polled by Database.check_deadline
+        pass
+
+
+def _apply_memory_limit(limit_bytes: int) -> None:
+    """Cap the worker's address space (the portable RSS-cap stand-in).
+
+    ``RLIMIT_RSS`` is a no-op on modern Linux, so the enforceable knob is
+    ``RLIMIT_AS``: allocations past the cap fail, which Python surfaces as
+    :class:`MemoryError`.
+    """
+    import resource
+
+    resource.setrlimit(resource.RLIMIT_AS, (limit_bytes, limit_bytes))
+
+
+def _maxrss_bytes() -> int:
+    """Peak RSS of this worker so far (``ru_maxrss`` is KiB on Linux)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def _reconcile(db: Database, deltas: dict, dropped: list) -> None:
+    """Apply the supervisor's table deltas to the resident replica."""
+    for name in dropped:
+        db.drop_table(name)
+    for name, payload in deltas.items():
+        schema = payload["schema"]
+        if name in (existing.lower() for existing in db.table_names):
+            if db.schema(name) != schema:
+                db.drop_table(name)
+                db.create_table(schema)
+        else:
+            db.create_table(schema)
+        db.replace_rows(name, payload["rows"])
+
+
+def _run_once(db: Database, executable, message: dict) -> dict:
+    _reconcile(db, message["deltas"], message["dropped"])
+    timeout: Optional[float] = message["timeout"]
+    tally = _RowsTally()
+    db.budget = tally
+    db.access_log.clear()
+    db.trace_access = bool(message["trace_access"])
+    # The supervisor's global invocation ordinal: fault injectors key their
+    # per-invocation draws on it so a respawned worker does not replay the
+    # fault sequence from scratch (see FaultPlan.draw_hard).
+    executable.invocation_ordinal = message["ordinal"]
+    started = time.perf_counter()
+    if timeout is not None:
+        db.deadline = started + timeout
+    result = None
+    error: Optional[BaseException] = None
+    try:
+        with db.sandbox():
+            result = executable.run(db, timeout=timeout)
+    except MemoryError:
+        # The cap was hit: the replica (and even this frame's buffers) may be
+        # partially constructed.  Die loudly; the supervisor classifies the
+        # exit status and respawns.
+        os._exit(EXIT_MEMORY)
+    except BaseException as raised:  # noqa: BLE001 - errors are payload here
+        error = raised
+    finally:
+        db.deadline = None
+        db.budget = None
+        db.trace_access = False
+    stats = {
+        "duration": time.perf_counter() - started,
+        "maxrss_bytes": _maxrss_bytes(),
+        "rows_scanned": tally.rows_scanned,
+        "invocation_count": executable.invocation_count,
+    }
+    injected = getattr(executable, "injected", None)
+    if isinstance(injected, dict):
+        stats["injected"] = dict(injected)
+    if message["trace_access"]:
+        stats["access_log"] = list(db.access_log)
+    if error is not None:
+        return {"ok": False, "error": _portable_error(error), "stats": stats}
+    return {"ok": True, "result": result, "stats": stats}
+
+
+def _portable_error(error: BaseException) -> BaseException:
+    """The error itself when picklable, else a same-severity stand-in."""
+    import pickle
+
+    try:
+        pickle.dumps(error)
+        return error
+    except Exception:
+        return RuntimeError(
+            f"worker-side error (unpicklable): {type(error).__name__}: {error}"
+        )
+
+
+def _serve(inp, out) -> int:
+    db = Database()
+    executable = None
+    while True:
+        try:
+            message = read_frame(inp)
+        except EOFError:
+            return 0  # supervisor went away; pipes are our lifeline
+        cmd = message.get("cmd")
+        if cmd == "init":
+            import pickle
+
+            try:
+                executable = pickle.loads(message["executable"])
+                write_frame(out, {"ok": True, "pid": os.getpid()})
+            except Exception as error:  # unpicklable spec → structured reply
+                write_frame(out, {"ok": False, "error": _portable_error(error)})
+        elif cmd == "run":
+            if executable is None:
+                write_frame(
+                    out,
+                    {"ok": False, "error": RuntimeError("run before init")},
+                )
+                continue
+            write_frame(out, _run_once(db, executable, message))
+        elif cmd == "shutdown":
+            write_frame(out, {"ok": True})
+            return 0
+        else:
+            write_frame(
+                out, {"ok": False, "error": RuntimeError(f"unknown cmd {cmd!r}")}
+            )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-worker")
+    parser.add_argument("--memory-limit-bytes", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.memory_limit_bytes:
+        _apply_memory_limit(args.memory_limit_bytes)
+    # Reserve the real stdout for frames; reroute fd 1 to stderr so an
+    # application's print() cannot corrupt the protocol stream.
+    protocol_fd = os.dup(1)
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+    inp = sys.stdin.buffer
+    out = os.fdopen(protocol_fd, "wb")
+    try:
+        return _serve(inp, out)
+    except MemoryError:
+        os._exit(EXIT_MEMORY)
+    except (BrokenPipeError, KeyboardInterrupt):
+        return 0
+    except Exception:
+        import traceback
+
+        traceback.print_exc()
+        return EXIT_PROTOCOL
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

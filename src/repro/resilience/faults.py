@@ -16,6 +16,23 @@ Fault kinds:
   byzantine half-failure; retries cannot detect this, the checker can);
 * ``latency``   — sleeps briefly before a normal run (a latency spike).
 
+Two *hard* fault kinds model failures no in-process mechanism survives —
+only the ``--isolate process`` worker pool does:
+
+* ``hang``  — a genuine busy-loop that ignores the cooperative engine
+  deadline (bounded by ``hang_seconds`` so an accidental in-process draw
+  cannot freeze a test run forever); the isolation supervisor SIGKILLs it at
+  the hard deadline;
+* ``crash`` — ``os.abort()``: takes the hosting process down with SIGABRT.
+  In a worker that is a classified, retryable crash; in-process it kills the
+  extraction itself.
+
+Hard-fault draws are keyed on the *supervisor's* invocation ordinal (one
+fresh ``random.Random`` per ordinal, independent of the soft-fault stream):
+a respawned worker's replayed counters do not replay the fault sequence, and
+a retried invocation gets a fresh draw — which is what lets a chaos run
+converge instead of re-crashing on the same probe forever.
+
 ``crash_at`` injects one hard, *non-retryable* crash
 (:class:`InjectedCrashError`, deliberately outside the ``ReproError``
 hierarchy) at an exact invocation number — the test harness's stand-in for
@@ -57,6 +74,10 @@ class FaultPlan:
     empty_result_rate: float = 0.0
     latency_rate: float = 0.0
     latency_seconds: float = 0.001
+    #: hard-fault rates (per-ordinal draws, see :meth:`draw_hard`)
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    crash_rate: float = 0.0
     seed: int = 1337
     activate_after: int = 0
     crash_at: Optional[int] = None
@@ -70,6 +91,11 @@ class FaultPlan:
         )
         if not 0.0 <= total <= 1.0:
             raise ValueError(f"fault rates of plan {self.name!r} sum to {total}")
+        if not 0.0 <= self.hang_rate + self.crash_rate <= 1.0:
+            raise ValueError(
+                f"hard-fault rates of plan {self.name!r} sum to "
+                f"{self.hang_rate + self.crash_rate}"
+            )
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return dataclasses.replace(self, seed=seed)
@@ -88,9 +114,30 @@ class FaultPlan:
             u -= rate
         return None
 
+    def draw_hard(self, ordinal: int) -> Optional[str]:
+        """The hard-fault decision for one invocation ordinal.
+
+        Deterministic per ``(seed, ordinal)`` and *stateless*: unlike
+        :meth:`draw`, which consumes one shared RNG stream, each ordinal gets
+        an independent draw.  That keeps the soft-fault stream untouched
+        (existing profiles inject identical sequences) and survives worker
+        respawns — the ordinal is assigned by the supervisor, so a fresh
+        worker continues the sequence instead of replaying it.
+        """
+        if self.hang_rate <= 0.0 and self.crash_rate <= 0.0:
+            return None
+        u = random.Random((self.seed << 20) ^ ordinal).random()
+        if u < self.crash_rate:
+            return "crash"
+        if u < self.crash_rate + self.hang_rate:
+            return "hang"
+        return None
+
     @property
     def injects_timeouts(self) -> bool:
-        return self.timeout_rate > 0.0
+        # A hang surfaces as a (hard) timeout to the caller, so surviving a
+        # hang profile needs timeout retries just like the soft kind.
+        return self.timeout_rate > 0.0 or self.hang_rate > 0.0
 
 
 #: Named profiles for the ``repro chaos`` command and the chaos test suite.
@@ -116,7 +163,20 @@ FAULT_PROFILES: dict[str, FaultPlan] = {
     # Wrong-but-well-formed answers.  Retries cannot catch silently empty
     # results — extraction may diverge; the checker is the backstop.
     "byzantine": FaultPlan(name="byzantine", transient_rate=0.05, empty_result_rate=0.02),
+    # Hard faults: survivable only under ``--isolate process``.  Rates are
+    # kept low so the probability of K consecutive draws (which would
+    # legitimately quarantine the executable) is negligible over a run.
+    "hang": FaultPlan(name="hang", hang_rate=0.02, hang_seconds=30.0),
+    "crash": FaultPlan(name="crash", crash_rate=0.03),
 }
+
+#: profiles whose faults kill the hosting process or defeat cooperative
+#: deadlines — the chaos CLI refuses to run these without ``--isolate process``
+HARD_FAULT_PROFILES = frozenset(
+    name
+    for name, plan in FAULT_PROFILES.items()
+    if plan.hang_rate > 0.0 or plan.crash_rate > 0.0
+)
 
 
 class FaultyExecutable(Executable):
@@ -140,6 +200,8 @@ class FaultyExecutable(Executable):
             "timeout": 0,
             "empty": 0,
             "latency": 0,
+            "hang": 0,
+            "crash": 0,
         }
 
     @property
@@ -152,6 +214,30 @@ class FaultyExecutable(Executable):
             raise InjectedCrashError(
                 f"injected crash at invocation {self.invocation_count}"
             )
+        if self.invocation_count > self.plan.activate_after:
+            # Inside an isolation worker the supervisor ships its global
+            # ordinal; in-process, the local count is the same sequence.
+            ordinal = getattr(self, "invocation_ordinal", None)
+            hard = self.plan.draw_hard(
+                ordinal if ordinal is not None else self.invocation_count
+            )
+            if hard == "crash":
+                self.injected["crash"] += 1
+                import os
+
+                os.abort()  # SIGABRT: kills the hosting process for real
+            if hard == "hang":
+                self.injected["hang"] += 1
+                # A true busy-loop: never polls the cooperative deadline, so
+                # only an out-of-process SIGKILL can cut it short.  Bounded
+                # by hang_seconds as a safety net for in-process draws.
+                end = time.perf_counter() + self.plan.hang_seconds
+                while time.perf_counter() < end:
+                    pass
+                raise ExecutableTimeoutError(
+                    f"injected hang outlived its {self.plan.hang_seconds}s "
+                    f"bound (invocation {self.invocation_count})"
+                )
         kind = None
         if self.invocation_count > self.plan.activate_after:
             kind = self.plan.draw(self._rng)
@@ -169,6 +255,8 @@ class FaultyExecutable(Executable):
             self.injected["latency"] += 1
             time.sleep(self.plan.latency_seconds)
         result = self.inner.run(db, timeout=timeout)
+        # surface the inner invocation span for after-the-fact tagging
+        self.last_span = getattr(self.inner, "last_span", None)
         if kind == "empty":
             self.injected["empty"] += 1
             return Result(result.columns, [])

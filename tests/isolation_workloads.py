@@ -1,0 +1,96 @@
+"""Hostile executables for the isolation test suite.
+
+These live in an importable module (not a test file) because isolation
+workers reconstruct executables by reference: pickle records
+``module.QualName``, and the worker process must be able to import it.
+Every class here is a black box that misbehaves in a specific,
+classifiable way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.apps.executable import Executable
+from repro.engine.result import Result
+
+
+class EchoNation(Executable):
+    """A well-behaved baseline: selects everything from ``nation``."""
+
+    name = "echo-nation"
+
+    def _execute(self, db, timeout):
+        return db.execute("select n_nationkey, n_name from nation")
+
+
+class BusyLooper(Executable):
+    """Ignores the cooperative deadline entirely — a true hang."""
+
+    name = "busy-looper"
+
+    def __init__(self, seconds: float = 60.0):
+        super().__init__()
+        self.seconds = seconds
+
+    def _execute(self, db, timeout):
+        end = time.perf_counter() + self.seconds
+        while time.perf_counter() < end:
+            pass
+        return Result.empty()
+
+
+class Aborter(Executable):
+    """Takes its hosting process down with SIGABRT on every run."""
+
+    name = "aborter"
+
+    def _execute(self, db, timeout):
+        os.abort()
+
+
+class AbortOnce(Executable):
+    """Aborts on the first invocation only; clean afterwards.
+
+    Keyed on the supervisor's shipped ordinal, not the local
+    ``invocation_count`` — a respawned worker unpickles a fresh copy whose
+    count restarts, and would otherwise re-abort forever.
+    """
+
+    name = "abort-once"
+
+    def _execute(self, db, timeout):
+        if getattr(self, "invocation_ordinal", self.invocation_count) <= 1:
+            os.abort()
+        return db.execute("select n_nationkey from nation")
+
+
+class MemoryHog(Executable):
+    """Allocates without bound until the worker's RLIMIT_AS stops it."""
+
+    name = "memory-hog"
+
+    def _execute(self, db, timeout):
+        hoard = []
+        while True:
+            hoard.append(bytearray(16 * 1024 * 1024))
+
+
+class TablePrinter(Executable):
+    """Writes garbage to stdout before answering — a frame-corruption probe."""
+
+    name = "table-printer"
+
+    def _execute(self, db, timeout):
+        print("application chatter" * 100)
+        return db.execute("select n_nationkey from nation")
+
+
+class RowCounter(Executable):
+    """Returns the live row count of ``nation`` — state-sync oracle."""
+
+    name = "row-counter"
+
+    def _execute(self, db, timeout):
+        return Result(["count"], [(db.row_count("nation"),)])
