@@ -23,7 +23,9 @@ dichotomy the algorithm needs.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.apps.obfuscation import deobfuscate, obfuscate
@@ -33,15 +35,97 @@ from repro.errors import ExecutableTimeoutError
 from repro.obs.trace import NULL_TRACER
 
 
+class InvocationMemo:
+    """Memoizes invocation results keyed by database state.
+
+    The key is ``(content fingerprint, timeout)``: a *pure* executable (see
+    :attr:`Executable.cacheable`) run twice against byte-identical database
+    states must produce the same result, so the second run can skip execution
+    entirely — the big wins are repeated baseline probes against the resident
+    D¹ state, sentinel re-probes, retry replays after transient faults, and
+    checkpoint resume.  Only **successful** results are stored: errors and
+    timeouts are semantic signals (a From-clause timeout means "table not
+    referenced") whose replay must stay live.
+
+    Memoization elides the *physical* execution only.  Logical accounting —
+    invocation counts, budget charges, spans, metrics — still happens on a
+    hit, so ``stats.invocations`` is independent of cache temperature.
+
+    ``max_rows`` bounds the fingerprint cost: hashing is O(rows), so states
+    larger than the bound bypass the memo (probe states are tiny; the
+    original instance is not).  Thread-safe for the probe scheduler.
+    """
+
+    __slots__ = ("capacity", "max_rows", "_entries", "_lock", "hits", "misses", "bypasses")
+
+    def __init__(self, capacity: int = 512, max_rows: int = 4096):
+        self.capacity = capacity
+        self.max_rows = max_rows
+        self._entries: OrderedDict[tuple, Result] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    def key_for(self, db: Database, timeout: Optional[float]):
+        """The memo key for ``db``'s current state, or None to bypass."""
+        if db.total_rows() > self.max_rows:
+            with self._lock:
+                self.bypasses += 1
+            return None
+        return (db.fingerprint(), timeout)
+
+    def lookup(self, key) -> Optional[Result]:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def store(self, key, result: Result) -> None:
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "bypasses": self.bypasses,
+                "entries": len(self._entries),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+
 class Executable:
     """Base class for opaque applications."""
 
     #: human-readable label for reports
     name: str = "app"
 
+    #: True when :meth:`run` is a pure function of the database state —
+    #: deterministic, read-only, no out-of-band effects — making its results
+    #: safe to memoize by content fingerprint.  Conservative default: only
+    #: :class:`SQLExecutable` (a single SELECT) opts in; imperative and
+    #: fault-injecting flavours stay uncached.
+    cacheable: bool = False
+
     def __init__(self):
         self.invocation_count = 0
         self.total_runtime = 0.0
+        #: optional :class:`InvocationMemo`, attached by the session when
+        #: invocation caching is configured and the flavour is cacheable.
+        self.memo: Optional[InvocationMemo] = None
+        #: guards the counters above: scheduler worker threads run the
+        #: executable concurrently.
+        self._counter_lock = threading.Lock()
         #: the ``invocation`` span of the most recent traced :meth:`run`
         #: (``None`` untraced).  Callers that need to tag the invocation
         #: after it completed — :func:`run_with_deadline` discarding an
@@ -63,10 +147,20 @@ class Executable:
         When ``db`` carries an enabled tracer the invocation opens an
         ``invocation`` span (engine queries issued by the hidden logic nest
         beneath it); with the default null tracer this is the bare fast path.
+
+        When an :class:`InvocationMemo` is attached (and the database is not
+        in access-trace mode, whose whole point is observing the execution),
+        the physical execution is skipped on a state match — everything else
+        about the invocation (counting, span, metrics) happens as usual.
         """
-        self.invocation_count += 1
+        with self._counter_lock:
+            self.invocation_count += 1
         self.last_span = None
         tracer = getattr(db, "tracer", NULL_TRACER)
+        memo = self.memo if self.cacheable else None
+        memo_key = None
+        if memo is not None and not getattr(db, "trace_access", False):
+            memo_key = memo.key_for(db, timeout)
         owns_deadline = (
             timeout is not None and getattr(db, "deadline", None) is None
         )
@@ -76,19 +170,21 @@ class Executable:
         try:
             if not tracer.enabled:
                 try:
-                    return self._execute(db, timeout)
+                    return self._execute_memoized(db, timeout, memo, memo_key)
                 finally:
-                    self.total_runtime += time.perf_counter() - started
+                    with self._counter_lock:
+                        self.total_runtime += time.perf_counter() - started
             with tracer.span(self.name, kind="invocation") as span:
                 self.last_span = span
                 span.set_tags(executable=self.name, db_rows=db.total_rows())
                 if tracer.metrics is not None:
                     tracer.metrics.counter("invocations_total").inc()
                 try:
-                    return self._execute(db, timeout)
+                    return self._execute_memoized(db, timeout, memo, memo_key, span)
                 finally:
                     elapsed = time.perf_counter() - started
-                    self.total_runtime += elapsed
+                    with self._counter_lock:
+                        self.total_runtime += elapsed
                     if tracer.metrics is not None:
                         tracer.metrics.histogram(
                             "invocation_latency_seconds"
@@ -97,15 +193,68 @@ class Executable:
             if owns_deadline:
                 db.deadline = None
 
+    def _execute_memoized(
+        self, db, timeout, memo, memo_key, span=None
+    ) -> Result:
+        if memo_key is not None:
+            cached = memo.lookup(memo_key)
+            if cached is not None:
+                if span is not None:
+                    span.set_tag("invocation_cache", "hit")
+                return cached
+            if span is not None:
+                span.set_tag("invocation_cache", "miss")
+        result = self._execute(db, timeout)
+        if memo_key is not None:
+            memo.store(memo_key, result)
+        return result
+
+    def probe(self, db: Database, timeout: Optional[float] = None) -> Result:
+        """Execute with **no accounting whatsoever** — no invocation count,
+        span, metric, or memo traffic.
+
+        This is the probe scheduler's speculation primitive: speculative
+        executions may be discarded, so they must be invisible to every
+        logical counter; the scheduler charges consumed probes itself.  The
+        cooperative deadline is still armed so timeouts behave identically
+        to a counted run.
+        """
+        owns_deadline = (
+            timeout is not None and getattr(db, "deadline", None) is None
+        )
+        if owns_deadline:
+            db.deadline = time.perf_counter() + timeout
+        try:
+            return self._execute(db, timeout)
+        finally:
+            if owns_deadline:
+                db.deadline = None
+
+    def charge_logical(self, elapsed: float = 0.0) -> None:
+        """Account one *logical* invocation whose physical execution happened
+        elsewhere (a consumed speculative probe).  Keeps ``invocation_count``
+        equal to the serial schedule's count."""
+        with self._counter_lock:
+            self.invocation_count += 1
+            self.total_runtime += elapsed
+
     def _execute(self, db: Database, timeout: Optional[float]) -> Result:
         raise NotImplementedError
 
     def __getstate__(self):
         # Spans belong to the process that traced them; an executable shipped
-        # to an isolation worker must not drag its tracer state along.
+        # to an isolation worker must not drag its tracer state along.  Locks
+        # are unpicklable and the memo is supervisor-side state — both are
+        # rebuilt/cleared on the worker.
         state = self.__dict__.copy()
         state["last_span"] = None
+        state["memo"] = None
+        state.pop("_counter_lock", None)
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._counter_lock = threading.Lock()
 
     def reset_counters(self) -> None:
         self.invocation_count = 0
@@ -120,6 +269,9 @@ class SQLExecutable(Executable):
     transiently inside :meth:`run`, mirroring encrypted stored procedures
     whose plans and logs are blocked from inspection.
     """
+
+    #: a single SELECT: deterministic and read-only, so memoizable by state
+    cacheable = True
 
     def __init__(self, sql: str, obfuscate_text: bool = True, name: str = "hidden-sql"):
         super().__init__()

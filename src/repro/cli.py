@@ -124,6 +124,32 @@ def _make_parser() -> argparse.ArgumentParser:
                             "auto-resume from the checkpoint")
     _common_extraction_args(chaos)
 
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the probe scheduler across --jobs levels and write "
+             "BENCH_extraction.json",
+    )
+    bench.add_argument("--queries", nargs="+", default=None, metavar="Q",
+                       help="TPC-H query names to benchmark (default: Q1 Q3 Q6)")
+    bench.add_argument("--jobs", type=int, nargs="+", default=None, metavar="N",
+                       help="jobs levels to sweep (default: 1 4; 1 is always "
+                            "included as the speedup base)")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="synthetic data scale factor")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--latency-ms", type=float, default=None, metavar="MS",
+                       help="simulated application round-trip latency per "
+                            "physical invocation (default 4)")
+    bench.add_argument("--out", metavar="FILE", default="BENCH_extraction.json",
+                       help="where to write the payload "
+                            "(default: BENCH_extraction.json)")
+    bench.add_argument("--baseline", metavar="FILE", default=None,
+                       help="compare against this committed baseline payload "
+                            "and exit 1 on regression")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="tolerated fractional regression vs the baseline "
+                            "(default 0.25)")
+
     verify = sub.add_parser(
         "verify",
         help="check whether a hidden query is inside the extractable class "
@@ -182,6 +208,17 @@ def _common_extraction_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--worker-timeout", type=float, default=None, metavar="S",
                         help="hard deadline for isolated invocations that "
                              "carry no cooperative timeout (default 30)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker threads for independent probe batches; "
+                             "the extracted SQL is byte-identical for any N "
+                             "(default 1 = fully sequential)")
+    parser.add_argument("--plan-cache-size", type=int, default=256, metavar="N",
+                        help="LRU capacity of the engine's parse/plan cache, "
+                             "keyed by (SQL, schema version); 0 disables it "
+                             "(default 256)")
+    parser.add_argument("--no-invocation-cache", action="store_true",
+                        help="disable memoization of application invocations "
+                             "by database fingerprint")
 
 
 def _install_signal_handlers() -> None:
@@ -247,6 +284,9 @@ def _dispatch(args, out) -> int:
     if args.command == "trace-report":
         return _run_trace_report(args, out)
 
+    if args.command == "bench":
+        return _run_bench(args, out)
+
     if args.command == "chaos":
         module = _load_workloads()[args.workload]
         query = _lookup_query(module, args.query)
@@ -301,12 +341,79 @@ def _run_trace_report(args, out) -> int:
     return 0
 
 
+def _run_bench(args, out) -> int:
+    import json
+
+    from repro.bench.extraction_bench import (
+        DEFAULT_LATENCY,
+        DEFAULT_SCALE,
+        compare_to_baseline,
+        run_extraction_bench,
+        write_payload,
+    )
+
+    latency = (
+        args.latency_ms / 1000.0 if args.latency_ms is not None else DEFAULT_LATENCY
+    )
+    payload = run_extraction_bench(
+        queries=args.queries,
+        jobs_levels=args.jobs,
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+        seed=args.seed,
+        latency=latency,
+        progress=lambda line: out.write(f"  {line}\n"),
+    )
+    write_payload(payload, args.out)
+    summary = payload["summary"]
+    out.write(f"wrote       : {args.out}\n")
+    out.write(
+        f"speedup     : {summary['min_speedup']:.2f}x – "
+        f"{summary['max_speedup']:.2f}x at --jobs {summary['top_jobs']}\n"
+    )
+    out.write(
+        "determinism : sql "
+        + ("identical" if summary["all_sql_identical"] else "DIVERGED")
+        + ", invocations "
+        + ("identical" if summary["all_invocations_identical"] else "DIVERGED")
+        + "\n"
+    )
+    if not (summary["all_sql_identical"] and summary["all_invocations_identical"]):
+        return 1
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            out.write(f"cannot read baseline: {error}\n")
+            return 2
+        problems = compare_to_baseline(
+            payload, baseline, max_regression=args.max_regression
+        )
+        for problem in problems:
+            out.write(f"regression  : {problem}\n")
+        if problems:
+            return 1
+        out.write(
+            f"baseline    : no regression beyond {args.max_regression:.0%} "
+            f"vs {args.baseline}\n"
+        )
+    return 0
+
+
 def _budget_kwargs(args) -> dict:
     return {
         "budget_invocations": args.budget_invocations,
         "budget_rows_scanned": args.budget_rows_scanned,
         "budget_cells": args.budget_cells,
         "budget_seconds": args.budget_seconds,
+    }
+
+
+def _scheduler_kwargs(args) -> dict:
+    return {
+        "jobs": args.jobs,
+        "plan_cache_size": args.plan_cache_size,
+        "invocation_cache": not args.no_invocation_cache,
     }
 
 
@@ -347,6 +454,7 @@ def _run_extraction(args, sql: str, out) -> int:
         fail_fast=not args.best_effort,
         **_budget_kwargs(args),
         **_isolation_kwargs(args),
+        **_scheduler_kwargs(args),
     )
     tracer = None
     metrics = None
@@ -434,6 +542,7 @@ def _run_verify(args, sql: str, out) -> int:
         checker_strict=False,
         **_budget_kwargs(args),
         **_isolation_kwargs(args),
+        **_scheduler_kwargs(args),
     )
     outcome = UnmasqueExtractor(
         db, app, config, checkpoint_dir=args.checkpoint_dir
@@ -496,6 +605,7 @@ def _run_chaos(args, sql: str, out) -> int:
         extract_disjunctions=args.disjunctions,
         run_checker=not args.no_checker,
         **_budget_kwargs(args),
+        **_scheduler_kwargs(args),
     )
     baseline = UnmasqueExtractor(db, baseline_app, config).extract()
 

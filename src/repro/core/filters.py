@@ -35,14 +35,26 @@ _FILLER_ALPHABET = "zqjxkw"
 
 
 def extract_filters(session: ExtractionSession) -> list[Filter]:
-    """Identify ``F_E`` and record it on the session's query."""
+    """Identify ``F_E`` and record it on the session's query.
+
+    Columns are probed independently: every probe mutates only its own
+    column's value in ``D^1`` while all other columns keep satisfying their
+    own conjunctive predicates, so the populated/empty signal for one column
+    is unaffected by any other column's probe.  That independence lets the
+    per-column checks fan out across the session's probe scheduler
+    (``--jobs``); results come back in column order, so the extracted filter
+    list is identical to the sequential schedule's.
+    """
     with session.module("filters"):
-        filters: list[Filter] = []
-        for table in session.query.tables:
-            for column in session.nonkey_columns(table):
-                predicate = _check_column(session, column)
-                if predicate is not None:
-                    filters.append(predicate)
+        columns = [
+            column
+            for table in session.query.tables
+            for column in session.nonkey_columns(table)
+        ]
+        predicates = session.scheduler.map(
+            columns, _check_column, label="filters"
+        )
+        filters = [p for p in predicates if p is not None]
         session.query.filters = filters
         return filters
 

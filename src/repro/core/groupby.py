@@ -31,9 +31,14 @@ def extract_group_by(session: ExtractionSession, svalues: SValueSource) -> list[
     """Identify ``G_E`` and the ungrouped-aggregation flag."""
     with session.module("group_by"):
         builder = DgenBuilder(session, svalues)
-        group_by: list[ColumnNode] = []
         tested_cliques: set = set()
 
+        # Each candidate's probe database is a pure function of the schema,
+        # the join cliques, and the (cached) s-values, and its two-row/one-row
+        # outcome decides membership for that candidate alone — so the probe
+        # databases are materialized up front in discovery order and the runs
+        # fan out across the probe scheduler.
+        probes: list[tuple[ColumnNode, dict[str, list[tuple]]]] = []
         for table in session.query.tables:
             for column in session.table_columns(table):
                 clique = session.query.clique_of(column)
@@ -41,14 +46,24 @@ def extract_group_by(session: ExtractionSession, svalues: SValueSource) -> list[
                     if clique in tested_cliques:
                         continue
                     tested_cliques.add(clique)
-                    member = _test_clique_member(session, builder, clique)
-                    if member is not None:
-                        group_by.append(member)
+                    probes.append(_clique_probe(builder, clique))
                     continue
                 if svalues.is_equality_constrained(column):
                     continue  # superfluous in G_E
-                if _in_group_by_case1(session, svalues, builder, column):
-                    group_by.append(column)
+                probe = _case1_probe(svalues, builder, column)
+                if probe is not None:
+                    probes.append(probe)
+
+        row_counts = session.scheduler.map(
+            probes,
+            lambda ctx, probe: ctx.run_on(probe[1]).row_count,
+            label="group_by",
+        )
+        group_by = [
+            column
+            for (column, _), count in zip(probes, row_counts)
+            if count == 2
+        ]
 
         session.query.group_by = sorted(group_by)
         if not group_by:
@@ -58,28 +73,25 @@ def extract_group_by(session: ExtractionSession, svalues: SValueSource) -> list[
         return session.query.group_by
 
 
-def _in_group_by_case1(
-    session: ExtractionSession,
-    svalues: SValueSource,
-    builder: DgenBuilder,
-    column: ColumnNode,
-) -> bool:
+def _case1_probe(
+    svalues: SValueSource, builder: DgenBuilder, column: ColumnNode
+) -> tuple[ColumnNode, dict[str, list[tuple]]] | None:
+    """Case 1 probe database, or None for an effectively pinned column."""
     try:
         p, q = svalues.pair(column)
     except SValueError:
-        return False  # effectively equality-pinned: superfluous in G_E
+        return None  # effectively equality-pinned: superfluous in G_E
     rows = builder.build(
         row_counts={column.table: 3},
         overrides={column: [p, p, q]},
     )
-    result = builder.run(rows)
-    return result.row_count == 2
+    return column, rows
 
 
-def _test_clique_member(
-    session: ExtractionSession, builder: DgenBuilder, clique
-) -> ColumnNode | None:
-    """Case 2 probe; returns the clique representative if it's grouped on."""
+def _clique_probe(
+    builder: DgenBuilder, clique
+) -> tuple[ColumnNode, dict[str, list[tuple]]]:
+    """Case 2 probe database for the clique's representative."""
     column = clique.representative()
     overrides: dict[ColumnNode, list] = {column: [1, 1, 2]}
     row_counts: dict[str, int] = {column.table: 3}
@@ -90,8 +102,7 @@ def _test_clique_member(
     for member in clique.sorted_columns():
         if member != column and member.table == column.table:
             overrides[member] = [1, 1, 2]
-    result = builder.run(builder.build(row_counts, overrides))
-    return column if result.row_count == 2 else None
+    return column, builder.build(row_counts, overrides)
 
 
 def _is_ungrouped_aggregation(

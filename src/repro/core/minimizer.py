@@ -59,20 +59,26 @@ def _sampling_prepass(session: ExtractionSession) -> None:
 
 
 def _halve_to_single_rows(session: ExtractionSession) -> dict[str, tuple]:
-    """Iteratively halve tables until each holds exactly one row."""
+    """Iteratively halve tables until each holds exactly one row.
+
+    The halving loop is inherently sequential — each step's probe outcome
+    decides the next database state — but every step has only two possible
+    outcomes (populated → keep the probed half, empty → keep the other, per
+    Lemma 1's single execution per step).  The chain therefore runs through
+    the probe scheduler, which executes it inline at ``--jobs 1`` and
+    speculates ahead down the binary outcome tree on idle workers otherwise.
+    The ``random`` halving policy draws from the session RNG per *consumed*
+    link, so it must never evaluate hypothetical states: speculation is
+    disabled for it.
+    """
     silo = session.silo
-    while True:
-        table = _pick_table(session)
-        if table is None:
-            break
-        data = silo.table(table)
-        first, second = data.halves()
-        silo.replace_rows(table, first)
-        if session.run().is_effectively_empty:
-            # Lemma 1: the second half must contain a result-generating row,
-            # so it is retained without a confirming run (matching the
-            # paper's single execution per halving step).
-            silo.replace_rows(table, second)
+    state = {table: silo.rows(table) for table in session.query.tables}
+    session.scheduler.run_chain(
+        state,
+        lambda current: _next_halving(session, current),
+        speculate=session.config.halving_policy != "random",
+        label="minimizer",
+    )
     d1 = {}
     for table in session.query.tables:
         rows = silo.rows(table)
@@ -174,20 +180,31 @@ def _eliminate_rows(session: ExtractionSession, table: str) -> None:
     silo.replace_rows(table, rows)
 
 
-def _pick_table(session: ExtractionSession) -> str | None:
-    """Choose the next table to halve, per the configured policy."""
-    candidates = [
-        t for t in session.query.tables if session.silo.row_count(t) > 1
-    ]
+def _next_halving(
+    session: ExtractionSession, state: dict[str, list[tuple]]
+) -> tuple[str, list[tuple], list[tuple]] | None:
+    """The next halving link: ``(table, probed half, fallback half)``.
+
+    Operates on the chain *state* rather than the silo so the scheduler can
+    evaluate it against hypothetical future states during speculation; the
+    table choice and the split mirror the historical silo-based code exactly
+    (``TableData.halves``'s ``(n + 1) // 2`` midpoint, ties resolved in
+    ``query.tables`` order).
+    """
+    candidates = [t for t in session.query.tables if len(state[t]) > 1]
     if not candidates:
         return None
     policy = session.config.halving_policy
     if policy == "largest":
-        return max(candidates, key=session.silo.row_count)
-    if policy == "smallest":
-        return min(candidates, key=session.silo.row_count)
-    if policy == "random":
-        return session.rng.choice(candidates)
-    if policy == "round_robin":
-        return candidates[0]
-    raise ExtractionError(f"unknown halving policy {policy!r}")
+        table = max(candidates, key=lambda t: len(state[t]))
+    elif policy == "smallest":
+        table = min(candidates, key=lambda t: len(state[t]))
+    elif policy == "random":
+        table = session.rng.choice(candidates)
+    elif policy == "round_robin":
+        table = candidates[0]
+    else:
+        raise ExtractionError(f"unknown halving policy {policy!r}")
+    rows = state[table]
+    mid = (len(rows) + 1) // 2
+    return table, rows[:mid], rows[mid:]

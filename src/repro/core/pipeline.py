@@ -99,6 +99,8 @@ class ExtractionOutcome:
     eqc: Optional[eqc_guard.EqcReport] = None
     #: resource usage vs. limits, when a budget was configured
     budget: Optional[dict] = None
+    #: scheduler / plan-cache / invocation-memo statistics for this run
+    caches: Optional[dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.sql
@@ -137,6 +139,7 @@ class ExtractionOutcome:
             },
             "degradations": [d.to_dict() for d in self.degradations],
             "resumed_modules": list(self.resumed_modules),
+            "caches": self.caches,
             "checker": (
                 None
                 if self.checker_report is None
@@ -424,6 +427,7 @@ class UnmasqueExtractor:
                 "db_tables": len(session.silo.table_names),
                 "db_rows": session.silo.total_rows(),
                 "having_pipeline": self.config.extract_having,
+                "jobs": session.scheduler.jobs,
             }
         session.budget.start()
         with tracer.span("extraction", kind="pipeline", tags=tags) as root:
@@ -440,6 +444,7 @@ class UnmasqueExtractor:
                 # workers are shut down.
                 session.restore_silo_to_di()
                 session.close()
+                self._export_cache_metrics()
                 if tracer.enabled and session.budget.enabled:
                     root.set_tags(
                         **{
@@ -450,6 +455,7 @@ class UnmasqueExtractor:
                     )
             if session.budget.enabled and outcome.budget is None:
                 outcome.budget = session.budget.snapshot()
+            outcome.caches = session.cache_stats()
             if tracer.enabled:
                 root.set_tags(
                     tables=list(outcome.query.tables),
@@ -465,6 +471,30 @@ class UnmasqueExtractor:
                 if tracer.metrics is not None:
                     tracer.metrics.counter("extractions_total").inc()
             return outcome
+
+    def _export_cache_metrics(self) -> None:
+        """Fold the run's cache counters into the metrics registry (once).
+
+        The caches count every lookup internally; exporting the totals at
+        extraction end — rather than ticking per hit — keeps the engine and
+        invocation hot paths free of registry traffic.
+        """
+        session = self.session
+        metrics = session.tracer.metrics
+        if metrics is None:
+            return
+        if session.silo.plan_cache is not None:
+            stats = session.silo.plan_cache.stats()
+            metrics.counter("plan_cache_hits_total").inc(stats["hits"])
+            metrics.counter("plan_cache_misses_total").inc(stats["misses"])
+            metrics.counter("plan_cache_evictions_total").inc(stats["evictions"])
+        if session.memo is not None:
+            stats = session.memo.stats()
+            metrics.counter("invocation_cache_hits_total").inc(stats["hits"])
+            metrics.counter("invocation_cache_misses_total").inc(stats["misses"])
+            metrics.counter("invocation_cache_bypass_total").inc(
+                stats["bypasses"]
+            )
 
     # -- the standard (Figure 3) pipeline ----------------------------------
 

@@ -61,9 +61,22 @@ def extract_projections(session: ExtractionSession, svalues: SValueSource) -> li
         names = _unique_names(baseline.columns)
 
         units = _mutation_units(session)
+        # Dependency probing mutates disjoint units against the same D^1
+        # baseline, so the per-unit checks are independent and fan out across
+        # the probe scheduler.  The s-value source is prewarmed first: its
+        # caches make the worker-thread lookups read-only (and it is a pure
+        # function of the filter set, so prewarming changes no outcome).
+        # Function identification below stays sequential — it consumes the
+        # session RNG, whose draw order is part of the determinism contract.
+        if session.scheduler.parallel:
+            _prewarm_svalues(session, svalues, units)
+        changed_per_unit = session.scheduler.map(
+            units,
+            lambda ctx, unit: _unit_affects(ctx, svalues, unit, baseline),
+            label="projections",
+        )
         deps_per_output: list[list[MutationUnit]] = [[] for _ in names]
-        for unit in units:
-            changed = _unit_affects(session, svalues, unit, baseline)
+        for unit, changed in zip(units, changed_per_unit):
             for output_index in changed:
                 deps_per_output[output_index].append(unit)
 
@@ -110,6 +123,28 @@ def _mutation_units(session: ExtractionSession) -> list[MutationUnit]:
             if column not in clique_members:
                 units.append(MutationUnit((column,)))
     return units
+
+
+def _prewarm_svalues(
+    session: ExtractionSession, svalues: SValueSource, units: list[MutationUnit]
+) -> None:
+    """Populate the s-value caches for every column a parallel dependency
+    probe may touch, replicating the exact lookups :func:`_fresh_values` and
+    :func:`_jitter_context` will make so those become pure cache hits."""
+    columns = {unit.representative for unit in units}
+    for table in session.query.tables:
+        columns.update(
+            column
+            for column in session.nonkey_columns(table)
+            if session.column_type(column).is_numeric
+        )
+    for column in sorted(columns):
+        if svalues.capacity(column) < 2:
+            continue
+        try:
+            svalues.distinct(column, 6)
+        except SValueError:
+            svalues.distinct(column, svalues.capacity(column))
 
 
 def _fresh_values(

@@ -15,10 +15,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.apps.executable import Executable
+from repro.apps.executable import Executable, InvocationMemo
 from repro.core.config import ExtractionConfig
 from repro.core.model import ExtractedQuery
-from repro.engine.database import Database
+from repro.engine.database import Database, PlanCache
 from repro.engine.result import Result
 from repro.engine.types import NumericDomain, date_to_ordinal
 from repro.errors import DatabaseError, ExecutableTimeoutError, ExtractionError
@@ -121,6 +121,14 @@ class ExtractionSession:
         # nest under the active module span.
         self.silo = db.clone()
         self.silo.tracer = self.tracer
+        # Size the silo's parse/plan cache from config (0 disables it); the
+        # version clock carried over from construction keeps DDL invalidation
+        # exact across sandbox snapshot/restore cycles.
+        self.silo.plan_cache = (
+            PlanCache(config.plan_cache_size)
+            if config.plan_cache_size > 0
+            else None
+        )
         self.silo.drop_constraints()
 
         #: resource watchdog (invocations / rows scanned / cells / wall-clock);
@@ -185,6 +193,22 @@ class ExtractionSession:
                 f"unknown isolation backend {config.isolate!r} "
                 "(expected 'none' or 'process')"
             )
+
+        #: invocation memo: replayed database states skip the physical
+        #: execution for pure executables.  Attached to the executable (the
+        #: single funnel every run passes through, in-process or on the
+        #: supervisor side of the isolation backend); explicitly reset to
+        #: None otherwise so a previous session's memo never leaks in.
+        self.memo: Optional[InvocationMemo] = None
+        if config.invocation_cache and executable.cacheable:
+            self.memo = InvocationMemo(capacity=config.invocation_cache_size)
+        executable.memo = self.memo
+
+        #: probe scheduler (``--jobs``); with jobs=1 it is a pass-through
+        #: that never allocates threads.
+        from repro.sched.scheduler import ProbeScheduler
+
+        self.scheduler = ProbeScheduler(self)
 
         # Populated as the pipeline advances:
         self.query = ExtractedQuery()
@@ -301,8 +325,19 @@ class ExtractionSession:
         The backend object stays referenced after close so callers (the
         chaos CLI's survival report) can still read its pool statistics.
         """
+        self.scheduler.close()
         if self.backend is not None:
             self.backend.close()
+
+    def cache_stats(self) -> dict:
+        """Plan-cache / invocation-memo / scheduler statistics for reports."""
+        stats: dict = {"scheduler": self.scheduler.stats_dict()}
+        stats["scheduler"]["jobs"] = self.scheduler.jobs
+        if self.silo.plan_cache is not None:
+            stats["plan_cache"] = self.silo.plan_cache.stats()
+        if self.memo is not None:
+            stats["invocation_cache"] = self.memo.stats()
+        return stats
 
     def _record_timeout(self) -> None:
         self.stats.invocation_timeouts += 1

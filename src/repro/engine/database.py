@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import hashlib
 import random
+import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -91,11 +93,21 @@ class DatabaseSnapshot:
     built databases with identical data produce equal snapshots.
     """
 
-    __slots__ = ("schemas", "rows")
+    __slots__ = ("schemas", "rows", "version")
 
-    def __init__(self, schemas: dict[str, TableSchema], rows: dict[str, list[tuple]]):
+    def __init__(
+        self,
+        schemas: dict[str, TableSchema],
+        rows: dict[str, list[tuple]],
+        version: int = 0,
+    ):
         self.schemas = schemas
         self.rows = rows
+        #: the catalog version at capture time; :meth:`Database.restore`
+        #: reinstates it so plan-cache entries compiled under this catalog
+        #: become valid again (equality ignores it — it names a state within
+        #: one database lineage, not content).
+        self.version = version
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, DatabaseSnapshot):
@@ -141,6 +153,92 @@ def _content_fingerprint(
     return digest.hexdigest()
 
 
+class _VersionClock:
+    """A monotonic catalog-version sequence shared across one database lineage.
+
+    Every DDL statement draws a fresh version, so a version number names
+    exactly one catalog state for the lifetime of the lineage — restoring a
+    snapshot *reinstates* its recorded version rather than drawing a new one,
+    which is what lets plan-cache entries survive the sandbox's
+    restore-per-invocation cycle.  Probe replicas built with
+    :meth:`Database.from_snapshot` share the parent's clock, so a shared
+    plan cache keyed by version can never serve a plan compiled under a
+    different catalog.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            self._value += 1
+            return self._value
+
+
+class PlanCache:
+    """An LRU cache of parsed statements and bound SELECT plans.
+
+    Keyed by ``(sql, catalog_version)``: parsing is catalog-independent but
+    planning binds column indices and schema objects, so any DDL (create,
+    drop, rename, constraint stripping) must invalidate.  Rather than
+    flushing, DDL bumps the database's catalog version — old entries become
+    unreachable and age out of the LRU naturally, while a sandbox restore
+    that reinstates an old version brings its entries straight back.
+
+    Thread-safe: the probe scheduler shares one cache between the silo and
+    its per-worker replicas.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, int], tuple] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, sql: str, version: int):
+        """The cached ``(statement, plan)`` pair, or None.  ``plan`` is None
+        for non-SELECT statements (only the parse is reusable)."""
+        with self._lock:
+            entry = self._entries.get((sql, version))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((sql, version))
+            self.hits += 1
+            return entry
+
+    def put(self, sql: str, version: int, statement, plan) -> None:
+        with self._lock:
+            key = (sql, version)
+            self._entries[key] = (statement, plan)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+
 #: statement class → the ``statement`` tag value on its query span
 _STATEMENT_KINDS = {
     SelectStatement: "select",
@@ -172,6 +270,14 @@ class Database:
         #: attached, SELECTs charge rows scanned against it and the deadline
         #: poll doubles as the wall-clock watchdog tick.
         self.budget = None
+        #: monotonic catalog-version source for this lineage (shared with
+        #: probe replicas, see :meth:`from_snapshot`).
+        self._clock = _VersionClock()
+        #: the current catalog version; bumped by DDL, reinstated by
+        #: :meth:`restore`.  Plan-cache keys embed it.
+        self.catalog_version = 0
+        #: parse/plan LRU (set to None to disable caching entirely).
+        self.plan_cache: Optional[PlanCache] = PlanCache()
         for schema in schemas:
             self.create_table(schema)
 
@@ -193,16 +299,19 @@ class Database:
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.add(schema)
         self._tables[schema.name.lower()] = TableData(schema)
+        self.catalog_version = self._clock.next()
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop(name)
         del self._tables[name.lower()]
+        self.catalog_version = self._clock.next()
 
     def rename_table(self, old: str, new: str) -> None:
         self.catalog.rename(old, new)
         self._tables[new.lower()] = self._tables.pop(old.lower())
         # keep the stored schema consistent with the catalog
         self._tables[new.lower()].schema = self.catalog.get(new)
+        self.catalog_version = self._clock.next()
 
     def drop_constraints(self) -> None:
         """Remove all PK/FK declarations (silo preparation, paper §3.2).
@@ -219,6 +328,7 @@ class Database:
             )
             self.catalog.replace(bare)
             self._tables[schema.name.lower()].schema = bare
+        self.catalog_version = self._clock.next()
 
     # -- data access -----------------------------------------------------------
 
@@ -300,7 +410,54 @@ class Database:
         """Execute one SQL statement; non-SELECT statements return empty results."""
         if self.tracer.enabled:
             return self._execute_traced(sql)
-        return self._dispatch(parse_statement(sql))
+        statement, plan, _ = self._parse_and_plan(sql)
+        if plan is not None:
+            return self._run_select_plan(plan)
+        return self._dispatch(statement)
+
+    def _parse_and_plan(self, sql: str) -> tuple:
+        """Resolve ``sql`` through the plan cache: ``(statement, plan, hit)``.
+
+        ``plan`` is a bound plan for SELECTs and None otherwise (only the
+        parse is reusable for DDL/DML).  Failures are never cached: planning
+        errors such as :class:`~repro.errors.UndefinedTableError` are
+        semantic signals to the From-clause extractor and must be recomputed
+        against the live catalog every time.
+        """
+        cache = self.plan_cache
+        if cache is None:
+            statement = parse_statement(sql)
+            plan = (
+                plan_select(statement, self.catalog)
+                if isinstance(statement, SelectStatement)
+                else None
+            )
+            return statement, plan, False
+        version = self.catalog_version
+        entry = cache.get(sql, version)
+        if entry is not None:
+            return entry[0], entry[1], True
+        statement = parse_statement(sql)
+        plan = (
+            plan_select(statement, self.catalog)
+            if isinstance(statement, SelectStatement)
+            else None
+        )
+        cache.put(sql, version, statement, plan)
+        return statement, plan, False
+
+    def _run_select_plan(self, plan) -> Result:
+        rows_by_binding = {
+            bound.binding: self.table(bound.schema.name).rows for bound in plan.tables
+        }
+        if self.budget is None:
+            return execute_plan(plan, rows_by_binding, tick=self.check_deadline)
+        profile: dict = {}
+        result = execute_plan(
+            plan, rows_by_binding, tick=self.check_deadline, profile=profile
+        )
+        self.budget.charge_rows_scanned(profile["rows_scanned"])
+        return result
 
     def _execute_traced(self, sql: str) -> Result:
         """The profiled twin of :meth:`execute`: one ``query`` span per
@@ -324,7 +481,15 @@ class Database:
 
     def _execute_traced_inner(self, sql: str, span, started: float) -> Result:
         metrics = self.tracer.metrics
-        statement = parse_statement(sql)
+        cache = self.plan_cache
+        version = self.catalog_version
+        entry = cache.get(sql, version) if cache is not None else None
+        if entry is not None:
+            statement, cached_plan = entry
+            span.set_tag("plan_cache", "hit")
+        else:
+            statement = parse_statement(sql)
+            cached_plan = None
         parse_seconds = time.perf_counter() - started
         kind = _STATEMENT_KINDS.get(type(statement), "other")
         span.name = kind
@@ -332,7 +497,13 @@ class Database:
 
         if isinstance(statement, SelectStatement):
             plan_started = time.perf_counter()
-            plan = plan_select(statement, self.catalog)
+            if cached_plan is not None:
+                plan = cached_plan
+            else:
+                plan = plan_select(statement, self.catalog)
+                if cache is not None:
+                    cache.put(sql, version, statement, plan)
+                    span.set_tag("plan_cache", "miss")
             span.set_tag(
                 "plan_seconds", round(time.perf_counter() - plan_started, 9)
             )
@@ -361,6 +532,12 @@ class Database:
                 )
             return result
 
+        if entry is None and cache is not None:
+            # Cache the parse keyed at the *pre-execution* version: DDL bumps
+            # the version as it runs, so its own entry can never replay
+            # against the catalog it just changed.
+            cache.put(sql, version, statement, None)
+            span.set_tag("plan_cache", "miss")
         result = self._dispatch(statement)
         if kind in ("insert", "update", "delete"):
             affected = (
@@ -501,6 +678,32 @@ class Database:
             clone._tables[name] = data.copy() if with_data else TableData(data.schema)
         return clone
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        token: DatabaseSnapshot,
+        *,
+        plan_cache: Optional[PlanCache] = None,
+        clock: Optional[_VersionClock] = None,
+    ) -> "Database":
+        """A fresh, untraced database positioned at ``token``'s state.
+
+        This is the probe scheduler's replica constructor: worker threads
+        probe private replicas instead of the shared silo.  Passing the
+        silo's ``plan_cache`` together with its version ``clock`` lets all
+        replicas share compiled plans soundly — versions come from one
+        monotonic sequence, so a (sql, version) key can never alias two
+        different catalogs.  Rows are adopted copy-on-write, so construction
+        is O(tables).
+        """
+        db = cls()
+        if clock is not None:
+            db._clock = clock
+        if plan_cache is not None:
+            db.plan_cache = plan_cache
+        db.restore(token)
+        return db
+
     # -- transactional sandbox ----------------------------------------------
 
     def snapshot(self) -> DatabaseSnapshot:
@@ -512,6 +715,7 @@ class Database:
         return DatabaseSnapshot(
             schemas={name: data.schema for name, data in self._tables.items()},
             rows={name: data.share_rows() for name, data in self._tables.items()},
+            version=self.catalog_version,
         )
 
     def restore(self, token: DatabaseSnapshot) -> None:
@@ -528,6 +732,10 @@ class Database:
             data.adopt_rows(token.rows[name])
             tables[name] = data
         self._tables = tables
+        # Reinstate (not bump) the captured catalog version: the version
+        # sequence is monotonic, so this value still names exactly the
+        # catalog state being restored and plans compiled under it revive.
+        self.catalog_version = token.version
 
     @contextmanager
     def sandbox(self):

@@ -48,6 +48,9 @@ def spec_from_config(config) -> WorkerSpec:
         kill_grace=config.worker_kill_grace,
         quarantine_threshold=config.worker_quarantine_threshold,
         max_respawns=config.worker_max_respawns,
+        # One worker per scheduler job, so parallel probe batches don't
+        # serialize on a single subprocess.
+        pool_size=max(1, int(getattr(config, "jobs", 1) or 1)),
     )
 
 
@@ -63,16 +66,28 @@ class ProcessIsolationBackend:
         )
 
     def invoke(self, db, timeout: Optional[float] = None):
-        """Run one invocation out of process against ``db``'s current state."""
+        """Run one invocation out of process against ``db``'s current state.
+
+        When the executable carries an invocation memo, a database-state
+        match skips the worker round-trip entirely — the dominant cost under
+        isolation — while the invocation is still counted, spanned, and
+        metered exactly like a physical one.
+        """
         executable = self.executable
         tracer = self.tracer
-        executable.invocation_count += 1
+        memo = executable.memo if executable.cacheable else None
+        memo_key = None
+        if memo is not None and not getattr(db, "trace_access", False):
+            memo_key = memo.key_for(db, timeout)
+        with executable._counter_lock:
+            executable.invocation_count += 1
         started = time.perf_counter()
         if not tracer.enabled:
             try:
-                return self._invoke_inner(db, timeout, None)
+                return self._invoke_memoized(db, timeout, memo, memo_key, None)
             finally:
-                executable.total_runtime += time.perf_counter() - started
+                with executable._counter_lock:
+                    executable.total_runtime += time.perf_counter() - started
         with tracer.span(executable.name, kind="worker") as span:
             span.set_tags(
                 executable=executable.name,
@@ -83,14 +98,56 @@ class ProcessIsolationBackend:
             if tracer.metrics is not None:
                 tracer.metrics.counter("invocations_total").inc()
             try:
-                return self._invoke_inner(db, timeout, span)
+                return self._invoke_memoized(db, timeout, memo, memo_key, span)
             finally:
                 elapsed = time.perf_counter() - started
-                executable.total_runtime += elapsed
+                with executable._counter_lock:
+                    executable.total_runtime += elapsed
                 if tracer.metrics is not None:
                     tracer.metrics.histogram(
                         "invocation_latency_seconds"
                     ).observe(elapsed)
+
+    def _invoke_memoized(self, db, timeout, memo, memo_key, span):
+        if memo_key is not None:
+            cached = memo.lookup(memo_key)
+            if cached is not None:
+                if span is not None:
+                    span.set_tag("invocation_cache", "hit")
+                return cached
+            if span is not None:
+                span.set_tag("invocation_cache", "miss")
+        result = self._invoke_inner(db, timeout, span)
+        if memo_key is not None:
+            memo.store(memo_key, result)
+        return result
+
+    def invoke_reply(self, db, timeout: Optional[float] = None) -> dict:
+        """Thread-safe, transport-only invocation for scheduler workers.
+
+        Returns the raw worker reply dict without touching the executable
+        counters, metrics, spans, or budget — the calling probe context
+        applies those itself (under its own locks) so accounting stays
+        exactly-once.  Memo hits short-circuit with a synthetic reply.
+        """
+        executable = self.executable
+        trace_access = bool(getattr(db, "trace_access", False))
+        memo = executable.memo if executable.cacheable else None
+        memo_key = None
+        if memo is not None and not trace_access:
+            memo_key = memo.key_for(db, timeout)
+            if memo_key is not None:
+                cached = memo.lookup(memo_key)
+                if cached is not None:
+                    return {"ok": True, "result": cached, "stats": {}}
+        reply = self.pool.invoke(db, timeout, trace_access=trace_access)
+        stats = reply.get("stats") or {}
+        if trace_access and "access_log" in stats:
+            db.access_log.extend(stats["access_log"])
+        self._mirror_injected()
+        if memo_key is not None and reply.get("ok"):
+            memo.store(memo_key, reply["result"])
+        return reply
 
     def _invoke_inner(self, db, timeout: Optional[float], span):
         trace_access = bool(getattr(db, "trace_access", False))

@@ -31,10 +31,12 @@ ship-state and receives the full silo on its first run.
 from __future__ import annotations
 
 import os
+import queue
 import select
 import signal
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -79,8 +81,9 @@ class WorkerSpec:
     quarantine_threshold: int = 4
     #: total respawns allowed over the pool's lifetime
     max_respawns: int = 128
-    #: number of worker processes (round-robin; >1 is the substrate for
-    #: parallel fan-out, invocations are serial today)
+    #: number of worker processes; sized to ``--jobs`` so the probe
+    #: scheduler's threads each lease their own worker (slot leasing makes
+    #: concurrent invocations safe at any pool size — excess callers queue)
     pool_size: int = 1
 
 
@@ -251,8 +254,17 @@ class WorkerPool:
         self.quarantine_error: Optional[WorkerQuarantined] = None
         #: accumulated chaos-injection counts from workers that already died
         self.injected_base: dict[str, int] = {}
-        self._workers: list[Optional[WorkerHandle]] = [None] * max(1, spec.pool_size)
-        self._next = 0
+        size = max(1, spec.pool_size)
+        self._workers: list[Optional[WorkerHandle]] = [None] * size
+        #: slot leasing: a caller takes a slot index for the whole invocation
+        #: (blocking when all are leased), so each worker handle — and its
+        #: incremental ship-state — is touched by one thread at a time
+        self._slots: queue.Queue = queue.Queue()
+        for slot in range(size):
+            self._slots.put(slot)
+        #: guards the pool ledger (ordinal, stats, quarantine, respawns,
+        #: injected totals) against concurrent scheduler threads
+        self._lock = threading.Lock()
         self.closed = False
 
     # -- public API ---------------------------------------------------------
@@ -267,54 +279,64 @@ class WorkerPool:
         here: the reply comes back with ``ok=False`` so the backend can mirror
         the run's stats before re-raising it.
         """
-        if self.closed:
-            raise ExtractionError("worker pool is closed")
-        if self.quarantine_error is not None:
-            raise self.quarantine_error
-        slot = self._next
-        self._next = (self._next + 1) % len(self._workers)
-        worker = self._ensure_worker(slot)
-        self.ordinal += 1
-        self.stats.invocations += 1
-        effective = timeout if timeout is not None else self.spec.default_timeout
-        message = {
-            "cmd": "run",
-            "ordinal": self.ordinal,
-            "timeout": timeout,
-            "trace_access": trace_access,
-            "deltas": self._deltas(worker, db),
-            "dropped": self._dropped(worker, db),
-        }
+        with self._lock:
+            if self.closed:
+                raise ExtractionError("worker pool is closed")
+            if self.quarantine_error is not None:
+                raise self.quarantine_error
+        slot = self._slots.get()
         try:
-            reply = worker.request(message, effective + self.spec.kill_grace)
-        except _HardTimeout:
-            worker.kill()
-            self._workers[slot] = None
-            self.stats.kills += 1
-            self._count("worker_kills_total")
-            self._note_abnormal(worker)
-            raise ExecutableTimeoutError(
-                f"isolated invocation {self.ordinal} exceeded its "
-                f"{effective:.3f}s hard deadline and was killed"
-            ) from None
-        except _WorkerDied:
-            worker.kill()  # reap; usually already dead
-            self._workers[slot] = None
-            kind = worker.exit_kind()
-            self.stats.crashes += 1
-            self._count("worker_crashes_total")
-            self._note_abnormal(worker)
-            raise WorkerCrashedError(
-                kind,
-                f"worker pid {worker.pid} died with status "
-                f"{worker.proc.returncode}",
-                ordinal=self.ordinal,
-            ) from None
-        # A reply — normal or a clean application error — means the process
-        # survived the invocation: the crash streak is over.
-        self.consecutive_abnormal = 0
-        self._record_reply_stats(worker, reply)
-        return reply
+            worker = self._ensure_worker(slot)
+            with self._lock:
+                self.ordinal += 1
+                ordinal = self.ordinal
+                self.stats.invocations += 1
+            effective = (
+                timeout if timeout is not None else self.spec.default_timeout
+            )
+            message = {
+                "cmd": "run",
+                "ordinal": ordinal,
+                "timeout": timeout,
+                "trace_access": trace_access,
+                "deltas": self._deltas(worker, db),
+                "dropped": self._dropped(worker, db),
+            }
+            try:
+                reply = worker.request(message, effective + self.spec.kill_grace)
+            except _HardTimeout:
+                worker.kill()
+                self._workers[slot] = None
+                with self._lock:
+                    self.stats.kills += 1
+                    self._count("worker_kills_total")
+                    self._note_abnormal(worker)
+                raise ExecutableTimeoutError(
+                    f"isolated invocation {ordinal} exceeded its "
+                    f"{effective:.3f}s hard deadline and was killed"
+                ) from None
+            except _WorkerDied:
+                worker.kill()  # reap; usually already dead
+                self._workers[slot] = None
+                kind = worker.exit_kind()
+                with self._lock:
+                    self.stats.crashes += 1
+                    self._count("worker_crashes_total")
+                    self._note_abnormal(worker)
+                raise WorkerCrashedError(
+                    kind,
+                    f"worker pid {worker.pid} died with status "
+                    f"{worker.proc.returncode}",
+                    ordinal=ordinal,
+                ) from None
+            # A reply — normal or a clean application error — means the
+            # process survived the invocation: the crash streak is over.
+            with self._lock:
+                self.consecutive_abnormal = 0
+                self._record_reply_stats(worker, reply)
+            return reply
+        finally:
+            self._slots.put(slot)
 
     def injected_totals(self) -> dict[str, int]:
         """Chaos-injection counts across all worker generations."""
@@ -326,9 +348,10 @@ class WorkerPool:
         return totals
 
     def close(self) -> None:
-        if self.closed:
-            return
-        self.closed = True
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
         for slot, worker in enumerate(self._workers):
             if worker is not None:
                 self._absorb_injected(worker)
@@ -338,23 +361,31 @@ class WorkerPool:
     # -- internals ----------------------------------------------------------
 
     def _ensure_worker(self, slot: int) -> WorkerHandle:
+        """Return the leased slot's live worker, spawning one if needed.
+
+        The slot is leased to the calling thread, so handle access needs no
+        lock; only the respawn ledger does.  The (slow) process spawn happens
+        outside the lock.
+        """
         worker = self._workers[slot]
         if worker is not None and worker.alive:
             return worker
         if worker is not None:
             self._workers[slot] = None
-        is_restart = self.stats.invocations > 0
-        if is_restart:
-            if self.respawns >= self.spec.max_respawns:
-                self._quarantine("respawn budget spent")
-            self.respawns += 1
-            self.stats.restarts += 1
-            self._count("worker_restarts_total")
+        with self._lock:
+            is_restart = self.stats.invocations > 0
+            if is_restart:
+                if self.respawns >= self.spec.max_respawns:
+                    self._quarantine("respawn budget spent")
+                self.respawns += 1
+                self.stats.restarts += 1
+                self._count("worker_restarts_total")
         handle = WorkerHandle(self.spec, self.executable_blob)
         self._workers[slot] = handle
         return handle
 
     def _note_abnormal(self, worker: WorkerHandle) -> None:
+        """Record an abnormal exit; caller holds the pool lock."""
         self._absorb_injected(worker)
         self.consecutive_abnormal += 1
         if self.consecutive_abnormal >= self.spec.quarantine_threshold:

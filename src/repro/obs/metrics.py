@@ -166,6 +166,33 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's observations into this one.
+
+        The probe scheduler gives each parallel probe task a private registry
+        (the shared one is not thread-safe) and merges them back on the main
+        thread in deterministic task order — so counter totals and histogram
+        distributions match what the same probes would have recorded
+        sequentially.  Counters and histograms accumulate; gauges adopt the
+        other registry's latest value (last writer wins, as sequentially).
+        """
+        for name in sorted(other._instruments):
+            instrument = other._instruments[name]
+            if isinstance(instrument, Counter):
+                self.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Histogram):
+                mine = self.histogram(name, instrument.bounds)
+                if mine.bounds != instrument.bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ; cannot merge"
+                    )
+                mine.count += instrument.count
+                mine.sum += instrument.sum
+                for i, n in enumerate(instrument.bucket_counts):
+                    mine.bucket_counts[i] += n
+            elif isinstance(instrument, Gauge):
+                self.gauge(name).set(instrument.value)
+
     def snapshot(self) -> dict:
         """All instruments as one JSON-serialisable dict, sorted by name."""
         return {

@@ -163,6 +163,37 @@ class Tracer:
         if self.keep_spans:
             self.spans.append(span)
 
+    def record(
+        self,
+        name: str,
+        kind: str = "span",
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        tags: Optional[dict] = None,
+    ) -> Span:
+        """Append an already-finished span as a child of the current span.
+
+        This is the probe scheduler's post-hoc span path: worker threads must
+        not touch the tracer's span stack (it is not thread-safe and their
+        spans would nest under whatever the main thread has open), so the
+        scheduler captures timing off-thread and *records* the finished
+        invocation spans afterwards, in deterministic submission order.
+        """
+        now = time.perf_counter()
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            kind=kind,
+            start=start if start is not None else now,
+            tags=dict(tags) if tags else None,
+        )
+        self._next_id += 1
+        span.end = end if end is not None else now
+        if self.keep_spans:
+            self.spans.append(span)
+        return span
+
     @property
     def current(self) -> Optional[Span]:
         """The innermost open span, or None outside any span."""
@@ -235,6 +266,9 @@ class NullTracer:
 
     def span(self, name: str, kind: str = "span", tags: Optional[dict] = None):
         return _NULL_CONTEXT
+
+    def record(self, name, kind="span", start=None, end=None, tags=None):
+        return _NULL_SPAN
 
     @property
     def current(self):

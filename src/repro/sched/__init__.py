@@ -1,0 +1,5 @@
+"""Concurrent probe scheduling (``--jobs N``) with a determinism contract."""
+
+from repro.sched.scheduler import ProbeScheduler, SchedulerStats
+
+__all__ = ["ProbeScheduler", "SchedulerStats"]

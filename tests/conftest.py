@@ -6,6 +6,16 @@ import pytest
 
 from repro.datagen import tpch
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.sql from the current extractor output "
+        "(the golden-corpus suite then asserts against the fresh files)",
+    )
+
 #: scale used across tests — small enough for speed, large enough that every
 #: workload query has a populated result (asserted in test_workloads.py).
 TEST_SCALE = 0.002

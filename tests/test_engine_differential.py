@@ -21,6 +21,8 @@ import pytest
 
 from repro.workloads import random_queries
 
+pytestmark = pytest.mark.slow
+
 N_QUERIES = 200
 DB_SEED = 20260806
 
@@ -82,6 +84,146 @@ def test_engine_matches_sqlite(seed, engine_db, sqlite_db):
     engine_rows = engine_db.execute(_strip_limit(query.sql)).rows
     sqlite_rows = sqlite_db.execute(_to_sqlite_sql(query.sql)).fetchall()
     assert _canonical(engine_rows) == _canonical(sqlite_rows), query.sql
+
+
+# --- plan-cache differential --------------------------------------------------
+#
+# The parse/plan LRU must be semantically invisible: a query executed twice —
+# with arbitrary DML in between, or DDL that reshapes the catalog — must
+# return exactly what sqlite3 returns on the same data, and the hit/miss
+# counters must show the cache doing what the invalidation rules promise
+# (DML leaves plans valid; DDL makes every prior entry unreachable).
+
+
+N_CACHED_QUERIES = 60
+
+
+@pytest.fixture()
+def cached_engine_db():
+    from repro.engine.database import PlanCache
+
+    db = random_queries.build_database(facts=200, seed=DB_SEED + 1)
+    db.plan_cache = PlanCache(capacity=128)
+    return db
+
+
+@pytest.fixture()
+def sqlite_mirror(cached_engine_db):
+    conn = sqlite3.connect(":memory:")
+    for name in cached_engine_db.table_names:
+        schema = cached_engine_db.schema(name)
+        columns = ", ".join(f'"{column.name}"' for column in schema.columns)
+        conn.execute(f"create table {name} ({columns})")
+        rows = [
+            tuple(_encode(value) for value in row)
+            for row in cached_engine_db.rows(name)
+        ]
+        placeholders = ", ".join("?" for _ in schema.columns)
+        conn.executemany(f"insert into {name} values ({placeholders})", rows)
+    conn.commit()
+    yield conn
+    conn.close()
+
+
+@pytest.mark.parametrize("seed", range(N_CACHED_QUERIES))
+def test_plan_cache_second_execution_matches_sqlite(
+    seed, cached_engine_db, sqlite_mirror
+):
+    """Run every query twice: the second, cache-served run must equal both
+    the first run and sqlite3, and must be a recorded cache hit."""
+    db = cached_engine_db
+    query = random_queries.generate_query(seed)
+    sql = _strip_limit(query.sql)
+
+    first = db.execute(sql).rows
+    hits_before = db.plan_cache.hits
+    second = db.execute(sql).rows
+    assert db.plan_cache.hits == hits_before + 1, "second run missed the cache"
+
+    sqlite_rows = sqlite_mirror.execute(_to_sqlite_sql(query.sql)).fetchall()
+    assert _canonical(first) == _canonical(sqlite_rows), query.sql
+    assert _canonical(second) == _canonical(sqlite_rows), query.sql
+
+
+def test_plan_cache_survives_interleaved_dml(cached_engine_db, sqlite_mirror):
+    """DML changes rows, not the catalog: cached plans stay valid and the
+    re-executed query must track sqlite3 through every mutation."""
+    db = cached_engine_db
+    query = random_queries.generate_query(11)
+    sql = _strip_limit(query.sql)
+    table = query.tables[0]
+    key_column = db.schema(table).columns[0].name
+
+    db.execute(sql)  # prime the cache
+    version = db.catalog_version
+    statements = [
+        f"delete from {table} where {key_column} = 1",
+        f"update {table} set {key_column} = 9001 where {key_column} = 2",
+        f"delete from {table} where {key_column} = 9001",
+    ]
+    for statement in statements:
+        db.execute(statement)
+        sqlite_mirror.execute(statement)
+        hits_before = db.plan_cache.hits
+        engine_rows = db.execute(sql).rows
+        sqlite_rows = sqlite_mirror.execute(_to_sqlite_sql(sql)).fetchall()
+        assert _canonical(engine_rows) == _canonical(sqlite_rows), statement
+        assert db.plan_cache.hits == hits_before + 1, (
+            f"DML {statement!r} must not invalidate the cached plan"
+        )
+    assert db.catalog_version == version, "DML must not bump the catalog version"
+
+
+def test_plan_cache_invalidated_by_ddl(cached_engine_db, sqlite_mirror):
+    """DDL bumps the catalog version: the next execution must re-plan (a
+    recorded miss) and still match sqlite3."""
+    db = cached_engine_db
+    query = random_queries.generate_query(23)
+    sql = _strip_limit(query.sql)
+    untouched = "bystander"
+
+    db.execute(sql)
+    db.execute(sql)
+    assert db.plan_cache.hits >= 1
+
+    version = db.catalog_version
+    db.execute(f"create table {untouched} (x integer, y integer)")
+    assert db.catalog_version > version, "DDL must bump the catalog version"
+
+    misses_before = db.plan_cache.misses
+    hits_before = db.plan_cache.hits
+    engine_rows = db.execute(sql).rows
+    assert db.plan_cache.misses == misses_before + 1, (
+        "post-DDL execution must miss (old plan unreachable)"
+    )
+    assert db.plan_cache.hits == hits_before
+
+    sqlite_rows = sqlite_mirror.execute(_to_sqlite_sql(sql)).fetchall()
+    assert _canonical(engine_rows) == _canonical(sqlite_rows)
+
+    # The re-planned entry is cached under the new version.
+    hits_before = db.plan_cache.hits
+    db.execute(sql)
+    assert db.plan_cache.hits == hits_before + 1
+
+
+def test_plan_cache_rename_roundtrip_still_correct(cached_engine_db, sqlite_mirror):
+    """Rename a queried table away and back between executions: both
+    versions' entries are distinct keys, and results keep matching."""
+    db = cached_engine_db
+    query = random_queries.generate_query(3)
+    sql = _strip_limit(query.sql)
+    table = query.tables[0]
+
+    baseline = db.execute(sql).rows
+    db.execute(f"alter table {table} rename to {table}_tmp")
+    db.execute(f"alter table {table}_tmp rename to {table}")
+    misses_before = db.plan_cache.misses
+    roundtrip = db.execute(sql).rows
+    assert db.plan_cache.misses == misses_before + 1
+    sqlite_rows = sqlite_mirror.execute(_to_sqlite_sql(sql)).fetchall()
+    assert _canonical(baseline) == _canonical(sqlite_rows)
+    assert _canonical(roundtrip) == _canonical(sqlite_rows)
 
 
 def test_generator_exercises_all_shapes():

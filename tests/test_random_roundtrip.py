@@ -32,6 +32,40 @@ def test_random_eqc_round_trip(star_db, seed):
     assert set(outcome.query.tables) == set(generated.tables)
 
 
+@pytest.mark.parametrize("isolate", ["none", "process"])
+def test_jobs_determinism_sweep(isolate):
+    """DESIGN.md §5.14: the schedule is an implementation detail.
+
+    The same hidden query extracted at ``jobs`` 1/2/4 under both isolation
+    backends must yield byte-identical SQL, the same logical invocation
+    count, and a budget ledger that equals it exactly (each logical
+    invocation charged once — never zero, never twice, regardless of how
+    many speculative or parallel physical executions backed it).
+    """
+    db = random_queries.build_database(facts=150, seed=42)
+    generated = random_queries.generate_query(7)
+    reference = None
+    for jobs in (1, 2, 4):
+        app = SQLExecutable(generated.sql, name=f"sweep-{isolate}-{jobs}")
+        outcome = UnmasqueExtractor(
+            db,
+            app,
+            ExtractionConfig(
+                run_checker=False,
+                jobs=jobs,
+                isolate=isolate,
+                budget_invocations=1_000_000,  # armed: the ledger must balance
+            ),
+        ).extract()
+        assert outcome.verdict == "ok"
+        assert outcome.budget["invocations"] == outcome.stats.total_invocations
+        observed = (outcome.sql, outcome.stats.total_invocations)
+        if reference is None:
+            reference = observed
+        else:
+            assert observed == reference, f"jobs={jobs} isolate={isolate}"
+
+
 def test_extracted_sql_matches_on_initial_instance(star_db):
     generated = random_queries.generate_query(3)
     app = SQLExecutable(generated.sql)

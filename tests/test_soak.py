@@ -21,9 +21,12 @@ from repro.workloads import random_queries
 
 SOAK_SEEDS = int(os.environ.get("REPRO_SOAK_SEEDS", "0"))
 
-pytestmark = pytest.mark.skipif(
-    SOAK_SEEDS <= 0, reason="set REPRO_SOAK_SEEDS=<n> to run the soak harness"
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        SOAK_SEEDS <= 0, reason="set REPRO_SOAK_SEEDS=<n> to run the soak harness"
+    ),
+]
 
 
 @pytest.fixture(scope="module")
@@ -39,3 +42,42 @@ def test_soak_round_trip(star_db, seed):
         pytest.skip("empty initial result")
     outcome = UnmasqueExtractor(star_db, app, ExtractionConfig()).extract()
     assert outcome.checker_report.passed, generated.sql
+
+
+@pytest.mark.parametrize("seed", range(1000, 1000 + min(SOAK_SEEDS, 8)))
+def test_soak_determinism_matrix(star_db, seed):
+    """Full ``jobs × isolate`` matrix per soak seed (DESIGN.md §5.14).
+
+    Beyond the round-trip property, every cell of the matrix must agree on
+    the extracted SQL and the logical invocation count, and the armed budget
+    ledger must equal the latter — a cell that double-charges a speculated
+    probe or drops a memoized one diverges here.
+    """
+    generated = random_queries.generate_query(seed)
+    app = SQLExecutable(generated.sql)
+    if app.run(star_db).is_effectively_empty:
+        pytest.skip("empty initial result")
+    reference = None
+    for isolate in ("none", "process"):
+        for jobs in (1, 2, 4):
+            outcome = UnmasqueExtractor(
+                star_db,
+                SQLExecutable(generated.sql, name=f"matrix-{isolate}-{jobs}"),
+                ExtractionConfig(
+                    run_checker=False,
+                    jobs=jobs,
+                    isolate=isolate,
+                    budget_invocations=1_000_000,
+                ),
+            ).extract()
+            assert outcome.verdict == "ok", generated.sql
+            assert (
+                outcome.budget["invocations"] == outcome.stats.total_invocations
+            ), f"budget ledger diverged at jobs={jobs} isolate={isolate}"
+            observed = (outcome.sql, outcome.stats.total_invocations)
+            if reference is None:
+                reference = observed
+            else:
+                assert observed == reference, (
+                    f"jobs={jobs} isolate={isolate}: {generated.sql}"
+                )
