@@ -196,9 +196,18 @@ class Executable:
     def _execute_memoized(
         self, db, timeout, memo, memo_key, span=None
     ) -> Result:
+        # Expose cache/fingerprint provenance for this run on the database
+        # object (private to the invoking thread: the silo sequentially, a
+        # replica per scheduler task) — the session's evidence recorder reads
+        # it back without recomputing the fingerprint.
+        db.last_invocation = {
+            "cached": False,
+            "fingerprint": memo_key[0] if memo_key is not None else "",
+        }
         if memo_key is not None:
             cached = memo.lookup(memo_key)
             if cached is not None:
+                db.last_invocation["cached"] = True
                 if span is not None:
                     span.set_tag("invocation_cache", "hit")
                 return cached

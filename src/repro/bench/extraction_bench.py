@@ -86,9 +86,16 @@ def run_extraction_bench(
     latency: float = DEFAULT_LATENCY,
     db: Optional[Database] = None,
     progress=None,
+    ledger_path: Optional[str] = None,
 ) -> dict:
-    """Run the benchmark matrix and return the ``BENCH_extraction`` payload."""
+    """Run the benchmark matrix and return the ``BENCH_extraction`` payload.
+
+    ``ledger_path`` persists every (query, jobs) run — with its clause
+    evidence and per-module breakdown — to a :class:`~repro.obs.ledger.RunLedger`,
+    so ``repro trace-diff`` can compare bench runs across commits.
+    """
     from repro.datagen import tpch
+    from repro.obs import MetricsRegistry, Tracer
     from repro.workloads import tpch_queries
 
     queries = list(queries or DEFAULT_QUERIES)
@@ -98,6 +105,14 @@ def run_extraction_bench(
     if db is None:
         db = tpch.build_database(scale=scale, seed=seed)
 
+    ledger = None
+    if ledger_path is not None:
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(ledger_path)
+
+    top_jobs = max(jobs_levels)
+    top_latency = MetricsRegistry()  # merged across every top-jobs run
     rows = []
     for query_name in queries:
         query = tpch_queries.QUERIES[query_name]
@@ -106,26 +121,84 @@ def run_extraction_bench(
             app = LatencySQLExecutable(
                 query.sql, latency=latency, name=f"bench-{query_name}"
             )
+            metrics = MetricsRegistry()
+            tracer = Tracer(metrics=metrics, keep_spans=False)
+            provenance = None
+            run_id = None
+            if ledger is not None:
+                from repro.obs.provenance import ProvenanceRecorder
+
+                run_id = ledger.begin_run(
+                    label="bench",
+                    workload="tpch",
+                    query_name=query_name,
+                    jobs=jobs,
+                )
+                provenance = ProvenanceRecorder(sink=ledger.sink(run_id))
             started = time.perf_counter()
-            outcome = UnmasqueExtractor(db, app, _bench_config(jobs)).extract()
+            outcome = UnmasqueExtractor(
+                db, app, _bench_config(jobs), tracer=tracer, provenance=provenance
+            ).extract()
             seconds = time.perf_counter() - started
             caches = outcome.caches or {}
-            runs.append(
-                {
-                    "jobs": jobs,
-                    "seconds": round(seconds, 6),
-                    "invocations": outcome.stats.total_invocations,
-                    "sql": outcome.sql,
-                    "plan_cache_hit_rate": round(
-                        (caches.get("plan_cache") or {}).get("hit_rate", 0.0), 6
-                    ),
-                    "invocation_cache_hit_rate": round(
-                        (caches.get("invocation_cache") or {}).get("hit_rate", 0.0),
-                        6,
-                    ),
-                    "scheduler": caches.get("scheduler") or {},
+            modules = {
+                name: {
+                    "seconds": round(stats.seconds, 6),
+                    "invocations": stats.invocations,
                 }
+                for name, stats in outcome.stats.modules.items()
+            }
+            histogram = (
+                metrics.histogram("invocation_latency_seconds")
+                if "invocation_latency_seconds" in metrics
+                else None
             )
+            run = {
+                "jobs": jobs,
+                "seconds": round(seconds, 6),
+                "invocations": outcome.stats.total_invocations,
+                "sql": outcome.sql,
+                "plan_cache_hit_rate": round(
+                    (caches.get("plan_cache") or {}).get("hit_rate", 0.0), 6
+                ),
+                "invocation_cache_hit_rate": round(
+                    (caches.get("invocation_cache") or {}).get("hit_rate", 0.0),
+                    6,
+                ),
+                "scheduler": caches.get("scheduler") or {},
+                "modules": modules,
+                "latency_percentiles": (
+                    {
+                        name: round(value, 6)
+                        for name, value in histogram.percentiles().items()
+                    }
+                    if histogram is not None and histogram.count
+                    else {}
+                ),
+            }
+            workers = caches.get("workers")
+            if workers:
+                run["workers"] = workers
+            runs.append(run)
+            if jobs == top_jobs:
+                top_latency.merge(metrics)
+            if ledger is not None:
+                from repro.obs.provenance import clause_evidence
+
+                provenance.flush()
+                ledger.record_modules(run_id, outcome.stats.modules)
+                ledger.record_clauses(
+                    run_id, clause_evidence(outcome.query, provenance.events)
+                )
+                ledger.finish_run(
+                    run_id,
+                    status="completed",
+                    verdict=outcome.verdict,
+                    sql=outcome.sql,
+                    invocations=outcome.stats.total_invocations,
+                    seconds=seconds,
+                    extras={"caches": caches},
+                )
             if progress is not None:
                 progress(
                     f"{query_name} --jobs {jobs}: {seconds:.2f}s, "
@@ -146,14 +219,20 @@ def run_extraction_bench(
                 "runs": runs,
             }
         )
+    if ledger is not None:
+        ledger.close()
 
-    top_jobs = max(jobs_levels)
     top_speedups = [
         run["speedup_vs_jobs1"]
         for row in rows
         for run in row["runs"]
         if run["jobs"] == top_jobs
     ]
+    merged_histogram = (
+        top_latency.histogram("invocation_latency_seconds")
+        if "invocation_latency_seconds" in top_latency
+        else None
+    )
     payload = {
         "benchmark": "extraction-scheduler",
         "workload": "tpch",
@@ -169,6 +248,14 @@ def run_extraction_bench(
             "all_sql_identical": all(row["identical_sql"] for row in rows),
             "all_invocations_identical": all(
                 row["identical_invocations"] for row in rows
+            ),
+            "invocation_latency": (
+                {
+                    name: round(value, 6)
+                    for name, value in merged_histogram.percentiles().items()
+                }
+                if merged_histogram is not None and merged_histogram.count
+                else {}
             ),
         },
     }

@@ -15,12 +15,21 @@ Commands:
   the fault-free run, retries, timeouts, and degradations;
 * ``verify``    — answer "is this hidden query inside the extractable class?"
   with a structured verdict and per-clause confidence (exit 4 when
-  out-of-class) instead of risking a plausible-but-wrong SQL string.
+  out-of-class) instead of risking a plausible-but-wrong SQL string;
+* ``explain``   — extract a hidden query with the clause-level provenance
+  recorder attached and print every clause of the result with the minimal
+  probe-evidence chain that established it (or re-render the report from a
+  ``--ledger`` file without re-running anything);
+* ``trace-diff`` — compare two runs (SQLite run ledgers and/or bench
+  payloads) clause by clause: SQL deltas, per-module self-time and
+  invocation-count regressions, cache hit-rate drift.
 
 Extraction commands accept ``--trace-out FILE`` (hierarchical span trace,
 JSONL) and ``--metrics-out FILE`` (counters/histograms snapshot, JSON);
 without these flags no tracer is attached and extraction runs exactly as
-before.  ``--checkpoint-dir DIR`` enables per-module checkpoint/resume
+before.  ``--ledger FILE`` additionally persists the run — clause evidence,
+per-module breakdown, and the raw probe stream — to a durable SQLite run
+ledger (written incrementally, so killed runs keep their partial history).  ``--checkpoint-dir DIR`` enables per-module checkpoint/resume
 (``--fresh`` discards a stale checkpoint instead of resuming from it);
 ``--best-effort`` downgrades non-essential module failures (order by, limit,
 disjunctions, checker) to recorded degradations instead of aborting; the
@@ -149,6 +158,9 @@ def _make_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="tolerated fractional regression vs the baseline "
                             "(default 0.25)")
+    bench.add_argument("--ledger", metavar="FILE", default=None,
+                       help="persist every (query, jobs) run with its clause "
+                            "evidence to this SQLite run ledger")
 
     verify = sub.add_parser(
         "verify",
@@ -160,6 +172,38 @@ def _make_parser() -> argparse.ArgumentParser:
     verify.add_argument("--sql", default=None, metavar="SQL",
                         help="ad-hoc SQL text to hide and verify")
     _common_extraction_args(verify)
+
+    explain = sub.add_parser(
+        "explain",
+        help="extract a hidden query and print every clause of the result "
+             "with the probe evidence that established it",
+    )
+    explain.add_argument("--workload", default="tpch",
+                         choices=list(_load_workloads()))
+    explain.add_argument("--query", default=None,
+                         help="bundled query name, e.g. Q3")
+    explain.add_argument("--sql", default=None, metavar="SQL",
+                         help="ad-hoc SQL text to hide and explain")
+    explain.add_argument("--from-ledger", metavar="FILE", default=None,
+                         help="re-render the report from a --ledger file "
+                              "instead of re-running the extraction")
+    explain.add_argument("--run", type=int, default=None, metavar="ID",
+                         help="which ledger run to explain "
+                              "(default: the most recent)")
+    _common_extraction_args(explain)
+
+    diff = sub.add_parser(
+        "trace-diff",
+        help="compare two runs (run ledgers and/or bench payloads) clause "
+             "by clause and module by module",
+    )
+    diff.add_argument("source_a", metavar="A",
+                      help="run ledger (path[@run_id]) or bench payload JSON")
+    diff.add_argument("source_b", metavar="B",
+                      help="run ledger (path[@run_id]) or bench payload JSON")
+    diff.add_argument("--threshold", type=float, default=0.25,
+                      help="fractional self-time/wall-clock drift that "
+                           "triggers a WARN line (default 0.25)")
     return parser
 
 
@@ -179,6 +223,11 @@ def _common_extraction_args(parser: argparse.ArgumentParser) -> None:
                         help="write a hierarchical span trace (JSONL) here")
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write a metrics snapshot (JSON) here")
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="persist the run — clause evidence, module "
+                             "breakdown, raw probe stream — to this SQLite "
+                             "run ledger (created if missing, appended "
+                             "otherwise)")
     parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                         help="save per-module progress here and resume from "
                              "an existing checkpoint")
@@ -284,6 +333,12 @@ def _dispatch(args, out) -> int:
     if args.command == "trace-report":
         return _run_trace_report(args, out)
 
+    if args.command == "trace-diff":
+        return _run_trace_diff(args, out)
+
+    if args.command == "explain":
+        return _run_explain(args, out)
+
     if args.command == "bench":
         return _run_bench(args, out)
 
@@ -362,14 +417,54 @@ def _run_bench(args, out) -> int:
         seed=args.seed,
         latency=latency,
         progress=lambda line: out.write(f"  {line}\n"),
+        ledger_path=args.ledger,
     )
     write_payload(payload, args.out)
     summary = payload["summary"]
+    top_jobs = summary["top_jobs"]
     out.write(f"wrote       : {args.out}\n")
+    if args.ledger is not None:
+        out.write(f"ledger      : {args.ledger}\n")
     out.write(
         f"speedup     : {summary['min_speedup']:.2f}x – "
-        f"{summary['max_speedup']:.2f}x at --jobs {summary['top_jobs']}\n"
+        f"{summary['max_speedup']:.2f}x at --jobs {top_jobs}\n"
     )
+    latency_pct = summary.get("invocation_latency") or {}
+    if latency_pct:
+        out.write(
+            "latency     : "
+            + ", ".join(
+                f"{name} {value * 1000.0:.1f}ms"
+                for name, value in latency_pct.items()
+            )
+            + f" per invocation at --jobs {top_jobs}\n"
+        )
+    top_runs = [
+        run
+        for row in payload["queries"]
+        for run in row["runs"]
+        if run["jobs"] == top_jobs
+    ]
+    if top_runs:
+        plan_rate = sum(r["plan_cache_hit_rate"] for r in top_runs) / len(top_runs)
+        inv_rate = sum(
+            r["invocation_cache_hit_rate"] for r in top_runs
+        ) / len(top_runs)
+        out.write(
+            f"caches      : plan {plan_rate:.0%} hit, invocation "
+            f"{inv_rate:.0%} hit at --jobs {top_jobs}\n"
+        )
+        respawns = sum(
+            (r.get("workers") or {}).get("respawns", 0) for r in top_runs
+        )
+        quarantines = sum(
+            (r.get("workers") or {}).get("quarantined", 0) for r in top_runs
+        )
+        if any(r.get("workers") for r in top_runs):
+            out.write(
+                f"workers     : {respawns} respawns, "
+                f"{quarantines} quarantined\n"
+            )
     out.write(
         "determinism : sql "
         + ("identical" if summary["all_sql_identical"] else "DIVERGED")
@@ -398,6 +493,96 @@ def _run_bench(args, out) -> int:
             f"vs {args.baseline}\n"
         )
     return 0
+
+
+def _run_trace_diff(args, out) -> int:
+    from repro.obs.diff import render_diff
+
+    try:
+        text, warnings = render_diff(
+            args.source_a, args.source_b, threshold=args.threshold
+        )
+    except (OSError, ValueError) as error:
+        out.write(f"cannot diff: {error}\n")
+        return 2
+    out.write(text + "\n")
+    return 0
+
+
+def _confidence_map(outcome) -> Optional[dict]:
+    """EQC per-clause confidence keyed the way the provenance layer names
+    clauses (the guard says "projections" where provenance says "select")."""
+    if outcome.eqc is None or not outcome.eqc.clause_confidence:
+        return None
+    conf = dict(outcome.eqc.clause_confidence)
+    if "projections" in conf:
+        conf["select"] = conf.pop("projections")
+    return conf
+
+
+def _ledger_open(args, label: str, query_name: str = ""):
+    """``(ledger, run_id, provenance)`` when ``--ledger`` was given, else
+    ``(None, None, None)``.  The recorder streams to the ledger as modules
+    flush, so a killed run keeps its partial evidence history."""
+    path = getattr(args, "ledger", None)
+    if path is None:
+        return None, None, None
+    from repro.obs.ledger import RunLedger
+    from repro.obs.provenance import ProvenanceRecorder
+
+    ledger = RunLedger(path)
+    run_id = ledger.begin_run(
+        label=label,
+        workload=getattr(args, "workload", "") or "",
+        query_name=query_name,
+        jobs=getattr(args, "jobs", 1),
+    )
+    return ledger, run_id, ProvenanceRecorder(sink=ledger.sink(run_id))
+
+
+def _ledger_finish(ledger, run_id, provenance, outcome) -> None:
+    from repro.obs.provenance import clause_evidence
+
+    provenance.flush()
+    ledger.record_modules(run_id, outcome.stats.modules)
+    if outcome.query is not None:
+        ledger.record_clauses(
+            run_id,
+            clause_evidence(
+                outcome.query,
+                provenance.events,
+                clause_confidence=_confidence_map(outcome),
+            ),
+        )
+    caches = dict(outcome.caches or {})
+    workers = caches.pop("workers", None)
+    extras = {"caches": caches}
+    if workers:
+        extras["workers"] = workers
+    ledger.finish_run(
+        run_id,
+        status="completed",
+        verdict=outcome.verdict,
+        sql=outcome.sql if outcome.query is not None else "",
+        invocations=outcome.stats.total_invocations,
+        seconds=outcome.stats.total_seconds,
+        extras=extras,
+    )
+    ledger.close()
+
+
+def _ledger_fail(ledger, run_id, provenance, error) -> None:
+    """Mark an aborted run; its incrementally flushed evidence stays put."""
+    if ledger is None:
+        return
+    try:
+        provenance.flush()
+        ledger.finish_run(
+            run_id, status="failed", extras={"error": str(error)}
+        )
+        ledger.close()
+    except Exception:  # the original error is the one worth surfacing
+        pass
 
 
 def _budget_kwargs(args) -> dict:
@@ -473,9 +658,20 @@ def _run_extraction(args, sql: str, out) -> int:
                 return 2
         metrics = MetricsRegistry()
         tracer = Tracer(metrics=metrics, keep_spans=args.trace_out is not None)
-    outcome = UnmasqueExtractor(
-        db, app, config, tracer=tracer, checkpoint_dir=args.checkpoint_dir
-    ).extract()
+    ledger, run_id, provenance = _ledger_open(
+        args, args.command, query_name=getattr(args, "query", "") or ""
+    )
+    try:
+        outcome = UnmasqueExtractor(
+            db, app, config, tracer=tracer,
+            checkpoint_dir=args.checkpoint_dir, provenance=provenance,
+        ).extract()
+    except BaseException as error:
+        _ledger_fail(ledger, run_id, provenance, error)
+        raise
+    if ledger is not None:
+        _ledger_finish(ledger, run_id, provenance, outcome)
+        out.write(f"ledger      : run {run_id} -> {args.ledger}\n")
     if args.trace_out:
         tracer.write_jsonl(args.trace_out)
         out.write(f"trace       : {len(tracer.spans)} spans -> {args.trace_out}\n")
@@ -544,9 +740,20 @@ def _run_verify(args, sql: str, out) -> int:
         **_isolation_kwargs(args),
         **_scheduler_kwargs(args),
     )
-    outcome = UnmasqueExtractor(
-        db, app, config, checkpoint_dir=args.checkpoint_dir
-    ).extract()
+    ledger, run_id, provenance = _ledger_open(
+        args, "verify", query_name=args.query or ""
+    )
+    try:
+        outcome = UnmasqueExtractor(
+            db, app, config,
+            checkpoint_dir=args.checkpoint_dir, provenance=provenance,
+        ).extract()
+    except BaseException as error:
+        _ledger_fail(ledger, run_id, provenance, error)
+        raise
+    if ledger is not None:
+        _ledger_finish(ledger, run_id, provenance, outcome)
+        out.write(f"ledger      : run {run_id} -> {args.ledger}\n")
     out.write(f"verdict     : {outcome.verdict}\n")
     if outcome.eqc is not None:
         out.write(outcome.eqc.describe() + "\n")
@@ -557,6 +764,144 @@ def _run_verify(args, sql: str, out) -> int:
     if args.report:
         out.write("\n" + outcome.describe() + "\n")
     out.write(f"{outcome.sql}\n")
+    return 0
+
+
+def _run_explain(args, out) -> int:
+    """``repro explain``: every clause of ``Q_E`` with its evidence chain.
+
+    Two modes: run a fresh extraction with the provenance recorder attached
+    (``--query``/``--sql``), or re-render the stored clause table from a
+    ``--from-ledger`` file without executing anything.
+    """
+    from repro.obs.provenance import (
+        ProvenanceRecorder,
+        clause_evidence,
+        render_explain,
+    )
+
+    if args.from_ledger is not None:
+        return _explain_from_ledger(args, out)
+    if (args.query is None) == (args.sql is None):
+        out.write(
+            "explain needs exactly one of --query or --sql "
+            "(or --from-ledger FILE)\n"
+        )
+        return 2
+    sql = args.sql
+    if args.query is not None:
+        module = _load_workloads()[args.workload]
+        query = _lookup_query(module, args.query)
+        if query is None:
+            out.write(f"unknown query {args.query!r}; try `repro workloads`\n")
+            return 2
+        sql = query.sql
+
+    db = _build_database(args.workload, args.scale, args.seed)
+    app = SQLExecutable(sql, obfuscate_text=True, name="explain-app")
+    if app.run(db).is_effectively_empty:
+        out.write(
+            "the hidden query has an empty result on this instance; "
+            "increase --scale or change --seed\n"
+        )
+        return 3
+    _clear_checkpoint_if_fresh(args, out)
+    config = ExtractionConfig(
+        extract_having=args.having,
+        extract_disjunctions=args.disjunctions,
+        run_checker=not args.no_checker,
+        fail_fast=not args.best_effort,
+        **_budget_kwargs(args),
+        **_isolation_kwargs(args),
+        **_scheduler_kwargs(args),
+    )
+    ledger, run_id, provenance = _ledger_open(
+        args, "explain", query_name=args.query or ""
+    )
+    if provenance is None:
+        provenance = ProvenanceRecorder()
+    try:
+        outcome = UnmasqueExtractor(
+            db, app, config,
+            checkpoint_dir=args.checkpoint_dir, provenance=provenance,
+        ).extract()
+    except BaseException as error:
+        _ledger_fail(ledger, run_id, provenance, error)
+        raise
+    if ledger is not None:
+        _ledger_finish(ledger, run_id, provenance, outcome)
+        out.write(f"ledger: run {run_id} -> {args.ledger}\n")
+    if outcome.query is None:
+        out.write(f"verdict: {outcome.verdict}\n")
+        out.write("no SQL emitted: nothing to explain\n")
+        return 4 if outcome.verdict == "out_of_class" else 1
+    rows = clause_evidence(
+        outcome.query,
+        provenance.events,
+        clause_confidence=_confidence_map(outcome),
+    )
+    header = (
+        f"workload {args.workload}, query {args.query}"
+        if args.query
+        else f"workload {args.workload}, ad-hoc sql"
+    ) + f", --jobs {args.jobs}"
+    out.write(
+        render_explain(
+            rows,
+            sql=outcome.sql,
+            header=header,
+            total_probes=provenance.probe_count,
+        )
+        + "\n"
+    )
+    return 4 if outcome.verdict == "out_of_class" else 0
+
+
+def _explain_from_ledger(args, out) -> int:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.provenance import ClauseEvidence, render_explain
+
+    try:
+        with RunLedger(args.from_ledger) as ledger:
+            run = ledger.run(args.run)
+            if run is None:
+                out.write(
+                    f"no such run in {args.from_ledger}"
+                    + (f": {args.run}" if args.run is not None else " (empty ledger)")
+                    + "\n"
+                )
+                return 2
+            stored = ledger.clauses(run["run_id"])
+            probe_count = sum(
+                1 for e in ledger.events(run["run_id"]) if e.kind == "probe"
+            )
+    except (OSError, ValueError) as error:
+        out.write(f"cannot read ledger: {error}\n")
+        return 2
+    rows = []
+    for record in stored:
+        row = ClauseEvidence(record["clause"], record["target"])
+        row.module = record["module"]
+        row.action = record["action"]
+        row.probes = record["probes"]
+        if record["first_seq"] is not None:
+            row.evidence = (record["first_seq"], record["last_seq"])
+        row.cached = record["cached"]
+        row.speculative = record["speculative"]
+        row.isolated = record["isolated"]
+        row.confidence = record["confidence"]
+        rows.append(row)
+    header = (
+        f"run {run['run_id']} ({run['label']}, {run['workload']} "
+        f"{run['query_name'] or 'ad-hoc'}, --jobs {run['jobs']}, "
+        f"status {run['status']})"
+    )
+    out.write(
+        render_explain(
+            rows, sql=run["sql"], header=header, total_probes=probe_count
+        )
+        + "\n"
+    )
     return 0
 
 
@@ -627,9 +972,14 @@ def _run_chaos(args, sql: str, out) -> int:
 
     out.write(f"profile        : {plan.name} (chaos seed {plan.seed})\n")
     crashed_at = None
+    # One recorder spans the crash and the resume: the ledger keeps a single
+    # evidence stream for the whole survived run, partial history included.
+    ledger, run_id, provenance = _ledger_open(
+        args, "chaos", query_name=args.query or ""
+    )
     extractor = UnmasqueExtractor(
         db, faulty, chaos_config, tracer=tracer,
-        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_dir=args.checkpoint_dir, provenance=provenance,
     )
     try:
         outcome = extractor.extract()
@@ -644,13 +994,23 @@ def _run_chaos(args, sql: str, out) -> int:
         )
         extractor = UnmasqueExtractor(
             db, faulty, chaos_config, tracer=tracer,
-            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_dir=args.checkpoint_dir, provenance=provenance,
         )
-        outcome = extractor.extract()
+        try:
+            outcome = extractor.extract()
+        except ReproError as error:
+            _ledger_fail(ledger, run_id, provenance, error)
+            out.write(f"died           : {type(error).__name__}: {error}\n")
+            out.write("survived       : no\n")
+            return 1
     except ReproError as error:
+        _ledger_fail(ledger, run_id, provenance, error)
         out.write(f"died           : {type(error).__name__}: {error}\n")
         out.write("survived       : no\n")
         return 1
+    if ledger is not None:
+        _ledger_finish(ledger, run_id, provenance, outcome)
+        out.write(f"ledger         : run {run_id} -> {args.ledger}\n")
 
     injected = ", ".join(f"{k}={v}" for k, v in faulty.injected.items())
     matches = outcome.sql == baseline.sql

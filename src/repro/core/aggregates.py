@@ -32,6 +32,7 @@ from repro.core.model import OutputColumn, ScalarFunction
 from repro.core.session import ExtractionSession
 from repro.core.svalues import SValueError, SValueSource
 from repro.errors import ExtractionError, UnsupportedQueryError
+from repro.obs.provenance import PROBE
 from repro.sgraph.schema_graph import ColumnNode
 
 _MAX_K = 24
@@ -65,9 +66,54 @@ def extract_aggregations(session: ExtractionSession, svalues: SValueSource) -> l
         builder = DgenBuilder(session, svalues)
         refined: list[OutputColumn] = []
         for output in session.query.outputs:
-            refined.append(_refine_output(session, svalues, builder, output))
+            refined.append(_refine_and_record(session, svalues, builder, output))
         session.query.outputs = refined
         return refined
+
+
+def _refine_and_record(
+    session: ExtractionSession,
+    svalues: SValueSource,
+    builder: DgenBuilder,
+    output: OutputColumn,
+) -> OutputColumn:
+    """Refine one output and record the final select clause's evidence.
+
+    The accept shares ``("select", position)`` with the projection module's
+    refine events, so outputs that canonicalise without any probe of their
+    own (group-member functions, pure-SPJ projections) still inherit the
+    dependency/identification chain that established them.
+    """
+    provenance = session.provenance
+    before = len(provenance.events)
+    refined = _refine_output(session, svalues, builder, output)
+    if provenance.enabled:
+        seqs = tuple(
+            event.seq
+            for event in provenance.events[before:]
+            if event.kind == PROBE
+        )
+        if refined.count_star:
+            shape = "count(*)"
+        elif refined.aggregate:
+            shape = f"aggregate {refined.aggregate}()"
+        elif refined.function is not None and refined.function.is_constant:
+            shape = "constant projection"
+        else:
+            shape = "native projection"
+        provenance.accept(
+            "select",
+            refined.select_sql(),
+            "aggregations",
+            detail=(
+                f"resolved as {shape}"
+                + ("" if seqs else " (inherited evidence, no extra probe)")
+            ),
+            key=("select", output.position),
+            claim=False,
+            extra_evidence=seqs,
+        )
+    return refined
 
 
 def _group_members(session: ExtractionSession) -> set[ColumnNode]:

@@ -42,11 +42,35 @@ _MAX_SEEDS = 12
 def refine_disjunctions(session: ExtractionSession) -> list[Filter]:
     """Upgrade conjunctive filters to witnessed disjunctions where needed."""
     with session.module("disjunctions"):
+        provenance = session.provenance
         refined: list[Filter] = []
         handled: set[ColumnNode] = set()
         for predicate in session.query.filters:
             handled.add(predicate.column)
-            refined.append(_refine_existing(session, predicate))
+            upgraded = _refine_existing(session, predicate)
+            refined.append(upgraded)
+            if provenance.enabled:
+                # Claim the witness/bisection probes this predicate's pass
+                # issued; the key links back to the conjunctive extraction's
+                # chain so the final rendering keeps its full ancestry even
+                # when the predicate survives unchanged (different target).
+                provenance.refine(
+                    "filters",
+                    upgraded.to_sql(),
+                    "disjunctions",
+                    detail=(
+                        "witnessed disjunction pass "
+                        + (
+                            "upgraded the conjunctive predicate"
+                            if upgraded is not predicate
+                            else "confirmed the conjunctive predicate"
+                        )
+                    ),
+                    key=(
+                        "filters",
+                        (predicate.column.table, predicate.column.column),
+                    ),
+                )
         # Columns the standard pipeline saw as filter-free may still carry a
         # hole-shaped numeric disjunction (both domain extremes qualify).
         for table in session.query.tables:
@@ -59,6 +83,23 @@ def refine_disjunctions(session: ExtractionSession) -> list[Filter]:
                 hole = _detect_hole(session, column)
                 if hole is not None:
                     refined.append(hole)
+                    if provenance.enabled:
+                        provenance.accept(
+                            "filters",
+                            hole.to_sql(),
+                            "disjunctions",
+                            detail="hole-shaped disjunction found by witnessed seeds",
+                            key=("filters", (column.table, column.column)),
+                        )
+                elif provenance.enabled:
+                    # drain this column's hole probes so the next accept's
+                    # claim cites only its own evidence
+                    provenance.reject(
+                        "filters",
+                        f"{column.table}.{column.column}",
+                        "disjunctions",
+                        detail="no witnessed hole: column stays filter-free",
+                    )
         session.query.filters = refined
         return refined
 

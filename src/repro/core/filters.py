@@ -62,8 +62,30 @@ def extract_filters(session: ExtractionSession) -> list[Filter]:
 def _check_column(session: ExtractionSession, column: ColumnNode) -> Filter | None:
     col_type = session.column_type(column)
     if session.config.extract_null_predicates:
-        return _check_with_null_probes(session, column, col_type)
-    return _check_valued(session, column, col_type)
+        predicate = _check_with_null_probes(session, column, col_type)
+    else:
+        predicate = _check_valued(session, column, col_type)
+    # Clause evidence: claim every probe this column's check issued (each
+    # task's recorder pool holds exactly its own probes, sequentially the
+    # pool holds the probes since the previous column's claim).
+    provenance = session.provenance
+    if provenance.enabled:
+        if predicate is not None:
+            provenance.accept(
+                "filters",
+                predicate.to_sql(),
+                "filters",
+                detail=f"column {column.table}.{column.column}",
+                key=("filters", (column.table, column.column)),
+            )
+        else:
+            provenance.reject(
+                "filters",
+                f"{column.table}.{column.column}",
+                "filters",
+                detail="no predicate on this column",
+            )
+    return predicate
 
 
 def _check_valued(session: ExtractionSession, column: ColumnNode, col_type) -> Filter | None:
@@ -272,6 +294,11 @@ def _minimize_representative(
             granularity = min(len(current), granularity * 2)
     if current != rep:
         session.update_d1(column.table, {column.column: current})
+        session.provenance.mutation(
+            "filters",
+            f"{column.table}.{column.column}",
+            detail=f"representative minimized to {len(current)} chars",
+        )
     return current
 
 

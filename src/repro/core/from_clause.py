@@ -43,17 +43,35 @@ def extract_tables(session: ExtractionSession) -> list[str]:
 def _extract_by_rename(session: ExtractionSession) -> list[str]:
     tables: list[str] = []
     timeout = session.config.from_clause_timeout
+    provenance = session.provenance
     for name in list(session.silo.table_names):
         lowered = name.lower()
         session.silo.rename_table(lowered, _PROBE_NAME)
+        referenced = False
         try:
             session.run(timeout=timeout)
         except UndefinedTableError:
             tables.append(lowered)
+            referenced = True
         except ExecutableTimeoutError:
             pass  # ran past the deadline without erroring: table not referenced
         finally:
             session.silo.rename_table(_PROBE_NAME, lowered)
+        if provenance.enabled:
+            if referenced:
+                provenance.accept(
+                    "from",
+                    lowered,
+                    "from_clause",
+                    detail="rename probe raised UndefinedTableError",
+                )
+            else:
+                provenance.reject(
+                    "from",
+                    lowered,
+                    "from_clause",
+                    detail="rename probe ran without referencing the table",
+                )
     return sorted(tables)
 
 
@@ -64,4 +82,16 @@ def _extract_by_trace(session: ExtractionSession) -> list[str]:
         session.run()
     finally:
         session.silo.trace_access = False
-    return sorted(set(session.silo.access_log))
+    tables = sorted(set(session.silo.access_log))
+    provenance = session.provenance
+    if provenance.enabled:
+        for table in tables:
+            provenance.accept(
+                "from",
+                table,
+                "from_clause",
+                detail="table appeared in the traced access log",
+                claim=False,
+                include_module_probes=True,
+            )
+    return tables

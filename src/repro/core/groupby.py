@@ -55,9 +55,7 @@ def extract_group_by(session: ExtractionSession, svalues: SValueSource) -> list[
                     probes.append(probe)
 
         row_counts = session.scheduler.map(
-            probes,
-            lambda ctx, probe: ctx.run_on(probe[1]).row_count,
-            label="group_by",
+            probes, _membership_probe, label="group_by"
         )
         group_by = [
             column
@@ -70,7 +68,48 @@ def extract_group_by(session: ExtractionSession, svalues: SValueSource) -> list[
             session.query.ungrouped_aggregation = _is_ungrouped_aggregation(
                 session, svalues, builder
             )
+            if session.provenance.enabled:
+                session.provenance.observation(
+                    "group_by",
+                    detail=(
+                        "two-row all-distinct probe: "
+                        + (
+                            "one result row — ungrouped aggregation"
+                            if session.query.ungrouped_aggregation
+                            else "two result rows — plain SPJ query"
+                        )
+                    ),
+                )
         return session.query.group_by
+
+
+def _membership_probe(session: ExtractionSession, probe) -> int:
+    """One candidate's 2/1-split probe, with its accept/reject evidence.
+
+    The decision is made (and recorded) inside the task so each scheduler
+    context's recorder claims exactly its own probe — sequentially, the
+    session recorder behaves identically.
+    """
+    column, rows = probe
+    count = session.run_on(rows).row_count
+    provenance = session.provenance
+    if provenance.enabled:
+        target = f"{column.table}.{column.column}"
+        if count == 2:
+            provenance.accept(
+                "group_by",
+                target,
+                "group_by",
+                detail="2/1-split probe returned two result rows",
+            )
+        else:
+            provenance.reject(
+                "group_by",
+                target,
+                "group_by",
+                detail=f"2/1-split probe returned {count} result row(s)",
+            )
+    return count
 
 
 def _case1_probe(

@@ -97,6 +97,7 @@ def extract_with_having(session: ExtractionSession):
         bounds = _extract_unified_bounds(session)
         _classify_families(session, bounds)
         _install_bounds(session, bounds)
+        _record_bound_clauses(session)
 
     with session.module("having_count"):
         _install_template_d1(session, bounds)
@@ -124,6 +125,40 @@ def extract_with_having(session: ExtractionSession):
         stats=session.stats,
         checker_report=report,
     )
+
+
+def _record_bound_clauses(session: ExtractionSession) -> None:
+    """Evidence for every filter/HAVING predicate the bound pass installed.
+
+    The all-equal bisections and family-classification probes established the
+    whole bound set collectively, so each rendered predicate cites the
+    module's probe range rather than a per-predicate slice.
+    """
+    provenance = session.provenance
+    if not provenance.enabled:
+        return
+    for predicate in session.query.filters:
+        provenance.accept(
+            "filters",
+            predicate.to_sql(),
+            "having_bounds",
+            detail="all-equal axis bisection; mixed-value probes matched filter semantics",
+            claim=False,
+            include_module_probes=True,
+            key=("filters", (predicate.column.table, predicate.column.column)),
+        )
+    for predicate in session.query.having:
+        provenance.accept(
+            "having",
+            predicate.to_sql(),
+            "having_bounds",
+            detail=(
+                f"all-equal axis bisection; classified as {predicate.aggregate} "
+                "by cardinality/mixed-value probes"
+            ),
+            claim=False,
+            include_module_probes=True,
+        )
 
 
 # --- unified bound extraction ---------------------------------------------------
@@ -596,16 +631,25 @@ def _detect_count_bounds(session: ExtractionSession) -> None:
     session.set_d1(dict(session.d1))  # reinstall with the multiplier applied
     if session.run().is_effectively_empty:
         raise ExtractionError("template database with multiplier does not qualify")
-    session.query.having.append(
-        HavingPredicate(
-            aggregate="count",
-            column=None,
-            lo=count_bound,
-            hi=None,
-            domain_lo=0,
-            domain_hi=10**9,
-        )
+    predicate = HavingPredicate(
+        aggregate="count",
+        column=None,
+        lo=count_bound,
+        hi=None,
+        domain_lo=0,
+        domain_hi=10**9,
     )
+    session.query.having.append(predicate)
+    if session.provenance.enabled:
+        session.provenance.accept(
+            "having",
+            predicate.to_sql(),
+            "having_count",
+            detail=(
+                f"template multiplicity bisection: {count_bound} rows is the "
+                "smallest qualifying replication"
+            ),
+        )
     _reject_count_upper_bound(session)
 
 
@@ -624,6 +668,7 @@ def _reject_count_upper_bound(session: ExtractionSession) -> None:
 
 
 def _extract_text_filters(session: ExtractionSession) -> None:
+    provenance = session.provenance
     for table in session.query.tables:
         for column in session.nonkey_columns(table):
             if not session.column_type(column).is_textual:
@@ -631,6 +676,21 @@ def _extract_text_filters(session: ExtractionSession) -> None:
             predicate = _check_textual(session, column)
             if predicate is not None:
                 session.query.filters.append(predicate)
+                if provenance.enabled:
+                    provenance.accept(
+                        "filters",
+                        predicate.to_sql(),
+                        "filters",
+                        detail=f"column {column.table}.{column.column}",
+                        key=("filters", (column.table, column.column)),
+                    )
+            elif provenance.enabled:
+                provenance.reject(
+                    "filters",
+                    f"{column.table}.{column.column}",
+                    "filters",
+                    detail="no textual predicate on this column",
+                )
 
 
 def _reject_sum_outputs(session: ExtractionSession) -> None:

@@ -34,17 +34,55 @@ def extract_joins(session: ExtractionSession) -> list[JoinClique]:
             if cycle.is_single_edge:
                 v1, _ = cycle.nodes
                 if _negated_run(session, {v1}).is_effectively_empty:
-                    cliques.append(JoinClique(frozenset(cycle.nodes)))
+                    clique = JoinClique(frozenset(cycle.nodes))
+                    cliques.append(clique)
+                    _record_clique(
+                        session, clique, "negate probe emptied the result"
+                    )
+                elif session.provenance.enabled:
+                    session.provenance.reject(
+                        "joins",
+                        "; ".join(
+                            JoinClique(frozenset(cycle.nodes)).predicates()
+                        ),
+                        "joins",
+                        detail="negate probe stayed populated: edge absent",
+                    )
                 continue
             split = _try_split(session, cycle)
             if split is None:
-                cliques.append(JoinClique(frozenset(cycle.nodes)))
+                clique = JoinClique(frozenset(cycle.nodes))
+                cliques.append(clique)
+                _record_clique(
+                    session, clique, "cycle survived every Cut/Negate pair"
+                )
             else:
                 candidates.extend(split)
         session.query.join_cliques = sorted(
             cliques, key=lambda c: c.representative()
         )
         return session.query.join_cliques
+
+
+def _record_clique(
+    session: ExtractionSession, clique: JoinClique, detail: str
+) -> None:
+    """One accept per rendered predicate; the clique's probes are claimed by
+    the first event and shared with the rest through the ``(clause, key)``
+    accumulator, so every predicate of a clique cites the same chain."""
+    provenance = session.provenance
+    if not provenance.enabled:
+        return
+    key = ("clique", clique.representative())
+    for index, predicate in enumerate(clique.predicates()):
+        provenance.accept(
+            "joins",
+            predicate,
+            "joins",
+            detail=detail,
+            claim=index == 0,
+            key=key,
+        )
 
 
 def _try_split(session: ExtractionSession, cycle: Cycle) -> list[Cycle] | None:

@@ -39,6 +39,7 @@ def extract_limit(session: ExtractionSession, svalues: SValueSource) -> int | No
 
         n = min(start, cap)
         builder = DgenBuilder(session, svalues)
+        provenance = session.provenance
         while True:
             result = _probe_cardinality(session, svalues, builder, n)
             if result < n:
@@ -53,9 +54,27 @@ def extract_limit(session: ExtractionSession, svalues: SValueSource) -> int | No
                         "the extracted SPJ core is inconsistent with the "
                         "application (is the join declared in the schema?)"
                     )
+                if provenance.enabled:
+                    provenance.accept(
+                        "limit",
+                        str(result),
+                        "limit",
+                        detail=(
+                            f"geometric probe expected {n} result rows but "
+                            f"observed {result}"
+                        ),
+                    )
                 query.limit = result
                 return result
             if n >= cap:
+                if provenance.enabled:
+                    provenance.observation(
+                        "limit",
+                        detail=(
+                            f"no limit observable up to the probe ceiling "
+                            f"{cap} (l_max clamp)"
+                        ),
+                    )
                 query.limit = None
                 return None
             n = min(n * session.config.limit_ratio, cap)

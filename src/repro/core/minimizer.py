@@ -31,6 +31,14 @@ def minimize(session: ExtractionSession) -> dict[str, tuple]:
     with session.module("minimizer"):
         d1 = _halve_to_single_rows(session)
     session.set_d1(d1)
+    if session.provenance.enabled:
+        session.provenance.observation(
+            "minimizer",
+            detail=(
+                "D^1 installed: one row per table for "
+                + ", ".join(sorted(d1))
+            ),
+        )
     return d1
 
 
@@ -54,6 +62,11 @@ def _sampling_prepass(session: ExtractionSession) -> None:
             )
             session.silo.replace_rows(table, sample)
             if not session.run().is_effectively_empty:
+                session.provenance.mutation(
+                    "sampler",
+                    table,
+                    detail=f"kept a {count}-row sample of {size} rows",
+                )
                 break
             session.silo.replace_rows(table, original_rows)
 

@@ -43,6 +43,7 @@ def extract_order_by(session: ExtractionSession, svalues: SValueSource) -> list[
         candidates = list(query.outputs)
         order: list[OrderSpec] = []
         s1: list[OutputColumn] = []
+        provenance = session.provenance
         while candidates:
             hit = None
             for candidate in candidates:
@@ -51,9 +52,32 @@ def extract_order_by(session: ExtractionSession, svalues: SValueSource) -> list[
                     hit = (candidate, direction)
                     break
             if hit is None:
+                if provenance.enabled and order:
+                    # the probes since the last accept refuted every remaining
+                    # candidate: the ordering prefix ends here
+                    provenance.observation(
+                        "order_by",
+                        detail=(
+                            f"no candidate sorted consistently at position "
+                            f"{len(order) + 1}; ordering prefix closed"
+                        ),
+                    )
                 break
             candidate, direction = hit
-            order.append(OrderSpec(candidate.name, descending=(direction == "desc")))
+            spec = OrderSpec(candidate.name, descending=(direction == "desc"))
+            order.append(spec)
+            if provenance.enabled:
+                # claim the whole pool: the same-vs-reversed pair for this
+                # candidate plus the probes that refuted the ones tried first
+                provenance.accept(
+                    "order_by",
+                    spec.to_sql(),
+                    "order_by",
+                    detail=(
+                        f"position {len(order)}: sorted {direction} in both "
+                        "the same-direction and argument-swapped instances"
+                    ),
+                )
             s1.append(candidate)
             candidates.remove(candidate)
         query.order_by = order

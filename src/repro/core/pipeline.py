@@ -279,6 +279,9 @@ def _step_eqc_preflight(session: ExtractionSession, ctx: _PipelineContext) -> No
     ctx.eqc_signals.extend(signals)
     for signal in signals:
         logger.warning("EQC preflight signal: %s", signal.detail)
+        session.provenance.observation(
+            "eqc_preflight", target=signal.probe, detail=signal.detail
+        )
     if any(s.severity >= eqc_guard.OUT_OF_CLASS_THRESHOLD for s in signals):
         raise UnsupportedQueryError(
             "preflight sentinels flagged the hidden query as out-of-class: "
@@ -293,6 +296,9 @@ def _step_eqc_postflight(session: ExtractionSession, ctx: _PipelineContext) -> N
     ctx.eqc_signals.extend(signals)
     for signal in signals:
         logger.warning("EQC postflight signal: %s", signal.detail)
+        session.provenance.observation(
+            "eqc_postflight", target=signal.probe, detail=signal.detail
+        )
     if any(s.severity >= eqc_guard.OUT_OF_CLASS_THRESHOLD for s in signals):
         raise UnsupportedQueryError(
             "postflight cross-validation flagged the extraction as "
@@ -368,6 +374,14 @@ def _step_checker(session: ExtractionSession, ctx: _PipelineContext) -> None:
     ctx.checker_report = checker.verify_extraction(
         session, ctx.require_svalues(session)
     )
+    session.provenance.observation(
+        "checker",
+        target="passed" if ctx.checker_report.passed else "failed",
+        detail=(
+            f"verified on {ctx.checker_report.databases_checked} "
+            "randomized databases"
+        ),
+    )
     logger.info(
         "checker: %s on %d databases",
         "passed" if ctx.checker_report.passed else "FAILED",
@@ -401,9 +415,12 @@ class UnmasqueExtractor:
         config: Optional[ExtractionConfig] = None,
         tracer=None,
         checkpoint_dir=None,
+        provenance=None,
     ):
         self.config = config or ExtractionConfig()
-        self.session = ExtractionSession(db, executable, self.config, tracer=tracer)
+        self.session = ExtractionSession(
+            db, executable, self.config, tracer=tracer, provenance=provenance
+        )
         if checkpoint_dir is None:
             self.checkpoint: Optional[CheckpointStore] = None
         elif isinstance(checkpoint_dir, CheckpointStore):
@@ -456,12 +473,24 @@ class UnmasqueExtractor:
             if session.budget.enabled and outcome.budget is None:
                 outcome.budget = session.budget.snapshot()
             outcome.caches = session.cache_stats()
+            if session.provenance.enabled:
+                session.provenance.observation(
+                    "pipeline",
+                    target=outcome.verdict,
+                    detail=(
+                        f"extraction finished: "
+                        f"{outcome.stats.total_invocations} invocations, "
+                        f"{len(session.provenance.events)} evidence events"
+                    ),
+                )
+                session.provenance.flush()
             if tracer.enabled:
                 root.set_tags(
                     tables=list(outcome.query.tables),
                     invocations=outcome.stats.total_invocations,
                     modules=sorted(outcome.stats.modules),
                     verdict=outcome.verdict,
+                    caches=outcome.caches,
                 )
                 if outcome.degradations:
                     root.set_tag(

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.model import OutputColumn, ScalarFunction
 from repro.core.session import ExtractionSession
+from repro.obs.provenance import PROBE
 from repro.core.svalues import SValueError, SValueSource
 from repro.errors import ExtractionError, UnsupportedQueryError
 from repro.sgraph.schema_graph import ColumnNode
@@ -72,7 +73,7 @@ def extract_projections(session: ExtractionSession, svalues: SValueSource) -> li
             _prewarm_svalues(session, svalues, units)
         changed_per_unit = session.scheduler.map(
             units,
-            lambda ctx, unit: _unit_affects(ctx, svalues, unit, baseline),
+            lambda ctx, unit: _dependency_probe(ctx, svalues, unit, baseline),
             label="projections",
         )
         deps_per_output: list[list[MutationUnit]] = [[] for _ in names]
@@ -80,20 +81,75 @@ def extract_projections(session: ExtractionSession, svalues: SValueSource) -> li
             for output_index in changed:
                 deps_per_output[output_index].append(unit)
 
+        provenance = session.provenance
         outputs: list[OutputColumn] = []
         for position, name in enumerate(names):
             deps = deps_per_output[position]
+            before = len(provenance.events)
             if not deps:
                 function = None  # unmapped: count(*) or constant, resolved later
             else:
                 function = _identify_function(
                     session, svalues, deps, position, baseline
                 )
-            outputs.append(
-                OutputColumn(name=name, position=position, function=function)
-            )
+            output = OutputColumn(name=name, position=position, function=function)
+            outputs.append(output)
+            if provenance.enabled and function is not None:
+                seqs = _probe_seqs(provenance, before)
+                provenance.refine(
+                    "select",
+                    output.select_sql(),
+                    "projections",
+                    detail=(
+                        f"{len(deps)} dependency unit(s); function solved "
+                        f"with {len(seqs)} probe(s)"
+                    ),
+                    key=("select", position),
+                    claim=False,
+                    extra_evidence=seqs,
+                )
         session.query.outputs = outputs
         return outputs
+
+
+def _probe_seqs(provenance, start: int) -> tuple[int, ...]:
+    """Sequence numbers of the probes recorded since event index ``start``."""
+    return tuple(
+        event.seq
+        for event in provenance.events[start:]
+        if event.kind == PROBE
+    )
+
+
+def _dependency_probe(
+    session: ExtractionSession,
+    svalues: SValueSource,
+    unit: MutationUnit,
+    baseline,
+) -> set[int]:
+    """One unit's dependency check, with its probes attributed per output.
+
+    The refine events accumulate under ``("select", position)`` so the later
+    function-identification and aggregation-refinement stages inherit this
+    unit's probes into the final select clause's evidence chain.  Runs inside
+    a scheduler task: each context's recorder sees exactly this unit's probes.
+    """
+    provenance = session.provenance
+    before = len(provenance.events)
+    changed = _unit_affects(session, svalues, unit, baseline)
+    if provenance.enabled and changed:
+        seqs = _probe_seqs(provenance, before)
+        for index in sorted(changed):
+            provenance.refine(
+                "select",
+                f"output #{index}",
+                "projections",
+                detail=f"mutating {unit.representative} moved output {index}",
+                key=("select", index),
+                claim=False,
+                extra_evidence=seqs,
+            )
+    return changed
 
 
 def _unique_names(names: list[str]) -> list[str]:

@@ -22,6 +22,7 @@ from repro.engine.database import Database, PlanCache
 from repro.engine.result import Result
 from repro.engine.types import NumericDomain, date_to_ordinal
 from repro.errors import DatabaseError, ExecutableTimeoutError, ExtractionError
+from repro.obs.provenance import NULL_PROVENANCE
 from repro.obs.trace import NULL_TRACER
 from repro.resilience.budgets import BudgetSpec, ResourceBudget
 from repro.resilience.retry import RetryPolicy
@@ -76,12 +77,17 @@ class ExtractionSession:
         executable: Executable,
         config: ExtractionConfig,
         tracer=None,
+        provenance=None,
     ):
         self.config = config
         self.executable = executable
         self.rng = random.Random(config.seed)
         self.stats = ExtractionStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: clause-level evidence recorder; defaults to the shared no-op.
+        self.provenance = (
+            provenance if provenance is not None else NULL_PROVENANCE
+        )
         #: applied around every black-box invocation; its jitter RNG is
         #: seeded independently of :attr:`rng` so retries never shift the
         #: extraction's probe sequence.
@@ -263,6 +269,9 @@ class ExtractionSession:
                 self._module_frames[-1] += elapsed
             self._current_module = previous
             self.budget.set_module(previous)
+            # Persist evidence at every module boundary so a crashed run's
+            # ledger keeps the history up to the module it died in.
+            self.provenance.flush()
 
     # -- black-box invocation ------------------------------------------------
 
@@ -289,8 +298,13 @@ class ExtractionSession:
             self.budget.charge_invocation()
             token = self.silo.snapshot()
             try:
-                return self._invoke(timeout)
+                result = self._invoke(timeout)
+                if self.provenance.enabled:
+                    self._record_probe_event(result, None)
+                return result
             except Exception as error:
+                if self.provenance.enabled:
+                    self._record_probe_event(None, error)
                 timed_out = isinstance(error, ExecutableTimeoutError)
                 if timed_out:
                     self._record_timeout()
@@ -337,7 +351,44 @@ class ExtractionSession:
             stats["plan_cache"] = self.silo.plan_cache.stats()
         if self.memo is not None:
             stats["invocation_cache"] = self.memo.stats()
+        workers = self.worker_stats()
+        if workers is not None:
+            stats["workers"] = workers
         return stats
+
+    def worker_stats(self) -> Optional[dict]:
+        """Isolation worker-pool lifetime counters, or None when in-process."""
+        if self.backend is None:
+            return None
+        pool = self.backend.pool
+        return {
+            "invocations": pool.stats.invocations,
+            "crashes": pool.stats.crashes,
+            "kills": pool.stats.kills,
+            "restarts": pool.stats.restarts,
+            "respawns": pool.respawns,
+            "quarantined": int(pool.quarantine_error is not None),
+            "rss_peak_bytes": pool.stats.rss_peak_bytes,
+        }
+
+    def _record_probe_event(self, result, error) -> None:
+        """One ``probe`` evidence event per logical invocation attempt.
+
+        The cache/fingerprint facts are read back from the invocation info
+        the executable left on the probe database, so no fingerprint is ever
+        computed twice.  Mirrors the exactly-once schedule of
+        ``module_stats.invocations``: retries and memo hits are recorded,
+        nothing else is.
+        """
+        info = getattr(self.silo, "last_invocation", None) or {}
+        self.provenance.probe(
+            self._current_module,
+            rows=result.row_count if result is not None else None,
+            error=type(error).__name__ if error is not None else "",
+            cached=bool(info.get("cached")),
+            isolated=self.backend is not None,
+            db_fingerprint=str(info.get("fingerprint") or ""),
+        )
 
     def _record_timeout(self) -> None:
         self.stats.invocation_timeouts += 1

@@ -14,6 +14,14 @@ invocations go.  This package provides the three layers needed to see it:
   ``query_latency_seconds``, …) with a JSON snapshot API.
 * :mod:`repro.obs.report` — renders a stored trace as a flame-style
   indented tree plus a top-N slowest-queries table.
+* :mod:`repro.obs.provenance` — clause-level evidence recording: every
+  probe, mutation, and clause decision of an extraction, with the probe
+  chains that established each clause of the emitted SQL (``repro explain``).
+* :mod:`repro.obs.ledger` — a durable SQLite run ledger persisting runs,
+  modules, clauses, evidence, and metrics incrementally.
+* :mod:`repro.obs.diff` — cross-run comparison (``repro trace-diff``):
+  clause-by-clause SQL deltas, per-module self-time and invocation-count
+  regressions, cache hit-rate drift.
 
 Tracing is **opt-in and zero-cost when off**: every instrumented call site
 goes through :data:`~repro.obs.trace.NULL_TRACER` by default, whose
@@ -21,11 +29,22 @@ goes through :data:`~repro.obs.trace.NULL_TRACER` by default, whose
 timing, no branching beyond a single ``enabled`` check on hot paths).
 """
 
+from repro.obs.diff import render_diff
+from repro.obs.ledger import RunLedger
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    EvidenceEvent,
+    NullProvenance,
+    ProvenanceRecorder,
+    clause_evidence,
+    query_clauses,
+    render_explain,
 )
 from repro.obs.report import render_trace_report
 from repro.obs.trace import (
@@ -38,13 +57,22 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "EvidenceEvent",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROVENANCE",
     "NULL_TRACER",
+    "NullProvenance",
     "NullTracer",
+    "ProvenanceRecorder",
+    "RunLedger",
     "Span",
     "Tracer",
+    "clause_evidence",
+    "query_clauses",
     "read_jsonl",
+    "render_diff",
+    "render_explain",
     "render_trace_report",
 ]

@@ -1,0 +1,297 @@
+"""Cross-run trace diffing behind ``repro trace-diff``.
+
+Compares two extraction runs — ledger entries (``path.sqlite`` or
+``path.sqlite@RUN_ID``) or recorded bench payloads (``benchmarks/
+baseline.json`` / ``BENCH_extraction.json``) in any combination — and
+reports:
+
+* clause-by-clause SQL deltas (clauses added, removed, or re-attributed);
+* per-module self-time and invocation-count regressions;
+* cache hit-rate drift (plan cache + invocation memo).
+
+The output separates *warnings* (drift beyond the threshold, default 25%)
+from informational lines, and :func:`render_diff` returns the warning count
+so CI can decide whether to annotate without failing the build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+
+class RunView:
+    """The diffable projection of one run, whatever its source."""
+
+    __slots__ = (
+        "label",
+        "sql",
+        "jobs",
+        "seconds",
+        "invocations",
+        "modules",
+        "caches",
+        "clauses",
+        "workers",
+    )
+
+    def __init__(self, label: str):
+        self.label = label
+        self.sql = ""
+        self.jobs = 1
+        self.seconds = 0.0
+        self.invocations = 0
+        #: module -> {"seconds": float, "invocations": int}
+        self.modules: dict[str, dict] = {}
+        #: metric name -> hit rate (plan_cache / invocation_cache)
+        self.caches: dict[str, float] = {}
+        #: (clause kind, clause SQL) in extraction order
+        self.clauses: list[tuple[str, str]] = []
+        #: worker-pool counters (respawns, quarantined, ...)
+        self.workers: dict[str, int] = {}
+
+
+# -- loading ------------------------------------------------------------------
+
+
+def parse_source(source: str) -> tuple[str, Optional[int]]:
+    """Split a ``path[@run_id]`` CLI argument."""
+    if "@" in source:
+        path, _, run_part = source.rpartition("@")
+        if path and run_part.isdigit():
+            return path, int(run_part)
+    return source, None
+
+
+def load_views(source: str) -> list[RunView]:
+    """Load every comparable run view from a CLI source argument.
+
+    A bench payload yields one view per ``(query, jobs)`` run; a ledger
+    yields the selected run (or its latest finished run).
+    """
+    path, run_id = parse_source(source)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no such run source: {path}")
+    with open(path, "rb") as handle:
+        head = handle.read(16)
+    if head.startswith(b"SQLite format 3"):
+        return [_view_from_ledger(path, run_id)]
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "queries" in payload and "benchmark" in payload:
+        return _views_from_bench(payload, label=os.path.basename(path))
+    raise ValueError(
+        f"{path}: neither a SQLite run ledger nor a bench payload"
+    )
+
+
+def _view_from_ledger(path: str, run_id: Optional[int]) -> RunView:
+    from repro.obs.ledger import RunLedger
+
+    with RunLedger(path) as ledger:
+        run = ledger.run(run_id)
+        if run is None:
+            raise ValueError(f"{path}: no runs recorded")
+        view = RunView(f"{os.path.basename(path)}@{run['run_id']}")
+        view.sql = run["sql"]
+        view.jobs = run["jobs"]
+        view.seconds = run["seconds"]
+        view.invocations = run["invocations"]
+        view.modules = ledger.modules(run["run_id"])
+        view.clauses = [
+            (row["clause"], row["target"])
+            for row in ledger.clauses(run["run_id"])
+        ]
+        caches = run.get("extras", {}).get("caches") or {}
+        view.caches = _cache_rates(caches)
+        view.workers = {
+            k: int(v)
+            for k, v in (run.get("extras", {}).get("workers") or {}).items()
+            if isinstance(v, (int, float))
+        }
+    return view
+
+
+def _cache_rates(caches: dict) -> dict[str, float]:
+    rates = {}
+    for name in ("plan_cache", "invocation_cache"):
+        stats = caches.get(name)
+        if isinstance(stats, dict) and "hit_rate" in stats:
+            rates[name] = float(stats["hit_rate"])
+    return rates
+
+
+def _views_from_bench(payload: dict, label: str) -> list[RunView]:
+    views = []
+    for row in payload.get("queries", []):
+        for run in row.get("runs", []):
+            view = RunView(f"{label}:{row['query']}@jobs={run['jobs']}")
+            view.sql = run.get("sql", "")
+            view.jobs = run.get("jobs", 1)
+            view.seconds = float(run.get("seconds", 0.0))
+            view.invocations = int(run.get("invocations", 0))
+            view.modules = {
+                name: dict(stats)
+                for name, stats in (run.get("modules") or {}).items()
+            }
+            for key, name in (
+                ("plan_cache_hit_rate", "plan_cache"),
+                ("invocation_cache_hit_rate", "invocation_cache"),
+            ):
+                if key in run:
+                    view.caches[name] = float(run[key])
+            view.workers = {
+                k: int(v)
+                for k, v in (run.get("workers") or {}).items()
+                if isinstance(v, (int, float))
+            }
+            views.append(view)
+    return views
+
+
+def pair_views(
+    a_views: list[RunView], b_views: list[RunView]
+) -> list[tuple[RunView, RunView]]:
+    """Match runs across two sources for comparison.
+
+    Bench payloads are matched on the ``query@jobs`` suffix of the label so
+    perf-smoke lines up with the committed baseline; single-run sources are
+    compared head-to-head.
+    """
+    if len(a_views) == 1 and len(b_views) == 1:
+        return [(a_views[0], b_views[0])]
+
+    def _key(view: RunView) -> str:
+        return view.label.split(":", 1)[-1]
+
+    b_by_key = {_key(view): view for view in b_views}
+    pairs = []
+    for view in a_views:
+        other = b_by_key.get(_key(view))
+        if other is not None:
+            pairs.append((view, other))
+    return pairs
+
+
+# -- diffing ------------------------------------------------------------------
+
+
+def _clause_set(view: RunView) -> set[tuple[str, str]]:
+    if view.clauses:
+        return set(view.clauses)
+    return set()
+
+
+def diff_pair(a: RunView, b: RunView, threshold: float = 0.25) -> tuple[list, list]:
+    """Diff one run pair; returns ``(info lines, warning lines)``."""
+    info: list[str] = []
+    warnings: list[str] = []
+
+    # clause-level SQL delta
+    if a.sql and b.sql and a.sql != b.sql:
+        warnings.append("extracted SQL differs")
+        clauses_a, clauses_b = _clause_set(a), _clause_set(b)
+        if clauses_a or clauses_b:
+            for clause, target in sorted(clauses_b - clauses_a):
+                warnings.append(f"clause added   [{clause}] {target}")
+            for clause, target in sorted(clauses_a - clauses_b):
+                warnings.append(f"clause removed [{clause}] {target}")
+        else:
+            info.append("(no clause-level provenance recorded; raw SQL only)")
+    elif a.sql:
+        info.append("extracted SQL identical")
+
+    # wall-clock / invocations
+    if a.seconds > 0:
+        delta = (b.seconds - a.seconds) / a.seconds
+        line = (
+            f"wall-clock {a.seconds:.3f}s -> {b.seconds:.3f}s "
+            f"({delta:+.1%})"
+        )
+        (warnings if delta > threshold else info).append(line)
+    if a.invocations:
+        if b.invocations != a.invocations:
+            line = f"invocations {a.invocations} -> {b.invocations}"
+            grew = b.invocations > a.invocations * (1.0 + threshold)
+            (warnings if grew else info).append(line)
+        else:
+            info.append(f"invocations {a.invocations} (unchanged)")
+
+    # per-module self-time / invocation drift
+    for module in sorted(set(a.modules) | set(b.modules)):
+        stats_a = a.modules.get(module)
+        stats_b = b.modules.get(module)
+        if stats_a is None:
+            info.append(f"module {module}: new in B")
+            continue
+        if stats_b is None:
+            info.append(f"module {module}: gone in B")
+            continue
+        sec_a, sec_b = stats_a.get("seconds", 0.0), stats_b.get("seconds", 0.0)
+        if sec_a > 0:
+            delta = (sec_b - sec_a) / sec_a
+            line = (
+                f"module {module}: self-time {sec_a:.3f}s -> {sec_b:.3f}s "
+                f"({delta:+.1%})"
+            )
+            (warnings if delta > threshold else info).append(line)
+        inv_a = stats_a.get("invocations", 0)
+        inv_b = stats_b.get("invocations", 0)
+        if inv_b != inv_a:
+            line = f"module {module}: invocations {inv_a} -> {inv_b}"
+            grew = inv_a and inv_b > inv_a * (1.0 + threshold)
+            (warnings if grew else info).append(line)
+
+    # cache hit-rate drift
+    for name in sorted(set(a.caches) | set(b.caches)):
+        rate_a = a.caches.get(name, 0.0)
+        rate_b = b.caches.get(name, 0.0)
+        if abs(rate_b - rate_a) < 1e-9:
+            continue
+        line = f"{name} hit rate {rate_a:.1%} -> {rate_b:.1%}"
+        dropped = rate_a > 0.0 and rate_b < rate_a * (1.0 - threshold)
+        (warnings if dropped else info).append(line)
+
+    # worker-pool counters
+    for name in sorted(set(a.workers) | set(b.workers)):
+        count_a = a.workers.get(name, 0)
+        count_b = b.workers.get(name, 0)
+        if count_a != count_b:
+            info.append(f"workers {name}: {count_a} -> {count_b}")
+
+    return info, warnings
+
+
+def render_diff(
+    source_a: str, source_b: str, threshold: float = 0.25
+) -> tuple[str, int]:
+    """The full ``repro trace-diff`` report; returns ``(text, warning count)``."""
+    pairs = pair_views(load_views(source_a), load_views(source_b))
+    lines = [
+        "trace diff",
+        "==========",
+        f"A: {source_a}",
+        f"B: {source_b}",
+        f"threshold: {threshold:.0%}",
+    ]
+    if not pairs:
+        lines.append("no comparable runs found between the two sources")
+        return "\n".join(lines), 0
+    total_warnings = 0
+    for a, b in pairs:
+        lines.append("")
+        lines.append(f"-- {a.label}  vs  {b.label}")
+        info, warnings = diff_pair(a, b, threshold)
+        total_warnings += len(warnings)
+        for line in warnings:
+            lines.append(f"  WARN {line}")
+        for line in info:
+            lines.append(f"       {line}")
+    lines.append("")
+    lines.append(
+        f"{total_warnings} warning(s) above the {threshold:.0%} threshold"
+        if total_warnings
+        else f"no drift above the {threshold:.0%} threshold"
+    )
+    return "\n".join(lines), total_warnings

@@ -1,0 +1,341 @@
+"""Durable run ledger: extraction provenance persisted to SQLite.
+
+One ledger file (``--ledger PATH``) accumulates every extraction run made
+against it — runs, per-module self-time, clause decisions with their
+evidence chains, the raw evidence stream, and metrics snapshots — in plain
+SQLite (stdlib ``sqlite3``, no dependency), so ``repro explain`` and
+``repro trace-diff`` can inspect finished runs, CI can archive them as
+artifacts, and future consumers (the ``repro serve`` status API, the
+symbolic-verifier counterexample loop) get a queryable substrate.
+
+Writes are incremental: the run row is committed at :meth:`RunLedger.begin_run`
+with ``status='running'``, evidence batches are committed as the session
+flushes them at module boundaries, and :meth:`RunLedger.finish_run` flips the
+status — so a crashed or killed run keeps its partial history (its last
+committed module tells you where it died), mirroring the checkpoint story.
+
+Schema (``PRAGMA user_version = 1``)::
+
+    runs     (run_id, started, finished, label, workload, query_name, jobs,
+              status, verdict, sql, invocations, seconds, extras_json)
+    modules  (run_id, module, seconds, invocations)
+    clauses  (run_id, clause, target, module, action, probes, first_seq,
+              last_seq, cached, speculative, isolated, confidence)
+    evidence (run_id, seq, ts, module, kind, clause, target, detail, rows,
+              error, cached, speculative, isolated, db_fingerprint,
+              evidence_json)
+    metrics  (run_id, name, payload_json)
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from typing import Iterable, Optional
+
+from repro.obs.provenance import EvidenceEvent
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    started     REAL NOT NULL,
+    finished    REAL,
+    label       TEXT NOT NULL DEFAULT '',
+    workload    TEXT NOT NULL DEFAULT '',
+    query_name  TEXT NOT NULL DEFAULT '',
+    jobs        INTEGER NOT NULL DEFAULT 1,
+    status      TEXT NOT NULL DEFAULT 'running',
+    verdict     TEXT NOT NULL DEFAULT '',
+    sql         TEXT NOT NULL DEFAULT '',
+    invocations INTEGER NOT NULL DEFAULT 0,
+    seconds     REAL NOT NULL DEFAULT 0.0,
+    extras_json TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS modules (
+    run_id      INTEGER NOT NULL REFERENCES runs(run_id),
+    module      TEXT NOT NULL,
+    seconds     REAL NOT NULL,
+    invocations INTEGER NOT NULL,
+    PRIMARY KEY (run_id, module)
+);
+CREATE TABLE IF NOT EXISTS clauses (
+    run_id      INTEGER NOT NULL REFERENCES runs(run_id),
+    clause      TEXT NOT NULL,
+    target      TEXT NOT NULL,
+    module      TEXT NOT NULL DEFAULT '',
+    action      TEXT NOT NULL DEFAULT '',
+    probes      INTEGER NOT NULL DEFAULT 0,
+    first_seq   INTEGER,
+    last_seq    INTEGER,
+    cached      INTEGER NOT NULL DEFAULT 0,
+    speculative INTEGER NOT NULL DEFAULT 0,
+    isolated    INTEGER NOT NULL DEFAULT 0,
+    confidence  REAL
+);
+CREATE TABLE IF NOT EXISTS evidence (
+    run_id         INTEGER NOT NULL REFERENCES runs(run_id),
+    seq            INTEGER NOT NULL,
+    ts             REAL NOT NULL,
+    module         TEXT NOT NULL,
+    kind           TEXT NOT NULL,
+    clause         TEXT NOT NULL DEFAULT '',
+    target         TEXT NOT NULL DEFAULT '',
+    detail         TEXT NOT NULL DEFAULT '',
+    rows           INTEGER,
+    error          TEXT NOT NULL DEFAULT '',
+    cached         INTEGER NOT NULL DEFAULT 0,
+    speculative    INTEGER NOT NULL DEFAULT 0,
+    isolated       INTEGER NOT NULL DEFAULT 0,
+    db_fingerprint TEXT NOT NULL DEFAULT '',
+    evidence_json  TEXT NOT NULL DEFAULT '[]',
+    PRIMARY KEY (run_id, seq)
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id       INTEGER NOT NULL REFERENCES runs(run_id),
+    name         TEXT NOT NULL,
+    payload_json TEXT NOT NULL,
+    PRIMARY KEY (run_id, name)
+);
+"""
+
+
+class RunLedger:
+    """Append-oriented SQLite store for extraction provenance."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        # WAL + synchronous=NORMAL: committed batches survive a process
+        # crash (the failure mode the chaos harness models) without paying
+        # a full fsync per commit; both pragmas degrade gracefully on
+        # filesystems that reject them.
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute("PRAGMA user_version = 1")
+        self._conn.commit()
+
+    # -- writing -------------------------------------------------------------
+
+    def begin_run(
+        self,
+        label: str = "",
+        workload: str = "",
+        query_name: str = "",
+        jobs: int = 1,
+        extras: Optional[dict] = None,
+    ) -> int:
+        """Open a run row (``status='running'``) and commit it immediately."""
+        cursor = self._conn.execute(
+            "INSERT INTO runs (started, label, workload, query_name, jobs,"
+            " extras_json) VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                time.time(),
+                label,
+                workload,
+                query_name,
+                jobs,
+                json.dumps(extras or {}, sort_keys=True),
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def sink(self, run_id: int):
+        """A flush callback for :class:`~repro.obs.provenance.ProvenanceRecorder`."""
+
+        def _append(events):
+            self.append_events(run_id, events)
+
+        return _append
+
+    def append_events(self, run_id: int, events: Iterable[EvidenceEvent]) -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO evidence (run_id, seq, ts, module, kind,"
+            " clause, target, detail, rows, error, cached, speculative,"
+            " isolated, db_fingerprint, evidence_json)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    run_id,
+                    e.seq,
+                    e.ts,
+                    e.module,
+                    e.kind,
+                    e.clause,
+                    e.target,
+                    e.detail,
+                    e.rows,
+                    e.error,
+                    int(e.cached),
+                    int(e.speculative),
+                    int(e.isolated),
+                    e.db_fingerprint,
+                    json.dumps(list(e.evidence)),
+                )
+                for e in events
+            ],
+        )
+        self._conn.commit()
+
+    def record_modules(self, run_id: int, modules: dict) -> None:
+        """Persist per-module self-time/invocations (``ExtractionStats.modules``)."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO modules (run_id, module, seconds,"
+            " invocations) VALUES (?, ?, ?, ?)",
+            [
+                (run_id, name, stats.seconds, stats.invocations)
+                for name, stats in modules.items()
+            ],
+        )
+        self._conn.commit()
+
+    def record_clauses(self, run_id: int, rows) -> None:
+        """Persist the explain view (:func:`~repro.obs.provenance.clause_evidence`)."""
+        self._conn.execute("DELETE FROM clauses WHERE run_id = ?", (run_id,))
+        self._conn.executemany(
+            "INSERT INTO clauses (run_id, clause, target, module, action,"
+            " probes, first_seq, last_seq, cached, speculative, isolated,"
+            " confidence) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    run_id,
+                    row.clause,
+                    row.target,
+                    row.module,
+                    row.action,
+                    row.probes,
+                    row.evidence[0] if row.evidence else None,
+                    row.evidence[-1] if row.evidence else None,
+                    row.cached,
+                    row.speculative,
+                    row.isolated,
+                    row.confidence,
+                )
+                for row in rows
+            ],
+        )
+        self._conn.commit()
+
+    def record_metrics(self, run_id: int, name: str, payload: dict) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO metrics (run_id, name, payload_json)"
+            " VALUES (?, ?, ?)",
+            (run_id, name, json.dumps(payload, sort_keys=True, default=str)),
+        )
+        self._conn.commit()
+
+    def finish_run(
+        self,
+        run_id: int,
+        status: str = "finished",
+        verdict: str = "",
+        sql: str = "",
+        invocations: int = 0,
+        seconds: float = 0.0,
+        extras: Optional[dict] = None,
+    ) -> None:
+        if extras is not None:
+            row = self._conn.execute(
+                "SELECT extras_json FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            merged = json.loads(row["extras_json"]) if row else {}
+            merged.update(extras)
+            self._conn.execute(
+                "UPDATE runs SET extras_json = ? WHERE run_id = ?",
+                (json.dumps(merged, sort_keys=True, default=str), run_id),
+            )
+        self._conn.execute(
+            "UPDATE runs SET finished = ?, status = ?, verdict = ?, sql = ?,"
+            " invocations = ?, seconds = ? WHERE run_id = ?",
+            (time.time(), status, verdict, sql, invocations, seconds, run_id),
+        )
+        self._conn.commit()
+
+    # -- reading -------------------------------------------------------------
+
+    def runs(self) -> list[dict]:
+        return [
+            dict(row)
+            for row in self._conn.execute("SELECT * FROM runs ORDER BY run_id")
+        ]
+
+    def run(self, run_id: Optional[int] = None) -> Optional[dict]:
+        """One run row; ``None`` selects the most recent run."""
+        if run_id is None:
+            row = self._conn.execute(
+                "SELECT * FROM runs ORDER BY run_id DESC LIMIT 1"
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        payload = dict(row)
+        payload["extras"] = json.loads(payload.pop("extras_json") or "{}")
+        return payload
+
+    def events(self, run_id: int) -> list[EvidenceEvent]:
+        events = []
+        for row in self._conn.execute(
+            "SELECT * FROM evidence WHERE run_id = ? ORDER BY seq", (run_id,)
+        ):
+            events.append(
+                EvidenceEvent(
+                    seq=row["seq"],
+                    module=row["module"],
+                    kind=row["kind"],
+                    clause=row["clause"],
+                    target=row["target"],
+                    detail=row["detail"],
+                    rows=row["rows"],
+                    error=row["error"],
+                    cached=bool(row["cached"]),
+                    speculative=bool(row["speculative"]),
+                    isolated=bool(row["isolated"]),
+                    db_fingerprint=row["db_fingerprint"],
+                    evidence=tuple(json.loads(row["evidence_json"])),
+                    ts=row["ts"],
+                )
+            )
+        return events
+
+    def modules(self, run_id: int) -> dict[str, dict]:
+        return {
+            row["module"]: {
+                "seconds": row["seconds"],
+                "invocations": row["invocations"],
+            }
+            for row in self._conn.execute(
+                "SELECT * FROM modules WHERE run_id = ?", (run_id,)
+            )
+        }
+
+    def clauses(self, run_id: int) -> list[dict]:
+        return [
+            dict(row)
+            for row in self._conn.execute(
+                "SELECT * FROM clauses WHERE run_id = ? ORDER BY rowid",
+                (run_id,),
+            )
+        ]
+
+    def metrics(self, run_id: int) -> dict[str, dict]:
+        return {
+            row["name"]: json.loads(row["payload_json"])
+            for row in self._conn.execute(
+                "SELECT * FROM metrics WHERE run_id = ?", (run_id,)
+            )
+        }
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

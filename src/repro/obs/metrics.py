@@ -14,6 +14,7 @@ and the last equals the observation count.
 from __future__ import annotations
 
 import json
+import math
 from typing import Optional, Sequence
 
 #: Default latency buckets (seconds): sub-millisecond engine queries up to
@@ -118,6 +119,39 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The smallest bucket bound covering fraction ``q`` of observations.
+
+        Standard bucketed-percentile semantics (the resolution is the bucket
+        grid, as with Prometheus ``histogram_quantile``): returns the upper
+        bound of the first cumulative bucket at or past rank ``ceil(q * n)``.
+        Edge cases: an empty histogram reports ``0.0``; ``q == 0`` reports
+        the first occupied bucket's bound; observations that landed past the
+        last finite bound (the ``+Inf`` bucket) clamp to the last finite
+        bound, which is then a *lower* estimate.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            if running >= rank:
+                return bound
+        return self.bounds[-1]
+
+    def percentiles(
+        self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` via :meth:`percentile`."""
+        out: dict[str, float] = {}
+        for q in qs:
+            label = f"p{q * 100:g}"
+            out[label] = self.percentile(q)
+        return out
 
     def to_dict(self) -> dict:
         return {

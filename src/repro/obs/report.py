@@ -1,12 +1,22 @@
 """Render a stored trace as a human-readable report.
 
-Two views of the same JSONL trace:
+Views of the same JSONL trace:
 
 * a **flame-style tree** — each span indented under its parent with its
   duration, share of the root's wall-clock, and interesting tags.  Wide
   fan-outs (a module issuing hundreds of invocations) are elided after
   ``max_children`` entries with a one-line rollup so the report stays
   readable at any trace size;
+* a **per-module self-time table** — each pipeline module's wall-clock,
+  the time covered by its child spans, and the remainder (its own
+  bookkeeping).  Child coverage is the *union* of the children's
+  ``[start, end)`` intervals, not their sum: under ``--jobs N`` the probe
+  scheduler records parallel invocation spans that overlap in wall-clock
+  time, and summing them double-counts the overlap (producing "busy" times
+  exceeding the module's wall-clock and negative self-times);
+* a **cache / worker summary** — plan-cache and invocation-cache hit rates
+  plus isolation worker-pool counters, read from the root span's ``caches``
+  tag when the pipeline recorded one;
 * a **top-N slowest queries** table — engine-query spans ranked by
   duration, with their rows-scanned / rows-emitted counts.
 """
@@ -83,6 +93,96 @@ def _render_span(
         )
 
 
+def _interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of possibly overlapping intervals."""
+    total = 0.0
+    last_end: Optional[float] = None
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if last_end is None or start >= last_end:
+            total += end - start
+            last_end = end
+        elif end > last_end:
+            total += end - last_end
+            last_end = end
+    return total
+
+
+def _module_table(spans: list[Span], children: dict) -> list[str]:
+    """Per-module wall/busy/self-time rows, aggregated by span id/parent.
+
+    ``busy`` is the interval union of each module span's direct children
+    (clamped to the module's own window), so overlapping parallel invocation
+    spans recorded under ``--jobs N`` count each wall-clock second once.
+    ``self`` is the module's wall-clock not covered by any child.
+    """
+    modules: dict[str, dict] = {}
+    order: list[str] = []
+    for span in spans:
+        if span.kind != "module" or span.end is None:
+            continue
+        kids = [c for c in children.get(span.span_id, []) if c.end is not None]
+        busy = _interval_union(
+            [(max(c.start, span.start), min(c.end, span.end)) for c in kids]
+        )
+        row = modules.get(span.name)
+        if row is None:
+            row = modules[span.name] = {
+                "wall": 0.0,
+                "busy": 0.0,
+                "invocations": 0,
+            }
+            order.append(span.name)
+        row["wall"] += span.duration
+        row["busy"] += busy
+        row["invocations"] += sum(1 for c in kids if c.kind == "invocation")
+    if not modules:
+        return []
+    lines = ["per-module self-time", "-" * 20]
+    lines.append(
+        f"{'module':<18} {'wall':>10} {'busy':>10} {'self':>10} "
+        f"{'invocations':>12}"
+    )
+    for name in order:
+        row = modules[name]
+        self_time = max(0.0, row["wall"] - row["busy"])
+        lines.append(
+            f"{name:<18} {row['wall']:>9.4f}s {row['busy']:>9.4f}s "
+            f"{self_time:>9.4f}s {row['invocations']:>12}"
+        )
+    return lines
+
+
+def _cache_lines(roots: list[Span]) -> list[str]:
+    """Cache hit rates and worker-pool counters from the root span's tag."""
+    lines: list[str] = []
+    for root in roots:
+        caches = root.tags.get("caches")
+        if not isinstance(caches, dict):
+            continue
+        parts = []
+        for label, key in (("plan", "plan_cache"), ("invocation", "invocation_cache")):
+            stats = caches.get(key)
+            if isinstance(stats, dict) and "hit_rate" in stats:
+                parts.append(
+                    f"{label} {stats['hit_rate']:.0%} hit"
+                    f" ({stats.get('hits', 0)} hits)"
+                )
+        if parts:
+            lines.append("caches: " + ", ".join(parts))
+        workers = caches.get("workers")
+        if isinstance(workers, dict):
+            lines.append(
+                f"workers: {workers.get('invocations', 0)} invocations, "
+                f"{workers.get('crashes', 0)} crashes, "
+                f"{workers.get('kills', 0)} kills, "
+                f"{workers.get('respawns', 0)} respawns, "
+                f"{workers.get('quarantined', 0)} quarantined"
+            )
+    return lines
+
+
 def _slowest_queries(spans: list[Span], top: int) -> list[str]:
     queries = sorted(
         (s for s in spans if s.kind == "query"),
@@ -133,8 +233,17 @@ def render_trace_report(
         f"wall-clock: {total:.4f}s across {len(roots)} root span(s)",
         "",
     ]
+    cache_lines = _cache_lines(roots)
+    if cache_lines:
+        lines.extend(cache_lines)
+        lines.append("")
     for root in roots:
         _render_span(root, 0, total, children, max_children, lines)
+
+    module_lines = _module_table(spans, children)
+    if module_lines:
+        lines.append("")
+        lines.extend(module_lines)
 
     slow = _slowest_queries(spans, top_queries)
     if slow:

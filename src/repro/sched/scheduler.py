@@ -52,6 +52,7 @@ from typing import Callable, Iterable, Optional
 from repro.engine.database import Database
 from repro.errors import ExecutableTimeoutError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import NULL_PROVENANCE, ProvenanceRecorder
 from repro.obs.trace import NULL_TRACER, Tracer
 
 
@@ -117,6 +118,7 @@ class _BatchState:
         "scheduler",
         "session",
         "module_stats",
+        "module_name",
         "locked_budget",
         "attempts",
         "timeouts",
@@ -127,6 +129,7 @@ class _BatchState:
         self.scheduler = scheduler
         self.session = scheduler.session
         self.module_stats = module_stats
+        self.module_name = scheduler.session._current_module
         budget = self.session.budget
         self.locked_budget = (
             _LockedBudget(budget, scheduler._lock) if budget.enabled else None
@@ -188,6 +191,13 @@ class _ParallelProbeContext:
         self.d1_updates: list[tuple[str, dict]] = []
         #: finished-invocation spans, recorded post-hoc on the main tracer
         self.span_records: list[tuple] = []
+        #: task-local evidence recorder; folded into the session's in
+        #: submission order so evidence stays exactly-once and deterministic
+        self.provenance = (
+            ProvenanceRecorder()
+            if session.provenance.enabled
+            else NULL_PROVENANCE
+        )
         self.registry: Optional[MetricsRegistry] = None
         if session.tracer.enabled:
             if session.tracer.metrics is not None:
@@ -267,9 +277,14 @@ class _ParallelProbeContext:
             db_rows = self.db.total_rows()
             error: Optional[Exception] = None
             try:
-                return self._invoke(timeout)
+                result = self._invoke(timeout)
+                if self.provenance.enabled:
+                    self._record_probe_event(result, None)
+                return result
             except Exception as exc:
                 error = exc
+                if self.provenance.enabled:
+                    self._record_probe_event(None, exc)
                 timed_out = isinstance(exc, ExecutableTimeoutError)
                 if timed_out:
                     batch.note_timeout()
@@ -283,6 +298,18 @@ class _ParallelProbeContext:
             finally:
                 self._note_span(started, db_rows, error)
                 self.db.restore(token)
+
+    def _record_probe_event(self, result, error) -> None:
+        """Task-local mirror of ``ExtractionSession._record_probe_event``."""
+        info = getattr(self.db, "last_invocation", None) or {}
+        self.provenance.probe(
+            self._batch.module_name,
+            rows=result.row_count if result is not None else None,
+            error=type(error).__name__ if error is not None else "",
+            cached=bool(info.get("cached")),
+            isolated=self._session.backend is not None,
+            db_fingerprint=str(info.get("fingerprint") or ""),
+        )
 
     def _invoke(self, timeout: Optional[float]):
         session = self._session
@@ -484,6 +511,8 @@ class ProbeScheduler:
                         name, kind="invocation", start=started, end=ended,
                         tags=tags,
                     )
+            if ctx.provenance.enabled:
+                session.provenance.absorb(ctx.provenance)
             for table, mutations in ctx.d1_updates:
                 session.update_d1(table, mutations)
         self.stats.batches += 1
@@ -545,6 +574,14 @@ class ProbeScheduler:
                     state[table] = fallback
                 else:
                     state[table] = candidate
+                # the probe itself is recorded by session.run(); the kept
+                # half is a persistent database mutation worth its own event
+                if session.provenance.enabled:
+                    session.provenance.mutation(
+                        session._current_module,
+                        table,
+                        detail=f"halving kept {len(state[table])} rows",
+                    )
                 self.stats.chain_links += 1
             return state
         return self._run_chain_speculative(state, pick_probe, label)
@@ -560,6 +597,8 @@ class ProbeScheduler:
         clock = silo._clock
         executor = self._ensure_executor()
         budget_enabled = session.budget.enabled
+        provenance = session.provenance
+        module_name = session._current_module
         pending = 0  # submitted futures not yet consumed or discarded
 
         def _execute(probe_state):
@@ -573,6 +612,13 @@ class ProbeScheduler:
             for table, rows in probe_state.items():
                 db.replace_rows(table, rows)
             db_rows = db.total_rows()
+            # evidence fingerprinting mirrors the memo's cost bound: tiny
+            # probe states only, and only when someone is recording
+            fingerprint = (
+                db.fingerprint()
+                if provenance.enabled and db_rows <= 4096
+                else ""
+            )
             started = time.perf_counter()
             result = executable.probe(db)
             ended = time.perf_counter()
@@ -582,6 +628,8 @@ class ProbeScheduler:
                 ended,
                 collector.rows if collector is not None else 0,
                 db_rows,
+                result.row_count,
+                fingerprint,
             )
 
         def _make_node(node_state, speculative: bool = False) -> _ChainNode:
@@ -659,11 +707,23 @@ class ProbeScheduler:
             module_stats.invocations += 1
             session.budget.charge_invocation()
             try:
-                empty, started, ended, rows_scanned, db_rows = (
-                    node.future.result()
-                )
-            except Exception:
+                (
+                    empty,
+                    started,
+                    ended,
+                    rows_scanned,
+                    db_rows,
+                    row_count,
+                    fingerprint,
+                ) = node.future.result()
+            except Exception as error:
                 executable.charge_logical()
+                if provenance.enabled:
+                    provenance.probe(
+                        module_name,
+                        error=type(error).__name__,
+                        speculative=speculated,
+                    )
                 _discard(node.on_populated)
                 _discard(node.on_empty)
                 pending -= 1
@@ -702,6 +762,19 @@ class ProbeScheduler:
             table, candidate, fallback = node.probe
             populated = not empty
             state[table] = candidate if populated else fallback
+            if provenance.enabled:
+                # consumed link: the one logical invocation just charged
+                provenance.probe(
+                    module_name,
+                    rows=row_count,
+                    speculative=speculated,
+                    db_fingerprint=fingerprint,
+                )
+                provenance.mutation(
+                    module_name,
+                    table,
+                    detail=f"halving kept {len(state[table])} rows",
+                )
             _discard(node.on_empty if populated else node.on_populated)
             node = _child(node, populated)
         _discard(node.on_populated)

@@ -1,0 +1,105 @@
+"""Golden-corpus explain sweep: full evidence coverage at every ``--jobs``.
+
+The explainability gate riding on the golden corpus (DESIGN.md §5.15): for
+every pinned query, ``repro explain`` must name at least one evidence probe
+for **every** clause of the extracted SQL — at ``jobs=1`` and ``jobs=4``
+alike, with byte-identical SQL — and the recorded probe stream must satisfy
+the exactly-once contract (one ``probe`` event per logical invocation, memo
+hits and retries included, discarded speculative executions excluded).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SQLExecutable
+from repro.core import ExtractionConfig, UnmasqueExtractor
+from repro.obs.provenance import (
+    ProvenanceRecorder,
+    clause_evidence,
+    query_clauses,
+)
+
+#: same cross-section as tests/test_golden_corpus.py
+CORPUS = [
+    ("tpch", "Q3"),
+    ("tpch", "Q6"),
+    ("tpch", "Q12"),
+    ("job", "JQ1"),
+    ("job", "JQ4"),
+    ("tpcds", "DS19"),
+    ("tpcds", "DS98"),
+]
+
+JOBS_LEVELS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def corpus_dbs(tpch_db):
+    from repro.datagen import imdb, tpcds
+
+    return {
+        "tpch": tpch_db,
+        "job": imdb.build_database(movies=250, seed=5),
+        "tpcds": tpcds.build_database(sales=3000, seed=3),
+    }
+
+
+def _queries(workload):
+    from repro.workloads import job_queries, tpcds_queries, tpch_queries
+
+    return {
+        "tpch": tpch_queries,
+        "job": job_queries,
+        "tpcds": tpcds_queries,
+    }[workload].QUERIES
+
+
+@pytest.mark.parametrize(
+    "workload,name", CORPUS, ids=[f"{w}-{n}" for w, n in CORPUS]
+)
+def test_every_clause_has_evidence_at_every_jobs_level(
+    workload, name, corpus_dbs
+):
+    db = corpus_dbs[workload]
+    query = _queries(workload)[name]
+
+    sql_by_jobs: dict[int, str] = {}
+    for jobs in JOBS_LEVELS:
+        recorder = ProvenanceRecorder()
+        app = SQLExecutable(query.sql, name=f"explain-{name}")
+        outcome = UnmasqueExtractor(
+            db,
+            app,
+            ExtractionConfig(run_checker=False, jobs=jobs),
+            provenance=recorder,
+        ).extract()
+        sql_by_jobs[jobs] = outcome.sql
+
+        # exactly-once: one probe event per logical invocation
+        assert recorder.probe_count == outcome.stats.total_invocations, (
+            f"{workload}/{name} at jobs={jobs}: {recorder.probe_count} probe "
+            f"events vs {outcome.stats.total_invocations} logical invocations"
+        )
+
+        rows = clause_evidence(outcome.query, recorder.events)
+        assert len(rows) == len(query_clauses(outcome.query))
+        uncovered = [
+            f"[{row.clause}] {row.target}" for row in rows if not row.covered
+        ]
+        assert not uncovered, (
+            f"{workload}/{name} at jobs={jobs}: clauses with no evidence "
+            f"probe: {uncovered}"
+        )
+        # every cited probe seq must resolve to a recorded probe event
+        probes = recorder.probes_by_seq()
+        for row in rows:
+            missing = [seq for seq in row.evidence if seq not in probes]
+            assert not missing, (
+                f"{workload}/{name} at jobs={jobs}: [{row.clause}] "
+                f"{row.target} cites unknown probe seqs {missing}"
+            )
+
+    assert sql_by_jobs[1] == sql_by_jobs[4], (
+        f"{workload}/{name}: extracted SQL diverged across jobs levels"
+    )
