@@ -122,8 +122,11 @@ def _make_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workload", default="tpch", choices=list(_load_workloads()))
     chaos.add_argument("--query", required=True, help="query name, e.g. Q3")
     chaos.add_argument("--profile", default="transient",
-                       choices=sorted(FAULT_PROFILES),
-                       help="named fault profile (default: transient)")
+                       choices=sorted(FAULT_PROFILES) + ["serve-kill"],
+                       help="named fault profile (default: transient); "
+                            "'serve-kill' SIGKILLs a live `repro serve` "
+                            "between module boundaries and proves every job "
+                            "converges after restarts")
     chaos.add_argument("--chaos-seed", type=int, default=1337,
                        help="seed for the fault injector (default 1337)")
     chaos.add_argument("--max-attempts", type=int, default=6,
@@ -131,7 +134,70 @@ def _make_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-at", type=int, default=None, metavar="N",
                        help="also inject a hard crash at invocation N, then "
                             "auto-resume from the checkpoint")
+    chaos.add_argument("--kills", type=int, default=2, metavar="N",
+                       help="serve-kill only: SIGKILL the server N times "
+                            "(default 2)")
+    chaos.add_argument("--serve-jobs", type=int, default=3, metavar="N",
+                       help="serve-kill only: concurrent jobs submitted "
+                            "(default 3)")
+    chaos.add_argument("--serve-dir", metavar="DIR", default=None,
+                       help="serve-kill only: journal/checkpoint directory "
+                            "(default: a fresh temp dir)")
     _common_extraction_args(chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived extraction service: concurrent jobs over a "
+             "JSON HTTP API with admission control, circuit breaking, and a "
+             "crash-safe job journal",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port; 0 picks an ephemeral port and prints "
+                            "it (default 8765)")
+    serve.add_argument("--journal", metavar="FILE",
+                       default="serve-journal.sqlite",
+                       help="crash-safe SQLite job journal; restarting "
+                            "against the same journal recovers interrupted "
+                            "jobs (default: serve-journal.sqlite)")
+    serve.add_argument("--checkpoint-root", metavar="DIR",
+                       default="serve-checkpoints",
+                       help="per-job checkpoint directories live under here "
+                            "(default: serve-checkpoints)")
+    serve.add_argument("--queue-capacity", type=int, default=16, metavar="N",
+                       help="admission queue bound; a full queue rejects "
+                            "with `queue_full` instead of stalling "
+                            "(default 16)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent extraction worker threads (default 2)")
+    serve.add_argument("--breaker-threshold", type=int, default=3, metavar="K",
+                       help="consecutive worker-health failures that open "
+                            "the circuit breaker (default 3)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds the breaker stays open before admitting "
+                            "a half-open probe job (default 30)")
+    serve.add_argument("--tenant-max-queued", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant cap on jobs queued or running at once")
+    serve.add_argument("--tenant-max-invocations", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant cumulative invocation budget")
+    serve.add_argument("--tenant-max-seconds", type=float, default=None,
+                       metavar="S",
+                       help="per-tenant cumulative extraction wall-clock "
+                            "budget")
+    serve.add_argument("--tenant-quarantine-threshold", type=int, default=None,
+                       metavar="K",
+                       help="consecutive failed jobs before a tenant is "
+                            "quarantined")
+    serve.add_argument("--ledger", metavar="FILE", default=None,
+                       help="persist every job's clause-evidence provenance "
+                            "to this run ledger; /jobs/<id> surfaces the "
+                            "run pointer")
+    serve.add_argument("--drain-grace", type=float, default=60.0, metavar="S",
+                       help="seconds to wait on SIGTERM for in-flight jobs "
+                            "to finish or checkpoint (default 60)")
 
     bench = sub.add_parser(
         "bench",
@@ -348,7 +414,12 @@ def _dispatch(args, out) -> int:
         if query is None:
             out.write(f"unknown query {args.query!r}; try `repro workloads`\n")
             return 2
+        if args.profile == "serve-kill":
+            return _run_serve_kill_chaos(args, out)
         return _run_chaos(args, query.sql, out)
+
+    if args.command == "serve":
+        return _run_serve(args, out)
 
     if args.command == "verify":
         if (args.query is None) == (args.sql is None):
@@ -903,6 +974,112 @@ def _explain_from_ledger(args, out) -> int:
         + "\n"
     )
     return 0
+
+
+def _run_serve(args, out) -> int:
+    """Run the extraction service until SIGTERM/SIGINT, then drain and exit 0.
+
+    The drain contract: stop admitting (503 ``draining``), ask every
+    in-flight pipeline to pause at its next module boundary (journaled
+    ``checkpointed``), leave queued jobs journaled, and exit once the
+    workers are idle or ``--drain-grace`` elapses.  A later ``repro serve``
+    on the same ``--journal``/``--checkpoint-root`` resumes everything.
+    """
+    import signal
+    import threading
+
+    from repro.serve.api import create_server
+    from repro.serve.breaker import CircuitBreaker
+    from repro.serve.service import ExtractionService
+    from repro.serve.tenants import TenantPolicy
+
+    service = ExtractionService(
+        args.journal,
+        args.checkpoint_root,
+        queue_capacity=args.queue_capacity,
+        workers=args.workers,
+        tenant_policy=TenantPolicy(
+            max_queued=args.tenant_max_queued,
+            max_invocations=args.tenant_max_invocations,
+            max_seconds=args.tenant_max_seconds,
+            quarantine_threshold=args.tenant_quarantine_threshold,
+        ),
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+        ledger_path=args.ledger,
+    )
+    recovered = service.start()
+    if recovered:
+        out.write(
+            f"recovered   : requeued {len(recovered)} interrupted jobs "
+            f"({', '.join(recovered)})\n"
+        )
+    httpd = create_server(service, args.host, args.port)
+    host, port = httpd.server_address[0], httpd.server_address[1]
+    out.write(f"serve       : listening on http://{host}:{port}\n")
+    out.write(f"journal     : {service.journal.path}\n")
+    out.flush()
+
+    stopping = threading.Event()
+
+    def _graceful_stop(signum, frame):
+        # Can't shut the server down from its own signal handler (it runs on
+        # the serve_forever thread); hand off to a drain thread that stops
+        # the listener once in-flight jobs finished or checkpointed.
+        if stopping.is_set():
+            return
+        stopping.set()
+
+        def _drain_then_stop():
+            service.drain(timeout=args.drain_grace)
+            httpd.shutdown()
+
+        threading.Thread(target=_drain_then_stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful_stop)
+    signal.signal(signal.SIGINT, _graceful_stop)
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    finally:
+        httpd.server_close()
+        service.drain(timeout=args.drain_grace)
+        counts = service.journal.counts()
+        summary = ", ".join(f"{state}={n}" for state, n in sorted(counts.items()))
+        out.write(f"drained     : {summary or 'no jobs'}\n")
+        service.close()
+    return 0
+
+
+def _run_serve_kill_chaos(args, out) -> int:
+    """The serve-kill profile: SIGKILL a live server N times, prove recovery."""
+    import tempfile
+
+    from repro.serve.killer import run_serve_kill
+
+    workdir = args.serve_dir or tempfile.mkdtemp(prefix="repro-serve-kill-")
+    report = run_serve_kill(
+        args.query,
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        serve_jobs=args.serve_jobs,
+        kills=args.kills,
+        workdir=workdir,
+        out=out,
+    )
+    for job_id, info in sorted(report["jobs"].items()):
+        marker = "converged" if info["converged"] else "DIVERGED"
+        out.write(
+            f"{job_id:<12}: {marker} ({info['state']}, "
+            f"attempt {info['attempts']})\n"
+        )
+    out.write(f"kills       : {report['kills']}\n")
+    out.write(f"journal     : {report['journal']}\n")
+    verdict = "SURVIVED" if report["converged"] else "DIVERGED"
+    out.write(f"verdict     : {verdict}\n")
+    return 0 if report["converged"] else 1
 
 
 def _run_chaos(args, sql: str, out) -> int:

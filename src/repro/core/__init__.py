@@ -1,7 +1,31 @@
-"""UNMASQUE: the hidden-query extraction pipeline."""
+"""UNMASQUE: the hidden-query extraction pipeline.
 
-from repro.core.config import ExtractionConfig
-from repro.core.model import ExtractedQuery
-from repro.core.pipeline import UnmasqueExtractor
+Exports are resolved lazily (PEP 562): submodules like
+:mod:`repro.core.model` are imported by :mod:`repro.resilience` while this
+package itself is still initializing, and an eager ``pipeline`` import here
+would close that cycle on a half-initialized module.
+"""
 
 __all__ = ["ExtractedQuery", "ExtractionConfig", "UnmasqueExtractor"]
+
+_EXPORTS = {
+    "ExtractionConfig": ("repro.core.config", "ExtractionConfig"),
+    "ExtractedQuery": ("repro.core.model", "ExtractedQuery"),
+    "UnmasqueExtractor": ("repro.core.pipeline", "UnmasqueExtractor"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -52,6 +52,7 @@ from repro.engine.database import Database
 from repro.errors import (
     BudgetExhausted,
     ExtractionError,
+    ExtractionPaused,
     ReproError,
     UnsupportedQueryError,
     WorkerQuarantined,
@@ -416,8 +417,17 @@ class UnmasqueExtractor:
         tracer=None,
         checkpoint_dir=None,
         provenance=None,
+        step_listener=None,
+        pause_check=None,
     ):
         self.config = config or ExtractionConfig()
+        #: called with the step name after each completed (and checkpointed)
+        #: module — ``repro serve`` journals per-job progress through it
+        self.step_listener = step_listener
+        #: polled after each completed module; returning True pauses the
+        #: pipeline cooperatively (raises ExtractionPaused) with the
+        #: checkpoint for the finished step already on disk
+        self.pause_check = pause_check
         self.session = ExtractionSession(
             db, executable, self.config, tracer=tracer, provenance=provenance
         )
@@ -652,6 +662,13 @@ class UnmasqueExtractor:
                             [d.to_dict() for d in degradations],
                         )
                     )
+                if self.step_listener is not None:
+                    self.step_listener(step.name)
+                if self.pause_check is not None and self.pause_check():
+                    # The checkpoint above is already durable, so the run is
+                    # immediately resumable; raised outside the step's own
+                    # try so the drain signal is never degraded away.
+                    raise ExtractionPaused(step.name)
         except ExtractionError as error:
             # Covers the guard's UnsupportedQueryError, the checker's
             # CheckFailedError, and any probe-inconsistency ExtractionError:

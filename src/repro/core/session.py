@@ -25,6 +25,7 @@ from repro.errors import DatabaseError, ExecutableTimeoutError, ExtractionError
 from repro.obs.provenance import NULL_PROVENANCE
 from repro.obs.trace import NULL_TRACER
 from repro.resilience.budgets import BudgetSpec, ResourceBudget
+from repro.resilience.deadlines import worker_timeout
 from repro.resilience.retry import RetryPolicy
 from repro.sgraph.schema_graph import ColumnNode, SchemaGraph
 
@@ -308,6 +309,11 @@ class ExtractionSession:
                 timed_out = isinstance(error, ExecutableTimeoutError)
                 if timed_out:
                     self._record_timeout()
+                    # A timeout induced by the wall-clock budget (the
+                    # remaining budget was the tightest deadline when the
+                    # worker was killed) must surface as the structured
+                    # BudgetExhausted, not as a retryable hang.
+                    self.budget.check_wall_clock()
                 if (
                     policy.max_attempts <= attempt
                     or not policy.is_retryable(error)
@@ -323,8 +329,17 @@ class ExtractionSession:
         if self.backend is not None:
             # Out-of-process: the worker replica arms its own cooperative
             # deadline and the supervisor enforces the hard one; the local
-            # silo is never executed against.
-            return self.backend.invoke(self.silo, timeout)
+            # silo is never executed against.  The supervisor's timeout is
+            # composed tightest-wins with the remaining wall-clock budget so
+            # a hung worker cannot outlive a job deadline by more than
+            # ``kill_grace`` (see resilience/deadlines.py for the full
+            # precedence stack).
+            effective = worker_timeout(
+                timeout,
+                self.budget.remaining_seconds(),
+                self.config.worker_default_timeout,
+            )
+            return self.backend.invoke(self.silo, effective)
         if timeout is not None:
             self.silo.deadline = time.perf_counter() + timeout
             try:

@@ -147,6 +147,28 @@ class CheckpointError(ReproError):
     """A pipeline checkpoint could not be read, or does not match this run."""
 
 
+class ExtractionPaused(ReproError):
+    """The pipeline stopped cooperatively at a module boundary.
+
+    Raised by the orchestrator's ``pause_check`` hook *after* the completed
+    module's checkpoint has been saved, so the run on disk is immediately
+    resumable.  This is the graceful-drain primitive of ``repro serve``: a
+    draining service asks every in-flight job to pause at its next boundary,
+    journals it as ``checkpointed``, and a later run (same checkpoint dir,
+    same instance) picks up exactly where it stopped.
+    """
+
+    def __init__(self, module: str):
+        super().__init__(
+            f"extraction paused after module {module!r}; the checkpoint on "
+            "disk resumes it"
+        )
+        self.module = module
+
+    def __reduce__(self):
+        return (type(self), (self.module,))
+
+
 class BudgetExhausted(ReproError):
     """A resource budget was exhausted during extraction.
 

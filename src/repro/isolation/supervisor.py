@@ -338,6 +338,20 @@ class WorkerPool:
         finally:
             self._slots.put(slot)
 
+    def health(self) -> dict:
+        """Point-in-time pool health, for breakers and the serve /status view."""
+        with self._lock:
+            return {
+                "invocations": self.stats.invocations,
+                "crashes": self.stats.crashes,
+                "kills": self.stats.kills,
+                "restarts": self.stats.restarts,
+                "consecutive_abnormal": self.consecutive_abnormal,
+                "respawns": self.respawns,
+                "respawn_budget": self.spec.max_respawns,
+                "quarantined": self.quarantine_error is not None,
+            }
+
     def injected_totals(self) -> dict[str, int]:
         """Chaos-injection counts across all worker generations."""
         totals = dict(self.injected_base)

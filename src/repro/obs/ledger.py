@@ -14,10 +14,19 @@ flushes them at module boundaries, and :meth:`RunLedger.finish_run` flips the
 status — so a crashed or killed run keeps its partial history (its last
 committed module tells you where it died), mirroring the checkpoint story.
 
-Schema (``PRAGMA user_version = 1``)::
+Crash hardening: ``begin_run`` records the writer's pid, and opening a
+ledger sweeps ``status='running'`` rows whose writer is no longer alive to
+``status='aborted'`` — so a SIGKILLed run (or a torn final write) reads as a
+structured abort instead of crashing ``repro explain --from-ledger`` or
+masquerading as live work, while concurrent live writers (the ``repro
+serve`` ledger is shared across worker threads and processes) are left
+untouched.  Readers tolerate torn ``extras_json`` by degrading to ``{}``.
+
+Schema (``PRAGMA user_version = 2``; v1 ledgers are migrated in place by
+adding the ``pid`` column)::
 
     runs     (run_id, started, finished, label, workload, query_name, jobs,
-              status, verdict, sql, invocations, seconds, extras_json)
+              status, verdict, sql, invocations, seconds, extras_json, pid)
     modules  (run_id, module, seconds, invocations)
     clauses  (run_id, clause, target, module, action, probes, first_seq,
               last_seq, cached, speculative, isolated, confidence)
@@ -30,6 +39,7 @@ Schema (``PRAGMA user_version = 1``)::
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import time
 from typing import Iterable, Optional
@@ -50,7 +60,8 @@ CREATE TABLE IF NOT EXISTS runs (
     sql         TEXT NOT NULL DEFAULT '',
     invocations INTEGER NOT NULL DEFAULT 0,
     seconds     REAL NOT NULL DEFAULT 0.0,
-    extras_json TEXT NOT NULL DEFAULT '{}'
+    extras_json TEXT NOT NULL DEFAULT '{}',
+    pid         INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS modules (
     run_id      INTEGER NOT NULL REFERENCES runs(run_id),
@@ -110,12 +121,55 @@ class RunLedger:
         # WAL + synchronous=NORMAL: committed batches survive a process
         # crash (the failure mode the chaos harness models) without paying
         # a full fsync per commit; both pragmas degrade gracefully on
-        # filesystems that reject them.
+        # filesystems that reject them.  busy_timeout covers concurrent
+        # writers — `repro serve` opens one connection per job thread
+        # against a shared ledger file.
         self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._conn.execute("PRAGMA busy_timeout = 5000")
         self._conn.executescript(_SCHEMA)
-        self._conn.execute("PRAGMA user_version = 1")
+        self._migrate()
+        self._conn.execute("PRAGMA user_version = 2")
         self._conn.commit()
+        self.recover_stale_runs()
+
+    def _migrate(self) -> None:
+        """In-place v1 → v2: add the writer-pid column."""
+        columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(runs)")
+        }
+        if "pid" not in columns:
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN pid INTEGER NOT NULL DEFAULT 0"
+            )
+
+    def recover_stale_runs(self) -> list[int]:
+        """Mark ``running`` rows whose writer died as ``aborted``.
+
+        A run row is stale when its recorded pid is gone (or predates the
+        pid column, recorded as 0): the process that opened it can no longer
+        finish it, so whatever it last committed is all there will ever be.
+        Live pids — concurrent writers against a shared ledger — are left
+        alone.  Returns the aborted run ids.
+        """
+        rows = self._conn.execute(
+            "SELECT run_id, pid FROM runs WHERE status = 'running'"
+        ).fetchall()
+        stale = [
+            row["run_id"]
+            for row in rows
+            if row["pid"] != os.getpid() and not _pid_alive(row["pid"])
+        ]
+        if stale:
+            marks = ",".join("?" for _ in stale)
+            self._conn.execute(
+                f"UPDATE runs SET status = 'aborted', finished = ?"
+                f" WHERE run_id IN ({marks})",
+                (time.time(), *stale),
+            )
+            self._conn.commit()
+        return stale
 
     # -- writing -------------------------------------------------------------
 
@@ -130,7 +184,7 @@ class RunLedger:
         """Open a run row (``status='running'``) and commit it immediately."""
         cursor = self._conn.execute(
             "INSERT INTO runs (started, label, workload, query_name, jobs,"
-            " extras_json) VALUES (?, ?, ?, ?, ?, ?)",
+            " extras_json, pid) VALUES (?, ?, ?, ?, ?, ?, ?)",
             (
                 time.time(),
                 label,
@@ -138,6 +192,7 @@ class RunLedger:
                 query_name,
                 jobs,
                 json.dumps(extras or {}, sort_keys=True),
+                os.getpid(),
             ),
         )
         self._conn.commit()
@@ -241,7 +296,7 @@ class RunLedger:
             row = self._conn.execute(
                 "SELECT extras_json FROM runs WHERE run_id = ?", (run_id,)
             ).fetchone()
-            merged = json.loads(row["extras_json"]) if row else {}
+            merged = _tolerant_extras(row["extras_json"]) if row else {}
             merged.update(extras)
             self._conn.execute(
                 "UPDATE runs SET extras_json = ? WHERE run_id = ?",
@@ -275,7 +330,7 @@ class RunLedger:
         if row is None:
             return None
         payload = dict(row)
-        payload["extras"] = json.loads(payload.pop("extras_json") or "{}")
+        payload["extras"] = _tolerant_extras(payload.pop("extras_json"))
         return payload
 
     def events(self, run_id: int) -> list[EvidenceEvent]:
@@ -339,3 +394,27 @@ class RunLedger:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; 0/negative pids count as dead."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, owned by someone else
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _tolerant_extras(text) -> dict:
+    """Parse extras_json, degrading torn/invalid payloads to ``{}``."""
+    try:
+        payload = json.loads(text or "{}")
+    except (ValueError, TypeError):
+        return {}
+    return payload if isinstance(payload, dict) else {}

@@ -234,6 +234,18 @@ class MetricsRegistry:
             for name in sorted(self._instruments)
         }
 
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Flat ``{name: value}`` view of counters, optionally by prefix.
+
+        The serve ``/status`` endpoint uses this to surface e.g. every
+        ``worker_*`` counter without serialising full instrument payloads.
+        """
+        return {
+            name: instrument.value
+            for name, instrument in sorted(self._instruments.items())
+            if isinstance(instrument, Counter) and name.startswith(prefix)
+        }
+
     def write_json(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True)

@@ -105,6 +105,20 @@ class ResourceBudget:
             return 0.0
         return self.clock() - self.started_at
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock budget left, or ``None`` when unlimited.
+
+        Before :meth:`start` the full limit remains; once the clock runs the
+        remainder is clamped at ``0.0`` so callers can use it directly as a
+        timeout (see :mod:`repro.resilience.deadlines`).
+        """
+        limit = self.spec.max_seconds
+        if limit is None:
+            return None
+        if self.started_at is None:
+            return limit
+        return max(0.0, limit - self.elapsed())
+
     # -- charging ----------------------------------------------------------
 
     def charge_invocation(self) -> None:
@@ -121,6 +135,19 @@ class ResourceBudget:
         module_limit = self.spec.max_module_invocations
         if module_limit is not None and used > module_limit:
             self._exhaust("module_invocations", module_limit, used)
+
+    def charge_invocations(self, count: int) -> None:
+        """Bulk-charge ``count`` invocations (tenant ledgers settling a job)."""
+        if not self.enabled or count <= 0:
+            return
+        self.invocations += count
+        module = self.module or "?"
+        used = self.module_invocations.get(module, 0) + count
+        self.module_invocations[module] = used
+        self._gauge("budget_invocations_used", self.invocations)
+        limit = self.spec.max_invocations
+        if limit is not None and self.invocations > limit:
+            self._exhaust("invocations", limit, self.invocations)
 
     def charge_rows_scanned(self, count: int) -> None:
         if not self.enabled:

@@ -469,6 +469,10 @@ class ProbeScheduler:
 
     def _map_parallel(self, items: list, task: Callable, label: str) -> list:
         session = self.session
+        # A deadline-expired run must not fan a whole batch of doomed probes
+        # out to the pool; fail with the structured BudgetExhausted before
+        # dispatching rather than after the slowest straggler returns.
+        session.budget.check_wall_clock()
         module_stats = session.stats.module(session._current_module)
         batch = _BatchState(self, module_stats)
         base = session.silo.snapshot()

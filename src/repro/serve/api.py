@@ -1,0 +1,107 @@
+"""JSON HTTP facade over :class:`~repro.serve.service.ExtractionService`.
+
+Stdlib only (``http.server.ThreadingHTTPServer``): no new dependencies, one
+thread per connection, all state owned by the service behind it.
+
+Endpoints::
+
+    POST /jobs        submit a job; 202 accepted, or a structured rejection
+                      (400 invalid, 403 tenant, 429 queue_full,
+                      503 breaker_open / draining)
+    GET  /jobs/<id>   journaled record + full transition history (404 unknown)
+    GET  /status      queue depth, job counts, breaker state, tenant ledgers,
+                      worker-health counters, provenance-ledger pointer
+    GET  /healthz     200 {"ok": true} while accepting, 503 while draining
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.service import ExtractionService
+
+logger = logging.getLogger("repro.serve.api")
+
+#: request body cap — extraction requests are small; anything bigger is abuse
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    #: set by :func:`create_server`
+    service: ExtractionService = None  # type: ignore[assignment]
+
+    # -- routes --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path.rstrip("/") != "/jobs":
+            self._send(404, {"error": "not found"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._send(400, {"error": "bad Content-Length"})
+            return
+        if length > MAX_BODY_BYTES:
+            self._send(413, {"error": "request body too large"})
+            return
+        body = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError):
+            self._send(400, {"error": "request body is not valid JSON"})
+            return
+        response = self.service.submit(payload)
+        status = int(response.pop("http_status", 202))
+        self._send(status, response)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/status":
+            self._send(200, self.service.status())
+        elif path == "/healthz":
+            if self.service.draining:
+                self._send(503, {"ok": False, "draining": True})
+            else:
+                self._send(200, {"ok": True})
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            record = self.service.job_view(job_id)
+            if record is None:
+                self._send(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send(200, record)
+        else:
+            self._send(404, {"error": "not found"})
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+def create_server(
+    service: ExtractionService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind the HTTP server (``port=0`` picks an ephemeral port).
+
+    The caller owns the lifecycle: ``httpd.serve_forever()`` to run,
+    ``httpd.shutdown()`` from another thread to stop.  The bound port is
+    ``httpd.server_address[1]``.
+    """
+    handler = type("BoundServeHandler", (ServeHandler,), {"service": service})
+    httpd = ThreadingHTTPServer((host, port), handler)
+    httpd.daemon_threads = True
+    return httpd

@@ -1,0 +1,151 @@
+"""Circuit breaker over worker-pool health.
+
+When an executable (or the machine under it) starts killing workers, every
+admitted job burns a full respawn-quarantine cycle before failing.  The
+breaker watches job outcomes for worker-crash signals
+(:class:`~repro.errors.WorkerCrashedError`, :class:`~repro.errors.
+WorkerQuarantined`, or a ``quarantined`` verdict — the same conditions that
+tick the pool's ``worker_*`` counters) and sheds load early:
+
+* **closed** — normal admission; K consecutive worker-health failures open it;
+* **open** — all jobs rejected ``breaker_open`` until ``cooldown_seconds``
+  elapse on the injectable clock;
+* **half_open** — exactly one probe job is admitted; success closes the
+  breaker, failure re-opens it (and restarts the cooldown).
+
+The clock is injectable and transitions are reported through a listener so
+the service can journal every flip (visible in ``/status`` and the job
+journal's events table) and tests run deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class CircuitBreaker:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        listener: Optional[Callable[[str, str, str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        #: called with (old_state, new_state, reason) on every transition
+        self.listener = listener
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        self.transitions: list[dict] = []
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a new job be admitted right now?
+
+        In half-open state this *leases* the single probe slot: the first
+        caller after the cooldown gets ``True`` and its job becomes the
+        probe; everyone else is rejected until the probe settles.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def release_probe(self) -> None:
+        """Return a leased half-open probe slot without an outcome.
+
+        Used when admission leased the slot via :meth:`allow` but the job
+        was rejected downstream (tenant caps, full queue) — or paused by a
+        drain — so the next submission can become the probe instead.
+        """
+        with self._lock:
+            self._probe_inflight = False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probe_inflight = False
+                self._transition(self.CLOSED, "probe succeeded")
+            self._consecutive_failures = 0
+
+    def record_failure(self, reason: str = "") -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probe_inflight = False
+                self._opened_at = self.clock()
+                self._transition(self.OPEN, f"probe failed: {reason}" if reason else "probe failed")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self.clock()
+                self._transition(
+                    self.OPEN,
+                    f"{self._consecutive_failures} consecutive worker-health "
+                    f"failures" + (f": {reason}" if reason else ""),
+                )
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            remaining = None
+            if self._state == self.OPEN and self._opened_at is not None:
+                remaining = max(
+                    0.0,
+                    self.cooldown_seconds - (self.clock() - self._opened_at),
+                )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "cooldown_remaining": remaining,
+                "probe_inflight": self._probe_inflight,
+                "transitions": list(self.transitions),
+            }
+
+    # -- internals (call with lock held) -------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self.clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._transition(self.HALF_OPEN, "cooldown elapsed")
+
+    def _transition(self, new_state: str, reason: str) -> None:
+        old = self._state
+        self._state = new_state
+        record = {"from": old, "to": new_state, "reason": reason}
+        self.transitions.append(record)
+        if new_state == self.CLOSED:
+            self._consecutive_failures = 0
+            self._opened_at = None
+        listener = self.listener
+        if listener is not None:
+            listener(old, new_state, reason)

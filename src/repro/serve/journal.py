@@ -1,0 +1,343 @@
+"""Crash-safe SQLite job journal for ``repro serve``.
+
+Every job state transition is committed before the service acts on it, so a
+SIGKILLed server can be restarted against the same journal and reconstruct
+exactly where every job stood: :meth:`JobJournal.recover` requeues jobs that
+were ``running`` or ``checkpointed`` when the process died (their per-job
+checkpoint directories resume them to byte-identical SQL), and jobs already
+``queued`` re-enter the admission queue untouched.
+
+Same durability discipline as :mod:`repro.obs.ledger`: WAL journaling with
+``synchronous=NORMAL`` (a committed transition survives SIGKILL), plus a
+``busy_timeout`` because the serve process writes from several worker
+threads while chaos harnesses read concurrently.
+
+Schema (``PRAGMA user_version = 1``)::
+
+    jobs        (job_id, tenant, created, updated, state, attempt, module,
+                 verdict, sql, error, invocations, seconds, request_json,
+                 extras_json)
+    transitions (job_id, seq, ts, state, detail)
+    events      (event_id, ts, kind, detail)   -- breaker/drain/recovery log
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from typing import Optional
+
+from repro.serve.jobs import JobState
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    tenant       TEXT NOT NULL DEFAULT 'default',
+    created      REAL NOT NULL,
+    updated      REAL NOT NULL,
+    state        TEXT NOT NULL,
+    attempt      INTEGER NOT NULL DEFAULT 1,
+    module       TEXT NOT NULL DEFAULT '',
+    verdict      TEXT NOT NULL DEFAULT '',
+    sql          TEXT NOT NULL DEFAULT '',
+    error        TEXT NOT NULL DEFAULT '',
+    invocations  INTEGER NOT NULL DEFAULT 0,
+    seconds      REAL NOT NULL DEFAULT 0.0,
+    request_json TEXT NOT NULL DEFAULT '{}',
+    extras_json  TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS transitions (
+    job_id TEXT NOT NULL REFERENCES jobs(job_id),
+    seq    INTEGER NOT NULL,
+    ts     REAL NOT NULL,
+    state  TEXT NOT NULL,
+    detail TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (job_id, seq)
+);
+CREATE TABLE IF NOT EXISTS events (
+    event_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    ts       REAL NOT NULL,
+    kind     TEXT NOT NULL,
+    detail   TEXT NOT NULL DEFAULT ''
+);
+"""
+
+
+class JournalError(ValueError):
+    """An illegal state transition or unknown job."""
+
+
+class JobJournal:
+    """Durable job ledger; every mutator commits before returning."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        # One connection shared across the service's worker threads, guarded
+        # by a lock: SQLite serialises at the file level anyway, and a single
+        # writer connection avoids SQLITE_BUSY churn between our own threads.
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.Lock()
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._conn.execute("PRAGMA busy_timeout = 5000")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute("PRAGMA user_version = 1")
+        self._conn.commit()
+
+    # -- writing -------------------------------------------------------------
+
+    def next_job_id(self) -> str:
+        with self._lock:
+            row = self._conn.execute("SELECT COUNT(*) AS n FROM jobs").fetchone()
+        return f"job-{row['n'] + 1:06d}"
+
+    def create(
+        self,
+        job_id: str,
+        request: dict,
+        state: str = JobState.QUEUED,
+        detail: str = "",
+        extras: Optional[dict] = None,
+    ) -> None:
+        """Insert a job in ``queued`` (or terminal ``rejected``) state."""
+        if state not in JobState.ALLOWED[None]:
+            raise JournalError(f"cannot create a job in state {state!r}")
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs (job_id, tenant, created, updated, state,"
+                " request_json, error, extras_json)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    str(request.get("tenant", "default")),
+                    now,
+                    now,
+                    state,
+                    json.dumps(request, sort_keys=True),
+                    detail if state == JobState.REJECTED else "",
+                    json.dumps(extras or {}, sort_keys=True, default=str),
+                ),
+            )
+            self._append_transition(job_id, state, detail, now)
+            self._conn.commit()
+
+    def set_extras(self, job_id: str, extras: dict) -> None:
+        """Merge keys into a job's extras without a state transition."""
+        now = time.time()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT extras_json FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise JournalError(f"unknown job {job_id!r}")
+            merged = _loads(row["extras_json"])
+            merged.update(extras)
+            self._conn.execute(
+                "UPDATE jobs SET extras_json = ?, updated = ? WHERE job_id = ?",
+                (json.dumps(merged, sort_keys=True, default=str), now, job_id),
+            )
+            self._conn.commit()
+
+    def transition(
+        self,
+        job_id: str,
+        state: str,
+        detail: str = "",
+        **fields,
+    ) -> None:
+        """Move a job to ``state``, enforcing the state machine.
+
+        ``fields`` may update ``module``, ``verdict``, ``sql``, ``error``,
+        ``invocations``, ``seconds``, ``attempt``, and ``extras`` (merged).
+        """
+        allowed_fields = {
+            "module", "verdict", "sql", "error", "invocations", "seconds",
+            "attempt", "extras",
+        }
+        unknown = set(fields) - allowed_fields
+        if unknown:
+            raise JournalError(f"unknown job fields: {sorted(unknown)}")
+        now = time.time()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT state, extras_json FROM jobs WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+            if row is None:
+                raise JournalError(f"unknown job {job_id!r}")
+            current = row["state"]
+            if state not in JobState.ALLOWED[current]:
+                raise JournalError(
+                    f"illegal transition {current!r} -> {state!r} for {job_id}"
+                )
+            sets = ["state = ?", "updated = ?"]
+            values: list = [state, now]
+            extras = fields.pop("extras", None)
+            if extras is not None:
+                merged = _loads(row["extras_json"])
+                merged.update(extras)
+                sets.append("extras_json = ?")
+                values.append(json.dumps(merged, sort_keys=True, default=str))
+            for name, value in fields.items():
+                sets.append(f"{name} = ?")
+                values.append(value)
+            values.append(job_id)
+            self._conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE job_id = ?", values
+            )
+            self._append_transition(job_id, state, detail, now)
+            self._conn.commit()
+
+    def progress(self, job_id: str, module: str) -> None:
+        """Record module-boundary progress without a state change.
+
+        Appended as a ``running`` transition with ``module:<name>`` detail —
+        the serve-kill chaos harness watches these rows to time its SIGKILLs
+        between module boundaries.
+        """
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET module = ?, updated = ? WHERE job_id = ?",
+                (module, now, job_id),
+            )
+            self._append_transition(
+                job_id, JobState.RUNNING, f"module:{module}", now
+            )
+            self._conn.commit()
+
+    def event(self, kind: str, detail: str = "") -> None:
+        """Append a service-level event (breaker flip, drain, recovery)."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO events (ts, kind, detail) VALUES (?, ?, ?)",
+                (time.time(), kind, detail),
+            )
+            self._conn.commit()
+
+    def recover(self) -> list[str]:
+        """Requeue jobs interrupted by a crash; returns their ids.
+
+        ``running`` jobs were in flight when the process died; their
+        checkpoint directories hold the last completed module, so requeueing
+        them (attempt + 1) resumes rather than restarts.  ``checkpointed``
+        jobs paused during a drain and resume the same way.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, state, attempt FROM jobs WHERE state IN (?, ?)"
+                " ORDER BY job_id",
+                (JobState.RUNNING, JobState.CHECKPOINTED),
+            ).fetchall()
+            now = time.time()
+            for row in rows:
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, attempt = ?, updated = ?"
+                    " WHERE job_id = ?",
+                    (
+                        JobState.QUEUED,
+                        row["attempt"] + 1,
+                        now,
+                        row["job_id"],
+                    ),
+                )
+                self._append_transition(
+                    row["job_id"],
+                    JobState.QUEUED,
+                    f"recovered from {row['state']}",
+                    now,
+                )
+            self._conn.commit()
+        return [row["job_id"] for row in rows]
+
+    # -- reading -------------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return _job_dict(row)
+
+    def jobs(self, state: Optional[str] = None) -> list[dict]:
+        query = "SELECT * FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        with self._lock:
+            rows = self._conn.execute(query + " ORDER BY job_id", params).fetchall()
+        return [_job_dict(row) for row in rows]
+
+    def transitions(self, job_id: str) -> list[dict]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT seq, ts, state, detail FROM transitions"
+                " WHERE job_id = ? ORDER BY seq",
+                (job_id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def events_list(self, kind: Optional[str] = None) -> list[dict]:
+        query = "SELECT * FROM events"
+        params: tuple = ()
+        if kind is not None:
+            query += " WHERE kind = ?"
+            params = (kind,)
+        with self._lock:
+            rows = self._conn.execute(query + " ORDER BY event_id", params).fetchall()
+        return [dict(row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: row["n"] for row in rows}
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _append_transition(
+        self, job_id: str, state: str, detail: str, ts: float
+    ) -> None:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) AS seq FROM transitions"
+            " WHERE job_id = ?",
+            (job_id,),
+        ).fetchone()
+        self._conn.execute(
+            "INSERT INTO transitions (job_id, seq, ts, state, detail)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (job_id, row["seq"] + 1, ts, state, detail),
+        )
+
+
+def _loads(text: str) -> dict:
+    try:
+        payload = json.loads(text or "{}")
+    except (ValueError, TypeError):
+        return {}
+    return payload if isinstance(payload, dict) else {}
+
+
+def _job_dict(row: sqlite3.Row) -> dict:
+    payload = dict(row)
+    payload["request"] = _loads(payload.pop("request_json"))
+    payload["extras"] = _loads(payload.pop("extras_json"))
+    return payload

@@ -1,0 +1,71 @@
+"""Bounded admission queue: shed load, never stall.
+
+A full queue refuses new work immediately (:meth:`AdmissionQueue.offer`
+returns ``False``; the service turns that into a structured
+``rejected: queue_full``) instead of blocking the HTTP thread — backpressure
+is the caller's signal to retry later, not a hidden stall.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+
+class AdmissionQueue:
+    """FIFO of job ids with a hard capacity and a closeable take side."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def offer(self, item) -> bool:
+        """Enqueue without blocking; ``False`` when full or closed."""
+        with self._cond:
+            if self._closed or len(self._items) >= self.capacity:
+                return False
+            self._items.append(item)
+            self._cond.notify()
+            return True
+
+    def take(self, timeout: Optional[float] = None):
+        """Dequeue, blocking up to ``timeout``; ``None`` on timeout/closed.
+
+        After :meth:`close`, remaining items still drain out; only an empty
+        closed queue returns ``None`` immediately (the worker-exit signal).
+        """
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop accepting offers and wake blocked takers."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "closed": self._closed,
+            }

@@ -1,0 +1,522 @@
+"""The extraction service orchestrator.
+
+Glues the admission queue, circuit breaker, tenant ledgers, job journal, and
+the existing extraction machinery (scheduler + isolation worker pool +
+checkpoint/resume) into one long-running, crash-safe service:
+
+* **Admission** (:meth:`ExtractionService.submit`) is ordered and total:
+  draining → payload validation → breaker → tenant ledgers → queue capacity.
+  Every refusal is a structured :class:`~repro.serve.jobs.Rejection` —
+  journaled as a terminal ``rejected`` job when the request itself was valid
+  — and never a stall.
+* **Execution** rebuilds each job's synthetic instance deterministically from
+  ``(workload, scale, seed)``, runs the standard pipeline with a per-job
+  checkpoint directory, journals module-boundary progress, and folds the
+  job's remaining admission deadline into the wall-clock budget
+  (tightest-wins; see :mod:`repro.resilience.deadlines`).
+* **Crash safety**: every state transition is committed to the journal
+  before the service acts on it, so :meth:`start` after a SIGKILL requeues
+  interrupted jobs and resumes them through their checkpoints to
+  byte-identical SQL.
+* **Drain** (:meth:`drain`): stop admitting, ask in-flight pipelines to
+  pause at their next module boundary (``pause_check`` →
+  :class:`~repro.errors.ExtractionPaused` → journaled ``checkpointed``),
+  and join the workers; queued jobs stay journaled for the next start.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import (
+    ExtractionPaused,
+    ReproError,
+    WorkerCrashedError,
+    WorkerQuarantined,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.deadlines import budget_wall_seconds
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import JobRequest, JobState, Rejection
+from repro.serve.journal import JobJournal
+from repro.serve.queue import AdmissionQueue
+from repro.serve.tenants import TenantPolicy, TenantRegistry
+
+logger = logging.getLogger("repro.serve")
+
+
+def build_instance(workload: str, scale: float, seed: int):
+    """Deterministically rebuild a job's synthetic database instance."""
+    from repro.datagen import imdb, tpcds, tpch
+
+    if workload == "job":
+        return imdb.build_database(movies=max(50, int(scale * 100_000)), seed=seed)
+    if workload == "tpcds":
+        return tpcds.build_database(sales=max(500, int(scale * 1_000_000)), seed=seed)
+    return tpch.build_database(scale=scale, seed=seed)
+
+
+def resolve_sql(request: JobRequest) -> str:
+    """The hidden SQL for a request (named workload query or ad-hoc)."""
+    if request.sql:
+        return request.sql
+    from repro.workloads import (
+        having_queries,
+        job_queries,
+        regal_queries,
+        tpcds_queries,
+        tpch_queries,
+    )
+
+    module = {
+        "tpch": tpch_queries,
+        "tpcds": tpcds_queries,
+        "job": job_queries,
+        "regal": regal_queries,
+        "having": having_queries,
+    }[request.workload]
+    query = module.QUERIES.get(request.query)
+    if query is None:
+        lowered = request.query.lower()
+        for key, candidate in module.QUERIES.items():
+            if key.lower() == lowered:
+                query = candidate
+                break
+    if query is None:
+        raise ValueError(
+            f"unknown query {request.query!r} in workload {request.workload!r}"
+        )
+    return query.sql
+
+
+class ExtractionService:
+    """Crash-safe multi-job extraction orchestrator (the ``serve`` core)."""
+
+    def __init__(
+        self,
+        journal_path,
+        checkpoint_root,
+        queue_capacity: int = 16,
+        workers: int = 2,
+        tenant_policy: Optional[TenantPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        ledger_path=None,
+        runner=None,
+    ):
+        self.journal = JobJournal(journal_path)
+        self.checkpoint_root = Path(checkpoint_root)
+        self.checkpoint_root.mkdir(parents=True, exist_ok=True)
+        self.queue = AdmissionQueue(queue_capacity)
+        self.workers = max(1, workers)
+        self.tenants = TenantRegistry(tenant_policy)
+        self.breaker = breaker or CircuitBreaker()
+        self.breaker.listener = self._on_breaker_transition
+        self.metrics = metrics or MetricsRegistry()
+        self.ledger_path = str(ledger_path) if ledger_path is not None else None
+        #: injectable job runner for deterministic tests; the contract is
+        #: ``runner(job_id, request, remaining_deadline) -> result dict``
+        #: with keys sql/verdict/invocations/seconds/extras, raising
+        #: ExtractionPaused to checkpoint or any exception to fail the job
+        self._runner = runner or self._run_extraction
+        self._draining = threading.Event()
+        self._metrics_lock = threading.Lock()
+        self._submit_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self.started_at: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> list[str]:
+        """Recover the journal, requeue pending jobs, start the workers.
+
+        Returns the ids of jobs recovered from a previous process (both
+        crash-interrupted ``running`` jobs and drain-``checkpointed`` ones).
+        """
+        recovered = self.journal.recover()
+        if recovered:
+            self.journal.event(
+                "recovered", f"requeued {len(recovered)} interrupted jobs"
+            )
+        pending = [job["job_id"] for job in self.journal.jobs(JobState.QUEUED)]
+        for job_id in pending:
+            if not self.queue.offer(job_id):
+                # More journaled work than queue capacity: the overflow stays
+                # 'queued' in the journal and is picked up as slots free.
+                logger.warning("recovery overflow: %s stays journal-queued", job_id)
+        self.started_at = time.time()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return recovered
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful stop: finish or checkpoint in-flight jobs, then return.
+
+        Queued jobs stay journaled (``queued``) for the next start.  Returns
+        True when every worker exited within ``timeout``.
+        """
+        if not self._draining.is_set():
+            self._draining.set()
+            self.journal.event("drain", "graceful drain requested")
+        self.queue.close()
+        deadline = None if timeout is None else time.time() + timeout
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.time())
+            thread.join(remaining)
+        drained = all(not thread.is_alive() for thread in self._threads)
+        if drained:
+            self.journal.event("drained", "all workers exited")
+        return drained
+
+    def close(self) -> None:
+        self.journal.close()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, payload) -> dict:
+        """Admit one job; returns ``{"job_id", "state"}`` or a rejection dict.
+
+        Rejection dicts carry ``rejected`` (the structured reason),
+        ``detail``, and ``http_status`` — and, when the request itself was
+        valid, a journaled terminal ``rejected`` job id for the audit trail.
+        """
+        if self._draining.is_set():
+            return self._reject(None, Rejection(
+                "draining", "service is draining; resubmit after restart", 503
+            ))
+        try:
+            request = JobRequest.from_payload(payload)
+        except ValueError as error:
+            self._count("serve_jobs_rejected_total")
+            return dict(Rejection("invalid", str(error), 400).to_dict(),
+                        http_status=400)
+        with self._submit_lock:
+            if not self.breaker.allow():
+                return self._reject(request, Rejection(
+                    "breaker_open",
+                    "worker health circuit breaker is open; retry after "
+                    f"cooldown ({self.breaker.cooldown_seconds:.0f}s)",
+                    503,
+                ))
+            # allow() in half-open state leases the single probe slot: this
+            # job's outcome decides whether the breaker closes or re-opens.
+            probe = self.breaker.state == CircuitBreaker.HALF_OPEN
+            tenant_rejection = self.tenants.admit(request.tenant)
+            if tenant_rejection is not None:
+                if probe:
+                    self.breaker.release_probe()
+                return self._reject(request, tenant_rejection)
+            if len(self.queue) >= self.queue.capacity:
+                self.tenants.release(request.tenant)
+                if probe:
+                    self.breaker.release_probe()
+                return self._reject(request, Rejection(
+                    "queue_full",
+                    f"admission queue is at capacity "
+                    f"({self.queue.capacity}); retry later",
+                    429,
+                ))
+            job_id = self.journal.next_job_id()
+            extras = {"breaker_probe": True} if probe else {}
+            self.journal.create(
+                job_id,
+                request.to_dict(),
+                detail="breaker probe" if extras else "",
+                extras=extras,
+            )
+            self.queue.offer(job_id)
+            self._count("serve_jobs_submitted_total")
+            self._gauge("serve_queue_depth", len(self.queue))
+            return {"job_id": job_id, "state": JobState.QUEUED,
+                    "probe": bool(extras)}
+
+    def _reject(self, request: Optional[JobRequest], rejection: Rejection) -> dict:
+        self._count("serve_jobs_rejected_total")
+        self._count(f"serve_rejected_{rejection.reason}_total")
+        payload = dict(rejection.to_dict(), http_status=rejection.http_status)
+        if request is not None:
+            job_id = self.journal.next_job_id()
+            self.journal.create(
+                job_id,
+                request.to_dict(),
+                state=JobState.REJECTED,
+                detail=f"{rejection.reason}: {rejection.detail}",
+            )
+            payload["job_id"] = job_id
+        return payload
+
+    # -- status --------------------------------------------------------------
+
+    def status(self) -> dict:
+        with self._metrics_lock:
+            counters = self.metrics.counters()
+        return {
+            "draining": self._draining.is_set(),
+            "started_at": self.started_at,
+            "queue": self.queue.snapshot(),
+            "jobs": self.journal.counts(),
+            "breaker": self.breaker.snapshot(),
+            "tenants": self.tenants.snapshot(),
+            "workers": {
+                "configured": self.workers,
+                "alive": sum(1 for t in self._threads if t.is_alive()),
+            },
+            "counters": counters,
+            "worker_health": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("worker_")
+            },
+            "ledger": self.ledger_path,
+        }
+
+    def job_view(self, job_id: str) -> Optional[dict]:
+        """A job's journaled record plus its full transition history."""
+        record = self.journal.job(job_id)
+        if record is None:
+            return None
+        record["transitions"] = self.journal.transitions(job_id)
+        return record
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self.queue.take(timeout=0.2)
+            if job_id is None:
+                if self.queue.closed and len(self.queue) == 0:
+                    return
+                if self._draining.is_set():
+                    return
+                continue
+            try:
+                self._execute(job_id)
+            except Exception:  # never let one job kill a worker thread
+                logger.exception("unhandled error executing %s", job_id)
+
+    def _execute(self, job_id: str) -> None:
+        record = self.journal.job(job_id)
+        if record is None or record["state"] != JobState.QUEUED:
+            return
+        request = JobRequest.from_dict(record["request"])
+        probe = bool(record["extras"].get("breaker_probe"))
+        remaining = None
+        if request.deadline_seconds is not None:
+            remaining = request.deadline_seconds - (time.time() - record["created"])
+            if remaining <= 0:
+                self.journal.transition(
+                    job_id, JobState.RUNNING, "deadline already exceeded"
+                )
+                self.journal.transition(
+                    job_id, JobState.FAILED, "deadline_exceeded",
+                    error="deadline_exceeded",
+                )
+                self.tenants.settle(request.tenant, failed=True)
+                self._count("serve_jobs_failed_total")
+                return
+        self.journal.transition(
+            job_id, JobState.RUNNING, f"attempt {record['attempt']}"
+        )
+        self._gauge("serve_queue_depth", len(self.queue))
+        started = time.time()
+        try:
+            result = self._runner(job_id, request, remaining)
+        except ExtractionPaused as paused:
+            self.journal.transition(
+                job_id,
+                JobState.CHECKPOINTED,
+                f"paused after {paused.module}",
+                module=paused.module,
+                seconds=time.time() - started,
+            )
+            self._count("serve_jobs_checkpointed_total")
+            # A drain pause is not a health signal either way; the tenant's
+            # slot stays held because the job is still pending.
+            if probe:
+                self.breaker.release_probe()
+            return
+        except BaseException as error:
+            seconds = time.time() - started
+            self.journal.transition(
+                job_id,
+                JobState.FAILED,
+                type(error).__name__,
+                error=f"{type(error).__name__}: {error}",
+                seconds=seconds,
+            )
+            self.tenants.settle(request.tenant, seconds=seconds, failed=True)
+            self._settle_breaker_failure(error, probe)
+            self._count("serve_jobs_failed_total")
+            if not isinstance(error, (ReproError, ValueError)):
+                raise
+            return
+        seconds = result.get("seconds", time.time() - started)
+        verdict = result.get("verdict", "ok")
+        self.journal.transition(
+            job_id,
+            JobState.DONE,
+            f"verdict {verdict}",
+            sql=result.get("sql", ""),
+            verdict=verdict,
+            invocations=int(result.get("invocations", 0)),
+            seconds=seconds,
+            extras=result.get("extras") or {},
+        )
+        self.tenants.settle(
+            request.tenant,
+            invocations=int(result.get("invocations", 0)),
+            seconds=seconds,
+            failed=False,
+        )
+        if verdict == "quarantined":
+            self.breaker.record_failure(f"job {job_id} verdict quarantined")
+        else:
+            self.breaker.record_success()
+        self._count("serve_jobs_done_total")
+
+    def _settle_breaker_failure(self, error: BaseException, probe: bool) -> None:
+        if isinstance(error, (WorkerCrashedError, WorkerQuarantined)):
+            self.breaker.record_failure(type(error).__name__)
+        elif probe:
+            # The probe job failed for a non-worker reason; the pool itself
+            # looks healthy, so the probe still closes the breaker.
+            self.breaker.record_success()
+
+    def _run_extraction(self, job_id: str, request: JobRequest, remaining):
+        """Run one real extraction; the default :attr:`_runner`."""
+        from repro.apps.executable import SQLExecutable
+        from repro.core.config import ExtractionConfig
+        from repro.core.pipeline import UnmasqueExtractor
+        from repro.obs.trace import Tracer
+
+        sql = resolve_sql(request)
+        db = build_instance(request.workload, request.scale, request.seed)
+        app = SQLExecutable(sql, obfuscate_text=True, name=f"serve:{job_id}")
+        if app.run(db).is_effectively_empty:
+            raise ValueError(
+                "the hidden query has an empty result on this instance; "
+                "increase scale or change seed"
+            )
+        config = ExtractionConfig(
+            fail_fast=not request.best_effort,
+            budget_invocations=request.budget_invocations,
+            budget_seconds=budget_wall_seconds(remaining, request.budget_seconds),
+            jobs=request.jobs,
+            isolate=request.isolate,
+        )
+        job_metrics = MetricsRegistry()
+        tracer = Tracer(metrics=job_metrics, keep_spans=False)
+        ledger, run_id, provenance = self._ledger_open(job_id, request)
+        extras: dict = {}
+        if run_id is not None:
+            # The provenance-ledger pointer is visible on /jobs/<id> while
+            # the job is still running, not only at completion.
+            extras["ledger_run_id"] = run_id
+            extras["ledger_path"] = self.ledger_path
+            self.journal.set_extras(job_id, extras)
+        try:
+            outcome = UnmasqueExtractor(
+                db,
+                app,
+                config,
+                tracer=tracer,
+                checkpoint_dir=self.checkpoint_root / job_id,
+                provenance=provenance,
+                step_listener=lambda module: self.journal.progress(job_id, module),
+                pause_check=self._draining.is_set,
+            ).extract()
+        except BaseException as error:
+            self._ledger_fail(ledger, run_id, provenance, error)
+            raise
+        finally:
+            with self._metrics_lock:
+                self.metrics.merge(job_metrics)
+        self._ledger_finish(ledger, run_id, provenance, outcome)
+        return {
+            "sql": outcome.sql if outcome.query is not None else "",
+            "verdict": outcome.verdict,
+            "invocations": outcome.stats.total_invocations,
+            "seconds": outcome.stats.total_seconds,
+            "extras": extras,
+        }
+
+    # -- per-job provenance ledger -------------------------------------------
+
+    def _ledger_open(self, job_id: str, request: JobRequest):
+        """Per-job ledger connection (same file, own connection per thread)."""
+        if self.ledger_path is None:
+            return None, None, None
+        from repro.obs.ledger import RunLedger
+        from repro.obs.provenance import ProvenanceRecorder
+
+        ledger = RunLedger(self.ledger_path)
+        run_id = ledger.begin_run(
+            label=f"serve:{job_id}",
+            workload=request.workload,
+            query_name=request.query,
+            jobs=request.jobs,
+        )
+        return ledger, run_id, ProvenanceRecorder(sink=ledger.sink(run_id))
+
+    def _ledger_finish(self, ledger, run_id, provenance, outcome) -> None:
+        if ledger is None:
+            return
+        from repro.obs.provenance import clause_evidence
+
+        provenance.flush()
+        ledger.record_modules(run_id, outcome.stats.modules)
+        if outcome.query is not None:
+            ledger.record_clauses(
+                run_id, clause_evidence(outcome.query, provenance.events)
+            )
+        ledger.finish_run(
+            run_id,
+            status="completed",
+            verdict=outcome.verdict,
+            sql=outcome.sql if outcome.query is not None else "",
+            invocations=outcome.stats.total_invocations,
+            seconds=outcome.stats.total_seconds,
+        )
+        ledger.close()
+
+    def _ledger_fail(self, ledger, run_id, provenance, error) -> None:
+        if ledger is None:
+            return
+        try:
+            provenance.flush()
+            status = (
+                "paused" if isinstance(error, ExtractionPaused) else "failed"
+            )
+            ledger.finish_run(run_id, status=status, extras={"error": str(error)})
+            ledger.close()
+        except Exception:  # the original error is the one worth surfacing
+            pass
+
+    # -- internals -----------------------------------------------------------
+
+    def _on_breaker_transition(self, old: str, new: str, reason: str) -> None:
+        self.journal.event("breaker", f"{old} -> {new}: {reason}")
+        self._count("serve_breaker_transitions_total")
+        logger.info("breaker %s -> %s (%s)", old, new, reason)
+
+    def _count(self, name: str) -> None:
+        with self._metrics_lock:
+            self.metrics.counter(name).inc()
+
+    def _gauge(self, name: str, value) -> None:
+        with self._metrics_lock:
+            self.metrics.gauge(name).set(value)

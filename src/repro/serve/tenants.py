@@ -1,0 +1,166 @@
+"""Per-tenant budget and quarantine ledgers.
+
+Each tenant gets a :class:`~repro.resilience.budgets.ResourceBudget` tracking
+cumulative invocations across all of its jobs (the service settles each
+finished job's invocation count into it via ``charge_invocations``), a
+cumulative wall-clock ledger, a queued-jobs cap, and a consecutive-failure
+quarantine — so one hostile or broken tenant exhausts *its* allowance, not
+the service.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import BudgetExhausted
+from repro.resilience.budgets import BudgetSpec, ResourceBudget
+from repro.serve.jobs import Rejection
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Limits applied per tenant; ``None`` means unlimited."""
+
+    #: jobs a tenant may have queued or running at once
+    max_queued: Optional[int] = None
+    #: cumulative black-box invocations across all of a tenant's jobs
+    max_invocations: Optional[int] = None
+    #: cumulative extraction wall-clock seconds across all jobs
+    max_seconds: Optional[float] = None
+    #: consecutive failed jobs before the tenant is quarantined
+    quarantine_threshold: Optional[int] = None
+
+
+class _TenantState:
+    __slots__ = (
+        "budget", "seconds", "active", "consecutive_failures",
+        "quarantined_reason", "exhausted_reason", "jobs_done", "jobs_failed",
+    )
+
+    def __init__(self, policy: TenantPolicy):
+        self.budget = ResourceBudget(
+            BudgetSpec(max_invocations=policy.max_invocations)
+        )
+        self.seconds = 0.0
+        self.active = 0
+        self.consecutive_failures = 0
+        self.quarantined_reason: Optional[str] = None
+        self.exhausted_reason: Optional[str] = None
+        self.jobs_done = 0
+        self.jobs_failed = 0
+
+
+class TenantRegistry:
+    """Admission checks and post-job settlement, keyed by tenant name."""
+
+    def __init__(self, policy: Optional[TenantPolicy] = None):
+        self.policy = policy or TenantPolicy()
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantState] = {}
+
+    def admit(self, tenant: str) -> Optional[Rejection]:
+        """``None`` to admit, or a structured :class:`Rejection`."""
+        policy = self.policy
+        with self._lock:
+            state = self._state(tenant)
+            if state.quarantined_reason is not None:
+                return Rejection(
+                    "tenant_quarantined", state.quarantined_reason, 403
+                )
+            if state.exhausted_reason is not None:
+                return Rejection("tenant_budget", state.exhausted_reason, 403)
+            if (
+                policy.max_seconds is not None
+                and state.seconds >= policy.max_seconds
+            ):
+                return Rejection(
+                    "tenant_budget",
+                    f"tenant {tenant!r} spent {state.seconds:.1f}s of its "
+                    f"{policy.max_seconds:.1f}s wall-clock allowance",
+                    403,
+                )
+            if (
+                policy.max_queued is not None
+                and state.active >= policy.max_queued
+            ):
+                return Rejection(
+                    "tenant_queue_full",
+                    f"tenant {tenant!r} already has {state.active} jobs "
+                    f"queued or running (cap {policy.max_queued})",
+                    429,
+                )
+            state.active += 1
+            return None
+
+    def release(self, tenant: str) -> None:
+        """Undo an :meth:`admit` slot without settling (rejected downstream)."""
+        with self._lock:
+            state = self._state(tenant)
+            state.active = max(0, state.active - 1)
+
+    def settle(
+        self,
+        tenant: str,
+        invocations: int = 0,
+        seconds: float = 0.0,
+        failed: bool = False,
+    ) -> None:
+        """Charge a finished job against the tenant's ledgers."""
+        policy = self.policy
+        with self._lock:
+            state = self._state(tenant)
+            state.active = max(0, state.active - 1)
+            state.seconds += seconds
+            try:
+                if state.budget.enabled:
+                    state.budget.charge_invocations(invocations)
+                else:
+                    # unlimited tenants still get accurate accounting
+                    state.budget.invocations += max(0, invocations)
+            except BudgetExhausted as error:
+                # The finished job keeps its outcome; the *next* admission
+                # for this tenant is refused with the structured reason.
+                state.exhausted_reason = str(error)
+            if failed:
+                state.jobs_failed += 1
+                state.consecutive_failures += 1
+                threshold = policy.quarantine_threshold
+                if (
+                    threshold is not None
+                    and state.consecutive_failures >= threshold
+                    and state.quarantined_reason is None
+                ):
+                    state.quarantined_reason = (
+                        f"tenant {tenant!r} quarantined after "
+                        f"{state.consecutive_failures} consecutive failed jobs"
+                    )
+            else:
+                state.jobs_done += 1
+                state.consecutive_failures = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                name: {
+                    "active": state.active,
+                    "invocations": state.budget.invocations,
+                    "seconds": round(state.seconds, 3),
+                    "jobs_done": state.jobs_done,
+                    "jobs_failed": state.jobs_failed,
+                    "consecutive_failures": state.consecutive_failures,
+                    "quarantined": state.quarantined_reason,
+                    "budget_exhausted": state.exhausted_reason,
+                }
+                for name, state in sorted(self._tenants.items())
+            }
+
+    # -- internals (call with lock held) -------------------------------------
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(self.policy)
+            self._tenants[tenant] = state
+        return state

@@ -1,0 +1,176 @@
+"""Crash hardening for the provenance ledger (obs/ledger.py, schema v2).
+
+A SIGKILLed writer leaves ``status='running'`` run rows behind; reopening
+the ledger must mark them ``aborted`` — but only when the recorded writer
+pid is actually dead, because ``repro serve`` has several live connections
+against one shared ledger file.
+"""
+
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.obs.ledger import RunLedger, _pid_alive, _tolerant_extras
+
+
+class TestStaleRunRecovery:
+    def test_dead_writer_run_is_marked_aborted(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        # A child process opens a run and exits without finishing it — the
+        # same on-disk state a SIGKILL mid-extraction leaves behind.
+        script = textwrap.dedent("""
+            import sys
+            from repro.obs.ledger import RunLedger
+            ledger = RunLedger(sys.argv[1])
+            print(ledger.begin_run(label="doomed"))
+        """)
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True, text=True, check=True,
+            env=dict(os.environ, PYTHONPATH="src"),
+            cwd="/root/repo",
+        )
+        run_id = int(out.stdout.strip())
+
+        with RunLedger(path) as ledger:
+            run = ledger.run(run_id)
+            assert run["status"] == "aborted"
+            assert run["finished"] is not None
+
+    def test_sigkill_mid_write_leaves_a_recoverable_ledger(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        # The child begins a run, commits, signals readiness, then spins in
+        # uncommitted writes until SIGKILLed — the torn tail must roll back
+        # and the committed run row must recover to 'aborted'.
+        script = textwrap.dedent("""
+            import sys, time
+            from repro.obs.ledger import RunLedger
+            ledger = RunLedger(sys.argv[1])
+            run_id = ledger.begin_run(label="victim")
+            print(run_id, flush=True)
+            ledger._conn.execute(
+                "UPDATE runs SET extras_json = ? WHERE run_id = ?",
+                ('{"torn', run_id),
+            )  # deliberately never committed
+            time.sleep(60)
+        """)
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdout=subprocess.PIPE, text=True,
+            env=dict(os.environ, PYTHONPATH="src"),
+            cwd="/root/repo",
+        )
+        try:
+            run_id = int(child.stdout.readline().strip())
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait()
+        finally:
+            if child.poll() is None:
+                child.kill()
+
+        with RunLedger(path) as ledger:
+            run = ledger.run(run_id)
+            assert run["status"] == "aborted"
+            assert run["extras"] == {}  # the uncommitted write never landed
+
+    def test_live_writer_runs_are_left_alone(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        writer = RunLedger(path)
+        run_id = writer.begin_run(label="inflight")
+        # a second connection (serve opens one per job thread) must not
+        # abort a run whose writer process is alive — it is our own pid
+        reader = RunLedger(path)
+        assert reader.run(run_id)["status"] == "running"
+        writer.finish_run(run_id, status="completed")
+        writer.close()
+        reader.close()
+
+    def test_finish_run_tolerates_torn_extras(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as ledger:
+            run_id = ledger.begin_run(label="torn")
+            ledger._conn.execute(
+                "UPDATE runs SET extras_json = ? WHERE run_id = ?",
+                ('{"cut off mid', run_id),
+            )
+            ledger._conn.commit()
+            # merging into torn extras must not raise; the torn blob resets
+            ledger.finish_run(run_id, status="completed", extras={"ok": 1})
+            assert ledger.run(run_id)["extras"] == {"ok": 1}
+
+
+class TestV1Migration:
+    def _make_v1_ledger(self, path):
+        """A pre-pid ledger file as older releases wrote it."""
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            """
+            CREATE TABLE runs (
+                run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+                started     REAL NOT NULL,
+                finished    REAL,
+                label       TEXT NOT NULL DEFAULT '',
+                workload    TEXT NOT NULL DEFAULT '',
+                query_name  TEXT NOT NULL DEFAULT '',
+                jobs        INTEGER NOT NULL DEFAULT 1,
+                status      TEXT NOT NULL DEFAULT 'running',
+                verdict     TEXT NOT NULL DEFAULT '',
+                sql         TEXT NOT NULL DEFAULT '',
+                invocations INTEGER NOT NULL DEFAULT 0,
+                seconds     REAL NOT NULL DEFAULT 0.0,
+                extras_json TEXT NOT NULL DEFAULT '{}'
+            )
+            """
+        )
+        conn.execute(
+            "INSERT INTO runs (started, label, status) VALUES (?, ?, ?)",
+            (time.time(), "old-interrupted", "running"),
+        )
+        conn.execute(
+            "INSERT INTO runs (started, finished, label, status)"
+            " VALUES (?, ?, ?, ?)",
+            (time.time(), time.time(), "old-finished", "completed"),
+        )
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+
+    def test_v1_ledger_migrates_and_recovers(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        self._make_v1_ledger(path)
+        with RunLedger(path) as ledger:
+            runs = {run["label"]: run for run in ledger.runs()}
+            # pid 0 predates the column: its writer is unknowable, and a
+            # 'running' row from a past process can never finish — aborted.
+            assert runs["old-interrupted"]["status"] == "aborted"
+            assert runs["old-finished"]["status"] == "completed"
+            # new writes record this process's pid
+            run_id = ledger.begin_run(label="new")
+            version = ledger._conn.execute("PRAGMA user_version").fetchone()[0]
+            assert version == 2
+            row = ledger._conn.execute(
+                "SELECT pid FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            assert row["pid"] == os.getpid()
+
+
+class TestHelpers:
+    def test_pid_alive(self):
+        assert _pid_alive(os.getpid())
+        assert not _pid_alive(0)
+        assert not _pid_alive(-5)
+        # spawn-and-reap a child for a guaranteed-dead pid
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        assert not _pid_alive(child.pid)
+
+    def test_tolerant_extras(self):
+        assert _tolerant_extras('{"a": 1}') == {"a": 1}
+        assert _tolerant_extras('{"torn') == {}
+        assert _tolerant_extras("") == {}
+        assert _tolerant_extras(None) == {}
+        assert _tolerant_extras("[1, 2]") == {}

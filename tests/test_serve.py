@@ -1,0 +1,365 @@
+"""Unit tests for the serve building blocks: queue, breaker, tenants, journal."""
+
+import threading
+
+import pytest
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import JobRequest, JobState, Rejection
+from repro.serve.journal import JobJournal, JournalError
+from repro.serve.queue import AdmissionQueue
+from repro.serve.tenants import TenantPolicy, TenantRegistry
+
+
+class TestJobRequestValidation:
+    def test_minimal_query_payload(self):
+        request = JobRequest.from_payload({"query": "Q6"})
+        assert request.workload == "tpch"
+        assert request.query == "Q6"
+        assert request.tenant == "default"
+
+    def test_round_trips_through_journal_encoding(self):
+        request = JobRequest.from_payload(
+            {"query": "Q6", "seed": 42, "deadline_seconds": 9.5}
+        )
+        assert JobRequest.from_dict(request.to_dict()) == request
+
+    def test_rejects_non_object_body(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            JobRequest.from_payload([1, 2, 3])
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            JobRequest.from_payload({"query": "Q6", "shell": "rm -rf"})
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            JobRequest.from_payload({"workload": "mongo", "query": "Q6"})
+
+    def test_requires_exactly_one_of_query_and_sql(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            JobRequest.from_payload({})
+        with pytest.raises(ValueError, match="exactly one"):
+            JobRequest.from_payload({"query": "Q6", "sql": "select 1"})
+
+    def test_rejects_non_numeric_deadline(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            JobRequest.from_payload({"query": "Q6", "deadline_seconds": "soon"})
+
+    def test_rejects_unknown_isolate_mode(self):
+        with pytest.raises(ValueError, match="isolate"):
+            JobRequest.from_payload({"query": "Q6", "isolate": "vm"})
+
+
+class TestJobStateMachine:
+    def test_terminal_states_allow_nothing(self):
+        for state in JobState.TERMINAL:
+            assert JobState.ALLOWED[state] == frozenset()
+
+    def test_running_can_requeue_for_crash_recovery(self):
+        assert JobState.QUEUED in JobState.ALLOWED[JobState.RUNNING]
+
+    def test_rejection_payload_shape(self):
+        rejection = Rejection("queue_full", "try later", 429)
+        assert rejection.to_dict() == {
+            "rejected": "queue_full", "detail": "try later",
+        }
+
+
+class TestAdmissionQueue:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(4)
+        for item in ("a", "b", "c"):
+            assert queue.offer(item)
+        assert [queue.take(0), queue.take(0), queue.take(0)] == ["a", "b", "c"]
+
+    def test_offer_refuses_when_full(self):
+        queue = AdmissionQueue(2)
+        assert queue.offer("a") and queue.offer("b")
+        assert not queue.offer("c")
+        assert len(queue) == 2
+
+    def test_take_times_out_with_none(self):
+        queue = AdmissionQueue(1)
+        assert queue.take(timeout=0.01) is None
+
+    def test_close_drains_remaining_items_then_signals_exit(self):
+        queue = AdmissionQueue(4)
+        queue.offer("a")
+        queue.close()
+        assert not queue.offer("b")  # closed: no new admissions
+        assert queue.take(0) == "a"  # but queued work still drains
+        assert queue.take(0) is None  # empty + closed: worker-exit signal
+
+    def test_close_wakes_blocked_taker(self):
+        queue = AdmissionQueue(1)
+        results = []
+        taker = threading.Thread(target=lambda: results.append(queue.take(5.0)))
+        taker.start()
+        queue.close()
+        taker.join(timeout=5.0)
+        assert not taker.is_alive()
+        assert results == [None]
+
+    def test_snapshot(self):
+        queue = AdmissionQueue(3)
+        queue.offer("a")
+        assert queue.snapshot() == {"depth": 1, "capacity": 3, "closed": False}
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, cooldown=30.0):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            cooldown_seconds=cooldown,
+            clock=lambda: now[0],
+        )
+        return breaker, now
+
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = self._breaker(threshold=3)
+        breaker.record_failure("crash")
+        breaker.record_failure("crash")
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure("crash")
+        breaker.record_success()
+        breaker.record_failure("crash")
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_opens_at_threshold_and_rejects(self):
+        breaker, _ = self._breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure("WorkerCrashedError")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_half_opens_after_cooldown(self):
+        breaker, now = self._breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure("crash")
+        now[0] = 29.9
+        assert breaker.state == CircuitBreaker.OPEN
+        now[0] = 30.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_leases_exactly_one_probe(self):
+        breaker, now = self._breaker(threshold=1, cooldown=1.0)
+        breaker.record_failure("crash")
+        now[0] = 2.0
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else waits on the probe
+
+    def test_released_probe_slot_can_be_leased_again(self):
+        breaker, now = self._breaker(threshold=1, cooldown=1.0)
+        breaker.record_failure("crash")
+        now[0] = 2.0
+        assert breaker.allow()
+        breaker.release_probe()
+        assert breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, now = self._breaker(threshold=1, cooldown=1.0)
+        breaker.record_failure("crash")
+        now[0] = 2.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.snapshot()["consecutive_failures"] == 0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, now = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure("crash")
+        now[0] = 10.0
+        assert breaker.allow()
+        breaker.record_failure("crash again")
+        assert breaker.state == CircuitBreaker.OPEN
+        now[0] = 19.9  # the cooldown restarted at t=10
+        assert breaker.state == CircuitBreaker.OPEN
+        now[0] = 20.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_transitions_are_recorded_and_reported(self):
+        seen = []
+        breaker, now = self._breaker(threshold=1, cooldown=1.0)
+        breaker.listener = lambda old, new, reason: seen.append((old, new))
+        breaker.record_failure("crash")
+        now[0] = 2.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        assert [t["to"] for t in breaker.transitions] == [
+            "open", "half_open", "closed",
+        ]
+
+
+class TestTenantRegistry:
+    def test_unlimited_policy_admits_and_accounts(self):
+        tenants = TenantRegistry()
+        assert tenants.admit("acme") is None
+        tenants.settle("acme", invocations=40, seconds=1.5)
+        snap = tenants.snapshot()["acme"]
+        assert snap["invocations"] == 40
+        assert snap["jobs_done"] == 1
+        assert snap["active"] == 0
+
+    def test_queued_job_cap(self):
+        tenants = TenantRegistry(TenantPolicy(max_queued=2))
+        assert tenants.admit("acme") is None
+        assert tenants.admit("acme") is None
+        rejection = tenants.admit("acme")
+        assert rejection.reason == "tenant_queue_full"
+        assert rejection.http_status == 429
+        # other tenants are unaffected
+        assert tenants.admit("other") is None
+
+    def test_release_returns_the_slot(self):
+        tenants = TenantRegistry(TenantPolicy(max_queued=1))
+        assert tenants.admit("acme") is None
+        assert tenants.admit("acme") is not None
+        tenants.release("acme")
+        assert tenants.admit("acme") is None
+
+    def test_invocation_budget_exhaustion_refuses_the_next_admission(self):
+        tenants = TenantRegistry(TenantPolicy(max_invocations=100))
+        assert tenants.admit("acme") is None
+        tenants.settle("acme", invocations=150)  # job keeps its outcome
+        rejection = tenants.admit("acme")
+        assert rejection.reason == "tenant_budget"
+        assert rejection.http_status == 403
+
+    def test_wall_clock_budget(self):
+        tenants = TenantRegistry(TenantPolicy(max_seconds=10.0))
+        assert tenants.admit("acme") is None
+        tenants.settle("acme", seconds=12.0)
+        assert tenants.admit("acme").reason == "tenant_budget"
+
+    def test_consecutive_failure_quarantine(self):
+        tenants = TenantRegistry(TenantPolicy(quarantine_threshold=2))
+        for _ in range(2):
+            assert tenants.admit("acme") is None
+            tenants.settle("acme", failed=True)
+        rejection = tenants.admit("acme")
+        assert rejection.reason == "tenant_quarantined"
+        assert rejection.http_status == 403
+
+    def test_success_resets_the_failure_streak(self):
+        tenants = TenantRegistry(TenantPolicy(quarantine_threshold=2))
+        tenants.admit("acme")
+        tenants.settle("acme", failed=True)
+        tenants.admit("acme")
+        tenants.settle("acme", failed=False)
+        tenants.admit("acme")
+        tenants.settle("acme", failed=True)
+        assert tenants.admit("acme") is None  # streak is 1, not 3
+
+
+class TestJobJournal:
+    @pytest.fixture
+    def journal(self, tmp_path):
+        with JobJournal(tmp_path / "journal.sqlite") as journal:
+            yield journal
+
+    def test_job_ids_are_sequential(self, journal):
+        assert journal.next_job_id() == "job-000001"
+        journal.create("job-000001", {"query": "Q6"})
+        assert journal.next_job_id() == "job-000002"
+
+    def test_create_and_read_back(self, journal):
+        journal.create("job-000001", {"query": "Q6", "tenant": "acme"})
+        record = journal.job("job-000001")
+        assert record["state"] == JobState.QUEUED
+        assert record["tenant"] == "acme"
+        assert record["request"]["query"] == "Q6"
+        assert record["attempt"] == 1
+
+    def test_happy_path_transition_chain(self, journal):
+        journal.create("job-000001", {"query": "Q6"})
+        journal.transition("job-000001", JobState.RUNNING, "attempt 1")
+        journal.progress("job-000001", "setup")
+        journal.transition(
+            "job-000001", JobState.DONE, "verdict ok",
+            sql="SELECT 1", verdict="ok", invocations=12, seconds=0.5,
+        )
+        record = journal.job("job-000001")
+        assert record["state"] == JobState.DONE
+        assert record["sql"] == "SELECT 1"
+        assert record["module"] == "setup"
+        details = [t["detail"] for t in journal.transitions("job-000001")]
+        assert details == ["", "attempt 1", "module:setup", "verdict ok"]
+
+    def test_illegal_transition_is_refused(self, journal):
+        journal.create("job-000001", {"query": "Q6"})
+        journal.transition("job-000001", JobState.RUNNING)
+        journal.transition("job-000001", JobState.DONE)
+        with pytest.raises(JournalError, match="illegal transition"):
+            journal.transition("job-000001", JobState.RUNNING)
+
+    def test_queued_cannot_jump_straight_to_done(self, journal):
+        journal.create("job-000001", {"query": "Q6"})
+        with pytest.raises(JournalError, match="illegal transition"):
+            journal.transition("job-000001", JobState.DONE)
+
+    def test_unknown_job_and_unknown_field_are_refused(self, journal):
+        with pytest.raises(JournalError, match="unknown job"):
+            journal.transition("job-999999", JobState.RUNNING)
+        journal.create("job-000001", {"query": "Q6"})
+        with pytest.raises(JournalError, match="unknown job fields"):
+            journal.transition("job-000001", JobState.RUNNING, pid=42)
+
+    def test_cannot_create_in_a_running_state(self, journal):
+        with pytest.raises(JournalError, match="cannot create"):
+            journal.create("job-000001", {"query": "Q6"}, state=JobState.RUNNING)
+
+    def test_extras_merge_without_state_change(self, journal):
+        journal.create("job-000001", {"query": "Q6"}, extras={"a": 1})
+        journal.set_extras("job-000001", {"b": 2})
+        assert journal.job("job-000001")["extras"] == {"a": 1, "b": 2}
+
+    def test_recover_requeues_running_and_checkpointed(self, journal):
+        journal.create("job-000001", {"query": "Q6"})
+        journal.transition("job-000001", JobState.RUNNING)
+        journal.create("job-000002", {"query": "Q3"})
+        journal.transition("job-000002", JobState.RUNNING)
+        journal.transition("job-000002", JobState.CHECKPOINTED)
+        journal.create("job-000003", {"query": "Q1"})
+        journal.transition("job-000003", JobState.RUNNING)
+        journal.transition("job-000003", JobState.DONE)
+
+        recovered = journal.recover()
+        assert recovered == ["job-000001", "job-000002"]
+        assert journal.job("job-000001")["state"] == JobState.QUEUED
+        assert journal.job("job-000001")["attempt"] == 2
+        assert journal.job("job-000002")["attempt"] == 2
+        assert journal.job("job-000003")["state"] == JobState.DONE
+        details = [t["detail"] for t in journal.transitions("job-000001")]
+        assert details[-1] == "recovered from running"
+
+    def test_counts_and_events(self, journal):
+        journal.create("job-000001", {"query": "Q6"})
+        journal.create(
+            "job-000002", {"query": "Q6"},
+            state=JobState.REJECTED, detail="queue_full",
+        )
+        assert journal.counts() == {"queued": 1, "rejected": 1}
+        assert journal.job("job-000002")["error"] == "queue_full"
+        journal.event("breaker", "closed -> open: crashes")
+        events = journal.events_list("breaker")
+        assert len(events) == 1
+        assert events[0]["detail"] == "closed -> open: crashes"
+
+    def test_journal_survives_reopen(self, tmp_path):
+        path = tmp_path / "journal.sqlite"
+        with JobJournal(path) as journal:
+            journal.create("job-000001", {"query": "Q6"})
+            journal.transition("job-000001", JobState.RUNNING)
+        with JobJournal(path) as journal:
+            assert journal.job("job-000001")["state"] == JobState.RUNNING
+            assert journal.recover() == ["job-000001"]

@@ -1,0 +1,40 @@
+"""The serve-kill acceptance proof, as a (slow) test.
+
+Drives a real ``repro serve`` subprocess through the full chaos protocol:
+SIGKILL with jobs in flight, restart against the same journal, repeat, and
+require every job to converge to SQL byte-identical to a fault-free inline
+extraction.  Excluded from tier-1 (`-m slow`); CI runs it explicitly.
+"""
+
+import io
+
+import pytest
+
+from repro.serve.killer import run_serve_kill
+
+pytestmark = pytest.mark.slow
+
+
+class TestServeKill:
+    def test_sigkill_recover_converges_to_baseline_sql(self, tmp_path):
+        report = run_serve_kill(
+            query="Q6",
+            scale=0.0005,
+            seed=11,
+            serve_jobs=2,
+            kills=2,
+            workers=2,
+            workdir=tmp_path,
+            out=io.StringIO(),
+            timeout=480.0,
+        )
+        assert report["converged"], report["mismatches"]
+        assert report["server_exit"] == 0  # the final SIGTERM drained cleanly
+        assert len(report["jobs"]) == 2
+        for job in report["jobs"].values():
+            assert job["state"] == "done"
+            assert job["converged"]
+        # at least one kill actually landed mid-flight (attempt > 1 proves
+        # a job was recovered from the journal rather than rerun by luck)
+        if report["kills"]:
+            assert any(job["attempts"] > 1 for job in report["jobs"].values())
