@@ -122,11 +122,15 @@ def _make_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workload", default="tpch", choices=list(_load_workloads()))
     chaos.add_argument("--query", required=True, help="query name, e.g. Q3")
     chaos.add_argument("--profile", default="transient",
-                       choices=sorted(FAULT_PROFILES) + ["serve-kill"],
+                       choices=sorted(FAULT_PROFILES) + ["disk", "serve-kill"],
                        help="named fault profile (default: transient); "
                             "'serve-kill' SIGKILLs a live `repro serve` "
                             "between module boundaries and proves every job "
-                            "converges after restarts")
+                            "converges after restarts; 'disk' injects "
+                            "storage faults (torn/short writes, ENOSPC, EIO, "
+                            "lost fsync) into the checkpoint store, job "
+                            "journal, and provenance ledger and proves "
+                            "recovery for every fault class")
     chaos.add_argument("--chaos-seed", type=int, default=1337,
                        help="seed for the fault injector (default 1337)")
     chaos.add_argument("--max-attempts", type=int, default=6,
@@ -198,6 +202,22 @@ def _make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-grace", type=float, default=60.0, metavar="S",
                        help="seconds to wait on SIGTERM for in-flight jobs "
                             "to finish or checkpoint (default 60)")
+    serve.add_argument("--memory-high-mb", type=float, default=None,
+                       metavar="MB",
+                       help="memory high watermark; above it running jobs "
+                            "are checkpointed-and-evicted (rehydrated when "
+                            "pressure subsides) and new submissions are "
+                            "shed with 429 memory_pressure + Retry-After "
+                            "(default: governor disabled)")
+    serve.add_argument("--memory-low-mb", type=float, default=None,
+                       metavar="MB",
+                       help="memory low watermark eviction target "
+                            "(default: 80%% of --memory-high-mb)")
+    serve.add_argument("--shared-plan-cache", type=int, default=2048,
+                       metavar="N",
+                       help="entry capacity of the compiled-plan cache "
+                            "shared across concurrent jobs; 0 gives each "
+                            "job a private cache (default 2048)")
 
     bench = sub.add_parser(
         "bench",
@@ -416,6 +436,8 @@ def _dispatch(args, out) -> int:
             return 2
         if args.profile == "serve-kill":
             return _run_serve_kill_chaos(args, out)
+        if args.profile == "disk":
+            return _run_disk_chaos(args, out)
         return _run_chaos(args, query.sql, out)
 
     if args.command == "serve":
@@ -1009,6 +1031,9 @@ def _run_serve(args, out) -> int:
             cooldown_seconds=args.breaker_cooldown,
         ),
         ledger_path=args.ledger,
+        memory_high_mb=args.memory_high_mb,
+        memory_low_mb=args.memory_low_mb,
+        shared_plan_cache_size=args.shared_plan_cache,
     )
     recovered = service.start()
     if recovered:
@@ -1080,6 +1105,31 @@ def _run_serve_kill_chaos(args, out) -> int:
     verdict = "SURVIVED" if report["converged"] else "DIVERGED"
     out.write(f"verdict     : {verdict}\n")
     return 0 if report["converged"] else 1
+
+
+def _run_disk_chaos(args, out) -> int:
+    """The disk profile: storage faults against every durable store."""
+    import tempfile
+
+    from repro.resilience.diskchaos import run_disk_chaos
+
+    workdir = args.serve_dir or tempfile.mkdtemp(prefix="repro-disk-chaos-")
+    report = run_disk_chaos(
+        args.query,
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        chaos_seed=args.chaos_seed,
+        workdir=workdir,
+        out=out,
+    )
+    passed = sum(1 for cell in report["cells"] if cell["ok"])
+    out.write(f"matrix      : {passed}/{len(report['cells'])} cells passed "
+              f"({len(report['fault_classes'])} fault classes x 3 stores)\n")
+    out.write(f"workdir     : {report['workdir']}\n")
+    verdict = "SURVIVED" if report["survived"] else "DIVERGED"
+    out.write(f"verdict     : {verdict}\n")
+    return 0 if report["survived"] else 1
 
 
 def _run_chaos(args, sql: str, out) -> int:

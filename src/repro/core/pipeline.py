@@ -54,6 +54,7 @@ from repro.errors import (
     ExtractionError,
     ExtractionPaused,
     ReproError,
+    StorageExhausted,
     UnsupportedQueryError,
     WorkerQuarantined,
 )
@@ -655,13 +656,32 @@ class UnmasqueExtractor:
                 if store is not None:
                     # Saved while the silo provably equals D_I, so a resumed
                     # run can verify the instance via the content fingerprint.
-                    store.save(
-                        snapshot_session(
-                            session,
-                            sorted(completed),
-                            [d.to_dict() for d in degradations],
+                    try:
+                        store.save(
+                            snapshot_session(
+                                session,
+                                sorted(completed),
+                                [d.to_dict() for d in degradations],
+                            )
                         )
-                    )
+                    except StorageExhausted as error:
+                        # A full disk must not kill a healthy extraction —
+                        # drop durability, keep going, and say so.
+                        degradations.append(
+                            Degradation(
+                                module=step.name,
+                                error="StorageExhausted",
+                                message=str(error),
+                            )
+                        )
+                        logger.warning(
+                            "checkpointing disabled after %s: %s", step.name, error
+                        )
+                        if session.tracer.metrics is not None:
+                            session.tracer.metrics.counter(
+                                "storage_exhausted_total"
+                            ).inc()
+                        store = None
                 if self.step_listener is not None:
                     self.step_listener(step.name)
                 if self.pause_check is not None and self.pause_check():

@@ -130,12 +130,24 @@ class ExtractionSession:
         self.silo.tracer = self.tracer
         # Size the silo's parse/plan cache from config (0 disables it); the
         # version clock carried over from construction keeps DDL invalidation
-        # exact across sandbox snapshot/restore cycles.
-        self.silo.plan_cache = (
-            PlanCache(config.plan_cache_size)
-            if config.plan_cache_size > 0
-            else None
-        )
+        # exact across sandbox snapshot/restore cycles.  A shared cross-job
+        # cache (serve layer) replaces the private one: the scoped view
+        # widens every key with the catalog-content digest, so jobs from
+        # different lineages can never alias plans.
+        if config.shared_plan_cache is not None:
+            from repro.engine.database import ScopedPlanCache
+
+            self.silo.plan_cache = ScopedPlanCache(
+                config.shared_plan_cache,
+                self.silo,
+                scope=config.plan_cache_scope or "session",
+            )
+        else:
+            self.silo.plan_cache = (
+                PlanCache(config.plan_cache_size)
+                if config.plan_cache_size > 0
+                else None
+            )
         self.silo.drop_constraints()
 
         #: resource watchdog (invocations / rows scanned / cells / wall-clock);
@@ -150,8 +162,9 @@ class ExtractionSession:
                 max_seconds=config.budget_seconds,
             ),
             metrics=self.tracer.metrics,
+            observer=config.resource_observer,
         )
-        if self.budget.enabled:
+        if self.budget.active:
             self.silo.budget = self.budget
 
         #: the sandbox reference state: D_I as prepared for extraction
@@ -440,7 +453,7 @@ class ExtractionSession:
 
     def _charge_cells(self, table: str, rows: list[tuple]) -> None:
         """Charge materialized synthetic cells (rows × columns) to the budget."""
-        if self.budget.enabled and rows:
+        if self.budget.active and rows:
             self.budget.charge_cells(
                 len(rows) * len(self.silo.schema(table).columns)
             )

@@ -239,6 +239,130 @@ class PlanCache:
             }
 
 
+class SharedPlanCache:
+    """A cross-job plan cache keyed ``(sql, catalog_version, catalog_digest)``.
+
+    One instance is shared by every job the serve layer runs against the
+    same process: concurrent extractions over the same ``(workload, scale,
+    seed)`` instance replay near-identical probe SQL, so the second job's
+    parses and bound plans are free.  The third key component is the catalog
+    *content* digest — version numbers are per-lineage monotonic sequences,
+    so two jobs can sit at the same version with different catalogs; the
+    digest makes that collision structurally impossible (a plan is reused
+    only when the catalog it was bound against is byte-identical).
+
+    Per-scope (per-job) hit/miss accounting feeds each job's ``caches``
+    report; ``cross_scope_hits`` counts reuse across job boundaries — the
+    number this cache exists to make non-zero.
+    """
+
+    __slots__ = (
+        "capacity", "_entries", "_owners", "_scopes", "_lock",
+        "hits", "misses", "evictions", "cross_scope_hits",
+    )
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._owners: dict[tuple, str] = {}
+        self._scopes: dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cross_scope_hits = 0
+
+    def lookup(self, key: tuple, scope: str):
+        with self._lock:
+            stats = self._scopes.setdefault(scope, {"hits": 0, "misses": 0})
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                stats["misses"] += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            stats["hits"] += 1
+            if self._owners.get(key) != scope:
+                self.cross_scope_hits += 1
+            return entry
+
+    def insert(self, key: tuple, value: tuple, scope: str) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._owners.setdefault(key, scope)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._owners.pop(evicted, None)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "cross_scope_hits": self.cross_scope_hits,
+                "scopes": len(self._scopes),
+            }
+
+    def scoped_stats(self, scope: str) -> dict:
+        with self._lock:
+            stats = self._scopes.get(scope, {"hits": 0, "misses": 0})
+            total = stats["hits"] + stats["misses"]
+            return {
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "evictions": 0,  # eviction is a shared-cache-level event
+                "entries": len(self._entries),
+                "hit_rate": (stats["hits"] / total) if total else 0.0,
+                "shared": True,
+            }
+
+
+class ScopedPlanCache:
+    """A :class:`PlanCache`-shaped view of a :class:`SharedPlanCache`.
+
+    Presents the exact ``get(sql, version)`` / ``put(...)`` interface the
+    engine expects while widening every key with the owning database's
+    catalog-content digest.  ``for_db`` rebinds the view to a probe replica
+    (see :meth:`Database.from_snapshot`) so replicas share the same global
+    cache under their own digests.
+    """
+
+    __slots__ = ("shared", "db", "scope")
+
+    def __init__(self, shared: SharedPlanCache, db: "Database", scope: str):
+        self.shared = shared
+        self.db = db
+        self.scope = scope
+
+    def get(self, sql: str, version: int):
+        key = (sql, version, self.db.catalog_digest())
+        return self.shared.lookup(key, self.scope)
+
+    def put(self, sql: str, version: int, statement, plan) -> None:
+        key = (sql, version, self.db.catalog_digest())
+        self.shared.insert(key, (statement, plan), self.scope)
+
+    def for_db(self, db: "Database") -> "ScopedPlanCache":
+        return ScopedPlanCache(self.shared, db, self.scope)
+
+    def __len__(self) -> int:
+        return len(self.shared)
+
+    def stats(self) -> dict:
+        return self.shared.scoped_stats(self.scope)
+
+
 #: statement class → the ``statement`` tag value on its query span
 _STATEMENT_KINDS = {
     SelectStatement: "select",
@@ -278,6 +402,8 @@ class Database:
         self.catalog_version = 0
         #: parse/plan LRU (set to None to disable caching entirely).
         self.plan_cache: Optional[PlanCache] = PlanCache()
+        #: memoized (catalog_version, digest) pair for :meth:`catalog_digest`
+        self._digest_cache: Optional[tuple[int, str]] = None
         for schema in schemas:
             self.create_table(schema)
 
@@ -403,6 +529,42 @@ class Database:
 
     def total_rows(self) -> int:
         return sum(len(data) for data in self._tables.values())
+
+    def total_cells(self) -> int:
+        """Resident cell count (rows × columns summed over all tables).
+
+        The memory-pressure governor's engine-side footprint signal: cells
+        dominate a silo's resident size, and counting them is O(tables).
+        """
+        return sum(
+            len(data) * len(data.schema.columns)
+            for data in self._tables.values()
+        )
+
+    def catalog_digest(self) -> str:
+        """A content hash of the catalog (names, columns, types, PK/FK).
+
+        Memoized per catalog version.  Within one lineage the version number
+        already names the catalog uniquely; the digest is what makes a
+        *cross-lineage* shared plan-cache key sound — two jobs at the same
+        version number but different DDL histories can never alias.
+        """
+        version = self.catalog_version
+        cached = self._digest_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        digest = hashlib.sha256()
+        for name in sorted(self.catalog.table_names, key=str.lower):
+            schema = self.catalog.get(name)
+            digest.update(name.lower().encode())
+            for column in schema.columns:
+                digest.update(f"|{column.name}:{column.type!r}".encode())
+            digest.update(f"#pk:{schema.primary_key}".encode())
+            digest.update(f"#fk:{schema.foreign_keys}".encode())
+            digest.update(b"@")
+        value = digest.hexdigest()[:16]
+        self._digest_cache = (version, value)
+        return value
 
     # -- SQL interface -----------------------------------------------------------
 
@@ -700,7 +862,11 @@ class Database:
         if clock is not None:
             db._clock = clock
         if plan_cache is not None:
-            db.plan_cache = plan_cache
+            # A scoped view of a shared cross-job cache must be rebound to
+            # the replica so keys carry *its* catalog digest; a plain
+            # PlanCache is shared as-is (same lineage, same version clock).
+            rebind = getattr(plan_cache, "for_db", None)
+            db.plan_cache = rebind(db) if rebind is not None else plan_cache
         db.restore(token)
         return db
 

@@ -147,6 +147,25 @@ class CheckpointError(ReproError):
     """A pipeline checkpoint could not be read, or does not match this run."""
 
 
+class StorageExhausted(ReproError):
+    """A durable store ran out of disk (ENOSPC/EDQUOT) or hit an I/O error.
+
+    Raised by the journal, ledger, and checkpoint stores when the filesystem
+    refuses a write.  It is a *structured degradation signal*, not a crash:
+    the pipeline disables checkpointing and continues, and the service sheds
+    the write with a ``storage_exhausted`` rejection instead of a stack
+    trace.  Never retried — the disk does not un-fill itself mid-run.
+    """
+
+    def __init__(self, store: str, detail: str):
+        super().__init__(f"storage exhausted in {store}: {detail}")
+        self.store = store
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.store, self.detail))
+
+
 class ExtractionPaused(ReproError):
     """The pipeline stopped cooperatively at a module boundary.
 

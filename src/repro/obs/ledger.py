@@ -22,6 +22,14 @@ masquerading as live work, while concurrent live writers (the ``repro
 serve`` ledger is shared across worker threads and processes) are left
 untouched.  Readers tolerate torn ``extras_json`` by degrading to ``{}``.
 
+Storage hardening (DESIGN.md §5.17): a ledger file that fails ``PRAGMA
+quick_check`` on open is quarantined aside (``<name>.corrupt-<k>``) and a
+fresh ledger replaces it — provenance is an *audit trail*, so keeping the
+damaged evidence beats refusing to serve; commits go through the
+:mod:`~repro.resilience.diskfaults` seam and a full disk surfaces as
+:class:`~repro.errors.StorageExhausted` after a rollback (the service
+degrades to no-ledger operation rather than failing jobs).
+
 Schema (``PRAGMA user_version = 2``; v1 ledgers are migrated in place by
 adding the ``pid`` column)::
 
@@ -39,12 +47,23 @@ adding the ``pid`` column)::
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sqlite3
 import time
+from pathlib import Path
 from typing import Iterable, Optional
 
+from repro.errors import StorageExhausted
 from repro.obs.provenance import EvidenceEvent
+from repro.resilience.diskfaults import (
+    REAL_FS,
+    is_sqlite_storage_error,
+    quarantine_path,
+    sqlite_is_healthy,
+)
+
+logger = logging.getLogger("repro.obs.ledger")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -114,8 +133,17 @@ CREATE TABLE IF NOT EXISTS metrics (
 class RunLedger:
     """Append-oriented SQLite store for extraction provenance."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, fs=None):
         self.path = str(path)
+        self.fs = fs if fs is not None else REAL_FS
+        #: where a corrupt ledger was moved, if quarantine ran on open
+        self.quarantined: Optional[Path] = None
+        if Path(self.path).exists() and not sqlite_is_healthy(self.path):
+            self.quarantined = quarantine_path(self.path)
+            logger.warning(
+                "ledger %s failed quick_check; quarantined to %s and starting"
+                " a fresh ledger", self.path, self.quarantined,
+            )
         self._conn = sqlite3.connect(self.path)
         self._conn.row_factory = sqlite3.Row
         # WAL + synchronous=NORMAL: committed batches survive a process
@@ -130,7 +158,7 @@ class RunLedger:
         self._conn.executescript(_SCHEMA)
         self._migrate()
         self._conn.execute("PRAGMA user_version = 2")
-        self._conn.commit()
+        self._conn.commit()  # schema setup commits outside the fault seam
         self.recover_stale_runs()
 
     def _migrate(self) -> None:
@@ -168,8 +196,27 @@ class RunLedger:
                 f" WHERE run_id IN ({marks})",
                 (time.time(), *stale),
             )
-            self._conn.commit()
+            self._commit()
         return stale
+
+    def _commit(self) -> None:
+        """Commit through the fault seam; full-disk → StorageExhausted.
+
+        Rolls back first so the ledger stays consistent at the previous
+        commit — the caller's batch is the thing shed, never the file.
+        """
+        try:
+            self.fs.before_commit("ledger")
+            self._conn.commit()
+        except sqlite3.OperationalError as error:
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:
+                pass
+            if is_sqlite_storage_error(error):
+                raise StorageExhausted("ledger", str(error)) from error
+            raise
+        self.fs.after_commit("ledger")
 
     # -- writing -------------------------------------------------------------
 
@@ -195,7 +242,7 @@ class RunLedger:
                 os.getpid(),
             ),
         )
-        self._conn.commit()
+        self._commit()
         return int(cursor.lastrowid)
 
     def sink(self, run_id: int):
@@ -233,7 +280,7 @@ class RunLedger:
                 for e in events
             ],
         )
-        self._conn.commit()
+        self._commit()
 
     def record_modules(self, run_id: int, modules: dict) -> None:
         """Persist per-module self-time/invocations (``ExtractionStats.modules``)."""
@@ -245,7 +292,7 @@ class RunLedger:
                 for name, stats in modules.items()
             ],
         )
-        self._conn.commit()
+        self._commit()
 
     def record_clauses(self, run_id: int, rows) -> None:
         """Persist the explain view (:func:`~repro.obs.provenance.clause_evidence`)."""
@@ -272,7 +319,7 @@ class RunLedger:
                 for row in rows
             ],
         )
-        self._conn.commit()
+        self._commit()
 
     def record_metrics(self, run_id: int, name: str, payload: dict) -> None:
         self._conn.execute(
@@ -280,7 +327,7 @@ class RunLedger:
             " VALUES (?, ?, ?)",
             (run_id, name, json.dumps(payload, sort_keys=True, default=str)),
         )
-        self._conn.commit()
+        self._commit()
 
     def finish_run(
         self,
@@ -307,7 +354,7 @@ class RunLedger:
             " invocations = ?, seconds = ? WHERE run_id = ?",
             (time.time(), status, verdict, sql, invocations, seconds, run_id),
         )
-        self._conn.commit()
+        self._commit()
 
     # -- reading -------------------------------------------------------------
 

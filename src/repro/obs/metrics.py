@@ -246,7 +246,59 @@ class MetricsRegistry:
             if isinstance(instrument, Counter) and name.startswith(prefix)
         }
 
+    def instruments(self) -> list[object]:
+        """All instruments, sorted by name (the exposition order)."""
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
     def write_json(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
             fh.write("\n")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name to the Prometheus charset ``[a-zA-Z0-9_:]``."""
+    return "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_"
+        for ch in name
+    )
+
+
+def _prom_value(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Counters and gauges render as single samples; histograms render the
+    standard cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``
+    and convenience ``_p50`` / ``_p95`` / ``_p99`` gauges (bucket-grid
+    resolution, see :meth:`Histogram.percentile`) so dashboards get
+    quantiles without running ``histogram_quantile``.
+    """
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = _prom_name(instrument.name)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for bound, count in instrument.cumulative_buckets():
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {count}'
+                )
+            lines.append(f"{name}_sum {_prom_value(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+            for label, value in instrument.percentiles().items():
+                lines.append(f"# TYPE {name}_{label} gauge")
+                lines.append(f"{name}_{label} {_prom_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -26,17 +26,12 @@ that reality:
 Best-effort degradation (recording a failed non-essential module instead of
 aborting) lives in :mod:`repro.core.pipeline`, gated by
 ``ExtractionConfig.fail_fast``.
-"""
 
-from repro.resilience.budgets import BudgetSpec, ResourceBudget
-from repro.resilience.checkpoint import CheckpointStore, restore_session, snapshot_session
-from repro.resilience.faults import (
-    FAULT_PROFILES,
-    FaultPlan,
-    FaultyExecutable,
-    InjectedCrashError,
-)
-from repro.resilience.retry import RetryPolicy
+Exports are resolved lazily (PEP 562): dependency-free submodules like
+:mod:`repro.resilience.diskfaults` are imported by :mod:`repro.obs` while
+the engine is still initializing, and an eager ``faults`` import here would
+close that cycle on a half-initialized module.
+"""
 
 __all__ = [
     "BudgetSpec",
@@ -50,3 +45,32 @@ __all__ = [
     "restore_session",
     "snapshot_session",
 ]
+
+_EXPORTS = {
+    "BudgetSpec": ("repro.resilience.budgets", "BudgetSpec"),
+    "ResourceBudget": ("repro.resilience.budgets", "ResourceBudget"),
+    "CheckpointStore": ("repro.resilience.checkpoint", "CheckpointStore"),
+    "restore_session": ("repro.resilience.checkpoint", "restore_session"),
+    "snapshot_session": ("repro.resilience.checkpoint", "snapshot_session"),
+    "FAULT_PROFILES": ("repro.resilience.faults", "FAULT_PROFILES"),
+    "FaultPlan": ("repro.resilience.faults", "FaultPlan"),
+    "FaultyExecutable": ("repro.resilience.faults", "FaultyExecutable"),
+    "InjectedCrashError": ("repro.resilience.faults", "InjectedCrashError"),
+    "RetryPolicy": ("repro.resilience.retry", "RetryPolicy"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -74,10 +74,16 @@ class ResourceBudget:
         spec: BudgetSpec,
         clock: Callable[[], float] = time.perf_counter,
         metrics=None,
+        observer: Optional[Callable[[str, int], None]] = None,
     ):
         self.spec = spec
         self.clock = clock
         self.metrics = metrics
+        #: called as ``observer(resource, running_total)`` on every charge —
+        #: telemetry only, never enforcement (the serve memory governor's
+        #: per-job footprint feed).  Exceptions are swallowed: observability
+        #: must not fail an extraction.
+        self.observer = observer
         self.invocations = 0
         self.rows_scanned = 0
         self.cells = 0
@@ -89,6 +95,16 @@ class ResourceBudget:
     @property
     def enabled(self) -> bool:
         return self.spec.enabled
+
+    @property
+    def active(self) -> bool:
+        """Should charge sites account at all?
+
+        True when limits are set (*enforcing*) or an observer is attached
+        (*observing*): an observer-only budget keeps the accounting running
+        for telemetry while every ``None`` limit stays unlimited.
+        """
+        return self.spec.enabled or self.observer is not None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -122,7 +138,7 @@ class ResourceBudget:
     # -- charging ----------------------------------------------------------
 
     def charge_invocation(self) -> None:
-        if not self.enabled:
+        if not self.active:
             return
         self.invocations += 1
         module = self.module or "?"
@@ -138,7 +154,7 @@ class ResourceBudget:
 
     def charge_invocations(self, count: int) -> None:
         """Bulk-charge ``count`` invocations (tenant ledgers settling a job)."""
-        if not self.enabled or count <= 0:
+        if not self.active or count <= 0:
             return
         self.invocations += count
         module = self.module or "?"
@@ -150,7 +166,7 @@ class ResourceBudget:
             self._exhaust("invocations", limit, self.invocations)
 
     def charge_rows_scanned(self, count: int) -> None:
-        if not self.enabled:
+        if not self.active:
             return
         self.rows_scanned += count
         self._gauge("budget_rows_scanned_used", self.rows_scanned)
@@ -159,10 +175,11 @@ class ResourceBudget:
             self._exhaust("rows_scanned", limit, self.rows_scanned)
 
     def charge_cells(self, count: int) -> None:
-        if not self.enabled:
+        if not self.active:
             return
         self.cells += count
         self._gauge("budget_cells_materialized_used", self.cells)
+        self._notify("cells", self.cells)
         limit = self.spec.max_cells
         if limit is not None and self.cells > limit:
             self._exhaust("cells", limit, self.cells)
@@ -201,6 +218,14 @@ class ResourceBudget:
     def _gauge(self, name: str, value) -> None:
         if self.metrics is not None:
             self.metrics.gauge(name).set(value)
+
+    def _notify(self, resource: str, total: int) -> None:
+        if self.observer is None:
+            return
+        try:
+            self.observer(resource, total)
+        except Exception:  # noqa: BLE001 — telemetry must never fail a run
+            pass
 
     def _exhaust(self, resource: str, limit, used) -> None:
         error = BudgetExhausted(resource, limit, used, module=self.module)

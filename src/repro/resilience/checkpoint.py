@@ -8,28 +8,42 @@ results, per-module statistics, and the RNG state — into
 directory (and the same initial instance + configuration) restores that state
 and re-executes only the unfinished modules.
 
-Writes are atomic (temp file + ``os.replace``), so a crash mid-save leaves
-the previous checkpoint intact.  A fingerprint of the initial instance and
-the extraction configuration is embedded and verified on load: resuming
-against a different database or config raises
+Writes are atomic and durable (temp file + fsync + ``os.replace`` through
+the :mod:`~repro.resilience.diskfaults` filesystem seam), and every file
+carries a sha-256 checksum envelope.  A torn or truncated checkpoint is
+*quarantined* aside and ``load()`` returns ``None`` — the run restarts from
+scratch instead of resuming corrupt state, and the evidence survives for the
+post-mortem.  A full disk raises :class:`~repro.errors.StorageExhausted`
+(the pipeline degrades to un-checkpointed execution); a fingerprint of the
+initial instance and the extraction configuration is embedded and verified
+on load, so resuming against a different database or config raises
 :class:`~repro.errors.CheckpointError` instead of silently mixing state.
 """
 
 from __future__ import annotations
 
 import json
-import os
+import logging
 from pathlib import Path
 from typing import Optional
 
 # NOTE: this module must not import repro.core.session — the session imports
 # repro.resilience.retry, and an eager import here would close the cycle.
 # Sessions are duck-typed below.
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StorageExhausted
 from repro.resilience import serde
+from repro.resilience.diskfaults import (
+    REAL_FS,
+    checksum_hex,
+    is_storage_errno,
+    quarantine_path,
+)
+
+logger = logging.getLogger("repro.resilience.checkpoint")
 
 #: bumped whenever the snapshot layout changes incompatibly
-CHECKPOINT_VERSION = 1
+#: (v2: sha-256 checksum envelope + quarantine-on-corruption)
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointStore:
@@ -37,9 +51,12 @@ class CheckpointStore:
 
     FILENAME = "checkpoint.json"
 
-    def __init__(self, directory):
+    def __init__(self, directory, fs=None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.fs = fs if fs is not None else REAL_FS
+        #: where the last corrupt checkpoint was moved, if any
+        self.quarantined: Optional[Path] = None
 
     @property
     def path(self) -> Path:
@@ -49,16 +66,30 @@ class CheckpointStore:
         return self.path.exists()
 
     def load(self) -> Optional[dict]:
-        """The stored snapshot, or None when no checkpoint exists."""
+        """The stored snapshot, or None when absent *or corrupt*.
+
+        Corruption (unreadable bytes, invalid JSON, missing or mismatched
+        checksum) is not an error: the file is quarantined aside and the
+        caller starts fresh.  Only a *valid* checkpoint from an incompatible
+        build raises :class:`CheckpointError` — that needs a human decision.
+        """
         if not self.path.exists():
             return None
         try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                state = json.load(fh)
-        except (OSError, ValueError) as error:
-            raise CheckpointError(
-                f"cannot read checkpoint {self.path}: {error}"
-            ) from error
+            raw = self.fs.read_bytes(self.path)
+            state = json.loads(raw.decode("utf-8"))
+            if not isinstance(state, dict):
+                raise ValueError("checkpoint is not a JSON object")
+        except (OSError, ValueError, UnicodeDecodeError) as error:
+            self._quarantine(f"unreadable checkpoint: {error}")
+            return None
+        expected = state.pop("checksum", None)
+        actual = checksum_hex(_canonical(state))
+        if expected != actual:
+            self._quarantine(
+                f"checksum mismatch (stored {expected!r}, computed {actual!r})"
+            )
+            return None
         if state.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"checkpoint {self.path} has version {state.get('version')!r}; "
@@ -67,12 +98,24 @@ class CheckpointStore:
         return state
 
     def save(self, state: dict) -> None:
-        """Atomically replace the checkpoint with ``state``."""
-        tmp = self.path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(state, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, self.path)
+        """Atomically replace the checkpoint with ``state`` (+ checksum)."""
+        payload = dict(state)
+        payload.pop("checksum", None)
+        payload["checksum"] = checksum_hex(_canonical(payload))
+        data = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        try:
+            self.fs.write_atomic(self.path, data + b"\n")
+        except OSError as error:
+            if is_storage_errno(error):
+                raise StorageExhausted("checkpoint", str(error)) from error
+            raise
+
+    def _quarantine(self, why: str) -> None:
+        self.quarantined = quarantine_path(self.path)
+        logger.warning(
+            "quarantined corrupt checkpoint %s -> %s (%s); restarting fresh",
+            self.path, self.quarantined, why,
+        )
 
     def clear(self) -> None:
         """Remove the checkpoint (called after a successful extraction)."""
@@ -80,6 +123,12 @@ class CheckpointStore:
             self.path.unlink()
         except FileNotFoundError:
             pass
+
+
+def _canonical(state: dict) -> bytes:
+    """Canonical byte form the checksum is computed over (checksum excluded)."""
+    body = {key: value for key, value in state.items() if key != "checksum"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
 # -- session snapshot / restore -------------------------------------------------

@@ -1,0 +1,291 @@
+"""The ``disk`` chaos harness: storage faults against every durable store.
+
+For each fault class in :data:`~repro.resilience.diskfaults.DISK_FAULT_CLASSES`
+the harness drives three legs, one per durable store:
+
+* **checkpoint** — a real extraction checkpoints through a
+  :class:`~repro.resilience.diskfaults.FaultyFS`.  ``enospc``/``eio`` must
+  degrade to a structured ``storage_exhausted`` outcome *and still produce
+  byte-identical SQL* (checkpointing is an aid, never a dependency); the
+  crash classes kill the run mid-checkpoint-write, and a fresh process over
+  the same directory must quarantine whatever bytes survived and converge to
+  byte-identical SQL.
+* **journal** — ``enospc``/``eio`` hit a transaction commit and must surface
+  as :class:`~repro.errors.StorageExhausted` with the journal intact at its
+  previous commit; the crash classes kill the process after a commit (or
+  tear the file's last page, the SIGKILL-mid-page case) and reopening must
+  salvage-or-quarantine and recover the committed jobs.
+* **ledger** — same contract as the journal for the provenance ledger.
+
+Used by ``repro chaos --profile disk`` and the slow integration test.  The
+verdict is SURVIVED only when every (fault class × store) cell passes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import StorageExhausted
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.diskfaults import (
+    DISK_FAULT_CLASSES,
+    FaultyFS,
+    InjectedStorageCrash,
+    sqlite_is_healthy,
+    tear_tail,
+)
+
+#: fault classes that model power loss (the process dies mid-operation)
+CRASH_CLASSES = ("torn_write", "short_write", "lost_fsync")
+
+
+def _extract(query, workload, scale, seed, checkpoint_store=None):
+    """One inline extraction; returns the pipeline outcome."""
+    from repro.apps.executable import SQLExecutable
+    from repro.core.config import ExtractionConfig
+    from repro.core.pipeline import UnmasqueExtractor
+    from repro.serve.jobs import JobRequest
+    from repro.serve.service import build_instance, resolve_sql
+
+    hidden_sql = resolve_sql(
+        JobRequest(workload=workload, query=query, scale=scale, seed=seed)
+    )
+    db = build_instance(workload, scale, seed)
+    app = SQLExecutable(hidden_sql, obfuscate_text=True, name="disk-chaos")
+    return UnmasqueExtractor(
+        db,
+        app,
+        ExtractionConfig(fail_fast=False),
+        checkpoint_dir=checkpoint_store,
+    ).extract()
+
+
+def _cell(store: str, fault: str, ok: bool, outcome: str) -> dict:
+    return {"store": store, "fault": fault, "ok": ok, "outcome": outcome}
+
+
+def _checkpoint_leg(fault, workdir, query, workload, scale, seed,
+                    chaos_seed, baseline_sql) -> dict:
+    directory = workdir / fault / "checkpoints"
+    directory.mkdir(parents=True, exist_ok=True)
+    # at_op=2: the first module's checkpoint lands durably, the second write
+    # faults — so crash recovery has a real previous checkpoint to consider.
+    faulty = FaultyFS(fault, at_op=2, seed=chaos_seed)
+    store = CheckpointStore(directory, fs=faulty)
+    try:
+        outcome = _extract(query, workload, scale, seed, checkpoint_store=store)
+    except InjectedStorageCrash:
+        # Power loss mid-checkpoint-write.  A fresh "process" reopens the
+        # same directory: corrupt bytes must quarantine (or the previous
+        # checkpoint must resume) and the rerun must converge.
+        recovery = CheckpointStore(directory)
+        recovery.load()  # quarantines torn/short leftovers, never raises
+        rerun = _extract(
+            query, workload, scale, seed,
+            checkpoint_store=CheckpointStore(directory),
+        )
+        if rerun.sql != baseline_sql:
+            return _cell("checkpoint", fault, False,
+                         "post-crash rerun diverged from baseline SQL")
+        return _cell(
+            "checkpoint", fault, True,
+            "crashed mid-checkpoint; rerun converged to byte-identical SQL"
+            + (" (corrupt checkpoint quarantined)"
+               if recovery.quarantined else " (resumed previous checkpoint)"),
+        )
+    if not faulty.fired:
+        return _cell("checkpoint", fault, False,
+                     "fault never fired (too few checkpoint writes)")
+    # enospc/eio: the pipeline must have degraded, not died — and the SQL
+    # must still be byte-identical (checkpointing is an aid, not a need).
+    degraded = any(
+        d.error == "StorageExhausted" for d in outcome.degradations
+    )
+    if not degraded:
+        return _cell("checkpoint", fault, False,
+                     "no structured storage_exhausted degradation recorded")
+    if outcome.sql != baseline_sql:
+        return _cell("checkpoint", fault, False,
+                     "degraded run diverged from baseline SQL")
+    return _cell("checkpoint", fault, True,
+                 "degraded to storage_exhausted; SQL byte-identical")
+
+
+def _journal_leg(fault, workdir) -> dict:
+    from repro.serve.journal import JobJournal
+
+    path = workdir / fault / "journal.sqlite"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    request = {"workload": "tpch", "query": "Q6"}
+
+    if fault in ("enospc", "eio"):
+        journal = JobJournal(path, fs=FaultyFS(fault, ops="commit"))
+        try:
+            journal.create("job-000001", request)
+        except StorageExhausted:
+            pass
+        else:
+            journal.close()
+            return _cell("journal", fault, False,
+                         "commit fault not surfaced as StorageExhausted")
+        # one-shot fault: the insert rolled back, the journal sits at its
+        # previous commit and must accept the retried writes
+        journal.create("job-000001", request)
+        journal.create("job-000002", request)
+        ok = {j["job_id"] for j in journal.jobs()} == {"job-000001",
+                                                       "job-000002"}
+        journal.close()
+        return _cell("journal", fault, ok,
+                     "StorageExhausted surfaced; journal consistent and "
+                     "writable after" if ok else "journal inconsistent")
+
+    if fault == "lost_fsync":
+        # Process dies immediately after a commit: the WAL got the bytes,
+        # the process didn't get to act on them — commit-before-act means
+        # reopening must see the job.
+        journal = JobJournal(path, fs=FaultyFS(fault, ops="commit"))
+        try:
+            journal.create("job-000001", request)
+        except InjectedStorageCrash:
+            pass
+        else:
+            return _cell("journal", fault, False, "crash fault never fired")
+        # no close(): the process "died"
+        reopened = JobJournal(path)
+        survived = any(
+            j["job_id"] == "job-000001" for j in reopened.jobs()
+        )
+        reopened.close()
+        return _cell("journal", fault, survived,
+                     "committed job durable across post-commit crash"
+                     if survived else "committed job lost")
+
+    # torn_write / short_write: SIGKILL left the file's last page torn.
+    journal = JobJournal(path)
+    journal.create("job-000001", request)
+    journal.create("job-000002", request)
+    from repro.serve.jobs import JobState
+    journal.transition("job-000001", JobState.RUNNING, "attempt 1")
+    journal.close()
+    nbytes = 512 if fault == "torn_write" else 2048
+    tear_tail(path, nbytes=nbytes, seed=7)
+    reopened = JobJournal(path)  # must salvage-or-open, never crash
+    recovered = reopened.recover()
+    structurally_ok = sqlite_is_healthy(path)
+    jobs = {j["job_id"]: j for j in reopened.jobs()}
+    reopened.close()
+    if not structurally_ok:
+        return _cell("journal", fault, False,
+                     "journal structurally corrupt after reopen")
+    detail = (
+        f"salvaged {reopened.salvage_report['jobs_salvaged']} jobs, "
+        f"quarantined {reopened.salvage_report['rows_quarantined']} rows"
+        if reopened.salvage_report else
+        f"tear missed live pages; {len(recovered)} interrupted job(s) requeued"
+    )
+    # Either the tear corrupted sqlite (salvage ran) or it landed in slack
+    # space (plain recovery); both must leave a healthy, queryable journal.
+    return _cell("journal", fault, True, detail + f"; {len(jobs)} jobs visible")
+
+
+def _ledger_leg(fault, workdir) -> dict:
+    from repro.obs.ledger import RunLedger
+
+    path = workdir / fault / "ledger.sqlite"
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    if fault in ("enospc", "eio"):
+        ledger = RunLedger(path, fs=FaultyFS(fault, ops="commit"))
+        try:
+            ledger.begin_run(label="chaos")
+        except StorageExhausted:
+            pass
+        else:
+            ledger.close()
+            return _cell("ledger", fault, False,
+                         "commit fault not surfaced as StorageExhausted")
+        run_id = ledger.begin_run(label="chaos-retry")  # one-shot fault
+        ledger.finish_run(run_id, status="completed")
+        ledger.close()
+        return _cell("ledger", fault, True,
+                     "StorageExhausted surfaced; ledger writable after")
+
+    if fault == "lost_fsync":
+        ledger = RunLedger(path, fs=FaultyFS(fault, ops="commit"))
+        try:
+            ledger.begin_run(label="chaos")
+        except InjectedStorageCrash:
+            pass
+        else:
+            return _cell("ledger", fault, False, "crash fault never fired")
+        reopened = RunLedger(path)
+        survived = len(reopened.runs()) == 1
+        reopened.close()
+        return _cell("ledger", fault, survived,
+                     "committed run durable across post-commit crash"
+                     if survived else "committed run lost")
+
+    # torn_write / short_write: corrupt the closed file, reopen.
+    ledger = RunLedger(path)
+    run_id = ledger.begin_run(label="chaos")
+    ledger.finish_run(run_id, status="completed")
+    ledger.close()
+    tear_tail(path, nbytes=4096, seed=7)
+    reopened = RunLedger(path)  # quarantines on quick_check failure
+    run_id = reopened.begin_run(label="post-corruption")
+    reopened.finish_run(run_id, status="completed")
+    usable = len(reopened.runs()) >= 1
+    reopened.close()
+    if not usable:
+        return _cell("ledger", fault, False,
+                     "ledger unusable after corruption reopen")
+    detail = ("corrupt file quarantined; fresh ledger usable"
+              if reopened.quarantined else
+              "tear missed live pages; ledger intact and usable")
+    return _cell("ledger", fault, True, detail)
+
+
+def run_disk_chaos(
+    query: str,
+    workload: str = "tpch",
+    scale: float = 0.0005,
+    seed: int = 11,
+    chaos_seed: int = 1337,
+    workdir=None,
+    out=sys.stdout,
+) -> dict:
+    """The full fault-class × store survival matrix; returns a report dict."""
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    out.write(f"baseline    : extracting {query} inline, fault-free\n")
+    started = time.time()
+    baseline = _extract(query, workload, scale, seed)
+    baseline_sql = baseline.sql
+    out.write(f"baseline    : done in {time.time() - started:.2f}s "
+              f"(verdict {baseline.verdict})\n")
+
+    cells: list[dict] = []
+    for fault in DISK_FAULT_CLASSES:
+        for leg, runner in (
+            ("checkpoint", lambda f: _checkpoint_leg(
+                f, workdir, query, workload, scale, seed, chaos_seed,
+                baseline_sql)),
+            ("journal", lambda f: _journal_leg(f, workdir)),
+            ("ledger", lambda f: _ledger_leg(f, workdir)),
+        ):
+            cell = runner(fault)
+            cells.append(cell)
+            mark = "ok " if cell["ok"] else "FAIL"
+            out.write(f"{fault:<12}: {mark} {leg:<10} {cell['outcome']}\n")
+
+    survived = all(cell["ok"] for cell in cells)
+    return {
+        "survived": survived,
+        "fault_classes": list(DISK_FAULT_CLASSES),
+        "cells": cells,
+        "baseline_sql": baseline_sql,
+        "workdir": str(workdir),
+    }

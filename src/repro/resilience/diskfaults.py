@@ -1,0 +1,273 @@
+"""Storage-fault injection for the durable stores (DESIGN.md §5.17).
+
+The job journal, the provenance ledger, and the checkpoint store all talk to
+disk through a tiny filesystem seam — :class:`RealFS` in production,
+:class:`FaultyFS` under chaos.  The shim injects one seeded fault from a
+small, brutal taxonomy:
+
+* ``torn_write``   — a crash mid-write leaves a *prefix + garbage* file
+* ``short_write``  — a crash mid-write leaves a truncated prefix
+* ``enospc``       — the filesystem is full (``OSError(ENOSPC)`` /
+                     ``sqlite3.OperationalError: database or disk is full``)
+* ``eio``          — the device returns an I/O error
+* ``lost_fsync``   — the write "succeeded" but never reached the platter;
+                     power is lost, the previous durable content survives
+
+Crash-modelling faults raise :class:`InjectedStorageCrash`, which is
+deliberately *not* a :class:`~repro.errors.ReproError` (same reasoning as
+``InjectedCrashError`` in :mod:`repro.resilience.faults`): nothing in the
+pipeline may catch-and-degrade a power loss — the process dies and a later
+process must recover from whatever bytes survived.
+
+The shim fires exactly once (the ``at_op``'th matching operation) so tests
+and the ``chaos --profile disk`` harness stay deterministic.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import random
+import sqlite3
+from pathlib import Path
+
+#: every fault class the disk-chaos profile must survive
+DISK_FAULT_CLASSES = ("torn_write", "short_write", "enospc", "eio", "lost_fsync")
+
+#: OS error numbers classified as "the storage layer failed", not a code bug
+STORAGE_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT, errno.EIO})
+
+
+class InjectedStorageCrash(Exception):
+    """Simulated power loss during a storage operation.
+
+    Deliberately not a :class:`~repro.errors.ReproError`: the retry and
+    best-effort layers must never swallow it.  The test or chaos harness
+    catches it at the very top, abandons the process's in-memory state, and
+    re-opens the stores to exercise recovery.
+    """
+
+
+def is_storage_errno(error: OSError) -> bool:
+    """Is this OSError a storage-exhaustion/IO failure (vs a code bug)?"""
+    return getattr(error, "errno", None) in STORAGE_ERRNOS
+
+
+def is_sqlite_storage_error(error: sqlite3.Error) -> bool:
+    """Does this sqlite3 error report a full or failing disk?"""
+    message = str(error).lower()
+    return "disk" in message or "database or disk is full" in message
+
+
+class RealFS:
+    """Production filesystem: durable atomic writes, no faults."""
+
+    def write_atomic(self, path, data: bytes) -> None:
+        """Write ``data`` to ``path`` via tmp + fsync + rename.
+
+        Unlike a bare ``os.replace`` the temp file is fsynced first, so a
+        crash after the rename can never expose a zero-length or partial
+        file — the rename only lands durable bytes.
+        """
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+
+    def read_bytes(self, path) -> bytes:
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    # SQLite stores call these around every transaction commit; the real
+    # filesystem has nothing to do (sqlite handles its own durability).
+    def before_commit(self, store: str) -> None:
+        pass
+
+    def after_commit(self, store: str) -> None:
+        pass
+
+    @staticmethod
+    def _fsync_dir(directory) -> None:
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+#: module-wide default; stores fall back to this when no shim is injected
+REAL_FS = RealFS()
+
+
+class FaultyFS(RealFS):
+    """A :class:`RealFS` that injects exactly one seeded fault.
+
+    ``kind`` is one of :data:`DISK_FAULT_CLASSES`; ``ops`` selects which
+    operation family the fault targets (``"write"`` for
+    :meth:`write_atomic`, ``"read"`` for :meth:`read_bytes`, ``"commit"``
+    for the sqlite commit hooks).  The fault fires on the ``at_op``'th
+    matching call and never again, so the store's *recovery* path runs
+    against the same shim instance.
+    """
+
+    def __init__(self, kind: str, at_op: int = 1, seed: int = 1337,
+                 ops: str = "write"):
+        if kind not in DISK_FAULT_CLASSES:
+            raise ValueError(f"unknown disk fault {kind!r}")
+        if ops not in ("write", "read", "commit"):
+            raise ValueError(f"unknown op family {ops!r}")
+        self.kind = kind
+        self.at_op = at_op
+        self.seed = seed
+        self.ops = ops
+        self.op_count = 0
+        self.fired = False
+
+    def _arm(self, family: str) -> bool:
+        """Count a matching op; True when this one should fault."""
+        if self.fired or family != self.ops:
+            return False
+        self.op_count += 1
+        if self.op_count == self.at_op:
+            self.fired = True
+            return True
+        return False
+
+    # -- write path (checkpoint files) ---------------------------------------
+
+    def write_atomic(self, path, data: bytes) -> None:
+        if not self._arm("write"):
+            super().write_atomic(path, data)
+            return
+        path = Path(path)
+        if self.kind == "enospc":
+            raise OSError(errno.ENOSPC, "No space left on device", str(path))
+        if self.kind == "eio":
+            raise OSError(errno.EIO, "Input/output error", str(path))
+        if self.kind == "lost_fsync":
+            # The application saw success, the platter never did: previous
+            # durable content survives the crash untouched.
+            raise InjectedStorageCrash(f"power lost before fsync of {path}")
+        rng = random.Random(self.seed)
+        keep = len(data) // 3
+        if self.kind == "short_write":
+            torn = data[:keep]
+        else:  # torn_write: prefix + seeded garbage filling the original size
+            garbage = bytes(rng.randrange(256) for _ in range(len(data) - keep))
+            torn = data[:keep] + garbage
+        # A torn write lands *in place of* the real file — the crash happened
+        # after the rename but before the data blocks were all durable.
+        with open(path, "wb") as fh:
+            fh.write(torn)
+        raise InjectedStorageCrash(f"torn write crashed mid-replace of {path}")
+
+    # -- read path -----------------------------------------------------------
+
+    def read_bytes(self, path) -> bytes:
+        if self._arm("read"):
+            if self.kind == "enospc":
+                raise OSError(errno.ENOSPC, "No space left on device", str(path))
+            if self.kind == "eio":
+                raise OSError(errno.EIO, "Input/output error", str(path))
+            raise InjectedStorageCrash(f"power lost while reading {path}")
+        return super().read_bytes(path)
+
+    # -- sqlite commit path (journal, ledger) --------------------------------
+
+    def before_commit(self, store: str) -> None:
+        # Only the errno kinds fault *before* the commit; crash kinds must
+        # not consume the op counter here (they fire in after_commit).
+        if self.kind in ("enospc", "eio") and self._arm("commit"):
+            if self.kind == "enospc":
+                raise sqlite3.OperationalError("database or disk is full")
+            raise sqlite3.OperationalError("disk I/O error")
+
+    def after_commit(self, store: str) -> None:
+        # Crash-class faults land *after* the commit reached the WAL: the
+        # transaction is durable, the process is not.
+        if self.fired or self.ops != "commit":
+            return
+        if self.kind in ("torn_write", "short_write", "lost_fsync"):
+            # counts against the same op counter as before_commit would
+            self.op_count += 1
+            if self.op_count >= self.at_op:
+                self.fired = True
+                raise InjectedStorageCrash(
+                    f"process died right after committing to the {store}"
+                )
+
+
+# -- corruption / quarantine helpers ------------------------------------------
+
+
+def sqlite_is_healthy(path) -> bool:
+    """Run ``PRAGMA quick_check`` on a database file; False on corruption."""
+    path = Path(path)
+    if not path.exists():
+        return True
+    try:
+        conn = sqlite3.connect(path)
+        try:
+            row = conn.execute("PRAGMA quick_check").fetchone()
+            return bool(row) and row[0] == "ok"
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return False
+
+
+def quarantine_path(path) -> Path:
+    """Move a corrupt file (and sqlite WAL/SHM siblings) aside, keep evidence.
+
+    Returns the quarantine destination (``<path>.corrupt-<k>``); never
+    raises on a missing source.
+    """
+    path = Path(path)
+    k = 0
+    while True:
+        destination = path.with_name(f"{path.name}.corrupt-{k}")
+        if not destination.exists():
+            break
+        k += 1
+    try:
+        os.replace(path, destination)
+    except FileNotFoundError:
+        pass
+    for suffix in ("-wal", "-shm"):
+        sibling = path.with_name(path.name + suffix)
+        try:
+            os.replace(sibling, Path(str(destination) + suffix))
+        except FileNotFoundError:
+            pass
+    return destination
+
+
+def tear_tail(path, nbytes: int = 512, seed: int = 0) -> None:
+    """Overwrite the last ``nbytes`` of a file with seeded garbage.
+
+    Models a torn last page: the kind of damage a power cut leaves in a
+    file whose final block was mid-flight.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    nbytes = min(nbytes, size)
+    rng = random.Random(seed)
+    garbage = bytes(rng.randrange(256) for _ in range(nbytes))
+    with open(path, "r+b") as fh:
+        fh.seek(size - nbytes)
+        fh.write(garbage)
+
+
+def checksum_hex(data: bytes) -> str:
+    """sha-256 hex digest — the checkpoint envelope's integrity check."""
+    return hashlib.sha256(data).hexdigest()

@@ -132,7 +132,7 @@ class _BatchState:
         self.module_name = scheduler.session._current_module
         budget = self.session.budget
         self.locked_budget = (
-            _LockedBudget(budget, scheduler._lock) if budget.enabled else None
+            _LockedBudget(budget, scheduler._lock) if budget.active else None
         )
         self.attempts = 0
         self.timeouts = 0
@@ -149,7 +149,7 @@ class _BatchState:
 
     def charge_cells(self, table: str, rows) -> None:
         session = self.session
-        if session.budget.enabled and rows:
+        if session.budget.active and rows:
             cells = len(rows) * len(session.silo.schema(table).columns)
             with self.scheduler._lock:
                 session.budget.charge_cells(cells)

@@ -6,11 +6,15 @@ thread per connection, all state owned by the service behind it.
 Endpoints::
 
     POST /jobs        submit a job; 202 accepted, or a structured rejection
-                      (400 invalid, 403 tenant, 429 queue_full,
-                      503 breaker_open / draining)
+                      (400 invalid, 403 tenant, 429 queue_full /
+                      memory_pressure with a Retry-After header,
+                      503 breaker_open / draining, 507 storage_exhausted)
     GET  /jobs/<id>   journaled record + full transition history (404 unknown)
     GET  /status      queue depth, job counts, breaker state, tenant ledgers,
-                      worker-health counters, provenance-ledger pointer
+                      worker-health counters, memory-governor snapshot,
+                      shared-plan-cache stats, provenance-ledger pointer
+    GET  /metrics     Prometheus text exposition (counters, gauges,
+                      histograms with p50/p95/p99 convenience gauges)
     GET  /healthz     200 {"ok": true} while accepting, 503 while draining
 """
 
@@ -57,12 +61,22 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         response = self.service.submit(payload)
         status = int(response.pop("http_status", 202))
-        self._send(status, response)
+        headers = {}
+        retry_after = response.get("retry_after")
+        if retry_after is not None:
+            headers["Retry-After"] = str(int(retry_after))
+        self._send(status, response, headers=headers)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/status":
             self._send(200, self.service.status())
+        elif path == "/metrics":
+            self._send_text(
+                200,
+                self.service.metrics_text(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         elif path == "/healthz":
             if self.service.draining:
                 self._send(503, {"ok": False, "draining": True})
@@ -80,10 +94,22 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict, headers=None) -> None:
         body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(
+        self, status: int, text: str, content_type: str = "text/plain"
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -46,9 +46,15 @@ class Rejection:
     reason: str  # queue_full | breaker_open | draining | tenant_* | invalid
     detail: str = ""
     http_status: int = 400
+    #: seconds the client should wait before resubmitting (429 responses);
+    #: surfaced as the HTTP ``Retry-After`` header by the API layer
+    retry_after: Optional[float] = None
 
     def to_dict(self) -> dict:
-        return {"rejected": self.reason, "detail": self.detail}
+        payload = {"rejected": self.reason, "detail": self.detail}
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,9 @@ class JobRequest:
     jobs: int = 1
     isolate: str = "none"
     best_effort: bool = True
+    #: eviction priority under memory pressure: lower values are evicted
+    #: first; same-priority victims are picked by footprint, then recency
+    priority: int = 0
     extras: dict = field(default_factory=dict)
 
     @classmethod
@@ -85,7 +94,7 @@ class JobRequest:
         unknown = set(payload) - {
             "workload", "query", "sql", "scale", "seed", "tenant",
             "deadline_seconds", "budget_invocations", "budget_seconds",
-            "jobs", "isolate", "best_effort", "extras",
+            "jobs", "isolate", "best_effort", "priority", "extras",
         }
         if unknown:
             raise ValueError(f"unknown fields: {sorted(unknown)}")
@@ -129,6 +138,10 @@ class JobRequest:
             jobs=_number("jobs", int, 1) or 1,
             isolate=isolate,
             best_effort=bool(payload.get("best_effort", True)),
+            priority=(
+                _number("priority", int)
+                if payload.get("priority") is not None else 0
+            ),
             extras=extras,
         )
 
@@ -146,6 +159,7 @@ class JobRequest:
             "jobs": self.jobs,
             "isolate": self.isolate,
             "best_effort": self.best_effort,
+            "priority": self.priority,
             "extras": self.extras,
         }
 

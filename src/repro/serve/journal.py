@@ -12,6 +12,16 @@ Same durability discipline as :mod:`repro.obs.ledger`: WAL journaling with
 ``busy_timeout`` because the serve process writes from several worker
 threads while chaos harnesses read concurrently.
 
+Storage hardening (DESIGN.md §5.17): a journal that fails ``PRAGMA
+quick_check`` on open — torn last page, truncated WAL — is *salvaged*: every
+readable row is copied into a fresh database, unreadable rows are dropped,
+rows whose ``request_json`` no longer parses are requeued as ``failed``
+with a quarantine error (never re-executed from garbage), and the corrupt
+file is kept aside as ``<name>.corrupt-<k>`` evidence.  Commits go through
+the :mod:`~repro.resilience.diskfaults` seam; a full disk surfaces as
+:class:`~repro.errors.StorageExhausted` after a rollback, leaving the
+journal consistent at the previous commit.
+
 Schema (``PRAGMA user_version = 1``)::
 
     jobs        (job_id, tenant, created, updated, state, attempt, module,
@@ -24,12 +34,23 @@ Schema (``PRAGMA user_version = 1``)::
 from __future__ import annotations
 
 import json
+import logging
 import sqlite3
 import threading
 import time
+from pathlib import Path
 from typing import Optional
 
+from repro.errors import StorageExhausted
+from repro.resilience.diskfaults import (
+    REAL_FS,
+    is_sqlite_storage_error,
+    quarantine_path,
+    sqlite_is_healthy,
+)
 from repro.serve.jobs import JobState
+
+logger = logging.getLogger("repro.serve.journal")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -72,8 +93,20 @@ class JournalError(ValueError):
 class JobJournal:
     """Durable job ledger; every mutator commits before returning."""
 
-    def __init__(self, path):
+    def __init__(self, path, fs=None):
         self.path = str(path)
+        self.fs = fs if fs is not None else REAL_FS
+        #: where a corrupt journal was moved, if salvage ran on open
+        self.quarantined: Optional[Path] = None
+        self.salvage_report: Optional[dict] = None
+        salvaged = None
+        if Path(self.path).exists() and not sqlite_is_healthy(self.path):
+            salvaged = self._read_salvageable_rows()
+            self.quarantined = quarantine_path(self.path)
+            logger.warning(
+                "journal %s failed quick_check; quarantined to %s",
+                self.path, self.quarantined,
+            )
         # One connection shared across the service's worker threads, guarded
         # by a lock: SQLite serialises at the file level anyway, and a single
         # writer connection avoids SQLITE_BUSY churn between our own threads.
@@ -86,6 +119,12 @@ class JobJournal:
         self._conn.executescript(_SCHEMA)
         self._conn.execute("PRAGMA user_version = 1")
         self._conn.commit()
+        if salvaged is not None:
+            self._reinsert_salvaged(salvaged)
+            self.event(
+                "journal_quarantined",
+                json.dumps(self.salvage_report, sort_keys=True),
+            )
 
     # -- writing -------------------------------------------------------------
 
@@ -123,7 +162,7 @@ class JobJournal:
                 ),
             )
             self._append_transition(job_id, state, detail, now)
-            self._conn.commit()
+            self._commit()
 
     def set_extras(self, job_id: str, extras: dict) -> None:
         """Merge keys into a job's extras without a state transition."""
@@ -140,7 +179,7 @@ class JobJournal:
                 "UPDATE jobs SET extras_json = ?, updated = ? WHERE job_id = ?",
                 (json.dumps(merged, sort_keys=True, default=str), now, job_id),
             )
-            self._conn.commit()
+            self._commit()
 
     def transition(
         self,
@@ -190,7 +229,7 @@ class JobJournal:
                 f"UPDATE jobs SET {', '.join(sets)} WHERE job_id = ?", values
             )
             self._append_transition(job_id, state, detail, now)
-            self._conn.commit()
+            self._commit()
 
     def progress(self, job_id: str, module: str) -> None:
         """Record module-boundary progress without a state change.
@@ -208,7 +247,7 @@ class JobJournal:
             self._append_transition(
                 job_id, JobState.RUNNING, f"module:{module}", now
             )
-            self._conn.commit()
+            self._commit()
 
     def event(self, kind: str, detail: str = "") -> None:
         """Append a service-level event (breaker flip, drain, recovery)."""
@@ -217,7 +256,7 @@ class JobJournal:
                 "INSERT INTO events (ts, kind, detail) VALUES (?, ?, ?)",
                 (time.time(), kind, detail),
             )
-            self._conn.commit()
+            self._commit()
 
     def recover(self) -> list[str]:
         """Requeue jobs interrupted by a crash; returns their ids.
@@ -225,16 +264,39 @@ class JobJournal:
         ``running`` jobs were in flight when the process died; their
         checkpoint directories hold the last completed module, so requeueing
         them (attempt + 1) resumes rather than restarts.  ``checkpointed``
-        jobs paused during a drain and resume the same way.
+        jobs paused during a drain and resume the same way.  A job whose
+        ``request_json`` no longer parses (disk corruption survived the
+        salvage) is failed with a quarantine error instead of requeued —
+        never re-execute garbage.
         """
+        recovered = []
         with self._lock:
             rows = self._conn.execute(
-                "SELECT job_id, state, attempt FROM jobs WHERE state IN (?, ?)"
-                " ORDER BY job_id",
+                "SELECT job_id, state, attempt, request_json FROM jobs"
+                " WHERE state IN (?, ?) ORDER BY job_id",
                 (JobState.RUNNING, JobState.CHECKPOINTED),
             ).fetchall()
             now = time.time()
             for row in rows:
+                if not _parses_to_dict(row["request_json"]):
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, error = ?, updated = ?"
+                        " WHERE job_id = ?",
+                        (
+                            JobState.FAILED,
+                            "quarantined: corrupt request_json",
+                            now,
+                            row["job_id"],
+                        ),
+                    )
+                    self._append_transition(
+                        row["job_id"],
+                        JobState.FAILED,
+                        "quarantined: corrupt request_json",
+                        now,
+                    )
+                    continue
+                recovered.append(row["job_id"])
                 self._conn.execute(
                     "UPDATE jobs SET state = ?, attempt = ?, updated = ?"
                     " WHERE job_id = ?",
@@ -251,8 +313,8 @@ class JobJournal:
                     f"recovered from {row['state']}",
                     now,
                 )
-            self._conn.commit()
-        return [row["job_id"] for row in rows]
+            self._commit()
+        return recovered
 
     # -- reading -------------------------------------------------------------
 
@@ -313,6 +375,136 @@ class JobJournal:
 
     # -- internals -----------------------------------------------------------
 
+    def _commit(self) -> None:
+        """Commit through the fault seam; full-disk → StorageExhausted.
+
+        Called with the lock held.  On a storage-classified sqlite error the
+        open transaction is rolled back, so the journal stays consistent at
+        the previous commit and the *caller's* mutation is the thing shed.
+        """
+        try:
+            self.fs.before_commit("journal")
+            self._conn.commit()
+        except sqlite3.OperationalError as error:
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:
+                pass
+            if is_sqlite_storage_error(error):
+                raise StorageExhausted("journal", str(error)) from error
+            raise
+        self.fs.after_commit("journal")
+
+    def _read_salvageable_rows(self) -> dict[str, list[dict]]:
+        """Pull every readable row out of a corrupt journal, best effort."""
+        salvaged: dict[str, list[dict]] = {"jobs": [], "transitions": [], "events": []}
+        dropped = 0
+        try:
+            conn = sqlite3.connect(self.path)
+            conn.row_factory = sqlite3.Row
+            try:
+                for table in salvaged:
+                    try:
+                        cursor = conn.execute(f"SELECT * FROM {table}")  # noqa: S608
+                    except sqlite3.Error:
+                        dropped += 1
+                        continue
+                    while True:
+                        try:
+                            row = cursor.fetchone()
+                        except sqlite3.Error:
+                            # the page under the cursor is the torn one;
+                            # everything before it is already salvaged
+                            dropped += 1
+                            break
+                        if row is None:
+                            break
+                        salvaged[table].append(dict(row))
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            pass
+        salvaged["_dropped"] = dropped  # type: ignore[assignment]
+        return salvaged
+
+    def _reinsert_salvaged(self, salvaged: dict) -> None:
+        """Rebuild the fresh journal from salvaged rows (row-level quarantine)."""
+        dropped = salvaged.pop("_dropped", 0)
+        quarantined_rows = 0
+        known_states = set(JobState.ALLOWED) - {None}
+        with self._lock:
+            for row in salvaged["jobs"]:
+                job_id = row.get("job_id")
+                if not isinstance(job_id, str) or not job_id:
+                    dropped += 1
+                    continue
+                state = row.get("state")
+                ok = state in known_states and (
+                    state in JobState.TERMINAL
+                    or _parses_to_dict(row.get("request_json"))
+                )
+                if not ok:
+                    quarantined_rows += 1
+                    row = dict(row)
+                    row["state"] = JobState.FAILED
+                    row["error"] = "quarantined: corrupt row"
+                now = time.time()
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO jobs (job_id, tenant, created,"
+                    " updated, state, attempt, module, verdict, sql, error,"
+                    " invocations, seconds, request_json, extras_json)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        job_id,
+                        str(row.get("tenant") or "default"),
+                        _num(row.get("created"), now),
+                        _num(row.get("updated"), now),
+                        str(row.get("state")),
+                        int(_num(row.get("attempt"), 1)),
+                        str(row.get("module") or ""),
+                        str(row.get("verdict") or ""),
+                        str(row.get("sql") or ""),
+                        str(row.get("error") or ""),
+                        int(_num(row.get("invocations"), 0)),
+                        _num(row.get("seconds"), 0.0),
+                        row.get("request_json") if _parses_to_dict(row.get("request_json")) else "{}",
+                        row.get("extras_json") if _parses_to_dict(row.get("extras_json")) else "{}",
+                    ),
+                )
+            for row in salvaged["transitions"]:
+                if not isinstance(row.get("job_id"), str) or row.get("seq") is None:
+                    dropped += 1
+                    continue
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO transitions (job_id, seq, ts, state,"
+                    " detail) VALUES (?, ?, ?, ?, ?)",
+                    (
+                        row["job_id"],
+                        int(_num(row.get("seq"), 0)),
+                        _num(row.get("ts"), 0.0),
+                        str(row.get("state") or ""),
+                        str(row.get("detail") or ""),
+                    ),
+                )
+            for row in salvaged["events"]:
+                self._conn.execute(
+                    "INSERT INTO events (ts, kind, detail) VALUES (?, ?, ?)",
+                    (
+                        _num(row.get("ts"), 0.0),
+                        str(row.get("kind") or ""),
+                        str(row.get("detail") or ""),
+                    ),
+                )
+            self._conn.commit()
+        self.salvage_report = {
+            "quarantined_file": str(self.quarantined),
+            "jobs_salvaged": len(salvaged["jobs"]),
+            "transitions_salvaged": len(salvaged["transitions"]),
+            "events_salvaged": len(salvaged["events"]),
+            "rows_quarantined": quarantined_rows,
+            "rows_dropped": dropped,
+        }
+
     def _append_transition(
         self, job_id: str, state: str, detail: str, ts: float
     ) -> None:
@@ -326,6 +518,23 @@ class JobJournal:
             " VALUES (?, ?, ?, ?, ?)",
             (job_id, row["seq"] + 1, ts, state, detail),
         )
+
+
+def _parses_to_dict(text) -> bool:
+    """Strict corruption probe: does this column hold a JSON object?"""
+    if not isinstance(text, str) or not text:
+        return False
+    try:
+        return isinstance(json.loads(text), dict)
+    except (ValueError, TypeError):
+        return False
+
+
+def _num(value, fallback):
+    try:
+        return type(fallback)(value)
+    except (TypeError, ValueError):
+        return fallback
 
 
 def _loads(text: str) -> dict:

@@ -1,0 +1,247 @@
+"""Memory-pressure governor for ``repro serve`` (DESIGN.md §5.17).
+
+Many concurrent jobs each hold a D_I silo (plus D¹, snapshots, and probe
+replicas) resident; enough of them and the kernel OOM killer picks a victim
+for us.  The governor makes that decision *first* and makes it reversible:
+
+* **accounting** — per-job resident footprint estimated from engine cell
+  counts (fed live through the budget observer) over a fixed per-job base,
+  cross-checked against whole-process RSS sampled from ``/proc/self/status``;
+* **watermark control** — when pressure exceeds the high watermark, victims
+  are marked (lowest priority first, then largest footprint, then youngest)
+  until projected usage falls under the low watermark; the service's
+  ``pause_check`` hook turns each mark into a checkpoint-and-evict at the
+  job's next module boundary (``ExtractionPaused`` → journaled
+  ``checkpointed`` → requeued), and the requeued job *rehydrates* from its
+  checkpoint when admitted back — byte-identical SQL, the checkpoint
+  machinery's existing guarantee;
+* **admission** — while over the high watermark new submissions are shed
+  with a ``memory_pressure`` rejection (HTTP 429 + ``Retry-After``) instead
+  of being queued into an OOM.
+
+Everything is injectable (``rss_fn``, watermarks) so tests run
+deterministically without allocating real gigabytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+MB = 1 << 20
+
+#: assumed bytes per resident engine cell (value + tuple/list overhead,
+#: Python object headers dominate actual cell payloads at our scales)
+BYTES_PER_CELL = 64
+
+#: fixed per-job overhead: session, schema graph, checkpoint buffers,
+#: tracer spans — everything that exists before the first row materializes
+BASE_JOB_BYTES = 8 * MB
+
+
+def process_rss_bytes() -> int:
+    """Resident set size of this process, in bytes (Linux fast path).
+
+    Falls back to ``ru_maxrss`` (a high-water mark, not current residency)
+    where ``/proc`` is unavailable, and to 0 when nothing works — the
+    governor then runs purely on tracked per-job footprints.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0
+
+
+def estimate_footprint(db, bytes_per_cell: int = BYTES_PER_CELL) -> int:
+    """Initial resident-footprint estimate for a job holding ``db``."""
+    return BASE_JOB_BYTES + db.total_cells() * bytes_per_cell
+
+
+class MemoryGovernor:
+    """High/low watermark controller over per-job resident footprints.
+
+    Disabled (every query answers "no pressure") unless ``high_mb`` is set.
+    ``min_resident`` jobs are always allowed to keep running — evicting the
+    *last* runner would deadlock the service against its own watermark.
+    """
+
+    def __init__(
+        self,
+        high_mb: Optional[float] = None,
+        low_mb: Optional[float] = None,
+        rss_fn: Optional[Callable[[], int]] = None,
+        bytes_per_cell: int = BYTES_PER_CELL,
+        min_resident: int = 1,
+    ):
+        self.enabled = high_mb is not None and high_mb > 0
+        self.high_bytes = int((high_mb or 0) * MB)
+        self.low_bytes = int(low_mb * MB) if low_mb else int(self.high_bytes * 0.8)
+        if self.enabled and self.low_bytes >= self.high_bytes:
+            raise ValueError("memory low watermark must be below the high one")
+        self.rss_fn = rss_fn if rss_fn is not None else process_rss_bytes
+        self.bytes_per_cell = bytes_per_cell
+        self.min_resident = max(1, min_resident)
+        self._lock = threading.Lock()
+        #: job_id -> [footprint_bytes, priority, start_seq]
+        self._jobs: dict[str, list] = {}
+        self._marked: set[str] = set()
+        self._pending_rehydration: set[str] = set()
+        self._seq = 0
+        self.last_rss = 0
+        self.evictions = 0
+        self.rehydrations = 0
+
+    # -- job lifecycle -------------------------------------------------------
+
+    def register(self, job_id: str, footprint: int, priority: int = 0) -> None:
+        """Track a job that just started running."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._seq += 1
+            self._jobs[job_id] = [max(0, int(footprint)), priority, self._seq]
+            self._marked.discard(job_id)
+
+    def observe(self, job_id: str, resource: str, total: int) -> None:
+        """Budget-observer feed: live engine cell counts refine the estimate."""
+        if not self.enabled or resource != "cells":
+            return
+        with self._lock:
+            entry = self._jobs.get(job_id)
+            if entry is not None:
+                entry[0] = BASE_JOB_BYTES + int(total) * self.bytes_per_cell
+
+    def release(self, job_id: str) -> None:
+        """Stop tracking a job (done, failed, paused, or evicted); idempotent."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
+            self._marked.discard(job_id)
+
+    def note_rehydrated(self, job_id: str) -> bool:
+        """The job re-entered RUNNING; True if it was a post-eviction return."""
+        with self._lock:
+            if job_id in self._pending_rehydration:
+                self._pending_rehydration.discard(job_id)
+                self.rehydrations += 1
+                return True
+            return False
+
+    # -- pressure control ----------------------------------------------------
+
+    def tick(self) -> None:
+        """Sample pressure and (re)mark eviction victims.
+
+        Pressure is ``max(process RSS, Σ tracked footprints)`` — RSS sees
+        allocations the cell model misses, the tracked sum sees growth the
+        allocator hasn't returned to the OS yet.  Victims are marked lowest
+        priority first, then largest footprint (most relief per eviction),
+        then youngest (least progress lost), until the *projected* usage
+        drops under the low watermark — never below ``min_resident``
+        running jobs.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            current = self._pressure_locked()
+            if current <= self.high_bytes:
+                return
+            candidates = sorted(
+                (
+                    (entry[1], -entry[0], -entry[2], job_id)
+                    for job_id, entry in self._jobs.items()
+                    if job_id not in self._marked
+                ),
+            )
+            projected = current
+            evictable = len(self._jobs) - len(self._marked)
+            for _priority, neg_footprint, _neg_seq, job_id in candidates:
+                if projected <= self.low_bytes:
+                    break
+                if evictable <= self.min_resident:
+                    break
+                self._marked.add(job_id)
+                evictable -= 1
+                projected += neg_footprint  # negative: subtracts the footprint
+
+    def should_pause(self, job_id: str) -> bool:
+        """The ``pause_check`` predicate for one job."""
+        if not self.enabled:
+            return False
+        with self._lock:
+            return job_id in self._marked
+
+    def consume_eviction(self, job_id: str) -> bool:
+        """The job actually paused; True if it paused *because we marked it*.
+
+        Unmarks and untracks the job and queues it for rehydration
+        accounting, so the marked → paused → requeued → running cycle is
+        counted exactly once.
+        """
+        with self._lock:
+            if job_id not in self._marked:
+                return False
+            self._marked.discard(job_id)
+            self._jobs.pop(job_id, None)
+            self._pending_rehydration.add(job_id)
+            self.evictions += 1
+            return True
+
+    def overloaded(self) -> bool:
+        """Should admission shed new jobs right now?"""
+        if not self.enabled:
+            return False
+        with self._lock:
+            return self._pressure_locked() > self.high_bytes
+
+    def can_start(self, job_id: str = "") -> bool:
+        """May a queued job transition to RUNNING?
+
+        The first job always may (otherwise an over-watermark baseline RSS
+        would starve the service forever); beyond that, starts are deferred
+        while pressure sits above the low watermark.
+        """
+        if not self.enabled:
+            return True
+        with self._lock:
+            if not self._jobs:
+                return True
+            return self._pressure_locked() < self.low_bytes
+
+    # -- reporting -----------------------------------------------------------
+
+    def tracked_bytes(self) -> int:
+        with self._lock:
+            return sum(entry[0] for entry in self._jobs.values())
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "high_mb": self.high_bytes / MB if self.enabled else None,
+                "low_mb": self.low_bytes / MB if self.enabled else None,
+                "rss_mb": round(self.last_rss / MB, 3),
+                "tracked_mb": round(
+                    sum(entry[0] for entry in self._jobs.values()) / MB, 3
+                ),
+                "tracked_jobs": len(self._jobs),
+                "marked": sorted(self._marked),
+                "pending_rehydration": sorted(self._pending_rehydration),
+                "evictions": self.evictions,
+                "rehydrations": self.rehydrations,
+            }
+
+    # -- internals (call with lock held) --------------------------------------
+
+    def _pressure_locked(self) -> int:
+        self.last_rss = self.rss_fn()
+        tracked = sum(entry[0] for entry in self._jobs.values())
+        return max(self.last_rss, tracked)

@@ -27,14 +27,17 @@ checkpoint/resume) into one long-running, crash-safe service:
 from __future__ import annotations
 
 import logging
+import math
 import threading
 import time
+from collections import deque
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import (
     ExtractionPaused,
     ReproError,
+    StorageExhausted,
     WorkerCrashedError,
     WorkerQuarantined,
 )
@@ -43,6 +46,7 @@ from repro.resilience.deadlines import budget_wall_seconds
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.jobs import JobRequest, JobState, Rejection
 from repro.serve.journal import JobJournal
+from repro.serve.pressure import MB, MemoryGovernor, estimate_footprint
 from repro.serve.queue import AdmissionQueue
 from repro.serve.tenants import TenantPolicy, TenantRegistry
 
@@ -107,6 +111,10 @@ class ExtractionService:
         metrics: Optional[MetricsRegistry] = None,
         ledger_path=None,
         runner=None,
+        governor: Optional[MemoryGovernor] = None,
+        memory_high_mb: Optional[float] = None,
+        memory_low_mb: Optional[float] = None,
+        shared_plan_cache_size: int = 2048,
     ):
         self.journal = JobJournal(journal_path)
         self.checkpoint_root = Path(checkpoint_root)
@@ -118,6 +126,20 @@ class ExtractionService:
         self.breaker.listener = self._on_breaker_transition
         self.metrics = metrics or MetricsRegistry()
         self.ledger_path = str(ledger_path) if ledger_path is not None else None
+        #: memory-pressure governor (disabled unless watermarks are set or a
+        #: preconfigured instance is injected); drives checkpoint-and-evict
+        #: through the same pause_check seam as graceful drain
+        self.governor = governor or MemoryGovernor(memory_high_mb, memory_low_mb)
+        #: one compiled-plan cache shared by every job over the same catalog
+        #: (keys carry the catalog-content digest, so cross-job reuse is sound)
+        self.plan_cache = None
+        if shared_plan_cache_size and shared_plan_cache_size > 0:
+            from repro.engine.database import SharedPlanCache
+
+            self.plan_cache = SharedPlanCache(shared_plan_cache_size)
+        #: (finished_at, wall_seconds) of recent completions — the drain-rate
+        #: sample behind Retry-After hints on 429 responses
+        self._completions: deque = deque(maxlen=16)
         #: injectable job runner for deterministic tests; the contract is
         #: ``runner(job_id, request, remaining_deadline) -> result dict``
         #: with keys sql/verdict/invocations/seconds/extras, raising
@@ -220,6 +242,18 @@ class ExtractionService:
                 if probe:
                     self.breaker.release_probe()
                 return self._reject(request, tenant_rejection)
+            self._pressure_tick()
+            if self.governor.overloaded():
+                self.tenants.release(request.tenant)
+                if probe:
+                    self.breaker.release_probe()
+                return self._reject(request, Rejection(
+                    "memory_pressure",
+                    "resident memory is above the high watermark "
+                    f"({self.governor.high_bytes // MB} MiB); retry later",
+                    429,
+                    retry_after=self._retry_after_hint(),
+                ))
             if len(self.queue) >= self.queue.capacity:
                 self.tenants.release(request.tenant)
                 if probe:
@@ -229,15 +263,29 @@ class ExtractionService:
                     f"admission queue is at capacity "
                     f"({self.queue.capacity}); retry later",
                     429,
+                    retry_after=self._retry_after_hint(),
                 ))
             job_id = self.journal.next_job_id()
             extras = {"breaker_probe": True} if probe else {}
-            self.journal.create(
-                job_id,
-                request.to_dict(),
-                detail="breaker probe" if extras else "",
-                extras=extras,
-            )
+            try:
+                self.journal.create(
+                    job_id,
+                    request.to_dict(),
+                    detail="breaker probe" if extras else "",
+                    extras=extras,
+                )
+            except StorageExhausted as error:
+                # The admission record cannot be made durable; refusing the
+                # job is the only answer that keeps the crash-safety
+                # contract (commit-before-act) honest.
+                self.tenants.release(request.tenant)
+                if probe:
+                    self.breaker.release_probe()
+                self._count("serve_storage_exhausted_total")
+                self._count("serve_jobs_rejected_total")
+                self._count("serve_rejected_storage_exhausted_total")
+                rejection = Rejection("storage_exhausted", str(error), 507)
+                return dict(rejection.to_dict(), http_status=507)
             self.queue.offer(job_id)
             self._count("serve_jobs_submitted_total")
             self._gauge("serve_queue_depth", len(self.queue))
@@ -249,15 +297,41 @@ class ExtractionService:
         self._count(f"serve_rejected_{rejection.reason}_total")
         payload = dict(rejection.to_dict(), http_status=rejection.http_status)
         if request is not None:
-            job_id = self.journal.next_job_id()
-            self.journal.create(
-                job_id,
-                request.to_dict(),
-                state=JobState.REJECTED,
-                detail=f"{rejection.reason}: {rejection.detail}",
-            )
-            payload["job_id"] = job_id
+            try:
+                job_id = self.journal.next_job_id()
+                self.journal.create(
+                    job_id,
+                    request.to_dict(),
+                    state=JobState.REJECTED,
+                    detail=f"{rejection.reason}: {rejection.detail}",
+                )
+                payload["job_id"] = job_id
+            except StorageExhausted as error:
+                # The refusal stands either way; losing its audit row is a
+                # degradation, not a reason to stall the caller.
+                logger.warning("rejection not journaled: %s", error)
+                self._count("serve_storage_exhausted_total")
         return payload
+
+    def _retry_after_hint(self) -> int:
+        """Seconds until a queue slot should free, from the drain rate.
+
+        Uses the mean wall-clock of recent completions spread over the
+        worker pool; falls back to a depth-proportional guess before the
+        first completion.  Clamped to [1, 600] — a hint, not a promise.
+        """
+        depth = len(self.queue)
+        with self._metrics_lock:
+            recent = list(self._completions)
+        if recent:
+            mean_seconds = sum(s for _, s in recent) / len(recent)
+            eta = (depth + 1) * mean_seconds / self.workers
+            return max(1, min(600, math.ceil(eta)))
+        return max(1, min(300, depth * 5))
+
+    def _note_completion(self, seconds: float) -> None:
+        with self._metrics_lock:
+            self._completions.append((time.time(), max(float(seconds), 1e-3)))
 
     # -- status --------------------------------------------------------------
 
@@ -282,7 +356,27 @@ class ExtractionService:
                 if name.startswith("worker_")
             },
             "ledger": self.ledger_path,
+            "memory": self.governor.snapshot(),
+            "plan_cache": (
+                self.plan_cache.stats() if self.plan_cache is not None else None
+            ),
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of this service's registry."""
+        from repro.obs.metrics import render_prometheus
+
+        self._gauge("serve_queue_depth", len(self.queue))
+        if self.governor.enabled:
+            self._gauge(
+                "serve_memory_rss_mb", round(self.governor.last_rss / MB, 3)
+            )
+            self._gauge(
+                "serve_memory_tracked_mb",
+                round(self.governor.tracked_bytes() / MB, 3),
+            )
+        with self._metrics_lock:
+            return render_prometheus(self.metrics)
 
     def job_view(self, job_id: str) -> Optional[dict]:
         """A job's journaled record plus its full transition history."""
@@ -291,6 +385,28 @@ class ExtractionService:
             return None
         record["transitions"] = self.journal.transitions(job_id)
         return record
+
+    # -- memory pressure ------------------------------------------------------
+
+    def pause_requested(self, job_id: str) -> bool:
+        """The per-job ``pause_check`` predicate: drain OR eviction mark."""
+        return self._draining.is_set() or self.governor.should_pause(job_id)
+
+    def _pressure_tick(self) -> None:
+        """Re-sample memory pressure and refresh the pressure gauges."""
+        if not self.governor.enabled:
+            return
+        self.governor.tick()
+        self._gauge("serve_memory_rss_mb", round(self.governor.last_rss / MB, 3))
+        self._gauge(
+            "serve_memory_tracked_mb",
+            round(self.governor.tracked_bytes() / MB, 3),
+        )
+
+    def _on_step(self, job_id: str, module: str) -> None:
+        """Module-boundary hook: journal progress, then re-evaluate pressure."""
+        self.journal.progress(job_id, module)
+        self._pressure_tick()
 
     # -- execution -----------------------------------------------------------
 
@@ -305,6 +421,14 @@ class ExtractionService:
                 continue
             try:
                 self._execute(job_id)
+            except StorageExhausted as error:
+                # The journal itself ran out of disk mid-execution; the job's
+                # in-memory outcome is already decided, only its durability
+                # is degraded.  Keep the worker alive for jobs whose rows
+                # still fit.
+                logger.warning("journal storage exhausted on %s: %s",
+                               job_id, error)
+                self._count("serve_storage_exhausted_total")
             except Exception:  # never let one job kill a worker thread
                 logger.exception("unhandled error executing %s", job_id)
 
@@ -328,29 +452,59 @@ class ExtractionService:
                 self.tenants.settle(request.tenant, failed=True)
                 self._count("serve_jobs_failed_total")
                 return
+        if not self.governor.can_start(job_id):
+            # Starting now would push residency further over the watermark;
+            # back off briefly and put the job back in line.  It stays
+            # journal-queued, so a drain or crash never loses it.
+            self._pressure_tick()
+            time.sleep(0.05)
+            self.queue.offer(job_id)
+            return
         self.journal.transition(
             job_id, JobState.RUNNING, f"attempt {record['attempt']}"
         )
+        if self.governor.note_rehydrated(job_id):
+            self._count("serve_jobs_rehydrated_total")
+            self.journal.event(
+                "rehydrated", f"{job_id} resumed from checkpoint after eviction"
+            )
         self._gauge("serve_queue_depth", len(self.queue))
         started = time.time()
         try:
             result = self._runner(job_id, request, remaining)
         except ExtractionPaused as paused:
+            evicted = self.governor.consume_eviction(job_id)
+            self.governor.release(job_id)
             self.journal.transition(
                 job_id,
                 JobState.CHECKPOINTED,
-                f"paused after {paused.module}",
+                (f"evicted after {paused.module}: memory pressure"
+                 if evicted else f"paused after {paused.module}"),
                 module=paused.module,
                 seconds=time.time() - started,
+                extras={"evictions": self.governor.evictions} if evicted else {},
             )
             self._count("serve_jobs_checkpointed_total")
-            # A drain pause is not a health signal either way; the tenant's
+            if evicted:
+                self._count("serve_jobs_evicted_total")
+            # A pause is not a health signal either way; the tenant's
             # slot stays held because the job is still pending.
             if probe:
                 self.breaker.release_probe()
+            if evicted and not self._draining.is_set():
+                # Unlike a drain pause, an evicted job is still wanted:
+                # requeue it so it rehydrates once pressure subsides.
+                self.journal.transition(
+                    job_id,
+                    JobState.QUEUED,
+                    "requeued for rehydration",
+                    attempt=record["attempt"] + 1,
+                )
+                self.queue.offer(job_id)
             return
         except BaseException as error:
             seconds = time.time() - started
+            self.governor.release(job_id)
             self.journal.transition(
                 job_id,
                 JobState.FAILED,
@@ -366,6 +520,8 @@ class ExtractionService:
             return
         seconds = result.get("seconds", time.time() - started)
         verdict = result.get("verdict", "ok")
+        self.governor.release(job_id)
+        self._note_completion(seconds)
         self.journal.transition(
             job_id,
             JobState.DONE,
@@ -411,16 +567,36 @@ class ExtractionService:
                 "the hidden query has an empty result on this instance; "
                 "increase scale or change seed"
             )
+        self.governor.register(
+            job_id, estimate_footprint(db), priority=request.priority
+        )
+        observer = None
+        if self.governor.enabled:
+            # Budget-watchdog feed: live engine cell counts refine this
+            # job's footprint estimate without enforcing any limit.
+            observer = (
+                lambda kind, total: self.governor.observe(job_id, kind, total)
+            )
         config = ExtractionConfig(
             fail_fast=not request.best_effort,
             budget_invocations=request.budget_invocations,
             budget_seconds=budget_wall_seconds(remaining, request.budget_seconds),
             jobs=request.jobs,
             isolate=request.isolate,
+            shared_plan_cache=self.plan_cache,
+            plan_cache_scope=job_id,
+            resource_observer=observer,
         )
         job_metrics = MetricsRegistry()
         tracer = Tracer(metrics=job_metrics, keep_spans=False)
-        ledger, run_id, provenance = self._ledger_open(job_id, request)
+        try:
+            ledger, run_id, provenance = self._ledger_open(job_id, request)
+        except StorageExhausted as error:
+            # No room for provenance rows: degrade to a ledger-less run
+            # rather than failing an extraction that needs no disk itself.
+            logger.warning("ledger disabled for %s: %s", job_id, error)
+            self._count("serve_storage_exhausted_total")
+            ledger, run_id, provenance = None, None, None
         extras: dict = {}
         if run_id is not None:
             # The provenance-ledger pointer is visible on /jobs/<id> while
@@ -436,8 +612,8 @@ class ExtractionService:
                 tracer=tracer,
                 checkpoint_dir=self.checkpoint_root / job_id,
                 provenance=provenance,
-                step_listener=lambda module: self.journal.progress(job_id, module),
-                pause_check=self._draining.is_set,
+                step_listener=lambda module: self._on_step(job_id, module),
+                pause_check=lambda: self.pause_requested(job_id),
             ).extract()
         except BaseException as error:
             self._ledger_fail(ledger, run_id, provenance, error)
@@ -445,7 +621,11 @@ class ExtractionService:
         finally:
             with self._metrics_lock:
                 self.metrics.merge(job_metrics)
-        self._ledger_finish(ledger, run_id, provenance, outcome)
+        try:
+            self._ledger_finish(ledger, run_id, provenance, outcome)
+        except StorageExhausted as error:
+            logger.warning("ledger finish dropped for %s: %s", job_id, error)
+            self._count("serve_storage_exhausted_total")
         return {
             "sql": outcome.sql if outcome.query is not None else "",
             "verdict": outcome.verdict,

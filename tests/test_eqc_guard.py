@@ -329,9 +329,12 @@ class TestCheckpointStaleness:
         assert "--fresh" in str(exc.value)
 
     def test_cli_fresh_discards_stale_checkpoint(self, tmp_path):
-        store_path = tmp_path / "checkpoint.json"
-        store_path.write_text(
-            json.dumps({"version": 1, "fingerprint": {"bogus": True}})
+        from repro.resilience.checkpoint import CHECKPOINT_VERSION, CheckpointStore
+
+        # a well-formed (checksummed) checkpoint from a *different* instance;
+        # a checksum-less file would be quarantined as corruption instead
+        CheckpointStore(tmp_path).save(
+            {"version": CHECKPOINT_VERSION, "fingerprint": {"bogus": True}}
         )
         argv = [
             "extract",

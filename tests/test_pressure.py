@@ -1,0 +1,335 @@
+"""Memory-pressure governor: watermarks, eviction, rehydration, admission."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExtractionPaused, WorkerCrashedError
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import JobState
+from repro.serve.pressure import (
+    BASE_JOB_BYTES,
+    MB,
+    MemoryGovernor,
+    estimate_footprint,
+    process_rss_bytes,
+)
+from repro.serve.service import ExtractionService
+
+
+def make_service(tmp_path, runner, **kwargs):
+    kwargs.setdefault("queue_capacity", 8)
+    kwargs.setdefault("workers", 1)
+    return ExtractionService(
+        tmp_path / "journal.sqlite",
+        tmp_path / "checkpoints",
+        runner=runner,
+        **kwargs,
+    )
+
+
+def ok_runner(job_id, request, remaining):
+    return {"sql": f"SELECT * FROM {request.query}", "verdict": "ok",
+            "invocations": 10, "seconds": 0.01}
+
+
+def wait_terminal(service, job_id, timeout=10.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        record = service.journal.job(job_id)
+        if record and record["state"] in JobState.TERMINAL | {"checkpointed"}:
+            return record
+        time.sleep(0.01)
+    raise AssertionError(f"{job_id} never reached a terminal state")
+
+
+class FakeDB:
+    def total_cells(self):
+        return 1000
+
+
+class TestGovernorUnits:
+    def test_disabled_by_default(self):
+        governor = MemoryGovernor()
+        assert not governor.enabled
+        governor.register("j1", 10**12)
+        governor.tick()
+        assert not governor.should_pause("j1")
+        assert not governor.overloaded()
+        assert governor.can_start("j1")
+        assert governor.snapshot()["enabled"] is False
+
+    def test_low_watermark_must_be_below_high(self):
+        with pytest.raises(ValueError):
+            MemoryGovernor(high_mb=10, low_mb=12)
+        assert MemoryGovernor(high_mb=10).low_bytes == int(10 * MB * 0.8)
+
+    def test_victims_by_priority_then_footprint_then_youth(self):
+        governor = MemoryGovernor(high_mb=10, low_mb=5, rss_fn=lambda: 0)
+        governor.register("protected", 3 * MB, priority=1)
+        governor.register("older", 4 * MB, priority=0)
+        governor.register("younger", 4 * MB, priority=0)
+        governor.tick()  # 11 MB > 10 MB high; evict to <= 5 MB
+        # same priority and footprint: the younger job loses less progress
+        assert governor.should_pause("younger")
+        assert governor.should_pause("older")
+        assert not governor.should_pause("protected")
+
+    def test_min_resident_never_evicts_the_last_runner(self):
+        governor = MemoryGovernor(high_mb=1, low_mb=0.5, rss_fn=lambda: 0)
+        governor.register("only", 100 * MB)
+        governor.tick()
+        assert not governor.should_pause("only")
+
+    def test_observe_refines_footprint_from_cell_counts(self):
+        governor = MemoryGovernor(high_mb=100, rss_fn=lambda: 0)
+        governor.register("j1", 1)
+        governor.observe("j1", "cells", 1000)
+        assert governor.tracked_bytes() == BASE_JOB_BYTES + 1000 * 64
+        governor.observe("j1", "rows_scanned", 10**9)  # wrong resource: no-op
+        assert governor.tracked_bytes() == BASE_JOB_BYTES + 1000 * 64
+
+    def test_eviction_cycle_counts_exactly_once(self):
+        governor = MemoryGovernor(high_mb=10, low_mb=5, rss_fn=lambda: 0)
+        governor.register("victim", 20 * MB)
+        governor.register("keeper", 1 * MB, priority=9)
+        governor.tick()
+        assert governor.should_pause("victim")
+        assert governor.consume_eviction("victim")
+        assert not governor.consume_eviction("victim")  # once
+        assert governor.evictions == 1
+        assert governor.note_rehydrated("victim")
+        assert not governor.note_rehydrated("victim")  # once
+        assert governor.rehydrations == 1
+
+    def test_estimate_footprint_and_rss_probe(self):
+        assert estimate_footprint(FakeDB()) == BASE_JOB_BYTES + 1000 * 64
+        assert process_rss_bytes() > 0  # /proc/self/status on Linux
+
+
+class TestMemoryPressureAdmission:
+    def test_overloaded_service_sheds_with_429_and_retry_after(self, tmp_path):
+        governor = MemoryGovernor(high_mb=10, rss_fn=lambda: 10**12)
+        service = make_service(tmp_path, ok_runner, governor=governor)
+        try:
+            reply = service.submit({"query": "Q6"})
+            assert reply["rejected"] == "memory_pressure"
+            assert reply["http_status"] == 429
+            assert reply["retry_after"] >= 1
+            assert service.journal.job(reply["job_id"])["state"] == "rejected"
+        finally:
+            service.close()
+
+    def test_queue_full_rejection_carries_retry_after(self, tmp_path):
+        gate = threading.Event()
+
+        def slow_runner(job_id, request, remaining):
+            gate.wait(10.0)
+            return ok_runner(job_id, request, remaining)
+
+        service = make_service(tmp_path, slow_runner, queue_capacity=1)
+        try:
+            service.start()
+            replies = [service.submit({"query": f"Q{i}"}) for i in range(6)]
+            rejected = [r for r in replies if r.get("rejected")]
+            assert rejected, "burst never overflowed the queue"
+            for reply in rejected:
+                assert reply["rejected"] == "queue_full"
+                assert reply["retry_after"] >= 1
+            gate.set()
+        finally:
+            gate.set()
+            service.drain(timeout=5.0)
+            service.close()
+
+    def test_retry_after_tracks_the_drain_rate(self, tmp_path):
+        service = make_service(tmp_path, ok_runner, workers=2)
+        try:
+            # before any completion: depth-proportional fallback
+            assert service._retry_after_hint() == 1
+            for _ in range(4):
+                service._note_completion(30.0)
+            # empty queue, 30 s mean over 2 workers -> ceil(30 / 2)
+            assert service._retry_after_hint() == 15
+        finally:
+            service.close()
+
+
+class TestEvictionLifecycle:
+    def test_marked_job_is_evicted_requeued_and_rehydrated(self, tmp_path):
+        governor = MemoryGovernor(high_mb=10, low_mb=8, rss_fn=lambda: 0)
+        calls: dict[str, int] = {}
+
+        def runner(job_id, request, remaining):
+            calls[job_id] = calls.get(job_id, 0) + 1
+            if calls[job_id] == 1:
+                # simulate _run_extraction's registration, then blow the
+                # watermark; the keeper makes the victim evictable
+                service.governor.register(job_id, 100 * MB)
+                service.governor.register("keeper", 1, priority=99)
+                service._pressure_tick()
+                assert service.pause_requested(job_id)
+                service.governor.release("keeper")
+                raise ExtractionPaused("filters")
+            return ok_runner(job_id, request, remaining)
+
+        service = make_service(tmp_path, runner, governor=governor)
+        try:
+            service.start()
+            reply = service.submit({"query": "Q6"})
+            record = wait_terminal(service, reply["job_id"])
+            assert record["state"] == "done"
+            assert record["attempt"] == 2
+            details = [t["detail"] for t in
+                       service.journal.transitions(reply["job_id"])]
+            assert "evicted after filters: memory pressure" in details
+            assert "requeued for rehydration" in details
+            assert governor.evictions == 1
+            assert governor.rehydrations == 1
+            counters = service.metrics.counters()
+            assert counters["serve_jobs_evicted_total"] == 1
+            assert counters["serve_jobs_rehydrated_total"] == 1
+            assert counters["serve_jobs_checkpointed_total"] == 1
+        finally:
+            service.drain(timeout=5.0)
+            service.close()
+
+    def test_drain_pause_is_not_an_eviction(self, tmp_path):
+        governor = MemoryGovernor(high_mb=10**6, rss_fn=lambda: 0)
+        entered = threading.Event()
+
+        def runner(job_id, request, remaining):
+            entered.set()
+            while not service.pause_requested(job_id):
+                time.sleep(0.01)
+            raise ExtractionPaused("joins")
+
+        service = make_service(tmp_path, runner, governor=governor)
+        try:
+            service.start()
+            reply = service.submit({"query": "Q6"})
+            assert entered.wait(5.0)
+            service.drain(timeout=5.0)
+            record = service.journal.job(reply["job_id"])
+            assert record["state"] == "checkpointed"
+            details = [t["detail"] for t in
+                       service.journal.transitions(reply["job_id"])]
+            assert "paused after joins" in details
+            assert governor.evictions == 0
+        finally:
+            service.close()
+
+    def test_half_open_probe_evicted_releases_the_probe_slot(self, tmp_path):
+        """An evicted probe job must not wedge the breaker's probe lease."""
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=lambda: now[0])
+        rss = [0]
+        governor = MemoryGovernor(high_mb=10, low_mb=8, rss_fn=lambda: rss[0])
+        phase = {"crashes": 1}
+
+        def runner(job_id, request, remaining):
+            if phase["crashes"]:
+                phase["crashes"] -= 1
+                raise WorkerCrashedError("segfault", "worker died (simulated)")
+            if service.journal.job(job_id)["attempt"] == 1:
+                service.governor.register(job_id, 100 * MB)
+                service.governor.register("keeper", 1, priority=99)
+                rss[0] = 10**9
+                service._pressure_tick()
+                rss[0] = 0  # pressure subsides; rehydration may proceed
+                assert service.pause_requested(job_id)
+                service.governor.release("keeper")
+                raise ExtractionPaused("filters")
+            return ok_runner(job_id, request, remaining)
+
+        service = make_service(tmp_path, runner,
+                               breaker=breaker, governor=governor)
+        try:
+            service.start()
+            crashed = service.submit({"query": "Q1"})
+            wait_terminal(service, crashed["job_id"])
+            assert breaker.state == CircuitBreaker.OPEN
+            assert service.submit({"query": "Q2"})["rejected"] == "breaker_open"
+            now[0] += 6.0  # cooldown elapses; next admit is the probe
+            probe = service.submit({"query": "Q3"})
+            assert probe["probe"] is True
+            record = wait_terminal(service, probe["job_id"])
+            # evicted probe: slot released, breaker still half-open, and the
+            # requeued job's success closes it
+            assert record["state"] == "done"
+            assert breaker.state == CircuitBreaker.CLOSED
+            assert breaker.snapshot()["probe_inflight"] is False
+            assert governor.evictions == 1
+            assert governor.rehydrations == 1
+        finally:
+            service.drain(timeout=5.0)
+            service.close()
+
+
+class TestRealExtractionUnderPressure:
+    def test_evict_rehydrate_cycle_converges_to_baseline_sql(self, tmp_path):
+        """Two real jobs over tight watermarks: >= 1 evict -> rehydrate cycle
+        completes and both extractions match the fault-free baseline SQL,
+        with modelled pressure held near the high watermark throughout."""
+        from repro.apps.executable import SQLExecutable
+        from repro.core.config import ExtractionConfig
+        from repro.core.pipeline import UnmasqueExtractor
+        from repro.serve.jobs import JobRequest
+        from repro.serve.service import build_instance, resolve_sql
+
+        baselines = {}
+        for seed in (11, 12):
+            request = JobRequest(query="Q6", scale=0.0005, seed=seed)
+            db = build_instance("tpch", 0.0005, seed)
+            app = SQLExecutable(resolve_sql(request), obfuscate_text=True)
+            baselines[seed] = UnmasqueExtractor(
+                db, app, ExtractionConfig(fail_fast=False)
+            ).extract().sql
+
+        # one Q6 job tracks ~11.6 MB; two together must breach the high
+        # watermark, either alone must sit below the low one
+        governor = MemoryGovernor(high_mb=14, low_mb=12.5, rss_fn=lambda: 0)
+        service = make_service(tmp_path, None, workers=2, governor=governor)
+        service._runner = service._run_extraction
+        samples: list[int] = []
+        sampling = threading.Event()
+
+        def sample_pressure():
+            while not sampling.is_set():
+                samples.append(governor.tracked_bytes())
+                time.sleep(0.005)
+
+        sampler = threading.Thread(target=sample_pressure, daemon=True)
+        try:
+            service.start()
+            sampler.start()
+            victim = service.submit(
+                {"query": "Q6", "seed": 12, "priority": -1}
+            )
+            keeper = service.submit({"query": "Q6", "seed": 11})
+            records = {
+                11: wait_terminal(service, keeper["job_id"], timeout=120.0),
+                12: wait_terminal(service, victim["job_id"], timeout=120.0),
+            }
+            # a checkpointed victim still converging: wait for done
+            deadline = time.time() + 120.0
+            while (records[12]["state"] != "done" and
+                   time.time() < deadline):
+                time.sleep(0.05)
+                records[12] = service.journal.job(victim["job_id"])
+            sampling.set()
+            for seed, record in records.items():
+                assert record["state"] == "done", record
+                assert record["sql"] == baselines[seed]
+            assert governor.evictions >= 1
+            assert governor.rehydrations >= 1
+            # the governor's bound: marked victims release at the next module
+            # boundary, so tracked pressure never exceeds the high watermark
+            # by more than one in-flight job's footprint
+            assert max(samples) <= governor.high_bytes + 13 * MB
+        finally:
+            sampling.set()
+            service.drain(timeout=10.0)
+            service.close()

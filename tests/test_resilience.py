@@ -30,7 +30,7 @@ from repro.errors import (
     UndefinedTableError,
 )
 from repro.resilience import serde
-from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.checkpoint import CHECKPOINT_VERSION, CheckpointStore
 from repro.resilience.faults import (
     FAULT_PROFILES,
     FaultPlan,
@@ -333,20 +333,35 @@ class TestCheckpointStore:
 
     def test_save_load_clear(self, tmp_path):
         store = CheckpointStore(tmp_path)
-        state = {"version": 1, "completed": ["setup"], "fingerprint": {"seed": 1}}
+        state = {
+            "version": CHECKPOINT_VERSION,
+            "completed": ["setup"],
+            "fingerprint": {"seed": 1},
+        }
         store.save(state)
         assert store.exists()
+        # the on-disk envelope carries a checksum; load() verifies + strips it
         assert store.load() == state
         assert not list(tmp_path.glob("*.tmp"))  # atomic write left no temp file
         store.clear()
         assert store.load() is None
         store.clear()  # idempotent
 
-    def test_corrupt_checkpoint_raises(self, tmp_path):
+    def test_corrupt_checkpoint_quarantined_and_restarts_fresh(self, tmp_path):
         store = CheckpointStore(tmp_path)
         store.path.write_text("{not json", encoding="utf-8")
-        with pytest.raises(CheckpointError):
-            store.load()
+        assert store.load() is None  # corrupt -> start over, never resume junk
+        assert not store.path.exists()
+        assert store.quarantined is not None and store.quarantined.exists()
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"version": CHECKPOINT_VERSION, "completed": []})
+        raw = store.path.read_text(encoding="utf-8")
+        store.path.write_text(raw.replace('"completed": []', '"completed": ["x"]'),
+                              encoding="utf-8")
+        assert store.load() is None
+        assert store.quarantined is not None and store.quarantined.exists()
 
     def test_version_mismatch_raises(self, tmp_path):
         store = CheckpointStore(tmp_path)

@@ -1,0 +1,137 @@
+"""Prometheus exposition: renderer format, /metrics route, Retry-After."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.serve.pressure import MemoryGovernor
+from repro.serve.service import ExtractionService
+
+
+def make_service(tmp_path, runner, **kwargs):
+    kwargs.setdefault("queue_capacity", 8)
+    kwargs.setdefault("workers", 1)
+    return ExtractionService(
+        tmp_path / "journal.sqlite",
+        tmp_path / "checkpoints",
+        runner=runner,
+        **kwargs,
+    )
+
+
+def ok_runner(job_id, request, remaining):
+    return {"sql": f"SELECT * FROM {request.query}", "verdict": "ok",
+            "invocations": 10, "seconds": 0.01}
+
+
+def _http_raw(port, method, path, payload=None):
+    """Like the service tests' _http, but returns (status, headers, body)."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestRenderer:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(3)
+        registry.gauge("queue_depth").set(2.0)
+        text = render_prometheus(registry)
+        assert "# TYPE jobs_total counter\njobs_total 3\n" in text
+        assert "# TYPE queue_depth gauge\nqueue_depth 2\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_sum_count_and_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 5.55" in text
+        assert "latency_seconds_count 3" in text
+        # percentile convenience gauges ride along for scrapers without
+        # histogram_quantile support
+        assert "latency_seconds_p50" in text
+        assert "latency_seconds_p95" in text
+        assert "latency_seconds_p99" in text
+
+    def test_names_are_sanitized_to_prometheus_charset(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.jobs-done/total").inc()
+        text = render_prometheus(registry)
+        assert "serve_jobs_done_total 1" in text
+        assert "." not in text.split("\n")[1]
+
+
+class TestServiceMetricsText:
+    def test_metrics_text_reports_queue_and_memory_gauges(self, tmp_path):
+        governor = MemoryGovernor(high_mb=64.0, rss_fn=lambda: 0)
+        service = make_service(tmp_path, ok_runner, governor=governor)
+        try:
+            text = service.metrics_text()
+            assert "serve_queue_depth" in text
+            assert "serve_memory_rss_mb" in text
+            assert "serve_memory_tracked_mb" in text
+        finally:
+            service.close()
+
+
+class TestHTTPMetricsAndRetryAfter:
+    @pytest.fixture
+    def served(self, tmp_path):
+        from repro.serve.api import create_server
+
+        governor = MemoryGovernor(high_mb=1.0, rss_fn=lambda: 0)
+        service = make_service(tmp_path, ok_runner, workers=1,
+                               governor=governor)
+        service.start()
+        httpd = create_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield service, governor, httpd.server_address[1]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout=5.0)
+            service.close()
+
+    def test_get_metrics_returns_prometheus_text(self, served):
+        _, _, port = served
+        status, headers, body = _http_raw(port, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = body.decode("utf-8")
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_memory_rss_mb" in text
+
+    def test_memory_pressure_submit_gets_429_with_retry_after(self, served):
+        service, governor, port = served
+        # a registered job pushes tracked pressure over the 1 MB watermark
+        governor.register("job-hog", 64 * 1024 * 1024)
+        try:
+            status, headers, body = _http_raw(
+                port, "POST", "/jobs", {"query": "Q6"}
+            )
+            assert status == 429
+            reply = json.loads(body.decode("utf-8"))
+            assert reply["rejected"] == "memory_pressure"
+            assert int(headers["Retry-After"]) >= 1
+            assert reply["retry_after"] >= 1
+        finally:
+            governor.release("job-hog")

@@ -1,0 +1,104 @@
+"""Cross-job shared plan cache: digest keying, scoping, end-to-end reuse."""
+
+from repro.core.config import ExtractionConfig
+from repro.engine.database import ScopedPlanCache, SharedPlanCache
+from repro.serve.service import build_instance
+
+
+class TestCatalogDigest:
+    def test_identical_instances_share_a_digest(self):
+        db_a = build_instance("tpch", 0.0005, 11)
+        db_b = build_instance("tpch", 0.0005, 11)
+        assert db_a.catalog_digest() == db_b.catalog_digest()
+        # data seeds differ but the catalog is the same shape
+        db_c = build_instance("tpch", 0.0005, 12)
+        assert db_a.catalog_digest() == db_c.catalog_digest()
+
+    def test_different_catalogs_get_different_digests(self):
+        tpch = build_instance("tpch", 0.0005, 11)
+        imdb = build_instance("job", 0.0005, 11)
+        assert tpch.catalog_digest() != imdb.catalog_digest()
+
+    def test_ddl_changes_the_digest(self):
+        db = build_instance("tpch", 0.0005, 11)
+        before = db.catalog_digest()
+        db.drop_table("region")
+        assert db.catalog_digest() != before
+
+
+class TestSharedPlanCache:
+    def test_cross_scope_hit_on_matching_digest(self):
+        shared = SharedPlanCache(capacity=16)
+        db_a = build_instance("tpch", 0.0005, 11)
+        db_b = build_instance("tpch", 0.0005, 12)
+        cache_a = ScopedPlanCache(shared, db_a, scope="job-a")
+        cache_b = ScopedPlanCache(shared, db_b, scope="job-b")
+        assert cache_a.get("SELECT 1", 0) is None  # cold miss, registers scope
+        cache_a.put("SELECT 1", 0, "stmt", "plan")
+        assert cache_b.get("SELECT 1", 0) == ("stmt", "plan")
+        stats = shared.stats()
+        assert stats["cross_scope_hits"] == 1
+        assert stats["scopes"] == 2
+        assert shared.scoped_stats("job-b")["hits"] == 1
+
+    def test_no_aliasing_across_catalog_digests(self):
+        shared = SharedPlanCache(capacity=16)
+        tpch = build_instance("tpch", 0.0005, 11)
+        imdb = build_instance("job", 0.0005, 11)
+        ScopedPlanCache(shared, tpch, scope="a").put("SELECT 1", 0, "stmt", "plan")
+        # same SQL, same version number, different catalog: must miss
+        assert ScopedPlanCache(shared, imdb, scope="b").get("SELECT 1", 0) is None
+
+    def test_lru_eviction_purges_ownership(self):
+        shared = SharedPlanCache(capacity=2)
+        db = build_instance("tpch", 0.0005, 11)
+        cache = ScopedPlanCache(shared, db, scope="s")
+        cache.put("q1", 0, "s1", "p1")
+        cache.put("q2", 0, "s2", "p2")
+        cache.put("q3", 0, "s3", "p3")  # evicts q1
+        assert cache.get("q1", 0) is None
+        assert cache.get("q3", 0) == ("s3", "p3")
+        assert shared.stats()["entries"] == 2
+
+    def test_for_db_rebinds_to_replica_digest(self):
+        shared = SharedPlanCache(capacity=16)
+        db = build_instance("tpch", 0.0005, 11)
+        cache = ScopedPlanCache(shared, db, scope="s")
+        replica = build_instance("tpch", 0.0005, 11)
+        rebound = cache.for_db(replica)
+        cache.put("SELECT 1", 0, "stmt", "plan")
+        assert rebound.get("SELECT 1", 0) == ("stmt", "plan")  # same digest
+
+
+class TestEndToEndSharing:
+    def test_two_extractions_share_plans_and_stay_byte_identical(self):
+        from repro.apps.executable import SQLExecutable
+        from repro.core.pipeline import UnmasqueExtractor
+        from repro.workloads import tpch_queries
+
+        sql = tpch_queries.QUERIES["Q6"].sql
+        baseline = UnmasqueExtractor(
+            build_instance("tpch", 0.0005, 11),
+            SQLExecutable(sql, obfuscate_text=True),
+            ExtractionConfig(fail_fast=False),
+        ).extract().sql
+
+        shared = SharedPlanCache(capacity=2048)
+        outcomes = []
+        for scope in ("job-1", "job-2"):
+            outcomes.append(UnmasqueExtractor(
+                build_instance("tpch", 0.0005, 11),
+                SQLExecutable(sql, obfuscate_text=True),
+                ExtractionConfig(
+                    fail_fast=False,
+                    shared_plan_cache=shared,
+                    plan_cache_scope=scope,
+                ),
+            ).extract().sql)
+        # the shared cache is an optimisation, never a semantic input
+        assert outcomes[0] == baseline
+        assert outcomes[1] == baseline
+        stats = shared.stats()
+        assert stats["scopes"] == 2
+        # the second run replays the first run's probes: cross-scope reuse
+        assert stats["cross_scope_hits"] > 0
