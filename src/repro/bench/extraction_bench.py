@@ -262,6 +262,82 @@ def run_extraction_bench(
     return payload
 
 
+def run_transport_overhead_bench(
+    query: str = "Q6",
+    scale: float = 0.0005,
+    seed: int = 11,
+    jobs: int = 4,
+    latency: float = 0.004,
+    repeats: int = 2,
+    max_overhead: float = 0.10,
+    progress=None,
+) -> dict:
+    """Measure ``--isolate remote`` (TCP loopback) vs ``--isolate process``.
+
+    Both legs run the same extraction through supervised workers at the same
+    ``jobs`` level; the only difference is the wire between supervisor and
+    worker (pipes vs CRC-framed TCP plus heartbeats and fencing).  Best-of-
+    ``repeats`` wall-clock per leg damps scheduler noise.  The payload
+    asserts byte-identical SQL and an overhead fraction under
+    ``max_overhead``.
+    """
+    import dataclasses
+
+    from repro.datagen import tpch
+    from repro.isolation.agent import WorkerAgent
+    from repro.workloads import tpch_queries
+
+    sql = tpch_queries.QUERIES[query].sql
+    db = tpch.build_database(scale=scale, seed=seed)
+    base_config = _bench_config(jobs)
+
+    def leg(config, label):
+        best = None
+        leg_sql = None
+        for attempt in range(max(1, repeats)):
+            app = LatencySQLExecutable(
+                sql, latency=latency, name=f"bench-transport-{label}"
+            )
+            started = time.perf_counter()
+            outcome = UnmasqueExtractor(db, app, config).extract()
+            seconds = time.perf_counter() - started
+            best = seconds if best is None else min(best, seconds)
+            leg_sql = outcome.sql
+            if progress is not None:
+                progress(f"{label} run {attempt + 1}: {seconds:.2f}s")
+        return best, leg_sql
+
+    agent = WorkerAgent()
+    address = agent.start()
+    try:
+        process_seconds, process_sql = leg(
+            dataclasses.replace(base_config, isolate="process"), "process"
+        )
+        remote_seconds, remote_sql = leg(
+            dataclasses.replace(
+                base_config, isolate="remote", worker_peers=(address,)
+            ),
+            "remote",
+        )
+    finally:
+        agent.stop()
+    overhead = (remote_seconds - process_seconds) / process_seconds
+    return {
+        "query": query,
+        "scale": scale,
+        "seed": seed,
+        "jobs": jobs,
+        "latency_seconds": latency,
+        "repeats": repeats,
+        "process_seconds": round(process_seconds, 6),
+        "remote_seconds": round(remote_seconds, 6),
+        "overhead_fraction": round(overhead, 6),
+        "max_overhead": max_overhead,
+        "sql_identical": process_sql == remote_sql,
+        "within_budget": overhead < max_overhead and process_sql == remote_sql,
+    }
+
+
 def write_payload(payload: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -42,8 +42,9 @@ require it.
 
 Exit status: 0 success; 1 extraction/engine error (one-line ``error: ...``,
 never a traceback); 2 usage error; 3 empty initial result; 4 ``verify``
-verdict ``out_of_class``; 130 interrupted by SIGINT/SIGTERM (after printing
-a ``--checkpoint-dir`` resume hint).
+verdict ``out_of_class``; 5 transport-level quarantine (every ``--isolate
+remote`` peer unreachable after capped-backoff reconnects); 130 interrupted
+by SIGINT/SIGTERM (after printing a ``--checkpoint-dir`` resume hint).
 """
 
 from __future__ import annotations
@@ -55,7 +56,7 @@ from typing import Optional
 from repro.apps.executable import SQLExecutable
 from repro.core.config import ExtractionConfig
 from repro.core.pipeline import UnmasqueExtractor
-from repro.errors import ReproError
+from repro.errors import PeerQuarantined, ReproError
 
 
 def _load_workloads():
@@ -122,7 +123,8 @@ def _make_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workload", default="tpch", choices=list(_load_workloads()))
     chaos.add_argument("--query", required=True, help="query name, e.g. Q3")
     chaos.add_argument("--profile", default="transient",
-                       choices=sorted(FAULT_PROFILES) + ["disk", "serve-kill"],
+                       choices=sorted(FAULT_PROFILES) + ["disk", "net",
+                                                         "serve-kill"],
                        help="named fault profile (default: transient); "
                             "'serve-kill' SIGKILLs a live `repro serve` "
                             "between module boundaries and proves every job "
@@ -130,7 +132,17 @@ def _make_parser() -> argparse.ArgumentParser:
                             "storage faults (torn/short writes, ENOSPC, EIO, "
                             "lost fsync) into the checkpoint store, job "
                             "journal, and provenance ledger and proves "
-                            "recovery for every fault class")
+                            "recovery for every fault class; 'net' injects "
+                            "wire faults (delay, drop, partition, torn "
+                            "frames, duplicates, reordering, corruption, "
+                            "byte-drip) into the remote worker transport "
+                            "over a loopback agent and proves byte-identical "
+                            "SQL plus exactly-once accounting for every "
+                            "fault class x pipeline phase")
+    chaos.add_argument("--fast", action="store_true",
+                       help="net only: one mid-pipeline cell per fault class "
+                            "instead of the full early/mid/late matrix (the "
+                            "CI smoke configuration)")
     chaos.add_argument("--chaos-seed", type=int, default=1337,
                        help="seed for the fault injector (default 1337)")
     chaos.add_argument("--max-attempts", type=int, default=6,
@@ -172,8 +184,13 @@ def _make_parser() -> argparse.ArgumentParser:
                        help="admission queue bound; a full queue rejects "
                             "with `queue_full` instead of stalling "
                             "(default 16)")
-    serve.add_argument("--workers", type=int, default=2, metavar="N",
-                       help="concurrent extraction worker threads (default 2)")
+    serve.add_argument("--workers", default="2", metavar="N|HOST:PORT,...",
+                       help="an integer N runs N concurrent extraction "
+                            "worker threads in-process (default 2); a "
+                            "comma-separated host:port list instead "
+                            "dispatches isolated invocations to those remote "
+                            "worker agents (one extraction thread per peer), "
+                            "with per-peer health in /status and /healthz")
     serve.add_argument("--breaker-threshold", type=int, default=3, metavar="K",
                        help="consecutive worker-health failures that open "
                             "the circuit breaker (default 3)")
@@ -247,6 +264,13 @@ def _make_parser() -> argparse.ArgumentParser:
     bench.add_argument("--ledger", metavar="FILE", default=None,
                        help="persist every (query, jobs) run with its clause "
                             "evidence to this SQLite run ledger")
+    bench.add_argument("--transport-overhead", action="store_true",
+                       help="also measure --isolate remote (TCP loopback "
+                            "worker agent) against --isolate process at "
+                            "--jobs 4 and fail if the remote transport adds "
+                            "more than 10%% wall-clock overhead; the result "
+                            "lands in the payload's transport_overhead "
+                            "section")
 
     verify = sub.add_parser(
         "verify",
@@ -331,11 +355,20 @@ def _common_extraction_args(parser: argparse.ArgumentParser) -> None:
                         help="abort/degrade after N synthetic cells materialized")
     parser.add_argument("--budget-seconds", type=float, default=None, metavar="S",
                         help="wall-clock budget for the whole extraction")
-    parser.add_argument("--isolate", default="none", choices=["none", "process"],
+    parser.add_argument("--isolate", default="none",
+                        choices=["none", "process", "remote"],
                         help="invocation isolation backend: 'process' runs "
                              "every application invocation in a supervised "
                              "worker subprocess with hard SIGKILL deadlines "
-                             "and crash quarantine (default: none)")
+                             "and crash quarantine; 'remote' dispatches them "
+                             "to worker agents named by --worker-peers over "
+                             "a fenced, CRC-checked TCP transport "
+                             "(default: none)")
+    parser.add_argument("--worker-peers", metavar="HOST:PORT[,...]",
+                        default=None,
+                        help="comma-separated worker-agent addresses for "
+                             "--isolate remote (each runs `python -m "
+                             "repro.isolation.agent --listen host:port`)")
     parser.add_argument("--worker-memory-mb", type=int, default=None, metavar="MB",
                         help="address-space cap per isolation worker; an "
                              "application allocating past it dies with a "
@@ -376,6 +409,12 @@ def main(argv: Optional[list[str]] = None, out=sys.stdout) -> int:
     _install_signal_handlers()
     try:
         return _dispatch(args, out)
+    except PeerQuarantined as error:
+        # Transport-level quarantine gets its own status: every remote peer
+        # is unreachable, which is an infrastructure verdict, not a statement
+        # about the hidden query.
+        out.write(f"error: {error}\n")
+        return 5
     except ReproError as error:
         # One line, no traceback: extraction failures are expected outcomes
         # (outside-EQC queries, checkpoint mismatches, exhausted retries).
@@ -438,6 +477,8 @@ def _dispatch(args, out) -> int:
             return _run_serve_kill_chaos(args, out)
         if args.profile == "disk":
             return _run_disk_chaos(args, out)
+        if args.profile == "net":
+            return _run_net_chaos(args, out)
         return _run_chaos(args, query.sql, out)
 
     if args.command == "serve":
@@ -512,6 +553,14 @@ def _run_bench(args, out) -> int:
         progress=lambda line: out.write(f"  {line}\n"),
         ledger_path=args.ledger,
     )
+    transport = None
+    if args.transport_overhead:
+        from repro.bench.extraction_bench import run_transport_overhead_bench
+
+        transport = run_transport_overhead_bench(
+            progress=lambda line: out.write(f"  transport {line}\n"),
+        )
+        payload["transport_overhead"] = transport
     write_payload(payload, args.out)
     summary = payload["summary"]
     top_jobs = summary["top_jobs"]
@@ -558,6 +607,15 @@ def _run_bench(args, out) -> int:
                 f"workers     : {respawns} respawns, "
                 f"{quarantines} quarantined\n"
             )
+    if transport is not None:
+        out.write(
+            f"transport   : remote {transport['remote_seconds']:.2f}s vs "
+            f"process {transport['process_seconds']:.2f}s "
+            f"({transport['overhead_fraction']:+.1%} overhead, budget "
+            f"{transport['max_overhead']:.0%}, sql "
+            + ("identical" if transport["sql_identical"] else "DIVERGED")
+            + ")\n"
+        )
     out.write(
         "determinism : sql "
         + ("identical" if summary["all_sql_identical"] else "DIVERGED")
@@ -566,6 +624,8 @@ def _run_bench(args, out) -> int:
         + "\n"
     )
     if not (summary["all_sql_identical"] and summary["all_invocations_identical"]):
+        return 1
+    if transport is not None and not transport["within_budget"]:
         return 1
     if args.baseline is not None:
         try:
@@ -702,6 +762,11 @@ def _isolation_kwargs(args) -> dict:
     }
     if args.worker_timeout is not None:
         kwargs["worker_default_timeout"] = args.worker_timeout
+    peers = getattr(args, "worker_peers", None)
+    if peers:
+        kwargs["worker_peers"] = tuple(
+            peer.strip() for peer in peers.split(",") if peer.strip()
+        )
     return kwargs
 
 
@@ -998,6 +1063,24 @@ def _explain_from_ledger(args, out) -> int:
     return 0
 
 
+def _parse_serve_workers(value: str) -> tuple[int, tuple]:
+    """``--workers`` is an int (thread count) or a host:port peer list.
+
+    Returns ``(worker_threads, remote_peers)``; with peers, the thread count
+    is the peer count so each remote agent can serve one extraction.
+    """
+    text = str(value).strip()
+    if text.isdigit():
+        return int(text), ()
+    peers = tuple(peer.strip() for peer in text.split(",") if peer.strip())
+    if not peers or not all(":" in peer for peer in peers):
+        raise ValueError(
+            f"--workers expects an integer or host:port[,host:port...], "
+            f"got {value!r}"
+        )
+    return len(peers), peers
+
+
 def _run_serve(args, out) -> int:
     """Run the extraction service until SIGTERM/SIGINT, then drain and exit 0.
 
@@ -1015,11 +1098,17 @@ def _run_serve(args, out) -> int:
     from repro.serve.service import ExtractionService
     from repro.serve.tenants import TenantPolicy
 
+    try:
+        worker_threads, remote_peers = _parse_serve_workers(args.workers)
+    except ValueError as error:
+        out.write(f"{error}\n")
+        return 2
     service = ExtractionService(
         args.journal,
         args.checkpoint_root,
         queue_capacity=args.queue_capacity,
-        workers=args.workers,
+        workers=worker_threads,
+        remote_peers=remote_peers,
         tenant_policy=TenantPolicy(
             max_queued=args.tenant_max_queued,
             max_invocations=args.tenant_max_invocations,
@@ -1044,6 +1133,8 @@ def _run_serve(args, out) -> int:
     httpd = create_server(service, args.host, args.port)
     host, port = httpd.server_address[0], httpd.server_address[1]
     out.write(f"serve       : listening on http://{host}:{port}\n")
+    if remote_peers:
+        out.write(f"peers       : {', '.join(remote_peers)}\n")
     out.write(f"journal     : {service.journal.path}\n")
     out.flush()
 
@@ -1126,6 +1217,33 @@ def _run_disk_chaos(args, out) -> int:
     passed = sum(1 for cell in report["cells"] if cell["ok"])
     out.write(f"matrix      : {passed}/{len(report['cells'])} cells passed "
               f"({len(report['fault_classes'])} fault classes x 3 stores)\n")
+    out.write(f"workdir     : {report['workdir']}\n")
+    verdict = "SURVIVED" if report["survived"] else "DIVERGED"
+    out.write(f"verdict     : {verdict}\n")
+    return 0 if report["survived"] else 1
+
+
+def _run_net_chaos(args, out) -> int:
+    """The net profile: wire faults against the remote worker transport."""
+    import tempfile
+
+    from repro.resilience.netchaos import run_net_chaos
+
+    workdir = args.serve_dir or tempfile.mkdtemp(prefix="repro-net-chaos-")
+    report = run_net_chaos(
+        args.query,
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        chaos_seed=args.chaos_seed,
+        workdir=workdir,
+        out=out,
+        fast=args.fast,
+    )
+    passed = sum(1 for cell in report["cells"] if cell["ok"])
+    out.write(f"matrix      : {passed}/{len(report['cells'])} cells passed "
+              f"({len(report['fault_classes'])} fault classes x "
+              f"{len(report['phases']) - 1} phases + clean)\n")
     out.write(f"workdir     : {report['workdir']}\n")
     verdict = "SURVIVED" if report["survived"] else "DIVERGED"
     out.write(f"verdict     : {verdict}\n")

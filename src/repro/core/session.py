@@ -208,10 +208,21 @@ class ExtractionSession:
             self.backend = ProcessIsolationBackend(
                 executable, config, tracer=self.tracer, budget=self.budget
             )
+        elif config.isolate == "remote":
+            from repro.isolation.backend import RemoteIsolationBackend
+
+            if not config.worker_peers:
+                raise ExtractionError(
+                    "isolate='remote' requires worker_peers "
+                    "(host:port worker-agent addresses)"
+                )
+            self.backend = RemoteIsolationBackend(
+                executable, config, tracer=self.tracer, budget=self.budget
+            )
         elif config.isolate != "none":
             raise ExtractionError(
                 f"unknown isolation backend {config.isolate!r} "
-                "(expected 'none' or 'process')"
+                "(expected 'none', 'process', or 'remote')"
             )
 
         #: invocation memo: replayed database states skip the physical

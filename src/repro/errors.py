@@ -143,6 +143,48 @@ class WorkerQuarantined(ReproError):
         return (type(self), (self.reason, self.crashes, self.respawns))
 
 
+class PeerUnavailable(TransientExecutableError):
+    """A remote worker peer could not serve an invocation right now.
+
+    Read deadlines expiring on a run reply (partition / straggler), a torn
+    or corrupt frame, or a refused reconnect all land here.  Transient by
+    design: the supervisor has already fenced the outstanding lease (late
+    replies from this attempt can never fold side effects), so the retry
+    layer may requeue the identical invocation — on a reconnected transport
+    or a different peer — without risking double accounting.
+    """
+
+    def __init__(self, address: str, detail: str, ordinal: int | None = None):
+        where = f" (invocation {ordinal})" if ordinal is not None else ""
+        super().__init__(f"peer {address} unavailable{where}: {detail}")
+        self.address = address
+        self.detail = detail
+        self.ordinal = ordinal
+
+    def __reduce__(self):
+        return (type(self), (self.address, self.detail, self.ordinal))
+
+
+class PeerQuarantined(WorkerQuarantined):
+    """Every configured remote peer is quarantined or unreachable.
+
+    The transport-level analogue of :class:`WorkerQuarantined`: reconnect
+    budgets are spent on all peers (or each peer crashed workers past its
+    threshold), so retrying cannot help.  Subclassing keeps the pipeline's
+    best-effort contract intact — the run degrades to a structured
+    ``quarantined`` verdict instead of dying mid-extraction.
+    """
+
+    def __init__(self, reason: str, crashes: int, respawns: int,
+                 peers: tuple = ()):
+        super().__init__(reason, crashes, respawns)
+        self.peers = tuple(peers)
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self.crashes, self.respawns,
+                             self.peers))
+
+
 class CheckpointError(ReproError):
     """A pipeline checkpoint could not be read, or does not match this run."""
 

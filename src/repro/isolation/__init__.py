@@ -13,16 +13,30 @@ extraction or corrupt its checkpoints:
 * :mod:`repro.isolation.supervisor` — spawn/restart/quarantine policy, hard
   SIGKILL deadlines, crash classification, pool metrics;
 * :mod:`repro.isolation.backend` — the :class:`ProcessIsolationBackend` the
-  session delegates to under ``--isolate process``.
+  session delegates to under ``--isolate process``, and its
+  :class:`RemoteIsolationBackend` twin for ``--isolate remote``;
+* :mod:`repro.isolation.agent` — the standalone worker agent
+  (``python -m repro.isolation.agent --listen host:port``) serving workers
+  to remote supervisors;
+* :mod:`repro.isolation.remote` — the supervisor side of remote isolation:
+  lease epochs with fencing tokens, EWMA failure detection, capped-backoff
+  reconnect with peer failover (DESIGN.md §5.18).
 """
 
-from repro.isolation.backend import ProcessIsolationBackend, spec_from_config
+from repro.isolation.backend import (
+    ProcessIsolationBackend,
+    RemoteIsolationBackend,
+    remote_spec_from_config,
+    spec_from_config,
+)
 from repro.isolation.supervisor import PoolStats, WorkerPool, WorkerSpec
 
 __all__ = [
     "PoolStats",
     "ProcessIsolationBackend",
+    "RemoteIsolationBackend",
     "WorkerPool",
     "WorkerSpec",
+    "remote_spec_from_config",
     "spec_from_config",
 ]

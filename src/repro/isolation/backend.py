@@ -57,11 +57,17 @@ def spec_from_config(config) -> WorkerSpec:
 class ProcessIsolationBackend:
     """Routes invocations through a :class:`WorkerPool`, with stat parity."""
 
+    #: span-tag value; the remote subclass overrides it
+    isolate_label = "process"
+
     def __init__(self, executable, config, tracer=None, budget=None):
         self.executable = executable
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.budget = budget
-        self.pool = WorkerPool(
+        self.pool = self._build_pool(executable, config)
+
+    def _build_pool(self, executable, config):
+        return WorkerPool(
             executable, spec_from_config(config), metrics=self.tracer.metrics
         )
 
@@ -91,7 +97,7 @@ class ProcessIsolationBackend:
         with tracer.span(executable.name, kind="worker") as span:
             span.set_tags(
                 executable=executable.name,
-                isolate="process",
+                isolate=self.isolate_label,
                 ordinal=self.pool.ordinal + 1,
                 db_rows=db.total_rows(),
             )
@@ -196,3 +202,48 @@ class ProcessIsolationBackend:
     def close(self) -> None:
         self._mirror_injected()
         self.pool.close()
+
+
+def remote_spec_from_config(config) -> "RemoteSpec":
+    from repro.isolation.remote import RemoteSpec
+
+    return RemoteSpec(
+        peers=tuple(config.worker_peers),
+        default_timeout=config.worker_default_timeout,
+        kill_grace=config.worker_kill_grace,
+        quarantine_threshold=config.worker_quarantine_threshold,
+        max_respawns=config.worker_max_respawns,
+        pool_size=max(1, int(getattr(config, "jobs", 1) or 1)),
+        connect_timeout=config.transport_connect_timeout,
+        heartbeat_interval=config.transport_heartbeat_interval,
+        backoff_base=config.transport_backoff_base,
+        backoff_max=config.transport_backoff_max,
+        max_reconnects=config.transport_max_reconnects,
+    )
+
+
+class RemoteIsolationBackend(ProcessIsolationBackend):
+    """The process backend's contract, served by remote worker agents.
+
+    Everything above the pool — memoization, spans, budget charging, access
+    -log mirroring, injected-fault mirroring — is inherited unchanged; only
+    the pool construction (and the span tag) differ.  That inheritance *is*
+    the observability-parity argument: there is no second accounting path to
+    drift.
+    """
+
+    isolate_label = "remote"
+
+    def _build_pool(self, executable, config):
+        from repro.isolation.remote import PeerHealthRegistry, RemoteWorkerPool
+
+        registry = config.peer_registry
+        if registry is not None and not isinstance(registry, PeerHealthRegistry):
+            raise TypeError("peer_registry must be a PeerHealthRegistry")
+        return RemoteWorkerPool(
+            executable,
+            remote_spec_from_config(config),
+            metrics=self.tracer.metrics,
+            registry=registry,
+            transport_factory=config.transport_factory,
+        )

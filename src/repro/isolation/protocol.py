@@ -35,12 +35,28 @@ strategy).
 
 from __future__ import annotations
 
+import os
 import pickle
+import select
+import socket
 import struct
-from typing import BinaryIO
+import time
+import zlib
+from typing import BinaryIO, Optional
 
 #: frame header: unsigned 64-bit big-endian payload length
 _HEADER = struct.Struct(">Q")
+
+#: TCP envelope: magic, sequence number, payload length, payload CRC32.
+#: The pipe framing stays bare (header + payload, byte-identical to every
+#: prior release); the network gets the armoured envelope because wires —
+#: unlike pipes — deliver torn, duplicated, and bit-flipped bytes.
+TCP_MAGIC = b"RWT1"
+_TCP_HEADER = struct.Struct(">4sQQI")
+
+#: how far ahead of sequence a frame may arrive before the stream is
+#: declared lossy (reordering beyond this is indistinguishable from loss)
+REORDER_WINDOW = 64
 
 #: hard cap on a single frame (a corrupted header must not trigger a
 #: multi-gigabyte allocation in the supervisor)
@@ -59,6 +75,27 @@ class ProtocolError(Exception):
     """The byte stream does not parse as a frame (worker/supervisor bug)."""
 
 
+class TransportTimeout(Exception):
+    """A read deadline expired before a full frame arrived (peer still up)."""
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Unpickle a frame payload; every decode failure is a ProtocolError.
+
+    A truncated, bit-flipped, or otherwise mangled payload makes ``pickle``
+    raise essentially anything (``UnpicklingError``, ``EOFError``,
+    ``AttributeError``, ``MemoryError``...); callers must only ever see the
+    protocol taxonomy, so the whole decode is fenced here.
+    """
+    try:
+        message = pickle.loads(payload)
+    except Exception as error:
+        raise ProtocolError(f"frame payload does not unpickle: {error!r}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a message dict, got {type(message).__name__}")
+    return message
+
+
 def write_frame(stream: BinaryIO, message: dict) -> None:
     """Serialise and send one message; flushes so the peer can block-read."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
@@ -74,10 +111,7 @@ def read_frame(stream: BinaryIO) -> dict:
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds protocol maximum")
     payload = _read_exact(stream, length)
-    message = pickle.loads(payload)
-    if not isinstance(message, dict):
-        raise ProtocolError(f"expected a message dict, got {type(message).__name__}")
-    return message
+    return decode_payload(payload)
 
 
 def _read_exact(stream: BinaryIO, count: int) -> bytes:
@@ -90,6 +124,280 @@ def _read_exact(stream: BinaryIO, count: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# -- transports ----------------------------------------------------------------
+
+
+class FrameTransport:
+    """One bidirectional message channel between supervisor-side code and a
+    worker (or worker agent).
+
+    Implementations provide:
+
+    * :meth:`send` — serialise and transmit one message dict;
+    * :meth:`recv` — block for the next message, under an optional deadline
+      (``None`` blocks forever).  Raises :class:`TransportTimeout` on an
+      expired deadline, :class:`EOFError` when the peer closed, and
+      :class:`ProtocolError` on an unparseable stream;
+    * :meth:`close` — idempotent teardown.
+
+    The supervisor's pool logic, the remote handle's fencing reader, and the
+    worker agent all program against this seam, so the same lease/accounting
+    code runs over pipes and sockets — and over the chaos harness's
+    :class:`~repro.resilience.netfaults.FaultyTransport`.
+    """
+
+    def send(self, message: dict) -> None:
+        raise NotImplementedError
+
+    def recv(self, deadline_seconds: Optional[float]) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+
+class PipeTransport(FrameTransport):
+    """Frames over a subprocess's stdin/stdout pipes (the classic layout).
+
+    Writes go through the buffered ``stdin`` stream exactly as
+    :func:`write_frame` always has; reads pull raw bytes off the stdout file
+    descriptor under a ``select`` deadline, preserving the supervisor's
+    historical byte-level behaviour (length-prefixed pickle, no envelope).
+    """
+
+    def __init__(self, write_stream: BinaryIO, read_fd: int):
+        self._write_stream = write_stream
+        self._read_fd = read_fd
+        self._buffer = b""
+        self._closed = False
+
+    def send(self, message: dict) -> None:
+        write_frame(self._write_stream, message)
+
+    def recv(self, deadline_seconds: Optional[float]) -> dict:
+        deadline = (
+            None if deadline_seconds is None
+            else time.perf_counter() + deadline_seconds
+        )
+        header_size = _HEADER.size
+        needed = header_size
+        length: Optional[int] = None
+        while True:
+            while len(self._buffer) >= needed:
+                if length is None:
+                    (length,) = _HEADER.unpack(self._buffer[:header_size])
+                    if length > MAX_FRAME_BYTES:
+                        raise ProtocolError(
+                            f"frame of {length} bytes exceeds protocol maximum"
+                        )
+                    needed = header_size + length
+                    continue
+                payload = self._buffer[header_size:needed]
+                self._buffer = self._buffer[needed:]
+                return decode_payload(payload)
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TransportTimeout()
+            readable, _, _ = select.select([self._read_fd], [], [], remaining)
+            if not readable:
+                raise TransportTimeout()
+            chunk = os.read(self._read_fd, 1 << 20)
+            if not chunk:
+                raise EOFError("worker closed its pipe before replying")
+            self._buffer += chunk
+
+    def close(self) -> None:
+        self._closed = True  # fds belong to the Popen object; owner closes them
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+
+class TcpTransport(FrameTransport):
+    """CRC-checked, sequence-numbered frames over a TCP socket.
+
+    Every frame carries ``(magic, seq, length, crc32)``.  The receiver:
+
+    * rejects a bad magic, an oversized length, or a CRC mismatch with
+      :class:`ProtocolError` (the connection is then unusable — bytes are
+      out of frame sync);
+    * silently drops frames whose sequence number was already delivered or
+      already buffered (duplicate delivery is a normal network pathology,
+      counted in :attr:`duplicates_dropped`, never surfaced to the caller);
+    * buffers ahead-of-sequence frames and delivers strictly in order
+      (counted in :attr:`reorders_healed`); a frame that never arrives
+      stalls delivery until the caller's read deadline fires, and a gap
+      wider than :data:`REORDER_WINDOW` is a :class:`ProtocolError` — at
+      that point the stream has demonstrably lost data.
+    """
+
+    def __init__(self, sock: socket.socket):
+        sock.setblocking(True)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - esoteric socket families
+            pass
+        self.sock = sock
+        self._buffer = b""
+        self._send_seq = 0
+        self._recv_next = 0
+        self._pending: dict = {}
+        self._closed = False
+        #: frames dropped because their sequence number was already seen
+        self.duplicates_dropped = 0
+        #: frames that arrived ahead of sequence and were buffered in order
+        self.reorders_healed = 0
+
+    @classmethod
+    def connect(cls, address: str, timeout: float = 5.0) -> "TcpTransport":
+        """Dial ``host:port`` and return a connected transport."""
+        host, port = parse_address(address)
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, message: dict) -> None:
+        self._transmit(self.encode(message))
+
+    def encode(self, message: dict) -> bytes:
+        """Build one enveloped frame, consuming the next sequence number."""
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(payload) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(payload)} bytes exceeds protocol maximum"
+            )
+        header = _TCP_HEADER.pack(
+            TCP_MAGIC, self._send_seq, len(payload), zlib.crc32(payload)
+        )
+        self._send_seq += 1
+        return header + payload
+
+    def _transmit(self, data: bytes) -> None:
+        """Put bytes on the wire; the chaos transport's injection point."""
+        self.sock.sendall(data)
+
+    # -- receiving ----------------------------------------------------------
+
+    def recv(self, deadline_seconds: Optional[float]) -> dict:
+        deadline = (
+            None if deadline_seconds is None
+            else time.perf_counter() + deadline_seconds
+        )
+        while True:
+            message = self._next_from_buffer()
+            if message is not None:
+                return message
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TransportTimeout()
+            try:
+                readable, _, _ = select.select([self.sock], [], [], remaining)
+            except (OSError, ValueError) as error:
+                raise EOFError(f"transport socket closed: {error}") from error
+            if not readable:
+                raise TransportTimeout()
+            chunk = self._receive_bytes()
+            if not chunk:
+                raise EOFError("peer closed the connection")
+            self._buffer += chunk
+
+    def _receive_bytes(self) -> bytes:
+        """Pull available bytes off the socket; chaos injection point."""
+        try:
+            return self.sock.recv(1 << 20)
+        except (ConnectionResetError, OSError) as error:
+            raise EOFError(f"connection reset: {error}") from error
+
+    def _next_from_buffer(self) -> Optional[dict]:
+        """Decode the next in-sequence frame already buffered, if any."""
+        message = self._pop_in_order()
+        if message is not None:
+            return message
+        header_size = _TCP_HEADER.size
+        while len(self._buffer) >= header_size:
+            magic, seq, length, crc = _TCP_HEADER.unpack(
+                self._buffer[:header_size]
+            )
+            if magic != TCP_MAGIC:
+                raise ProtocolError(
+                    f"bad frame magic {magic!r}: stream out of sync"
+                )
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds protocol maximum"
+                )
+            if len(self._buffer) < header_size + length:
+                return None
+            payload = self._buffer[header_size:header_size + length]
+            self._buffer = self._buffer[header_size + length:]
+            if zlib.crc32(payload) != crc:
+                raise ProtocolError(
+                    f"frame {seq} failed its CRC check (corrupt payload)"
+                )
+            if seq < self._recv_next or seq in self._pending:
+                self.duplicates_dropped += 1
+                continue
+            if seq > self._recv_next:
+                if seq - self._recv_next > REORDER_WINDOW:
+                    raise ProtocolError(
+                        f"sequence gap: expected frame {self._recv_next}, "
+                        f"got {seq} (stream lost data)"
+                    )
+                self.reorders_healed += 1
+            self._pending[seq] = payload
+            message = self._pop_in_order()
+            if message is not None:
+                return message
+        return None
+
+    def _pop_in_order(self) -> Optional[dict]:
+        payload = self._pending.pop(self._recv_next, None)
+        if payload is None:
+            return None
+        self._recv_next += 1
+        return decode_payload(payload)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+
+def parse_address(address: str) -> tuple:
+    """Split ``host:port`` (the last colon wins, so IPv6 literals work)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"peer address {address!r} is not host:port")
+    return host or "127.0.0.1", int(port)
 
 
 def pack_executable(executable) -> bytes:

@@ -1,0 +1,797 @@
+"""Supervisor side of remote isolation: leases, fencing, failure detection.
+
+A :class:`RemoteWorkerPool` is the network twin of
+:class:`~repro.isolation.supervisor.WorkerPool`: same slot leasing, same
+ledger, same crash taxonomy and quarantine policy — but each slot is a
+:class:`RemoteWorkerHandle`, a TCP connection to a worker agent
+(:mod:`repro.isolation.agent`) instead of a subprocess pipe pair.
+
+The exactly-once contract over a lossy wire (DESIGN.md §5.18) rests on three
+mechanisms:
+
+* **Lease epochs + fencing tokens.**  Every request carries ``(epoch,
+  req)``; the agent echoes them verbatim.  The handle's reader delivers only
+  the reply matching the request *currently in flight* and silently drops
+  everything else (counted as ``fenced_replies_total``).  When the
+  supervisor abandons a request — read deadline expired, connection torn —
+  it bumps the epoch first, so a presumed-dead worker's late reply can never
+  be mistaken for a live one: its side effects are never folded, its rows
+  are never charged, its result is never memoized.
+* **Adaptive failure detection.**  Heartbeat RTTs feed an EWMA mean/deviation
+  estimator; read deadlines for heartbeats and the network allowance on run
+  replies are ``mean + k·dev`` (clamped), so a slow-but-healthy link widens
+  its own deadlines instead of mass-false-positiving into reconnect storms.
+* **Capped-backoff reconnect with requeue.**  A dead connection is replaced
+  with exponential backoff; when one peer's reconnect budget is spent the
+  slot fails over to the next healthy peer (the requeue path), and only when
+  *every* peer is down does the pool flip into a sticky
+  :class:`~repro.errors.PeerQuarantined` — the transport analogue of the
+  local pool's respawn-budget quarantine.
+
+Invocation side effects are idempotent by construction (a probe reply is a
+pure function of the shipped replica), so at-most-once delivery per lease +
+retry-with-new-lease composes into exactly-once *accounting*: each logical
+invocation is charged and folded exactly once, whichever attempt's reply
+made it home.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import (
+    ExecutableTimeoutError,
+    ExtractionError,
+    PeerQuarantined,
+    PeerUnavailable,
+    WorkerCrashedError,
+)
+from repro.isolation.protocol import (
+    ProtocolError,
+    TcpTransport,
+    TransportTimeout,
+    pack_executable,
+)
+from repro.isolation.supervisor import _SPAWN_TIMEOUT, PoolStats
+
+#: transport exceptions that mean "this connection is no longer usable"
+_CONNECTION_ERRORS = (EOFError, ProtocolError, ConnectionError, OSError)
+
+
+@dataclass(frozen=True)
+class RemoteSpec:
+    """Remote-pool policy, lifted from the extraction config."""
+
+    #: ``host:port`` worker-agent addresses; slots round-robin across them
+    peers: tuple = ()
+    #: hard deadline when the caller passed no cooperative timeout, seconds
+    default_timeout: float = 30.0
+    #: slack past the cooperative timeout before the *agent* SIGKILLs
+    kill_grace: float = 1.0
+    #: consecutive abnormal worker exits before quarantine (crash streaks
+    #: count across peers — the executable is the common factor)
+    quarantine_threshold: int = 4
+    #: total worker replacements (reconnects) allowed over the pool lifetime
+    max_respawns: int = 128
+    #: number of concurrently leased connections (sized to ``--jobs``)
+    pool_size: int = 1
+    #: TCP connect + hello deadline per dial attempt
+    connect_timeout: float = 5.0
+    #: idle-handle heartbeat period, seconds
+    heartbeat_interval: float = 0.5
+    #: failure-detector timeout = rtt_mean + k * rtt_dev, clamped to
+    #: [detector_floor, detector_ceiling]
+    detector_k: float = 4.0
+    detector_floor: float = 0.25
+    detector_ceiling: float = 10.0
+    #: reconnect backoff: base * 2^failures, capped
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    #: consecutive reconnect failures before a peer is declared down
+    max_reconnects: int = 5
+
+
+class FailureDetector:
+    """EWMA RTT estimator → adaptive timeout (mean + k·dev, clamped).
+
+    The classic Jacobson/Karels shape: a slow link raises its own mean and
+    deviation, widening the timeout; a fast link keeps deadlines tight so
+    real partitions are detected quickly.  Before any sample arrives the
+    timeout sits at the ceiling — a cold connection gets the benefit of the
+    doubt exactly once.
+    """
+
+    def __init__(self, k: float = 4.0, floor: float = 0.25,
+                 ceiling: float = 10.0, alpha: float = 0.25):
+        self.k = k
+        self.floor = floor
+        self.ceiling = ceiling
+        self.alpha = alpha
+        self.rtt_mean: Optional[float] = None
+        self.rtt_dev = 0.0
+        self.samples = 0
+
+    def observe(self, rtt: float) -> None:
+        if self.rtt_mean is None:
+            self.rtt_mean = rtt
+            self.rtt_dev = rtt / 2
+        else:
+            self.rtt_dev = (
+                (1 - self.alpha) * self.rtt_dev
+                + self.alpha * abs(rtt - self.rtt_mean)
+            )
+            self.rtt_mean = (1 - self.alpha) * self.rtt_mean + self.alpha * rtt
+        self.samples += 1
+
+    def timeout(self) -> float:
+        if self.rtt_mean is None:
+            return self.ceiling
+        return min(self.ceiling,
+                   max(self.floor, self.rtt_mean + self.k * self.rtt_dev))
+
+    def snapshot(self) -> dict:
+        return {
+            "rtt_mean": self.rtt_mean,
+            "rtt_dev": self.rtt_dev,
+            "samples": self.samples,
+            "timeout": self.timeout(),
+        }
+
+
+class PeerHealthRegistry:
+    """Thread-safe per-peer health ledger, shared across pools and jobs.
+
+    The serve layer owns one of these for its whole lifetime and threads it
+    into every job's pool, so ``/status`` and ``/healthz`` report peer state
+    that survives individual extractions.
+    """
+
+    def __init__(self, peers=()):
+        self._lock = threading.Lock()
+        self._peers: dict = {}
+        for address in peers:
+            self._entry(address)
+
+    def _entry(self, address: str) -> dict:
+        entry = self._peers.get(address)
+        if entry is None:
+            entry = {
+                "state": "unknown",   # unknown | up | suspect | down
+                "last_heartbeat": None,  # monotonic time of last good pong
+                "rtt": None,
+                "connects": 0,
+                "reconnects": 0,
+                "fenced_replies": 0,
+                "duplicates_dropped": 0,
+                "quarantines": 0,
+            }
+            self._peers[address] = entry
+        return entry
+
+    def note_connect(self, address: str, reconnect: bool) -> None:
+        with self._lock:
+            entry = self._entry(address)
+            entry["state"] = "up"
+            entry["connects"] += 1
+            if reconnect:
+                entry["reconnects"] += 1
+
+    def note_heartbeat(self, address: str, rtt: float) -> None:
+        with self._lock:
+            entry = self._entry(address)
+            entry["state"] = "up"
+            entry["last_heartbeat"] = time.monotonic()
+            entry["rtt"] = rtt
+
+    def note_suspect(self, address: str) -> None:
+        with self._lock:
+            entry = self._entry(address)
+            if entry["state"] != "down":
+                entry["state"] = "suspect"
+
+    def note_down(self, address: str) -> None:
+        with self._lock:
+            self._entry(address)["state"] = "down"
+
+    def note_fenced(self, address: str, count: int = 1) -> None:
+        with self._lock:
+            self._entry(address)["fenced_replies"] += count
+
+    def note_duplicates(self, address: str, count: int) -> None:
+        with self._lock:
+            self._entry(address)["duplicates_dropped"] += count
+
+    def note_quarantine(self, address: str) -> None:
+        with self._lock:
+            entry = self._entry(address)
+            entry["state"] = "down"
+            entry["quarantines"] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-safe per-peer view (heartbeat age in seconds, not a stamp)."""
+        now = time.monotonic()
+        with self._lock:
+            view = {}
+            for address, entry in self._peers.items():
+                out = dict(entry)
+                stamp = out.pop("last_heartbeat")
+                out["last_heartbeat_age"] = (
+                    round(now - stamp, 3) if stamp is not None else None
+                )
+                view[address] = out
+            return view
+
+    def healthy(self) -> bool:
+        """At least one peer is not known-down (vacuously true when empty)."""
+        with self._lock:
+            if not self._peers:
+                return True
+            return any(e["state"] != "down" for e in self._peers.values())
+
+
+class RemoteWorkerHandle:
+    """One leased connection to a worker agent, plus its lease state.
+
+    All request/response access happens under :attr:`lock` — the invoking
+    scheduler thread holds it for the whole invocation, the pool's heartbeat
+    thread only pings when it can take it uncontended, so frames on one
+    transport are never interleaved.
+    """
+
+    def __init__(self, address: str, spec: RemoteSpec,
+                 transport_factory: Callable, detector: FailureDetector):
+        self.address = address
+        self.spec = spec
+        self.transport_factory = transport_factory
+        self.detector = detector
+        self.lock = threading.Lock()
+        self.transport: Optional[TcpTransport] = None
+        #: lease generation: bumped on every reconnect and every abandoned
+        #: request, so a stale reply's tokens can never match
+        self.epoch = 0
+        self._req = 0
+        #: replies dropped by the fencing reader on this handle
+        self.fenced_replies = 0
+        self._duplicates_seen = 0
+        #: table → (schema, shipped row-list reference) for delta shipping
+        self.shipped: dict = {}
+        self.last_injected: dict = {}
+        self.suspect = False
+        self.reconnect_failures = 0
+        self.agent_pid: Optional[int] = None
+        #: hello-handshake round-trip of the current connection — the first
+        #: heartbeat sample, recorded even when the idle ping loop never gets
+        #: the lock (busy pools: the invocations themselves prove liveness)
+        self.last_hello_rtt: Optional[float] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.transport is not None and self.transport.alive
+
+    # -- lease-fenced request/response --------------------------------------
+
+    def request(self, message: dict, deadline_seconds: float) -> dict:
+        """Send one fenced request and wait for *its* reply.
+
+        Any reply bearing other tokens — a pong from an earlier heartbeat, a
+        run reply from an abandoned lease — is dropped and counted.  Raises
+        :class:`~repro.isolation.protocol.TransportTimeout` when the deadline
+        expires; the caller decides whether that fences the lease.
+        """
+        self._req += 1
+        req = self._req
+        message = {**message, "epoch": self.epoch, "req": req}
+        self.transport.send(message)
+        return self._recv_matching(req, deadline_seconds)
+
+    def _recv_matching(self, req: int, deadline_seconds: float) -> dict:
+        deadline = time.perf_counter() + deadline_seconds
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise TransportTimeout()
+            reply = self.transport.recv(remaining)
+            if reply.get("epoch") == self.epoch and reply.get("req") == req:
+                return reply
+            self.fenced_replies += 1
+
+    def ping(self) -> float:
+        """One heartbeat round-trip; returns the RTT and feeds the detector."""
+        started = time.perf_counter()
+        reply = self.request({"cmd": "ping"}, self.detector.timeout())
+        if not reply.get("pong"):
+            raise ProtocolError(f"expected a pong, got {reply!r}")
+        rtt = time.perf_counter() - started
+        self.detector.observe(rtt)
+        return rtt
+
+    # -- lease lifecycle -----------------------------------------------------
+
+    def abandon(self) -> None:
+        """Give up on the outstanding request: new epoch, connection kept.
+
+        The transport may still deliver the old reply later; the epoch bump
+        guarantees the fencing reader drops it.  Keeping the connection open
+        is deliberate — a straggler is cheaper to keep than to re-dial, and
+        the late reply arriving at all proves the link works.
+        """
+        self.epoch += 1
+        self.suspect = True
+
+    def mark_dead(self) -> None:
+        """The connection is unusable: close it and fence the lease."""
+        self.epoch += 1
+        self.suspect = False
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+        self.shipped = {}
+
+    def connect(self, executable_blob: bytes) -> None:
+        """Dial, handshake, and init a fresh worker on the agent.
+
+        Raises any of :data:`_CONNECTION_ERRORS` /
+        :class:`~repro.isolation.protocol.TransportTimeout` on failure; the
+        pool's reconnect loop translates those into backoff + failover.
+        """
+        self.mark_dead()
+        transport = self.transport_factory(self.address, self.spec.connect_timeout)
+        try:
+            self.transport = transport
+            started = time.perf_counter()
+            hello = self.request({"cmd": "hello"},
+                                 max(self.spec.connect_timeout,
+                                     self.detector.timeout()))
+            if not hello.get("hello"):
+                raise ProtocolError(f"bad hello reply: {hello!r}")
+            # the handshake round-trip seeds the failure detector, so even
+            # the first run request gets a calibrated network allowance
+            self.last_hello_rtt = time.perf_counter() - started
+            self.detector.observe(self.last_hello_rtt)
+            self.agent_pid = hello.get("agent_pid")
+            init = self.request(
+                {"cmd": "init", "executable": executable_blob}, _SPAWN_TIMEOUT
+            )
+            if not init.get("ok"):
+                raise ExtractionError(
+                    f"remote worker on {self.address} failed to initialise: "
+                    f"{init.get('error')}"
+                )
+        except BaseException:
+            self.transport = None
+            transport.close()
+            raise
+        self.suspect = False
+        self.reconnect_failures = 0
+        self.shipped = {}
+
+    def close(self) -> None:
+        if self.transport is not None:
+            try:
+                self.transport.send({"cmd": "shutdown",
+                                     "epoch": self.epoch, "req": self._req + 1})
+            except Exception:
+                pass
+            self.transport.close()
+            self.transport = None
+
+    def drain_transport_counters(self) -> tuple:
+        """(new fenced, new duplicate) counts since the last drain."""
+        fenced = self.fenced_replies
+        self.fenced_replies = 0
+        duplicates = 0
+        if self.transport is not None:
+            duplicates = self.transport.duplicates_dropped - self._duplicates_seen
+            if duplicates < 0:
+                duplicates = self.transport.duplicates_dropped
+            self._duplicates_seen = self.transport.duplicates_dropped
+        return fenced, duplicates
+
+
+class RemoteWorkerPool:
+    """Slot-leased pool of remote worker connections for one executable.
+
+    Public surface mirrors :class:`~repro.isolation.supervisor.WorkerPool`
+    (``invoke`` / ``stats`` / ``ordinal`` / ``respawns`` /
+    ``quarantine_error`` / ``injected_totals`` / ``health`` / ``close``), so
+    :class:`~repro.isolation.backend.RemoteIsolationBackend` is a thin
+    subclass of the process backend.
+    """
+
+    def __init__(self, executable, spec: RemoteSpec, metrics=None,
+                 registry: Optional[PeerHealthRegistry] = None,
+                 transport_factory: Optional[Callable] = None):
+        if not spec.peers:
+            raise ExtractionError("remote isolation requires at least one peer")
+        self.spec = spec
+        self.metrics = metrics
+        self.registry = registry if registry is not None else PeerHealthRegistry(
+            spec.peers
+        )
+        factory = transport_factory
+        if factory is None:
+            factory = lambda address, timeout: TcpTransport.connect(  # noqa: E731
+                address, timeout=timeout
+            )
+        self.executable_blob = pack_executable(executable)
+        self.stats = PoolStats()
+        self.ordinal = 0
+        self.consecutive_abnormal = 0
+        self.respawns = 0
+        self.quarantine_error: Optional[PeerQuarantined] = None
+        self.injected_base: dict = {}
+        #: peers declared down after a spent reconnect budget
+        self._peer_down: dict = {address: False for address in spec.peers}
+        self._detectors = {
+            address: FailureDetector(
+                k=spec.detector_k, floor=spec.detector_floor,
+                ceiling=spec.detector_ceiling,
+            )
+            for address in spec.peers
+        }
+        size = max(1, spec.pool_size)
+        self._handles = [
+            RemoteWorkerHandle(
+                spec.peers[slot % len(spec.peers)], spec, factory,
+                self._detectors[spec.peers[slot % len(spec.peers)]],
+            )
+            for slot in range(size)
+        ]
+        self._slots: queue.Queue = queue.Queue()
+        for slot in range(size):
+            self._slots.put(slot)
+        self._lock = threading.Lock()
+        self.closed = False
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="remote-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def invoke(self, db, timeout: Optional[float],
+               trace_access: bool = False) -> dict:
+        """Run one invocation on a remote worker; returns the reply dict.
+
+        Raises :class:`~repro.errors.ExecutableTimeoutError` on an
+        agent-enforced hard-deadline kill,
+        :class:`~repro.errors.WorkerCrashedError` on a remote worker crash,
+        :class:`~repro.errors.PeerUnavailable` (retryable) on a partition or
+        torn connection — the lease is fenced *before* this raises, so the
+        retried invocation can never be double-counted — and
+        :class:`~repro.errors.PeerQuarantined` once every peer is down.
+        """
+        with self._lock:
+            if self.closed:
+                raise ExtractionError("remote worker pool is closed")
+            if self.quarantine_error is not None:
+                raise self.quarantine_error
+        slot = self._slots.get()
+        try:
+            handle = self._handles[slot]
+            with handle.lock:
+                self._ensure_connected(handle)
+                with self._lock:
+                    self.ordinal += 1
+                    ordinal = self.ordinal
+                    self.stats.invocations += 1
+                effective = (
+                    timeout if timeout is not None else self.spec.default_timeout
+                )
+                # _deltas commits to handle.shipped as it builds the message,
+                # but a dropped/partitioned frame leaves the worker's replica
+                # behind that ledger.  Deltas are idempotent full-table
+                # replacements, so on any failed request we roll shipped back
+                # to this snapshot: the retry re-ships the same tables whether
+                # or not the worker applied them the first time.
+                shipped_before = dict(handle.shipped)
+                message = {
+                    "cmd": "run",
+                    "ordinal": ordinal,
+                    "timeout": timeout,
+                    "trace_access": trace_access,
+                    "deltas": self._deltas(handle, db),
+                    "dropped": self._dropped(handle, db),
+                    # the agent arms the local SIGKILL clock with this
+                    "deadline": effective + self.spec.kill_grace,
+                }
+                try:
+                    reply = handle.request(
+                        message,
+                        effective + self.spec.kill_grace
+                        + handle.detector.timeout(),
+                    )
+                except TransportTimeout:
+                    # Partition or straggler: fence the lease, keep the
+                    # connection for the late-reply path, requeue via retry.
+                    handle.shipped = shipped_before
+                    handle.abandon()
+                    self.registry.note_suspect(handle.address)
+                    with self._lock:
+                        self._count("transport_partitions_total")
+                    self._drain_counters(handle)
+                    raise PeerUnavailable(
+                        handle.address,
+                        f"no reply within {effective + self.spec.kill_grace:.3f}s"
+                        " + network allowance (partition suspected)",
+                        ordinal=ordinal,
+                    ) from None
+                except _CONNECTION_ERRORS as error:
+                    handle.mark_dead()
+                    self.registry.note_suspect(handle.address)
+                    self._drain_counters(handle)
+                    raise PeerUnavailable(
+                        handle.address,
+                        f"connection failed mid-invocation: {error}",
+                        ordinal=ordinal,
+                    ) from None
+                self._drain_counters(handle)
+                if reply.get("hard_timeout"):
+                    # The agent SIGKILLed its worker and closed up shop.
+                    handle.mark_dead()
+                    with self._lock:
+                        self.stats.kills += 1
+                        self._count("worker_kills_total")
+                        self._note_abnormal(handle)
+                    raise ExecutableTimeoutError(
+                        f"isolated invocation {ordinal} exceeded its "
+                        f"{effective:.3f}s hard deadline and was killed"
+                    )
+                if reply.get("crashed"):
+                    handle.mark_dead()
+                    kind = reply.get("kind", "unknown")
+                    with self._lock:
+                        self.stats.crashes += 1
+                        self._count("worker_crashes_total")
+                        self._note_abnormal(handle)
+                    raise WorkerCrashedError(
+                        kind,
+                        f"remote worker on {handle.address} died with status "
+                        f"{reply.get('returncode')}",
+                        ordinal=ordinal,
+                    )
+                with self._lock:
+                    self.consecutive_abnormal = 0
+                    self._record_reply_stats(handle, reply)
+                # a fenced run reply is liveness evidence as good as a pong:
+                # keep the peer's heartbeat age fresh through busy stretches
+                # where the idle ping loop can never take the lock
+                self.registry.note_heartbeat(
+                    handle.address, handle.detector.rtt_mean or 0.0
+                )
+                return reply
+        finally:
+            self._slots.put(slot)
+
+    def health(self) -> dict:
+        """Pool + per-peer health for breakers and the serve /status view."""
+        with self._lock:
+            view = {
+                "invocations": self.stats.invocations,
+                "crashes": self.stats.crashes,
+                "kills": self.stats.kills,
+                "restarts": self.stats.restarts,
+                "consecutive_abnormal": self.consecutive_abnormal,
+                "respawns": self.respawns,
+                "respawn_budget": self.spec.max_respawns,
+                "quarantined": self.quarantine_error is not None,
+            }
+        view["peers"] = self.registry.snapshot()
+        return view
+
+    def injected_totals(self) -> dict:
+        totals = dict(self.injected_base)
+        for handle in self._handles:
+            for key, value in handle.last_injected.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def close(self) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+        self._heartbeat_stop.set()
+        self._heartbeat_thread.join(timeout=2)
+        for handle in self._handles:
+            with handle.lock:
+                self._absorb_injected(handle)
+                handle.close()
+
+    # -- connection management ----------------------------------------------
+
+    def _ensure_connected(self, handle: RemoteWorkerHandle) -> None:
+        """Leave the handle with a live, trusted connection (or raise).
+
+        Caller holds ``handle.lock``.  A suspect connection is probed with a
+        ping first — a pong clears suspicion without re-dialling (and the
+        probe's reader drains any fenced late replies, which is the
+        partition-then-late-reply recovery path).
+        """
+        if handle.connected and handle.suspect:
+            try:
+                handle.ping()
+                handle.suspect = False
+                self.registry.note_heartbeat(handle.address,
+                                             handle.detector.rtt_mean or 0.0)
+            except (TransportTimeout, *_CONNECTION_ERRORS):
+                handle.mark_dead()
+            finally:
+                self._drain_counters(handle)
+        if handle.connected:
+            return
+        while True:
+            if self._peer_down.get(handle.address, False):
+                self._failover(handle)
+            if handle.reconnect_failures > 0:
+                backoff = min(
+                    self.spec.backoff_base * (2 ** (handle.reconnect_failures - 1)),
+                    self.spec.backoff_max,
+                )
+                time.sleep(backoff)
+            is_reconnect = False
+            with self._lock:
+                is_reconnect = self.stats.invocations > 0
+                if is_reconnect:
+                    if self.respawns >= self.spec.max_respawns:
+                        self._quarantine("respawn budget spent")
+                    self.respawns += 1
+                    self.stats.restarts += 1
+                    self._count("worker_restarts_total")
+                    self._count("transport_reconnects_total")
+            try:
+                handle.connect(self.executable_blob)
+            except (TransportTimeout, *_CONNECTION_ERRORS) as error:
+                handle.reconnect_failures += 1
+                self.registry.note_suspect(handle.address)
+                if handle.reconnect_failures >= self.spec.max_reconnects:
+                    self._declare_peer_down(handle.address)
+                    handle.reconnect_failures = 0
+                    self._failover(handle)  # raises when no peer is left
+                continue
+            self.registry.note_connect(handle.address, reconnect=is_reconnect)
+            self._peer_down[handle.address] = False
+            if handle.last_hello_rtt is not None:
+                # the handshake IS the first heartbeat: on busy pools the
+                # idle ping loop may never win the lock, so record it here
+                self.registry.note_heartbeat(handle.address,
+                                             handle.last_hello_rtt)
+                with self._lock:
+                    if self.metrics is not None:
+                        self.metrics.histogram(
+                            "heartbeat_rtt_seconds"
+                        ).observe(handle.last_hello_rtt)
+            return
+
+    def _failover(self, handle: RemoteWorkerHandle) -> None:
+        """Re-point a handle at the next healthy peer; caller holds its lock."""
+        alive = [a for a in self.spec.peers if not self._peer_down.get(a)]
+        if not alive:
+            with self._lock:
+                self._quarantine("every peer is unreachable")
+        start = self.spec.peers.index(handle.address)
+        ordered = [
+            self.spec.peers[(start + offset) % len(self.spec.peers)]
+            for offset in range(1, len(self.spec.peers) + 1)
+        ]
+        target = next(a for a in ordered if not self._peer_down.get(a))
+        handle.address = target
+        handle.detector = self._detectors[target]
+        handle.reconnect_failures = 0
+
+    def _declare_peer_down(self, address: str) -> None:
+        self._peer_down[address] = True
+        self.registry.note_quarantine(address)
+        with self._lock:
+            self._count("peer_quarantines_total", labels={"peer": address})
+
+    def _heartbeat_loop(self) -> None:
+        while not self._heartbeat_stop.wait(self.spec.heartbeat_interval):
+            for handle in self._handles:
+                if self._heartbeat_stop.is_set():
+                    return
+                if not handle.lock.acquire(blocking=False):
+                    continue  # an invocation owns the connection; it IS the probe
+                try:
+                    if not handle.connected or handle.suspect:
+                        continue
+                    try:
+                        rtt = handle.ping()
+                    except TransportTimeout:
+                        handle.abandon()  # fences the lost pong
+                        self.registry.note_suspect(handle.address)
+                        with self._lock:
+                            self._count("heartbeat_timeouts_total")
+                        continue
+                    except _CONNECTION_ERRORS:
+                        handle.mark_dead()
+                        self.registry.note_suspect(handle.address)
+                        continue
+                    self.registry.note_heartbeat(handle.address, rtt)
+                    with self._lock:
+                        if self.metrics is not None:
+                            self.metrics.histogram(
+                                "heartbeat_rtt_seconds"
+                            ).observe(rtt)
+                finally:
+                    self._drain_counters(handle)
+                    handle.lock.release()
+
+    # -- ledger internals (mirrors WorkerPool) -------------------------------
+
+    def _note_abnormal(self, handle: RemoteWorkerHandle) -> None:
+        """Record an abnormal worker exit; caller holds the pool lock."""
+        self._absorb_injected(handle)
+        self.consecutive_abnormal += 1
+        if self.consecutive_abnormal >= self.spec.quarantine_threshold:
+            self._quarantine(
+                f"{self.consecutive_abnormal} consecutive abnormal worker exits"
+            )
+
+    def _quarantine(self, reason: str):
+        """Flip the sticky quarantine; caller holds the pool lock."""
+        self.quarantine_error = PeerQuarantined(
+            reason, self.consecutive_abnormal, self.respawns,
+            peers=self.spec.peers,
+        )
+        self._count("worker_quarantines_total")
+        raise self.quarantine_error
+
+    def _absorb_injected(self, handle: RemoteWorkerHandle) -> None:
+        for key, value in handle.last_injected.items():
+            self.injected_base[key] = self.injected_base.get(key, 0) + value
+        handle.last_injected = {}
+
+    def _record_reply_stats(self, handle: RemoteWorkerHandle, reply: dict) -> None:
+        stats = reply.get("stats") or {}
+        rss = int(stats.get("maxrss_bytes", 0))
+        if rss > self.stats.rss_peak_bytes:
+            self.stats.rss_peak_bytes = rss
+            if self.metrics is not None:
+                self.metrics.gauge("worker_rss_peak_bytes").set(rss)
+        if "injected" in stats:
+            handle.last_injected = dict(stats["injected"])
+
+    def _drain_counters(self, handle: RemoteWorkerHandle) -> None:
+        """Fold the handle's fencing/dedup tallies into metrics + registry."""
+        fenced, duplicates = handle.drain_transport_counters()
+        if fenced:
+            self.registry.note_fenced(handle.address, fenced)
+        if duplicates:
+            self.registry.note_duplicates(handle.address, duplicates)
+        if self.metrics is not None and (fenced or duplicates):
+            with self._lock:
+                if fenced:
+                    self.metrics.counter("fenced_replies_total").inc(fenced)
+                if duplicates:
+                    self.metrics.counter(
+                        "transport_duplicates_dropped_total"
+                    ).inc(duplicates)
+
+    def _count(self, name: str, labels: Optional[dict] = None) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, labels=labels).inc()
+
+    # -- incremental state shipping (identical contract to WorkerPool) -------
+
+    def _deltas(self, handle: RemoteWorkerHandle, db) -> dict:
+        deltas = {}
+        for name, schema, rows in db.table_states():
+            prev = handle.shipped.get(name)
+            if prev is not None and prev[0] == schema and prev[1] is rows:
+                continue
+            handle.shipped[name] = (schema, rows)
+            deltas[name] = {"schema": schema, "rows": rows}
+        return deltas
+
+    def _dropped(self, handle: RemoteWorkerHandle, db) -> list:
+        live = {name for name, _, _ in db.table_states()}
+        dropped = [name for name in handle.shipped if name not in live]
+        for name in dropped:
+            del handle.shipped[name]
+        return dropped

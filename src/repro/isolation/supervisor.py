@@ -32,12 +32,10 @@ from __future__ import annotations
 
 import os
 import queue
-import select
 import signal
 import subprocess
 import sys
 import threading
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -49,8 +47,9 @@ from repro.errors import (
 )
 from repro.isolation.protocol import (
     EXIT_MEMORY,
+    PipeTransport,
+    TransportTimeout,
     pack_executable,
-    read_frame,
     write_frame,
 )
 
@@ -95,10 +94,17 @@ class _WorkerDied(Exception):
     """Internal sentinel: the pipe closed before a full reply arrived."""
 
 
-class WorkerHandle:
-    """One supervised worker process plus its incremental ship-state."""
+class LocalWorkerProcess:
+    """One spawned worker subprocess behind a :class:`PipeTransport`.
 
-    def __init__(self, spec: WorkerSpec, executable_blob: bytes):
+    The spawn/kill/classify mechanics, shared by the in-process
+    :class:`WorkerHandle` and the remote :mod:`repro.isolation.agent` (which
+    supervises a local worker on behalf of a network supervisor).  Exposes
+    the raw protocol exceptions (:class:`TransportTimeout` / ``EOFError``);
+    callers map them into their own crash handling.
+    """
+
+    def __init__(self, spec: WorkerSpec):
         command = [sys.executable, "-m", "repro.isolation.worker"]
         if spec.memory_limit_bytes:
             command += ["--memory-limit-bytes", str(spec.memory_limit_bytes)]
@@ -121,69 +127,20 @@ class WorkerHandle:
             stderr=None,  # worker tracebacks stay visible on the user's stderr
             env=env,
         )
-        self._buffer = b""
-        #: table → (schema, shipped row-list reference); holding the list
-        #: object both detects changes (identity) and pins its id
-        self.shipped: dict[str, tuple] = {}
-        self.last_injected: dict[str, int] = {}
-        write_frame(self.proc.stdin, {"cmd": "init", "executable": executable_blob})
-        reply = self._read_reply(_SPAWN_TIMEOUT)
-        if not reply.get("ok"):
-            error = reply.get("error")
-            self.kill()
-            raise ExtractionError(f"isolated worker failed to initialise: {error}")
-        self.pid = reply.get("pid", self.proc.pid)
+        self.transport = PipeTransport(self.proc.stdin, self.proc.stdout.fileno())
 
     @property
     def alive(self) -> bool:
         return self.proc.poll() is None
 
-    # -- request/response ---------------------------------------------------
-
-    def request(self, message: dict, deadline_seconds: float) -> dict:
+    def request(self, message: dict, deadline_seconds: Optional[float]) -> dict:
         """Send one frame and read the reply under a hard deadline.
 
-        Raises :class:`_HardTimeout` when the deadline expires and
-        :class:`_WorkerDied` when the worker's pipe closes mid-reply; the
-        pool turns those into kills/classified crashes.
+        Raises :class:`TransportTimeout` when the deadline expires and
+        ``EOFError``/``OSError`` when the worker's pipe closes mid-reply.
         """
-        try:
-            write_frame(self.proc.stdin, message)
-        except (BrokenPipeError, OSError) as error:
-            raise _WorkerDied(str(error)) from error
-        return self._read_reply(deadline_seconds)
-
-    def _read_reply(self, deadline_seconds: float) -> dict:
-        import io
-        import pickle
-        import struct
-
-        deadline = time.perf_counter() + deadline_seconds
-        header_size = 8
-        fd = self.proc.stdout.fileno()
-        needed = header_size
-        length: Optional[int] = None
-        while True:
-            while len(self._buffer) >= needed:
-                if length is None:
-                    (length,) = struct.unpack(">Q", self._buffer[:header_size])
-                    needed = header_size + length
-                    continue
-                payload = self._buffer[header_size:needed]
-                self._buffer = self._buffer[needed:]
-                return pickle.loads(payload)
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0:
-                raise _HardTimeout()
-            readable, _, _ = select.select([fd], [], [], remaining)
-            if not readable:
-                raise _HardTimeout()
-            chunk = os.read(fd, 1 << 20)
-            if not chunk:
-                raise _WorkerDied("worker closed its pipe before replying")
-            self._buffer += chunk
-
-    # -- lifecycle ----------------------------------------------------------
+        self.transport.send(message)
+        return self.transport.recv(deadline_seconds)
 
     def kill(self) -> None:
         """SIGKILL and reap; idempotent."""
@@ -227,6 +184,71 @@ class WorkerHandle:
         if code == EXIT_MEMORY:
             return "oom"
         return f"exit-{code}"
+
+
+class WorkerHandle:
+    """One supervised worker process plus its incremental ship-state."""
+
+    def __init__(self, spec: WorkerSpec, executable_blob: bytes):
+        self._process = LocalWorkerProcess(spec)
+        self.proc = self._process.proc
+        #: table → (schema, shipped row-list reference); holding the list
+        #: object both detects changes (identity) and pins its id
+        self.shipped: dict[str, tuple] = {}
+        self.last_injected: dict[str, int] = {}
+        try:
+            reply = self._process.request(
+                {"cmd": "init", "executable": executable_blob}, _SPAWN_TIMEOUT
+            )
+        except TransportTimeout:
+            self.kill()
+            raise ExtractionError(
+                "isolated worker failed to initialise: init handshake timed out"
+            ) from None
+        except (EOFError, OSError) as error:
+            self.kill()
+            raise ExtractionError(
+                f"isolated worker failed to initialise: {error}"
+            ) from None
+        if not reply.get("ok"):
+            error = reply.get("error")
+            self.kill()
+            raise ExtractionError(f"isolated worker failed to initialise: {error}")
+        self.pid = reply.get("pid", self.proc.pid)
+
+    @property
+    def alive(self) -> bool:
+        return self._process.alive
+
+    # -- request/response ---------------------------------------------------
+
+    def request(self, message: dict, deadline_seconds: float) -> dict:
+        """Send one frame and read the reply under a hard deadline.
+
+        Raises :class:`_HardTimeout` when the deadline expires and
+        :class:`_WorkerDied` when the worker's pipe closes mid-reply; the
+        pool turns those into kills/classified crashes.
+        """
+        try:
+            return self._process.request(message, deadline_seconds)
+        except TransportTimeout:
+            raise _HardTimeout() from None
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise _WorkerDied(str(error)) from error
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL and reap; idempotent."""
+        self._process.kill()
+
+    def shutdown(self) -> None:
+        """Polite exit, escalating to SIGKILL."""
+        self._process.shutdown()
+
+    def exit_kind(self) -> str:
+        """Classify a dead worker's wait status into the crash taxonomy."""
+        return self._process.exit_kind()
 
 
 @dataclass

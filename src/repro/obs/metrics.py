@@ -39,14 +39,33 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 )
 
 
+def label_key(name: str, labels: Optional[dict]) -> str:
+    """Storage/exposition key for a (family, labels) pair.
+
+    ``peer_quarantines_total`` + ``{"peer": "h:1"}`` →
+    ``peer_quarantines_total{peer="h:1"}`` — the exact Prometheus sample
+    syntax, so the key doubles as the rendered series name.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count, optionally labelled.
 
-    __slots__ = ("name", "value")
+    Labels support the per-peer transport series (one ``Counter`` per label
+    combination, all sharing a family name); the rest of the registry stays
+    label-free.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "labels")
+
+    def __init__(self, name: str, labels: Optional[dict] = None):
         self.name = name
         self.value = 0
+        self.labels = dict(labels) if labels else None
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -54,7 +73,10 @@ class Counter:
         self.value += amount
 
     def to_dict(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        out = {"type": "counter", "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Gauge:
@@ -184,8 +206,20 @@ class MetricsRegistry:
             )
         return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, labels: Optional[dict] = None) -> Counter:
+        if labels is None:
+            return self._get(name, Counter)
+        key = label_key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Counter(name, labels)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, Counter):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(instrument).__name__}, requested Counter"
+            )
+        return instrument
 
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
@@ -213,7 +247,9 @@ class MetricsRegistry:
         for name in sorted(other._instruments):
             instrument = other._instruments[name]
             if isinstance(instrument, Counter):
-                self.counter(name).inc(instrument.value)
+                self.counter(
+                    instrument.name, labels=instrument.labels
+                ).inc(instrument.value)
             elif isinstance(instrument, Histogram):
                 mine = self.histogram(name, instrument.bounds)
                 if mine.bounds != instrument.bounds:
@@ -282,11 +318,22 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     quantiles without running ``histogram_quantile``.
     """
     lines: list[str] = []
+    counter_families_typed: set = set()
     for instrument in registry.instruments():
         name = _prom_name(instrument.name)
         if isinstance(instrument, Counter):
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_prom_value(instrument.value)}")
+            # one TYPE line per family, however many label combinations
+            if name not in counter_families_typed:
+                counter_families_typed.add(name)
+                lines.append(f"# TYPE {name} counter")
+            sample = _prom_name(instrument.name)
+            if instrument.labels:
+                inner = ",".join(
+                    f'{_prom_name(key)}="{value}"'
+                    for key, value in sorted(instrument.labels.items())
+                )
+                sample = f"{sample}{{{inner}}}"
+            lines.append(f"{sample} {_prom_value(instrument.value)}")
         elif isinstance(instrument, Gauge):
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_prom_value(instrument.value)}")

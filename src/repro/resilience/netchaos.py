@@ -1,0 +1,241 @@
+"""The ``net`` chaos harness: wire faults against the remote worker transport.
+
+For every fault class in
+:data:`~repro.resilience.netfaults.NET_FAULT_CLASSES` the harness arms a
+one-shot :class:`~repro.resilience.netfaults.NetFaultPlan` at three pipeline
+phases — early (From-clause identification), mid (filter extraction), late
+(assembly-era probes) — and runs a full extraction through an in-process
+:class:`~repro.isolation.agent.WorkerAgent` on loopback.  Every cell must end
+in SQL byte-identical to the fault-free inline baseline (these are all
+*recoverable* network pathologies; a structured verdict would mean the
+transport gave up on something it should have survived), and the cells that
+exist to prove the exactly-once contract carry extra obligations:
+
+* ``duplicate``  — the agent's sequence numbers must have actually dropped a
+  duplicate frame (one execution, not two);
+* ``partition`` / ``reorder`` — the supervisor's fencing reader must have
+  rejected at least one stale reply (the partition-then-late-reply proof:
+  the abandoned lease's reply arrived and was dropped, so its side effects
+  were never double-folded and its rows never double-charged);
+* ``torn_frame`` / ``corrupt`` — the connection must have been torn down and
+  re-established (CRC and framing caught the damage; reconnect + requeue
+  recovered).
+
+A ``clean`` cell (no fault) pins remote-over-loopback to the inline
+baseline byte-for-byte.  Used by ``repro chaos --profile net`` and the slow
+integration test; the survival matrix is written to
+``<workdir>/net_chaos_matrix.json`` for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.isolation.remote import PeerHealthRegistry
+from repro.resilience.netfaults import (
+    NET_FAULT_CLASSES,
+    NetFaultPlan,
+    faulty_transport_factory,
+)
+
+#: fault classes whose recovery requires a reconnect (connection destroyed)
+RECONNECT_CLASSES = ("torn_frame", "corrupt")
+
+#: fault classes that must trip the fencing reader (a stale reply arrives)
+FENCING_CLASSES = ("partition", "reorder")
+
+
+def _remote_config(address: str, registry, transport_factory=None):
+    from repro.core.config import ExtractionConfig
+
+    return ExtractionConfig(
+        fail_fast=False,
+        isolate="remote",
+        worker_peers=(address,),
+        peer_registry=registry,
+        transport_factory=transport_factory,
+        # tight-but-safe wire budgets so a swallowed frame is detected in
+        # seconds, not the production 30s default
+        worker_default_timeout=5.0,
+        worker_kill_grace=0.5,
+        transport_heartbeat_interval=0.2,
+        transport_backoff_base=0.01,
+        transport_backoff_max=0.1,
+    )
+
+
+def _extract(query, workload, scale, seed, config=None):
+    """One extraction; returns the pipeline outcome."""
+    from repro.apps.executable import SQLExecutable
+    from repro.core.config import ExtractionConfig
+    from repro.core.pipeline import UnmasqueExtractor
+    from repro.serve.jobs import JobRequest
+    from repro.serve.service import build_instance, resolve_sql
+
+    hidden_sql = resolve_sql(
+        JobRequest(workload=workload, query=query, scale=scale, seed=seed)
+    )
+    db = build_instance(workload, scale, seed)
+    app = SQLExecutable(hidden_sql, obfuscate_text=True, name="net-chaos")
+    if config is None:
+        config = ExtractionConfig(fail_fast=False)
+    return UnmasqueExtractor(db, app, config).extract()
+
+
+def _registry_totals(registry: PeerHealthRegistry) -> dict:
+    totals = {"fenced_replies": 0, "duplicates_dropped": 0, "reconnects": 0,
+              "quarantines": 0}
+    for entry in registry.snapshot().values():
+        for key in totals:
+            totals[key] += entry[key]
+    return totals
+
+
+def _cell(fault: str, phase: str, ok: bool, outcome: str) -> dict:
+    return {"fault": fault, "phase": phase, "ok": ok, "outcome": outcome}
+
+
+def _fault_cell(fault, phase_name, at_op, agent, query, workload, scale,
+                seed, chaos_seed, baseline_sql) -> dict:
+    plan = NetFaultPlan(fault, at_op=at_op, seed=chaos_seed)
+    registry = PeerHealthRegistry((agent.address,))
+    agent_before = agent.transport_counters()
+    config = _remote_config(
+        agent.address, registry, faulty_transport_factory(plan)
+    )
+    try:
+        outcome = _extract(query, workload, scale, seed, config=config)
+    except Exception as error:  # noqa: BLE001 - a cell failure, not a crash
+        return _cell(fault, phase_name, False,
+                     f"extraction died: {type(error).__name__}: {error}")
+    if not plan.fired:
+        return _cell(fault, phase_name, False,
+                     f"fault never fired (armed at run frame {at_op})")
+    if outcome.sql != baseline_sql:
+        return _cell(
+            fault, phase_name, False,
+            f"SQL diverged from baseline (verdict {outcome.verdict})",
+        )
+    totals = _registry_totals(registry)
+    agent_delta = {
+        key: agent.transport_counters()[key] - agent_before[key]
+        for key in agent_before
+    }
+    if fault == "duplicate" and agent_delta["duplicates_dropped"] < 1:
+        return _cell(fault, phase_name, False,
+                     "duplicate delivery was never deduplicated")
+    if fault == "reorder" and agent_delta["reorders_healed"] < 1:
+        return _cell(fault, phase_name, False,
+                     "reordered delivery was never healed")
+    if fault in FENCING_CLASSES and totals["fenced_replies"] < 1:
+        return _cell(fault, phase_name, False,
+                     "no stale reply was fenced (exactly-once unproven)")
+    if fault in RECONNECT_CLASSES and totals["reconnects"] < 1:
+        return _cell(fault, phase_name, False,
+                     "damaged connection was never re-established")
+    detail = "byte-identical SQL"
+    proofs = []
+    if totals["fenced_replies"]:
+        proofs.append(f"{totals['fenced_replies']} stale replies fenced")
+    if agent_delta["duplicates_dropped"]:
+        proofs.append(f"{agent_delta['duplicates_dropped']} duplicates dropped")
+    if agent_delta["reorders_healed"]:
+        proofs.append(f"{agent_delta['reorders_healed']} reorders healed")
+    if totals["reconnects"]:
+        proofs.append(f"{totals['reconnects']} reconnects")
+    if proofs:
+        detail += " (" + ", ".join(proofs) + ")"
+    return _cell(fault, phase_name, True, detail)
+
+
+def run_net_chaos(
+    query: str,
+    workload: str = "tpch",
+    scale: float = 0.0005,
+    seed: int = 11,
+    chaos_seed: int = 1337,
+    workdir=None,
+    out=sys.stdout,
+    fast: bool = False,
+) -> dict:
+    """The fault-class × pipeline-phase survival matrix; returns a report.
+
+    ``fast=True`` runs one mid-pipeline cell per fault class instead of the
+    full three-phase matrix (the CI smoke configuration).
+    """
+    from repro.isolation.agent import WorkerAgent
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    out.write(f"baseline    : extracting {query} inline, fault-free\n")
+    started = time.time()
+    baseline = _extract(query, workload, scale, seed)
+    baseline_sql = baseline.sql
+    out.write(f"baseline    : done in {time.time() - started:.2f}s "
+              f"(verdict {baseline.verdict})\n")
+
+    agent = WorkerAgent()
+    address = agent.start()
+    out.write(f"agent       : worker agent on {address}\n")
+    cells: list = []
+    try:
+        # The clean remote cell doubles as the run-frame census: a plan armed
+        # past any realistic ordinal counts frames without ever firing.
+        census = NetFaultPlan("delay", at_op=1 << 30, seed=chaos_seed)
+        registry = PeerHealthRegistry((address,))
+        clean = _extract(
+            query, workload, scale, seed,
+            config=_remote_config(address, registry,
+                                  faulty_transport_factory(census)),
+        )
+        clean_ok = clean.sql == baseline_sql
+        cells.append(_cell(
+            "clean", "full", clean_ok,
+            "remote loopback run byte-identical to inline baseline"
+            if clean_ok else
+            f"remote run diverged from baseline (verdict {clean.verdict})",
+        ))
+        mark = "ok " if clean_ok else "FAIL"
+        out.write(f"{'clean':<12}: {mark} full       {cells[-1]['outcome']}\n")
+        frames = census.op_count
+        out.write(f"census      : {frames} run frames per extraction\n")
+
+        phases = {"mid": max(2, frames // 2)}
+        if not fast:
+            phases = {
+                "early": 2,
+                "mid": max(2, frames // 2),
+                "late": max(3, int(frames * 0.8)),
+            }
+        for fault in NET_FAULT_CLASSES:
+            for phase_name, at_op in phases.items():
+                cell = _fault_cell(
+                    fault, phase_name, at_op, agent, query, workload, scale,
+                    seed, chaos_seed, baseline_sql,
+                )
+                cells.append(cell)
+                mark = "ok " if cell["ok"] else "FAIL"
+                out.write(f"{fault:<12}: {mark} {phase_name:<10} "
+                          f"{cell['outcome']}\n")
+    finally:
+        agent.stop()
+
+    survived = all(cell["ok"] for cell in cells)
+    report = {
+        "survived": survived,
+        "fault_classes": list(NET_FAULT_CLASSES),
+        "phases": sorted({cell["phase"] for cell in cells}),
+        "cells": cells,
+        "baseline_sql": baseline_sql,
+        "workdir": str(workdir),
+    }
+    matrix_path = workdir / "net_chaos_matrix.json"
+    with open(matrix_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    out.write(f"matrix      : {matrix_path}\n")
+    return report

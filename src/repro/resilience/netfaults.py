@@ -1,0 +1,210 @@
+"""Network-fault injection for the remote worker transport (DESIGN.md §5.18).
+
+The supervisor dials worker agents through a transport factory; under chaos
+the factory hands back a :class:`FaultyTransport` — a real
+:class:`~repro.isolation.protocol.TcpTransport` whose *send side* injects one
+seeded fault from the wire-pathology taxonomy:
+
+* ``delay``      — the request frame is delivered late (but within deadline);
+                   the EWMA failure detector must absorb it without a fence
+* ``drop``       — the request frame silently vanishes; the connection stays
+                   up (the classic half-open link) and the read deadline is
+                   the only thing that notices
+* ``partition``  — the request is delivered, then the link goes dark: the
+                   reply is trapped in the kernel until the supervisor has
+                   abandoned the lease, and arrives *late* on the healed
+                   link — the fencing reader must drop it
+* ``torn_frame`` — half a frame, then the connection dies mid-byte
+* ``duplicate``  — the frame is transmitted twice; the receiver's sequence
+                   numbers must dedup it to exactly one execution
+* ``reorder``    — the frame is held and released *after* the next frame;
+                   the receiver's reorder window must heal the order
+* ``corrupt``    — one bit of the payload is flipped; the CRC must catch it
+* ``byte_drip``  — the frame arrives one sliver at a time; slow is not dead,
+                   so this must simply succeed
+
+Like :class:`~repro.resilience.diskfaults.FaultyFS`, the plan fires exactly
+once — on the ``at_op``'th ``run`` frame — and the *same plan object* is
+shared across reconnects (the factory closes over it), so the recovery path
+runs fault-free and the harness can assert ``fired``.
+"""
+
+from __future__ import annotations
+
+import random
+import select
+import socket
+import time
+
+from repro.isolation.protocol import (
+    _TCP_HEADER,
+    TcpTransport,
+    TransportTimeout,
+    parse_address,
+)
+
+#: every fault class the net-chaos profile must survive
+NET_FAULT_CLASSES = (
+    "delay",
+    "drop",
+    "partition",
+    "torn_frame",
+    "duplicate",
+    "reorder",
+    "corrupt",
+    "byte_drip",
+)
+
+
+class NetFaultPlan:
+    """One seeded, one-shot network fault, shared across reconnects.
+
+    ``at_op`` counts supervisor→agent ``run`` frames (the pipeline-phase
+    dial: early/mid/late arming points are invocation ordinals), matching
+    ``FaultyFS.at_op`` counting matching filesystem operations.
+    """
+
+    def __init__(self, kind: str, at_op: int = 1, seed: int = 1337,
+                 delay_seconds: float = 0.05):
+        if kind not in NET_FAULT_CLASSES:
+            raise ValueError(f"unknown network fault {kind!r}")
+        self.kind = kind
+        self.at_op = at_op
+        self.seed = seed
+        self.delay_seconds = delay_seconds
+        self.op_count = 0
+        self.fired = False
+        #: injection bookkeeping, mirroring FaultyExecutable.injected
+        self.injected: dict = {}
+
+    def arm(self, message: dict) -> bool:
+        """Count a matching frame; True when this one should fault."""
+        if self.fired or message.get("cmd") != "run":
+            return False
+        self.op_count += 1
+        if self.op_count == self.at_op:
+            self.fired = True
+            self.injected[self.kind] = self.injected.get(self.kind, 0) + 1
+            return True
+        return False
+
+
+class FaultyTransport(TcpTransport):
+    """A :class:`TcpTransport` that injects the plan's fault on send.
+
+    All faults model the *network*, so they live between :meth:`encode` and
+    the socket: the protocol layer above (sequence numbers, CRC, deadlines,
+    fencing) is exactly the production code under test.
+    """
+
+    def __init__(self, sock: socket.socket, plan: NetFaultPlan):
+        super().__init__(sock)
+        self.plan = plan
+        self._held: bytes | None = None
+        self._partition_active = False
+        self._stash = b""
+
+    # -- send side -----------------------------------------------------------
+
+    def send(self, message: dict) -> None:
+        if self._partition_active:
+            # any new outbound frame heals the partition: the retry/probe
+            # traffic proves the route is back, and the trapped late reply
+            # is released to exercise the fencing reader
+            self._heal_partition()
+        if not self.plan.arm(message):
+            self._transmit_with_holds(self.encode(message))
+            return
+        kind = self.plan.kind
+        if kind == "delay":
+            time.sleep(self.plan.delay_seconds)
+            self._transmit_with_holds(self.encode(message))
+        elif kind == "drop":
+            # vanish without consuming a sequence number: the stream stays
+            # gapless and the connection looks perfectly healthy (half-open)
+            return
+        elif kind == "partition":
+            self._transmit_with_holds(self.encode(message))
+            self._partition_active = True
+        elif kind == "torn_frame":
+            data = self.encode(message)
+            self._transmit(data[: max(1, len(data) // 2)])
+            self.close()
+        elif kind == "duplicate":
+            data = self.encode(message)
+            self._transmit(data)
+            self._transmit(data)
+        elif kind == "reorder":
+            # hold this frame; it goes out *after* the next one
+            self._held = self.encode(message)
+        elif kind == "corrupt":
+            data = bytearray(self.encode(message))
+            rng = random.Random(self.plan.seed)
+            payload_span = max(1, len(data) - _TCP_HEADER.size)
+            position = _TCP_HEADER.size + rng.randrange(payload_span)
+            data[position] ^= 1 << rng.randrange(8)
+            self._transmit(bytes(data))
+        elif kind == "byte_drip":
+            data = self.encode(message)
+            step = max(1, len(data) // 64)
+            for offset in range(0, len(data), step):
+                self._transmit(data[offset:offset + step])
+                time.sleep(0.002)
+
+    def _transmit_with_holds(self, data: bytes) -> None:
+        self._transmit(data)
+        if self._held is not None:
+            held, self._held = self._held, None
+            self._transmit(held)
+
+    # -- receive side (partition darkness) ------------------------------------
+
+    def recv(self, deadline_seconds):
+        if self._partition_active:
+            # the link is dark: whatever the peer sends stays trapped (we
+            # deliberately do not read the socket, so the kernel holds the
+            # late reply for the post-heal replay) and the caller sees only
+            # its deadline expiring
+            time.sleep(0.01)
+            raise TransportTimeout()
+        return super().recv(deadline_seconds)
+
+    def _heal_partition(self) -> None:
+        self._partition_active = False
+        # drain anything the kernel buffered during the darkness into the
+        # parse buffer ahead of future bytes — late replies arrive first
+        while True:
+            try:
+                readable, _, _ = select.select([self.sock], [], [], 0)
+            except (OSError, ValueError):
+                return
+            if not readable:
+                break
+            try:
+                chunk = self.sock.recv(1 << 20)
+            except OSError:
+                return
+            if not chunk:
+                return
+            self._stash += chunk
+        if self._stash:
+            self._buffer = self._stash + self._buffer
+            self._stash = b""
+
+
+def faulty_transport_factory(plan: NetFaultPlan):
+    """A transport factory injecting ``plan``, for ``config.transport_factory``.
+
+    The returned factory is called on every (re)connect with the same plan
+    object — one-shot semantics across connection generations, exactly like
+    a :class:`~repro.resilience.diskfaults.FaultyFS` surviving a store
+    reopen.
+    """
+
+    def factory(address: str, timeout: float) -> FaultyTransport:
+        host, port = parse_address(address)
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return FaultyTransport(sock, plan)
+
+    return factory

@@ -12,10 +12,14 @@ Endpoints::
     GET  /jobs/<id>   journaled record + full transition history (404 unknown)
     GET  /status      queue depth, job counts, breaker state, tenant ledgers,
                       worker-health counters, memory-governor snapshot,
-                      shared-plan-cache stats, provenance-ledger pointer
+                      shared-plan-cache stats, provenance-ledger pointer,
+                      per-peer remote transport health
     GET  /metrics     Prometheus text exposition (counters, gauges,
                       histograms with p50/p95/p99 convenience gauges)
-    GET  /healthz     200 {"ok": true} while accepting, 503 while draining
+    GET  /healthz     cheap, side-effect-free health: thread-pool liveness
+                      plus per-peer transport state and last-heartbeat age;
+                      200 while serviceable, 503 while draining or once
+                      every remote worker peer is down
 """
 
 from __future__ import annotations
@@ -78,10 +82,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                 content_type="text/plain; version=0.0.4; charset=utf-8",
             )
         elif path == "/healthz":
-            if self.service.draining:
-                self._send(503, {"ok": False, "draining": True})
-            else:
-                self._send(200, {"ok": True})
+            health = self.service.health()
+            self._send(200 if health["ok"] else 503, health)
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             record = self.service.job_view(job_id)

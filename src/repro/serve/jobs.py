@@ -106,7 +106,7 @@ class JobRequest:
         if bool(query) == bool(sql):
             raise ValueError("exactly one of 'query' or 'sql' is required")
         isolate = str(payload.get("isolate", "none"))
-        if isolate not in ("none", "process"):
+        if isolate not in ("none", "process", "remote"):
             raise ValueError(f"unknown isolate mode {isolate!r}")
         tenant = str(payload.get("tenant", "default") or "default")
 

@@ -115,6 +115,9 @@ class ExtractionService:
         memory_high_mb: Optional[float] = None,
         memory_low_mb: Optional[float] = None,
         shared_plan_cache_size: int = 2048,
+        remote_peers=(),
+        transport_factory=None,
+        extraction_overrides=None,
     ):
         self.journal = JobJournal(journal_path)
         self.checkpoint_root = Path(checkpoint_root)
@@ -137,6 +140,21 @@ class ExtractionService:
             from repro.engine.database import SharedPlanCache
 
             self.plan_cache = SharedPlanCache(shared_plan_cache_size)
+        #: remote worker-agent peers (``--workers host:port,...``); when set,
+        #: isolated invocations are dispatched over the remote transport and
+        #: one health registry spans every job, so /status and /healthz see
+        #: peer state that outlives individual extractions
+        self.remote_peers = tuple(remote_peers)
+        self.transport_factory = transport_factory
+        #: per-deployment ExtractionConfig field overrides (e.g. tighter
+        #: ``worker_default_timeout``/``transport_*`` wire budgets on a LAN
+        #: fleet); applied to every job's config after request-derived fields
+        self.extraction_overrides = dict(extraction_overrides or {})
+        self.peer_registry = None
+        if self.remote_peers:
+            from repro.isolation.remote import PeerHealthRegistry
+
+            self.peer_registry = PeerHealthRegistry(self.remote_peers)
         #: (finished_at, wall_seconds) of recent completions — the drain-rate
         #: sample behind Retry-After hints on 429 responses
         self._completions: deque = deque(maxlen=16)
@@ -360,7 +378,35 @@ class ExtractionService:
             "plan_cache": (
                 self.plan_cache.stats() if self.plan_cache is not None else None
             ),
+            "peers": (
+                self.peer_registry.snapshot()
+                if self.peer_registry is not None else None
+            ),
         }
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: cheap, side-effect-free, no probing.
+
+        Reports thread-pool liveness and — when remote peers are configured —
+        each peer's transport state and last-heartbeat age straight from the
+        shared registry.  ``ok`` is false while draining or once every remote
+        peer is down.
+        """
+        draining = self._draining.is_set()
+        payload = {
+            "ok": not draining,
+            "draining": draining,
+            "workers": {
+                "configured": self.workers,
+                "alive": sum(1 for t in self._threads if t.is_alive()),
+            },
+        }
+        if self.peer_registry is not None:
+            payload["peers"] = self.peer_registry.snapshot()
+            if not self.peer_registry.healthy():
+                payload["ok"] = False
+                payload["detail"] = "every remote worker peer is down"
+        return payload
 
     def metrics_text(self) -> str:
         """The Prometheus text exposition of this service's registry."""
@@ -577,16 +623,33 @@ class ExtractionService:
             observer = (
                 lambda kind, total: self.governor.observe(job_id, kind, total)
             )
+        isolate = request.isolate
+        if isolate == "remote" and not self.remote_peers:
+            raise ValueError(
+                "job requested isolate='remote' but the service was started "
+                "without remote worker peers (--workers host:port,...)"
+            )
+        if self.remote_peers and isolate in ("none", "process"):
+            # A configured fleet owns every invocation: the service host
+            # neither runs probes inline nor spawns local workers.
+            isolate = "remote"
         config = ExtractionConfig(
             fail_fast=not request.best_effort,
             budget_invocations=request.budget_invocations,
             budget_seconds=budget_wall_seconds(remaining, request.budget_seconds),
             jobs=request.jobs,
-            isolate=request.isolate,
+            isolate=isolate,
+            worker_peers=self.remote_peers,
+            peer_registry=self.peer_registry,
+            transport_factory=self.transport_factory,
             shared_plan_cache=self.plan_cache,
             plan_cache_scope=job_id,
             resource_observer=observer,
         )
+        if self.extraction_overrides:
+            import dataclasses
+
+            config = dataclasses.replace(config, **self.extraction_overrides)
         job_metrics = MetricsRegistry()
         tracer = Tracer(metrics=job_metrics, keep_spans=False)
         try:

@@ -1,0 +1,329 @@
+"""Frame-codec hardening: malformed bytes must map to the protocol taxonomy.
+
+The satellite contract: feeding the decoder torn, truncated, bit-flipped, or
+oversized-header byte streams raises :class:`ProtocolError` (or
+:class:`EOFError` for a cleanly ended stream) — never a raw pickle exception,
+never an unbounded allocation.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import random
+import socket
+import zlib
+
+import pytest
+
+from repro.isolation.protocol import (
+    _HEADER,
+    _TCP_HEADER,
+    MAX_FRAME_BYTES,
+    REORDER_WINDOW,
+    TCP_MAGIC,
+    PipeTransport,
+    ProtocolError,
+    TcpTransport,
+    TransportTimeout,
+    decode_payload,
+    parse_address,
+    read_frame,
+    write_frame,
+)
+
+
+def tcp_pair():
+    """A connected (sender, receiver) TcpTransport pair over a socketpair."""
+    a, b = socket.socketpair()
+    return TcpTransport(a), TcpTransport(b)
+
+
+def encode_frame(transport: TcpTransport, message: dict) -> bytes:
+    return transport.encode(message)
+
+
+class TestDecodePayload:
+    def test_roundtrip(self):
+        message = {"cmd": "run", "ordinal": 7}
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        assert decode_payload(payload) == message
+
+    def test_garbage_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\x00\x01\x02 not a pickle")
+
+    def test_truncated_pickle_is_protocol_error(self):
+        payload = pickle.dumps({"cmd": "run"}, protocol=pickle.HIGHEST_PROTOCOL)
+        with pytest.raises(ProtocolError):
+            decode_payload(payload[: len(payload) // 2])
+
+    def test_non_dict_payload_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(pickle.dumps([1, 2, 3]))
+
+    def test_fuzzed_bit_flips_never_leak_pickle_errors(self):
+        rng = random.Random(0xC0DEC)
+        payload = pickle.dumps(
+            {"cmd": "run", "rows": [(1, "a"), (2, "b")]},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        for _ in range(200):
+            mangled = bytearray(payload)
+            for _ in range(rng.randrange(1, 4)):
+                mangled[rng.randrange(len(mangled))] ^= 1 << rng.randrange(8)
+            try:
+                result = decode_payload(bytes(mangled))
+            except ProtocolError:
+                continue
+            assert isinstance(result, dict)  # flip happened to stay decodable
+
+
+class TestPipeFraming:
+    def test_write_read_roundtrip(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"cmd": "ping", "n": 3})
+        buffer.seek(0)
+        assert read_frame(buffer) == {"cmd": "ping", "n": 3}
+
+    def test_oversized_header_is_protocol_error_not_an_allocation(self):
+        stream = io.BytesIO(_HEADER.pack(MAX_FRAME_BYTES + 1) + b"x" * 16)
+        with pytest.raises(ProtocolError):
+            read_frame(stream)
+
+    def test_truncated_stream_is_eof(self):
+        payload = pickle.dumps({"cmd": "run"})
+        stream = io.BytesIO(_HEADER.pack(len(payload)) + payload[:-3])
+        with pytest.raises(EOFError):
+            read_frame(stream)
+
+    def test_empty_stream_is_eof(self):
+        with pytest.raises(EOFError):
+            read_frame(io.BytesIO(b""))
+
+    def test_corrupt_payload_is_protocol_error(self):
+        payload = b"\x93 definitely not a message"
+        stream = io.BytesIO(_HEADER.pack(len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            read_frame(stream)
+
+    def test_fuzzed_torn_frames_raise_only_the_protocol_taxonomy(self):
+        rng = random.Random(0xF2A)
+        payload = pickle.dumps({"cmd": "run", "deltas": {"t": [1, 2]}})
+        wire = _HEADER.pack(len(payload)) + payload
+        for _ in range(150):
+            cut = rng.randrange(len(wire))
+            try:
+                read_frame(io.BytesIO(wire[:cut]))
+            except (ProtocolError, EOFError):
+                continue
+            raise AssertionError("a torn frame decoded successfully")
+
+
+class TestTcpEnvelope:
+    def test_roundtrip_and_sequence(self):
+        sender, receiver = tcp_pair()
+        try:
+            for n in range(5):
+                sender.send({"n": n})
+            for n in range(5):
+                assert receiver.recv(1.0) == {"n": n}
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_envelope_layout(self):
+        sender, receiver = tcp_pair()
+        try:
+            data = sender.encode({"cmd": "ping"})
+            magic, seq, length, crc = _TCP_HEADER.unpack(
+                data[: _TCP_HEADER.size]
+            )
+            payload = data[_TCP_HEADER.size:]
+            assert magic == TCP_MAGIC
+            assert seq == 0
+            assert length == len(payload)
+            assert crc == zlib.crc32(payload)
+            second = sender.encode({"cmd": "ping"})
+            assert _TCP_HEADER.unpack(second[: _TCP_HEADER.size])[1] == 1
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_bit_flip_anywhere_is_protocol_error_or_dedup(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(60):
+            sender, receiver = tcp_pair()
+            try:
+                data = bytearray(sender.encode({"cmd": "run", "ordinal": 1}))
+                data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+                sender._transmit(bytes(data))
+                try:
+                    message = receiver.recv(0.2)
+                except (ProtocolError, TransportTimeout):
+                    # CRC / magic / length violation, or the flip landed in
+                    # the seq field and the frame got buffered ahead of order
+                    continue
+                assert isinstance(message, dict)
+            finally:
+                sender.close()
+                receiver.close()
+
+    def test_bad_magic_is_protocol_error(self):
+        sender, receiver = tcp_pair()
+        try:
+            data = bytearray(sender.encode({"cmd": "ping"}))
+            data[0:4] = b"EVIL"
+            sender._transmit(bytes(data))
+            with pytest.raises(ProtocolError):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_oversized_length_is_protocol_error(self):
+        sender, receiver = tcp_pair()
+        try:
+            header = _TCP_HEADER.pack(TCP_MAGIC, 0, MAX_FRAME_BYTES + 1, 0)
+            sender._transmit(header + b"xx")
+            with pytest.raises(ProtocolError):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_corrupt_payload_fails_crc(self):
+        sender, receiver = tcp_pair()
+        try:
+            data = bytearray(sender.encode({"cmd": "run"}))
+            data[-1] ^= 0xFF
+            sender._transmit(bytes(data))
+            with pytest.raises(ProtocolError):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_duplicate_delivery_is_dropped_and_counted(self):
+        sender, receiver = tcp_pair()
+        try:
+            frame = sender.encode({"n": 0})
+            sender._transmit(frame)
+            sender._transmit(frame)
+            sender.send({"n": 1})
+            assert receiver.recv(1.0) == {"n": 0}
+            assert receiver.recv(1.0) == {"n": 1}
+            assert receiver.duplicates_dropped == 1
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_reordered_delivery_is_healed_in_order(self):
+        sender, receiver = tcp_pair()
+        try:
+            first = sender.encode({"n": 0})
+            second = sender.encode({"n": 1})
+            sender._transmit(second)
+            sender._transmit(first)
+            assert receiver.recv(1.0) == {"n": 0}
+            assert receiver.recv(1.0) == {"n": 1}
+            assert receiver.reorders_healed == 1
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_gap_beyond_the_reorder_window_is_protocol_error(self):
+        sender, receiver = tcp_pair()
+        try:
+            payload = pickle.dumps({"n": 99})
+            header = _TCP_HEADER.pack(
+                TCP_MAGIC, REORDER_WINDOW + 1, len(payload), zlib.crc32(payload)
+            )
+            sender._transmit(header + payload)
+            with pytest.raises(ProtocolError):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_deadline_expires_as_transport_timeout(self):
+        sender, receiver = tcp_pair()
+        try:
+            with pytest.raises(TransportTimeout):
+                receiver.recv(0.05)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_peer_close_is_eof(self):
+        sender, receiver = tcp_pair()
+        sender.close()
+        try:
+            with pytest.raises(EOFError):
+                receiver.recv(1.0)
+        finally:
+            receiver.close()
+
+    def test_byte_drip_reassembles(self):
+        sender, receiver = tcp_pair()
+        try:
+            data = sender.encode({"cmd": "run", "ordinal": 42})
+            for offset in range(0, len(data), 3):
+                sender._transmit(data[offset:offset + 3])
+            assert receiver.recv(1.0) == {"cmd": "run", "ordinal": 42}
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_fuzzed_random_streams_never_leak_raw_exceptions(self):
+        rng = random.Random(0x5EED)
+        for _ in range(80):
+            sender, receiver = tcp_pair()
+            try:
+                blob = bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(1, 200))
+                )
+                sender._transmit(blob)
+                sender.close()
+                while True:
+                    receiver.recv(0.2)
+            except (ProtocolError, EOFError, TransportTimeout):
+                pass
+            finally:
+                sender.close()
+                receiver.close()
+
+
+class TestPipeTransportDeadline:
+    def test_recv_timeout_and_eof(self):
+        import os
+
+        read_fd, write_fd = os.pipe()
+        stream = os.fdopen(write_fd, "wb")
+        transport = PipeTransport(stream, read_fd)
+        try:
+            with pytest.raises(TransportTimeout):
+                transport.recv(0.05)
+            write_frame(stream, {"cmd": "pong"})
+            assert transport.recv(1.0) == {"cmd": "pong"}
+            stream.close()
+            with pytest.raises(EOFError):
+                transport.recv(1.0)
+        finally:
+            if not stream.closed:
+                stream.close()
+            os.close(read_fd)
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.2:9000") == ("10.0.0.2", 9000)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_address("nonsense")
+        with pytest.raises(ValueError):
+            parse_address("host:notaport")

@@ -1,0 +1,159 @@
+"""Unit tests for the seeded network-fault injector (FaultyTransport)."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.isolation.protocol import TcpTransport, TransportTimeout
+from repro.resilience.netfaults import (
+    NET_FAULT_CLASSES,
+    FaultyTransport,
+    NetFaultPlan,
+)
+
+
+def faulty_pair(plan: NetFaultPlan):
+    a, b = socket.socketpair()
+    return FaultyTransport(a, plan), TcpTransport(b)
+
+
+class TestNetFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NetFaultPlan("gremlins")
+
+    def test_arms_on_the_nth_run_frame_only(self):
+        plan = NetFaultPlan("drop", at_op=3)
+        assert not plan.arm({"cmd": "run"})
+        assert not plan.arm({"cmd": "ping"})  # non-run frames don't count
+        assert not plan.arm({"cmd": "run"})
+        assert plan.arm({"cmd": "run"})
+        assert plan.fired
+        assert plan.injected == {"drop": 1}
+        # one-shot: never fires again, even on later run frames
+        assert not plan.arm({"cmd": "run"})
+        assert plan.op_count == 3
+
+    def test_taxonomy_is_complete(self):
+        assert set(NET_FAULT_CLASSES) == {
+            "delay", "drop", "partition", "torn_frame", "duplicate",
+            "reorder", "corrupt", "byte_drip",
+        }
+
+
+class TestFaultyTransport:
+    def test_clean_frames_pass_through(self):
+        sender, receiver = faulty_pair(NetFaultPlan("drop", at_op=99))
+        try:
+            sender.send({"cmd": "run", "n": 1})
+            assert receiver.recv(1.0) == {"cmd": "run", "n": 1}
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_drop_vanishes_without_a_sequence_gap(self):
+        sender, receiver = faulty_pair(NetFaultPlan("drop", at_op=1))
+        try:
+            sender.send({"cmd": "run", "n": 0})  # dropped, no seq consumed
+            with pytest.raises(TransportTimeout):
+                receiver.recv(0.1)
+            sender.send({"cmd": "run", "n": 1})
+            # the stream stayed gapless: the next frame delivers immediately
+            assert receiver.recv(1.0) == {"cmd": "run", "n": 1}
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_duplicate_is_deduplicated_by_the_receiver(self):
+        sender, receiver = faulty_pair(NetFaultPlan("duplicate", at_op=1))
+        try:
+            sender.send({"cmd": "run", "n": 0})
+            assert receiver.recv(1.0) == {"cmd": "run", "n": 0}
+            sender.send({"cmd": "run", "n": 1})
+            assert receiver.recv(1.0) == {"cmd": "run", "n": 1}
+            assert receiver.duplicates_dropped == 1
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_reorder_held_frame_is_healed(self):
+        sender, receiver = faulty_pair(NetFaultPlan("reorder", at_op=1))
+        try:
+            sender.send({"cmd": "run", "n": 0})  # held
+            sender.send({"cmd": "ping"})         # released after this one
+            assert receiver.recv(1.0) == {"cmd": "run", "n": 0}
+            assert receiver.recv(1.0) == {"cmd": "ping"}
+            assert receiver.reorders_healed == 1
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_corrupt_fails_the_crc(self):
+        from repro.isolation.protocol import ProtocolError
+
+        sender, receiver = faulty_pair(NetFaultPlan("corrupt", at_op=1))
+        try:
+            sender.send({"cmd": "run", "payload": "x" * 64})
+            with pytest.raises(ProtocolError):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_torn_frame_ends_the_connection(self):
+        from repro.isolation.protocol import ProtocolError
+
+        sender, receiver = faulty_pair(NetFaultPlan("torn_frame", at_op=1))
+        try:
+            sender.send({"cmd": "run", "payload": "y" * 64})
+            with pytest.raises((EOFError, ProtocolError)):
+                receiver.recv(1.0)
+            assert not sender.alive
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_partition_traps_replies_until_the_next_send(self):
+        sender, receiver = faulty_pair(NetFaultPlan("partition", at_op=1))
+        try:
+            sender.send({"cmd": "run", "n": 0})  # delivered, then darkness
+            assert receiver.recv(1.0) == {"cmd": "run", "n": 0}
+            receiver.send({"cmd": "reply", "n": 0})  # trapped in the kernel
+            with pytest.raises(TransportTimeout):
+                sender.recv(0.15)
+            # the next outbound frame heals the link and releases the
+            # trapped reply ahead of anything newer
+            sender.send({"cmd": "ping"})
+            assert sender.recv(1.0) == {"cmd": "reply", "n": 0}
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_byte_drip_is_slow_but_successful(self):
+        sender, receiver = faulty_pair(NetFaultPlan("byte_drip", at_op=1))
+        try:
+            sender.send({"cmd": "run", "payload": "z" * 256})
+            message = receiver.recv(5.0)
+            assert message["payload"] == "z" * 256
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_same_plan_shared_across_reconnects_stays_one_shot(self):
+        plan = NetFaultPlan("drop", at_op=1)
+        first_sender, first_receiver = faulty_pair(plan)
+        try:
+            first_sender.send({"cmd": "run"})
+            assert plan.fired
+        finally:
+            first_sender.close()
+            first_receiver.close()
+        second_sender, second_receiver = faulty_pair(plan)
+        try:
+            second_sender.send({"cmd": "run"})
+            assert second_receiver.recv(1.0) == {"cmd": "run"}
+        finally:
+            second_sender.close()
+            second_receiver.close()

@@ -1,0 +1,197 @@
+"""Serve + remote peers: /status, /healthz, /metrics, partition-mid-job.
+
+The service is started with ``remote_peers`` pointing at an in-process
+:class:`~repro.isolation.agent.WorkerAgent` on loopback, so every isolated
+invocation of every job rides the fenced TCP transport and the shared
+:class:`~repro.isolation.remote.PeerHealthRegistry` feeds the observability
+surfaces.  The partition test injects a mid-job network fault through the
+service's ``transport_factory`` seam and asserts the job *and its journal*
+converge cleanly — the CI ``net-chaos-smoke`` consistency check.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.isolation.agent import WorkerAgent
+from repro.resilience.netfaults import NetFaultPlan, faulty_transport_factory
+from repro.serve.jobs import JobState
+from repro.serve.service import ExtractionService
+
+#: tight-but-safe wire budgets so an injected fault is detected in seconds
+WIRE_OVERRIDES = dict(
+    worker_default_timeout=5.0,
+    worker_kill_grace=0.5,
+    transport_heartbeat_interval=0.2,
+    transport_backoff_base=0.01,
+    transport_backoff_max=0.1,
+)
+
+JOB_PAYLOAD = {"query": "Q6", "scale": 0.0005, "seed": 11}
+
+
+@pytest.fixture(scope="module")
+def agent():
+    worker_agent = WorkerAgent()
+    worker_agent.start()
+    yield worker_agent
+    worker_agent.stop()
+
+
+def make_remote_service(tmp_path, agent, **kwargs):
+    kwargs.setdefault("queue_capacity", 4)
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("remote_peers", (agent.address,))
+    kwargs.setdefault("extraction_overrides", dict(WIRE_OVERRIDES))
+    return ExtractionService(
+        tmp_path / "journal.sqlite", tmp_path / "checkpoints", **kwargs
+    )
+
+
+def fake_runner(job_id, request, remaining):
+    return {"sql": "SELECT 1", "verdict": "ok", "invocations": 1,
+            "seconds": 0.01}
+
+
+def wait_terminal(service, job_id, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        record = service.journal.job(job_id)
+        if record and record["state"] in JobState.TERMINAL | {"checkpointed"}:
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"{job_id} never reached a terminal state")
+
+
+class TestPeerVisibility:
+    def test_status_and_health_report_configured_peers(self, tmp_path, agent):
+        service = make_remote_service(tmp_path, agent, runner=fake_runner)
+        try:
+            service.start()
+            status = service.status()
+            assert agent.address in status["peers"]
+            assert status["peers"][agent.address]["state"] == "unknown"
+
+            health = service.health()
+            assert health["ok"] is True
+            assert agent.address in health["peers"]
+            assert health["peers"][agent.address]["last_heartbeat_age"] is None
+        finally:
+            service.drain(timeout=5.0)
+            service.close()
+
+    def test_health_degrades_when_every_peer_is_down(self, tmp_path, agent):
+        service = make_remote_service(tmp_path, agent, runner=fake_runner)
+        try:
+            service.peer_registry.note_quarantine(agent.address)
+            health = service.health()
+            assert health["ok"] is False
+            assert health["detail"] == "every remote worker peer is down"
+        finally:
+            service.close()
+
+    def test_healthz_http_statuses(self, tmp_path, agent):
+        from repro.serve.api import create_server
+
+        service = make_remote_service(tmp_path, agent, runner=fake_runner)
+        service.start()
+        httpd = create_server(service, port=0)
+        port = httpd.server_address[1]
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+                assert response.status == 200
+                assert payload["ok"] is True
+                assert agent.address in payload["peers"]
+
+            service.peer_registry.note_quarantine(agent.address)
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=10
+                )
+            assert info.value.code == 503
+            degraded = json.loads(info.value.read().decode("utf-8"))
+            assert degraded["ok"] is False
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout=5.0)
+            service.close()
+
+
+class TestRemoteJobEndToEnd:
+    def test_job_runs_on_the_remote_peer_with_metrics(self, tmp_path, agent):
+        service = make_remote_service(tmp_path, agent)
+        try:
+            service.start()
+            reply = service.submit(JOB_PAYLOAD)
+            record = wait_terminal(service, reply["job_id"])
+            assert record["state"] == "done"
+            assert record["verdict"] == "ok"
+            assert "SELECT" in record["sql"].upper()
+            assert record["invocations"] > 0
+
+            # the shared registry saw the peer do real work
+            peers = service.status()["peers"]
+            assert peers[agent.address]["state"] == "up"
+            assert peers[agent.address]["rtt"] is not None
+
+            # remote transport series surfaced through /metrics
+            text = service.metrics_text()
+            assert "heartbeat_rtt_seconds" in text
+            assert "worker_rss_peak_bytes" in text
+        finally:
+            service.drain(timeout=10.0)
+            service.close()
+
+
+class TestPartitionMidJob:
+    def test_journal_stays_consistent_through_a_partition(self, tmp_path, agent):
+        """A mid-job partition: the job still converges and journals cleanly.
+
+        The partition traps a reply until the supervisor abandons the lease;
+        the late reply is fenced on the healed link, the invocation is
+        retried, and the journal must show one clean queued->running->done
+        chain — no failed states, no duplicate accounting.
+        """
+        plan = NetFaultPlan("partition", at_op=40)
+        service = make_remote_service(
+            tmp_path, agent, transport_factory=faulty_transport_factory(plan)
+        )
+        try:
+            service.start()
+            reply = service.submit(JOB_PAYLOAD)
+            record = wait_terminal(service, reply["job_id"])
+            assert plan.fired, "partition never armed mid-job"
+            assert record["state"] == "done", record.get("error")
+            assert record["verdict"] == "ok"
+            assert "SELECT" in record["sql"].upper()
+
+            # journal consistency: exactly one legal chain, nothing illegal
+            states = [
+                t["state"]
+                for t in service.journal.transitions(reply["job_id"])
+            ]
+            assert states[0] == "queued"
+            assert states[-1] == "done"
+            assert "failed" not in states
+            assert states.count("done") == 1
+
+            # the exactly-once proof: at least one stale reply was fenced
+            totals = service.peer_registry.snapshot()[agent.address]
+            assert totals["fenced_replies"] >= 1
+
+            text = service.metrics_text()
+            assert "transport_partitions_total" in text
+            assert "fenced_replies_total" in text
+        finally:
+            service.drain(timeout=10.0)
+            service.close()
