@@ -42,12 +42,19 @@ from repro.isolation.protocol import (
     TcpTransport,
     TransportTimeout,
     parse_address,
+    secret_from_env,
 )
 from repro.isolation.supervisor import _SPAWN_TIMEOUT, LocalWorkerProcess, WorkerSpec
 
 #: protocol identity sent in the hello reply; a supervisor refuses to run
 #: against an agent speaking a different protocol generation
-AGENT_PROTOCOL = 1
+AGENT_PROTOCOL = 2
+
+#: interfaces an unauthenticated agent may bind (the local machine is the
+#: same trust domain as a local subprocess worker; anything wider requires
+#: a shared secret — the agent executes whatever a connected supervisor
+#: sends, so an open port without authentication is remote code execution)
+_LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
 
 
 def _meta(message: dict) -> dict:
@@ -70,7 +77,21 @@ class _Connection:
                     message = self.transport.recv(None)
                 except (EOFError, ProtocolError, TransportTimeout, OSError):
                     return  # supervisor went away or stream corrupted
-                if not self._dispatch(message):
+                try:
+                    alive = self._dispatch(message)
+                except Exception as error:
+                    # A malformed-but-authenticated request must surface as
+                    # a structured error carrying the fencing meta — never
+                    # as an unexplained EOF from a dead connection thread.
+                    self._reply(
+                        {"ok": False,
+                         "error": RuntimeError(
+                             f"agent could not handle "
+                             f"{message.get('cmd')!r}: {error!r}"),
+                         **_meta(message)}
+                    )
+                    return
+                if not alive:
                     return
         finally:
             if self.worker is not None:
@@ -104,6 +125,17 @@ class _Connection:
         )
 
     def _handle_init(self, message: dict, meta: dict) -> bool:
+        blob = message.get("executable")
+        if not isinstance(blob, (bytes, bytearray)):
+            # validated here so a broken supervisor gets a structured reply
+            # (connection kept) instead of a KeyError-killed thread
+            return self._reply(
+                {"ok": False,
+                 "error": RuntimeError(
+                     "init message carries no executable bytes "
+                     f"(got {type(blob).__name__})"),
+                 **meta}
+            )
         if self.worker is not None:  # re-init replaces the worker
             self.worker.kill()
             self.worker = None
@@ -111,7 +143,7 @@ class _Connection:
         try:
             worker = LocalWorkerProcess(self.agent.spec)
             reply = worker.request(
-                {"cmd": "init", "executable": message["executable"]},
+                {"cmd": "init", "executable": bytes(blob)},
                 _SPAWN_TIMEOUT,
             )
         except (TransportTimeout, EOFError, OSError) as error:
@@ -171,10 +203,12 @@ class WorkerAgent:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 spec: Optional[WorkerSpec] = None):
+                 spec: Optional[WorkerSpec] = None,
+                 secret: Optional[bytes] = None):
         self.host = host
         self.port = port
         self.spec = spec if spec is not None else WorkerSpec()
+        self.secret = bytes(secret) if secret else None
         self.pid = os.getpid()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -190,7 +224,19 @@ class WorkerAgent:
         return f"{self.host}:{self.port}"
 
     def start(self) -> str:
-        """Bind, listen, and serve in a background thread; returns host:port."""
+        """Bind, listen, and serve in a background thread; returns host:port.
+
+        Refuses a non-loopback bind without a shared secret: every frame a
+        supervisor sends is application code to execute, so an open,
+        unauthenticated port would be a remote-code-execution endpoint.
+        """
+        if self.secret is None and self.host not in _LOOPBACK_HOSTS:
+            raise ValueError(
+                f"refusing to listen on non-loopback {self.host!r} without a "
+                f"shared secret: the agent executes whatever a connected "
+                f"supervisor sends (set --secret-file / REPRO_AGENT_SECRET, "
+                f"or bind 127.0.0.1)"
+            )
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -209,7 +255,7 @@ class WorkerAgent:
                 sock, _ = self._listener.accept()
             except OSError:
                 return  # listener closed by stop()
-            connection = _Connection(self, TcpTransport(sock))
+            connection = _Connection(self, TcpTransport(sock, secret=self.secret))
             with self._lock:
                 self._connections.append(connection)
             thread = threading.Thread(
@@ -280,8 +326,17 @@ def main(argv: Optional[list] = None) -> int:
                         help="hard deadline when a run carries none")
     parser.add_argument("--kill-grace", type=float, default=1.0,
                         help="slack past the cooperative timeout before SIGKILL")
+    parser.add_argument("--secret-file", default=None, metavar="PATH",
+                        help="file holding the shared transport secret "
+                             "(falls back to $REPRO_AGENT_SECRET); required "
+                             "for any non-loopback --listen address")
     args = parser.parse_args(argv)
     host, port = parse_address(args.listen)
+    if args.secret_file is not None:
+        with open(args.secret_file, "rb") as handle:
+            secret = handle.read().strip() or None
+    else:
+        secret = secret_from_env()
     spec = WorkerSpec(
         memory_limit_bytes=(
             args.memory_limit_mb * 1024 * 1024 if args.memory_limit_mb else None
@@ -289,9 +344,16 @@ def main(argv: Optional[list] = None) -> int:
         default_timeout=args.default_timeout,
         kill_grace=args.kill_grace,
     )
-    agent = WorkerAgent(host, port, spec=spec)
-    address = agent.start()
-    sys.stderr.write(f"agent: listening on {address}\n")
+    agent = WorkerAgent(host, port, spec=spec, secret=secret)
+    try:
+        address = agent.start()
+    except ValueError as error:
+        sys.stderr.write(f"agent: {error}\n")
+        return 2
+    sys.stderr.write(
+        f"agent: listening on {address} "
+        f"({'authenticated' if secret else 'loopback-only, unauthenticated'})\n"
+    )
     sys.stderr.flush()
 
     def _shutdown(signum, frame):  # noqa: ARG001 - signal signature

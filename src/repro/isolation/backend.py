@@ -205,8 +205,12 @@ class ProcessIsolationBackend:
 
 
 def remote_spec_from_config(config) -> "RemoteSpec":
+    from repro.isolation.protocol import secret_from_env
     from repro.isolation.remote import RemoteSpec
 
+    secret = getattr(config, "transport_secret", None)
+    if secret is None:
+        secret = secret_from_env()
     return RemoteSpec(
         peers=tuple(config.worker_peers),
         default_timeout=config.worker_default_timeout,
@@ -219,6 +223,7 @@ def remote_spec_from_config(config) -> "RemoteSpec":
         backoff_base=config.transport_backoff_base,
         backoff_max=config.transport_backoff_max,
         max_reconnects=config.transport_max_reconnects,
+        secret=secret,
     )
 
 

@@ -14,6 +14,22 @@ model here is a *crashing or hanging* application, not a malicious peer, so
 pickle's code-execution surface is acceptable (the worker executes the
 application anyway — that is its entire job).
 
+That trust assumption is safe on a pipe (the supervisor spawned the worker
+itself) but **not** on a socket, where anyone who can reach the port can
+write bytes.  TCP frames therefore carry a per-frame HMAC-SHA256 tag keyed
+by a shared secret, and the tag is verified *before* any byte of the payload
+reaches ``pickle`` — an unauthenticated peer gets :class:`ProtocolError`,
+never code execution.  The secret defines the trust domain: endpoints
+holding it are mutually trusted to the same degree the local supervisor and
+its subprocess workers are (the agent's entire job is executing the
+supervisor's code).  Without a secret the key is empty, which provides
+framing integrity but **no** authentication — the agent refuses to listen on
+a non-loopback interface in that mode (see :mod:`repro.isolation.agent`),
+and hostile networks additionally need a confidential channel (TLS tunnel /
+WireGuard): the per-frame MAC authenticates peers and frames, it does not
+encrypt, and it does not stop an active man-in-the-middle from replaying
+captured frames of an older connection.
+
 Message shapes (plain dicts, ``cmd`` / reply keyed):
 
 ``init``     ``{cmd, executable: bytes}`` — the pickled executable, nested as
@@ -35,6 +51,8 @@ strategy).
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import os
 import pickle
 import select
@@ -47,12 +65,21 @@ from typing import BinaryIO, Optional
 #: frame header: unsigned 64-bit big-endian payload length
 _HEADER = struct.Struct(">Q")
 
-#: TCP envelope: magic, sequence number, payload length, payload CRC32.
-#: The pipe framing stays bare (header + payload, byte-identical to every
-#: prior release); the network gets the armoured envelope because wires —
-#: unlike pipes — deliver torn, duplicated, and bit-flipped bytes.
-TCP_MAGIC = b"RWT1"
-_TCP_HEADER = struct.Struct(">4sQQI")
+#: TCP envelope: magic, sequence number, payload length, payload CRC32,
+#: truncated HMAC-SHA256 tag over ``(seq, payload)``.  The pipe framing
+#: stays bare (header + payload, byte-identical to every prior release); the
+#: network gets the armoured envelope because wires — unlike pipes — deliver
+#: torn, duplicated, bit-flipped, and *forged* bytes.
+TCP_MAGIC = b"RWT2"
+_TCP_HEADER = struct.Struct(">4sQQI16s")
+
+#: MAC tag width: HMAC-SHA256 truncated to 16 bytes (128-bit security —
+#: truncation of HMAC output is a standard, safe construction)
+MAC_BYTES = 16
+
+#: environment variable both the agent CLI and the supervisor config read
+#: for the shared transport secret (UTF-8; whitespace-stripped)
+SECRET_ENV = "REPRO_AGENT_SECRET"
 
 #: how far ahead of sequence a frame may arrive before the stream is
 #: declared lossy (reordering beyond this is indistinguishable from loss)
@@ -77,6 +104,29 @@ class ProtocolError(Exception):
 
 class TransportTimeout(Exception):
     """A read deadline expired before a full frame arrived (peer still up)."""
+
+
+def frame_mac(secret: Optional[bytes], seq: int, payload: bytes) -> bytes:
+    """The authentication tag for one TCP frame.
+
+    HMAC-SHA256 over the big-endian sequence number plus the payload, keyed
+    by the shared secret (empty key when no secret is configured), truncated
+    to :data:`MAC_BYTES`.  Binding the sequence number means a frame cannot
+    be spliced to a different position in the stream.
+    """
+    digest = hmac.new(
+        secret or b"", _HEADER.pack(seq) + payload, hashlib.sha256
+    ).digest()
+    return digest[:MAC_BYTES]
+
+
+def secret_from_env() -> Optional[bytes]:
+    """The shared transport secret from :data:`SECRET_ENV`, if set."""
+    raw = os.environ.get(SECRET_ENV)
+    if raw is None:
+        return None
+    raw = raw.strip()
+    return raw.encode("utf-8") if raw else None
 
 
 def decode_payload(payload: bytes) -> dict:
@@ -224,13 +274,15 @@ class PipeTransport(FrameTransport):
 
 
 class TcpTransport(FrameTransport):
-    """CRC-checked, sequence-numbered frames over a TCP socket.
+    """Authenticated, CRC-checked, sequence-numbered frames over TCP.
 
-    Every frame carries ``(magic, seq, length, crc32)``.  The receiver:
+    Every frame carries ``(magic, seq, length, crc32, mac)``.  The receiver:
 
-    * rejects a bad magic, an oversized length, or a CRC mismatch with
-      :class:`ProtocolError` (the connection is then unusable — bytes are
-      out of frame sync);
+    * rejects a bad magic, an oversized length, a CRC mismatch, or a failed
+      MAC with :class:`ProtocolError` (the connection is then unusable —
+      bytes are out of frame sync or the peer is not trusted).  The MAC is
+      verified **before** the payload is buffered for decoding, so an
+      unauthenticated peer's bytes never reach ``pickle.loads``;
     * silently drops frames whose sequence number was already delivered or
       already buffered (duplicate delivery is a normal network pathology,
       counted in :attr:`duplicates_dropped`, never surfaced to the caller);
@@ -241,13 +293,14 @@ class TcpTransport(FrameTransport):
       that point the stream has demonstrably lost data.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket, secret: Optional[bytes] = None):
         sock.setblocking(True)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - esoteric socket families
             pass
         self.sock = sock
+        self.secret = bytes(secret) if secret else None
         self._buffer = b""
         self._send_seq = 0
         self._recv_next = 0
@@ -259,12 +312,13 @@ class TcpTransport(FrameTransport):
         self.reorders_healed = 0
 
     @classmethod
-    def connect(cls, address: str, timeout: float = 5.0) -> "TcpTransport":
+    def connect(cls, address: str, timeout: float = 5.0,
+                secret: Optional[bytes] = None) -> "TcpTransport":
         """Dial ``host:port`` and return a connected transport."""
         host, port = parse_address(address)
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.settimeout(None)
-        return cls(sock)
+        return cls(sock, secret=secret)
 
     # -- sending ------------------------------------------------------------
 
@@ -279,7 +333,8 @@ class TcpTransport(FrameTransport):
                 f"frame of {len(payload)} bytes exceeds protocol maximum"
             )
         header = _TCP_HEADER.pack(
-            TCP_MAGIC, self._send_seq, len(payload), zlib.crc32(payload)
+            TCP_MAGIC, self._send_seq, len(payload), zlib.crc32(payload),
+            frame_mac(self.secret, self._send_seq, payload),
         )
         self._send_seq += 1
         return header + payload
@@ -330,7 +385,7 @@ class TcpTransport(FrameTransport):
             return message
         header_size = _TCP_HEADER.size
         while len(self._buffer) >= header_size:
-            magic, seq, length, crc = _TCP_HEADER.unpack(
+            magic, seq, length, crc, mac = _TCP_HEADER.unpack(
                 self._buffer[:header_size]
             )
             if magic != TCP_MAGIC:
@@ -348,6 +403,15 @@ class TcpTransport(FrameTransport):
             if zlib.crc32(payload) != crc:
                 raise ProtocolError(
                     f"frame {seq} failed its CRC check (corrupt payload)"
+                )
+            # authentication gate: nothing past this line — in particular
+            # pickle — ever touches a payload the peer could not MAC
+            if not hmac.compare_digest(
+                mac, frame_mac(self.secret, seq, payload)
+            ):
+                raise ProtocolError(
+                    f"frame {seq} failed authentication (wrong or missing "
+                    f"shared transport secret)"
                 )
             if seq < self._recv_next or seq in self._pending:
                 self.duplicates_dropped += 1

@@ -93,6 +93,10 @@ class RemoteSpec:
     backoff_max: float = 2.0
     #: consecutive reconnect failures before a peer is declared down
     max_reconnects: int = 5
+    #: shared transport secret (per-frame HMAC key); must match the agents'.
+    #: None means an empty MAC key — acceptable on loopback only, and agents
+    #: refuse non-loopback listens in that mode.
+    secret: Optional[bytes] = None
 
 
 class FailureDetector:
@@ -103,6 +107,12 @@ class FailureDetector:
     real partitions are detected quickly.  Before any sample arrives the
     timeout sits at the ceiling — a cold connection gets the benefit of the
     doubt exactly once.
+
+    One detector is shared per *peer* across every pool slot (all
+    connections to a peer traverse the same link, so their samples belong
+    in one estimator), which means invocation threads and the heartbeat
+    thread feed it concurrently — a small lock keeps each EWMA update
+    atomic so interleaved ``observe`` calls cannot tear the mean/dev pair.
     """
 
     def __init__(self, k: float = 4.0, floor: float = 0.25,
@@ -114,32 +124,41 @@ class FailureDetector:
         self.rtt_mean: Optional[float] = None
         self.rtt_dev = 0.0
         self.samples = 0
+        self._lock = threading.Lock()
 
     def observe(self, rtt: float) -> None:
-        if self.rtt_mean is None:
-            self.rtt_mean = rtt
-            self.rtt_dev = rtt / 2
-        else:
-            self.rtt_dev = (
-                (1 - self.alpha) * self.rtt_dev
-                + self.alpha * abs(rtt - self.rtt_mean)
-            )
-            self.rtt_mean = (1 - self.alpha) * self.rtt_mean + self.alpha * rtt
-        self.samples += 1
+        with self._lock:
+            if self.rtt_mean is None:
+                self.rtt_mean = rtt
+                self.rtt_dev = rtt / 2
+            else:
+                self.rtt_dev = (
+                    (1 - self.alpha) * self.rtt_dev
+                    + self.alpha * abs(rtt - self.rtt_mean)
+                )
+                self.rtt_mean = (
+                    (1 - self.alpha) * self.rtt_mean + self.alpha * rtt
+                )
+            self.samples += 1
 
     def timeout(self) -> float:
+        with self._lock:
+            return self._timeout_locked()
+
+    def _timeout_locked(self) -> float:
         if self.rtt_mean is None:
             return self.ceiling
         return min(self.ceiling,
                    max(self.floor, self.rtt_mean + self.k * self.rtt_dev))
 
     def snapshot(self) -> dict:
-        return {
-            "rtt_mean": self.rtt_mean,
-            "rtt_dev": self.rtt_dev,
-            "samples": self.samples,
-            "timeout": self.timeout(),
-        }
+        with self._lock:
+            return {
+                "rtt_mean": self.rtt_mean,
+                "rtt_dev": self.rtt_dev,
+                "samples": self.samples,
+                "timeout": self._timeout_locked(),
+            }
 
 
 class PeerHealthRegistry:
@@ -262,6 +281,10 @@ class RemoteWorkerHandle:
         self.last_injected: dict = {}
         self.suspect = False
         self.reconnect_failures = 0
+        #: set after this handle's first successful connect, so only its
+        #: second and later connects count as reconnects/respawns — a fresh
+        #: slot's first dial (pool_size > 1) is not a worker replacement
+        self.has_connected = False
         self.agent_pid: Optional[int] = None
         #: hello-handshake round-trip of the current connection — the first
         #: heartbeat sample, recorded even when the idle ping loop never gets
@@ -367,6 +390,7 @@ class RemoteWorkerHandle:
             raise
         self.suspect = False
         self.reconnect_failures = 0
+        self.has_connected = True
         self.shipped = {}
 
     def close(self) -> None:
@@ -415,7 +439,7 @@ class RemoteWorkerPool:
         factory = transport_factory
         if factory is None:
             factory = lambda address, timeout: TcpTransport.connect(  # noqa: E731
-                address, timeout=timeout
+                address, timeout=timeout, secret=spec.secret
             )
         self.executable_blob = pack_executable(executable)
         self.stats = PoolStats()
@@ -634,10 +658,12 @@ class RemoteWorkerPool:
                     self.spec.backoff_max,
                 )
                 time.sleep(backoff)
-            is_reconnect = False
-            with self._lock:
-                is_reconnect = self.stats.invocations > 0
-                if is_reconnect:
+            # only this handle's second and later connects are worker
+            # replacements; a fresh slot's first dial is plain startup even
+            # when sibling slots have already run invocations
+            is_reconnect = handle.has_connected
+            if is_reconnect:
+                with self._lock:
                     if self.respawns >= self.spec.max_respawns:
                         self._quarantine("respawn budget spent")
                     self.respawns += 1

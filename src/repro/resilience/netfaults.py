@@ -97,8 +97,9 @@ class FaultyTransport(TcpTransport):
     fencing) is exactly the production code under test.
     """
 
-    def __init__(self, sock: socket.socket, plan: NetFaultPlan):
-        super().__init__(sock)
+    def __init__(self, sock: socket.socket, plan: NetFaultPlan,
+                 secret: bytes | None = None):
+        super().__init__(sock, secret=secret)
         self.plan = plan
         self._held: bytes | None = None
         self._partition_active = False
@@ -192,7 +193,7 @@ class FaultyTransport(TcpTransport):
             self._stash = b""
 
 
-def faulty_transport_factory(plan: NetFaultPlan):
+def faulty_transport_factory(plan: NetFaultPlan, secret: bytes | None = None):
     """A transport factory injecting ``plan``, for ``config.transport_factory``.
 
     The returned factory is called on every (re)connect with the same plan
@@ -205,6 +206,6 @@ def faulty_transport_factory(plan: NetFaultPlan):
         host, port = parse_address(address)
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.settimeout(None)
-        return FaultyTransport(sock, plan)
+        return FaultyTransport(sock, plan, secret=secret)
 
     return factory

@@ -27,16 +27,19 @@ from repro.isolation.protocol import (
     TcpTransport,
     TransportTimeout,
     decode_payload,
+    frame_mac,
     parse_address,
     read_frame,
     write_frame,
 )
 
 
-def tcp_pair():
+def tcp_pair(secret=None, peer_secret=...):
     """A connected (sender, receiver) TcpTransport pair over a socketpair."""
+    if peer_secret is ...:
+        peer_secret = secret
     a, b = socket.socketpair()
-    return TcpTransport(a), TcpTransport(b)
+    return TcpTransport(a, secret=secret), TcpTransport(b, secret=peer_secret)
 
 
 def encode_frame(transport: TcpTransport, message: dict) -> bytes:
@@ -136,7 +139,7 @@ class TestTcpEnvelope:
         sender, receiver = tcp_pair()
         try:
             data = sender.encode({"cmd": "ping"})
-            magic, seq, length, crc = _TCP_HEADER.unpack(
+            magic, seq, length, crc, mac = _TCP_HEADER.unpack(
                 data[: _TCP_HEADER.size]
             )
             payload = data[_TCP_HEADER.size:]
@@ -144,6 +147,7 @@ class TestTcpEnvelope:
             assert seq == 0
             assert length == len(payload)
             assert crc == zlib.crc32(payload)
+            assert mac == frame_mac(None, 0, payload)
             second = sender.encode({"cmd": "ping"})
             assert _TCP_HEADER.unpack(second[: _TCP_HEADER.size])[1] == 1
         finally:
@@ -184,7 +188,9 @@ class TestTcpEnvelope:
     def test_oversized_length_is_protocol_error(self):
         sender, receiver = tcp_pair()
         try:
-            header = _TCP_HEADER.pack(TCP_MAGIC, 0, MAX_FRAME_BYTES + 1, 0)
+            header = _TCP_HEADER.pack(
+                TCP_MAGIC, 0, MAX_FRAME_BYTES + 1, 0, b"\x00" * 16
+            )
             sender._transmit(header + b"xx")
             with pytest.raises(ProtocolError):
                 receiver.recv(1.0)
@@ -236,8 +242,10 @@ class TestTcpEnvelope:
         sender, receiver = tcp_pair()
         try:
             payload = pickle.dumps({"n": 99})
+            seq = REORDER_WINDOW + 1
             header = _TCP_HEADER.pack(
-                TCP_MAGIC, REORDER_WINDOW + 1, len(payload), zlib.crc32(payload)
+                TCP_MAGIC, seq, len(payload), zlib.crc32(payload),
+                frame_mac(None, seq, payload),
             )
             sender._transmit(header + payload)
             with pytest.raises(ProtocolError):
@@ -292,6 +300,116 @@ class TestTcpEnvelope:
             finally:
                 sender.close()
                 receiver.close()
+
+
+EXECUTED_PAYLOADS = []
+
+
+def _record_execution(marker):
+    EXECUTED_PAYLOADS.append(marker)
+    return {}
+
+
+class _ArbitraryCode:
+    """Pickling gadget: unpickling it calls :func:`_record_execution`."""
+
+    def __reduce__(self):
+        return (_record_execution, ("owned",))
+
+
+class TestFrameAuthentication:
+    """The per-frame HMAC: unauthenticated bytes must never reach pickle."""
+
+    def test_matching_secrets_roundtrip(self):
+        sender, receiver = tcp_pair(secret=b"s3cret")
+        try:
+            sender.send({"cmd": "run", "ordinal": 9})
+            assert receiver.recv(1.0) == {"cmd": "run", "ordinal": 9}
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_unauthenticated_sender_is_rejected(self):
+        sender, receiver = tcp_pair(secret=None, peer_secret=b"s3cret")
+        try:
+            sender.send({"cmd": "run"})
+            with pytest.raises(ProtocolError, match="authentication"):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_wrong_secret_is_rejected(self):
+        sender, receiver = tcp_pair(secret=b"alpha", peer_secret=b"beta")
+        try:
+            sender.send({"cmd": "run"})
+            with pytest.raises(ProtocolError, match="authentication"):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_rejected_frame_payload_is_never_unpickled(self):
+        # An attacker without the secret crafts a frame whose payload would
+        # execute code when unpickled, with a perfectly valid CRC.  The MAC
+        # gate must reject it before pickle ever sees the payload.
+        del EXECUTED_PAYLOADS[:]
+        sender, receiver = tcp_pair(secret=None, peer_secret=b"s3cret")
+        try:
+            payload = pickle.dumps(
+                _ArbitraryCode(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            header = _TCP_HEADER.pack(
+                TCP_MAGIC, 0, len(payload), zlib.crc32(payload),
+                frame_mac(None, 0, payload),
+            )
+            sender._transmit(header + payload)
+            with pytest.raises(ProtocolError, match="authentication"):
+                receiver.recv(1.0)
+            assert EXECUTED_PAYLOADS == []
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_tampered_payload_with_fixed_crc_is_rejected(self):
+        # CRC32 is not a MAC: an active attacker can recompute it after
+        # tampering.  The HMAC must still catch the splice.
+        sender, receiver = tcp_pair(secret=b"s3cret")
+        try:
+            original = sender.encode({"cmd": "run", "ordinal": 1})
+            tampered = pickle.dumps(
+                {"cmd": "run", "ordinal": 666}, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            magic, seq, _, _, mac = _TCP_HEADER.unpack(
+                original[: _TCP_HEADER.size]
+            )
+            forged = _TCP_HEADER.pack(
+                magic, seq, len(tampered), zlib.crc32(tampered), mac
+            ) + tampered
+            sender._transmit(forged)
+            with pytest.raises(ProtocolError, match="authentication"):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_mac_binds_the_sequence_number(self):
+        # Replaying a frame at a different stream position must fail even
+        # with the right secret: the MAC covers the sequence number.
+        sender, receiver = tcp_pair(secret=b"s3cret")
+        try:
+            frame = sender.encode({"cmd": "run"})  # seq 0
+            _, _, length, crc, mac = _TCP_HEADER.unpack(
+                frame[: _TCP_HEADER.size]
+            )
+            payload = frame[_TCP_HEADER.size:]
+            spliced = _TCP_HEADER.pack(TCP_MAGIC, 1, length, crc, mac) + payload
+            sender._transmit(spliced)
+            with pytest.raises(ProtocolError, match="authentication"):
+                receiver.recv(1.0)
+        finally:
+            sender.close()
+            receiver.close()
 
 
 class TestPipeTransportDeadline:

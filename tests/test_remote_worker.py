@@ -25,6 +25,11 @@ from repro.errors import (
     WorkerQuarantined,
 )
 from repro.isolation.agent import WorkerAgent
+from repro.isolation.protocol import (
+    ProtocolError,
+    TcpTransport,
+    TransportTimeout,
+)
 from repro.isolation.remote import (
     FailureDetector,
     PeerHealthRegistry,
@@ -223,6 +228,69 @@ class TestRemoteFailureModes:
             pool.close()
 
 
+class TestTransportSecurity:
+    def test_agent_refuses_non_loopback_without_secret(self):
+        worker_agent = WorkerAgent(host="0.0.0.0")
+        with pytest.raises(ValueError, match="non-loopback"):
+            worker_agent.start()
+
+    def test_agent_accepts_non_loopback_with_secret(self):
+        worker_agent = WorkerAgent(host="0.0.0.0", secret=b"hunter2")
+        worker_agent.start()
+        worker_agent.stop()
+
+    def test_shared_secret_end_to_end(self, tpch_db):
+        worker_agent = WorkerAgent(secret=b"hunter2")
+        address = worker_agent.start()
+        try:
+            pool = RemoteWorkerPool(
+                RowCounter(),
+                RemoteSpec(peers=(address,), secret=b"hunter2",
+                           default_timeout=5.0, connect_timeout=2.0),
+            )
+            try:
+                assert pool.invoke(tpch_db, timeout=5.0)["ok"]
+            finally:
+                pool.close()
+        finally:
+            worker_agent.stop()
+
+    def test_unauthenticated_supervisor_is_refused(self):
+        # A client without the secret never gets past the frame MAC: the
+        # agent drops the connection without ever unpickling a payload.
+        worker_agent = WorkerAgent(secret=b"hunter2")
+        address = worker_agent.start()
+        try:
+            transport = TcpTransport.connect(address, timeout=2.0)
+            try:
+                transport.send({"cmd": "hello", "epoch": 0, "req": 1})
+                with pytest.raises((EOFError, ProtocolError,
+                                    TransportTimeout)):
+                    transport.recv(2.0)
+            finally:
+                transport.close()
+        finally:
+            worker_agent.stop()
+
+
+class TestAgentRequestValidation:
+    def test_init_without_executable_is_a_structured_error(self, agent):
+        transport = TcpTransport.connect(agent.address, timeout=2.0)
+        try:
+            transport.send({"cmd": "init", "epoch": 7, "req": 1})
+            reply = transport.recv(2.0)
+            assert reply["ok"] is False
+            assert "executable" in str(reply["error"])
+            # fencing meta is echoed even on the error path...
+            assert reply["epoch"] == 7
+            assert reply["req"] == 1
+            # ...and the connection survives for a corrected retry
+            transport.send({"cmd": "ping", "epoch": 7, "req": 2})
+            assert transport.recv(2.0)["pong"]
+        finally:
+            transport.close()
+
+
 class TestFencing:
     def test_stale_epoch_replies_are_fenced(self, agent, tpch_db):
         pool = make_pool(agent)
@@ -257,6 +325,39 @@ class TestFencing:
             reply = pool.invoke(tpch_db, timeout=5.0)
             assert reply["ok"]
             assert pool.stats.invocations == before + 1
+        finally:
+            pool.close()
+
+
+class TestReconnectAccounting:
+    def test_fresh_slot_first_connect_is_not_a_reconnect(self, agent, tpch_db):
+        # With pool_size > 1, a sibling slot's invocations must not make an
+        # unused slot's first-ever dial look like a worker replacement.
+        pool = make_pool(agent, pool_size=2)
+        try:
+            pool.invoke(tpch_db, timeout=5.0)  # slot 0 connects and runs
+            late = pool._handles[1]
+            assert not late.has_connected
+            with late.lock:
+                pool._ensure_connected(late)
+            assert late.has_connected
+            assert pool.respawns == 0
+            assert pool.stats.restarts == 0
+            assert pool.registry.snapshot()[agent.address]["reconnects"] == 0
+        finally:
+            pool.close()
+
+    def test_second_connect_of_a_handle_is_a_reconnect(self, agent, tpch_db):
+        pool = make_pool(agent)
+        try:
+            pool.invoke(tpch_db, timeout=5.0)
+            handle = pool._handles[0]
+            with handle.lock:
+                handle.mark_dead()
+                pool._ensure_connected(handle)
+            assert pool.respawns == 1
+            assert pool.stats.restarts == 1
+            assert pool.registry.snapshot()[agent.address]["reconnects"] == 1
         finally:
             pool.close()
 
