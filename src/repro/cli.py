@@ -40,11 +40,21 @@ invocation through a supervised worker subprocess (hard SIGKILL deadlines,
 ``repro.isolation``); the hard-fault chaos profiles (``hang``, ``crash``)
 require it.
 
+``verify --certify`` additionally runs the bounded symbolic equivalence
+checker (``repro.veriq``) over the extracted SQL: the verdict is either a
+*certificate* (no distinguishing database exists within the explored bound)
+or a concrete *counterexample* database (JSON, ``--counterexample-out``)
+on which the extraction and the application demonstrably diverge, after the
+CEGIS loop (counterexample -> D_I augmentation -> re-extraction) has had
+``--certify-rounds`` chances to repair it.
+
 Exit status: 0 success; 1 extraction/engine error (one-line ``error: ...``,
 never a traceback); 2 usage error; 3 empty initial result; 4 ``verify``
 verdict ``out_of_class``; 5 transport-level quarantine (every ``--isolate
-remote`` peer unreachable after capped-backoff reconnects); 130 interrupted
-by SIGINT/SIGTERM (after printing a ``--checkpoint-dir`` resume hint).
+remote`` peer unreachable after capped-backoff reconnects); 6 ``verify
+--certify`` found a counterexample the CEGIS loop could not resolve; 130
+interrupted by SIGINT/SIGTERM (after printing a ``--checkpoint-dir`` resume
+hint).
 """
 
 from __future__ import annotations
@@ -281,6 +291,26 @@ def _make_parser() -> argparse.ArgumentParser:
     verify.add_argument("--query", default=None, help="bundled query name, e.g. Q3")
     verify.add_argument("--sql", default=None, metavar="SQL",
                         help="ad-hoc SQL text to hide and verify")
+    verify.add_argument("--certify", action="store_true",
+                        help="run the bounded symbolic equivalence checker "
+                             "after extraction: exit 0 with a certificate "
+                             "(no distinguishing database within bounds) or "
+                             "6 with a concrete counterexample database")
+    verify.add_argument("--certify-rows", type=int, default=2, metavar="K",
+                        help="rows per table in symbolic databases — the "
+                             "bound certificates are quantified over "
+                             "(default 2)")
+    verify.add_argument("--certify-databases", type=int, default=512,
+                        metavar="N",
+                        help="cap on symbolic databases per round "
+                             "(default 512)")
+    verify.add_argument("--certify-rounds", type=int, default=2, metavar="N",
+                        help="CEGIS rounds: counterexample -> D_I "
+                             "augmentation -> re-extraction (default 2)")
+    verify.add_argument("--counterexample-out", metavar="FILE", default=None,
+                        help="write the distinguishing database (JSON, "
+                             "replayable via repro.veriq.database_from_json) "
+                             "here when certification fails")
     _common_extraction_args(verify)
 
     explain = sub.add_parser(
@@ -872,8 +902,10 @@ def _run_extraction(args, sql: str, out) -> int:
 def _run_verify(args, sql: str, out) -> int:
     """Answer "is this hidden query extractable?" without emitting wrong SQL.
 
-    Exit status: 0 = in_class (extraction succeeded and cross-validated),
-    4 = out_of_class, 1 = the run itself failed, 3 = empty initial result.
+    Exit status: 0 = in_class (extraction succeeded and cross-validated;
+    with ``--certify``, additionally certified equivalent within bounds),
+    4 = out_of_class, 6 = ``--certify`` found an unresolved counterexample,
+    1 = the run itself failed, 3 = empty initial result.
     """
     db = _build_database(args.workload, args.scale, args.seed)
     app = SQLExecutable(sql, obfuscate_text=True, name="verify-app")
@@ -894,24 +926,55 @@ def _run_verify(args, sql: str, out) -> int:
         # keep the checker's report flowing into the post-flight guard
         # instead of aborting the run on the first mismatch
         checker_strict=False,
+        certify=args.certify,
+        certify_rows=args.certify_rows,
+        certify_databases=args.certify_databases,
+        certify_rounds=args.certify_rounds,
         **_budget_kwargs(args),
         **_isolation_kwargs(args),
         **_scheduler_kwargs(args),
     )
+    tracer = None
+    metrics = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import MetricsRegistry, Tracer
+
+        # Fail on unwritable output paths now, not after a long extraction.
+        for path in (args.trace_out, args.metrics_out):
+            if path is None:
+                continue
+            try:
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as error:
+                out.write(f"cannot write {path}: {error}\n")
+                return 2
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics=metrics, keep_spans=args.trace_out is not None)
     ledger, run_id, provenance = _ledger_open(
         args, "verify", query_name=args.query or ""
     )
     try:
-        outcome = UnmasqueExtractor(
-            db, app, config,
+        extractor = UnmasqueExtractor(
+            db, app, config, tracer=tracer,
             checkpoint_dir=args.checkpoint_dir, provenance=provenance,
-        ).extract()
+        )
+        if args.certify:
+            outcome = extractor.extract_certified()
+        else:
+            outcome = extractor.extract()
     except BaseException as error:
         _ledger_fail(ledger, run_id, provenance, error)
         raise
     if ledger is not None:
         _ledger_finish(ledger, run_id, provenance, outcome)
         out.write(f"ledger      : run {run_id} -> {args.ledger}\n")
+    if args.trace_out:
+        tracer.write_jsonl(args.trace_out)
+        out.write(f"trace       : {len(tracer.spans)} spans -> {args.trace_out}\n")
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        out.write(f"metrics     : -> {args.metrics_out}\n")
     out.write(f"verdict     : {outcome.verdict}\n")
     if outcome.eqc is not None:
         out.write(outcome.eqc.describe() + "\n")
@@ -922,6 +985,25 @@ def _run_verify(args, sql: str, out) -> int:
     if args.report:
         out.write("\n" + outcome.describe() + "\n")
     out.write(f"{outcome.sql}\n")
+    if outcome.certify is not None:
+        return _report_certify(args, outcome.certify, out)
+    return 0
+
+
+def _report_certify(args, certify: dict, out) -> int:
+    """Render the verifier's verdict; exit 6 on an unresolved counterexample."""
+    from repro.veriq import CertifyReport
+
+    report = CertifyReport(**certify)
+    out.write(f"certify     : {report.describe()}\n")
+    if report.verdict == "counterexample" and report.counterexample:
+        if args.counterexample_out:
+            import json
+
+            with open(args.counterexample_out, "w", encoding="utf-8") as fh:
+                json.dump(report.counterexample, fh, indent=1, default=str)
+            out.write(f"counterexample -> {args.counterexample_out}\n")
+        return 6
     return 0
 
 

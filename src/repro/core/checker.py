@@ -143,7 +143,12 @@ def _limited_results_match(
     return True
 
 
-def _normalize(result: Result) -> list[tuple]:
+def normalize_rows(result: Result) -> list[tuple]:
+    """Result rows with floats rounded to 6 places (comparison canon).
+
+    Shared with the bounded symbolic verifier (:mod:`repro.veriq`), so both
+    verification layers agree on what counts as "the same value".
+    """
     rows = []
     for row in result.rows:
         rows.append(
@@ -152,10 +157,16 @@ def _normalize(result: Result) -> list[tuple]:
     return rows
 
 
-def _multisets_match(a: Result, b: Result) -> bool:
+def multisets_match(a: Result, b: Result) -> bool:
+    """Order-insensitive result equality under :func:`normalize_rows`."""
     from collections import Counter
 
-    return Counter(_normalize(a)) == Counter(_normalize(b))
+    return Counter(normalize_rows(a)) == Counter(normalize_rows(b))
+
+
+# backward-compatible private aliases (internal call sites below)
+_normalize = normalize_rows
+_multisets_match = multisets_match
 
 
 def _ordered_prefix_matches(session: ExtractionSession, a: Result, b: Result) -> bool:

@@ -103,6 +103,11 @@ class ExtractionOutcome:
     budget: Optional[dict] = None
     #: scheduler / plan-cache / invocation-memo statistics for this run
     caches: Optional[dict] = None
+    #: bounded symbolic verifier report (``repro.veriq``), when certification
+    #: ran: verdict "certificate" / "counterexample" / "unsupported", the
+    #: explored bound, per-round search stats, and a serialized
+    #: counterexample database when one survived the CEGIS loop
+    certify: Optional[dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.sql
@@ -142,6 +147,7 @@ class ExtractionOutcome:
             "degradations": [d.to_dict() for d in self.degradations],
             "resumed_modules": list(self.resumed_modules),
             "caches": self.caches,
+            "certify": self.certify,
             "checker": (
                 None
                 if self.checker_report is None
@@ -208,6 +214,8 @@ class ExtractionOutcome:
                 f"checker           : {verdict} on "
                 f"{self.checker_report.databases_checked} databases"
             )
+        if self.certify is not None:
+            lines.append(f"certify           : {self.certify.get('verdict')}")
         if self.budget is not None:
             lines.append(
                 "budget            : "
@@ -429,6 +437,9 @@ class UnmasqueExtractor:
         #: pipeline cooperatively (raises ExtractionPaused) with the
         #: checkpoint for the finished step already on disk
         self.pause_check = pause_check
+        #: the original D_I — the CEGIS loop clones it to replay and absorb
+        #: counterexample databases (repro.veriq.cegis)
+        self.database = db
         self.session = ExtractionSession(
             db, executable, self.config, tracer=tracer, provenance=provenance
         )
@@ -511,6 +522,21 @@ class UnmasqueExtractor:
                 if tracer.metrics is not None:
                     tracer.metrics.counter("extractions_total").inc()
             return outcome
+
+    def extract_certified(self) -> ExtractionOutcome:
+        """Extract, then certify: the CEGIS loop of ``repro.veriq``.
+
+        Runs the standard pipeline and hands the outcome to the bounded
+        symbolic verifier; each counterexample is replayed as a real sandbox
+        probe and absorbed into D_I for a fresh extraction round.  The final
+        outcome carries the verifier's verdict in ``outcome.certify``
+        ("certificate", "counterexample", or "unsupported" for candidates
+        outside the certifiable class — callers fall back to the EQC
+        confidence vector then).
+        """
+        from repro.veriq.cegis import certify_extraction
+
+        return certify_extraction(self)
 
     def _export_cache_metrics(self) -> None:
         """Fold the run's cache counters into the metrics registry (once).

@@ -120,7 +120,9 @@ def _module_table(spans: list[Span], children: dict) -> list[str]:
     modules: dict[str, dict] = {}
     order: list[str] = []
     for span in spans:
-        if span.kind != "module" or span.end is None:
+        # verifier phases (kind "verify") earn a row alongside the pipeline
+        # modules: certify time is extraction time the user waits for
+        if span.kind not in ("module", "verify") or span.end is None:
             continue
         kids = [c for c in children.get(span.span_id, []) if c.end is not None]
         busy = _interval_union(

@@ -12,7 +12,12 @@ Span *kinds* used by the instrumented code:
 * ``module``     — one pipeline module (``from_clause``, ``minimizer``, …);
 * ``invocation`` — one black-box application invocation;
 * ``query``      — one engine statement (with parse/plan/execute timing and
-  rows-scanned / rows-emitted tags for SELECTs).
+  rows-scanned / rows-emitted tags for SELECTs);
+* ``verify``     — one bounded-verifier phase (``certify`` wrapping the whole
+  CEGIS loop, ``certify_search`` per symbolic search round,
+  ``certify_refine`` per counterexample-driven re-extraction); the verifier
+  also ticks the ``certificates_total`` / ``counterexamples_total`` /
+  ``certify_probes_total`` counters.
 
 The default tracer everywhere is :data:`NULL_TRACER`, whose ``span()``
 returns a single shared no-op context manager — call sites pay one attribute

@@ -81,6 +81,10 @@ class JobRequest:
     jobs: int = 1
     isolate: str = "none"
     best_effort: bool = True
+    #: run the bounded symbolic equivalence checker (repro.veriq) after
+    #: extraction; the certificate-or-counterexample report lands in the
+    #: job result under ``certify``
+    certify: bool = False
     #: eviction priority under memory pressure: lower values are evicted
     #: first; same-priority victims are picked by footprint, then recency
     priority: int = 0
@@ -94,7 +98,7 @@ class JobRequest:
         unknown = set(payload) - {
             "workload", "query", "sql", "scale", "seed", "tenant",
             "deadline_seconds", "budget_invocations", "budget_seconds",
-            "jobs", "isolate", "best_effort", "priority", "extras",
+            "jobs", "isolate", "best_effort", "certify", "priority", "extras",
         }
         if unknown:
             raise ValueError(f"unknown fields: {sorted(unknown)}")
@@ -138,6 +142,7 @@ class JobRequest:
             jobs=_number("jobs", int, 1) or 1,
             isolate=isolate,
             best_effort=bool(payload.get("best_effort", True)),
+            certify=bool(payload.get("certify", False)),
             priority=(
                 _number("priority", int)
                 if payload.get("priority") is not None else 0
@@ -159,6 +164,7 @@ class JobRequest:
             "jobs": self.jobs,
             "isolate": self.isolate,
             "best_effort": self.best_effort,
+            "certify": self.certify,
             "priority": self.priority,
             "extras": self.extras,
         }

@@ -639,6 +639,7 @@ class ExtractionService:
             budget_seconds=budget_wall_seconds(remaining, request.budget_seconds),
             jobs=request.jobs,
             isolate=isolate,
+            certify=request.certify,
             worker_peers=self.remote_peers,
             peer_registry=self.peer_registry,
             transport_factory=self.transport_factory,
@@ -668,7 +669,7 @@ class ExtractionService:
             extras["ledger_path"] = self.ledger_path
             self.journal.set_extras(job_id, extras)
         try:
-            outcome = UnmasqueExtractor(
+            extractor = UnmasqueExtractor(
                 db,
                 app,
                 config,
@@ -677,7 +678,11 @@ class ExtractionService:
                 provenance=provenance,
                 step_listener=lambda module: self._on_step(job_id, module),
                 pause_check=lambda: self.pause_requested(job_id),
-            ).extract()
+            )
+            if request.certify:
+                outcome = extractor.extract_certified()
+            else:
+                outcome = extractor.extract()
         except BaseException as error:
             self._ledger_fail(ledger, run_id, provenance, error)
             raise
@@ -689,13 +694,18 @@ class ExtractionService:
         except StorageExhausted as error:
             logger.warning("ledger finish dropped for %s: %s", job_id, error)
             self._count("serve_storage_exhausted_total")
-        return {
+        result = {
             "sql": outcome.sql if outcome.query is not None else "",
             "verdict": outcome.verdict,
             "invocations": outcome.stats.total_invocations,
             "seconds": outcome.stats.total_seconds,
             "extras": extras,
         }
+        if outcome.certify is not None:
+            # the verifier's verdict rides the extras channel so it lands in
+            # the journal and the /jobs/<id> view, not just this dict
+            extras["certify"] = outcome.certify
+        return result
 
     # -- per-job provenance ledger -------------------------------------------
 

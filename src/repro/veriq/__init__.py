@@ -1,0 +1,113 @@
+"""veriq — bounded symbolic equivalence checking for extracted SQL.
+
+The probe-based checker cross-validates; *veriq certifies*.  In the
+VeriEQL/Polygon style (PAPERS.md) it searches the space of small databases —
+bounded rows per table, finite per-column value universes, PK/FK/NOT NULL
+respected — for a concrete instance on which the extracted SQL and the
+observed application behaviour diverge.  Pure python, no SMT solver: the
+encoding is an explicit enumeration with conflict-driven pruning over
+candidate decision signatures, which keeps the oracle (real application
+probes) off the hot path.
+
+Public surface:
+
+* :func:`verify_equivalence` — certify candidate SQL against any oracle
+  (another SQL string or a callable) over a catalog;
+* :func:`~repro.veriq.cegis.certify_extraction` — the pipeline-integrated
+  CEGIS loop (counterexample → sandbox replay → re-extraction → repeat);
+* :class:`~repro.veriq.domains.VerifyBounds`,
+  :class:`~repro.veriq.search.Certificate`,
+  :class:`~repro.veriq.search.Counterexample` — the certificate-or-
+  counterexample contract;
+* :func:`~repro.veriq.symdb.database_to_json` /
+  :func:`~repro.veriq.symdb.database_from_json` — the counterexample wire
+  format (round-trips through a real :class:`~repro.engine.Database`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.engine import Catalog, Database, Result
+from repro.veriq.analyze import (
+    ColKey,
+    QueryProfile,
+    UnsupportedForCertification,
+    profile_query,
+)
+from repro.veriq.cegis import CertifyReport, SandboxOracle, certify_extraction
+from repro.veriq.domains import VerifyBounds, build_domains, build_fillers
+from repro.veriq.search import (
+    Certificate,
+    Counterexample,
+    SearchStats,
+    search_counterexample,
+)
+from repro.veriq.symdb import database_from_json, database_to_json
+
+__all__ = [
+    "Certificate",
+    "CertifyReport",
+    "ColKey",
+    "Counterexample",
+    "QueryProfile",
+    "SandboxOracle",
+    "SearchStats",
+    "UnsupportedForCertification",
+    "VerifyBounds",
+    "build_domains",
+    "build_fillers",
+    "certify_extraction",
+    "database_from_json",
+    "database_to_json",
+    "profile_query",
+    "search_counterexample",
+    "verify_equivalence",
+]
+
+
+def verify_equivalence(
+    candidate_sql: str,
+    oracle: Union[str, Callable[[Database], Result]],
+    catalog: Catalog,
+    bounds: VerifyBounds | None = None,
+    seed: int = 0,
+) -> Certificate | Counterexample:
+    """Certify ``candidate_sql`` against an oracle over ``catalog``.
+
+    ``oracle`` is either another SQL string (executed on the same symbolic
+    databases) or a callable ``oracle(db) -> Result`` — the black-box shape.
+    This is the standalone entry point used by the verifier self-tests and
+    the counterexample-corpus tooling; the pipeline uses
+    :func:`~repro.veriq.cegis.certify_extraction` instead.
+    """
+    bounds = bounds or VerifyBounds()
+    profile = profile_query(candidate_sql, catalog)
+    tables = list(dict.fromkeys(profile.tables))
+    if isinstance(oracle, str):
+        # the oracle query may read tables the candidate dropped: give the
+        # scratch instance the union (absent tables stay empty)
+        for ref in profile_query(oracle, catalog).tables:
+            if ref not in tables:
+                tables.append(ref)
+    scratch = Database([catalog.get(t) for t in tables])
+
+    if isinstance(oracle, str):
+        oracle_sql = oracle
+
+        def run_oracle(rows_by_table: dict[str, list[tuple]]) -> Result:
+            for table in scratch.table_names:
+                scratch.replace_rows(table, rows_by_table.get(table, []))
+            return scratch.execute(oracle_sql)
+
+    else:
+        oracle_fn = oracle
+
+        def run_oracle(rows_by_table: dict[str, list[tuple]]) -> Result:
+            for table in scratch.table_names:
+                scratch.replace_rows(table, rows_by_table.get(table, []))
+            return oracle_fn(scratch)
+
+    return search_counterexample(
+        profile, catalog, run_oracle, bounds, seed=seed
+    )

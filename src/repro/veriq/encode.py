@@ -1,0 +1,198 @@
+"""Candidate-side symbolic encoding: evaluation, signatures, comparison.
+
+Three jobs:
+
+* **cheap candidate evaluation** — the extracted SQL runs on a private
+  scratch :class:`~repro.engine.database.Database` (plan-cached, no
+  invocation accounting): evaluating the candidate on hundreds of symbolic
+  databases costs a fraction of one real application probe;
+* **decision signatures** — the conflict-driven pruning device.  A symbolic
+  database is abstracted to how the *candidate* perceives it: per-row atom
+  truth bitmaps, join-clique values relabelled to canonical ids (first
+  appearance order), group/order cells rank-relabelled within their column,
+  and aggregate-argument cells kept verbatim.  Two databases with equal
+  signatures drive the candidate — and, for any query in the same class —
+  through identical decisions, so only one of them is probed against the
+  real application;
+* **behavioral comparison** — multiset equality modulo float rounding, plus
+  the *ordering witness*: when sequences agree but the candidate declares an
+  ORDER BY, the database is replayed with reversed insertion order; an
+  application whose output order stays fixed while the candidate's changes
+  has an ordering the candidate fails to reproduce (e.g. a dropped
+  secondary sort key — invisible to the probe-based checker by design).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.checker import multisets_match, normalize_rows
+from repro.engine import Catalog, Database, Result
+from repro.errors import ReproError
+from repro.veriq.analyze import ColKey, QueryProfile
+
+
+class CandidateEvaluator:
+    """Run the candidate SQL on swapped-in symbolic rows, cheaply."""
+
+    def __init__(self, profile: QueryProfile, catalog: Catalog):
+        schemas = [catalog.get(table) for table in dict.fromkeys(profile.tables)]
+        self._db = Database(schemas)
+        self._sql = profile.sql
+        self.evaluations = 0
+
+    def run(self, rows_by_table: dict[str, list[tuple]]) -> Result:
+        self.evaluations += 1
+        for table, rows in rows_by_table.items():
+            self._db.replace_rows(table, rows)
+        return self._db.execute(self._sql)
+
+
+# --- decision signatures ----------------------------------------------------
+
+
+def signature(
+    profile: QueryProfile,
+    catalog: Catalog,
+    rows_by_table: dict[str, list[tuple]],
+) -> tuple:
+    """Canonical abstraction of a symbolic database (see module docstring)."""
+    clique_ids: dict[object, int] = {}  # shared across a join clique's columns
+    clique_of: dict[ColKey, int] = {}
+    for index, clique in enumerate(profile.join_cliques()):
+        for key in clique:
+            clique_of[key] = index
+    clique_maps: dict[int, dict] = {}
+
+    parts = []
+    for table in dict.fromkeys(profile.tables):
+        schema = catalog.get(table)
+        rows = rows_by_table.get(table, [])
+        column_keys = [ColKey(table, col.name) for col in schema.columns]
+        # per-column rank maps for order-sensitive relabelling
+        rank_maps = {}
+        for idx, key in enumerate(column_keys):
+            if key in profile.group_columns or (
+                key in profile.relevant
+                and key not in profile.value_columns
+                and key not in clique_of
+            ):
+                values = sorted(
+                    {row[idx] for row in rows if row[idx] is not None},
+                    key=lambda v: (str(type(v)), v),
+                )
+                rank_maps[idx] = {v: rank for rank, v in enumerate(values)}
+        table_part = []
+        for row in rows:
+            cells = []
+            for idx, key in enumerate(column_keys):
+                value = row[idx]
+                atoms = profile.atoms.get(key)
+                bitmap = (
+                    tuple(atom.holds(value) for atom in atoms) if atoms else None
+                )
+                if key in clique_of:
+                    mapping = clique_maps.setdefault(clique_of[key], {})
+                    if value not in mapping:
+                        mapping[value] = len(mapping)
+                    abstract = ("j", mapping[value])
+                elif key in profile.value_columns:
+                    abstract = ("v", value)  # aggregates see raw values
+                elif idx in rank_maps:
+                    abstract = ("r", None if value is None else rank_maps[idx][value])
+                elif key in profile.relevant:
+                    abstract = ("v", value)
+                else:
+                    abstract = ("_",)  # pinned filler: carries no information
+                cells.append((abstract, bitmap))
+            table_part.append(tuple(cells))
+        parts.append((table, tuple(table_part)))
+    return tuple(parts)
+
+
+# --- behavioral comparison --------------------------------------------------
+
+
+@dataclass
+class Divergence:
+    """A confirmed behavioral difference on one symbolic database."""
+
+    kind: str  # "error" | "multiset" | "cardinality" | "ordering"
+    detail: str
+    candidate_rows: list
+    oracle_rows: list
+
+
+def compare_behaviour(
+    profile: QueryProfile,
+    db_rows: dict[str, list[tuple]],
+    candidate: Result,
+    oracle: Result,
+    rerun: Callable[[dict[str, list[tuple]]], tuple[Result, Result]],
+) -> Optional[Divergence]:
+    """Compare candidate vs application output on one symbolic database.
+
+    ``rerun`` replays (candidate, oracle) on a permuted variant of the
+    database; it is only invoked for the ordering witness.
+    """
+    limit = profile.limit
+    if limit is not None and (
+        candidate.row_count == limit or oracle.row_count == limit
+    ):
+        # At the LIMIT boundary only cardinality is robustly comparable:
+        # which tied rows survive the cut is implementation-defined.
+        if candidate.row_count != oracle.row_count:
+            return Divergence(
+                "cardinality",
+                f"limit cardinality {oracle.row_count} vs {candidate.row_count}",
+                normalize_rows(candidate),
+                normalize_rows(oracle),
+            )
+        return None
+    if not multisets_match(oracle, candidate):
+        return Divergence(
+            "multiset",
+            f"result multisets differ ({oracle.row_count} vs "
+            f"{candidate.row_count} rows)",
+            normalize_rows(candidate),
+            normalize_rows(oracle),
+        )
+    if not profile.has_order:
+        return None
+    cand_seq = normalize_rows(candidate)
+    orac_seq = normalize_rows(oracle)
+    if len(set(cand_seq)) <= 1:
+        return None  # no observable order with ≤1 distinct row
+    ordered_same = cand_seq == orac_seq
+    # The ordering witness: replay with reversed insertion order.
+    from repro.veriq.symdb import reversed_variant
+
+    try:
+        cand_rev, orac_rev = rerun(reversed_variant(db_rows))
+    except ReproError:
+        return None  # replay failed; not counterexample evidence
+    cand_rev_seq = normalize_rows(cand_rev)
+    orac_rev_seq = normalize_rows(orac_rev)
+    if Counter(cand_rev_seq) != Counter(cand_seq):
+        return None  # permutation changed the multiset: not an ordering issue
+    oracle_stable = orac_rev_seq == orac_seq
+    candidate_stable = cand_rev_seq == cand_seq
+    if oracle_stable and not candidate_stable:
+        return Divergence(
+            "ordering",
+            "application output order is insertion-invariant but the "
+            "candidate's is not: the candidate's ORDER BY under-determines "
+            "an order the application enforces",
+            cand_seq + [("-- reversed insertion --",)] + cand_rev_seq,
+            orac_seq + [("-- reversed insertion --",)] + orac_rev_seq,
+        )
+    if oracle_stable and candidate_stable and not ordered_same:
+        return Divergence(
+            "ordering",
+            "both outputs are insertion-invariant yet ordered differently",
+            cand_seq,
+            orac_seq,
+        )
+    return None  # both under-determined (tie ambiguity) or candidate stricter

@@ -1,0 +1,165 @@
+"""Bounded counterexample search: certificate or distinguishing database.
+
+``search_counterexample`` drives the whole verifier: enumerate symbolic
+databases (:mod:`repro.veriq.symdb`), evaluate the candidate cheaply on each
+(:mod:`repro.veriq.encode`), prune databases whose decision signature was
+already explored, and probe the *real* application only on novel classes.
+The first database on which behaviour diverges is returned as a
+:class:`Counterexample`; exhausting the space (or the budgets) yields a
+:class:`Certificate` that records exactly how much was explored — the
+"UNSAT within bounds" contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine import Catalog, Result
+from repro.errors import ReproError
+from repro.veriq import encode, symdb
+from repro.veriq.analyze import ColKey, QueryProfile
+from repro.veriq.domains import VerifyBounds, build_domains, build_fillers
+
+
+@dataclass
+class SearchStats:
+    databases_enumerated: int = 0
+    candidate_evaluations: int = 0
+    oracle_probes: int = 0
+    classes_pruned: int = 0
+    #: True when a budget (databases / probes) stopped enumeration early
+    truncated: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "databases_enumerated": self.databases_enumerated,
+            "candidate_evaluations": self.candidate_evaluations,
+            "oracle_probes": self.oracle_probes,
+            "classes_pruned": self.classes_pruned,
+            "truncated": self.truncated,
+        }
+
+
+@dataclass
+class Certificate:
+    """No divergence found anywhere inside the explored bound."""
+
+    bound: dict
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    verdict = "certificate"
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "bound": self.bound,
+            "stats": self.stats.to_dict(),
+        }
+
+
+@dataclass
+class Counterexample:
+    """A concrete database on which candidate and application diverge."""
+
+    database: dict[str, list[tuple]]
+    kind: str
+    detail: str
+    candidate_rows: list
+    oracle_rows: list
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    verdict = "counterexample"
+
+    def to_json(self, catalog: Catalog, candidate_sql: str, oracle_sql: str = "") -> dict:
+        payload = symdb.database_to_json(
+            self.database,
+            catalog,
+            candidate_sql=candidate_sql,
+            oracle_sql=oracle_sql,
+            detail=f"{self.kind}: {self.detail}",
+        )
+        payload["divergence"] = {
+            "kind": self.kind,
+            "detail": self.detail,
+            "candidate_rows": [list(map(_plain, row)) for row in self.candidate_rows],
+            "oracle_rows": [list(map(_plain, row)) for row in self.oracle_rows],
+        }
+        return payload
+
+
+def _plain(value):
+    return symdb._value_to_json(value)
+
+
+Oracle = Callable[[dict[str, list[tuple]]], Result]
+
+
+def search_counterexample(
+    profile: QueryProfile,
+    catalog: Catalog,
+    oracle: Oracle,
+    bounds: VerifyBounds,
+    extra_values: dict[ColKey, list] | None = None,
+    seed: int = 0,
+) -> Certificate | Counterexample:
+    """Search the bounded space for a database distinguishing the candidate."""
+    domains = build_domains(profile, catalog, bounds, extra=extra_values)
+    fillers = build_fillers(profile, catalog, domains)
+    evaluator = encode.CandidateEvaluator(profile, catalog)
+    stats = SearchStats()
+    explored: set = set()
+
+    def rerun(variant: dict[str, list[tuple]]) -> tuple[Result, Result]:
+        stats.candidate_evaluations += 1
+        stats.oracle_probes += 1
+        return evaluator.run(variant), oracle(variant)
+
+    for db_rows in symdb.enumerate_databases(
+        profile, catalog, domains, fillers, bounds, seed=seed
+    ):
+        if stats.databases_enumerated >= bounds.max_databases:
+            stats.truncated = True
+            break
+        stats.databases_enumerated += 1
+        sig = encode.signature(profile, catalog, db_rows)
+        if sig in explored:
+            stats.classes_pruned += 1
+            continue
+        explored.add(sig)
+        if stats.oracle_probes >= bounds.max_probes:
+            stats.truncated = True
+            break
+        stats.candidate_evaluations += 1
+        try:
+            candidate_result = evaluator.run(db_rows)
+        except ReproError as exc:
+            # The candidate SQL itself fails on a legal bounded database:
+            # that *is* a divergence (the application never errors).
+            stats.oracle_probes += 1
+            oracle_result = oracle(db_rows)
+            return Counterexample(
+                database=db_rows,
+                kind="error",
+                detail=f"candidate SQL failed to execute: {exc}",
+                candidate_rows=[],
+                oracle_rows=list(oracle_result.rows),
+                stats=stats,
+            )
+        stats.oracle_probes += 1
+        oracle_result = oracle(db_rows)
+        divergence = encode.compare_behaviour(
+            profile, db_rows, candidate_result, oracle_result, rerun
+        )
+        if divergence is not None:
+            return Counterexample(
+                database=db_rows,
+                kind=divergence.kind,
+                detail=divergence.detail,
+                candidate_rows=divergence.candidate_rows,
+                oracle_rows=divergence.oracle_rows,
+                stats=stats,
+            )
+    bound = dict(bounds.to_dict())
+    bound["approximate_profile"] = profile.approximate
+    return Certificate(bound=bound, stats=stats)

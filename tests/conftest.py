@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datagen import tpch
+from repro.engine import Column, Database, IntegerType, TableSchema
 
 
 def pytest_addoption(parser):
@@ -33,5 +34,37 @@ def tpch_db():
 
 @pytest.fixture(scope="session")
 def tiny_tpch_db():
-    """An even smaller instance for probe-heavy unit tests."""
+    """An even smaller instance for probe-heavy unit tests.
+
+    Session-wide and shared (the EQC-guard suite uses it too); extractions
+    clone it into silos, so tests must never mutate it directly.
+    """
     return tpch.build_database(scale=0.0005, seed=11)
+
+
+@pytest.fixture()
+def two_table_db():
+    """A fresh two-table instance (``a(x)``, ``b(y)``) per test.
+
+    Function-scoped on purpose: guard tests drive sessions that set D^1 and
+    replay mutations against it, so sharing one instance across tests would
+    make the suite order-dependent under ``-p no:randomly`` or parallel
+    runs.
+    """
+    db = Database(
+        [
+            TableSchema(
+                name="a",
+                columns=(Column("x", IntegerType()),),
+                primary_key=("x",),
+            ),
+            TableSchema(
+                name="b",
+                columns=(Column("y", IntegerType()),),
+                primary_key=("y",),
+            ),
+        ]
+    )
+    db.insert("a", [(40,), (50,), (10,)])
+    db.insert("b", [(20,), (30,), (40,), (50,)])
+    return db

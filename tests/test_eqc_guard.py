@@ -16,7 +16,6 @@ from repro.core.model import JoinClique
 from repro.core.pipeline import UnmasqueExtractor
 from repro.core.session import ExtractionSession
 from repro.datagen import tpch
-from repro.engine import Column, Database, IntegerType, TableSchema
 from repro.engine.result import Result
 from repro.errors import CheckpointError, UnsupportedQueryError
 from repro.sgraph.schema_graph import ColumnNode
@@ -26,28 +25,11 @@ NON_EQUI_SQL = (
 )
 
 
-def two_table_db() -> Database:
-    db = Database(
-        [
-            TableSchema(
-                name="a",
-                columns=(Column("x", IntegerType()),),
-                primary_key=("x",),
-            ),
-            TableSchema(
-                name="b",
-                columns=(Column("y", IntegerType()),),
-                primary_key=("y",),
-            ),
-        ]
-    )
-    db.insert("a", [(40,), (50,), (10,)])
-    db.insert("b", [(20,), (30,), (40,), (50,)])
-    return db
-
-
-def session_for(db, fn) -> ExtractionSession:
-    return ExtractionSession(db, CallableExecutable(fn), ExtractionConfig())
+def session_for(db, fn, seed: int = 20210620) -> ExtractionSession:
+    """A fresh session per call with an explicit probe seed: guard probes
+    must behave identically whatever ran before (order independence under
+    ``-p no:randomly`` and parallel suites)."""
+    return ExtractionSession(db, CallableExecutable(fn), ExtractionConfig(seed=seed))
 
 
 class TestReport:
@@ -104,7 +86,7 @@ class TestSuccessor:
 
 
 class TestPreflight:
-    def test_honest_query_raises_no_signal(self):
+    def test_honest_query_raises_no_signal(self, two_table_db):
         def honest(db):
             rows = [
                 (x,)
@@ -113,15 +95,15 @@ class TestPreflight:
             ]
             return Result(["x"], rows)
 
-        session = session_for(two_table_db(), honest)
+        session = session_for(two_table_db, honest)
         session.initial_result = session.run()
         assert eqc_guard.preflight(session) == []
 
-    def test_empty_db_sentinel_catches_manufactured_rows(self):
+    def test_empty_db_sentinel_catches_manufactured_rows(self, two_table_db):
         def constant(db):
             return Result(["c"], [(1,), (2,)])
 
-        session = session_for(two_table_db(), constant)
+        session = session_for(two_table_db, constant)
         session.initial_result = session.run()
         signals = eqc_guard.preflight(session)
         probes = [s.probe for s in signals]
@@ -129,15 +111,15 @@ class TestPreflight:
         signal = signals[probes.index("empty_db_sentinel")]
         assert signal.severity >= eqc_guard.OUT_OF_CLASS_THRESHOLD
 
-    def test_empty_db_sentinel_tolerates_degenerate_aggregate_row(self):
+    def test_empty_db_sentinel_tolerates_degenerate_aggregate_row(self, two_table_db):
         def count_star(db):
             return Result(["n"], [(db.row_count("a"),)])
 
-        session = session_for(two_table_db(), count_star)
+        session = session_for(two_table_db, count_star)
         session.initial_result = session.run()
         assert eqc_guard.preflight(session) == []
 
-    def test_monotonicity_sentinel_catches_anti_join(self):
+    def test_monotonicity_sentinel_catches_anti_join(self, two_table_db):
         # a \ b (anti-join): D_I yields {10}; the halved instance
         # (a=[40,50], b=[20,30]) yields {40, 50} — the result *grew*.
         def anti_join(db):
@@ -145,7 +127,7 @@ class TestPreflight:
             rows = [(x,) for (x,) in db.rows("a") if x not in b_values]
             return Result(["x"], rows)
 
-        session = session_for(two_table_db(), anti_join)
+        session = session_for(two_table_db, anti_join)
         session.initial_result = session.run()
         assert len(session.initial_result.rows) == 1
         signals = eqc_guard.preflight(session)
@@ -155,63 +137,58 @@ class TestPreflight:
 
 
 class TestPostflight:
-    def _join_session(self, predicate):
-        def app(db):
+    def _join_session(self, db, predicate):
+        def app(inner):
             rows = [
                 (x,)
-                for (x,) in db.rows("a")
-                for (y,) in db.rows("b")
+                for (x,) in inner.rows("a")
+                for (y,) in inner.rows("b")
                 if predicate(x, y)
             ]
             return Result(["x"], rows)
 
-        session = session_for(two_table_db(), app)
+        session = session_for(db, app)
         session.query.join_cliques = [
             JoinClique(frozenset({ColumnNode("a", "x"), ColumnNode("b", "y")}))
         ]
         session.set_d1({"a": (40,), "b": (40,)})
         return session
 
-    def test_non_equi_join_probe_fires_on_lt_join(self):
-        session = self._join_session(lambda x, y: x <= y)
+    def test_non_equi_join_probe_fires_on_lt_join(self, two_table_db):
+        session = self._join_session(two_table_db, lambda x, y: x <= y)
         signals = eqc_guard.postflight(session)
         assert [s.probe for s in signals] == ["non_equi_join"]
         assert signals[0].clauses == ("joins",)
         assert signals[0].severity >= eqc_guard.OUT_OF_CLASS_THRESHOLD
 
-    def test_equi_join_passes_probe(self):
-        session = self._join_session(lambda x, y: x == y)
+    def test_equi_join_passes_probe(self, two_table_db):
+        session = self._join_session(two_table_db, lambda x, y: x == y)
         assert eqc_guard.postflight(session) == []
 
-    def test_checker_mismatch_is_folded_in(self):
+    def test_checker_mismatch_is_folded_in(self, two_table_db):
         class FakeReport:
             passed = False
             mismatches = [object()]
             databases_checked = 3
 
-        session = self._join_session(lambda x, y: x == y)
+        session = self._join_session(two_table_db, lambda x, y: x == y)
         signals = eqc_guard.postflight(session, checker_report=FakeReport())
         assert [s.probe for s in signals] == ["checker_mismatch"]
         assert signals[0].clauses == eqc_guard.CLAUSES
-
-
-@pytest.fixture(scope="module")
-def guard_tpch_db():
-    return tpch.build_database(scale=0.0005, seed=11)
 
 
 class TestPipelineVerdict:
     def _constant_app(self):
         return CallableExecutable(lambda db: Result(["c"], [(1,), (2,)]))
 
-    def test_raise_mode_raises_unsupported(self):
-        db = two_table_db()
+    def test_raise_mode_raises_unsupported(self, two_table_db):
+        db = two_table_db
         config = ExtractionConfig(out_of_class_action="raise")
         with pytest.raises(UnsupportedQueryError):
             UnmasqueExtractor(db, self._constant_app(), config).extract()
 
-    def test_verdict_mode_returns_structured_outcome(self):
-        db = two_table_db()
+    def test_verdict_mode_returns_structured_outcome(self, two_table_db):
+        db = two_table_db
         config = ExtractionConfig(out_of_class_action="verdict")
         extractor = UnmasqueExtractor(db, self._constant_app(), config)
         outcome = extractor.extract()
@@ -223,23 +200,40 @@ class TestPipelineVerdict:
         # the silo is still restored to D_I on the verdict path
         assert extractor.session.silo_matches_di()
 
-    def test_non_equi_join_yields_verdict_not_wrong_sql(self, guard_tpch_db):
+    def test_non_equi_join_yields_verdict_not_wrong_sql(self, tiny_tpch_db):
         app = SQLExecutable(NON_EQUI_SQL, obfuscate_text=True)
         config = ExtractionConfig(
             out_of_class_action="verdict", checker_strict=False
         )
-        outcome = UnmasqueExtractor(guard_tpch_db, app, config).extract()
+        outcome = UnmasqueExtractor(tiny_tpch_db, app, config).extract()
         assert outcome.verdict == "out_of_class"
         assert outcome.sql == ""
 
-    def test_in_class_query_reports_full_confidence(self, guard_tpch_db):
+    def test_non_equi_join_verdict_is_jobs_invariant(self, tiny_tpch_db):
+        """The seeded guard must reach the same verdict via the same signals
+        whatever the probe scheduler's parallelism — parallel batches
+        reorder physical probe execution, and the guard may not depend on
+        that order."""
+        app = SQLExecutable(NON_EQUI_SQL, obfuscate_text=True)
+        seen = {}
+        for jobs in (1, 4):
+            config = ExtractionConfig(
+                out_of_class_action="verdict", checker_strict=False, jobs=jobs
+            )
+            outcome = UnmasqueExtractor(tiny_tpch_db, app, config).extract()
+            assert outcome.verdict == "out_of_class", f"jobs={jobs}"
+            assert outcome.eqc is not None
+            seen[jobs] = sorted(s.probe for s in outcome.eqc.signals)
+        assert seen[1] == seen[4], "guard signals depend on probe scheduling"
+
+    def test_in_class_query_reports_full_confidence(self, tiny_tpch_db):
         from repro.workloads import tpch_queries
 
         app = SQLExecutable(
             tpch_queries.QUERIES["Q6"].sql, obfuscate_text=True
         )
         outcome = UnmasqueExtractor(
-            guard_tpch_db, app, ExtractionConfig()
+            tiny_tpch_db, app, ExtractionConfig()
         ).extract()
         assert outcome.verdict == "ok"
         assert outcome.eqc is not None
@@ -248,8 +242,8 @@ class TestPipelineVerdict:
             conf == 1.0 for conf in outcome.eqc.clause_confidence.values()
         )
 
-    def test_guard_can_be_disabled(self, guard_tpch_db):
-        db = two_table_db()
+    def test_guard_can_be_disabled(self, two_table_db):
+        db = two_table_db
         config = ExtractionConfig(eqc_guard=False, fail_fast=True)
         # Without the guard the constant app fails deeper in the pipeline —
         # but never via the preflight sentinel, and no EQC report is built.

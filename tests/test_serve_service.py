@@ -468,3 +468,27 @@ class TestHTTPApi:
             httpd.server_close()
             service.drain(timeout=10.0)
             service.close()
+
+    def test_certified_job_surfaces_the_verdict(self, tmp_path):
+        """A job submitted with ``"certify": true`` runs the bounded verifier
+        and its verdict — certificate plus the explored bound — lands in the
+        journal record and the ``/jobs/<id>`` view."""
+        service = ExtractionService(
+            tmp_path / "journal.sqlite",
+            tmp_path / "checkpoints",
+            workers=1,
+        )
+        service.start()
+        try:
+            reply = service.submit({
+                "query": "Q6", "scale": 0.0005, "seed": 11, "certify": True,
+            })
+            record = wait_terminal(service, reply["job_id"], timeout=180.0)
+            assert record["state"] == "done"
+            assert record["verdict"] == "ok"
+            certify = record["extras"]["certify"]
+            assert certify["verdict"] == "certificate"
+            assert certify["bound"]["max_rows"] == 2
+        finally:
+            service.drain(timeout=10.0)
+            service.close()

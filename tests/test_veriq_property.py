@@ -1,0 +1,254 @@
+"""Property-based self-tests for the bounded symbolic verifier (repro.veriq).
+
+Three layers:
+
+1. **Soundness of certificates** — for ~100 seeded in-class queries, Q
+   checked against itself must certify (a counterexample here would mean the
+   verifier manufactured a divergence out of thin air).
+2. **Usefulness of the search** — known-wrong mutants of the same queries
+   (flipped predicate, dropped join, wrong aggregate) must yield a concrete
+   counterexample database, and replaying both queries on that database must
+   reproduce the divergence.
+3. **CEGIS convergence** — an extractor lesioned to drop the trailing ORDER
+   BY key (a wrong candidate the probe-based checker provably accepts,
+   because it compares ordering only on the *extracted* sort keys) is
+   repaired by the certify loop: the verifier's counterexample carries the
+   tie rows, the augmented D_I makes the lesion keep the key, and round two
+   certifies.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.engine import Catalog
+from repro.veriq import verify_equivalence
+from repro.veriq.analyze import UnsupportedForCertification
+from repro.workloads.random_queries import generate_query, schema
+
+FAST_SEEDS = range(25)
+FULL_SEEDS = range(100)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog(schema())
+
+
+def _certify_self(seed, catalog):
+    sql = generate_query(seed).sql
+    try:
+        result = verify_equivalence(sql, sql, catalog)
+    except UnsupportedForCertification as exc:  # pragma: no cover
+        pytest.fail(f"generated in-class query not certifiable: {exc}\n{sql}")
+    assert result.verdict == "certificate", (
+        f"self-check found a counterexample (the verifier is unsound or the "
+        f"engine is nondeterministic): {sql}"
+    )
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_query_certifies_against_itself(seed, catalog):
+    _certify_self(seed, catalog)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", FULL_SEEDS)
+def test_query_certifies_against_itself_full(seed, catalog):
+    _certify_self(seed, catalog)
+
+
+# --- mutant killing -----------------------------------------------------------
+
+
+def _mutate_flip_predicate(sql: str):
+    match = re.search(r"(f_units|f_day) (<=|>=)", sql)
+    if match is None:
+        return None
+    flipped = ">=" if match.group(2) == "<=" else "<="
+    return sql[: match.start(2)] + flipped + sql[match.end(2):]
+
+
+def _mutate_drop_join(sql: str):
+    for join in (
+        "fact.f_d1 = dim_one.d1_key and ",
+        "fact.f_d2 = dim_two.d2_key and ",
+        " and fact.f_d1 = dim_one.d1_key",
+        " and fact.f_d2 = dim_two.d2_key",
+    ):
+        if join in sql:
+            return sql.replace(join, "", 1)
+    return None
+
+
+def _mutate_wrong_aggregate(sql: str):
+    if "sum(fact.f_amount)" in sql:
+        return sql.replace("sum(fact.f_amount)", "max(fact.f_amount)", 1)
+    if "avg(fact.f_rate)" in sql:
+        return sql.replace("avg(fact.f_rate)", "min(fact.f_rate)", 1)
+    return None
+
+
+MUTATORS = {
+    "flipped_predicate": _mutate_flip_predicate,
+    "dropped_join": _mutate_drop_join,
+    "wrong_aggregate": _mutate_wrong_aggregate,
+}
+
+
+def _kill_mutants(seed, catalog, require_some=False):
+    sql = generate_query(seed).sql
+    killed = 0
+    for name, mutate in MUTATORS.items():
+        mutant = mutate(sql)
+        if mutant is None or mutant == sql:
+            continue
+        result = verify_equivalence(mutant, sql, catalog)
+        assert result.verdict == "counterexample", (
+            f"{name} mutant certified as equivalent:\n"
+            f"  query : {sql}\n  mutant: {mutant}"
+        )
+        # the counterexample is concrete: replaying both queries on it
+        # must reproduce a genuine divergence
+        from repro.veriq import database_from_json
+
+        payload = result.to_json(catalog, candidate_sql=mutant, oracle_sql=sql)
+        db = database_from_json(payload)
+        if result.kind in ("multiset", "cardinality"):
+            left = sorted(map(repr, db.execute(mutant).rows))
+            right = sorted(map(repr, db.execute(sql).rows))
+            assert left != right, f"{name}: pinned divergence did not replay"
+        killed += 1
+    if require_some:
+        assert killed, f"no mutator applied to seed {seed}: {sql}"
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_mutants_yield_counterexamples(seed, catalog):
+    _kill_mutants(seed, catalog)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", FULL_SEEDS)
+def test_mutants_yield_counterexamples_full(seed, catalog):
+    _kill_mutants(seed, catalog)
+
+
+def test_mutators_apply_somewhere(catalog):
+    """The sweeps above must not pass vacuously."""
+    applied = {
+        name
+        for seed in FULL_SEEDS
+        for name, mutate in MUTATORS.items()
+        if (m := mutate(generate_query(seed).sql)) is not None
+        and m != generate_query(seed).sql
+    }
+    assert applied == set(MUTATORS)
+
+
+# --- CEGIS convergence --------------------------------------------------------
+#
+# The acceptance case: a wrong candidate that the probe-based checker passes.
+# The checker's ordering comparison (`_ordered_prefix_matches`) projects the
+# application output onto the *extracted* sort keys only — by design, since
+# unextracted trailing keys are unobservable on data without ties.  An
+# extractor lesioned to drop the trailing ORDER BY key therefore produces
+# SQL that sails through extraction + checker + EQC guard ("ok", in_class),
+# yet orders ties wrongly.  The bounded verifier's insertion-order witness
+# finds a tie database; the CEGIS loop feeds it back into D_I; with ties now
+# witnessed, the (still lesioned) extractor keeps the key and round two
+# certifies.
+
+
+HIDDEN_ORDERED = (
+    "select fact.f_units, fact.f_amount from fact "
+    "order by fact.f_units asc, fact.f_amount asc"
+)
+
+
+def _tie_free_database():
+    """A D_I whose f_units values are unique: the trailing f_amount sort key
+    is unobservable, so the lesion fires."""
+    import datetime
+
+    from repro.engine import Database
+
+    db = Database(schema())
+    db.insert("dim_one", [(1, "alpha", 10), (2, "beta", 20)])
+    db.insert("dim_two", [(1, "red", 1.0), (2, "blue", 2.0)])
+    day = datetime.date(2020, 6, 1)
+    db.insert(
+        "fact",
+        [
+            (1, 1, 30.0, 0.1, 5, day, "a"),
+            (2, 2, 10.0, 0.2, 9, day, "b"),
+            (1, 2, 20.0, 0.3, 13, day, None),
+            (2, 1, 40.0, 0.4, 17, day, "c"),
+        ],
+    )
+    return db
+
+
+@pytest.fixture()
+def lesioned_orderby(monkeypatch):
+    """Drop trailing ORDER BY keys whenever the leading key is tie-free in
+    the session's initial result — a data-dependent extractor bug."""
+    from repro.core import orderby
+
+    real = orderby.extract_order_by
+
+    def lesioned(session, svalues):
+        specs = real(session, svalues)
+        if len(specs) > 1 and session.initial_result is not None:
+            names = [o.name for o in session.query.outputs]
+            lead = names.index(specs[0].output_name)
+            values = [row[lead] for row in session.initial_result.rows]
+            if len(set(values)) == len(values):
+                session.query.order_by = specs[:1]
+                return specs[:1]
+        return specs
+
+    monkeypatch.setattr(orderby, "extract_order_by", lesioned)
+    return lesioned
+
+
+def test_checker_alone_passes_the_lesioned_candidate(lesioned_orderby):
+    """Baseline: extraction + checker accept the wrong SQL ("ok" verdict)."""
+    from repro.apps.executable import SQLExecutable
+    from repro.core import ExtractionConfig, UnmasqueExtractor
+
+    outcome = UnmasqueExtractor(
+        _tie_free_database(),
+        SQLExecutable(HIDDEN_ORDERED),
+        ExtractionConfig(),
+    ).extract()
+    assert outcome.verdict == "ok"
+    assert outcome.checker_report is not None and outcome.checker_report.passed
+    assert "f_units asc" in outcome.sql
+    assert "f_amount" not in outcome.sql.split("order by")[1], (
+        "lesion did not fire; the test premise is broken"
+    )
+
+
+def test_cegis_loop_repairs_the_lesioned_candidate(lesioned_orderby):
+    """The certify loop converges where probe-based checking was blind."""
+    from repro.apps.executable import SQLExecutable
+    from repro.core import ExtractionConfig, UnmasqueExtractor
+
+    outcome = UnmasqueExtractor(
+        _tie_free_database(),
+        SQLExecutable(HIDDEN_ORDERED),
+        ExtractionConfig(certify=True),
+    ).extract_certified()
+
+    assert outcome.certify is not None
+    assert outcome.certify["verdict"] == "certificate"
+    assert outcome.certify["rounds"] == 2, (
+        "convergence must be counterexample-driven (round 1 finds the tie "
+        "database, round 2 certifies the repaired SQL)"
+    )
+    assert outcome.certify["refined"] is True
+    order_clause = outcome.sql.split("order by")[1]
+    assert "f_units" in order_clause and "f_amount" in order_clause

@@ -1,0 +1,80 @@
+"""Regenerate the pinned counterexample corpus in tests/counterexamples/.
+
+Each corpus entry is a (mutant candidate, true oracle) query pair over the
+``repro.workloads.random_queries`` star schema; the bounded verifier finds a
+distinguishing database and we pin its JSON serialization.  The differential
+suite (tests/test_engine_differential.py) replays every pinned database
+against both the engine and sqlite3 — the corpus doubles as a regression
+net for the wire format and for the engine semantics the verifier relies on.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_counterexamples.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine import Catalog  # noqa: E402
+from repro.veriq import verify_equivalence  # noqa: E402
+from repro.workloads.random_queries import schema  # noqa: E402
+
+OUT_DIR = pathlib.Path(__file__).resolve().parents[1] / "tests" / "counterexamples"
+
+ORACLE = (
+    "select dim_one.d1_segment, sum(fact.f_amount) as total "
+    "from dim_one, fact "
+    "where fact.f_d1 = dim_one.d1_key and fact.f_units <= 20 "
+    "group by dim_one.d1_segment "
+    "order by dim_one.d1_segment"
+)
+
+ORDERED = (
+    "select fact.f_units, fact.f_amount from fact "
+    "where fact.f_units <= 20 "
+    "order by fact.f_units, fact.f_amount"
+)
+
+#: name -> (candidate/mutant SQL, oracle/true SQL)
+PAIRS = {
+    "flipped_predicate": (ORACLE.replace("<= 20", ">= 21"), ORACLE),
+    "narrowed_predicate": (ORACLE.replace("<= 20", "<= 19"), ORACLE),
+    "wrong_aggregate": (ORACLE.replace("sum(", "max("), ORACLE),
+    "dropped_join": (
+        ORACLE.replace("fact.f_d1 = dim_one.d1_key and ", ""),
+        ORACLE,
+    ),
+    "dropped_order_key": (
+        ORDERED.replace("order by fact.f_units, fact.f_amount",
+                        "order by fact.f_units"),
+        ORDERED,
+    ),
+    "dropped_limit": (ORDERED, ORDERED + " limit 1"),
+}
+
+
+def main() -> int:
+    catalog = Catalog(schema())
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for name, (candidate, oracle) in sorted(PAIRS.items()):
+        result = verify_equivalence(candidate, oracle, catalog)
+        if result.verdict != "counterexample":
+            print(f"{name}: NO COUNTEREXAMPLE (verdict {result.verdict})")
+            failures += 1
+            continue
+        payload = result.to_json(catalog, candidate_sql=candidate, oracle_sql=oracle)
+        path = OUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        rows = sum(len(t["rows"]) for t in payload["database"]["tables"].values())
+        print(f"{name}: {result.kind} ({rows} rows) -> {path.name}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
